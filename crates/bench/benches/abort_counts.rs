@@ -1,0 +1,19 @@
+//! E2 — §1/§3.3: aborts per single-node crash, FA-only vs IFA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smdb_bench::e2_abort_counts;
+use std::hint::black_box;
+
+fn bench_abort_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abort_counts");
+    group.sample_size(10);
+    for nodes in [4u16, 16] {
+        group.bench_with_input(BenchmarkId::new("crash_one_of", nodes), &nodes, |b, &n| {
+            b.iter(|| black_box(e2_abort_counts(&[n], 2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_abort_counts);
+criterion_main!(benches);

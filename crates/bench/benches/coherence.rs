@@ -1,0 +1,17 @@
+//! E5 — §7: write-invalidate vs write-broadcast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smdb_bench::e5_coherence_comparison;
+use std::hint::black_box;
+
+fn bench_coherence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coherence");
+    group.sample_size(10);
+    group.bench_function("invalidate_vs_broadcast", |b| {
+        b.iter(|| black_box(e5_coherence_comparison(40)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coherence);
+criterion_main!(benches);

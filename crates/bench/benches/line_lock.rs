@@ -1,0 +1,41 @@
+//! E1 — §5.1: line-lock primitive costs (paper: <10 µs uncontended,
+//! <40 µs mean at 32-way contention).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smdb_sim::{contended_line_lock_costs, CostModel, LineId, Machine, NodeId, SimConfig};
+use std::hint::black_box;
+
+/// Wall-clock cost of the simulated getline/releaseline pair (the
+/// simulator's hot path), plus the analytic contention sweep.
+fn bench_line_lock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("line_lock");
+    // Host-time cost of the simulated primitive.
+    let mut m = Machine::new(SimConfig::new(2));
+    m.create_line_at(NodeId(0), LineId(1), &[0u8]).expect("create");
+    group.bench_function("getline_releaseline_local", |b| {
+        b.iter(|| {
+            m.getline(NodeId(0), LineId(1)).expect("lock");
+            m.releaseline(NodeId(0), LineId(1)).expect("unlock");
+        })
+    });
+    group.bench_function("getline_releaseline_pingpong", |b| {
+        let mut who = 0u16;
+        b.iter(|| {
+            let n = NodeId(who % 2);
+            who += 1;
+            m.getline(n, LineId(1)).expect("lock");
+            m.releaseline(n, LineId(1)).expect("unlock");
+        })
+    });
+    // Analytic simulated-latency sweep (values recorded in EXPERIMENTS.md).
+    let cost = CostModel::default();
+    for k in [1u32, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("contention_model", k), &k, |b, &k| {
+            b.iter(|| black_box(contended_line_lock_costs(&cost, k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_line_lock);
+criterion_main!(benches);

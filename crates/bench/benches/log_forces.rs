@@ -1,0 +1,24 @@
+//! E4 — §5.2/§7: log-force frequency by LBM policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smdb_bench::e4_log_forces;
+use std::hint::black_box;
+
+fn bench_log_forces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_forces");
+    group.sample_size(10);
+    for sharing in [0.0f64, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("sweep_protocols", format!("sharing={sharing}")),
+            &sharing,
+            |b, &s| b.iter(|| black_box(e4_log_forces(40, &[s], false))),
+        );
+    }
+    group.bench_function("nvram_ablation", |b| {
+        b.iter(|| black_box(e4_log_forces(40, &[0.5], true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_log_forces);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! T1 — Table 1: normal-operation overheads of the IFA protocols, plus
+//! per-protocol TP1 throughput (host time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smdb_bench::table1_overheads;
+use smdb_core::{DbConfig, ProtocolKind, SmDb};
+use smdb_workload::{run_tp1, Tp1Params};
+use std::hint::black_box;
+
+fn bench_overheads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overheads");
+    group.sample_size(10);
+    group.bench_function("table1_matrix", |b| b.iter(|| black_box(table1_overheads(60))));
+    for p in ProtocolKind::all() {
+        group.bench_with_input(BenchmarkId::new("tp1", format!("{p:?}")), &p, |b, &p| {
+            b.iter(|| {
+                let mut db = SmDb::new(DbConfig::bench(8, p));
+                black_box(run_tp1(&mut db, Tp1Params { txns: 40, ..Default::default() }))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overheads);
+criterion_main!(benches);

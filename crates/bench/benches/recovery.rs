@@ -1,0 +1,27 @@
+//! E3/F2 — §4.1.2: restart-recovery cost, Redo All vs Selective Redo.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smdb_bench::mix_then_crash;
+use smdb_core::ProtocolKind;
+use std::hint::black_box;
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+    for p in [
+        ProtocolKind::VolatileRedoAll,
+        ProtocolKind::VolatileSelectiveRedo,
+        ProtocolKind::StableTriggered,
+        ProtocolKind::FaOnly,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("mix_then_crash", format!("{p:?}")),
+            &p,
+            |b, &p| b.iter(|| black_box(mix_then_crash(p, 60, 0.5))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E6 — §6: the update protocol under line locks vs semaphores, plus the
+//! raw engine update path (host time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smdb_bench::e6_update_protocol;
+use smdb_core::{DbConfig, ProtocolKind, SmDb};
+use smdb_sim::NodeId;
+use std::hint::black_box;
+
+fn bench_update_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_protocol");
+    group.sample_size(10);
+    group.bench_function("line_locks_vs_semaphores", |b| {
+        b.iter(|| black_box(e6_update_protocol(40)))
+    });
+    // Host-time microbenchmark of one committed single-update transaction.
+    let mut db = SmDb::new(DbConfig::bench(4, ProtocolKind::VolatileSelectiveRedo).without_index());
+    let mut slot = 0u64;
+    group.bench_function("engine_update_commit", |b| {
+        b.iter(|| {
+            let t = db.begin(NodeId(0)).expect("begin");
+            slot = (slot + 1) % db.record_count() as u64;
+            db.update(t, slot, b"benchval").expect("update");
+            db.commit(t).expect("commit");
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_protocol);
+criterion_main!(benches);

@@ -1,0 +1,367 @@
+//! Regenerate every paper-mapped table and figure (DESIGN.md §3).
+//!
+//! ```text
+//! cargo run -p smdb-bench --bin report --release              # everything
+//! cargo run -p smdb-bench --bin report --release -- --table1  # one artifact
+//! ```
+//!
+//! Flags: `--table1 --e1 --e2 --e3 --e4 --e5 --e6 --e7 --e8 --e9 --e10 --fast`
+
+use smdb_bench as x;
+use std::io::Write;
+
+fn want(args: &[String], flag: &str) -> bool {
+    let explicit: Vec<&String> = args
+        .iter()
+        .filter(|a| a.starts_with("--") && *a != "--fast" && *a != "--csv")
+        .collect();
+    explicit.is_empty() || args.iter().any(|a| a == flag)
+}
+
+/// Write one CSV artifact under `results/` when `--csv` is passed.
+fn csv(enabled: bool, name: &str, header: &str, rows: &[String]) {
+    if !enabled {
+        return;
+    }
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = format!("results/{name}.csv");
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for row in rows {
+        writeln!(f, "{row}").expect("write row");
+    }
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let csv_on = args.iter().any(|a| a == "--csv");
+    let (t1_txns, mix_txns) = if fast { (120, 60) } else { (400, 200) };
+
+    println!("smdb experiment report — Recovery Protocols for Shared Memory Database Systems");
+    println!("(Molesky & Ramamritham, SIGMOD 1995) — simulated reproduction\n");
+
+    if want(&args, "--table1") {
+        println!("== Table 1: incremental overheads of protocols ensuring IFA ==");
+        println!("   workload: TP1 debit-credit, 8 nodes, {t1_txns} transactions, history index\n");
+        let rows = x::table1_overheads(t1_txns);
+        println!(
+            "{:<24} {:>10} {:>10} {:>9} {:>10} {:>9}",
+            "protocol", "structural", "read-lock", "undo-tag", "LBM", "committed"
+        );
+        println!(
+            "{:<24} {:>10} {:>10} {:>9} {:>10} {:>9}",
+            "", "early-cmts", "log recs", "writes", "forces", "txns"
+        );
+        for r in &rows {
+            println!(
+                "{:<24} {:>10} {:>10} {:>9} {:>10} {:>9}",
+                r.protocol,
+                r.structural_early_commits,
+                r.read_lock_records,
+                r.undo_tag_writes,
+                r.lbm_forces,
+                r.committed
+            );
+        }
+        csv(
+            csv_on,
+            "table1",
+            "protocol,structural_early_commits,read_lock_records,undo_tag_writes,lbm_forces,commit_forces,committed",
+            &rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{},{},{},{},{}",
+                        r.protocol,
+                        r.structural_early_commits,
+                        r.read_lock_records,
+                        r.undo_tag_writes,
+                        r.lbm_forces,
+                        r.commit_forces,
+                        r.committed
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!("\n   paper's checkmark matrix (✓ = overhead incurred), derived from the counts:");
+        println!(
+            "{:<32} {:>12} {:>18} {:>12}",
+            "overhead", "Stable LBM", "Vol.+SelectiveRedo", "Vol.+RedoAll"
+        );
+        let find = |s: &str| rows.iter().find(|r| r.protocol.contains(s)).expect("row");
+        let sel = find("VolatileSelective");
+        let all = find("VolatileRedoAll");
+        let stable = find("StableTriggered");
+        let mark = |v: u64| if v > 0 { "✓" } else { "—" };
+        println!(
+            "{:<32} {:>12} {:>18} {:>12}",
+            "early commit of structural chgs",
+            mark(stable.structural_early_commits),
+            mark(sel.structural_early_commits),
+            mark(all.structural_early_commits)
+        );
+        println!(
+            "{:<32} {:>12} {:>18} {:>12}",
+            "logging of read locks",
+            mark(stable.read_lock_records),
+            mark(sel.read_lock_records),
+            mark(all.read_lock_records)
+        );
+        println!(
+            "{:<32} {:>12} {:>18} {:>12}",
+            "undo tagging",
+            mark(stable.undo_tag_writes),
+            mark(sel.undo_tag_writes),
+            mark(all.undo_tag_writes)
+        );
+        println!(
+            "{:<32} {:>12} {:>18} {:>12}",
+            "higher frequency of log forces",
+            mark(stable.lbm_forces),
+            mark(sel.lbm_forces),
+            mark(all.lbm_forces)
+        );
+        println!();
+    }
+
+    if want(&args, "--e1") {
+        println!("== E1 (§5.1): line-lock acquisition latency vs contention ==");
+        println!("   paper (KSR-1 measurements): <10 µs uncontended, <40 µs at 32-way\n");
+        println!("{:>10} {:>12} {:>12}", "contenders", "mean (µs)", "max (µs)");
+        let pts = x::e1_line_lock_contention(32);
+        for p in &pts {
+            if [1, 2, 4, 8, 16, 24, 32].contains(&p.contenders) {
+                println!("{:>10} {:>12.2} {:>12.2}", p.contenders, p.mean_us, p.max_us);
+            }
+        }
+        csv(
+            csv_on,
+            "e1_line_lock",
+            "contenders,mean_us,max_us",
+            &pts.iter().map(|p| format!("{},{},{}", p.contenders, p.mean_us, p.max_us)).collect::<Vec<_>>(),
+        );
+        println!();
+    }
+
+    if want(&args, "--e2") {
+        println!("== E2 (§1/§3.3): transactions aborted by a single node crash ==");
+        println!("   (per-node active txns: 3; the paper's motivation — at KSR-1 scale a");
+        println!("    single failure would otherwise affect thousands of transactions)\n");
+        let sizes: &[u16] = if fast { &[2, 8, 32] } else { &[2, 8, 32, 128, 1088] };
+        println!(
+            "{:>6} {:>8} {:>16} {:>12} {:>8}",
+            "nodes", "active", "FA-only aborts", "IFA aborts", "saved"
+        );
+        let pts = x::e2_abort_counts(sizes, 3);
+        for p in &pts {
+            println!(
+                "{:>6} {:>8} {:>16} {:>12} {:>7}x",
+                p.nodes,
+                p.active,
+                p.fa_only_aborts,
+                p.ifa_aborts,
+                p.fa_only_aborts / p.ifa_aborts.max(1)
+            );
+        }
+        csv(
+            csv_on,
+            "e2_abort_counts",
+            "nodes,active,fa_only_aborts,ifa_aborts",
+            &pts.iter()
+                .map(|p| format!("{},{},{},{}", p.nodes, p.active, p.fa_only_aborts, p.ifa_aborts))
+                .collect::<Vec<_>>(),
+        );
+        println!();
+    }
+
+    if want(&args, "--e3") {
+        println!("== E3 (§4.1.2): Redo All vs Selective Redo recovery cost ==\n");
+        println!(
+            "{:<24} {:>8} {:>8} {:>9} {:>8} {:>12} {:>7}",
+            "protocol", "sharing", "redo", "skipped", "undo", "rec cycles", "lost"
+        );
+        let pts = x::e3_recovery_cost(mix_txns, &[0.1, 0.5, 0.9]);
+        for p in &pts {
+            println!(
+                "{:<24} {:>8.1} {:>8} {:>9} {:>8} {:>12} {:>7}",
+                p.protocol,
+                p.sharing,
+                p.redo_applied,
+                p.redo_skipped_cached,
+                p.undo_applied,
+                p.recovery_cycles,
+                p.lost_lines
+            );
+        }
+        csv(
+            csv_on,
+            "e3_recovery_cost",
+            "protocol,sharing,redo_applied,redo_skipped_cached,undo_applied,recovery_cycles,lost_lines",
+            &pts.iter()
+                .map(|p| {
+                    format!(
+                        "{},{},{},{},{},{},{}",
+                        p.protocol,
+                        p.sharing,
+                        p.redo_applied,
+                        p.redo_skipped_cached,
+                        p.undo_applied,
+                        p.recovery_cycles,
+                        p.lost_lines
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!();
+    }
+
+    if want(&args, "--e4") {
+        println!("== E4 (§5.2/§7): log-force frequency by LBM policy and sharing rate ==\n");
+        println!(
+            "{:<24} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}",
+            "protocol", "sharing", "forces", "commit", "LBM", "txns", "cyc/txn"
+        );
+        let pts = x::e4_log_forces(mix_txns, &[0.0, 0.5, 1.0], false);
+        for p in &pts {
+            println!(
+                "{:<24} {:>8.1} {:>8} {:>8} {:>8} {:>8} {:>12}",
+                p.protocol,
+                p.sharing,
+                p.total_forces,
+                p.commit_forces,
+                p.lbm_forces,
+                p.committed,
+                p.cycles_per_txn
+            );
+        }
+        csv(
+            csv_on,
+            "e4_log_forces",
+            "protocol,sharing,total_forces,commit_forces,lbm_forces,committed,cycles_per_txn",
+            &pts.iter()
+                .map(|p| {
+                    format!(
+                        "{},{},{},{},{},{},{}",
+                        p.protocol,
+                        p.sharing,
+                        p.total_forces,
+                        p.commit_forces,
+                        p.lbm_forces,
+                        p.committed,
+                        p.cycles_per_txn
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!("\n   ablation: NVRAM log device (§7: Stable LBM becomes affordable)\n");
+        println!("{:<24} {:>8} {:>8} {:>12}", "protocol", "sharing", "forces", "cyc/txn");
+        for p in x::e4_log_forces(mix_txns, &[0.5], true) {
+            println!(
+                "{:<24} {:>8.1} {:>8} {:>12}",
+                p.protocol, p.sharing, p.total_forces, p.cycles_per_txn
+            );
+        }
+        println!();
+    }
+
+    if want(&args, "--e5") {
+        println!("== E5 (§7): write-invalidate vs write-broadcast recovery demands ==\n");
+        println!(
+            "{:<18} {:>7} {:>7} {:>7} {:>14}",
+            "coherence", "lost", "redo", "undo", "traffic (msgs)"
+        );
+        for p in x::e5_coherence_comparison(mix_txns) {
+            println!(
+                "{:<18} {:>7} {:>7} {:>7} {:>14}",
+                p.coherence, p.lost_lines, p.redo_applied, p.undo_applied, p.coherence_traffic
+            );
+        }
+        println!();
+    }
+
+    if want(&args, "--e6") {
+        println!("== E6 (§6): update-protocol cost, line locks vs semaphores ==\n");
+        println!(
+            "{:<14} {:>12} {:>14} {:>18}",
+            "primitive", "cyc/txn", "µs per update", "crit. section µs"
+        );
+        for p in x::e6_update_protocol(mix_txns) {
+            println!(
+                "{:<14} {:>12} {:>14.2} {:>18.2}",
+                p.primitive, p.cycles_per_txn, p.us_per_update, p.critical_section_us
+            );
+        }
+        println!();
+    }
+
+    if want(&args, "--e7") {
+        println!("== E7 (§4.2.2): lock-space recovery after a node crash ==\n");
+        println!(
+            "{:<28} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "LCB layout", "lines", "released", "rebuilt", "restored", "promoted"
+        );
+        for p in x::e7_lock_recovery(4) {
+            println!(
+                "{:<28} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                p.layout,
+                p.lines_reinstalled,
+                p.crashed_entries_released,
+                p.lcbs_reconstructed,
+                p.survivor_entries_restored,
+                p.promotions
+            );
+        }
+        println!();
+    }
+
+    if want(&args, "--e9") {
+        println!("== E9 (§3.1 ablation): record co-location per cache line ==\n");
+        println!(
+            "{:>9} {:>9} {:>12} {:>7} {:>13} {:>11}",
+            "recs/line", "rec size", "ww traffic", "lost", "recovery ops", "B/rec slot"
+        );
+        for p in x::e9_colocation(mix_txns) {
+            println!(
+                "{:>9} {:>9} {:>12} {:>7} {:>13} {:>11}",
+                p.records_per_line,
+                p.rec_data_size,
+                p.coherence_traffic,
+                p.lost_lines,
+                p.recovery_work,
+                p.bytes_per_record_slot
+            );
+        }
+        println!();
+    }
+
+    if want(&args, "--e8") {
+        println!("== E8 (§4.2.1): B-tree recovery ==\n");
+        let p = x::e8_btree_recovery(mix_txns);
+        println!("committed index ops:        {}", p.committed_ops);
+        println!("structural early commits:   {}", p.structural_changes);
+        println!("tree pages reinstalled:     {}", p.pages_reinstalled);
+        println!("index redo ops applied:     {}", p.index_redo_applied);
+        println!("index undo ops applied:     {}", p.index_undo_applied);
+        println!();
+    }
+
+    if want(&args, "--e10") {
+        println!("== E10 (§9 extension): parallel transactions widen the blast radius ==");
+        println!("   (8 nodes, 2 active txns homed per node, crash one node)\n");
+        println!("{:>5} {:>8} {:>9} {:>14}", "fan", "active", "aborted", "kill fraction");
+        for p in x::e10_parallel_blast_radius(2) {
+            println!(
+                "{:>5} {:>8} {:>9} {:>13.0}%",
+                p.fan,
+                p.active,
+                p.aborted,
+                p.kill_fraction * 100.0
+            );
+        }
+        println!();
+    }
+
+    println!("done.");
+}

@@ -1,0 +1,10 @@
+//! # smdb-bench — experiment harness
+//!
+//! One function per experiment in `DESIGN.md` §3. Each returns structured
+//! data; the `report` binary renders the paper-mapped tables and the
+//! Criterion benches in `benches/` wrap the same functions. See
+//! `EXPERIMENTS.md` for paper-vs-measured records.
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,459 @@
+//! Coherent, WAL-respecting page I/O for tree pages.
+//!
+//! [`TreeCtx`] bundles the mutable machinery every tree operation needs:
+//! the coherent machine, the stable database, the log set, the shared
+//! (page, LSN) WAL table, and the LBM policy. All byte traffic between the
+//! tree algorithms and the simulated memory flows through here, which is
+//! where the Logging-Before-Migration enforcement happens:
+//!
+//! * under [`LbmMode::StableTriggered`], every access first consults the
+//!   machine's pending-trigger query; if the touched line is *active* (an
+//!   unforced uncommitted update by another node), that node's log is
+//!   forced before the access proceeds — the §5.2 trigger;
+//! * writes by a `StableTriggered` engine mark the written lines active;
+//! * `StableEager` forcing and `Volatile` no-forcing are driven by the
+//!   callers through [`TreeCtx::after_update`].
+
+use smdb_sim::{LineId, Machine, MemError, NodeId};
+use smdb_storage::{PageGeometry, PageId, StableDb, PAGE_LSN_OFFSET, PAGE_LSN_SIZE};
+use smdb_wal::{LbmMode, LogSet, Lsn, PageLsnTable};
+
+/// Mutable context threaded through every tree operation.
+pub struct TreeCtx<'a> {
+    /// The coherent shared-memory machine.
+    pub m: &'a mut Machine,
+    /// The stable database (tree pages are paged against it).
+    pub db: &'a mut StableDb,
+    /// All per-node logs.
+    pub logs: &'a mut LogSet,
+    /// The shared (page, LSN) WAL-enforcement table (§6).
+    pub plt: &'a mut PageLsnTable,
+    /// The LBM policy in force.
+    pub lbm: LbmMode,
+    /// Machine-wide global update sequence counter (stamped into data log
+    /// records so restart recovery can totally order redo candidates
+    /// across the per-node logs).
+    pub gsn: &'a mut u64,
+    /// Count of log forces fired by the §5.2 coherence trigger during this
+    /// context's lifetime (feeds the Table 1 "higher frequency of log
+    /// forces" accounting).
+    pub trigger_forces: u64,
+}
+
+impl<'a> TreeCtx<'a> {
+    /// Bundle the machinery.
+    pub fn new(
+        m: &'a mut Machine,
+        db: &'a mut StableDb,
+        logs: &'a mut LogSet,
+        plt: &'a mut PageLsnTable,
+        lbm: LbmMode,
+        gsn: &'a mut u64,
+    ) -> Self {
+        TreeCtx { m, db, logs, plt, lbm, gsn, trigger_forces: 0 }
+    }
+
+    /// Draw the next global update sequence number.
+    pub fn next_gsn(&mut self) -> u64 {
+        *self.gsn += 1;
+        *self.gsn
+    }
+
+    /// Page geometry of the stable database.
+    pub fn geometry(&self) -> PageGeometry {
+        self.db.geometry()
+    }
+
+    /// The cache line holding byte `offset` of `page`.
+    pub fn line_of(&self, page: PageId, offset: usize) -> LineId {
+        let g = self.geometry();
+        LineId(g.line_addr(page, offset / g.line_size))
+    }
+
+    /// Enforce the §5.2 trigger for an impending access: if the line is
+    /// active with another node's unforced update, force that node's log
+    /// and clear the bit. No-op under policies that don't use triggers
+    /// (volatile logging needs no force; eager forcing never leaves active
+    /// lines behind).
+    pub fn enforce_trigger(&mut self, node: NodeId, line: LineId, is_write: bool) {
+        if !self.lbm.uses_triggers() {
+            return;
+        }
+        if let Some(ev) = self.m.pending_triggers(node, line, is_write) {
+            if self.logs.log_mut(ev.owner).force_all() {
+                let cost = self.m.config().cost.log_force;
+                self.m.advance(ev.owner, cost);
+                self.trigger_forces += 1;
+            }
+            self.m.clear_active(ev.line);
+        }
+    }
+
+    /// Policy hook to run after an update's log record has been appended:
+    /// eager forcing under `StableEager`, active-bit marking under
+    /// `StableTriggered`, nothing under `Volatile`.
+    pub fn after_update(&mut self, node: NodeId, lines: &[LineId]) {
+        match self.lbm {
+            LbmMode::Volatile => {}
+            LbmMode::StableEager => {
+                self.force_node_log(node);
+            }
+            LbmMode::StableTriggered => {
+                // Under write-broadcast, a write to a *shared* line has
+                // already replicated the uncommitted bytes into other
+                // caches — the "migration" happened at the write itself,
+                // so the log must be forced now. Only exclusively-held
+                // lines can defer to the coherence trigger.
+                let mut forced = false;
+                for &l in lines {
+                    if self.m.holders(l).len() > 1 {
+                        if !forced && self.logs.log_mut(node).force_all() {
+                            let cost = self.m.config().cost.log_force;
+                            self.m.advance(node, cost);
+                            self.trigger_forces += 1;
+                        }
+                        forced = true;
+                    } else {
+                        self.m.set_active(l, node);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Force `node`'s entire log, charging the force latency if a physical
+    /// force happened.
+    pub fn force_node_log(&mut self, node: NodeId) {
+        if self.logs.log_mut(node).force_all() {
+            let cost = self.m.config().cost.log_force;
+            self.m.advance(node, cost);
+        }
+    }
+
+    /// Ensure every line of `page` is resident in some cache, faulting the
+    /// page in from the stable database if necessary. Errors with
+    /// [`MemError::LineLost`] (or a stall) if the page's lines were
+    /// destroyed by a crash and not yet recovered.
+    pub fn ensure_resident(&mut self, node: NodeId, page: PageId) -> Result<(), MemError> {
+        let g = self.geometry();
+        let first = LineId(g.line_addr(page, 0));
+        if self.m.is_lost(first) {
+            // Surface the loss exactly like a direct access would.
+            let mut probe = [0u8; 1];
+            return self.m.read_into(node, first, 0, &mut probe).map(|_| ());
+        }
+        if self.m.line_exists(first) {
+            return Ok(());
+        }
+        // Fault the page in from the stable database.
+        let img = self
+            .db
+            .read_page(page)
+            .unwrap_or_else(|| panic!("tree page {page} missing from stable db"))
+            .to_vec();
+        let cost = self.m.config().cost.disk_io;
+        self.m.advance(node, cost);
+        for idx in 0..g.lines_per_page {
+            let line = LineId(g.line_addr(page, idx));
+            let off = g.line_offset(idx);
+            self.m.install_line(node, line, &img[off..off + g.line_size])?;
+        }
+        Ok(())
+    }
+
+    /// Read `buf.len()` bytes at `offset` within `page`, coherently, on
+    /// behalf of `node`.
+    pub fn read(&mut self, node: NodeId, page: PageId, offset: usize, buf: &mut [u8]) -> Result<(), MemError> {
+        self.ensure_resident(node, page)?;
+        let g = self.geometry();
+        let mut done = 0;
+        while done < buf.len() {
+            let abs = offset + done;
+            let idx = abs / g.line_size;
+            let within = abs % g.line_size;
+            let chunk = (g.line_size - within).min(buf.len() - done);
+            let line = LineId(g.line_addr(page, idx));
+            self.enforce_trigger(node, line, false);
+            self.m.read_into(node, line, within, &mut buf[done..done + chunk])?;
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Read the full page image coherently.
+    pub fn read_page_image(&mut self, node: NodeId, page: PageId) -> Result<Vec<u8>, MemError> {
+        let mut buf = vec![0u8; self.geometry().page_size()];
+        self.read(node, page, 0, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Write `bytes` at `offset` within `page`, coherently, on behalf of
+    /// `node`. Returns the lines touched (for active-bit marking).
+    pub fn write(&mut self, node: NodeId, page: PageId, offset: usize, bytes: &[u8]) -> Result<Vec<LineId>, MemError> {
+        self.ensure_resident(node, page)?;
+        let g = self.geometry();
+        let mut touched = Vec::new();
+        let mut done = 0;
+        while done < bytes.len() {
+            let abs = offset + done;
+            let idx = abs / g.line_size;
+            let within = abs % g.line_size;
+            let chunk = (g.line_size - within).min(bytes.len() - done);
+            let line = LineId(g.line_addr(page, idx));
+            self.enforce_trigger(node, line, true);
+            self.m.write(node, line, within, &bytes[done..done + chunk])?;
+            touched.push(line);
+            done += chunk;
+        }
+        Ok(touched)
+    }
+
+    /// Record an update to `page` by `node` at `lsn`: writes the Page-LSN
+    /// field (which lives in the page's first cache line — §6) and notes
+    /// the (page, node, lsn) entry in the WAL table. Returns the lines
+    /// touched by the Page-LSN write (for active-bit marking).
+    pub fn note_update(&mut self, node: NodeId, page: PageId, lsn: Lsn) -> Result<Vec<LineId>, MemError> {
+        let touched = self.write(node, page, PAGE_LSN_OFFSET, &lsn.0.to_le_bytes())?;
+        self.plt.note_update(page, node, lsn);
+        Ok(touched)
+    }
+
+    /// Current Page-LSN of the cached page.
+    pub fn page_lsn(&mut self, node: NodeId, page: PageId) -> Result<Lsn, MemError> {
+        let mut buf = [0u8; PAGE_LSN_SIZE];
+        self.read(node, page, PAGE_LSN_OFFSET, &mut buf)?;
+        Ok(Lsn(u64::from_le_bytes(buf)))
+    }
+
+    /// Flush `page` to the stable database, enforcing the WAL rule first:
+    /// every node that updated the page since its last flush must have
+    /// forced its log up to its last update LSN (§6). Returns the number of
+    /// log forces this flush triggered.
+    pub fn flush_page(&mut self, node: NodeId, page: PageId) -> Result<u64, MemError> {
+        let mut forces = 0;
+        for (n, lsn) in self.plt.flush_requirements(page) {
+            if !self.logs.log(n).is_stable(lsn) && self.logs.log_mut(n).force_to(lsn) {
+                let cost = self.m.config().cost.log_force;
+                self.m.advance(n, cost);
+                forces += 1;
+            }
+        }
+        let img = self.read_page_image(node, page)?;
+        self.db.write_page(page, &img);
+        let cost = self.m.config().cost.disk_io;
+        self.m.advance(node, cost);
+        self.plt.page_flushed(page);
+        // The flushed lines are no longer "active": their updates are
+        // either durable or covered by forced undo records.
+        let g = self.geometry();
+        for idx in 0..g.lines_per_page {
+            self.m.clear_active(LineId(g.line_addr(page, idx)));
+        }
+        Ok(forces)
+    }
+
+    /// Discard every cached copy of the page's lines (after a flush, or
+    /// during Redo-All's cache purge). The stable image must already be
+    /// authoritative.
+    pub fn evict_page(&mut self, page: PageId) {
+        let g = self.geometry();
+        for idx in 0..g.lines_per_page {
+            let line = LineId(g.line_addr(page, idx));
+            for holder in self.m.holders(line) {
+                let _ = self.m.discard(holder, line);
+            }
+        }
+    }
+
+    /// (Re)install every line of `page` from the stable image, on
+    /// `node`, overwriting lost lines. Recovery-side primitive.
+    pub fn install_page_from_stable(&mut self, node: NodeId, page: PageId) -> Result<(), MemError> {
+        let img = self
+            .db
+            .read_page(page)
+            .unwrap_or_else(|| panic!("tree page {page} missing from stable db"))
+            .to_vec();
+        let cost = self.m.config().cost.disk_io;
+        self.m.advance(node, cost);
+        let g = self.geometry();
+        for idx in 0..g.lines_per_page {
+            let line = LineId(g.line_addr(page, idx));
+            let off = g.line_offset(idx);
+            self.m.install_line(node, line, &img[off..off + g.line_size])?;
+        }
+        Ok(())
+    }
+
+    /// Create a fresh zeroed page: stable zero image plus resident zero
+    /// lines on `node`. Used for structural allocations (the stable write
+    /// is part of the early commit).
+    pub fn create_zero_page(&mut self, node: NodeId, page: PageId) -> Result<(), MemError> {
+        let g = self.geometry();
+        let zeros = vec![0u8; g.page_size()];
+        self.db.write_page(page, &zeros);
+        let cost = self.m.config().cost.disk_io;
+        self.m.advance(node, cost);
+        for idx in 0..g.lines_per_page {
+            let line = LineId(g.line_addr(page, idx));
+            self.m.install_line(node, line, &zeros[..g.line_size])?;
+        }
+        Ok(())
+    }
+
+    /// Whether any line of `page` was destroyed by a crash and not yet
+    /// recovered.
+    pub fn page_has_lost_lines(&self, page: PageId) -> bool {
+        let g = self.geometry();
+        (0..g.lines_per_page).any(|idx| self.m.is_lost(LineId(g.line_addr(page, idx))))
+    }
+
+    /// Whether any line of `page` is cached on a surviving node.
+    pub fn page_cached_anywhere(&self, page: PageId) -> bool {
+        let g = self.geometry();
+        (0..g.lines_per_page).any(|idx| self.m.probe_cached(LineId(g.line_addr(page, idx))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_sim::SimConfig;
+    use smdb_storage::PageGeometry;
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+    const P: PageId = PageId(2);
+
+    struct Owned {
+        m: Machine,
+        db: StableDb,
+        logs: LogSet,
+        plt: PageLsnTable,
+        gsn: u64,
+    }
+
+    fn setup(lbm: LbmMode) -> Owned {
+        let m = Machine::new(SimConfig::new(2));
+        let mut db = StableDb::new(PageGeometry::new(128, 4));
+        db.format(8);
+        let _ = lbm;
+        Owned { m, db, logs: LogSet::new(2), plt: PageLsnTable::new(), gsn: 0 }
+    }
+
+    fn ctx(o: &mut Owned, lbm: LbmMode) -> TreeCtx<'_> {
+        TreeCtx::new(&mut o.m, &mut o.db, &mut o.logs, &mut o.plt, lbm, &mut o.gsn)
+    }
+
+    #[test]
+    fn fault_in_read_write_roundtrip() {
+        let mut o = setup(LbmMode::Volatile);
+        let mut c = ctx(&mut o, LbmMode::Volatile);
+        c.write(N0, P, 100, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        c.read(N1, P, 100, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        assert_eq!(o.db.stats().page_reads, 1, "one fault-in read");
+    }
+
+    #[test]
+    fn cross_line_write_spans_lines() {
+        let mut o = setup(LbmMode::Volatile);
+        let mut c = ctx(&mut o, LbmMode::Volatile);
+        // Line size 128: a write at offset 120 of length 16 spans lines 0,1.
+        let touched = c.write(N0, P, 120, &[7u8; 16]).unwrap();
+        assert_eq!(touched.len(), 2);
+        let mut buf = [0u8; 16];
+        c.read(N0, P, 120, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 16]);
+    }
+
+    #[test]
+    fn flush_respects_wal_rule() {
+        let mut o = setup(LbmMode::Volatile);
+        let mut c = ctx(&mut o, LbmMode::Volatile);
+        c.write(N0, P, 50, &[1]).unwrap();
+        let lsn = c.logs.append(N0, smdb_wal::LogPayload::Checkpoint);
+        c.note_update(N0, P, lsn).unwrap();
+        assert!(!c.logs.log(N0).is_stable(lsn));
+        let forces = c.flush_page(N0, P).unwrap();
+        assert_eq!(forces, 1, "flush forced the updater's log");
+        assert!(c.logs.log(N0).is_stable(lsn));
+        // The stable image now carries the data and the Page-LSN.
+        let img = c.db.peek_page(P).unwrap();
+        assert_eq!(img[50], 1);
+        assert_eq!(u64::from_le_bytes(img[0..8].try_into().unwrap()), lsn.0);
+    }
+
+    #[test]
+    fn stable_triggered_marks_and_forces() {
+        let mut o = setup(LbmMode::StableTriggered);
+        let mut c = ctx(&mut o, LbmMode::StableTriggered);
+        // n0 updates; the engine appends a log record and marks active.
+        let touched = c.write(N0, P, 10, &[9]).unwrap();
+        c.logs.append(N0, smdb_wal::LogPayload::Checkpoint);
+        c.after_update(N0, &touched);
+        assert_eq!(c.m.active_owner(touched[0]), Some(N0));
+        assert_eq!(c.logs.log(N0).stable_lsn(), Lsn::ZERO);
+        // n1 reads the same line: the trigger forces n0's log first.
+        let mut buf = [0u8; 1];
+        c.read(N1, P, 10, &mut buf).unwrap();
+        assert_eq!(c.logs.log(N0).stable_lsn(), Lsn(1), "downgrade forced the log");
+        assert_eq!(c.m.active_owner(touched[0]), None);
+    }
+
+    #[test]
+    fn eager_policy_forces_every_update() {
+        let mut o = setup(LbmMode::StableEager);
+        let mut c = ctx(&mut o, LbmMode::StableEager);
+        let touched = c.write(N0, P, 10, &[9]).unwrap();
+        c.logs.append(N0, smdb_wal::LogPayload::Checkpoint);
+        c.after_update(N0, &touched);
+        assert_eq!(c.logs.log(N0).stats().forces, 1);
+    }
+
+    #[test]
+    fn volatile_policy_never_forces() {
+        let mut o = setup(LbmMode::Volatile);
+        let mut c = ctx(&mut o, LbmMode::Volatile);
+        let touched = c.write(N0, P, 10, &[9]).unwrap();
+        c.logs.append(N0, smdb_wal::LogPayload::Checkpoint);
+        c.after_update(N0, &touched);
+        let mut buf = [0u8; 1];
+        c.read(N1, P, 10, &mut buf).unwrap();
+        assert_eq!(c.logs.log(N0).stats().forces, 0);
+    }
+
+    #[test]
+    fn evict_then_refetch_from_stable() {
+        let mut o = setup(LbmMode::Volatile);
+        let mut c = ctx(&mut o, LbmMode::Volatile);
+        c.write(N0, P, 40, &[3]).unwrap();
+        c.flush_page(N0, P).unwrap();
+        c.evict_page(P);
+        assert!(!c.page_cached_anywhere(P));
+        let mut buf = [0u8; 1];
+        c.read(N1, P, 40, &mut buf).unwrap();
+        assert_eq!(buf[0], 3);
+    }
+
+    #[test]
+    fn lost_page_detected_and_reinstallable() {
+        let mut o = setup(LbmMode::Volatile);
+        {
+            let mut c = ctx(&mut o, LbmMode::Volatile);
+            c.write(N0, P, 40, &[3]).unwrap();
+            c.flush_page(N0, P).unwrap();
+            c.write(N0, P, 40, &[4]).unwrap(); // dirty again, only on n0
+        }
+        o.m.crash(&[N0]);
+        {
+            let mut c = ctx(&mut o, LbmMode::Volatile);
+            assert!(c.page_has_lost_lines(P));
+            c.install_page_from_stable(N1, P).unwrap();
+            assert!(!c.page_has_lost_lines(P));
+            let mut buf = [0u8; 1];
+            c.read(N1, P, 40, &mut buf).unwrap();
+            assert_eq!(buf[0], 3, "reinstalled from the last flushed image");
+        }
+    }
+}

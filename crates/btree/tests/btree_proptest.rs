@@ -1,0 +1,151 @@
+//! Model-based property tests: the shared-memory B+-tree against a
+//! `BTreeMap` reference model, under random multi-node op sequences with
+//! commit/abort processing, plus structural invariants after every
+//! operation batch.
+
+use proptest::prelude::*;
+use smdb_btree::{BTree, BtreeError, TreeCtx, NULL_TAG, VAL_SIZE};
+use smdb_sim::{Machine, NodeId, SimConfig, TxnId};
+use smdb_storage::{PageGeometry, StableDb};
+use smdb_wal::{LbmMode, LogSet, PageLsnTable};
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Insert key (value derived from key); committed immediately.
+    InsertCommit { node: u16, key: u64 },
+    /// Insert then roll back.
+    InsertAbort { node: u16, key: u64 },
+    /// Delete an existing key (if any); committed immediately.
+    DeleteCommit { node: u16, key_idx: usize },
+    /// Delete an existing key then roll back.
+    DeleteAbort { node: u16, key_idx: usize },
+    /// Point lookup of an arbitrary key.
+    Lookup { node: u16, key: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = 0u64..200;
+    prop_oneof![
+        4 => (0u16..3, key.clone()).prop_map(|(node, key)| Op::InsertCommit { node, key }),
+        2 => (0u16..3, key.clone()).prop_map(|(node, key)| Op::InsertAbort { node, key }),
+        2 => (0u16..3, any::<prop::sample::Index>())
+            .prop_map(|(node, i)| Op::DeleteCommit { node, key_idx: i.index(1 << 16) }),
+        1 => (0u16..3, any::<prop::sample::Index>())
+            .prop_map(|(node, i)| Op::DeleteAbort { node, key_idx: i.index(1 << 16) }),
+        2 => (0u16..3, key).prop_map(|(node, key)| Op::Lookup { node, key }),
+    ]
+}
+
+fn val_for(key: u64) -> [u8; VAL_SIZE] {
+    (key * 31 + 7).to_le_bytes()
+}
+
+struct Owned {
+    m: Machine,
+    db: StableDb,
+    logs: LogSet,
+    plt: PageLsnTable,
+    gsn: u64,
+}
+
+macro_rules! ctx {
+    ($o:expr) => {
+        TreeCtx::new(&mut $o.m, &mut $o.db, &mut $o.logs, &mut $o.plt, LbmMode::Volatile, &mut $o.gsn)
+    };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tree_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let mut o = Owned {
+            m: Machine::new(SimConfig::new(3)),
+            db: {
+                let mut db = StableDb::new(PageGeometry::new(128, 8));
+                db.format(64);
+                db
+            },
+            logs: LogSet::new(3),
+            plt: PageLsnTable::new(),
+            gsn: 0,
+        };
+        let mut c = ctx!(o);
+        let mut tree = BTree::create(&mut c, NodeId(0), 10, 50).expect("create");
+        let mut model: BTreeMap<u64, [u8; VAL_SIZE]> = BTreeMap::new();
+        let mut seq = 0u64;
+        for op in ops {
+            seq += 1;
+            match op {
+                Op::InsertCommit { node, key } => {
+                    let txn = TxnId::new(NodeId(node), seq);
+                    match tree.insert(&mut c, txn, key, val_for(key)) {
+                        Ok(()) => {
+                            prop_assert!(!model.contains_key(&key), "insert succeeded on live key");
+                            tree.commit_key(&mut c, txn, key).expect("commit");
+                            model.insert(key, val_for(key));
+                        }
+                        Err(BtreeError::DuplicateKey { .. }) => {
+                            prop_assert!(model.contains_key(&key), "spurious duplicate");
+                        }
+                        Err(BtreeError::TreeFull) => return Ok(()),
+                        Err(e) => return Err(TestCaseError::fail(format!("insert: {e}"))),
+                    }
+                }
+                Op::InsertAbort { node, key } => {
+                    let txn = TxnId::new(NodeId(node), seq);
+                    match tree.insert(&mut c, txn, key, val_for(key)) {
+                        Ok(()) => {
+                            tree.undo_insert(&mut c, NodeId(node), key).expect("undo");
+                            // Model unchanged.
+                        }
+                        Err(BtreeError::DuplicateKey { .. }) => {}
+                        Err(BtreeError::TreeFull) => return Ok(()),
+                        Err(e) => return Err(TestCaseError::fail(format!("insert: {e}"))),
+                    }
+                }
+                Op::DeleteCommit { node, key_idx } => {
+                    let Some(&key) = model.keys().nth(key_idx % model.len().max(1)) else {
+                        continue;
+                    };
+                    let txn = TxnId::new(NodeId(node), seq);
+                    tree.delete(&mut c, txn, key).expect("delete of live key");
+                    tree.commit_key(&mut c, txn, key).expect("commit");
+                    model.remove(&key);
+                }
+                Op::DeleteAbort { node, key_idx } => {
+                    let Some(&key) = model.keys().nth(key_idx % model.len().max(1)) else {
+                        continue;
+                    };
+                    let txn = TxnId::new(NodeId(node), seq);
+                    tree.delete(&mut c, txn, key).expect("delete of live key");
+                    tree.undo_delete(&mut c, NodeId(node), key).expect("undo");
+                    // Model unchanged; the entry must be live again with a
+                    // clean tag.
+                    let hit = tree.search(&mut c, NodeId(node), key).expect("search").expect("live");
+                    prop_assert_eq!(hit.entry.tag, NULL_TAG);
+                }
+                Op::Lookup { node, key } => {
+                    let hit = tree.search(&mut c, NodeId(node), key).expect("search");
+                    match (hit, model.get(&key)) {
+                        (Some(h), Some(v)) => prop_assert_eq!(&h.entry.value, v),
+                        (None, None) => {}
+                        (got, want) => {
+                            return Err(TestCaseError::fail(format!(
+                                "lookup {key}: got {:?}, want {:?}",
+                                got.map(|h| h.entry.value),
+                                want
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        // Final full comparison + structural invariants.
+        let live: BTreeMap<u64, [u8; VAL_SIZE]> =
+            tree.scan_live(&mut c, NodeId(0)).expect("scan").into_iter().collect();
+        prop_assert_eq!(live, model);
+        tree.check_invariants(&mut c, NodeId(0)).expect("invariants");
+    }
+}

@@ -1,0 +1,889 @@
+//! The shared-memory database engine: normal (failure-free) operation.
+//!
+//! The update protocol follows §6 of the paper: after the record lock is
+//! obtained, line locks are acquired on (a) the cache line containing the
+//! Page-LSN of the page (by convention its first line) and (b) the cache
+//! line containing the record; the record and Page-LSN are updated; the
+//! log record is written; the line locks are released. Holding the line
+//! locks across the update and the log write simultaneously enforces
+//! **Volatile LBM** (the line cannot migrate before the log record exists)
+//! and the **ordered update logging** rule (log order matches update
+//! order).
+
+use crate::config::{DbConfig, ProtocolKind};
+use crate::error::DbError;
+use crate::oracle::ShadowDb;
+use crate::record::{RecordLayout, NULL_TAG, TAG_SIZE};
+use crate::stats::EngineStats;
+use crate::txn::{TxnOp, TxnState, TxnStatus};
+use bytes::Bytes;
+use smdb_btree::{BTree, TreeCtx, VAL_SIZE};
+use smdb_lock::{LockManager, LockMode, LockOutcome, LockTable};
+use smdb_sim::{LineId, Machine, NodeId, SimConfig, TxnId};
+use smdb_storage::{PageGeometry, PageId, StableDb};
+use smdb_wal::{
+    CheckpointMeta, CheckpointStore, LbmMode, LogPayload, LogSet, Lsn, PageLsnTable, RecId,
+};
+use std::collections::BTreeMap;
+
+/// Slack between the page-backed line address range and the lock table.
+const LOCK_TABLE_GAP: u64 = 4096;
+
+/// The shared-memory multi-node database engine.
+///
+/// See the crate-level docs for an overview and a usage example.
+pub struct SmDb {
+    pub(crate) cfg: DbConfig,
+    pub(crate) m: Machine,
+    pub(crate) sdb: StableDb,
+    pub(crate) logs: LogSet,
+    pub(crate) plt: PageLsnTable,
+    pub(crate) ckpt: CheckpointStore,
+    pub(crate) locks: LockManager,
+    pub(crate) tree: Option<BTree>,
+    pub(crate) txns: BTreeMap<TxnId, TxnState>,
+    pub(crate) seqs: Vec<u64>,
+    pub(crate) layout: RecordLayout,
+    pub(crate) heap_pages: u32,
+    pub(crate) gsn: u64,
+    pub(crate) stats: EngineStats,
+    pub(crate) shadow: ShadowDb,
+    /// Lock names on which each transaction has a queued (waiting)
+    /// request, so aborts can withdraw them (no-wait policy).
+    pub(crate) pending_waits: BTreeMap<TxnId, Vec<u64>>,
+}
+
+/// Construct a [`TreeCtx`] over the engine's split-borrowed fields.
+macro_rules! engine_ctx {
+    ($self:expr) => {
+        TreeCtx::new(
+            &mut $self.m,
+            &mut $self.sdb,
+            &mut $self.logs,
+            &mut $self.plt,
+            $self.cfg.protocol.lbm_mode(),
+            &mut $self.gsn,
+        )
+    };
+}
+pub(crate) use engine_ctx;
+
+impl SmDb {
+    /// Build and initialise an engine from a configuration: formats the
+    /// stable database, creates the shared-memory lock table, and (if
+    /// configured) the B+-tree index.
+    pub fn new(cfg: DbConfig) -> Self {
+        let geometry = PageGeometry::new(cfg.line_size, cfg.lines_per_page);
+        let layout = RecordLayout::new(geometry, cfg.rec_data_size);
+        let heap_pages = layout.pages_for(cfg.records);
+        let total_pages = heap_pages + if cfg.with_index { cfg.index_pages } else { 0 };
+        let sim_cfg = SimConfig {
+            nodes: cfg.nodes,
+            line_size: cfg.line_size,
+            coherence: cfg.coherence,
+            cost: cfg.cost.clone(),
+            stall_on_lost: cfg.stall_on_lost,
+        };
+        let mut m = Machine::new(sim_cfg);
+        let mut sdb = StableDb::new(geometry);
+        sdb.format(total_pages);
+        // Pre-set every record's undo tag to null in the stable images (a
+        // zero tag would read as "tagged by node 0").
+        for p in 0..heap_pages {
+            for slot in 0..layout.records_per_page() as u16 {
+                let off = layout.page_offset(slot);
+                sdb.patch(PageId(p), off, &NULL_TAG.to_le_bytes());
+            }
+        }
+        let mut logs = LogSet::new(cfg.nodes);
+        let mut plt = PageLsnTable::new();
+        let lock_base =
+            total_pages as u64 * cfg.lines_per_page as u64 + LOCK_TABLE_GAP;
+        let table = LockTable::create(&mut m, NodeId(0), lock_base, cfg.lock_buckets, cfg.lcb_geometry)
+            .expect("lock table creation on a fresh machine cannot fail");
+        let locks = LockManager::new(table);
+        let mut gsn = 0u64;
+        let tree = if cfg.with_index {
+            let mut ctx = TreeCtx::new(&mut m, &mut sdb, &mut logs, &mut plt, cfg.protocol.lbm_mode(), &mut gsn);
+            Some(
+                BTree::create(&mut ctx, NodeId(0), heap_pages, cfg.index_pages)
+                    .expect("index creation on a fresh machine cannot fail"),
+            )
+        } else {
+            None
+        };
+        let seqs = vec![0u64; cfg.nodes as usize];
+        let ckpt = CheckpointStore::new(cfg.nodes);
+        SmDb {
+            cfg,
+            m,
+            sdb,
+            logs,
+            plt,
+            ckpt,
+            locks,
+            tree,
+            txns: BTreeMap::new(),
+            seqs,
+            layout,
+            heap_pages,
+            gsn,
+            stats: EngineStats::default(),
+            shadow: ShadowDb::new(),
+            pending_waits: BTreeMap::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The engine configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.cfg
+    }
+
+    /// The recovery protocol in force.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.cfg.protocol
+    }
+
+    /// The simulated machine (read-only).
+    pub fn machine(&self) -> &Machine {
+        &self.m
+    }
+
+    /// Mutable machine access for trace control (enable/drain the
+    /// coherence event trace). Not for issuing memory operations — the
+    /// engine owns the access protocols.
+    pub fn machine_mut_for_trace(&mut self) -> &mut Machine {
+        &mut self.m
+    }
+
+    /// Engine counters. The `structural_early_commits` field is derived
+    /// on the fly from the tree and lock-manager counters.
+    pub fn stats(&self) -> EngineStats {
+        let mut s = self.stats.clone();
+        let t = self.tree_stats();
+        s.structural_early_commits = t.splits + t.root_grows + self.locks.stats().overflow_allocs;
+        s
+    }
+
+    /// Lock-manager counters.
+    pub fn lock_stats(&self) -> &smdb_lock::LockStats {
+        self.locks.stats()
+    }
+
+    /// B-tree counters (zeroed struct if no index).
+    pub fn tree_stats(&self) -> smdb_btree::BtreeStats {
+        self.tree.as_ref().map(|t| t.stats().clone()).unwrap_or_default()
+    }
+
+    /// The per-node logs (read-only).
+    pub fn logs(&self) -> &LogSet {
+        &self.logs
+    }
+
+    /// Record layout.
+    pub fn record_layout(&self) -> &RecordLayout {
+        &self.layout
+    }
+
+    /// Number of heap record slots configured.
+    pub fn record_count(&self) -> u32 {
+        self.cfg.records
+    }
+
+    /// Number of heap pages.
+    pub fn heap_pages(&self) -> u32 {
+        self.heap_pages
+    }
+
+    /// Total simulated log forces so far (all causes).
+    pub fn total_log_forces(&self) -> u64 {
+        self.logs.total_forces()
+    }
+
+    /// Machine-wide simulated makespan, cycles.
+    pub fn max_clock(&self) -> u64 {
+        self.m.max_clock()
+    }
+
+    /// The built-in shadow model (for the IFA oracle).
+    pub fn shadow(&self) -> &ShadowDb {
+        &self.shadow
+    }
+
+    /// Transactions table (read-only view).
+    pub fn txn(&self, txn: TxnId) -> Option<&TxnState> {
+        self.txns.get(&txn)
+    }
+
+    /// Currently active transactions, optionally filtered by node.
+    pub fn active_txns(&self, node: Option<NodeId>) -> Vec<TxnId> {
+        self.txns
+            .values()
+            .filter(|t| t.is_active() && node.map(|n| t.id.node() == n).unwrap_or(true))
+            .map(|t| t.id)
+            .collect()
+    }
+
+    pub(crate) fn lock_name_for_rec(slot: u64) -> u64 {
+        2 + slot * 2
+    }
+
+    pub(crate) fn lock_name_for_key(key: u64) -> u64 {
+        3u64.wrapping_add(key.wrapping_mul(2))
+    }
+
+    /// Whether a line address belongs to the record heap.
+    pub(crate) fn is_heap_line(&self, line: LineId) -> bool {
+        line.0 < self.heap_pages as u64 * self.cfg.lines_per_page as u64
+    }
+
+    fn check_active(&self, txn: TxnId) -> Result<(), DbError> {
+        match self.txns.get(&txn) {
+            Some(t) if t.is_active() => Ok(()),
+            _ => Err(DbError::TxnNotActive { txn }),
+        }
+    }
+
+    fn check_slot(&self, slot: u64) -> Result<RecId, DbError> {
+        if slot >= self.cfg.records as u64 {
+            return Err(DbError::NoSuchRecord { slot });
+        }
+        Ok(self.layout.rec_of_global(slot))
+    }
+
+    /// Acquire a record/key lock for `txn` under the no-wait policy,
+    /// acting on the home node.
+    fn lock(&mut self, txn: TxnId, name: u64, mode: LockMode) -> Result<(), DbError> {
+        self.lock_from(txn, name, mode, txn.node())
+    }
+
+    /// Acquire a record/key lock with the lock-table work on `acting`.
+    fn lock_from(&mut self, txn: TxnId, name: u64, mode: LockMode, acting: NodeId) -> Result<(), DbError> {
+        match self.locks.acquire_from(&mut self.m, &mut self.logs, txn, name, mode, acting)? {
+            LockOutcome::Granted | LockOutcome::AlreadyHeld => Ok(()),
+            LockOutcome::Waiting => {
+                self.stats.would_blocks += 1;
+                self.pending_waits.entry(txn).or_default().push(name);
+                Err(DbError::WouldBlock { txn, lock: name })
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction API
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction on `node`.
+    pub fn begin(&mut self, node: NodeId) -> Result<TxnId, DbError> {
+        if self.m.is_crashed(node) {
+            return Err(DbError::NodeDown { node });
+        }
+        self.seqs[node.0 as usize] += 1;
+        let txn = TxnId::new(node, self.seqs[node.0 as usize]);
+        self.logs.append(node, LogPayload::Begin { txn });
+        self.txns.insert(txn, TxnState::new(txn));
+        self.stats.begins += 1;
+        Ok(txn)
+    }
+
+    /// Enlist another node in a (now parallel) transaction — §9. Its
+    /// subsequent operations may execute on any participant via
+    /// [`SmDb::read_on`]/[`SmDb::update_on`]; if *any* participant
+    /// crashes, recovery aborts the whole transaction.
+    pub fn attach(&mut self, txn: TxnId, node: NodeId) -> Result<(), DbError> {
+        self.check_active(txn)?;
+        if self.m.is_crashed(node) {
+            return Err(DbError::NodeDown { node });
+        }
+        self.txns.get_mut(&txn).expect("checked active").participants.insert(node);
+        Ok(())
+    }
+
+    /// Read record `slot` under a shared lock. Returns the payload bytes.
+    pub fn read(&mut self, txn: TxnId, slot: u64) -> Result<Vec<u8>, DbError> {
+        self.read_on(txn, txn.node(), slot)
+    }
+
+    /// [`SmDb::read`] executed on a participant node of a parallel
+    /// transaction.
+    pub fn read_on(&mut self, txn: TxnId, node: NodeId, slot: u64) -> Result<Vec<u8>, DbError> {
+        self.check_active(txn)?;
+        self.check_participant(txn, node)?;
+        let rec = self.check_slot(slot)?;
+        self.lock_from(txn, Self::lock_name_for_rec(slot), LockMode::Shared, node)?;
+        let off = self.layout.payload_offset(rec.slot);
+        let mut buf = vec![0u8; self.layout.data_size];
+        let mut ctx = engine_ctx!(self);
+        ctx.read(node, rec.page, off, &mut buf)?;
+        self.stats.lbm_forces += ctx.trigger_forces;
+        self.stats.reads += 1;
+        Ok(buf)
+    }
+
+    fn check_participant(&self, txn: TxnId, node: NodeId) -> Result<(), DbError> {
+        if self.m.is_crashed(node) {
+            return Err(DbError::NodeDown { node });
+        }
+        let t = self.txns.get(&txn).ok_or(DbError::TxnNotActive { txn })?;
+        assert!(t.runs_on(node), "{txn} does not run on {node}: attach() it first");
+        Ok(())
+    }
+
+    /// Update record `slot` to `data` (padded to the record payload size)
+    /// under an exclusive lock, following the §6 update protocol.
+    pub fn update(&mut self, txn: TxnId, slot: u64, data: &[u8]) -> Result<(), DbError> {
+        self.update_on(txn, txn.node(), slot, data)
+    }
+
+    /// [`SmDb::update`] executed on a participant node of a parallel
+    /// transaction (§9). The log record goes to the *executing* node's
+    /// log and the undo tag carries the executing node's id.
+    pub fn update_on(&mut self, txn: TxnId, node: NodeId, slot: u64, data: &[u8]) -> Result<(), DbError> {
+        self.check_active(txn)?;
+        self.check_participant(txn, node)?;
+        let rec = self.check_slot(slot)?;
+        assert!(data.len() <= self.layout.data_size, "payload too large");
+        self.lock_from(txn, Self::lock_name_for_rec(slot), LockMode::Exclusive, node)?;
+        let tagging = self.cfg.protocol.uses_undo_tags();
+        let mut payload = vec![0u8; self.layout.data_size];
+        payload[..data.len()].copy_from_slice(data);
+
+        let geometry = self.layout.geometry;
+        let page_lsn_line = LineId(geometry.line_addr(rec.page, 0));
+        let (line_idx, _) = self.layout.line_and_offset(rec.slot);
+        let rec_line = LineId(geometry.line_addr(rec.page, line_idx));
+        let rec_off = self.layout.page_offset(rec.slot);
+        let payload_off = self.layout.payload_offset(rec.slot);
+
+        let mut ctx = engine_ctx!(self);
+        // Fault the page in before taking line locks.
+        ctx.ensure_resident(node, rec.page)?;
+        // §5.2 triggers must fire *before* the line locks migrate the
+        // lines to this node.
+        ctx.enforce_trigger(node, page_lsn_line, true);
+        ctx.enforce_trigger(node, rec_line, true);
+        // §6: line locks on the Page-LSN line and the record's line for
+        // the duration of update + log write (ordered update logging +
+        // volatile LBM).
+        ctx.m.getline(node, page_lsn_line)?;
+        if rec_line != page_lsn_line {
+            ctx.m.getline(node, rec_line)?;
+        }
+        let result: Result<(u64, Vec<LineId>, Vec<u8>), DbError> = (|| {
+            // Before image (the last committed value under strict 2PL —
+            // or our own earlier write; the log keeps per-update images so
+            // rollback replays them in reverse).
+            let mut before = vec![0u8; self.layout.data_size];
+            ctx.read(node, rec.page, payload_off, &mut before)?;
+            let gsn = ctx.next_gsn();
+            let lsn = ctx.logs.append(
+                node,
+                LogPayload::Update {
+                    txn,
+                    rec,
+                    undo: Bytes::copy_from_slice(&before),
+                    redo: Bytes::copy_from_slice(&payload),
+                    gsn,
+                },
+            );
+            // In-place update: tag + payload share the record's line.
+            let tag = if tagging { node.0 } else { NULL_TAG };
+            let rec_bytes = self.layout.encode(tag, &payload);
+            let mut touched = ctx.write(node, rec.page, rec_off, &rec_bytes)?;
+            touched.extend(ctx.note_update(node, rec.page, lsn)?);
+            Ok((gsn, touched, before))
+        })();
+        // Release line locks before propagating errors.
+        let _ = ctx.m.releaseline(node, page_lsn_line);
+        if rec_line != page_lsn_line {
+            let _ = ctx.m.releaseline(node, rec_line);
+        }
+        let trigger_forces = ctx.trigger_forces;
+        let (_gsn, touched, before) = result?;
+        self.stats.lbm_forces += trigger_forces;
+        // LBM policy hook (eager force / active-bit marking).
+        match self.cfg.protocol.lbm_mode() {
+            LbmMode::Volatile => {}
+            LbmMode::StableEager => {
+                if self.logs.log_mut(node).force_all() {
+                    let cost = self.m.config().cost.log_force;
+                    self.m.advance(node, cost);
+                    self.stats.lbm_forces += 1;
+                }
+            }
+            LbmMode::StableTriggered => {
+                // See TreeCtx::after_update: a write to a shared line
+                // (write-broadcast) has already published the uncommitted
+                // bytes; force now. Exclusive lines defer to the trigger.
+                let mut forced = false;
+                for l in &touched {
+                    if self.m.holders(*l).len() > 1 {
+                        if !forced && self.logs.log_mut(node).force_all() {
+                            let cost = self.m.config().cost.log_force;
+                            self.m.advance(node, cost);
+                            self.stats.lbm_forces += 1;
+                        }
+                        forced = true;
+                    } else {
+                        self.m.set_active(*l, node);
+                    }
+                }
+            }
+        }
+        if tagging {
+            self.stats.undo_tag_writes += 1;
+            self.stats.undo_tag_bytes += TAG_SIZE as u64;
+        }
+        self.stats.updates += 1;
+        let t = self.txns.get_mut(&txn).expect("checked active");
+        t.ops.push(TxnOp::Update { rec, before, node });
+        self.shadow.note_update(txn, slot, payload);
+        Ok(())
+    }
+
+    /// Insert `key → value` into the index under an exclusive key lock.
+    pub fn insert(&mut self, txn: TxnId, key: u64, value: [u8; VAL_SIZE]) -> Result<(), DbError> {
+        self.check_active(txn)?;
+        if self.tree.is_none() {
+            return Err(DbError::NoIndex);
+        }
+        self.lock(txn, Self::lock_name_for_key(key), LockMode::Exclusive)?;
+        let tree = self.tree.as_mut().expect("checked");
+        let mut ctx = TreeCtx::new(
+            &mut self.m,
+            &mut self.sdb,
+            &mut self.logs,
+            &mut self.plt,
+            self.cfg.protocol.lbm_mode(),
+            &mut self.gsn,
+        );
+        tree.insert(&mut ctx, txn, key, value)?;
+        self.stats.lbm_forces += ctx.trigger_forces;
+        if self.cfg.protocol.uses_undo_tags() {
+            self.stats.undo_tag_writes += 1;
+            self.stats.undo_tag_bytes += TAG_SIZE as u64;
+        }
+        self.stats.index_inserts += 1;
+        let t = self.txns.get_mut(&txn).expect("checked active");
+        t.ops.push(TxnOp::IndexInsert { key });
+        self.shadow.note_index_insert(txn, key, value);
+        Ok(())
+    }
+
+    /// Look up `key` in the index under a shared key lock.
+    pub fn lookup(&mut self, txn: TxnId, key: u64) -> Result<Option<[u8; VAL_SIZE]>, DbError> {
+        self.check_active(txn)?;
+        if self.tree.is_none() {
+            return Err(DbError::NoIndex);
+        }
+        self.lock(txn, Self::lock_name_for_key(key), LockMode::Shared)?;
+        let node = txn.node();
+        let tree = self.tree.as_mut().expect("checked");
+        let mut ctx = TreeCtx::new(
+            &mut self.m,
+            &mut self.sdb,
+            &mut self.logs,
+            &mut self.plt,
+            self.cfg.protocol.lbm_mode(),
+            &mut self.gsn,
+        );
+        let hit = tree.search(&mut ctx, node, key)?;
+        self.stats.lbm_forces += ctx.trigger_forces;
+        Ok(hit.map(|h| h.entry.value))
+    }
+
+    /// Range lookup over the index: returns the live `(key, value)` pairs
+    /// in `[lo, hi]`, taking a shared lock on each returned key (committed
+    /// read of current entries; phantom protection would need predicate
+    /// locks, which the paper's model does not include).
+    pub fn range_lookup(
+        &mut self,
+        txn: TxnId,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, [u8; VAL_SIZE])>, DbError> {
+        self.check_active(txn)?;
+        if self.tree.is_none() {
+            return Err(DbError::NoIndex);
+        }
+        let node = txn.node();
+        let hits = {
+            let tree = self.tree.as_mut().expect("checked");
+            let mut ctx = TreeCtx::new(
+                &mut self.m,
+                &mut self.sdb,
+                &mut self.logs,
+                &mut self.plt,
+                self.cfg.protocol.lbm_mode(),
+                &mut self.gsn,
+            );
+            tree.range_live(&mut ctx, node, lo, hi)?
+        };
+        for (key, _) in &hits {
+            self.lock(txn, Self::lock_name_for_key(*key), LockMode::Shared)?;
+        }
+        Ok(hits)
+    }
+
+    /// Logically delete `key` from the index under an exclusive key lock.
+    pub fn delete(&mut self, txn: TxnId, key: u64) -> Result<(), DbError> {
+        self.check_active(txn)?;
+        if self.tree.is_none() {
+            return Err(DbError::NoIndex);
+        }
+        self.lock(txn, Self::lock_name_for_key(key), LockMode::Exclusive)?;
+        let tree = self.tree.as_mut().expect("checked");
+        let mut ctx = TreeCtx::new(
+            &mut self.m,
+            &mut self.sdb,
+            &mut self.logs,
+            &mut self.plt,
+            self.cfg.protocol.lbm_mode(),
+            &mut self.gsn,
+        );
+        tree.delete(&mut ctx, txn, key)?;
+        self.stats.lbm_forces += ctx.trigger_forces;
+        if self.cfg.protocol.uses_undo_tags() {
+            self.stats.undo_tag_writes += 1;
+            self.stats.undo_tag_bytes += TAG_SIZE as u64;
+        }
+        self.stats.index_deletes += 1;
+        let t = self.txns.get_mut(&txn).expect("checked active");
+        t.ops.push(TxnOp::IndexDelete { key });
+        self.shadow.note_index_delete(txn, key);
+        Ok(())
+    }
+
+    /// Commit `txn`: force the log through the commit record (durability),
+    /// clear undo tags, reclaim committed-delete space, release all locks
+    /// (strict 2PL).
+    pub fn commit(&mut self, txn: TxnId) -> Result<(), DbError> {
+        self.check_active(txn)?;
+        let node = txn.node();
+        // Parallel transactions (§9): every participant's updates must be
+        // durable before the home node's commit record — force the other
+        // participants' logs first.
+        let participants: Vec<NodeId> = self
+            .txns
+            .get(&txn)
+            .expect("checked active")
+            .participants
+            .iter()
+            .copied()
+            .filter(|n| *n != node)
+            .collect();
+        for p in participants {
+            if self.logs.log_mut(p).force_all() {
+                let cost = self.m.config().cost.log_force;
+                self.m.advance(p, cost);
+                self.stats.commit_forces += 1;
+            }
+        }
+        let lsn = self.logs.append(node, LogPayload::Commit { txn });
+        if self.logs.log_mut(node).force_to(lsn) {
+            let cost = self.m.config().cost.log_force;
+            self.m.advance(node, cost);
+            self.stats.commit_forces += 1;
+        }
+        let t = self.txns.get(&txn).expect("checked active").clone();
+        // Clear heap undo tags (the data is no longer active — §4.1.2:
+        // "Once the data is no longer active, the node ID is assigned a
+        // null value").
+        if self.cfg.protocol.uses_undo_tags() {
+            for rec in t.touched_records() {
+                let off = self.layout.page_offset(rec.slot);
+                let mut ctx = engine_ctx!(self);
+                ctx.write(node, rec.page, off, &NULL_TAG.to_le_bytes())?;
+            }
+        }
+        // Index post-commit processing (tag clears + delete reclaim).
+        if let Some(tree) = self.tree.as_mut() {
+            let deleted: Vec<u64> = t
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    TxnOp::IndexDelete { key } => Some(*key),
+                    _ => None,
+                })
+                .collect();
+            let mut ctx = TreeCtx::new(
+                &mut self.m,
+                &mut self.sdb,
+                &mut self.logs,
+                &mut self.plt,
+                self.cfg.protocol.lbm_mode(),
+                &mut self.gsn,
+            );
+            for key in t.index_keys() {
+                // The physical reclaim of a committed delete is logged so
+                // log replay converges to the same physical state.
+                if deleted.contains(&key) {
+                    let gsn = ctx.next_gsn();
+                    ctx.logs.append(node, LogPayload::IndexRemove { txn, key, gsn });
+                }
+                tree.commit_key(&mut ctx, txn, key)?;
+            }
+        }
+        self.locks.release_all(&mut self.m, &mut self.logs, txn)?;
+        self.pending_waits.remove(&txn);
+        self.txns.get_mut(&txn).expect("checked").status = TxnStatus::Committed;
+        self.shadow.commit(txn);
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    /// Voluntarily abort `txn`: undo all its effects (installing before
+    /// images — strict 2PL makes this sufficient), write compensation
+    /// records, release locks.
+    pub fn abort(&mut self, txn: TxnId) -> Result<(), DbError> {
+        self.check_active(txn)?;
+        let node = txn.node();
+        let t = self.txns.get(&txn).expect("checked active").clone();
+        for op in t.ops.iter().rev() {
+            match op {
+                TxnOp::Update { rec, before, node: op_node } => {
+                    let node = if self.m.is_crashed(*op_node) { node } else { *op_node };
+                    let mut ctx = engine_ctx!(self);
+                    let gsn = ctx.next_gsn();
+                    let off = self.layout.page_offset(rec.slot);
+                    // Compensation record: redo-image = the restored value.
+                    let mut current = vec![0u8; self.layout.data_size];
+                    ctx.read(node, rec.page, off + TAG_SIZE, &mut current)?;
+                    let lsn = ctx.logs.append(
+                        node,
+                        LogPayload::Update {
+                            txn,
+                            rec: *rec,
+                            undo: Bytes::copy_from_slice(&current),
+                            redo: Bytes::copy_from_slice(before),
+                            gsn,
+                        },
+                    );
+                    let rec_bytes = self.layout.encode(NULL_TAG, before);
+                    ctx.write(node, rec.page, off, &rec_bytes)?;
+                    let _ = ctx.note_update(node, rec.page, lsn)?;
+                }
+                TxnOp::IndexInsert { key } => {
+                    let tree = self.tree.as_mut().expect("op implies index");
+                    let mut ctx = TreeCtx::new(
+                        &mut self.m,
+                        &mut self.sdb,
+                        &mut self.logs,
+                        &mut self.plt,
+                        self.cfg.protocol.lbm_mode(),
+                        &mut self.gsn,
+                    );
+                    let gsn = ctx.next_gsn();
+                    ctx.logs.append(node, LogPayload::IndexRemove { txn, key: *key, gsn });
+                    tree.undo_insert(&mut ctx, node, *key)?;
+                }
+                TxnOp::IndexDelete { key } => {
+                    let tree = self.tree.as_mut().expect("op implies index");
+                    let mut ctx = TreeCtx::new(
+                        &mut self.m,
+                        &mut self.sdb,
+                        &mut self.logs,
+                        &mut self.plt,
+                        self.cfg.protocol.lbm_mode(),
+                        &mut self.gsn,
+                    );
+                    let gsn = ctx.next_gsn();
+                    ctx.logs.append(node, LogPayload::IndexUnmark { txn, key: *key, gsn });
+                    tree.undo_delete(&mut ctx, node, *key)?;
+                }
+            }
+        }
+        self.logs.append(node, LogPayload::Abort { txn });
+        // Withdraw any queued lock requests, then release held locks.
+        if let Some(waits) = self.pending_waits.remove(&txn) {
+            for name in waits {
+                self.locks.cancel_wait(&mut self.m, &mut self.logs, txn, name)?;
+            }
+        }
+        self.locks.release_all(&mut self.m, &mut self.logs, txn)?;
+        self.txns.get_mut(&txn).expect("checked").status = TxnStatus::Aborted;
+        self.shadow.drop_pending(txn);
+        self.stats.voluntary_aborts += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer management (no-force / steal)
+    // ------------------------------------------------------------------
+
+    /// Flush one page to the stable database (a *steal* if it carries
+    /// uncommitted data — permitted; the WAL rule forces the updaters'
+    /// logs first). `node` performs (and is charged for) the I/O.
+    pub fn flush_page(&mut self, node: NodeId, page: PageId) -> Result<(), DbError> {
+        let mut ctx = engine_ctx!(self);
+        let forces = ctx.flush_page(node, page)?;
+        self.stats.wal_flush_forces += forces;
+        self.stats.page_flushes += 1;
+        Ok(())
+    }
+
+    /// Evict a page's lines from every cache (requires a prior flush; the
+    /// stable image must be authoritative).
+    pub fn evict_page(&mut self, page: PageId) {
+        let mut ctx = engine_ctx!(self);
+        ctx.evict_page(page);
+    }
+
+    /// Take a sharp checkpoint: flush every dirty page (WAL-safe), write a
+    /// checkpoint record per node, force all logs, and durably install the
+    /// checkpoint metadata.
+    pub fn checkpoint(&mut self, node: NodeId) -> Result<(), DbError> {
+        let dirty = self.plt.dirty_pages();
+        for page in dirty {
+            self.flush_page(node, page)?;
+        }
+        let mut lsns = Vec::with_capacity(self.cfg.nodes as usize);
+        for n in 0..self.cfg.nodes {
+            let n = NodeId(n);
+            if self.m.is_crashed(n) {
+                lsns.push(self.logs.log(n).stable_lsn());
+                continue;
+            }
+            let lsn = self.logs.append(n, LogPayload::Checkpoint);
+            if self.logs.log_mut(n).force_to(lsn) {
+                let cost = self.m.config().cost.log_force;
+                self.m.advance(n, cost);
+            }
+            lsns.push(lsn);
+        }
+        self.ckpt.install(CheckpointMeta { node_lsns: lsns.clone() });
+        // Log reclamation: recovery never scans below the checkpoint for
+        // redo (every page is flushed), and never needs undo information
+        // below the first record of any still-active transaction. The
+        // truncation point per node is the minimum of the two.
+        for n in 0..self.cfg.nodes {
+            let nid = NodeId(n);
+            if self.m.is_crashed(nid) {
+                continue;
+            }
+            let ckpt_lsn = lsns[n as usize];
+            let mut cutoff = ckpt_lsn;
+            for rec in self.logs.log(nid).records() {
+                if let Some(txn) = rec.payload.txn() {
+                    if self.txns.get(&txn).map(|t| t.is_active()).unwrap_or(false) {
+                        cutoff = cutoff.min(Lsn(rec.lsn.0.saturating_sub(1)));
+                        break; // records scan in LSN order: first hit is the min
+                    }
+                }
+            }
+            let cutoff = cutoff.min(self.logs.log(nid).stable_lsn());
+            self.logs.log_mut(nid).truncate_through(cutoff);
+        }
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Non-transactional inspection (oracle, examples, tests)
+    // ------------------------------------------------------------------
+
+    /// The current value of record `slot` as recovery would see it: the
+    /// coherent cached copy if any survives, else the stable image.
+    /// Zero-cost (no coherence side effects).
+    pub fn current_value(&self, slot: u64) -> Result<Vec<u8>, DbError> {
+        let rec = self.check_slot(slot)?;
+        let (line_idx, within) = self.layout.line_and_offset(rec.slot);
+        let line = LineId(self.layout.geometry.line_addr(rec.page, line_idx));
+        if let Some(bytes) = self.m.peek(line) {
+            return Ok(bytes[within + TAG_SIZE..within + self.layout.rec_size()].to_vec());
+        }
+        let img = self
+            .sdb
+            .peek_page(rec.page)
+            .unwrap_or_else(|| panic!("heap page {} missing", rec.page));
+        let off = self.layout.payload_offset(rec.slot);
+        Ok(img[off..off + self.layout.data_size].to_vec())
+    }
+
+    /// The current undo tag of record `slot` (same lookup rules as
+    /// [`SmDb::current_value`]).
+    pub fn current_tag(&self, slot: u64) -> Result<u16, DbError> {
+        let rec = self.check_slot(slot)?;
+        let (line_idx, within) = self.layout.line_and_offset(rec.slot);
+        let line = LineId(self.layout.geometry.line_addr(rec.page, line_idx));
+        if let Some(bytes) = self.m.peek(line) {
+            return Ok(u16::from_le_bytes(bytes[within..within + 2].try_into().expect("tag")));
+        }
+        let img = self
+            .sdb
+            .peek_page(rec.page)
+            .unwrap_or_else(|| panic!("heap page {} missing", rec.page));
+        let off = self.layout.page_offset(rec.slot);
+        Ok(u16::from_le_bytes(img[off..off + 2].try_into().expect("tag")))
+    }
+
+    /// Convenience: the committed value of `slot` per the shadow model.
+    pub fn read_committed(&self, slot: u64) -> Result<Vec<u8>, DbError> {
+        self.check_slot(slot)?;
+        Ok(self.shadow.committed_value(slot, self.layout.data_size))
+    }
+
+    /// Live index contents, scanned by `node` (coherent reads).
+    pub fn index_scan(&mut self, node: NodeId) -> Result<Vec<(u64, [u8; VAL_SIZE])>, DbError> {
+        let tree = self.tree.as_mut().ok_or(DbError::NoIndex)?;
+        let mut ctx = TreeCtx::new(
+            &mut self.m,
+            &mut self.sdb,
+            &mut self.logs,
+            &mut self.plt,
+            self.cfg.protocol.lbm_mode(),
+            &mut self.gsn,
+        );
+        Ok(tree.scan_live(&mut ctx, node)?)
+    }
+
+    /// Bring a crashed node back online (empty cache; it resumes logging
+    /// after its stable prefix).
+    pub fn reboot(&mut self, node: NodeId) {
+        self.m.reboot_node(node);
+    }
+
+    /// Lockless *browse-mode* read (§3.2's dirty read, as in the `browse`
+    /// / `chaos` isolation degrees): a coherent read of the record with no
+    /// record lock, so it may observe uncommitted data — and, crucially,
+    /// it **replicates the record's cache line** onto the reading node
+    /// (the `H_wr` pattern). The paper's point: with dirty reads allowed,
+    /// the recovery problems arise even when a single object is stored
+    /// per cache line, so layout alone can never substitute for the
+    /// recovery protocols.
+    pub fn read_dirty(&mut self, node: NodeId, slot: u64) -> Result<Vec<u8>, DbError> {
+        if self.m.is_crashed(node) {
+            return Err(DbError::NodeDown { node });
+        }
+        let rec = self.check_slot(slot)?;
+        let off = self.layout.payload_offset(rec.slot);
+        let mut buf = vec![0u8; self.layout.data_size];
+        let mut ctx = engine_ctx!(self);
+        ctx.read(node, rec.page, off, &mut buf)?;
+        self.stats.lbm_forces += ctx.trigger_forces;
+        self.stats.reads += 1;
+        Ok(buf)
+    }
+
+    /// Raw lock names currently held by `txn` (experiment instrumentation).
+    pub fn held_lock_names(&self, txn: TxnId) -> Vec<u64> {
+        self.locks.held_locks(txn).to_vec()
+    }
+
+    /// Issue a *shared* request on a raw lock name and report whether it
+    /// conflicted (queuing a waiter). Touching the LCB moves its cache
+    /// line to the probing node — experiment instrumentation for the
+    /// §4.2.2 scenarios.
+    pub fn probe_lock_conflict(&mut self, txn: TxnId, name: u64) -> Result<bool, DbError> {
+        self.check_active(txn)?;
+        match self.lock(txn, name, LockMode::Shared) {
+            Ok(()) => Ok(false),
+            Err(DbError::WouldBlock { .. }) => Ok(true),
+            Err(e) => Err(e),
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Engine errors.
+
+use smdb_btree::BtreeError;
+use smdb_lock::LockError;
+use smdb_sim::{MemError, TxnId};
+use std::fmt;
+
+/// Errors surfaced by the [`crate::SmDb`] engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DbError {
+    /// Underlying simulated-memory error.
+    Mem(MemError),
+    /// Lock-manager error.
+    Lock(LockError),
+    /// B-tree error.
+    Btree(BtreeError),
+    /// The lock request conflicts; under the engine's no-wait policy the
+    /// caller should abort and retry the transaction. (The lock manager
+    /// has queued the request and logged it; [`crate::SmDb::abort`]
+    /// removes it.)
+    WouldBlock {
+        /// The blocked transaction.
+        txn: TxnId,
+        /// The contested lock name.
+        lock: u64,
+    },
+    /// Operation on a transaction that is not active.
+    TxnNotActive {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Record slot outside the configured heap.
+    NoSuchRecord {
+        /// Global slot index requested.
+        slot: u64,
+    },
+    /// Operation issued for a node that has crashed and not been rebooted.
+    NodeDown {
+        /// The node.
+        node: smdb_sim::NodeId,
+    },
+    /// The engine was built without an index.
+    NoIndex,
+}
+
+impl From<MemError> for DbError {
+    fn from(e: MemError) -> Self {
+        DbError::Mem(e)
+    }
+}
+
+impl From<LockError> for DbError {
+    fn from(e: LockError) -> Self {
+        match e {
+            LockError::Mem(m) => DbError::Mem(m),
+            other => DbError::Lock(other),
+        }
+    }
+}
+
+impl From<BtreeError> for DbError {
+    fn from(e: BtreeError) -> Self {
+        match e {
+            BtreeError::Mem(m) => DbError::Mem(m),
+            other => DbError::Btree(other),
+        }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Mem(e) => write!(f, "memory: {e}"),
+            DbError::Lock(e) => write!(f, "lock: {e}"),
+            DbError::Btree(e) => write!(f, "btree: {e}"),
+            DbError::WouldBlock { txn, lock } => {
+                write!(f, "{txn} would block on lock {lock} (no-wait policy)")
+            }
+            DbError::TxnNotActive { txn } => write!(f, "{txn} is not active"),
+            DbError::NoSuchRecord { slot } => write!(f, "no record slot {slot}"),
+            DbError::NodeDown { node } => write!(f, "{node} is down"),
+            DbError::NoIndex => write!(f, "engine configured without an index"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_sim::{LineId, NodeId};
+
+    #[test]
+    fn conversions_flatten_mem_errors() {
+        let m = MemError::LineLost { line: LineId(4) };
+        assert_eq!(DbError::from(LockError::Mem(m.clone())), DbError::Mem(m.clone()));
+        assert_eq!(DbError::from(BtreeError::Mem(m.clone())), DbError::Mem(m));
+    }
+
+    #[test]
+    fn display_mentions_txn() {
+        let t = TxnId::new(NodeId(1), 2);
+        let e = DbError::WouldBlock { txn: t, lock: 9 };
+        assert!(e.to_string().contains("t1.2"));
+    }
+}

@@ -1,0 +1,316 @@
+//! The IFA oracle: a shadow model of what the database *should* contain,
+//! and the checker that compares it with the engine after crash recovery.
+//!
+//! IFA (§3.3) demands that after any crash-and-recover episode:
+//!
+//! 1. every effect of every transaction that was active on a **crashed**
+//!    node is gone;
+//! 2. no effect of any transaction on a **surviving** node — committed or
+//!    still active — is lost;
+//! 3. locks mirror the same rule (§4.2.2): crashed transactions hold none,
+//!    surviving active transactions hold exactly what they held.
+//!
+//! The shadow model is maintained by the engine on every logical operation
+//! (it is test harness state, not part of the recovery protocols — the
+//! protocols never read it).
+
+use crate::engine::SmDb;
+use crate::txn::TxnStatus;
+use smdb_btree::VAL_SIZE;
+use smdb_sim::{NodeId, TxnId};
+use std::collections::BTreeMap;
+
+/// Pending (uncommitted) effects of one transaction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Pending {
+    /// slot → written payload (last write wins).
+    writes: BTreeMap<u64, Vec<u8>>,
+    /// key → Some(value) for inserts, None for deletes, in final state.
+    index: BTreeMap<u64, Option<[u8; VAL_SIZE]>>,
+}
+
+/// The logical shadow database.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowDb {
+    committed: BTreeMap<u64, Vec<u8>>,
+    committed_index: BTreeMap<u64, [u8; VAL_SIZE]>,
+    pending: BTreeMap<TxnId, Pending>,
+}
+
+impl ShadowDb {
+    /// Empty shadow state (all records zero, empty index).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note an uncommitted record write.
+    pub fn note_update(&mut self, txn: TxnId, slot: u64, payload: Vec<u8>) {
+        self.pending.entry(txn).or_default().writes.insert(slot, payload);
+    }
+
+    /// Note an uncommitted index insert.
+    pub fn note_index_insert(&mut self, txn: TxnId, key: u64, value: [u8; VAL_SIZE]) {
+        self.pending.entry(txn).or_default().index.insert(key, Some(value));
+    }
+
+    /// Note an uncommitted index delete.
+    pub fn note_index_delete(&mut self, txn: TxnId, key: u64) {
+        self.pending.entry(txn).or_default().index.insert(key, None);
+    }
+
+    /// Promote a transaction's pending effects to committed state.
+    pub fn commit(&mut self, txn: TxnId) {
+        if let Some(p) = self.pending.remove(&txn) {
+            for (slot, v) in p.writes {
+                self.committed.insert(slot, v);
+            }
+            for (key, op) in p.index {
+                match op {
+                    Some(v) => {
+                        self.committed_index.insert(key, v);
+                    }
+                    None => {
+                        self.committed_index.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Discard a transaction's pending effects (abort or crash).
+    pub fn drop_pending(&mut self, txn: TxnId) {
+        self.pending.remove(&txn);
+    }
+
+    /// Discard pending effects of every transaction on the given nodes.
+    pub fn drop_pending_for_nodes(&mut self, nodes: &[NodeId]) {
+        self.pending.retain(|t, _| !nodes.contains(&t.node()));
+    }
+
+    /// Discard all pending effects (the FA-only baseline's "abort
+    /// everyone").
+    pub fn drop_all_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    /// The committed value of a record (zeros if never written).
+    pub fn committed_value(&self, slot: u64, data_size: usize) -> Vec<u8> {
+        self.committed.get(&slot).cloned().unwrap_or_else(|| vec![0u8; data_size])
+    }
+
+    /// The value record `slot` should have *right now*, given that the
+    /// listed transactions are still active: an active writer's pending
+    /// value wins, else the committed value.
+    pub fn expected_value(&self, slot: u64, data_size: usize, active: &[TxnId]) -> Vec<u8> {
+        for txn in active {
+            if let Some(p) = self.pending.get(txn) {
+                if let Some(v) = p.writes.get(&slot) {
+                    return v.clone();
+                }
+            }
+        }
+        self.committed_value(slot, data_size)
+    }
+
+    /// The live index contents expected right now given the active
+    /// transactions (their uncommitted inserts are physically present and
+    /// unmarked; their uncommitted deletes are marked and thus invisible).
+    pub fn expected_index(&self, active: &[TxnId]) -> BTreeMap<u64, [u8; VAL_SIZE]> {
+        let mut map = self.committed_index.clone();
+        for txn in active {
+            if let Some(p) = self.pending.get(txn) {
+                for (key, op) in &p.index {
+                    match op {
+                        Some(v) => {
+                            map.insert(*key, *v);
+                        }
+                        None => {
+                            map.remove(key);
+                        }
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    /// Record slots any pending transaction has written (for lock checks).
+    pub fn pending_slots(&self, txn: TxnId) -> Vec<u64> {
+        self.pending.get(&txn).map(|p| p.writes.keys().copied().collect()).unwrap_or_default()
+    }
+
+    /// Transactions with pending state.
+    pub fn pending_txns(&self) -> Vec<TxnId> {
+        self.pending.keys().copied().collect()
+    }
+}
+
+/// Result of one IFA check.
+#[derive(Clone, Debug, Default)]
+pub struct IfaReport {
+    /// Human-readable descriptions of every violation found.
+    pub violations: Vec<String>,
+    /// Records checked.
+    pub records_checked: u64,
+    /// Index keys checked.
+    pub index_keys_checked: u64,
+}
+
+impl IfaReport {
+    /// Whether IFA held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with the violation list if IFA did not hold (test helper).
+    pub fn assert_ok(&self) {
+        assert!(self.ok(), "IFA violated:\n  {}", self.violations.join("\n  "));
+    }
+}
+
+impl SmDb {
+    /// Check the IFA guarantee against the shadow model. Call after
+    /// [`SmDb::crash_and_recover`] (or at any quiescent point).
+    ///
+    /// `scan_node` performs the coherent index scan (pick any survivor).
+    pub fn check_ifa(&mut self, scan_node: NodeId) -> IfaReport {
+        let mut report = IfaReport::default();
+        let active: Vec<TxnId> = self.active_txns(None);
+        let data_size = self.record_layout().data_size;
+        // 1. Record values.
+        for slot in 0..self.record_count() as u64 {
+            let expected = self.shadow.expected_value(slot, data_size, &active);
+            match self.current_value(slot) {
+                Ok(got) => {
+                    if got != expected {
+                        report.violations.push(format!(
+                            "record {slot}: expected {:?}…, found {:?}…",
+                            &expected[..expected.len().min(8)],
+                            &got[..got.len().min(8)]
+                        ));
+                    }
+                }
+                Err(e) => report.violations.push(format!("record {slot}: unreadable: {e}")),
+            }
+            report.records_checked += 1;
+        }
+        // 2. Index contents.
+        if self.tree.is_some() {
+            let expected = self.shadow.expected_index(&active);
+            match self.index_scan(scan_node) {
+                Ok(live) => {
+                    let got: BTreeMap<u64, [u8; VAL_SIZE]> = live.into_iter().collect();
+                    for (k, v) in &expected {
+                        match got.get(k) {
+                            Some(g) if g == v => {}
+                            Some(g) => report.violations.push(format!(
+                                "index key {k}: expected {v:?}, found {g:?}"
+                            )),
+                            None => report
+                                .violations
+                                .push(format!("index key {k}: expected present, missing")),
+                        }
+                        report.index_keys_checked += 1;
+                    }
+                    for k in got.keys() {
+                        if !expected.contains_key(k) {
+                            report.violations.push(format!("index key {k}: unexpected entry"));
+                        }
+                    }
+                }
+                Err(e) => report.violations.push(format!("index scan failed: {e}")),
+            }
+        }
+        // 3. Lock space: crashed/finished transactions hold nothing;
+        // surviving active transactions hold the locks covering their
+        // pending writes.
+        for (txn, st) in &self.txns {
+            let held = self.locks.held_locks(*txn);
+            match st.status {
+                TxnStatus::Active => {
+                    for slot in self.shadow.pending_slots(*txn) {
+                        let name = Self::lock_name_for_rec(slot);
+                        if !held.contains(&name) {
+                            report.violations.push(format!(
+                                "{txn}: active but lost its lock on record {slot}"
+                            ));
+                        }
+                    }
+                }
+                TxnStatus::Committed | TxnStatus::Aborted => {
+                    if !held.is_empty() {
+                        report.violations.push(format!(
+                            "{txn}: finished ({:?}) but still holds {} lock(s)",
+                            st.status,
+                            held.len()
+                        ));
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(node: u16, seq: u64) -> TxnId {
+        TxnId::new(NodeId(node), seq)
+    }
+
+    #[test]
+    fn commit_promotes_pending() {
+        let mut s = ShadowDb::new();
+        let tx = t(0, 1);
+        s.note_update(tx, 5, vec![1, 2]);
+        s.note_index_insert(tx, 9, [7u8; VAL_SIZE]);
+        assert_eq!(s.committed_value(5, 2), vec![0, 0]);
+        s.commit(tx);
+        assert_eq!(s.committed_value(5, 2), vec![1, 2]);
+        assert_eq!(s.expected_index(&[]).get(&9), Some(&[7u8; VAL_SIZE]));
+    }
+
+    #[test]
+    fn drop_pending_discards() {
+        let mut s = ShadowDb::new();
+        let tx = t(0, 1);
+        s.note_update(tx, 5, vec![1]);
+        s.drop_pending(tx);
+        s.commit(tx); // no-op
+        assert_eq!(s.committed_value(5, 1), vec![0]);
+    }
+
+    #[test]
+    fn expected_value_prefers_active_writer() {
+        let mut s = ShadowDb::new();
+        let tx = t(0, 1);
+        s.note_update(tx, 5, vec![9]);
+        assert_eq!(s.expected_value(5, 1, &[tx]), vec![9]);
+        assert_eq!(s.expected_value(5, 1, &[]), vec![0]);
+    }
+
+    #[test]
+    fn drop_pending_for_nodes_filters_by_node() {
+        let mut s = ShadowDb::new();
+        let a = t(0, 1);
+        let b = t(1, 1);
+        s.note_update(a, 1, vec![1]);
+        s.note_update(b, 2, vec![2]);
+        s.drop_pending_for_nodes(&[NodeId(0)]);
+        assert_eq!(s.pending_txns(), vec![b]);
+    }
+
+    #[test]
+    fn pending_delete_hides_committed_key() {
+        let mut s = ShadowDb::new();
+        let a = t(0, 1);
+        s.note_index_insert(a, 3, [1u8; VAL_SIZE]);
+        s.commit(a);
+        let b = t(1, 1);
+        s.note_index_delete(b, 3);
+        assert!(!s.expected_index(&[b]).contains_key(&3));
+        assert!(s.expected_index(&[]).contains_key(&3));
+    }
+}

@@ -1,0 +1,1138 @@
+//! Crash injection and restart recovery (§4.1.2, §4.2).
+//!
+//! After the simulator's low-level directory restore, the engine's restart
+//! recovery must guarantee IFA:
+//!
+//! * **undo**: all effects of transactions active on crashed nodes are
+//!   removed — from surviving caches (where they migrated), from the
+//!   stable database (where they were stolen), and from the lock space;
+//! * **redo**: no effect of any surviving node's transaction is lost —
+//!   updates whose only copies died with a crashed cache are re-applied
+//!   from the survivors' (intact) logs; committed transactions of the
+//!   crashed nodes themselves are re-applied from their *stable* log
+//!   prefixes (their commit force made them durable).
+//!
+//! Two schemes implement the redo side, as in the paper: **Redo All**
+//! (discard every cached database line, rebuild from logs against the
+//! stable database) and **Selective Redo** (redo only what was resident
+//! exclusively on crashed nodes, then undo via per-record tags). The
+//! FA-only baseline instead aborts *every* active transaction and performs
+//! a full rebuild — the behaviour the paper's protocols exist to avoid.
+
+use crate::config::{ProtocolKind, RestartScheme};
+use crate::engine::{engine_ctx, SmDb};
+use crate::error::DbError;
+use crate::record::NULL_TAG;
+use crate::txn::TxnStatus;
+use serde::{Deserialize, Serialize};
+use smdb_btree::{BtreeRecoveryStats, TreeCtx};
+use smdb_lock::LockRecoveryStats;
+use smdb_sim::{LineId, NodeId, TxnId};
+use smdb_storage::PageId;
+use smdb_wal::{LogPayload, RecId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What one crash-and-recover episode did.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RecoveryOutcome {
+    /// Nodes that crashed.
+    pub crashed: Vec<NodeId>,
+    /// Transactions rolled back by recovery. Under IFA protocols this is
+    /// exactly the set of transactions active on crashed nodes; under the
+    /// FA-only baseline it is every active transaction in the machine.
+    pub aborted: Vec<TxnId>,
+    /// Active transactions on surviving nodes whose effects were
+    /// preserved.
+    pub preserved_active: Vec<TxnId>,
+    /// Cache lines destroyed by the crash.
+    pub lost_lines: u64,
+    /// Heap redo operations applied.
+    pub redo_applied: u64,
+    /// Heap redo candidates skipped because the line was still cached on a
+    /// survivor (the Selective-Redo probe).
+    pub redo_skipped_cached: u64,
+    /// Heap redo candidates skipped because the stable image already
+    /// reflected the update.
+    pub redo_skipped_stable: u64,
+    /// Index redo operations applied.
+    pub index_redo_applied: u64,
+    /// Undo operations applied to cached records.
+    pub undo_records_applied: u64,
+    /// Stale committed tags cleared during the undo scan.
+    pub tags_cleared: u64,
+    /// Records patched in the stable database (undo of stolen updates).
+    pub stable_undo_patches: u64,
+    /// Lock-space recovery counters.
+    pub lock_recovery: LockRecoveryStats,
+    /// B-tree recovery counters.
+    pub btree_recovery: BtreeRecoveryStats,
+    /// Simulated cycles spent on recovery (machine makespan delta).
+    pub recovery_cycles: u64,
+    /// The surviving node that orchestrated reconstruction.
+    pub recovery_node: NodeId,
+}
+
+/// Per-crash analysis of the stable logs: who committed, which
+/// not-committed transactions left durable traces, and last-writer maps
+/// for the stale-tag predicate.
+#[derive(Default)]
+struct StableAnalysis {
+    /// Transactions with a Commit record in their node's stable log.
+    committed: BTreeSet<TxnId>,
+    /// Stable-logged updates of *not-committed* transactions of the
+    /// analysed nodes: `(gsn, txn, rec)`.
+    uncommitted_updates: Vec<(u64, TxnId, RecId)>,
+    /// Stable-logged index ops of not-committed transactions:
+    /// `(gsn, txn, key, is_delete)`.
+    uncommitted_index: Vec<(u64, TxnId, u64, bool)>,
+    /// Last stable heap-update writer per (node, rec).
+    last_rec_txn: BTreeMap<(NodeId, RecId), TxnId>,
+    /// Last stable index-op writer per (node, key).
+    last_key_txn: BTreeMap<(NodeId, u64), TxnId>,
+}
+
+impl StableAnalysis {
+    fn is_committed_rec(&self, node: NodeId, rec: RecId) -> bool {
+        self.last_rec_txn.get(&(node, rec)).map(|t| self.committed.contains(t)).unwrap_or(false)
+    }
+
+    fn is_committed_key(&self, node: NodeId, key: u64) -> bool {
+        self.last_key_txn.get(&(node, key)).map(|t| self.committed.contains(t)).unwrap_or(false)
+    }
+}
+
+/// One redo candidate drawn from a log.
+enum RedoOp {
+    Rec { rec: RecId, redo: Vec<u8>, txn: TxnId },
+    IxInsert { key: u64, value: [u8; 8], txn: TxnId },
+    IxDelete { key: u64, value: [u8; 8], txn: TxnId },
+    IxRemove { key: u64 },
+    IxUnmark { key: u64 },
+}
+
+impl SmDb {
+    /// Crash the given nodes and run the configured restart-recovery
+    /// protocol. Returns what happened; pair with
+    /// [`SmDb::check_ifa`] to validate the IFA guarantee.
+    pub fn crash_and_recover(&mut self, crashed: &[NodeId]) -> Result<RecoveryOutcome, DbError> {
+        let crashed: Vec<NodeId> =
+            crashed.iter().copied().filter(|n| !self.m.is_crashed(*n)).collect();
+        let mut outcome = RecoveryOutcome { crashed: crashed.clone(), ..Default::default() };
+        if crashed.is_empty() {
+            return Ok(outcome);
+        }
+        let clock0 = self.m.max_clock();
+        // A transaction dies with the crash if *any* node it executes on
+        // failed — for single-node transactions that is just the home
+        // node; for parallel transactions (§9) it is any participant.
+        let crashed_active: Vec<TxnId> = self
+            .txns
+            .values()
+            .filter(|t| t.is_active() && t.participants.iter().any(|p| crashed.contains(p)))
+            .map(|t| t.id)
+            .collect();
+        let surviving_active: Vec<TxnId> = self
+            .active_txns(None)
+            .into_iter()
+            .filter(|t| !crashed_active.contains(t))
+            .collect();
+
+        // The crash itself + the simulator's low-level directory restore.
+        let report = self.m.crash(&crashed);
+        outcome.lost_lines = report.lost_lines.len() as u64;
+        self.logs.crash(&crashed);
+        for &n in &crashed {
+            self.plt.clear_node(n);
+        }
+
+        let survivors = self.m.surviving_nodes();
+        let total_failure = survivors.is_empty();
+        if total_failure {
+            // Machine-wide outage: reboot node 0 to host the rebuild.
+            self.m.reboot_node(NodeId(0));
+        }
+        let recovery_node = if total_failure { NodeId(0) } else { survivors[0] };
+        outcome.recovery_node = recovery_node;
+
+        if self.cfg.protocol == ProtocolKind::FaOnly || total_failure {
+            self.full_restart(&mut outcome, recovery_node)?;
+        } else {
+            self.ifa_restart(&mut outcome, recovery_node, &crashed_active, &surviving_active)?;
+        }
+        outcome.recovery_cycles = self.m.max_clock() - clock0;
+        Ok(outcome)
+    }
+
+    // ------------------------------------------------------------------
+    // Shared analysis helpers
+    // ------------------------------------------------------------------
+
+    /// Analyse the stable logs of `nodes`.
+    fn analyse_stable(&self, nodes: &[NodeId]) -> StableAnalysis {
+        let mut a = StableAnalysis::default();
+        // Pass 1: commit status. Scan *every* node's stable log (commit
+        // records are always forced, and a parallel transaction's commit
+        // lives on its home node, which may differ from the analysed
+        // nodes).
+        for n in self.m.node_ids().collect::<Vec<_>>() {
+            for rec in self.logs.log(n).stable_records() {
+                if let LogPayload::Commit { txn } = rec.payload {
+                    a.committed.insert(txn);
+                }
+            }
+        }
+        // Pass 2: durable traces of not-committed transactions + last
+        // writers.
+        for &n in nodes {
+            for lrec in self.logs.log(n).stable_records() {
+                match &lrec.payload {
+                    LogPayload::Update { txn, rec, gsn, .. } => {
+                        a.last_rec_txn.insert((n, *rec), *txn);
+                        if !a.committed.contains(txn) {
+                            a.uncommitted_updates.push((*gsn, *txn, *rec));
+                        }
+                    }
+                    LogPayload::IndexInsert { txn, key, gsn, .. } => {
+                        a.last_key_txn.insert((n, *key), *txn);
+                        if !a.committed.contains(txn) {
+                            a.uncommitted_index.push((*gsn, *txn, *key, false));
+                        }
+                    }
+                    LogPayload::IndexDelete { txn, key, gsn, .. } => {
+                        a.last_key_txn.insert((n, *key), *txn);
+                        if !a.committed.contains(txn) {
+                            a.uncommitted_index.push((*gsn, *txn, *key, true));
+                        }
+                    }
+                    LogPayload::IndexRemove { txn, key, .. }
+                    | LogPayload::IndexUnmark { txn, key, .. } => {
+                        a.last_key_txn.insert((n, *key), *txn);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        a
+    }
+
+    /// Last committed payload of each record that appears in any stable
+    /// log's committed updates: `rec → (gsn, payload)`. The paper's §4.1.2
+    /// source of committed values: *"the last committed value of these
+    /// records will necessarily be in stable store — either in the stable
+    /// log, or in the stable database."* Records absent from this map take
+    /// their value from the stable database.
+    fn last_committed_map(&self) -> BTreeMap<RecId, (u64, Vec<u8>)> {
+        let mut committed: BTreeSet<TxnId> = BTreeSet::new();
+        for n in self.m.node_ids().collect::<Vec<_>>() {
+            for rec in self.logs.log(n).stable_records() {
+                if let LogPayload::Commit { txn } = rec.payload {
+                    committed.insert(txn);
+                }
+            }
+        }
+        let mut map: BTreeMap<RecId, (u64, Vec<u8>)> = BTreeMap::new();
+        for n in self.m.node_ids().collect::<Vec<_>>() {
+            for lrec in self.logs.log(n).stable_records() {
+                if let LogPayload::Update { txn, rec, redo, gsn, .. } = &lrec.payload {
+                    if committed.contains(txn) {
+                        let e = map.entry(*rec).or_insert((0, Vec::new()));
+                        if *gsn >= e.0 {
+                            *e = (*gsn, redo.to_vec());
+                        }
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    /// The last committed payload for one record, using the precomputed
+    /// map with a stable-database fallback.
+    fn last_committed_payload(
+        &self,
+        map: &BTreeMap<RecId, (u64, Vec<u8>)>,
+        rec: RecId,
+    ) -> Vec<u8> {
+        if let Some((_, v)) = map.get(&rec) {
+            return v.clone();
+        }
+        let img = self.sdb.peek_page(rec.page).expect("heap page exists");
+        let off = self.layout.payload_offset(rec.slot);
+        img[off..off + self.layout.data_size].to_vec()
+    }
+
+    /// Undo stolen updates in the stable database: every record with a
+    /// durable trace of a not-committed transaction gets its last
+    /// committed value (and a null tag) patched into the stable image.
+    /// WAL guarantees the trace exists whenever a steal happened.
+    fn patch_stable_undo(
+        &mut self,
+        analysis: &StableAnalysis,
+        committed_map: &BTreeMap<RecId, (u64, Vec<u8>)>,
+        outcome: &mut RecoveryOutcome,
+    ) {
+        let recs: BTreeSet<RecId> =
+            analysis.uncommitted_updates.iter().map(|(_, _, r)| *r).collect();
+        for rec in recs {
+            let value = self.last_committed_payload(committed_map, rec);
+            let off = self.layout.page_offset(rec.slot);
+            let bytes = self.layout.encode(NULL_TAG, &value);
+            let img = self.sdb.peek_page(rec.page).expect("heap page exists");
+            if img[off..off + bytes.len()] != bytes[..] {
+                self.sdb.patch(rec.page, off, &bytes);
+                outcome.stable_undo_patches += 1;
+            }
+        }
+    }
+
+    /// Collect redo candidates: all data records from survivors' full
+    /// logs (after their checkpoint LSN), plus committed transactions'
+    /// data records from crashed nodes' stable logs.
+    fn collect_redo_candidates(
+        &self,
+        crashed: &[NodeId],
+        crashed_analysis: &StableAnalysis,
+        doomed: &BTreeSet<TxnId>,
+    ) -> Vec<(u64, RedoOp)> {
+        let mut out: Vec<(u64, RedoOp)> = Vec::new();
+        let to_arr = |b: &bytes::Bytes| {
+            let mut v = [0u8; 8];
+            let n = b.len().min(8);
+            v[..n].copy_from_slice(&b[..n]);
+            v
+        };
+        for n in self.m.node_ids().collect::<Vec<_>>() {
+            let is_crashed = crashed.contains(&n);
+            let after = self.ckpt.last().lsn_for(n);
+            let recs: Vec<LogPayload> = if is_crashed {
+                self.logs
+                    .log(n)
+                    .stable_records()
+                    .iter()
+                    .filter(|r| r.lsn > after)
+                    .map(|r| r.payload.clone())
+                    .collect()
+            } else {
+                self.logs.log(n).records_after(after).iter().map(|r| r.payload.clone()).collect()
+            };
+            for p in recs {
+                let Some(txn) = p.txn() else { continue };
+                // Skip the synthetic recovery transactions (seq 0).
+                if txn.seq() == 0 {
+                    continue;
+                }
+                if is_crashed && !crashed_analysis.committed.contains(&txn) {
+                    continue; // crashed & not committed: undo, not redo
+                }
+                if doomed.contains(&txn) {
+                    continue; // dying with a crashed participant: undo
+                }
+                match p {
+                    LogPayload::Update { rec, redo, gsn, .. } => {
+                        out.push((gsn, RedoOp::Rec { rec, redo: redo.to_vec(), txn }));
+                    }
+                    LogPayload::IndexInsert { key, value, gsn, .. } => {
+                        out.push((gsn, RedoOp::IxInsert { key, value: to_arr(&value), txn }));
+                    }
+                    LogPayload::IndexDelete { key, value, gsn, .. } => {
+                        out.push((gsn, RedoOp::IxDelete { key, value: to_arr(&value), txn }));
+                    }
+                    LogPayload::IndexRemove { key, gsn, .. } => {
+                        out.push((gsn, RedoOp::IxRemove { key }));
+                    }
+                    LogPayload::IndexUnmark { key, gsn, .. } => {
+                        out.push((gsn, RedoOp::IxUnmark { key }));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out.sort_by_key(|(gsn, _)| *gsn);
+        out
+    }
+
+    /// The line holding a record.
+    fn rec_line(&self, rec: RecId) -> LineId {
+        let (line_idx, _) = self.layout.line_and_offset(rec.slot);
+        LineId(self.layout.geometry.line_addr(rec.page, line_idx))
+    }
+
+    /// Reinstall every heap line destroyed by the crash from its stable
+    /// page image, restoring the per-page all-or-nothing residency
+    /// invariant the buffer manager relies on. Returns the reinstalled
+    /// lines (they carry *stale stable* content, which the redo and undo
+    /// passes treat accordingly).
+    fn normalize_lost_heap_lines(
+        &mut self,
+        recovery_node: NodeId,
+    ) -> Result<BTreeSet<LineId>, DbError> {
+        let mut reinstalled = BTreeSet::new();
+        let g = self.layout.geometry;
+        for p in 0..self.heap_pages {
+            let page = PageId(p);
+            let mut charged = false;
+            for idx in 0..g.lines_per_page {
+                let line = LineId(g.line_addr(page, idx));
+                if self.m.is_lost(line) {
+                    let img = self.sdb.peek_page(page).expect("heap page exists").to_vec();
+                    let off = g.line_offset(idx);
+                    self.m.install_line(recovery_node, line, &img[off..off + g.line_size])?;
+                    if !charged {
+                        let cost = self.m.config().cost.disk_io;
+                        self.m.advance(recovery_node, cost);
+                        charged = true;
+                    }
+                    reinstalled.insert(line);
+                }
+            }
+        }
+        Ok(reinstalled)
+    }
+
+    /// All heap lines currently cached on surviving nodes (the §4.1.2
+    /// probe, snapshotted at crash time before any reinstall).
+    fn cached_heap_lines(&self) -> BTreeSet<LineId> {
+        let mut set = BTreeSet::new();
+        for node in self.m.surviving_nodes() {
+            for (line, _) in self.m.iter_cached(node) {
+                if self.is_heap_line(line) {
+                    set.insert(line);
+                }
+            }
+        }
+        set
+    }
+
+    /// Expected full on-page bytes (tag + payload) of a record after redo.
+    fn expected_rec_bytes(&self, txn: TxnId, payload: &[u8]) -> Vec<u8> {
+        let tagging = self.cfg.protocol.uses_undo_tags();
+        let active = self
+            .txns
+            .get(&txn)
+            .map(|t| t.is_active() && !self.m.is_crashed(txn.node()))
+            .unwrap_or(false);
+        let tag = if tagging && active { txn.node().0 } else { NULL_TAG };
+        self.layout.encode(tag, payload)
+    }
+
+    // ------------------------------------------------------------------
+    // IFA restart recovery
+    // ------------------------------------------------------------------
+
+    fn ifa_restart(
+        &mut self,
+        outcome: &mut RecoveryOutcome,
+        recovery_node: NodeId,
+        crashed_active: &[TxnId],
+        surviving_active: &[TxnId],
+    ) -> Result<(), DbError> {
+        let doomed: BTreeSet<TxnId> = crashed_active.iter().copied().collect();
+        // Every node that is *currently* down matters to recovery — not
+        // just the ones that failed this instant. A node still down from
+        // an earlier crash must not be mistaken for a survivor: its
+        // stable log may contain uncommitted updates that were already
+        // rolled back, and replaying them as "survivor redo" would
+        // resurrect aborted data. (Found by the IFA property tests.)
+        let down: Vec<NodeId> =
+            self.m.node_ids().filter(|n| self.m.is_crashed(*n)).collect();
+        let crashed_set: BTreeSet<NodeId> = down.iter().copied().collect();
+        let scheme = self.cfg.protocol.restart_scheme();
+        // Snapshot which heap lines genuinely survive in caches *before*
+        // any reinstall: this is the Selective-Redo probe (a line we later
+        // reinstall from a stale stable image must not be mistaken for a
+        // coherent surviving copy).
+        let cached_before: BTreeSet<LineId> = if scheme == RestartScheme::Selective {
+            self.cached_heap_lines()
+        } else {
+            BTreeSet::new()
+        };
+        let analysis = self.analyse_stable(&down);
+        let committed_map = self.last_committed_map();
+
+        // Phase 1: undo stolen updates in the stable database.
+        self.patch_stable_undo(&analysis, &committed_map, outcome);
+
+        // Phase 1b: reinstall heap lines destroyed by the crash from the
+        // (just-patched) stable images, restoring page residency
+        // invariants.
+        let mut heap_reinstalled: BTreeSet<LineId> =
+            self.normalize_lost_heap_lines(recovery_node)?;
+
+        // Phase 2: restore the index's structural skeleton (root,
+        // allocation map, lost pages) from the forced structural records.
+        // Record whether the crash destroyed *any* tree line first: if it
+        // did not, every index effect still lives in a coherent cache and
+        // the Selective scheme can skip index replay entirely.
+        let mut tree_lost_any = false;
+        let mut reinstalled_pages: BTreeSet<PageId> = BTreeSet::new();
+        if let Some(tree) = self.tree.as_ref() {
+            let g = self.layout.geometry;
+            'outer: for page in tree.allocated_pages() {
+                for idx in 0..g.lines_per_page {
+                    if self.m.is_lost(LineId(g.line_addr(page, idx))) {
+                        tree_lost_any = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if let Some(tree) = self.tree.as_mut() {
+            let mut ctx = TreeCtx::new(
+                &mut self.m,
+                &mut self.sdb,
+                &mut self.logs,
+                &mut self.plt,
+                self.cfg.protocol.lbm_mode(),
+                &mut self.gsn,
+            );
+            let (st, pages) = tree.recover_structure(&mut ctx, recovery_node)?;
+            outcome.btree_recovery = st;
+            reinstalled_pages.extend(pages);
+        }
+
+        // Phase 3 (Redo All only): discard every cached database line on
+        // every survivor — implicitly undoing migrated uncommitted updates
+        // of crashed transactions — and reload the index wholesale.
+        if scheme == RestartScheme::RedoAll {
+            let heap_limit = self.heap_pages as u64 * self.cfg.lines_per_page as u64;
+            for node in self.m.surviving_nodes() {
+                self.m.discard_matching(node, |l| l.0 < heap_limit);
+            }
+            if let Some(tree) = self.tree.as_mut() {
+                let mut ctx = TreeCtx::new(
+                    &mut self.m,
+                    &mut self.sdb,
+                    &mut self.logs,
+                    &mut self.plt,
+                    self.cfg.protocol.lbm_mode(),
+                    &mut self.gsn,
+                );
+                tree.discard_and_reload_all(&mut ctx, recovery_node)?;
+                reinstalled_pages.extend(tree.allocated_pages());
+            }
+        }
+
+        // Phase 4: redo. Candidates from survivors' full logs + crashed
+        // nodes' committed stable records, applied in GSN order. The
+        // cached-skip decisions are snapshotted *before* any reinstall so
+        // a line we reinstalled from a stale stable image is never
+        // mistaken for a coherent surviving copy.
+        let replay_index = tree_lost_any || scheme == RestartScheme::RedoAll;
+        let candidates = self.collect_redo_candidates(&down, &analysis, &doomed);
+        for (_gsn, op) in candidates {
+            if !replay_index && !matches!(op, RedoOp::Rec { .. }) {
+                continue;
+            }
+            match op {
+                RedoOp::Rec { rec, redo, txn } => {
+                    let line = self.rec_line(rec);
+                    if scheme == RestartScheme::Selective && cached_before.contains(&line) {
+                        outcome.redo_skipped_cached += 1;
+                        continue;
+                    }
+                    let expected = self.expected_rec_bytes(txn, &redo);
+                    let off = self.layout.page_offset(rec.slot);
+                    if !self.m.probe_cached(line) {
+                        // Page not resident: is the stable image already
+                        // current for this record?
+                        let img = self.sdb.peek_page(rec.page).expect("heap page exists");
+                        if img[off..off + expected.len()] == expected[..] {
+                            outcome.redo_skipped_stable += 1;
+                            continue;
+                        }
+                        // The write below faults the whole page in from
+                        // stable: every line of it is a stale reinstall.
+                        let g = self.layout.geometry;
+                        for idx in 0..g.lines_per_page {
+                            heap_reinstalled.insert(LineId(g.line_addr(rec.page, idx)));
+                        }
+                    }
+                    // §4.1.2: "each surviving node performs redo for ...
+                    // record updates which were made by the local node" —
+                    // the replaying actor (and the one charged) is the
+                    // update's own node when it survived.
+                    let actor = if self.m.is_crashed(txn.node()) { recovery_node } else { txn.node() };
+                    let mut ctx = engine_ctx!(self);
+                    ctx.write(actor, rec.page, off, &expected)?;
+                    outcome.redo_applied += 1;
+                }
+                RedoOp::IxInsert { key, value, txn } => {
+                    let tag = if self.cfg.protocol.uses_undo_tags()
+                        && self
+                            .txns
+                            .get(&txn)
+                            .map(|t| t.is_active() && !crashed_set.contains(&txn.node()))
+                            .unwrap_or(false)
+                    {
+                        txn.node().0
+                    } else {
+                        smdb_btree::NULL_TAG
+                    };
+                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let mut ctx = TreeCtx::new(
+                        &mut self.m,
+                        &mut self.sdb,
+                        &mut self.logs,
+                        &mut self.plt,
+                        self.cfg.protocol.lbm_mode(),
+                        &mut self.gsn,
+                    );
+                    if tree.redo_insert(&mut ctx, recovery_node, key, value, tag)? {
+                        outcome.index_redo_applied += 1;
+                    }
+                }
+                RedoOp::IxDelete { key, value, txn } => {
+                    let tag = if self.cfg.protocol.uses_undo_tags()
+                        && self
+                            .txns
+                            .get(&txn)
+                            .map(|t| t.is_active() && !crashed_set.contains(&txn.node()))
+                            .unwrap_or(false)
+                    {
+                        txn.node().0
+                    } else {
+                        smdb_btree::NULL_TAG
+                    };
+                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let mut ctx = TreeCtx::new(
+                        &mut self.m,
+                        &mut self.sdb,
+                        &mut self.logs,
+                        &mut self.plt,
+                        self.cfg.protocol.lbm_mode(),
+                        &mut self.gsn,
+                    );
+                    if tree.redo_delete_mark(&mut ctx, recovery_node, key, value, tag)? {
+                        outcome.index_redo_applied += 1;
+                    }
+                }
+                RedoOp::IxRemove { key } => {
+                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let mut ctx = TreeCtx::new(
+                        &mut self.m,
+                        &mut self.sdb,
+                        &mut self.logs,
+                        &mut self.plt,
+                        self.cfg.protocol.lbm_mode(),
+                        &mut self.gsn,
+                    );
+                    tree.undo_insert(&mut ctx, recovery_node, key)?;
+                }
+                RedoOp::IxUnmark { key } => {
+                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let mut ctx = TreeCtx::new(
+                        &mut self.m,
+                        &mut self.sdb,
+                        &mut self.logs,
+                        &mut self.plt,
+                        self.cfg.protocol.lbm_mode(),
+                        &mut self.gsn,
+                    );
+                    tree.undo_delete(&mut ctx, recovery_node, key)?;
+                }
+            }
+        }
+
+        // Phase 4b: roll back doomed transactions' effects recorded on
+        // *surviving* nodes — a parallel transaction with a crashed
+        // participant leaves intact log records (with undo images) on its
+        // surviving participants (§9: the entire transaction must be
+        // aborted).
+        self.undo_doomed_from_surviving_logs(outcome, recovery_node, &doomed)?;
+
+        // Phase 5: undo.
+        match self.cfg.protocol {
+            ProtocolKind::VolatileSelectiveRedo => {
+                self.undo_by_tags(
+                    outcome,
+                    recovery_node,
+                    &crashed_set,
+                    &analysis,
+                    &committed_map,
+                    &heap_reinstalled,
+                    &reinstalled_pages,
+                )?;
+            }
+            ProtocolKind::VolatileRedoAll => {
+                // The cache purge already removed migrated uncommitted
+                // data; stolen data was patched in phase 1. Index entries
+                // of uncommitted crashed transactions that had been
+                // flushed (steal / structural flush) and reloaded still
+                // need undo from the crashed stable logs.
+                self.undo_index_from_stable(outcome, recovery_node, &analysis)?;
+            }
+            ProtocolKind::StableEager | ProtocolKind::StableTriggered => {
+                // Stable LBM: every migrated uncommitted update has stable
+                // undo information; apply it to any surviving cached
+                // copies (stable images were patched in phase 1).
+                self.undo_from_stable_logs(
+                    outcome,
+                    recovery_node,
+                    &analysis,
+                    &committed_map,
+                )?;
+                self.undo_index_from_stable(outcome, recovery_node, &analysis)?;
+            }
+            ProtocolKind::FaOnly => unreachable!("handled by full_restart"),
+        }
+
+        // Phase 6: lock-space recovery (§4.2.2).
+        let active_surviving_set: BTreeSet<TxnId> = surviving_active.iter().copied().collect();
+        outcome.lock_recovery = self.locks.recover(
+            &mut self.m,
+            &mut self.logs,
+            &down,
+            &active_surviving_set,
+            recovery_node,
+        )?;
+
+        // Phase 6b: release the locks still held by doomed transactions
+        // whose home node survived (their LCB entries carry a surviving
+        // node id, so the crash scrub did not remove them).
+        for &txn in crashed_active {
+            if !self.m.is_crashed(txn.node()) {
+                if let Some(waits) = self.pending_waits.get(&txn).cloned() {
+                    for name in waits {
+                        self.locks.cancel_wait(&mut self.m, &mut self.logs, txn, name)?;
+                    }
+                }
+                self.locks.release_all(&mut self.m, &mut self.logs, txn)?;
+                self.logs.append(txn.node(), LogPayload::Abort { txn });
+            }
+        }
+
+        // Phase 7: transaction table + shadow bookkeeping.
+        for &txn in crashed_active {
+            if let Some(t) = self.txns.get_mut(&txn) {
+                t.status = TxnStatus::Aborted;
+            }
+            self.pending_waits.remove(&txn);
+            self.locks.drop_chain(txn);
+            self.shadow.drop_pending(txn);
+            outcome.aborted.push(txn);
+        }
+        self.stats.crash_aborts += crashed_active.len() as u64;
+        outcome.preserved_active = surviving_active.to_vec();
+        Ok(())
+    }
+
+    /// The §4.1.2 undo scan over cached heap lines for Volatile LBM with
+    /// Selective Redo: every record tagged with a crashed node is a
+    /// candidate; committed-but-stale tags (possible only on lines
+    /// reinstalled from stale stable images) are merely cleared; genuinely
+    /// uncommitted updates get the record's last committed value
+    /// installed.
+    #[allow(clippy::too_many_arguments)]
+    fn undo_by_tags(
+        &mut self,
+        outcome: &mut RecoveryOutcome,
+        recovery_node: NodeId,
+        crashed: &BTreeSet<NodeId>,
+        analysis: &StableAnalysis,
+        committed_map: &BTreeMap<RecId, (u64, Vec<u8>)>,
+        heap_reinstalled: &BTreeSet<LineId>,
+        tree_reinstalled: &BTreeSet<PageId>,
+    ) -> Result<(), DbError> {
+        // Heap scan.
+        let mut candidates: Vec<(LineId, RecId, u16)> = Vec::new();
+        let mut seen_lines: BTreeSet<LineId> = BTreeSet::new();
+        let rpl = self.layout.records_per_line();
+        let survivors = self.m.surviving_nodes();
+        for node in survivors {
+            let lines: Vec<(LineId, Vec<u8>)> = self
+                .m
+                .iter_cached(node)
+                .filter(|(l, _)| self.is_heap_line(*l))
+                .map(|(l, d)| (l, d.to_vec()))
+                .collect();
+            for (line, bytes) in lines {
+                if !seen_lines.insert(line) {
+                    continue;
+                }
+                let (page, line_idx) = self.layout.geometry.page_of_addr(line.0);
+                if line_idx == 0 {
+                    continue; // Page-LSN line holds no records
+                }
+                for k in 0..rpl {
+                    let slot = ((line_idx - 1) * rpl + k) as u16;
+                    if slot as usize >= self.layout.records_per_page() {
+                        break;
+                    }
+                    let within = k * self.layout.rec_size();
+                    let tag =
+                        u16::from_le_bytes(bytes[within..within + 2].try_into().expect("tag"));
+                    if tag != NULL_TAG && crashed.contains(&NodeId(tag)) {
+                        candidates.push((line, RecId::new(page, slot), tag));
+                    }
+                }
+            }
+        }
+        for (line, rec, tag) in candidates {
+            let committed = heap_reinstalled.contains(&line)
+                && analysis.is_committed_rec(NodeId(tag), rec);
+            let off = self.layout.page_offset(rec.slot);
+            if committed {
+                // Stale tag on a committed value: scrub the tag only.
+                let mut ctx = engine_ctx!(self);
+                ctx.write(recovery_node, rec.page, off, &NULL_TAG.to_le_bytes())?;
+                outcome.tags_cleared += 1;
+            } else {
+                let value = self.last_committed_payload(committed_map, rec);
+                let bytes = self.layout.encode(NULL_TAG, &value);
+                let mut ctx = engine_ctx!(self);
+                ctx.write(recovery_node, rec.page, off, &bytes)?;
+                outcome.undo_records_applied += 1;
+            }
+        }
+        // Index scan (the tree's own tag walk).
+        if let Some(tree) = self.tree.as_mut() {
+            let mut ctx = TreeCtx::new(
+                &mut self.m,
+                &mut self.sdb,
+                &mut self.logs,
+                &mut self.plt,
+                self.cfg.protocol.lbm_mode(),
+                &mut self.gsn,
+            );
+            let st = tree.undo_by_tags(&mut ctx, recovery_node, crashed, tree_reinstalled, |n, k| {
+                analysis.is_committed_key(n, k)
+            })?;
+            outcome.undo_records_applied += st.undo_inserts + st.undo_deletes;
+            outcome.tags_cleared += st.tags_cleared;
+            outcome.btree_recovery.undo_inserts += st.undo_inserts;
+            outcome.btree_recovery.undo_deletes += st.undo_deletes;
+            outcome.btree_recovery.tags_cleared += st.tags_cleared;
+        }
+        Ok(())
+    }
+
+    /// Stable-LBM undo: install last committed values over any surviving
+    /// cached copies of records with durable uncommitted updates from
+    /// crashed nodes.
+    fn undo_from_stable_logs(
+        &mut self,
+        outcome: &mut RecoveryOutcome,
+        recovery_node: NodeId,
+        analysis: &StableAnalysis,
+        committed_map: &BTreeMap<RecId, (u64, Vec<u8>)>,
+    ) -> Result<(), DbError> {
+        let recs: BTreeSet<RecId> =
+            analysis.uncommitted_updates.iter().map(|(_, _, r)| *r).collect();
+        for rec in recs {
+            let line = self.rec_line(rec);
+            if !self.m.probe_cached(line) {
+                continue; // nothing cached; stable image already patched
+            }
+            let value = self.last_committed_payload(committed_map, rec);
+            let bytes = self.layout.encode(NULL_TAG, &value);
+            let off = self.layout.page_offset(rec.slot);
+            let mut ctx = engine_ctx!(self);
+            ctx.write(recovery_node, rec.page, off, &bytes)?;
+            outcome.undo_records_applied += 1;
+        }
+        Ok(())
+    }
+
+    /// Undo index effects of uncommitted crashed transactions recorded in
+    /// their stable logs (needed wherever tags are not the undo vehicle).
+    fn undo_index_from_stable(
+        &mut self,
+        outcome: &mut RecoveryOutcome,
+        recovery_node: NodeId,
+        analysis: &StableAnalysis,
+    ) -> Result<(), DbError> {
+        if self.tree.is_none() {
+            return Ok(());
+        }
+        let mut ops = analysis.uncommitted_index.clone();
+        ops.sort_by_key(|(gsn, _, _, _)| std::cmp::Reverse(*gsn));
+        for (_, _, key, is_delete) in ops {
+            let tree = self.tree.as_mut().expect("checked");
+            let mut ctx = TreeCtx::new(
+                &mut self.m,
+                &mut self.sdb,
+                &mut self.logs,
+                &mut self.plt,
+                self.cfg.protocol.lbm_mode(),
+                &mut self.gsn,
+            );
+            if is_delete {
+                tree.undo_delete(&mut ctx, recovery_node, key)?;
+            } else {
+                tree.undo_insert(&mut ctx, recovery_node, key)?;
+            }
+            outcome.undo_records_applied += 1;
+        }
+        Ok(())
+    }
+
+    /// Roll back every effect a doomed transaction recorded on a
+    /// surviving node, using that node's intact log (undo images for
+    /// records, logical inverses for index ops), in reverse GSN order.
+    fn undo_doomed_from_surviving_logs(
+        &mut self,
+        outcome: &mut RecoveryOutcome,
+        recovery_node: NodeId,
+        doomed: &BTreeSet<TxnId>,
+    ) -> Result<(), DbError> {
+        if doomed.is_empty() {
+            return Ok(());
+        }
+        enum UndoOp {
+            Rec { rec: RecId, before: Vec<u8> },
+            RemoveKey(u64),
+            UnmarkKey(u64),
+        }
+        let mut ops: Vec<(u64, UndoOp)> = Vec::new();
+        for n in self.m.surviving_nodes() {
+            for lrec in self.logs.log(n).records() {
+                let Some(txn) = lrec.payload.txn() else { continue };
+                if !doomed.contains(&txn) {
+                    continue;
+                }
+                match &lrec.payload {
+                    LogPayload::Update { rec, undo, gsn, .. } => {
+                        ops.push((*gsn, UndoOp::Rec { rec: *rec, before: undo.to_vec() }));
+                    }
+                    LogPayload::IndexInsert { key, gsn, .. } => {
+                        ops.push((*gsn, UndoOp::RemoveKey(*key)));
+                    }
+                    LogPayload::IndexDelete { key, gsn, .. } => {
+                        ops.push((*gsn, UndoOp::UnmarkKey(*key)));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        ops.sort_by_key(|(gsn, _)| std::cmp::Reverse(*gsn));
+        for (_gsn, op) in ops {
+            match op {
+                UndoOp::Rec { rec, before } => {
+                    let bytes = self.layout.encode(NULL_TAG, &before);
+                    let off = self.layout.page_offset(rec.slot);
+                    // Undo in the coherent store and in the stable image
+                    // (the update may have been stolen; WAL forced its
+                    // undo record, but surviving logs give us the image
+                    // directly).
+                    let mut ctx = engine_ctx!(self);
+                    ctx.write(recovery_node, rec.page, off, &bytes)?;
+                    let img = self.sdb.peek_page(rec.page).expect("heap page exists");
+                    if img[off..off + bytes.len()] != bytes[..] {
+                        self.sdb.patch(rec.page, off, &bytes);
+                        outcome.stable_undo_patches += 1;
+                    }
+                    outcome.undo_records_applied += 1;
+                }
+                UndoOp::RemoveKey(key) => {
+                    if let Some(tree) = self.tree.as_mut() {
+                        let mut ctx = TreeCtx::new(
+                            &mut self.m,
+                            &mut self.sdb,
+                            &mut self.logs,
+                            &mut self.plt,
+                            self.cfg.protocol.lbm_mode(),
+                            &mut self.gsn,
+                        );
+                        tree.undo_insert(&mut ctx, recovery_node, key)?;
+                        outcome.undo_records_applied += 1;
+                    }
+                }
+                UndoOp::UnmarkKey(key) => {
+                    if let Some(tree) = self.tree.as_mut() {
+                        let mut ctx = TreeCtx::new(
+                            &mut self.m,
+                            &mut self.sdb,
+                            &mut self.logs,
+                            &mut self.plt,
+                            self.cfg.protocol.lbm_mode(),
+                            &mut self.gsn,
+                        );
+                        tree.undo_delete(&mut ctx, recovery_node, key)?;
+                        outcome.undo_records_applied += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // FA-only baseline / total failure: full restart
+    // ------------------------------------------------------------------
+
+    /// Abort every active transaction and rebuild the machine state from
+    /// stable storage + stable logs. This is what a system *without* the
+    /// paper's protocols must do (§1: "a single node crash is likely to
+    /// require a reboot of the entire shared memory system").
+    fn full_restart(
+        &mut self,
+        outcome: &mut RecoveryOutcome,
+        recovery_node: NodeId,
+    ) -> Result<(), DbError> {
+        let all_nodes: Vec<NodeId> = self.m.node_ids().collect();
+        let analysis = self.analyse_stable(&all_nodes);
+        let committed_map = self.last_committed_map();
+        // Undo every durable trace of every not-committed transaction.
+        self.patch_stable_undo(&analysis, &committed_map, outcome);
+        // Discard all cached database lines machine-wide, and forget lost
+        // ones: the (patched) stable database is now the authority.
+        for node in self.m.surviving_nodes() {
+            self.m.discard_matching(node, |_| true);
+        }
+        let g = self.layout.geometry;
+        for p in 0..self.heap_pages {
+            for idx in 0..g.lines_per_page {
+                self.m.clear_lost(LineId(g.line_addr(PageId(p), idx)));
+            }
+        }
+        // Rebuild the index structure + contents.
+        if let Some(tree) = self.tree.as_mut() {
+            let mut ctx = TreeCtx::new(
+                &mut self.m,
+                &mut self.sdb,
+                &mut self.logs,
+                &mut self.plt,
+                self.cfg.protocol.lbm_mode(),
+                &mut self.gsn,
+            );
+            let (st, _) = tree.recover_structure(&mut ctx, recovery_node)?;
+            outcome.btree_recovery = st;
+            tree.discard_and_reload_all(&mut ctx, recovery_node)?;
+        }
+        // Redo committed work from stable logs (everyone's commit records
+        // were forced), in GSN order.
+        let candidates: Vec<(u64, RedoOp)> = {
+            let mut out = Vec::new();
+            let to_arr = |b: &bytes::Bytes| {
+                let mut v = [0u8; 8];
+                let n = b.len().min(8);
+                v[..n].copy_from_slice(&b[..n]);
+                v
+            };
+            for n in &all_nodes {
+                let after = self.ckpt.last().lsn_for(*n);
+                for lrec in self.logs.log(*n).stable_records() {
+                    if lrec.lsn <= after {
+                        continue;
+                    }
+                    let Some(txn) = lrec.payload.txn() else { continue };
+                    if txn.seq() == 0 || !analysis.committed.contains(&txn) {
+                        continue;
+                    }
+                    match &lrec.payload {
+                        LogPayload::Update { rec, redo, gsn, .. } => {
+                            out.push((*gsn, RedoOp::Rec { rec: *rec, redo: redo.to_vec(), txn }));
+                        }
+                        LogPayload::IndexInsert { key, value, gsn, .. } => {
+                            out.push((*gsn, RedoOp::IxInsert { key: *key, value: to_arr(value), txn }));
+                        }
+                        LogPayload::IndexDelete { key, value, gsn, .. } => {
+                            out.push((*gsn, RedoOp::IxDelete { key: *key, value: to_arr(value), txn }));
+                        }
+                        LogPayload::IndexRemove { key, gsn, .. } => {
+                            out.push((*gsn, RedoOp::IxRemove { key: *key }));
+                        }
+                        LogPayload::IndexUnmark { key, gsn, .. } => {
+                            out.push((*gsn, RedoOp::IxUnmark { key: *key }));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            out.sort_by_key(|(gsn, _)| *gsn);
+            out
+        };
+        for (_gsn, op) in candidates {
+            match op {
+                RedoOp::Rec { rec, redo, .. } => {
+                    let off = self.layout.page_offset(rec.slot);
+                    let expected = self.layout.encode(NULL_TAG, &redo);
+                    let line = self.rec_line(rec);
+                    if !self.m.probe_cached(line) {
+                        let img = self.sdb.peek_page(rec.page).expect("heap page exists");
+                        if img[off..off + expected.len()] == expected[..] {
+                            outcome.redo_skipped_stable += 1;
+                            continue;
+                        }
+                    }
+                    let mut ctx = engine_ctx!(self);
+                    ctx.write(recovery_node, rec.page, off, &expected)?;
+                    outcome.redo_applied += 1;
+                }
+                RedoOp::IxInsert { key, value, .. } => {
+                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let mut ctx = TreeCtx::new(
+                        &mut self.m,
+                        &mut self.sdb,
+                        &mut self.logs,
+                        &mut self.plt,
+                        self.cfg.protocol.lbm_mode(),
+                        &mut self.gsn,
+                    );
+                    if tree.redo_insert(&mut ctx, recovery_node, key, value, smdb_btree::NULL_TAG)? {
+                        outcome.index_redo_applied += 1;
+                    }
+                }
+                RedoOp::IxDelete { key, value, .. } => {
+                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let mut ctx = TreeCtx::new(
+                        &mut self.m,
+                        &mut self.sdb,
+                        &mut self.logs,
+                        &mut self.plt,
+                        self.cfg.protocol.lbm_mode(),
+                        &mut self.gsn,
+                    );
+                    if tree.redo_delete_mark(&mut ctx, recovery_node, key, value, smdb_btree::NULL_TAG)? {
+                        outcome.index_redo_applied += 1;
+                    }
+                }
+                RedoOp::IxRemove { key } => {
+                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let mut ctx = TreeCtx::new(
+                        &mut self.m,
+                        &mut self.sdb,
+                        &mut self.logs,
+                        &mut self.plt,
+                        self.cfg.protocol.lbm_mode(),
+                        &mut self.gsn,
+                    );
+                    tree.undo_insert(&mut ctx, recovery_node, key)?;
+                }
+                RedoOp::IxUnmark { key } => {
+                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let mut ctx = TreeCtx::new(
+                        &mut self.m,
+                        &mut self.sdb,
+                        &mut self.logs,
+                        &mut self.plt,
+                        self.cfg.protocol.lbm_mode(),
+                        &mut self.gsn,
+                    );
+                    tree.undo_delete(&mut ctx, recovery_node, key)?;
+                }
+            }
+        }
+        // Undo of uncommitted index entries that had been flushed.
+        self.undo_index_from_stable(outcome, recovery_node, &analysis)?;
+        // Reset the lock space: every transaction is dead.
+        let line_size = self.cfg.line_size;
+        for line in self.locks.table().all_lines() {
+            self.m.install_line(recovery_node, line, &vec![0u8; line_size])?;
+        }
+        let txns: Vec<TxnId> = self.txns.keys().copied().collect();
+        for txn in txns {
+            self.locks.drop_chain(txn);
+            self.pending_waits.remove(&txn);
+        }
+        // Abort everyone.
+        let active: Vec<TxnId> = self.active_txns(None);
+        for txn in &active {
+            self.txns.get_mut(txn).expect("listed").status = TxnStatus::Aborted;
+            self.shadow.drop_pending(*txn);
+        }
+        self.stats.crash_aborts += active.len() as u64;
+        outcome.aborted = active;
+        Ok(())
+    }
+}

@@ -1,0 +1,40 @@
+//! # smdb-lock — shared-memory database locking (*SM locking*, §4.2.2)
+//!
+//! The paper's lock manager stores **lock control blocks (LCBs) directly in
+//! shared memory**; transactions acquire and release locks via ordinary
+//! memory operations on those LCBs, eliminating all inter-process
+//! communication (in contrast to the message-passing lock managers of
+//! shared-disk systems). The price is that lock state becomes subject to
+//! the cache-coherence failure effects of §3: when lock information
+//! pertaining to two or more transactions is stored in a single cache line,
+//! the crash of the node that last touched the line can destroy lock state
+//! belonging to transactions on *other* nodes.
+//!
+//! This crate implements:
+//!
+//! * LCBs encoded into simulated cache lines ([`LcbGeometry`] controls how
+//!   many LCBs share a line, and holder/waiter queue capacities — including
+//!   the "LCB spans at most one cache line" layout the paper calls out as
+//!   the recovery-friendly choice);
+//! * a hash-addressed [`LockTable`] in shared memory with dynamically
+//!   allocated overflow lines (a *structural change* that is committed
+//!   early, §4.2);
+//! * a [`LockManager`] that performs every LCB update inside a line-lock
+//!   critical section, writing the logical lock-log record (read locks
+//!   included, and queued requests included) to the acquiring node's log
+//!   *before* the LCB update becomes visible — the Volatile LBM discipline;
+//! * lock-space restart recovery: releasing locks held by crashed
+//!   transactions that survive in intact LCBs (undo), and reconstructing
+//!   LCBs destroyed by the crash from surviving nodes' lock logs (redo).
+
+mod lcb;
+mod manager;
+mod mode;
+mod recovery;
+mod table;
+
+pub use lcb::{clear_slot, decode_slot, encode_slot, read_overflow, write_overflow, Lcb, LcbGeometry, LockEntry};
+pub use manager::{LockError, LockManager, LockOutcome, LockStats};
+pub use mode::LockMode;
+pub use recovery::LockRecoveryStats;
+pub use table::LockTable;

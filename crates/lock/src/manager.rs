@@ -1,0 +1,623 @@
+//! The shared-memory lock manager.
+//!
+//! Every LCB update happens inside a line-lock critical section, with the
+//! logical lock-log record written *before* the updated line is released —
+//! so lock state can never migrate to another node without the acquiring
+//! node's log describing it (the Volatile LBM discipline applied to the
+//! lock table, §4.2.2 + §5.1).
+
+use crate::lcb::{Lcb, LockEntry};
+use crate::mode::LockMode;
+use crate::table::LockTable;
+use serde::{Deserialize, Serialize};
+use smdb_sim::{LineId, Machine, MemError, NodeId, TxnId};
+use smdb_wal::{LogPayload, LogSet, StructuralKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Result of a lock request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock was granted.
+    Granted,
+    /// The transaction already held the lock in a sufficient mode.
+    AlreadyHeld,
+    /// The request conflicts and was queued; the paper logs queued
+    /// requests too (§4.2.2). The caller decides whether to block or (as
+    /// the no-wait engines in this reproduction do) abort and retry.
+    Waiting,
+}
+
+/// Lock-manager errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LockError {
+    /// Underlying memory error (stall, lost line, crashed node...).
+    Mem(MemError),
+    /// The LCB's fixed-capacity holder or waiter array is full.
+    CapacityExceeded {
+        /// The lock whose LCB overflowed.
+        name: u64,
+    },
+    /// Release of a lock the transaction does not hold.
+    NotHolder {
+        /// The releasing transaction.
+        txn: TxnId,
+        /// The lock it does not hold.
+        name: u64,
+    },
+}
+
+impl From<MemError> for LockError {
+    fn from(e: MemError) -> Self {
+        LockError::Mem(e)
+    }
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Mem(e) => write!(f, "memory error: {e}"),
+            LockError::CapacityExceeded { name } => write!(f, "LCB capacity exceeded for lock {name}"),
+            LockError::NotHolder { txn, name } => write!(f, "{txn} does not hold lock {name}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// Lock-manager counters (several feed the Table 1 overhead report).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockStats {
+    /// Granted acquisitions.
+    pub acquires: u64,
+    /// Granted shared-mode acquisitions.
+    pub shared_acquires: u64,
+    /// Granted exclusive-mode acquisitions.
+    pub exclusive_acquires: u64,
+    /// Requests that were queued.
+    pub waits: u64,
+    /// Releases.
+    pub releases: u64,
+    /// Waiters promoted to holders by releases.
+    pub promotions: u64,
+    /// Overflow lines allocated (early-committed structural changes).
+    pub overflow_allocs: u64,
+}
+
+/// The shared-memory lock manager (*SM locking*).
+#[derive(Clone, Debug)]
+pub struct LockManager {
+    table: LockTable,
+    /// Per-transaction chains of held lock names. Volatile derived state:
+    /// reconstructible from the LCBs themselves (each entry carries its
+    /// transaction id), exactly as §4.2.2 prescribes for pointer-based
+    /// structures: *"first restore the data that the pointers are derived
+    /// from, then reconstruct the pointers"*.
+    chains: BTreeMap<TxnId, Vec<u64>>,
+    stats: LockStats,
+}
+
+impl LockManager {
+    /// Wrap a created [`LockTable`].
+    pub fn new(table: LockTable) -> Self {
+        LockManager { table, chains: BTreeMap::new(), stats: LockStats::default() }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &LockTable {
+        &self.table
+    }
+
+    /// Manager statistics.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    /// Locks currently held by `txn` (from the volatile chain).
+    pub fn held_locks(&self, txn: TxnId) -> &[u64] {
+        self.chains.get(&txn).map(|v| &v[..]).unwrap_or(&[])
+    }
+
+    /// Number of transactions with at least one held lock.
+    pub fn transactions_with_locks(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Acquire `name` in `mode` on behalf of `txn`, executing on its home
+    /// node.
+    pub fn acquire(
+        &mut self,
+        m: &mut Machine,
+        logs: &mut LogSet,
+        txn: TxnId,
+        name: u64,
+        mode: LockMode,
+    ) -> Result<LockOutcome, LockError> {
+        self.acquire_from(m, logs, txn, name, mode, txn.node())
+    }
+
+    /// Acquire `name` in `mode` on behalf of `txn`, with the lock-table
+    /// work (and the logical log record) executed on `acting` — used by
+    /// parallel transactions (§9), whose operations run on several nodes.
+    ///
+    /// Protocol per §4.2.2/§5.1: locate the LCB; *log the request* (read
+    /// locks and queued requests included) on the acting node's log;
+    /// update the LCB inside a `getline` critical section; release the
+    /// line.
+    pub fn acquire_from(
+        &mut self,
+        m: &mut Machine,
+        logs: &mut LogSet,
+        txn: TxnId,
+        name: u64,
+        mode: LockMode,
+        acting: NodeId,
+    ) -> Result<LockOutcome, LockError> {
+        assert!(name != 0, "lock name 0 is reserved");
+        let node = acting;
+        // Locate or make room (may allocate an early-committed overflow
+        // line).
+        let (line, slot, mut lcb) = match self.table.find(m, node, name)? {
+            Some(found) => found,
+            None => {
+                let (line, slot) = self.ensure_empty_slot(m, logs, txn, name, node)?;
+                (line, slot, Lcb::new(name))
+            }
+        };
+        // Critical section: the LCB line cannot migrate between the log
+        // write and the LCB update.
+        m.getline(node, line)?;
+        let result = (|| {
+            // Re-read under the line lock (the pre-lock find raced with
+            // nothing in this deterministic simulator, but the discipline
+            // is the real protocol's).
+            if let Some((l2, s2, fresh)) = self.table.find(m, node, name)? {
+                debug_assert_eq!((l2, s2), (line, slot));
+                lcb = fresh;
+            }
+            if lcb.holds(txn) {
+                let held = lcb
+                    .holders
+                    .iter()
+                    .find(|e| e.txn == txn)
+                    .expect("holds() checked")
+                    .mode;
+                if held >= mode {
+                    return Ok(LockOutcome::AlreadyHeld);
+                }
+                // Upgrade S→X: only if sole holder.
+                if lcb.holders.len() == 1 && lcb.waiters.is_empty() {
+                    logs.append(
+                        node,
+                        LogPayload::LockAcquire { txn, name, mode: mode.into(), queued: false },
+                    );
+                    lcb.holders[0].mode = mode;
+                    self.table.write_lcb(m, node, line, slot, &lcb)?;
+                    self.stats.acquires += 1;
+                    self.stats.exclusive_acquires += 1;
+                    return Ok(LockOutcome::Granted);
+                }
+                // Conflicting upgrade: queue it.
+                if lcb.waiters.len() >= self.table.geometry().max_waiters {
+                    return Err(LockError::CapacityExceeded { name });
+                }
+                logs.append(
+                    node,
+                    LogPayload::LockAcquire { txn, name, mode: mode.into(), queued: true },
+                );
+                lcb.waiters.push(LockEntry { txn, mode });
+                self.table.write_lcb(m, node, line, slot, &lcb)?;
+                self.stats.waits += 1;
+                return Ok(LockOutcome::Waiting);
+            }
+            if lcb.can_grant(txn, mode) {
+                if lcb.holders.len() >= self.table.geometry().max_holders {
+                    return Err(LockError::CapacityExceeded { name });
+                }
+                logs.append(
+                    node,
+                    LogPayload::LockAcquire { txn, name, mode: mode.into(), queued: false },
+                );
+                lcb.holders.push(LockEntry { txn, mode });
+                self.table.write_lcb(m, node, line, slot, &lcb)?;
+                self.chains.entry(txn).or_default().push(name);
+                self.stats.acquires += 1;
+                match mode {
+                    LockMode::Shared => self.stats.shared_acquires += 1,
+                    LockMode::Exclusive => self.stats.exclusive_acquires += 1,
+                }
+                Ok(LockOutcome::Granted)
+            } else {
+                if lcb.waiters.len() >= self.table.geometry().max_waiters {
+                    return Err(LockError::CapacityExceeded { name });
+                }
+                logs.append(
+                    node,
+                    LogPayload::LockAcquire { txn, name, mode: mode.into(), queued: true },
+                );
+                lcb.waiters.push(LockEntry { txn, mode });
+                self.table.write_lcb(m, node, line, slot, &lcb)?;
+                self.stats.waits += 1;
+                Ok(LockOutcome::Waiting)
+            }
+        })();
+        m.releaseline(node, line)?;
+        result
+    }
+
+    /// Make room for a new LCB, allocating an overflow line if the chain
+    /// is full. Overflow allocation is a structural change: it is logged
+    /// and *forced* (early commit, §4.2) before the new space is linked,
+    /// so no transaction can become dependent on volatile structural
+    /// state.
+    fn ensure_empty_slot(
+        &mut self,
+        m: &mut Machine,
+        logs: &mut LogSet,
+        txn: TxnId,
+        name: u64,
+        acting: NodeId,
+    ) -> Result<(LineId, usize), LockError> {
+        let node = acting;
+        if let Some(found) = self.table.find_empty_slot(m, node, name)? {
+            return Ok(found);
+        }
+        let chain = self.table.chain_for(m, node, name)?;
+        let tail = *chain.last().expect("chain non-empty");
+        let new_line = self.table.alloc_overflow(m, node, tail)?;
+        let lsn = logs.append(
+            node,
+            LogPayload::Structural {
+                txn,
+                kind: StructuralKind::LockSpaceAlloc { line: new_line.0, parent: tail.0 },
+            },
+        );
+        if logs.log_mut(node).force_to(lsn) {
+            let force_cost = m.config().cost.log_force;
+            m.advance(node, force_cost);
+        }
+        self.stats.overflow_allocs += 1;
+        Ok((new_line, 0))
+    }
+
+    /// Release `name` held by `txn`; grants any waiters that become
+    /// compatible. Returns the promoted entries (the engine resumes those
+    /// transactions). Each promotion is logged on the *promoted*
+    /// transaction's node so its lock state remains redoable.
+    pub fn release(
+        &mut self,
+        m: &mut Machine,
+        logs: &mut LogSet,
+        txn: TxnId,
+        name: u64,
+    ) -> Result<Vec<LockEntry>, LockError> {
+        let node = txn.node();
+        let (line, slot, mut lcb) = self
+            .table
+            .find(m, node, name)?
+            .ok_or(LockError::NotHolder { txn, name })?;
+        if !lcb.holds(txn) {
+            return Err(LockError::NotHolder { txn, name });
+        }
+        m.getline(node, line)?;
+        let result = (|| {
+            logs.append(node, LogPayload::LockRelease { txn, name });
+            lcb.remove(txn);
+            let promoted = lcb.promote_waiters();
+            for p in &promoted {
+                logs.append(
+                    p.txn.node(),
+                    LogPayload::LockAcquire { txn: p.txn, name, mode: p.mode.into(), queued: false },
+                );
+                // A promoted *upgrade* already has the name in its chain.
+                let chain = self.chains.entry(p.txn).or_default();
+                if !chain.contains(&name) {
+                    chain.push(name);
+                }
+            }
+            if lcb.is_empty() {
+                self.table.clear_lcb(m, node, line, slot)?;
+            } else {
+                self.table.write_lcb(m, node, line, slot, &lcb)?;
+            }
+            self.stats.releases += 1;
+            self.stats.promotions += promoted.len() as u64;
+            Ok(promoted)
+        })();
+        m.releaseline(node, line)?;
+        if let Some(chain) = self.chains.get_mut(&txn) {
+            chain.retain(|n| *n != name);
+            if chain.is_empty() {
+                self.chains.remove(&txn);
+            }
+        }
+        result
+    }
+
+    /// Cancel a *queued* (waiting) request by `txn` on `name`. Used by the
+    /// engine's no-wait policy: a transaction that would block is aborted,
+    /// and its queued request — which was logged — must be withdrawn (with
+    /// a matching release record, so log replay converges).
+    pub fn cancel_wait(
+        &mut self,
+        m: &mut Machine,
+        logs: &mut LogSet,
+        txn: TxnId,
+        name: u64,
+    ) -> Result<bool, LockError> {
+        let node = txn.node();
+        let Some((line, slot, mut lcb)) = self.table.find(m, node, name)? else {
+            return Ok(false);
+        };
+        if !lcb.waiters.iter().any(|w| w.txn == txn) {
+            return Ok(false);
+        }
+        m.getline(node, line)?;
+        let result = (|| {
+            logs.append(node, LogPayload::LockRelease { txn, name });
+            lcb.waiters.retain(|w| w.txn != txn);
+            let promoted = lcb.promote_waiters();
+            for p in &promoted {
+                logs.append(
+                    p.txn.node(),
+                    LogPayload::LockAcquire { txn: p.txn, name, mode: p.mode.into(), queued: false },
+                );
+                let chain = self.chains.entry(p.txn).or_default();
+                if !chain.contains(&name) {
+                    chain.push(name);
+                }
+            }
+            self.stats.promotions += promoted.len() as u64;
+            if lcb.is_empty() {
+                self.table.clear_lcb(m, node, line, slot)?;
+            } else {
+                self.table.write_lcb(m, node, line, slot, &lcb)?;
+            }
+            Ok(true)
+        })();
+        m.releaseline(node, line)?;
+        result
+    }
+
+    /// Release every lock held by `txn` (commit/abort path under strict
+    /// 2PL: locks are not released until the transaction ends — §2).
+    /// Returns all promoted entries with the lock they were granted.
+    pub fn release_all(
+        &mut self,
+        m: &mut Machine,
+        logs: &mut LogSet,
+        txn: TxnId,
+    ) -> Result<Vec<(u64, LockEntry)>, LockError> {
+        let names: Vec<u64> = self.held_locks(txn).to_vec();
+        let mut promoted = Vec::new();
+        for name in names {
+            promoted.extend(self.release(m, logs, txn, name)?.into_iter().map(|e| (name, e)));
+        }
+        Ok(promoted)
+    }
+
+    /// Forget a transaction's volatile chain without touching LCBs. Used
+    /// when the transaction's node crashed (its chain is gone anyway) after
+    /// recovery has scrubbed the LCBs.
+    pub fn drop_chain(&mut self, txn: TxnId) {
+        self.chains.remove(&txn);
+    }
+
+    /// Current holders of `name` (coherent read by `node`).
+    pub fn holders_of(
+        &self,
+        m: &mut Machine,
+        node: NodeId,
+        name: u64,
+    ) -> Result<Vec<LockEntry>, LockError> {
+        Ok(self.table.find(m, node, name)?.map(|(_, _, l)| l.holders).unwrap_or_default())
+    }
+
+    /// Current waiters on `name`.
+    pub fn waiters_of(
+        &self,
+        m: &mut Machine,
+        node: NodeId,
+        name: u64,
+    ) -> Result<Vec<LockEntry>, LockError> {
+        Ok(self.table.find(m, node, name)?.map(|(_, _, l)| l.waiters).unwrap_or_default())
+    }
+
+    pub(crate) fn table_mut(&mut self) -> &mut LockTable {
+        &mut self.table
+    }
+
+    pub(crate) fn chains_mut(&mut self) -> &mut BTreeMap<TxnId, Vec<u64>> {
+        &mut self.chains
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut LockStats {
+        &mut self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcb::LcbGeometry;
+    use smdb_sim::SimConfig;
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+
+    fn setup() -> (Machine, LogSet, LockManager) {
+        let mut m = Machine::new(SimConfig::new(4));
+        let logs = LogSet::new(4);
+        let table = LockTable::create(&mut m, N0, 5000, 16, LcbGeometry::co_located()).unwrap();
+        (m, logs, LockManager::new(table))
+    }
+
+    fn t(node: u16, seq: u64) -> TxnId {
+        TxnId::new(NodeId(node), seq)
+    }
+
+    #[test]
+    fn exclusive_grant_then_conflict_queues() {
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(0, 1);
+        let ty = t(1, 1);
+        assert_eq!(mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Exclusive).unwrap(), LockOutcome::Granted);
+        assert_eq!(mgr.acquire(&mut m, &mut logs, ty, 7, LockMode::Exclusive).unwrap(), LockOutcome::Waiting);
+        assert_eq!(mgr.stats().acquires, 1);
+        assert_eq!(mgr.stats().waits, 1);
+        assert_eq!(mgr.held_locks(tx), &[7]);
+        assert!(mgr.held_locks(ty).is_empty());
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let (mut m, mut logs, mut mgr) = setup();
+        for node in 0..3 {
+            let txn = t(node, 1);
+            assert_eq!(
+                mgr.acquire(&mut m, &mut logs, txn, 7, LockMode::Shared).unwrap(),
+                LockOutcome::Granted
+            );
+        }
+        let holders = mgr.holders_of(&mut m, N0, 7).unwrap();
+        assert_eq!(holders.len(), 3);
+    }
+
+    #[test]
+    fn release_promotes_waiter() {
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(0, 1);
+        let ty = t(1, 1);
+        mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Exclusive).unwrap();
+        mgr.acquire(&mut m, &mut logs, ty, 7, LockMode::Exclusive).unwrap();
+        let promoted = mgr.release(&mut m, &mut logs, tx, 7).unwrap();
+        assert_eq!(promoted.len(), 1);
+        assert_eq!(promoted[0].txn, ty);
+        assert_eq!(mgr.held_locks(ty), &[7]);
+        let holders = mgr.holders_of(&mut m, N0, 7).unwrap();
+        assert_eq!(holders.len(), 1);
+        assert_eq!(holders[0].txn, ty);
+    }
+
+    #[test]
+    fn release_not_held_is_error() {
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(0, 1);
+        assert_eq!(
+            mgr.release(&mut m, &mut logs, tx, 7),
+            Err(LockError::NotHolder { txn: tx, name: 7 })
+        );
+    }
+
+    #[test]
+    fn already_held_is_idempotent() {
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(0, 1);
+        mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Exclusive).unwrap();
+        assert_eq!(
+            mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Shared).unwrap(),
+            LockOutcome::AlreadyHeld
+        );
+        assert_eq!(
+            mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Exclusive).unwrap(),
+            LockOutcome::AlreadyHeld
+        );
+    }
+
+    #[test]
+    fn upgrade_when_sole_holder() {
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(0, 1);
+        mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Shared).unwrap();
+        assert_eq!(
+            mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Exclusive).unwrap(),
+            LockOutcome::Granted
+        );
+        let holders = mgr.holders_of(&mut m, N0, 7).unwrap();
+        assert_eq!(holders[0].mode, LockMode::Exclusive);
+    }
+
+    #[test]
+    fn upgrade_with_other_sharer_waits() {
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(0, 1);
+        let ty = t(1, 1);
+        mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Shared).unwrap();
+        mgr.acquire(&mut m, &mut logs, ty, 7, LockMode::Shared).unwrap();
+        assert_eq!(
+            mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Exclusive).unwrap(),
+            LockOutcome::Waiting
+        );
+    }
+
+    #[test]
+    fn read_locks_are_logged() {
+        // Table 1's "Logging of Read Locks" overhead: the shared request
+        // must appear in the acquiring node's log.
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(1, 1);
+        mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Shared).unwrap();
+        assert_eq!(logs.log(N1).stats().read_lock_records, 1);
+        assert_eq!(logs.log(N0).stats().read_lock_records, 0);
+    }
+
+    #[test]
+    fn queued_requests_are_logged() {
+        let (mut m, mut logs, mut mgr) = setup();
+        mgr.acquire(&mut m, &mut logs, t(0, 1), 7, LockMode::Exclusive).unwrap();
+        mgr.acquire(&mut m, &mut logs, t(1, 1), 7, LockMode::Exclusive).unwrap();
+        let queued = logs
+            .log(N1)
+            .records()
+            .iter()
+            .any(|r| matches!(r.payload, LogPayload::LockAcquire { queued: true, .. }));
+        assert!(queued);
+    }
+
+    #[test]
+    fn release_all_clears_chain() {
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(0, 1);
+        for name in [3u64, 4, 5] {
+            mgr.acquire(&mut m, &mut logs, tx, name, LockMode::Exclusive).unwrap();
+        }
+        assert_eq!(mgr.held_locks(tx).len(), 3);
+        mgr.release_all(&mut m, &mut logs, tx).unwrap();
+        assert!(mgr.held_locks(tx).is_empty());
+        for name in [3u64, 4, 5] {
+            assert!(mgr.holders_of(&mut m, N0, name).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn lcb_line_migrates_to_last_toucher() {
+        // The §3.1 failure-effect scenario: the last node to acquire a lock
+        // holds the only copy of the LCB line.
+        let (mut m, mut logs, mut mgr) = setup();
+        mgr.acquire(&mut m, &mut logs, t(0, 1), 7, LockMode::Shared).unwrap();
+        mgr.acquire(&mut m, &mut logs, t(1, 1), 7, LockMode::Shared).unwrap();
+        let line = mgr.table().bucket_line(7);
+        assert_eq!(m.exclusive_owner(line), Some(N1));
+    }
+
+    #[test]
+    fn overflow_alloc_is_forced_structural_commit() {
+        let (mut m, mut logs, mut mgr) = setup();
+        // Grab many names colliding into the same bucket until overflow.
+        // With 16 buckets and 2 slots each, 33+ distinct names guarantee
+        // some bucket overflows.
+        for i in 0..64u64 {
+            let txn = t(0, i + 1);
+            mgr.acquire(&mut m, &mut logs, txn, i + 1, LockMode::Exclusive).unwrap();
+        }
+        assert!(mgr.stats().overflow_allocs > 0, "expected at least one overflow");
+        assert_eq!(logs.log(N0).stats().structural_records, mgr.stats().overflow_allocs);
+        // Each structural record was forced (early commit).
+        let stable = logs.log(N0).stable_records();
+        let forced_structural = stable
+            .iter()
+            .filter(|r| matches!(r.payload, LogPayload::Structural { .. }))
+            .count() as u64;
+        assert_eq!(forced_structural, mgr.stats().overflow_allocs);
+    }
+}

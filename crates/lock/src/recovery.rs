@@ -1,0 +1,462 @@
+//! Lock-space restart recovery (§4.2.2).
+//!
+//! Guarantees, for every transaction active at crash time:
+//!
+//! 1. all locks acquired by transactions on **crashed** nodes are released
+//!    (undo — their entries are scrubbed from surviving LCBs);
+//! 2. no locks acquired by transactions on **surviving** nodes are lost
+//!    (redo — LCBs destroyed with a crashed node are reconstructed from
+//!    the surviving nodes' lock logs, which record *read locks and queued
+//!    requests too*).
+//!
+//! Per-transaction lock chains are pointer-derived data and are rebuilt
+//! *after* the underlying LCB data is restored, per the paper's guidance on
+//! pointer-based structures.
+
+use crate::lcb::{Lcb, LockEntry};
+use crate::manager::LockManager;
+use crate::mode::LockMode;
+use serde::{Deserialize, Serialize};
+use smdb_sim::{LineId, Machine, MemError, NodeId, TxnId};
+use smdb_wal::{LogPayload, LogSet, StructuralKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Counters describing one lock-space recovery pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockRecoveryStats {
+    /// Entries (grants or waits) of crashed-node transactions removed from
+    /// surviving LCBs.
+    pub crashed_entries_released: u64,
+    /// Lock-table lines that had been destroyed and were reinstalled.
+    pub lines_reinstalled: u64,
+    /// LCBs re-created from surviving logs.
+    pub lcbs_reconstructed: u64,
+    /// Surviving transactions' lock entries restored into reconstructed
+    /// LCBs.
+    pub survivor_entries_restored: u64,
+    /// Waiters promoted because a crashed transaction's grant was
+    /// released.
+    pub promotions: u64,
+    /// Overflow lines relinked from structural log records.
+    pub overflow_relinked: u64,
+}
+
+/// Replay one node's lock-log records into the desired per-name lock state
+/// for its *surviving active* transactions.
+fn replay_node_lock_log(
+    logs: &LogSet,
+    node: NodeId,
+    active: &BTreeSet<TxnId>,
+    desired: &mut BTreeMap<u64, Lcb>,
+) {
+    for rec in logs.log(node).records() {
+        match &rec.payload {
+            LogPayload::LockAcquire { txn, name, mode, queued } if active.contains(txn) => {
+                let lcb = desired.entry(*name).or_insert_with(|| Lcb::new(*name));
+                let mode = LockMode::from(*mode);
+                if *queued {
+                    if !lcb.waiters.iter().any(|w| w.txn == *txn) {
+                        lcb.waiters.push(LockEntry { txn: *txn, mode });
+                    }
+                } else {
+                    // A grant (possibly a promotion of an earlier queued
+                    // request, or an upgrade): drop any waiter entry and
+                    // any weaker grant first.
+                    lcb.waiters.retain(|w| w.txn != *txn);
+                    lcb.holders.retain(|h| h.txn != *txn);
+                    lcb.holders.push(LockEntry { txn: *txn, mode });
+                }
+            }
+            LogPayload::LockRelease { txn, name } if active.contains(txn) => {
+                if let Some(lcb) = desired.get_mut(name) {
+                    lcb.remove(*txn);
+                    if lcb.is_empty() {
+                        desired.remove(name);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl LockManager {
+    /// Restore the lock space after the crash of `crashed` nodes.
+    ///
+    /// * `active_surviving` — transactions that were active at crash time
+    ///   and ran on surviving nodes (their lock state must be preserved).
+    /// * `recovery_node` — the surviving node performing reconstruction
+    ///   writes (in a real system each survivor shares the work; charging
+    ///   one node keeps the accounting simple and conservative).
+    pub fn recover(
+        &mut self,
+        m: &mut Machine,
+        logs: &mut LogSet,
+        crashed: &[NodeId],
+        active_surviving: &BTreeSet<TxnId>,
+        recovery_node: NodeId,
+    ) -> Result<LockRecoveryStats, MemError> {
+        let mut stats = LockRecoveryStats::default();
+        let crashed: BTreeSet<NodeId> = crashed.iter().copied().collect();
+        let line_size = m.line_size();
+
+        // Phase 0: restore the overflow-chain skeleton from structural log
+        // records. Structural changes were committed early (forced), so
+        // every allocation appears in some node's *stable* log even if that
+        // node crashed; survivors' volatile logs cover the rest.
+        let mut links: Vec<(LineId, LineId)> = Vec::new();
+        for node in m.node_ids().collect::<Vec<_>>() {
+            let recs: Vec<_> = if m.is_crashed(node) {
+                logs.log(node).stable_records().to_vec()
+            } else {
+                logs.log(node).records().to_vec()
+            };
+            for rec in recs {
+                if let LogPayload::Structural {
+                    kind: StructuralKind::LockSpaceAlloc { line, parent },
+                    ..
+                } = rec.payload
+                {
+                    links.push((LineId(parent), LineId(line)));
+                }
+            }
+        }
+        for (parent, line) in links {
+            self.table_mut().restore_overflow_registration(parent, line);
+            if !m.probe_cached(line) {
+                // The overflow line itself died: reinstall empty; its LCBs
+                // are rebuilt in phase 2.
+                m.install_line(recovery_node, line, &vec![0u8; line_size])?;
+                stats.lines_reinstalled += 1;
+            }
+            if m.probe_cached(parent) {
+                // Relink the pointer in case the parent's copy predates the
+                // allocation (can't happen with coherent caches, but the
+                // write is idempotent and keeps the invariant explicit).
+                let geom = *self.table().geometry();
+                let off = geom.overflow_offset(line_size);
+                m.write(recovery_node, parent, off, &line.0.to_le_bytes())?;
+                stats.overflow_relinked += 1;
+            }
+        }
+
+        // Phase 1 (undo): scrub crashed transactions' entries from
+        // surviving lines, promoting any waiters their departure unblocks.
+        let all_lines = self.table().all_lines();
+        for line in &all_lines {
+            if !m.probe_cached(*line) {
+                continue;
+            }
+            let img = m.read_line(recovery_node, *line)?;
+            let lcbs = self.table().decode_line(&img);
+            for (slot, mut lcb) in lcbs {
+                let before = lcb.holders.len() + lcb.waiters.len();
+                lcb.holders.retain(|e| !crashed.contains(&e.txn.node()));
+                lcb.waiters.retain(|e| !crashed.contains(&e.txn.node()));
+                let removed = before - (lcb.holders.len() + lcb.waiters.len());
+                if removed == 0 {
+                    continue;
+                }
+                stats.crashed_entries_released += removed as u64;
+                let promoted = lcb.promote_waiters();
+                for p in &promoted {
+                    logs.append(
+                        p.txn.node(),
+                        LogPayload::LockAcquire {
+                            txn: p.txn,
+                            name: lcb.name,
+                            mode: p.mode.into(),
+                            queued: false,
+                        },
+                    );
+                }
+                stats.promotions += promoted.len() as u64;
+                if lcb.is_empty() {
+                    self.table().clear_lcb(m, recovery_node, *line, slot)?;
+                } else {
+                    self.table().write_lcb(m, recovery_node, *line, slot, &lcb)?;
+                }
+            }
+        }
+
+        // Phase 2 (redo): reconstruct lock state destroyed with crashed
+        // nodes. Compute the desired state of every surviving active
+        // transaction from the surviving logs, reinstall lost lines, and
+        // re-insert any LCB that no longer resolves.
+        let mut desired: BTreeMap<u64, Lcb> = BTreeMap::new();
+        for node in m.surviving_nodes() {
+            replay_node_lock_log(logs, node, active_surviving, &mut desired);
+        }
+        // Reinstall base-table lines that were destroyed.
+        for line in &all_lines {
+            if m.is_lost(*line) || !m.line_exists(*line) {
+                m.install_line(recovery_node, *line, &vec![0u8; line_size])?;
+                stats.lines_reinstalled += 1;
+            }
+        }
+        for (name, want) in &desired {
+            let have = self.table().find(m, recovery_node, *name)?;
+            match have {
+                Some((line, slot, mut existing)) => {
+                    // The LCB survived (phase 1 already scrubbed crashed
+                    // entries). Ensure every surviving entry is present —
+                    // entries can be missing if the surviving copy of the
+                    // line predates a later acquisition that lived only on
+                    // the crashed node.
+                    let mut changed = false;
+                    for h in &want.holders {
+                        if !existing.holders.iter().any(|e| e.txn == h.txn) {
+                            existing.holders.push(*h);
+                            existing.waiters.retain(|w| w.txn != h.txn);
+                            stats.survivor_entries_restored += 1;
+                            changed = true;
+                        }
+                    }
+                    for w in &want.waiters {
+                        if !existing.waiters.iter().any(|e| e.txn == w.txn)
+                            && !existing.holders.iter().any(|e| e.txn == w.txn)
+                        {
+                            existing.waiters.push(*w);
+                            stats.survivor_entries_restored += 1;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        self.table().write_lcb(m, recovery_node, line, slot, &existing)?;
+                    }
+                }
+                None => {
+                    let (line, slot) = match self.table().find_empty_slot(m, recovery_node, *name)? {
+                        Some(found) => found,
+                        None => {
+                            // The chain is full (reconstruction packs LCBs
+                            // in a different order than the original
+                            // inserts): extend it, early-committing the
+                            // structural change exactly as normal
+                            // operation would.
+                            let chain = self.table().chain_for(m, recovery_node, *name)?;
+                            let tail = *chain.last().expect("chain non-empty");
+                            let new_line = self.table_mut().alloc_overflow(m, recovery_node, tail)?;
+                            let recovery_txn = TxnId::new(recovery_node, 0);
+                            let lsn = logs.append(
+                                recovery_node,
+                                LogPayload::Structural {
+                                    txn: recovery_txn,
+                                    kind: StructuralKind::LockSpaceAlloc {
+                                        line: new_line.0,
+                                        parent: tail.0,
+                                    },
+                                },
+                            );
+                            if logs.log_mut(recovery_node).force_to(lsn) {
+                                let cost = m.config().cost.log_force;
+                                m.advance(recovery_node, cost);
+                            }
+                            (new_line, 0)
+                        }
+                    };
+                    self.table().write_lcb(m, recovery_node, line, slot, want)?;
+                    stats.lcbs_reconstructed += 1;
+                    stats.survivor_entries_restored +=
+                        (want.holders.len() + want.waiters.len()) as u64;
+                }
+            }
+        }
+
+        // Phase 3: rebuild the per-transaction chains from the restored
+        // LCB data (pointers reconstructed from the data they derive from).
+        self.chains_mut().clear();
+        let lines = self.table().all_lines();
+        let mut new_chains: BTreeMap<TxnId, Vec<u64>> = BTreeMap::new();
+        for line in lines {
+            if let Some(img) = m.peek(line).map(|d| d.to_vec()) {
+                for (_, lcb) in self.table().decode_line(&img) {
+                    for e in &lcb.holders {
+                        new_chains.entry(e.txn).or_default().push(lcb.name);
+                    }
+                }
+            }
+        }
+        *self.chains_mut() = new_chains;
+        self.stats_mut().promotions += stats.promotions;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcb::LcbGeometry;
+    use crate::manager::LockOutcome;
+    use crate::table::LockTable;
+    use smdb_sim::SimConfig;
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+    const N2: NodeId = NodeId(2);
+
+    fn setup() -> (Machine, LogSet, LockManager) {
+        let mut m = Machine::new(SimConfig::new(4));
+        let logs = LogSet::new(4);
+        let table = LockTable::create(&mut m, N0, 5000, 16, LcbGeometry::co_located()).unwrap();
+        (m, logs, LockManager::new(table))
+    }
+
+    fn t(node: u16, seq: u64) -> TxnId {
+        TxnId::new(NodeId(node), seq)
+    }
+
+    #[test]
+    fn crashed_txn_locks_released_from_surviving_lcb() {
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(0, 1); // will crash
+        let ty = t(1, 1); // survives
+        mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Shared).unwrap();
+        mgr.acquire(&mut m, &mut logs, ty, 7, LockMode::Shared).unwrap();
+        // LCB line now lives on n1 (survivor); crash n0.
+        m.crash(&[N0]);
+        logs.crash(&[N0]);
+        let active: BTreeSet<TxnId> = [ty].into_iter().collect();
+        let st = mgr.recover(&mut m, &mut logs, &[N0], &active, N1).unwrap();
+        assert_eq!(st.crashed_entries_released, 1);
+        let holders = mgr.holders_of(&mut m, N1, 7).unwrap();
+        assert_eq!(holders.len(), 1);
+        assert_eq!(holders[0].txn, ty);
+        assert_eq!(mgr.held_locks(ty), &[7]);
+    }
+
+    #[test]
+    fn survivor_locks_reconstructed_when_lcb_destroyed() {
+        // The inverse §3.1 scenario: the last toucher of the LCB line
+        // crashes, destroying the only copy — including the survivor's
+        // grant. Redo from the survivor's lock log must restore it.
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(1, 1); // survives
+        let ty = t(2, 1); // crashes, and was last to touch the LCB line
+        mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Shared).unwrap();
+        mgr.acquire(&mut m, &mut logs, ty, 7, LockMode::Shared).unwrap();
+        let line = mgr.table().bucket_line(7);
+        assert_eq!(m.exclusive_owner(line), Some(N2));
+        m.crash(&[N2]);
+        logs.crash(&[N2]);
+        assert!(m.is_lost(line));
+        let active: BTreeSet<TxnId> = [tx].into_iter().collect();
+        let st = mgr.recover(&mut m, &mut logs, &[N2], &active, N1).unwrap();
+        assert!(st.lines_reinstalled >= 1);
+        assert_eq!(st.lcbs_reconstructed, 1);
+        let holders = mgr.holders_of(&mut m, N1, 7).unwrap();
+        assert_eq!(holders.len(), 1);
+        assert_eq!(holders[0].txn, tx);
+        assert_eq!(holders[0].mode, LockMode::Shared);
+    }
+
+    #[test]
+    fn read_lock_logging_is_what_enables_redo() {
+        // Without read-lock log records the reconstruction above would be
+        // impossible: verify the reconstruction really came from a Shared
+        // acquire record.
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(1, 1);
+        mgr.acquire(&mut m, &mut logs, tx, 9, LockMode::Shared).unwrap();
+        assert_eq!(logs.log(N1).stats().read_lock_records, 1);
+        // Destroy the LCB line by migrating it to n2 and crashing n2.
+        let ty = t(2, 1);
+        mgr.acquire(&mut m, &mut logs, ty, 9, LockMode::Shared).unwrap();
+        m.crash(&[N2]);
+        logs.crash(&[N2]);
+        let active: BTreeSet<TxnId> = [tx].into_iter().collect();
+        mgr.recover(&mut m, &mut logs, &[N2], &active, N1).unwrap();
+        let holders = mgr.holders_of(&mut m, N1, 9).unwrap();
+        assert_eq!(holders.len(), 1, "shared lock redone from read-lock log record");
+    }
+
+    #[test]
+    fn released_locks_stay_released_after_recovery() {
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(1, 1);
+        mgr.acquire(&mut m, &mut logs, tx, 5, LockMode::Exclusive).unwrap();
+        mgr.release(&mut m, &mut logs, tx, 5).unwrap();
+        // Lose the (now empty) bucket line with a crash of its owner.
+        let line = mgr.table().bucket_line(5);
+        let owner = m.exclusive_owner(line).unwrap();
+        if owner != N1 {
+            m.crash(&[owner]);
+            logs.crash(&[owner]);
+            let active: BTreeSet<TxnId> = [tx].into_iter().collect();
+            mgr.recover(&mut m, &mut logs, &[owner], &active, N1).unwrap();
+        }
+        assert!(mgr.holders_of(&mut m, N1, 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn waiter_of_crashed_holder_gets_promoted() {
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(0, 1); // holder, will crash
+        let ty = t(1, 1); // waiter, survives
+        mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Exclusive).unwrap();
+        assert_eq!(
+            mgr.acquire(&mut m, &mut logs, ty, 7, LockMode::Exclusive).unwrap(),
+            LockOutcome::Waiting
+        );
+        m.crash(&[N0]);
+        logs.crash(&[N0]);
+        let active: BTreeSet<TxnId> = [ty].into_iter().collect();
+        let st = mgr.recover(&mut m, &mut logs, &[N0], &active, N1).unwrap();
+        assert_eq!(st.promotions, 1);
+        let holders = mgr.holders_of(&mut m, N1, 7).unwrap();
+        assert_eq!(holders.len(), 1);
+        assert_eq!(holders[0].txn, ty);
+        assert_eq!(mgr.held_locks(ty), &[7]);
+    }
+
+    #[test]
+    fn queued_request_of_survivor_reconstructed() {
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(1, 1); // holder, survives
+        let ty = t(2, 1); // waiter, survives
+        let tz = t(0, 1); // toucher that takes the line and crashes
+        mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Exclusive).unwrap();
+        mgr.acquire(&mut m, &mut logs, ty, 7, LockMode::Exclusive).unwrap();
+        // tz takes an unrelated lock that co-locates in the same line: use
+        // the same name's bucket by locking name 7 in shared — simpler: tz
+        // just touches the LCB line via a conflicting request.
+        assert_eq!(
+            mgr.acquire(&mut m, &mut logs, tz, 7, LockMode::Shared).unwrap(),
+            LockOutcome::Waiting
+        );
+        let line = mgr.table().bucket_line(7);
+        assert_eq!(m.exclusive_owner(line), Some(N0));
+        m.crash(&[N0]);
+        logs.crash(&[N0]);
+        let active: BTreeSet<TxnId> = [tx, ty].into_iter().collect();
+        mgr.recover(&mut m, &mut logs, &[N0], &active, N1).unwrap();
+        let holders = mgr.holders_of(&mut m, N1, 7).unwrap();
+        let waiters = mgr.waiters_of(&mut m, N1, 7).unwrap();
+        assert_eq!(holders.len(), 1);
+        assert_eq!(holders[0].txn, tx);
+        assert_eq!(waiters.len(), 1);
+        assert_eq!(waiters[0].txn, ty);
+    }
+
+    #[test]
+    fn multi_node_crash_recovery() {
+        let (mut m, mut logs, mut mgr) = setup();
+        let survivors: Vec<TxnId> = (0..2).map(|s| t(1, s + 1)).collect();
+        for (i, &txn) in survivors.iter().enumerate() {
+            mgr.acquire(&mut m, &mut logs, txn, 100 + i as u64, LockMode::Exclusive).unwrap();
+        }
+        let doomed_a = t(0, 1);
+        let doomed_b = t(2, 1);
+        mgr.acquire(&mut m, &mut logs, doomed_a, 100, LockMode::Shared).unwrap();
+        mgr.acquire(&mut m, &mut logs, doomed_b, 101, LockMode::Shared).unwrap();
+        m.crash(&[N0, N2]);
+        logs.crash(&[N0, N2]);
+        let active: BTreeSet<TxnId> = survivors.iter().copied().collect();
+        mgr.recover(&mut m, &mut logs, &[N0, N2], &active, N1).unwrap();
+        for (i, &txn) in survivors.iter().enumerate() {
+            let holders = mgr.holders_of(&mut m, N1, 100 + i as u64).unwrap();
+            assert_eq!(holders.len(), 1, "lock {} has exactly the survivor", 100 + i);
+            assert_eq!(holders[0].txn, txn);
+        }
+    }
+}

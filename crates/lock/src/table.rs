@@ -1,0 +1,303 @@
+//! The shared-memory lock table: hash-addressed bucket lines of LCBs.
+//!
+//! §4.2.2: *"Using a hash function, the name is translated to an LCB
+//! address specific to one lock."* Buckets are cache lines holding
+//! [`LcbGeometry::lcbs_per_line`] LCB slots plus an overflow pointer;
+//! overflow lines are allocated dynamically — a *structural* change that
+//! the manager commits early (§4.2).
+
+use crate::lcb::{self, Lcb, LcbGeometry};
+use smdb_sim::{LineId, Machine, MemError, NodeId};
+
+/// Hash a lock name to a bucket index (splitmix64 finalizer: cheap and
+/// well-distributed).
+fn bucket_hash(name: u64) -> u64 {
+    let mut z = name.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The lock table: a fixed array of bucket lines in shared memory, plus
+/// dynamically allocated overflow lines.
+#[derive(Clone, Debug)]
+pub struct LockTable {
+    base: u64,
+    n_buckets: usize,
+    geom: LcbGeometry,
+    line_size: usize,
+    /// Overflow lines allocated so far, as (parent line, overflow line).
+    /// Derived state: each allocation is recorded in a forced structural
+    /// log record, so this list is reconstructible from the stable logs;
+    /// we keep the materialized copy as volatile bookkeeping.
+    overflow_lines: Vec<(LineId, LineId)>,
+}
+
+impl LockTable {
+    /// Create the lock table: `n_buckets` zeroed bucket lines starting at
+    /// line address `base`, created in `node`'s cache. Pre-allocation means
+    /// the base table involves no structural changes at run time.
+    pub fn create(
+        m: &mut Machine,
+        node: NodeId,
+        base: u64,
+        n_buckets: usize,
+        geom: LcbGeometry,
+    ) -> Result<LockTable, MemError> {
+        assert!(n_buckets > 0, "lock table needs at least one bucket");
+        assert!(geom.fits(m.line_size()), "LCB geometry does not fit the cache line size");
+        let zero = vec![0u8; m.line_size()];
+        for i in 0..n_buckets {
+            m.create_line_at(node, LineId(base + i as u64), &zero)?;
+        }
+        Ok(LockTable { base, n_buckets, geom, line_size: m.line_size(), overflow_lines: Vec::new() })
+    }
+
+    /// The LCB geometry in use.
+    pub fn geometry(&self) -> &LcbGeometry {
+        &self.geom
+    }
+
+    /// Number of base buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.n_buckets
+    }
+
+    /// The bucket line a lock name hashes to.
+    pub fn bucket_line(&self, name: u64) -> LineId {
+        LineId(self.base + bucket_hash(name) % self.n_buckets as u64)
+    }
+
+    /// Whether `line` belongs to the lock table (base bucket or overflow).
+    pub fn owns_line(&self, line: LineId) -> bool {
+        (line.0 >= self.base && line.0 < self.base + self.n_buckets as u64)
+            || self.overflow_lines.iter().any(|&(_, l)| l == line)
+    }
+
+    /// Every line of the table: base buckets then overflow lines.
+    pub fn all_lines(&self) -> Vec<LineId> {
+        let mut v: Vec<LineId> = (0..self.n_buckets as u64).map(|i| LineId(self.base + i)).collect();
+        v.extend(self.overflow_lines.iter().map(|&(_, l)| l));
+        v
+    }
+
+    /// The overflow line linked from `line`, if any, according to the
+    /// coherent contents read by `node`.
+    pub fn read_overflow_of(
+        &self,
+        m: &mut Machine,
+        node: NodeId,
+        line: LineId,
+    ) -> Result<Option<LineId>, MemError> {
+        let img = m.read_line(node, line)?;
+        let ptr = lcb::read_overflow(&self.geom, &img);
+        Ok(if ptr == 0 { None } else { Some(LineId(ptr)) })
+    }
+
+    /// Walk the bucket chain for `name`, returning the lines in order.
+    pub fn chain_for(&self, m: &mut Machine, node: NodeId, name: u64) -> Result<Vec<LineId>, MemError> {
+        let mut chain = vec![self.bucket_line(name)];
+        loop {
+            let last = *chain.last().expect("chain non-empty");
+            match self.read_overflow_of(m, node, last)? {
+                Some(next) => chain.push(next),
+                None => break,
+            }
+        }
+        Ok(chain)
+    }
+
+    /// Find the slot holding `name` in the chain: returns
+    /// `(line, slot index, decoded LCB)`.
+    pub fn find(
+        &self,
+        m: &mut Machine,
+        node: NodeId,
+        name: u64,
+    ) -> Result<Option<(LineId, usize, Lcb)>, MemError> {
+        for line in self.chain_for(m, node, name)? {
+            let img = m.read_line(node, line)?;
+            for slot in 0..self.geom.lcbs_per_line {
+                let off = self.geom.slot_offset(slot);
+                if let Some(l) = lcb::decode_slot(&self.geom, &img[off..off + self.geom.slot_size()]) {
+                    if l.name == name {
+                        return Ok(Some((line, slot, l)));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Find the first empty slot in the chain for `name`: returns
+    /// `(line, slot index)`, or `None` if every line in the chain is full
+    /// (the caller must allocate an overflow line).
+    pub fn find_empty_slot(
+        &self,
+        m: &mut Machine,
+        node: NodeId,
+        name: u64,
+    ) -> Result<Option<(LineId, usize)>, MemError> {
+        for line in self.chain_for(m, node, name)? {
+            let img = m.read_line(node, line)?;
+            for slot in 0..self.geom.lcbs_per_line {
+                let off = self.geom.slot_offset(slot);
+                if lcb::decode_slot(&self.geom, &img[off..off + self.geom.slot_size()]).is_none() {
+                    return Ok(Some((line, slot)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Write `lcb` into `(line, slot)` via a coherent write by `node`.
+    pub fn write_lcb(
+        &self,
+        m: &mut Machine,
+        node: NodeId,
+        line: LineId,
+        slot: usize,
+        lcb_val: &Lcb,
+    ) -> Result<(), MemError> {
+        let mut buf = vec![0u8; self.geom.slot_size()];
+        lcb::encode_slot(&self.geom, lcb_val, &mut buf);
+        m.write(node, line, self.geom.slot_offset(slot), &buf)
+    }
+
+    /// Clear `(line, slot)` (reclaim the LCB slot).
+    pub fn clear_lcb(
+        &self,
+        m: &mut Machine,
+        node: NodeId,
+        line: LineId,
+        slot: usize,
+    ) -> Result<(), MemError> {
+        let buf = vec![0u8; self.geom.slot_size()];
+        m.write(node, line, self.geom.slot_offset(slot), &buf)
+    }
+
+    /// Allocate and link an overflow line at the end of the chain whose
+    /// last line is `tail`. Returns the new line. The *caller* is
+    /// responsible for the early-commit protocol (logging a forced
+    /// structural record *before* calling, §4.2).
+    pub fn alloc_overflow(
+        &mut self,
+        m: &mut Machine,
+        node: NodeId,
+        tail: LineId,
+    ) -> Result<LineId, MemError> {
+        let zero = vec![0u8; self.line_size];
+        let new_line = m.alloc_line(node, &zero)?;
+        // Link: write the overflow pointer in the tail line.
+        let off = self.geom.overflow_offset(self.line_size);
+        m.write(node, tail, off, &new_line.0.to_le_bytes())?;
+        self.overflow_lines.push((tail, new_line));
+        Ok(new_line)
+    }
+
+    /// Re-register an overflow link during recovery (the link was replayed
+    /// from a structural log record).
+    pub fn restore_overflow_registration(&mut self, parent: LineId, line: LineId) {
+        if !self.overflow_lines.iter().any(|&(_, l)| l == line) {
+            self.overflow_lines.push((parent, line));
+        }
+    }
+
+    /// Decode every LCB in a raw line image (recovery-time helper).
+    pub fn decode_line(&self, img: &[u8]) -> Vec<(usize, Lcb)> {
+        let mut out = Vec::new();
+        for slot in 0..self.geom.lcbs_per_line {
+            let off = self.geom.slot_offset(slot);
+            if let Some(l) = lcb::decode_slot(&self.geom, &img[off..off + self.geom.slot_size()]) {
+                out.push((slot, l));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcb::LockEntry;
+    use crate::mode::LockMode;
+    use smdb_sim::{SimConfig, TxnId};
+
+    const N0: NodeId = NodeId(0);
+    const BASE: u64 = 1000;
+
+    fn setup() -> (Machine, LockTable) {
+        let mut m = Machine::new(SimConfig::new(2));
+        let t = LockTable::create(&mut m, N0, BASE, 8, LcbGeometry::co_located()).unwrap();
+        (m, t)
+    }
+
+    #[test]
+    fn bucket_addressing_is_stable_and_in_range() {
+        let (_, t) = setup();
+        for name in 1..100u64 {
+            let b = t.bucket_line(name);
+            assert!(b.0 >= BASE && b.0 < BASE + 8);
+            assert_eq!(t.bucket_line(name), b, "hash is deterministic");
+        }
+    }
+
+    #[test]
+    fn find_on_empty_table_is_none() {
+        let (mut m, t) = setup();
+        assert_eq!(t.find(&mut m, N0, 42).unwrap(), None);
+    }
+
+    #[test]
+    fn write_then_find_round_trips() {
+        let (mut m, t) = setup();
+        let (line, slot) = t.find_empty_slot(&mut m, N0, 42).unwrap().unwrap();
+        let mut l = Lcb::new(42);
+        l.holders.push(LockEntry { txn: TxnId::new(N0, 1), mode: LockMode::Exclusive });
+        t.write_lcb(&mut m, N0, line, slot, &l).unwrap();
+        let (fline, fslot, found) = t.find(&mut m, N0, 42).unwrap().unwrap();
+        assert_eq!((fline, fslot), (line, slot));
+        assert_eq!(found, l);
+    }
+
+    #[test]
+    fn clear_reclaims_slot() {
+        let (mut m, t) = setup();
+        let (line, slot) = t.find_empty_slot(&mut m, N0, 42).unwrap().unwrap();
+        t.write_lcb(&mut m, N0, line, slot, &Lcb::new(42)).unwrap();
+        t.clear_lcb(&mut m, N0, line, slot).unwrap();
+        assert_eq!(t.find(&mut m, N0, 42).unwrap(), None);
+    }
+
+    #[test]
+    fn overflow_chain_extends_bucket() {
+        let (mut m, mut t) = setup();
+        // Fill the bucket for some name with colliding entries.
+        let name = 7u64;
+        let bucket = t.bucket_line(name);
+        // Occupy all slots of the bucket line with other names.
+        for slot in 0..t.geometry().lcbs_per_line {
+            t.write_lcb(&mut m, N0, bucket, slot, &Lcb::new(1000 + slot as u64)).unwrap();
+        }
+        assert_eq!(t.find_empty_slot(&mut m, N0, name).unwrap(), None);
+        let of = t.alloc_overflow(&mut m, N0, bucket).unwrap();
+        assert!(of.0 >= LineId::DYNAMIC_BASE);
+        let (line, slot) = t.find_empty_slot(&mut m, N0, name).unwrap().unwrap();
+        assert_eq!(line, of);
+        t.write_lcb(&mut m, N0, line, slot, &Lcb::new(name)).unwrap();
+        let (fline, _, _) = t.find(&mut m, N0, name).unwrap().unwrap();
+        assert_eq!(fline, of);
+        assert!(t.owns_line(of));
+        assert_eq!(t.all_lines().len(), 9);
+    }
+
+    #[test]
+    fn chain_walk_reports_all_lines() {
+        let (mut m, mut t) = setup();
+        let name = 9u64;
+        let bucket = t.bucket_line(name);
+        let of1 = t.alloc_overflow(&mut m, N0, bucket).unwrap();
+        let of2 = t.alloc_overflow(&mut m, N0, of1).unwrap();
+        assert_eq!(t.chain_for(&mut m, N0, name).unwrap(), vec![bucket, of1, of2]);
+    }
+}

@@ -1,0 +1,39 @@
+//! LCB wire-codec round trips under both geometries, for arbitrary
+//! holder/waiter populations within capacity.
+
+use proptest::prelude::*;
+use smdb_lock::{decode_slot, encode_slot, read_overflow, write_overflow, Lcb, LcbGeometry, LockEntry, LockMode};
+use smdb_sim::{NodeId, TxnId};
+
+fn entry_strategy() -> impl Strategy<Value = LockEntry> {
+    (0u16..1024, 1u64..1_000_000, any::<bool>()).prop_map(|(node, seq, x)| LockEntry {
+        txn: TxnId::new(NodeId(node), seq),
+        mode: if x { LockMode::Exclusive } else { LockMode::Shared },
+    })
+}
+
+proptest! {
+    #[test]
+    fn slot_round_trips(
+        one_per_line in any::<bool>(),
+        name in 1u64..u64::MAX,
+        holders in proptest::collection::vec(entry_strategy(), 0..3),
+        waiters in proptest::collection::vec(entry_strategy(), 0..2),
+    ) {
+        let geom = if one_per_line { LcbGeometry::one_per_line() } else { LcbGeometry::co_located() };
+        let mut lcb = Lcb::new(name);
+        lcb.holders = holders;
+        lcb.waiters = waiters;
+        let mut buf = vec![0u8; geom.slot_size()];
+        encode_slot(&geom, &lcb, &mut buf);
+        prop_assert_eq!(decode_slot(&geom, &buf), Some(lcb));
+    }
+
+    #[test]
+    fn overflow_pointer_round_trips(ptr in any::<u64>(), line_size in 128usize..512) {
+        let geom = LcbGeometry::co_located();
+        let mut line = vec![0u8; line_size];
+        write_overflow(&geom, &mut line, ptr);
+        prop_assert_eq!(read_overflow(&geom, &line), ptr);
+    }
+}

@@ -1,0 +1,91 @@
+//! Analytic line-lock contention model (experiment E1).
+//!
+//! The paper reports empirical KSR-1 measurements for the line-lock
+//! primitive (§5.1): *"under low contention, the mean execution time to
+//! obtain a line lock is less than 10 µs, and under high contention (32
+//! processors simultaneously attempting to acquire the same line), the mean
+//! execution time to obtain a line lock is less than 40 µs."*
+//!
+//! The deterministic simulator executes one operation at a time, so true
+//! simultaneous contention is modelled analytically: when `k` nodes request
+//! the same line lock at the same instant, the hardware serialises them.
+//! Requester `i` (0-based, in arrival order) waits for the `i` holders
+//! ahead of it, each of which costs one line transfer plus a contention
+//! step (directory re-arbitration). This linear-queueing model matches the
+//! shape of the KSR-1 measurements: cost grows roughly linearly in queue
+//! position, and the *mean* over all requesters grows linearly in `k`.
+
+use crate::cost::CostModel;
+
+/// Outcome of a simultaneous `k`-way line-lock contention episode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ContentionOutcome {
+    /// Number of simultaneous requesters.
+    pub requesters: u32,
+    /// Acquisition cost in cycles for each requester, in service order.
+    pub per_requester_cycles: Vec<u64>,
+    /// Mean acquisition cost over all requesters, cycles.
+    pub mean_cycles: f64,
+    /// Mean acquisition cost, µs-equivalents.
+    pub mean_us: f64,
+    /// Worst (last-served) acquisition cost, µs-equivalents.
+    pub max_us: f64,
+}
+
+/// Compute the per-requester and mean costs when `k` nodes simultaneously
+/// attempt to acquire a line lock on the *same* line (the §5.1 high
+/// contention experiment). `k = 1` is the uncontended case.
+pub fn contended_line_lock_costs(cost: &CostModel, k: u32) -> ContentionOutcome {
+    assert!(k >= 1, "at least one requester");
+    let base = cost.remote_transfer + cost.line_lock_acquire;
+    let per: Vec<u64> = (0..k)
+        .map(|i| base + i as u64 * (cost.line_lock_contention_step + cost.line_lock_release))
+        .collect();
+    let sum: u64 = per.iter().sum();
+    let mean = sum as f64 / k as f64;
+    ContentionOutcome {
+        requesters: k,
+        mean_us: cost.cycles_to_us(mean.round() as u64),
+        max_us: cost.cycles_to_us(*per.last().expect("non-empty")),
+        per_requester_cycles: per,
+        mean_cycles: mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_matches_paper_low_contention_bound() {
+        let c = CostModel::default();
+        let o = contended_line_lock_costs(&c, 1);
+        assert!(o.mean_us <= 10.0, "uncontended acquire {} µs > 10 µs", o.mean_us);
+    }
+
+    #[test]
+    fn thirty_two_way_matches_paper_high_contention_bound() {
+        let c = CostModel::default();
+        let o = contended_line_lock_costs(&c, 32);
+        assert!(o.mean_us <= 40.0, "32-way mean {} µs > 40 µs", o.mean_us);
+        assert!(o.mean_us > 10.0, "32-way contention should cost more than uncontended");
+    }
+
+    #[test]
+    fn cost_grows_monotonically_in_queue_position() {
+        let c = CostModel::default();
+        let o = contended_line_lock_costs(&c, 8);
+        for w in o.per_requester_cycles.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn mean_grows_with_contention() {
+        let c = CostModel::default();
+        let m1 = contended_line_lock_costs(&c, 1).mean_cycles;
+        let m8 = contended_line_lock_costs(&c, 8).mean_cycles;
+        let m32 = contended_line_lock_costs(&c, 32).mean_cycles;
+        assert!(m1 < m8 && m8 < m32);
+    }
+}

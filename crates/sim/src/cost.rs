@@ -1,0 +1,113 @@
+//! Simulated cost model.
+//!
+//! All memory operations charge simulated **cycles** to the acting node's
+//! clock. The defaults are calibrated so that the line-lock latencies of the
+//! paper's §5.1 prototype measurements reproduce in µs-equivalents:
+//! an uncontended `getline` ≈ 10 µs and a 32-way contended `getline`
+//! ≈ 40 µs (see experiment E1 in `DESIGN.md`).
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs for the simulated machine.
+///
+/// The ordering the paper assumes (§2) is preserved by the defaults:
+/// *"operation execution time is minimal if the data item is already in the
+/// cache, more expensive if the data item is in another node's cache, and
+/// the most expensive if the data item must be fetched from disk."*
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Access to a line already valid in the local cache.
+    pub local_hit: u64,
+    /// Transferring a line from another node's cache (migration or
+    /// replication).
+    pub remote_transfer: u64,
+    /// Invalidating one remote copy of a line.
+    pub invalidate: u64,
+    /// Updating one remote copy in write-broadcast mode.
+    pub broadcast_update: u64,
+    /// Uncontended line-lock (`getline`) overhead, beyond the data
+    /// transfer itself.
+    pub line_lock_acquire: u64,
+    /// Extra delay charged per waiter position when a line lock is
+    /// contended (queueing model; see [`crate::contended_line_lock_costs`]).
+    pub line_lock_contention_step: u64,
+    /// Releasing a line lock.
+    pub line_lock_release: u64,
+    /// One stable-log force (a synchronous disk write of the log tail).
+    pub log_force: u64,
+    /// One page read or write against the stable database.
+    pub disk_io: u64,
+    /// Calibration constant: cycles per microsecond, used only when
+    /// reporting µs-equivalents.
+    pub cycles_per_us: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Calibration: with cycles_per_us = 100 (a 100 MHz early-90s
+        // processor), an uncontended getline is remote_transfer +
+        // line_lock_acquire = 1000 cycles = 10 µs, matching the paper's
+        // "less than 10 µs" low-contention measurement. 32 contending
+        // processors add a per-position step so the mean lands near the
+        // paper's "less than 40 µs". A log force costs 10 ms-equivalent
+        // (one rotational disk write), dwarfing any cache operation.
+        CostModel {
+            local_hit: 10,
+            remote_transfer: 600,
+            invalidate: 150,
+            broadcast_update: 200,
+            line_lock_acquire: 400,
+            line_lock_contention_step: 140,
+            line_lock_release: 50,
+            log_force: 1_000_000,
+            disk_io: 1_200_000,
+            cycles_per_us: 100,
+        }
+    }
+}
+
+impl CostModel {
+    /// Convert a cycle count into microsecond-equivalents using the model's
+    /// calibration constant.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.cycles_per_us as f64
+    }
+
+    /// A cost model in which stable storage is non-volatile RAM rather than
+    /// disk: log forces become cheap. The paper (§7) observes that
+    /// *"advances in technology, such as the proliferation of non-volatile
+    /// RAM, may make it feasible to store large portions of the log in low
+    /// latency stable store. In this case, a Stable LBM policy may incur
+    /// reasonably low overheads."* The ablation bench `log_forces` uses
+    /// this variant.
+    pub fn with_nvram_log(mut self) -> Self {
+        self.log_force = 2_000; // ~20 µs NVRAM write
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ordering_matches_paper() {
+        let c = CostModel::default();
+        assert!(c.local_hit < c.remote_transfer);
+        assert!(c.remote_transfer < c.disk_io);
+        assert!(c.log_force > c.remote_transfer * 100);
+    }
+
+    #[test]
+    fn uncontended_line_lock_is_about_ten_us() {
+        let c = CostModel::default();
+        let cycles = c.remote_transfer + c.line_lock_acquire;
+        assert_eq!(c.cycles_to_us(cycles), 10.0);
+    }
+
+    #[test]
+    fn nvram_variant_shrinks_forces() {
+        let c = CostModel::default().with_nvram_log();
+        assert!(c.log_force < CostModel::default().log_force / 100);
+    }
+}

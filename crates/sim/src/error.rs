@@ -1,0 +1,71 @@
+//! Memory-operation errors.
+
+use crate::ids::{LineId, NodeId};
+use std::fmt;
+
+/// Errors returned by [`crate::Machine`] memory operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// The access conflicts with a line lock held by another node, or (with
+    /// `stall_on_lost`) references a line destroyed by a node crash while
+    /// recovery is pending. On real hardware the processor would stall; the
+    /// simulator surfaces the stall to the caller, which may retry after
+    /// the conflicting condition clears.
+    Stalled { line: LineId, holder: Option<NodeId> },
+    /// Every valid copy of the line resided on crashed nodes; the data is
+    /// gone. Recovery must reconstruct it from logs or the stable database.
+    LineLost { line: LineId },
+    /// The line has never been created, or was evicted from every cache
+    /// after being made durable. The caller must (re)install it, typically
+    /// by fetching the containing page from the stable database.
+    NotResident { line: LineId },
+    /// `create_line_at` on an address that is already populated.
+    AlreadyExists { line: LineId },
+    /// Operation issued on behalf of a node that has crashed.
+    NodeCrashed { node: NodeId },
+    /// Line-lock release by a node that does not hold the lock.
+    NotLockHolder { line: LineId, node: NodeId },
+    /// Out-of-bounds access within a line.
+    OutOfBounds { line: LineId, offset: usize, len: usize },
+    /// Node id outside the configured machine population.
+    NoSuchNode { node: NodeId },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Stalled { line, holder } => match holder {
+                Some(h) => write!(f, "access to {line:?} stalled: line lock held by {h}"),
+                None => write!(f, "access to {line:?} stalled: line lost, recovery pending"),
+            },
+            MemError::LineLost { line } => {
+                write!(f, "{line:?} lost: all valid copies were on crashed nodes")
+            }
+            MemError::NotResident { line } => write!(f, "{line:?} not resident in any cache"),
+            MemError::AlreadyExists { line } => write!(f, "{line:?} already exists"),
+            MemError::NodeCrashed { node } => write!(f, "{node} has crashed"),
+            MemError::NotLockHolder { line, node } => {
+                write!(f, "{node} does not hold the line lock on {line:?}")
+            }
+            MemError::OutOfBounds { line, offset, len } => {
+                write!(f, "access [{offset}, {offset}+{len}) out of bounds for {line:?}")
+            }
+            MemError::NoSuchNode { node } => write!(f, "no such node: {node}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MemError::Stalled { line: LineId(5), holder: Some(NodeId(2)) };
+        assert!(e.to_string().contains("line lock held by n2"));
+        let e = MemError::LineLost { line: LineId(5) };
+        assert!(e.to_string().contains("crashed"));
+    }
+}

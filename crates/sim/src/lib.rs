@@ -1,0 +1,62 @@
+//! # smdb-sim — cache-coherent shared-memory multiprocessor simulator
+//!
+//! This crate models the hardware substrate assumed by *Recovery Protocols
+//! for Shared Memory Database Systems* (Molesky & Ramamritham, SIGMOD 1995):
+//! a cache-coherent shared-memory multiprocessor (in the mold of the KSR-1
+//! or Stanford FLASH) in which
+//!
+//! * each **node** is a processor/memory pair with its own cache,
+//! * coherence is maintained in hardware with a **write-invalidate**
+//!   protocol (a **write-broadcast** mode is also provided, cf. §7 of the
+//!   paper),
+//! * **line locks** (`getline`/`releaseline`, the KSR-1 `gsp`/`rsp`
+//!   primitives) pin a cache line in mutually-exclusive state,
+//! * **individual node failures are isolated**: a crash destroys exactly the
+//!   failed node's cache/memory, and a low-level recovery step restores the
+//!   cache directory to a consistent state reflecting the surviving caches.
+//!
+//! The simulator is deterministic and single-threaded: callers issue memory
+//! operations *on behalf of* a node, and the simulator charges simulated
+//! cycles to that node's clock according to a configurable [`CostModel`].
+//! Determinism is what makes exhaustive crash-point testing of the recovery
+//! protocols feasible; see `DESIGN.md` §5.
+//!
+//! The central type is [`Machine`]. A minimal session:
+//!
+//! ```
+//! use smdb_sim::{Machine, SimConfig, NodeId, LineId};
+//!
+//! let mut m = Machine::new(SimConfig::new(2));
+//! let n0 = NodeId(0);
+//! let n1 = NodeId(1);
+//! let line = LineId(7);
+//! m.create_line_at(n0, line, &[0xAB; 128]).unwrap();
+//! // n1 writes: under write-invalidate the line *migrates* to n1.
+//! m.write(n1, line, 0, &[0xCD]).unwrap();
+//! assert_eq!(m.exclusive_owner(line), Some(n1));
+//! // Crash n1: the only copy dies with it.
+//! m.crash(&[n1]);
+//! assert!(m.is_lost(line));
+//! ```
+
+mod config;
+mod contention;
+mod cost;
+mod error;
+mod ids;
+mod machine;
+mod stats;
+mod trace;
+
+pub use config::{CoherenceKind, SimConfig};
+pub use contention::{contended_line_lock_costs, ContentionOutcome};
+pub use cost::CostModel;
+pub use error::MemError;
+pub use ids::{LineId, NodeId, TxnId};
+pub use machine::{CrashReport, Machine, TransferKind, TriggerEvent};
+pub use stats::SimStats;
+pub use trace::{Trace, TraceEvent};
+
+/// Cache line size used by default throughout the reproduction: 128 bytes,
+/// the line size of both the KSR-1/KSR-2 and Stanford FLASH (paper, §3).
+pub const DEFAULT_LINE_SIZE: usize = 128;

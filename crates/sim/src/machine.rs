@@ -1,0 +1,1160 @@
+//! The simulated cache-coherent shared-memory multiprocessor.
+//!
+//! A [`Machine`] owns a set of nodes (processor/memory pairs), a cache
+//! directory, and per-node caches. All operations are issued *on behalf of*
+//! a node and charge simulated cycles to that node's clock.
+//!
+//! The simulator deliberately models the *observable semantics* of the
+//! coherence protocol rather than bus/network timing: which caches hold
+//! valid copies, when the only copy migrates, what a node crash destroys,
+//! and what the low-level directory-restore step leaves behind. These are
+//! exactly the properties the paper's recovery protocols depend on (§2, §3).
+
+use crate::config::{CoherenceKind, SimConfig};
+use crate::error::MemError;
+use crate::ids::{LineId, NodeId};
+use crate::stats::SimStats;
+use crate::trace::{Trace, TraceEvent};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Directory state of one cache line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum DirState {
+    /// Exactly one valid copy, in this node's cache.
+    Exclusive(NodeId),
+    /// Valid copies in every listed cache (always ≥ 1 entry; a singleton is
+    /// normalised to `Exclusive`).
+    Shared(BTreeSet<NodeId>),
+    /// Every valid copy resided on a crashed node: the data is destroyed.
+    /// The low-level recovery step leaves this marker so software recovery
+    /// can distinguish *lost* from *never existed*.
+    Lost,
+}
+
+#[derive(Clone, Debug)]
+struct DirEntry {
+    state: DirState,
+    /// Line-lock holder, if the line is held in mutually-exclusive state
+    /// via `getline` (§5.1).
+    locked_by: Option<NodeId>,
+    /// The §5.2 "active bit" extension: set while the line carries an
+    /// uncommitted update whose log records have not been forced, together
+    /// with the node that performed that update. Coherence transitions that
+    /// would move or destroy such a line are reported by
+    /// [`Machine::pending_triggers`] so a Stable-LBM engine can force the
+    /// owner's log first.
+    active_owner: Option<NodeId>,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    cache: BTreeMap<LineId, Box<[u8]>>,
+    clock: u64,
+    crashed: bool,
+}
+
+/// What kind of coherence transition threatens an active line (§5.2).
+///
+/// *"the latest point at which the Stable LBM policies must be enforced
+/// corresponds to the downgrade or invalidation of l (for undo) and the
+/// invalidation of l (for redo)"*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferKind {
+    /// A remote read will downgrade the owner's exclusive copy to shared
+    /// (the `H_wr` pattern): the owner's undo log must be stable first.
+    Downgrade,
+    /// A remote write will invalidate the owner's copy (the `H_ww` pattern):
+    /// both undo and redo logs must be stable first.
+    Invalidate,
+}
+
+/// A pending coherence transition affecting an *active* line, reported
+/// before the access is performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TriggerEvent {
+    /// The line about to be downgraded or invalidated.
+    pub line: LineId,
+    /// The node whose unforced uncommitted update is on the line.
+    pub owner: NodeId,
+    /// The transition kind.
+    pub kind: TransferKind,
+}
+
+/// Result of injecting one or more node crashes.
+#[derive(Clone, Debug, Default)]
+pub struct CrashReport {
+    /// Nodes that failed.
+    pub crashed: Vec<NodeId>,
+    /// Lines whose every valid copy resided on failed nodes: data destroyed.
+    pub lost_lines: Vec<LineId>,
+    /// Line locks that were held by failed nodes and were broken by the
+    /// low-level recovery step.
+    pub broken_line_locks: Vec<LineId>,
+}
+
+/// The simulated multiprocessor. See the crate-level docs for an overview.
+pub struct Machine {
+    cfg: SimConfig,
+    dir: BTreeMap<LineId, DirEntry>,
+    nodes: Vec<NodeState>,
+    stats: SimStats,
+    trace: Trace,
+    next_dynamic: u64,
+}
+
+impl Machine {
+    /// Build a machine from a configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        assert!(cfg.nodes > 0, "machine needs at least one node");
+        let nodes = (0..cfg.nodes)
+            .map(|_| NodeState { cache: BTreeMap::new(), clock: 0, crashed: false })
+            .collect();
+        Machine {
+            cfg,
+            dir: BTreeMap::new(),
+            nodes,
+            stats: SimStats::default(),
+            trace: Trace::default(),
+            next_dynamic: LineId::DYNAMIC_BASE,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Cache line size in bytes.
+    pub fn line_size(&self) -> usize {
+        self.cfg.line_size
+    }
+
+    /// Number of nodes, including crashed ones.
+    pub fn node_count(&self) -> u16 {
+        self.cfg.nodes
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.cfg.nodes).map(NodeId)
+    }
+
+    /// Nodes that have not crashed.
+    pub fn surviving_nodes(&self) -> Vec<NodeId> {
+        (0..self.cfg.nodes).map(NodeId).filter(|n| !self.nodes[n.0 as usize].crashed).collect()
+    }
+
+    /// Whether a node has crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.nodes.get(node.0 as usize).map(|n| n.crashed).unwrap_or(false)
+    }
+
+    /// Coherence statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Reset all statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
+    }
+
+    /// Enable coherence-event tracing with a bounded ring of `capacity`
+    /// events (see [`TraceEvent`]). Off by default.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace.enable(capacity);
+    }
+
+    /// Disable tracing and drop retained events.
+    pub fn disable_trace(&mut self) {
+        self.trace.disable();
+    }
+
+    /// The coherence event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Drain the retained trace events.
+    pub fn take_trace(&mut self) -> Vec<(u64, TraceEvent)> {
+        self.trace.take()
+    }
+
+    // ------------------------------------------------------------------
+    // Clocks
+    // ------------------------------------------------------------------
+
+    /// Current simulated time (cycles) on a node's clock.
+    pub fn now(&self, node: NodeId) -> u64 {
+        self.nodes[node.0 as usize].clock
+    }
+
+    /// Advance a node's clock by `cycles` (used by higher layers to charge
+    /// disk I/O, log forces, and computation).
+    pub fn advance(&mut self, node: NodeId, cycles: u64) {
+        self.nodes[node.0 as usize].clock += cycles;
+    }
+
+    /// The maximum clock over all nodes: the machine-wide makespan.
+    pub fn max_clock(&self) -> u64 {
+        self.nodes.iter().map(|n| n.clock).max().unwrap_or(0)
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), MemError> {
+        let st = self.nodes.get(node.0 as usize).ok_or(MemError::NoSuchNode { node })?;
+        if st.crashed {
+            return Err(MemError::NodeCrashed { node });
+        }
+        Ok(())
+    }
+
+    fn charge(&mut self, node: NodeId, cycles: u64) {
+        self.nodes[node.0 as usize].clock += cycles;
+    }
+
+    // ------------------------------------------------------------------
+    // Line creation
+    // ------------------------------------------------------------------
+
+    fn padded(&self, data: &[u8]) -> Box<[u8]> {
+        assert!(data.len() <= self.cfg.line_size, "initialiser longer than a cache line");
+        let mut buf = vec![0u8; self.cfg.line_size];
+        buf[..data.len()].copy_from_slice(data);
+        buf.into_boxed_slice()
+    }
+
+    /// Create a line at a fixed address, initially exclusive in `node`'s
+    /// cache. `data` is zero-padded to the line size. Errors if the address
+    /// is already populated (including `Lost` remnants — use
+    /// [`Machine::install_line`] during recovery).
+    pub fn create_line_at(&mut self, node: NodeId, line: LineId, data: &[u8]) -> Result<(), MemError> {
+        self.check_node(node)?;
+        if self.dir.contains_key(&line) {
+            return Err(MemError::AlreadyExists { line });
+        }
+        let buf = self.padded(data);
+        self.dir.insert(line, DirEntry { state: DirState::Exclusive(node), locked_by: None, active_owner: None });
+        self.nodes[node.0 as usize].cache.insert(line, buf);
+        self.stats.lines_created += 1;
+        self.charge(node, self.cfg.cost.local_hit);
+        Ok(())
+    }
+
+    /// Dynamically allocate a fresh line (addresses above
+    /// [`LineId::DYNAMIC_BASE`]), initially exclusive in `node`'s cache.
+    pub fn alloc_line(&mut self, node: NodeId, data: &[u8]) -> Result<LineId, MemError> {
+        let line = LineId(self.next_dynamic);
+        self.next_dynamic += 1;
+        self.create_line_at(node, line, data)?;
+        Ok(line)
+    }
+
+    // ------------------------------------------------------------------
+    // Access checks shared by read/write/getline
+    // ------------------------------------------------------------------
+
+    fn check_access(&mut self, node: NodeId, line: LineId) -> Result<(), MemError> {
+        self.check_node(node)?;
+        let entry = match self.dir.get(&line) {
+            None => return Err(MemError::NotResident { line }),
+            Some(e) => e,
+        };
+        if let DirState::Lost = entry.state {
+            self.stats.lost_line_accesses += 1;
+            return if self.cfg.stall_on_lost {
+                Err(MemError::Stalled { line, holder: None })
+            } else {
+                Err(MemError::LineLost { line })
+            };
+        }
+        if let Some(holder) = entry.locked_by {
+            if holder != node {
+                self.stats.line_lock_conflicts += 1;
+                return Err(MemError::Stalled { line, holder: Some(holder) });
+            }
+        }
+        Ok(())
+    }
+
+    fn copy_from_any_holder(&self, line: LineId) -> Box<[u8]> {
+        let entry = &self.dir[&line];
+        let holder = match &entry.state {
+            DirState::Exclusive(n) => *n,
+            DirState::Shared(s) => *s.iter().next().expect("shared set non-empty"),
+            DirState::Lost => unreachable!("checked before copy"),
+        };
+        self.nodes[holder.0 as usize].cache[&line].clone()
+    }
+
+    fn holders_set(&self, line: LineId) -> BTreeSet<NodeId> {
+        match &self.dir[&line].state {
+            DirState::Exclusive(n) => std::iter::once(*n).collect(),
+            DirState::Shared(s) => s.clone(),
+            DirState::Lost => BTreeSet::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Read `buf.len()` bytes at `offset` within `line` into `buf`, on
+    /// behalf of `node`. May replicate the line into `node`'s cache
+    /// (downgrading a remote exclusive copy — the `H_wr` pattern).
+    pub fn read_into(&mut self, node: NodeId, line: LineId, offset: usize, buf: &mut [u8]) -> Result<(), MemError> {
+        self.check_access(node, line)?;
+        if offset + buf.len() > self.cfg.line_size {
+            return Err(MemError::OutOfBounds { line, offset, len: buf.len() });
+        }
+        self.stats.reads += 1;
+        let holders = self.holders_set(line);
+        if holders.contains(&node) {
+            self.stats.local_hits += 1;
+            self.charge(node, self.cfg.cost.local_hit);
+            self.trace.emit(TraceEvent::ReadHit { node, line });
+        } else {
+            // Fetch from a remote cache; exclusive owners are downgraded.
+            let data = self.copy_from_any_holder(line);
+            let entry = self.dir.get_mut(&line).expect("entry exists");
+            let mut downgraded = false;
+            match &mut entry.state {
+                DirState::Exclusive(owner) => {
+                    let owner = *owner;
+                    self.stats.replications += 1;
+                    self.stats.downgrades += 1;
+                    downgraded = true;
+                    let mut set: BTreeSet<NodeId> = BTreeSet::new();
+                    set.insert(owner);
+                    set.insert(node);
+                    entry.state = DirState::Shared(set);
+                }
+                DirState::Shared(set) => {
+                    set.insert(node);
+                }
+                DirState::Lost => unreachable!(),
+            }
+            self.nodes[node.0 as usize].cache.insert(line, data);
+            self.stats.remote_transfers += 1;
+            self.charge(node, self.cfg.cost.remote_transfer);
+            self.trace.emit(TraceEvent::ReadRemote { node, line, downgraded });
+        }
+        let data = &self.nodes[node.0 as usize].cache[&line];
+        buf.copy_from_slice(&data[offset..offset + buf.len()]);
+        Ok(())
+    }
+
+    /// Read the full line into a fresh vector (convenience wrapper around
+    /// [`Machine::read_into`]).
+    pub fn read_line(&mut self, node: NodeId, line: LineId) -> Result<Vec<u8>, MemError> {
+        let mut buf = vec![0u8; self.cfg.line_size];
+        self.read_into(node, line, 0, &mut buf)?;
+        Ok(buf)
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Write `data` at `offset` within `line`, on behalf of `node`.
+    ///
+    /// Under [`CoherenceKind::WriteInvalidate`] all other cached copies are
+    /// invalidated first and the line becomes exclusive in `node`'s cache —
+    /// if another node held it, this is a **migration** (`H_ww1`). Under
+    /// [`CoherenceKind::WriteBroadcast`] every cached copy is updated in
+    /// place and all holders remain valid (§7).
+    pub fn write(&mut self, node: NodeId, line: LineId, offset: usize, data: &[u8]) -> Result<(), MemError> {
+        self.check_access(node, line)?;
+        if offset + data.len() > self.cfg.line_size {
+            return Err(MemError::OutOfBounds { line, offset, len: data.len() });
+        }
+        self.stats.writes += 1;
+        let holders = self.holders_set(line);
+        let locally_held = holders.contains(&node);
+        match self.cfg.coherence {
+            CoherenceKind::WriteInvalidate => {
+                if locally_held && holders.len() == 1 {
+                    self.stats.local_hits += 1;
+                    self.charge(node, self.cfg.cost.local_hit);
+                    self.trace.emit(TraceEvent::WriteLocal { node, line });
+                } else {
+                    // Obtain the data if we don't hold it, then invalidate
+                    // every other copy.
+                    let migration = !locally_held;
+                    if !locally_held {
+                        let buf = self.copy_from_any_holder(line);
+                        self.nodes[node.0 as usize].cache.insert(line, buf);
+                        self.stats.remote_transfers += 1;
+                        self.stats.migrations += 1;
+                        self.charge(node, self.cfg.cost.remote_transfer);
+                    } else {
+                        self.charge(node, self.cfg.cost.local_hit);
+                    }
+                    let others: Vec<NodeId> = holders.iter().copied().filter(|h| *h != node).collect();
+                    for other in &others {
+                        self.nodes[other.0 as usize].cache.remove(&line);
+                        self.stats.invalidations += 1;
+                        self.charge(node, self.cfg.cost.invalidate);
+                    }
+                    self.trace.emit(TraceEvent::WriteTake {
+                        node,
+                        line,
+                        invalidated: others.len() as u16,
+                        migration,
+                    });
+                }
+                let entry = self.dir.get_mut(&line).expect("entry exists");
+                entry.state = DirState::Exclusive(node);
+            }
+            CoherenceKind::WriteBroadcast => {
+                if !locally_held {
+                    let buf = self.copy_from_any_holder(line);
+                    self.nodes[node.0 as usize].cache.insert(line, buf);
+                    self.stats.remote_transfers += 1;
+                    self.charge(node, self.cfg.cost.remote_transfer);
+                } else {
+                    self.stats.local_hits += 1;
+                    self.charge(node, self.cfg.cost.local_hit);
+                }
+                // Update every other valid copy in place.
+                let mut updated = 0u16;
+                for other in holders.iter().filter(|h| **h != node) {
+                    let copy = self.nodes[other.0 as usize].cache.get_mut(&line).expect("holder has copy");
+                    copy[offset..offset + data.len()].copy_from_slice(data);
+                    self.stats.broadcast_updates += 1;
+                    self.charge(node, self.cfg.cost.broadcast_update);
+                    updated += 1;
+                }
+                self.trace.emit(TraceEvent::WriteBroadcast { node, line, updated });
+                let mut set = holders;
+                set.insert(node);
+                let entry = self.dir.get_mut(&line).expect("entry exists");
+                entry.state = if set.len() == 1 { DirState::Exclusive(node) } else { DirState::Shared(set) };
+            }
+        }
+        let copy = self.nodes[node.0 as usize].cache.get_mut(&line).expect("writer has copy");
+        copy[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Line locks (§5.1)
+    // ------------------------------------------------------------------
+
+    /// Acquire a line lock: obtain and hold `line` in mutually-exclusive
+    /// state in `node`'s cache. While held, no other node can read, write,
+    /// or lock the line (their accesses return [`MemError::Stalled`]).
+    /// Re-acquisition by the current holder is a no-op.
+    pub fn getline(&mut self, node: NodeId, line: LineId) -> Result<(), MemError> {
+        self.check_access(node, line)?;
+        if self.dir[&line].locked_by == Some(node) {
+            return Ok(());
+        }
+        if self.cfg.coherence == CoherenceKind::WriteBroadcast {
+            // A broadcast machine's lock primitive does not invalidate
+            // remote copies (writes update them in place); it only pins
+            // mutual exclusion and ensures a local copy.
+            let holders = self.holders_set(line);
+            if !holders.contains(&node) {
+                let buf = self.copy_from_any_holder(line);
+                self.nodes[node.0 as usize].cache.insert(line, buf);
+                self.stats.remote_transfers += 1;
+                self.charge(node, self.cfg.cost.remote_transfer);
+                let entry = self.dir.get_mut(&line).expect("entry exists");
+                let mut set = holders;
+                set.insert(node);
+                entry.state =
+                    if set.len() == 1 { DirState::Exclusive(node) } else { DirState::Shared(set) };
+            }
+            let entry = self.dir.get_mut(&line).expect("entry exists");
+            entry.locked_by = Some(node);
+            self.stats.line_lock_acquires += 1;
+            self.charge(node, self.cfg.cost.line_lock_acquire);
+            return Ok(());
+        }
+        // Bring the line exclusive (same transitions as a write, but the
+        // data is not modified).
+        let holders = self.holders_set(line);
+        if !(holders.len() == 1 && holders.contains(&node)) {
+            if !holders.contains(&node) {
+                let buf = self.copy_from_any_holder(line);
+                self.nodes[node.0 as usize].cache.insert(line, buf);
+                self.stats.remote_transfers += 1;
+                if matches!(self.dir[&line].state, DirState::Exclusive(_)) {
+                    self.stats.migrations += 1;
+                }
+                self.charge(node, self.cfg.cost.remote_transfer);
+            }
+            for other in holders.iter().filter(|h| **h != node) {
+                self.nodes[other.0 as usize].cache.remove(&line);
+                self.stats.invalidations += 1;
+                self.charge(node, self.cfg.cost.invalidate);
+            }
+        }
+        let entry = self.dir.get_mut(&line).expect("entry exists");
+        entry.state = DirState::Exclusive(node);
+        entry.locked_by = Some(node);
+        self.stats.line_lock_acquires += 1;
+        self.charge(node, self.cfg.cost.line_lock_acquire);
+        self.trace.emit(TraceEvent::LineLock { node, line });
+        Ok(())
+    }
+
+    /// Release a line lock held by `node`.
+    pub fn releaseline(&mut self, node: NodeId, line: LineId) -> Result<(), MemError> {
+        self.check_node(node)?;
+        let entry = self.dir.get_mut(&line).ok_or(MemError::NotResident { line })?;
+        if entry.locked_by != Some(node) {
+            return Err(MemError::NotLockHolder { line, node });
+        }
+        entry.locked_by = None;
+        self.charge(node, self.cfg.cost.line_lock_release);
+        self.trace.emit(TraceEvent::LineUnlock { node, line });
+        Ok(())
+    }
+
+    /// The current line-lock holder, if any.
+    pub fn line_lock_holder(&self, line: LineId) -> Option<NodeId> {
+        self.dir.get(&line).and_then(|e| e.locked_by)
+    }
+
+    // ------------------------------------------------------------------
+    // Active bit & Stable-LBM triggers (§5.2)
+    // ------------------------------------------------------------------
+
+    /// Mark a line *active*: it carries an uncommitted update by `owner`
+    /// whose log records have not yet been forced to stable store. This is
+    /// the one-bit-per-line coherence extension proposed in §5.2.
+    pub fn set_active(&mut self, line: LineId, owner: NodeId) {
+        if let Some(e) = self.dir.get_mut(&line) {
+            e.active_owner = Some(owner);
+        }
+    }
+
+    /// Clear the active bit (called after the owner forces its log).
+    pub fn clear_active(&mut self, line: LineId) {
+        if let Some(e) = self.dir.get_mut(&line) {
+            e.active_owner = None;
+        }
+    }
+
+    /// The node whose unforced update marks this line active, if any.
+    pub fn active_owner(&self, line: LineId) -> Option<NodeId> {
+        self.dir.get(&line).and_then(|e| e.active_owner)
+    }
+
+    /// Report the coherence transition that an access by `node` to `line`
+    /// would inflict on an *active* line owned by another node, without
+    /// performing the access. A Stable-LBM engine consults this before
+    /// every access and forces the owner's log when an event is pending —
+    /// realising the trigger-based enforcement of §5.2.
+    pub fn pending_triggers(&self, node: NodeId, line: LineId, is_write: bool) -> Option<TriggerEvent> {
+        let entry = self.dir.get(&line)?;
+        let owner = entry.active_owner?;
+        if owner == node {
+            return None;
+        }
+        // Does `owner` still hold a valid copy that this access endangers?
+        let owner_holds = match &entry.state {
+            DirState::Exclusive(n) => *n == owner,
+            DirState::Shared(s) => s.contains(&owner),
+            DirState::Lost => false,
+        };
+        if !owner_holds {
+            return None;
+        }
+        match self.cfg.coherence {
+            CoherenceKind::WriteInvalidate => {
+                if is_write {
+                    Some(TriggerEvent { line, owner, kind: TransferKind::Invalidate })
+                } else if matches!(entry.state, DirState::Exclusive(_)) {
+                    Some(TriggerEvent { line, owner, kind: TransferKind::Downgrade })
+                } else {
+                    None
+                }
+            }
+            // Under write-broadcast no copy is destroyed, but the owner's
+            // uncommitted update becomes visible on (and dependent on) the
+            // accessing node — undo information must be stable first.
+            CoherenceKind::WriteBroadcast => {
+                if matches!(entry.state, DirState::Exclusive(_)) {
+                    Some(TriggerEvent { line, owner, kind: TransferKind::Downgrade })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crashes and low-level recovery (§2, FLASH-style)
+    // ------------------------------------------------------------------
+
+    /// Crash one or more nodes.
+    ///
+    /// The contents of the failed nodes' caches/memories are destroyed.
+    /// The low-level recovery step (modelled after FLASH: all CPUs stop,
+    /// the interconnect restores the cache directories to a state that
+    /// reflects the surviving caches) runs as part of this call: directory
+    /// entries are purged of failed holders, lines with no surviving copy
+    /// are marked [`lost`](Machine::is_lost), and line locks held by failed
+    /// nodes are broken.
+    pub fn crash(&mut self, nodes: &[NodeId]) -> CrashReport {
+        let mut report = CrashReport::default();
+        for &n in nodes {
+            let st = &mut self.nodes[n.0 as usize];
+            if st.crashed {
+                continue;
+            }
+            st.crashed = true;
+            st.cache.clear();
+            report.crashed.push(n);
+        }
+        let crashed: BTreeSet<NodeId> = report.crashed.iter().copied().collect();
+        if crashed.is_empty() {
+            return report;
+        }
+        for (&line, entry) in self.dir.iter_mut() {
+            let newly_lost = match &mut entry.state {
+                DirState::Exclusive(n) if crashed.contains(n) => true,
+                DirState::Shared(s) => {
+                    s.retain(|n| !crashed.contains(n));
+                    match s.len() {
+                        0 => true,
+                        1 => {
+                            let sole = *s.iter().next().expect("len checked");
+                            entry.state = DirState::Exclusive(sole);
+                            false
+                        }
+                        _ => false,
+                    }
+                }
+                _ => false,
+            };
+            if newly_lost {
+                entry.state = DirState::Lost;
+                report.lost_lines.push(line);
+                self.stats.lines_lost += 1;
+            }
+            if let Some(h) = entry.locked_by {
+                if crashed.contains(&h) {
+                    entry.locked_by = None;
+                    report.broken_line_locks.push(line);
+                }
+            }
+            if let Some(o) = entry.active_owner {
+                if crashed.contains(&o) {
+                    // The owner's volatile log died with it; the active bit
+                    // is meaningless now.
+                    entry.active_owner = None;
+                }
+            }
+        }
+        self.trace.emit(TraceEvent::Crash {
+            nodes: report.crashed.clone(),
+            lost: report.lost_lines.len() as u64,
+        });
+        report
+    }
+
+    /// Bring a previously crashed node back online with an empty cache.
+    /// Its clock resumes from the machine-wide maximum (reboot takes time).
+    /// Rebooting a node that has *not* crashed is a power-cycle: its cache
+    /// contents are destroyed exactly as by a crash first.
+    pub fn reboot_node(&mut self, node: NodeId) {
+        if !self.nodes[node.0 as usize].crashed {
+            let _ = self.crash(&[node]);
+        }
+        let max = self.max_clock();
+        let st = &mut self.nodes[node.0 as usize];
+        st.crashed = false;
+        st.cache.clear();
+        st.clock = st.clock.max(max);
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery-side primitives
+    // ------------------------------------------------------------------
+
+    /// Whether the line's data was destroyed by a crash and has not been
+    /// reinstalled.
+    pub fn is_lost(&self, line: LineId) -> bool {
+        matches!(self.dir.get(&line).map(|e| &e.state), Some(DirState::Lost))
+    }
+
+    /// Whether any surviving cache holds a valid copy. This is the §4.1.2
+    /// Selective-Redo probe: *"temporarily disabling the cache miss
+    /// requests which incur I/O — if a memory reference cannot be satisfied
+    /// with a cache line in a surviving node, an invalid flag is
+    /// returned."*
+    pub fn probe_cached(&self, line: LineId) -> bool {
+        matches!(
+            self.dir.get(&line).map(|e| &e.state),
+            Some(DirState::Exclusive(_)) | Some(DirState::Shared(_))
+        )
+    }
+
+    /// Discard `node`'s cached copy of `line` (no writeback — the caller is
+    /// responsible for durability). If this removes the last copy the
+    /// directory entry disappears entirely (the line becomes
+    /// [`MemError::NotResident`]). Used by Redo-All's step 1 and by the
+    /// buffer manager after flushing a page.
+    pub fn discard(&mut self, node: NodeId, line: LineId) -> Result<(), MemError> {
+        self.check_node(node)?;
+        let entry = match self.dir.get_mut(&line) {
+            None => return Ok(()), // already gone
+            Some(e) => e,
+        };
+        match &mut entry.state {
+            DirState::Exclusive(n) if *n == node => {
+                self.dir.remove(&line);
+                self.nodes[node.0 as usize].cache.remove(&line);
+            }
+            DirState::Shared(s) => {
+                s.retain(|n| *n != node);
+                match s.len() {
+                    0 => {
+                        self.dir.remove(&line);
+                    }
+                    1 => {
+                        let sole = *s.iter().next().expect("len checked");
+                        entry.state = DirState::Exclusive(sole);
+                    }
+                    _ => {}
+                }
+                self.nodes[node.0 as usize].cache.remove(&line);
+            }
+            _ => {}
+        }
+        self.stats.evictions += 1;
+        self.charge(node, self.cfg.cost.local_hit);
+        Ok(())
+    }
+
+    /// Discard every line in `node`'s cache matching `pred`; returns the
+    /// discarded line ids. Redo-All step 1 uses this to flush all cached
+    /// database objects from surviving nodes.
+    pub fn discard_matching(&mut self, node: NodeId, pred: impl Fn(LineId) -> bool) -> Vec<LineId> {
+        let lines: Vec<LineId> =
+            self.nodes[node.0 as usize].cache.keys().copied().filter(|l| pred(*l)).collect();
+        for &l in &lines {
+            let _ = self.discard(node, l);
+        }
+        lines
+    }
+
+    /// (Re)install a line's contents as exclusive in `node`'s cache,
+    /// overwriting any previous directory state including `Lost`. Used by
+    /// restart recovery (reconstructing lines from logs) and by the buffer
+    /// manager (fetching pages from the stable database). Clears any
+    /// active bit and line lock.
+    pub fn install_line(&mut self, node: NodeId, line: LineId, data: &[u8]) -> Result<(), MemError> {
+        self.check_node(node)?;
+        let buf = self.padded(data);
+        // Invalidate any surviving copies elsewhere: install is
+        // authoritative.
+        if self.dir.contains_key(&line) {
+            for holder in self.holders_set(line) {
+                if holder != node {
+                    self.nodes[holder.0 as usize].cache.remove(&line);
+                }
+            }
+        }
+        self.dir.insert(line, DirEntry { state: DirState::Exclusive(node), locked_by: None, active_owner: None });
+        self.nodes[node.0 as usize].cache.insert(line, buf);
+        self.charge(node, self.cfg.cost.local_hit);
+        self.trace.emit(TraceEvent::Install { node, line });
+        Ok(())
+    }
+
+    /// Forget a `Lost` directory entry (the line will read as
+    /// `NotResident`). Recovery calls this once it has ensured the line's
+    /// durable state is authoritative and no reinstall is needed.
+    pub fn clear_lost(&mut self, line: LineId) {
+        if self.is_lost(line) {
+            self.dir.remove(&line);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection (zero-cost; for recovery scans, oracles, and tests)
+    // ------------------------------------------------------------------
+
+    /// Zero-cost, side-effect-free view of a line's current contents from
+    /// any surviving holder. `None` if lost or not resident. For use by
+    /// recovery bookkeeping, invariant oracles, and tests — *not* part of
+    /// the coherent access path.
+    pub fn peek(&self, line: LineId) -> Option<&[u8]> {
+        let entry = self.dir.get(&line)?;
+        let holder = match &entry.state {
+            DirState::Exclusive(n) => *n,
+            DirState::Shared(s) => *s.iter().next()?,
+            DirState::Lost => return None,
+        };
+        self.nodes[holder.0 as usize].cache.get(&line).map(|b| &b[..])
+    }
+
+    /// Zero-cost view of `node`'s own cached copy, if valid.
+    pub fn peek_local(&self, node: NodeId, line: LineId) -> Option<&[u8]> {
+        if !self.holders_set_opt(line)?.contains(&node) {
+            return None;
+        }
+        self.nodes[node.0 as usize].cache.get(&line).map(|b| &b[..])
+    }
+
+    fn holders_set_opt(&self, line: LineId) -> Option<BTreeSet<NodeId>> {
+        self.dir.get(&line)?;
+        Some(self.holders_set(line))
+    }
+
+    /// Iterate over the lines currently valid in `node`'s cache. This is
+    /// the sequential cache scan Selective Redo performs to find records
+    /// tagged by crashed nodes (§4.1.2).
+    pub fn iter_cached(&self, node: NodeId) -> impl Iterator<Item = (LineId, &[u8])> {
+        self.nodes[node.0 as usize].cache.iter().map(|(l, d)| (*l, &d[..]))
+    }
+
+    /// The nodes currently holding valid copies of `line`.
+    pub fn holders(&self, line: LineId) -> Vec<NodeId> {
+        match self.dir.get(&line) {
+            None => Vec::new(),
+            Some(_) => self.holders_set(line).into_iter().collect(),
+        }
+    }
+
+    /// The exclusive owner of `line`, if it is held exclusively.
+    pub fn exclusive_owner(&self, line: LineId) -> Option<NodeId> {
+        match self.dir.get(&line).map(|e| &e.state) {
+            Some(DirState::Exclusive(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Whether `line` exists in the directory (in any state, including
+    /// `Lost`).
+    pub fn line_exists(&self, line: LineId) -> bool {
+        self.dir.contains_key(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(n: u16) -> Machine {
+        Machine::new(SimConfig::new(n))
+    }
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+    const N2: NodeId = NodeId(2);
+    const L: LineId = LineId(42);
+
+    #[test]
+    fn create_read_write_roundtrip() {
+        let mut m = machine(1);
+        m.create_line_at(N0, L, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        m.read_into(N0, L, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        m.write(N0, L, 1, b"a").unwrap();
+        m.read_into(N0, L, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hallo");
+    }
+
+    #[test]
+    fn create_duplicate_rejected() {
+        let mut m = machine(1);
+        m.create_line_at(N0, L, b"x").unwrap();
+        assert_eq!(m.create_line_at(N0, L, b"y"), Err(MemError::AlreadyExists { line: L }));
+    }
+
+    #[test]
+    fn write_migrates_exclusive_copy() {
+        // The H_ww1 history of §3.2: w_x[l]; w_y[l] leaves the only copy
+        // on y.
+        let mut m = machine(2);
+        m.create_line_at(N0, L, &[0]).unwrap();
+        m.write(N0, L, 0, &[1]).unwrap();
+        assert_eq!(m.exclusive_owner(L), Some(N0));
+        m.write(N1, L, 0, &[2]).unwrap();
+        assert_eq!(m.exclusive_owner(L), Some(N1));
+        assert_eq!(m.holders(L), vec![N1]);
+        assert_eq!(m.stats().migrations, 1);
+        assert_eq!(m.peek_local(N0, L), None);
+    }
+
+    #[test]
+    fn read_replicates_and_downgrades() {
+        // The H_wr history: w_x[l]; r_y[l] leaves copies on both nodes.
+        let mut m = machine(2);
+        m.create_line_at(N0, L, &[7]).unwrap();
+        let mut b = [0u8];
+        m.read_into(N1, L, 0, &mut b).unwrap();
+        assert_eq!(b, [7]);
+        assert_eq!(m.exclusive_owner(L), None);
+        let mut hs = m.holders(L);
+        hs.sort();
+        assert_eq!(hs, vec![N0, N1]);
+        assert_eq!(m.stats().replications, 1);
+        assert_eq!(m.stats().downgrades, 1);
+    }
+
+    #[test]
+    fn h_ww2_shared_then_write_invalidates_all() {
+        // H_ww2: w_x[l]; reads spread the line; w_y[l] invalidates all.
+        let mut m = machine(3);
+        m.create_line_at(N0, L, &[1]).unwrap();
+        let mut b = [0u8];
+        m.read_into(N1, L, 0, &mut b).unwrap();
+        m.read_into(N2, L, 0, &mut b).unwrap();
+        assert_eq!(m.holders(L).len(), 3);
+        m.write(N1, L, 0, &[9]).unwrap();
+        assert_eq!(m.holders(L), vec![N1]);
+        assert_eq!(m.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn crash_destroys_only_copy() {
+        let mut m = machine(2);
+        m.create_line_at(N0, L, &[5]).unwrap();
+        m.write(N1, L, 0, &[6]).unwrap(); // migrate to n1
+        let rep = m.crash(&[N1]);
+        assert_eq!(rep.lost_lines, vec![L]);
+        assert!(m.is_lost(L));
+        assert!(!m.probe_cached(L));
+        let mut b = [0u8];
+        assert_eq!(m.read_into(N0, L, 0, &mut b), Err(MemError::LineLost { line: L }));
+    }
+
+    #[test]
+    fn crash_spares_replicated_copy() {
+        let mut m = machine(2);
+        m.create_line_at(N0, L, &[5]).unwrap();
+        let mut b = [0u8];
+        m.read_into(N1, L, 0, &mut b).unwrap(); // replicate
+        m.crash(&[N0]);
+        assert!(!m.is_lost(L));
+        assert_eq!(m.exclusive_owner(L), Some(N1)); // collapsed to sole survivor
+        m.read_into(N1, L, 0, &mut b).unwrap();
+        assert_eq!(b, [5]);
+    }
+
+    #[test]
+    fn stall_on_lost_mode() {
+        let mut m = Machine::new(SimConfig::new(2).with_stall_on_lost(true));
+        m.create_line_at(N1, L, &[5]).unwrap();
+        m.crash(&[N1]);
+        let mut b = [0u8];
+        assert_eq!(m.read_into(N0, L, 0, &mut b), Err(MemError::Stalled { line: L, holder: None }));
+        assert_eq!(m.stats().lost_line_accesses, 1);
+    }
+
+    #[test]
+    fn crashed_node_cannot_act() {
+        let mut m = machine(2);
+        m.create_line_at(N0, L, &[5]).unwrap();
+        m.crash(&[N0]);
+        assert_eq!(m.write(N0, L, 0, &[1]), Err(MemError::NodeCrashed { node: N0 }));
+        assert!(m.surviving_nodes() == vec![N1]);
+    }
+
+    #[test]
+    fn line_lock_excludes_other_nodes() {
+        let mut m = machine(2);
+        m.create_line_at(N0, L, &[5]).unwrap();
+        m.getline(N0, L).unwrap();
+        let mut b = [0u8];
+        assert!(matches!(m.read_into(N1, L, 0, &mut b), Err(MemError::Stalled { .. })));
+        assert!(matches!(m.write(N1, L, 0, &[1]), Err(MemError::Stalled { .. })));
+        assert!(matches!(m.getline(N1, L), Err(MemError::Stalled { .. })));
+        assert_eq!(m.stats().line_lock_conflicts, 3);
+        // Holder proceeds freely; release lets others in.
+        m.write(N0, L, 0, &[1]).unwrap();
+        m.releaseline(N0, L).unwrap();
+        m.write(N1, L, 0, &[2]).unwrap();
+    }
+
+    #[test]
+    fn line_lock_migrates_line_to_holder() {
+        let mut m = machine(2);
+        m.create_line_at(N0, L, &[5]).unwrap();
+        m.getline(N1, L).unwrap();
+        assert_eq!(m.exclusive_owner(L), Some(N1));
+        assert_eq!(m.line_lock_holder(L), Some(N1));
+    }
+
+    #[test]
+    fn release_by_non_holder_rejected() {
+        let mut m = machine(2);
+        m.create_line_at(N0, L, &[5]).unwrap();
+        m.getline(N0, L).unwrap();
+        assert_eq!(m.releaseline(N1, L), Err(MemError::NotLockHolder { line: L, node: N1 }));
+    }
+
+    #[test]
+    fn crash_breaks_line_locks() {
+        let mut m = machine(2);
+        m.create_line_at(N0, L, &[5]).unwrap();
+        m.getline(N0, L).unwrap();
+        let rep = m.crash(&[N0]);
+        assert_eq!(rep.broken_line_locks, vec![L]);
+        assert_eq!(m.line_lock_holder(L), None);
+        assert!(m.is_lost(L)); // only copy was on n0
+    }
+
+    #[test]
+    fn write_broadcast_updates_all_copies() {
+        let mut m = Machine::new(SimConfig::new(2).write_broadcast());
+        m.create_line_at(N0, L, &[1]).unwrap();
+        let mut b = [0u8];
+        m.read_into(N1, L, 0, &mut b).unwrap();
+        m.write(N0, L, 0, &[9]).unwrap();
+        // Both copies reflect the write; no invalidation happened.
+        assert_eq!(m.peek_local(N1, L).unwrap()[0], 9);
+        assert_eq!(m.holders(L).len(), 2);
+        assert_eq!(m.stats().invalidations, 0);
+        assert_eq!(m.stats().broadcast_updates, 1);
+        // Crash of either node leaves the data intact.
+        m.crash(&[N0]);
+        assert!(!m.is_lost(L));
+    }
+
+    #[test]
+    fn triggers_fire_for_active_lines() {
+        let mut m = machine(3);
+        m.create_line_at(N0, L, &[1]).unwrap();
+        m.write(N0, L, 0, &[2]).unwrap();
+        m.set_active(L, N0);
+        // Remote read of exclusive active line → downgrade trigger.
+        assert_eq!(
+            m.pending_triggers(N1, L, false),
+            Some(TriggerEvent { line: L, owner: N0, kind: TransferKind::Downgrade })
+        );
+        // Remote write → invalidate trigger.
+        assert_eq!(
+            m.pending_triggers(N1, L, true),
+            Some(TriggerEvent { line: L, owner: N0, kind: TransferKind::Invalidate })
+        );
+        // Owner's own accesses never trigger.
+        assert_eq!(m.pending_triggers(N0, L, true), None);
+        // Once shared, only writes trigger (owner copy survives reads).
+        let mut b = [0u8];
+        m.read_into(N1, L, 0, &mut b).unwrap();
+        assert_eq!(m.pending_triggers(N2, L, false), None);
+        assert_eq!(
+            m.pending_triggers(N2, L, true),
+            Some(TriggerEvent { line: L, owner: N0, kind: TransferKind::Invalidate })
+        );
+        // After clearing (log forced), no triggers.
+        m.clear_active(L);
+        assert_eq!(m.pending_triggers(N2, L, true), None);
+    }
+
+    #[test]
+    fn discard_and_install_roundtrip() {
+        let mut m = machine(2);
+        m.create_line_at(N0, L, &[3]).unwrap();
+        m.discard(N0, L).unwrap();
+        let mut b = [0u8];
+        assert_eq!(m.read_into(N0, L, 0, &mut b), Err(MemError::NotResident { line: L }));
+        m.install_line(N1, L, &[4]).unwrap();
+        m.read_into(N0, L, 0, &mut b).unwrap();
+        assert_eq!(b, [4]);
+    }
+
+    #[test]
+    fn install_overwrites_lost() {
+        let mut m = machine(2);
+        m.create_line_at(N1, L, &[3]).unwrap();
+        m.crash(&[N1]);
+        assert!(m.is_lost(L));
+        m.install_line(N0, L, &[8]).unwrap();
+        assert!(!m.is_lost(L));
+        assert_eq!(m.peek(L).unwrap()[0], 8);
+    }
+
+    #[test]
+    fn discard_matching_flushes_predicate_lines() {
+        let mut m = machine(1);
+        m.create_line_at(N0, LineId(1), &[1]).unwrap();
+        m.create_line_at(N0, LineId(2), &[2]).unwrap();
+        m.create_line_at(N0, LineId(100), &[3]).unwrap();
+        let dropped = m.discard_matching(N0, |l| l.0 < 10);
+        assert_eq!(dropped, vec![LineId(1), LineId(2)]);
+        assert!(m.probe_cached(LineId(100)));
+        assert!(!m.probe_cached(LineId(1)));
+    }
+
+    #[test]
+    fn clocks_accumulate_costs() {
+        let mut m = machine(2);
+        m.create_line_at(N0, L, &[1]).unwrap();
+        let t0 = m.now(N1);
+        m.write(N1, L, 0, &[2]).unwrap();
+        let cost = m.now(N1) - t0;
+        // Migration: remote transfer + one invalidation.
+        let c = &m.config().cost;
+        assert_eq!(cost, c.remote_transfer + c.invalidate);
+        // Reads after are local hits.
+        let t1 = m.now(N1);
+        let mut b = [0u8];
+        m.read_into(N1, L, 0, &mut b).unwrap();
+        assert_eq!(m.now(N1) - t1, m.config().cost.local_hit);
+    }
+
+    #[test]
+    fn reboot_restores_node() {
+        let mut m = machine(2);
+        m.create_line_at(N0, L, &[1]).unwrap();
+        m.advance(N0, 1000);
+        m.crash(&[N0]);
+        assert!(m.is_crashed(N0));
+        m.reboot_node(N0);
+        assert!(!m.is_crashed(N0));
+        assert!(m.peek_local(N0, L).is_none()); // cache cold after reboot
+        m.create_line_at(N0, LineId(9), &[1]).unwrap();
+    }
+
+    #[test]
+    fn alloc_line_uses_dynamic_addresses() {
+        let mut m = machine(1);
+        let a = m.alloc_line(N0, &[1]).unwrap();
+        let b = m.alloc_line(N0, &[2]).unwrap();
+        assert!(a.0 >= LineId::DYNAMIC_BASE);
+        assert_eq!(b.0, a.0 + 1);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = machine(1);
+        m.create_line_at(N0, L, &[1]).unwrap();
+        let size = m.line_size();
+        assert!(matches!(m.write(N0, L, size - 1, &[1, 2]), Err(MemError::OutOfBounds { .. })));
+        let mut b = vec![0u8; 2];
+        assert!(matches!(m.read_into(N0, L, size - 1, &mut b), Err(MemError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn multi_node_crash_in_one_call() {
+        let mut m = machine(3);
+        m.create_line_at(N0, LineId(1), &[1]).unwrap();
+        m.create_line_at(N1, LineId(2), &[2]).unwrap();
+        m.create_line_at(N2, LineId(3), &[3]).unwrap();
+        let rep = m.crash(&[N0, N1]);
+        assert_eq!(rep.crashed, vec![N0, N1]);
+        assert_eq!(rep.lost_lines, vec![LineId(1), LineId(2)]);
+        assert!(m.probe_cached(LineId(3)));
+    }
+
+    #[test]
+    fn shared_line_survives_partial_crash() {
+        let mut m = machine(3);
+        m.create_line_at(N0, L, &[1]).unwrap();
+        let mut b = [0u8];
+        m.read_into(N1, L, 0, &mut b).unwrap();
+        m.read_into(N2, L, 0, &mut b).unwrap();
+        m.crash(&[N0, N2]);
+        assert!(!m.is_lost(L));
+        assert_eq!(m.exclusive_owner(L), Some(N1));
+    }
+}

@@ -1,0 +1,83 @@
+//! Coherence-traffic and failure statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by the [`crate::Machine`].
+///
+/// The migration/replication counters correspond directly to the data
+/// sharing patterns of paper §3.2: a **migration** is the `H_ww1`/`H_ww2`
+/// transition (a write moves the only copy of a line to the writer), a
+/// **replication** is the `H_wr` transition (a read of an exclusively-held
+/// line leaves copies on both nodes).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total read operations.
+    pub reads: u64,
+    /// Total write operations.
+    pub writes: u64,
+    /// Reads and writes satisfied from the local cache.
+    pub local_hits: u64,
+    /// Line transfers from a remote cache.
+    pub remote_transfers: u64,
+    /// ww sharing: a write took exclusive ownership away from another node.
+    pub migrations: u64,
+    /// wr sharing: a read downgraded another node's exclusive copy.
+    pub replications: u64,
+    /// Remote copies invalidated by writes (write-invalidate mode).
+    pub invalidations: u64,
+    /// Exclusive copies downgraded to shared by remote reads.
+    pub downgrades: u64,
+    /// Remote copies updated in place (write-broadcast mode).
+    pub broadcast_updates: u64,
+    /// Successful line-lock acquisitions.
+    pub line_lock_acquires: u64,
+    /// Line-lock requests that found the lock held by another node.
+    pub line_lock_conflicts: u64,
+    /// Accesses that observed a lost line.
+    pub lost_line_accesses: u64,
+    /// Lines created (statically addressed or dynamically allocated).
+    pub lines_created: u64,
+    /// Lines destroyed by node crashes (only copies were on failed nodes).
+    pub lines_lost: u64,
+    /// Explicit evictions.
+    pub evictions: u64,
+}
+
+impl SimStats {
+    /// Difference `self - earlier`, counter-wise. Useful for measuring one
+    /// phase of a workload.
+    pub fn delta_since(&self, earlier: &SimStats) -> SimStats {
+        SimStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            local_hits: self.local_hits - earlier.local_hits,
+            remote_transfers: self.remote_transfers - earlier.remote_transfers,
+            migrations: self.migrations - earlier.migrations,
+            replications: self.replications - earlier.replications,
+            invalidations: self.invalidations - earlier.invalidations,
+            downgrades: self.downgrades - earlier.downgrades,
+            broadcast_updates: self.broadcast_updates - earlier.broadcast_updates,
+            line_lock_acquires: self.line_lock_acquires - earlier.line_lock_acquires,
+            line_lock_conflicts: self.line_lock_conflicts - earlier.line_lock_conflicts,
+            lost_line_accesses: self.lost_line_accesses - earlier.lost_line_accesses,
+            lines_created: self.lines_created - earlier.lines_created,
+            lines_lost: self.lines_lost - earlier.lines_lost,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_counterwise() {
+        let a = SimStats { reads: 10, writes: 4, ..Default::default() };
+        let b = SimStats { reads: 3, writes: 1, ..Default::default() };
+        let d = a.delta_since(&b);
+        assert_eq!(d.reads, 7);
+        assert_eq!(d.writes, 3);
+        assert_eq!(d.migrations, 0);
+    }
+}

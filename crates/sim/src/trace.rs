@@ -1,0 +1,230 @@
+//! Coherence event tracing.
+//!
+//! An optional bounded trace of coherence transitions, for debugging
+//! recovery protocols and for *observing* the paper's §3.2 data-sharing
+//! histories (`H_ww1`, `H_ww2`, `H_wr`) as they happen. Disabled by
+//! default (a single branch on the hot paths); enable with
+//! [`crate::Machine::enable_trace`].
+
+use crate::ids::{LineId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One traced coherence event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A read was served from the local cache.
+    ReadHit {
+        /// Reading node.
+        node: NodeId,
+        /// Line read.
+        line: LineId,
+    },
+    /// A read fetched the line from a remote cache — replication if the
+    /// previous holder keeps a copy (the `H_wr` transition).
+    ReadRemote {
+        /// Reading node.
+        node: NodeId,
+        /// Line read.
+        line: LineId,
+        /// Whether this downgraded an exclusive owner (true `H_wr`).
+        downgraded: bool,
+    },
+    /// A write that stayed local (line already exclusive here).
+    WriteLocal {
+        /// Writing node.
+        node: NodeId,
+        /// Line written.
+        line: LineId,
+    },
+    /// A write that took the line away from other caches — the `H_ww`
+    /// migration when a remote node held it exclusively.
+    WriteTake {
+        /// Writing node.
+        node: NodeId,
+        /// Line written.
+        line: LineId,
+        /// Remote copies invalidated (write-invalidate mode).
+        invalidated: u16,
+        /// Whether the line migrated from a remote exclusive owner
+        /// (`H_ww1`).
+        migration: bool,
+    },
+    /// Remote copies updated in place (write-broadcast mode).
+    WriteBroadcast {
+        /// Writing node.
+        node: NodeId,
+        /// Line written.
+        line: LineId,
+        /// Remote copies updated.
+        updated: u16,
+    },
+    /// A line lock was acquired.
+    LineLock {
+        /// Acquiring node.
+        node: NodeId,
+        /// Locked line.
+        line: LineId,
+    },
+    /// A line lock was released.
+    LineUnlock {
+        /// Releasing node.
+        node: NodeId,
+        /// Unlocked line.
+        line: LineId,
+    },
+    /// Nodes crashed; `lost` lines were destroyed.
+    Crash {
+        /// Failed nodes.
+        nodes: Vec<NodeId>,
+        /// Lines whose every copy died.
+        lost: u64,
+    },
+    /// A line was (re)installed by recovery or a page fault.
+    Install {
+        /// Installing node.
+        node: NodeId,
+        /// Installed line.
+        line: LineId,
+    },
+}
+
+/// Bounded ring of recent coherence events.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    ring: VecDeque<(u64, TraceEvent)>,
+    capacity: usize,
+    next_seq: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Whether tracing is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn enable(&mut self, capacity: usize) {
+        assert!(capacity > 0, "trace capacity must be non-zero");
+        self.enabled = true;
+        self.capacity = capacity;
+    }
+
+    pub(crate) fn disable(&mut self) {
+        self.enabled = false;
+        self.ring.clear();
+    }
+
+    #[inline]
+    pub(crate) fn emit(&mut self, ev: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.ring.push_back((seq, ev));
+    }
+
+    /// The retained events, oldest first, with machine-wide sequence
+    /// numbers.
+    pub fn events(&self) -> impl Iterator<Item = &(u64, TraceEvent)> {
+        self.ring.iter()
+    }
+
+    /// Drain the retained events.
+    pub fn take(&mut self) -> Vec<(u64, TraceEvent)> {
+        self.ring.drain(..).collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_drops_events() {
+        let mut t = Trace::default();
+        t.emit(TraceEvent::ReadHit { node: NodeId(0), line: LineId(1) });
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let mut t = Trace::default();
+        t.enable(3);
+        for i in 0..5 {
+            t.emit(TraceEvent::ReadHit { node: NodeId(i), line: LineId(1) });
+        }
+        assert_eq!(t.len(), 3);
+        let seqs: Vec<u64> = t.events().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest events evicted, sequence preserved");
+    }
+
+    #[test]
+    fn take_drains() {
+        let mut t = Trace::default();
+        t.enable(8);
+        t.emit(TraceEvent::LineLock { node: NodeId(0), line: LineId(1) });
+        assert_eq!(t.take().len(), 1);
+        assert!(t.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod machine_trace_tests {
+    use crate::{LineId, Machine, NodeId, SimConfig, TraceEvent};
+
+    #[test]
+    fn hww1_migration_appears_in_trace() {
+        let mut m = Machine::new(SimConfig::new(2));
+        m.enable_trace(32);
+        m.create_line_at(NodeId(0), LineId(9), &[0]).unwrap();
+        m.write(NodeId(0), LineId(9), 0, &[1]).unwrap();
+        m.write(NodeId(1), LineId(9), 0, &[2]).unwrap();
+        let events = m.take_trace();
+        assert!(events.iter().any(|(_, e)| matches!(
+            e,
+            TraceEvent::WriteTake { node: NodeId(1), migration: true, .. }
+        )));
+    }
+
+    #[test]
+    fn hwr_downgrade_appears_in_trace() {
+        let mut m = Machine::new(SimConfig::new(2));
+        m.enable_trace(32);
+        m.create_line_at(NodeId(0), LineId(9), &[0]).unwrap();
+        m.write(NodeId(0), LineId(9), 0, &[1]).unwrap();
+        let mut b = [0u8];
+        m.read_into(NodeId(1), LineId(9), 0, &mut b).unwrap();
+        let events = m.take_trace();
+        assert!(events.iter().any(|(_, e)| matches!(
+            e,
+            TraceEvent::ReadRemote { node: NodeId(1), downgraded: true, .. }
+        )));
+    }
+
+    #[test]
+    fn crash_event_counts_lost_lines() {
+        let mut m = Machine::new(SimConfig::new(2));
+        m.enable_trace(32);
+        m.create_line_at(NodeId(1), LineId(9), &[0]).unwrap();
+        m.crash(&[NodeId(1)]);
+        let events = m.take_trace();
+        assert!(events
+            .iter()
+            .any(|(_, e)| matches!(e, TraceEvent::Crash { lost: 1, .. })));
+    }
+}

@@ -1,0 +1,30 @@
+//! # smdb-storage — stable storage for the shared-memory database
+//!
+//! Models the shared disks of the paper's system model (§2): every node is
+//! connected to all disks. Two durable facilities are provided:
+//!
+//! * [`StableDb`] — the stable database: a page store with page-granularity
+//!   I/O. The unit of I/O is a page; the unit of coherence is a cache line
+//!   (smaller than a page), so a page spans several lines — captured by
+//!   [`PageGeometry`].
+//! * Disk-latency accounting: operations report their simulated cost so the
+//!   caller can charge the acting node's clock.
+//!
+//! Durability semantics: anything written here survives *any* set of node
+//! crashes. The stable log devices live in `smdb-wal` (they are
+//! log-structured and tightly coupled to LSN bookkeeping).
+
+mod page;
+mod stable_db;
+
+pub use page::{PageGeometry, PageId};
+pub use stable_db::{StableDb, StableDbStats};
+
+/// Byte offset of the Page-LSN field within every page (§6 of the paper:
+/// by convention the Page-LSN lives in the *first cache line* of the page;
+/// we place it in the first 8 bytes).
+pub const PAGE_LSN_OFFSET: usize = 0;
+/// Size of the Page-LSN field, bytes.
+pub const PAGE_LSN_SIZE: usize = 8;
+/// First byte of page payload, after the Page-LSN field.
+pub const PAGE_DATA_OFFSET: usize = PAGE_LSN_OFFSET + PAGE_LSN_SIZE;

@@ -1,0 +1,51 @@
+//! Property tests for page geometry and the stable page store.
+
+use proptest::prelude::*;
+use smdb_storage::{PageGeometry, PageId, StableDb};
+
+proptest! {
+    /// line_addr / page_of_addr are inverse bijections over any geometry.
+    #[test]
+    fn geometry_addressing_round_trips(
+        line_size in 16usize..512,
+        lines_per_page in 1usize..64,
+        page in 0u32..10_000,
+        idx in 0usize..64,
+    ) {
+        let g = PageGeometry::new(line_size, lines_per_page);
+        let idx = idx % lines_per_page;
+        let addr = g.line_addr(PageId(page), idx);
+        prop_assert_eq!(g.page_of_addr(addr), (PageId(page), idx));
+        // Addresses of consecutive pages are contiguous and disjoint.
+        let next = g.line_addr(PageId(page + 1), 0);
+        prop_assert_eq!(next, g.line_addr(PageId(page), lines_per_page - 1) + 1);
+        // Byte offsets stay within the page.
+        prop_assert!(g.line_offset(idx) + line_size <= g.page_size());
+    }
+
+    /// Writes to the stable db read back exactly; patches modify only the
+    /// targeted range.
+    #[test]
+    fn stable_db_write_patch_read(
+        seed_byte in any::<u8>(),
+        patch_off in 0usize..256,
+        patch in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let g = PageGeometry::new(64, 8); // 512-byte pages
+        let mut db = StableDb::new(g);
+        db.format(2);
+        let img = vec![seed_byte; g.page_size()];
+        db.write_page(PageId(1), &img);
+        let patch_off = patch_off.min(g.page_size() - patch.len());
+        db.patch(PageId(1), patch_off, &patch);
+        let got = db.read_page(PageId(1)).unwrap().to_vec();
+        prop_assert_eq!(&got[patch_off..patch_off + patch.len()], &patch[..]);
+        for (i, b) in got.iter().enumerate() {
+            if i < patch_off || i >= patch_off + patch.len() {
+                prop_assert_eq!(*b, seed_byte, "byte {} clobbered", i);
+            }
+        }
+        // The untouched page stays zero.
+        prop_assert!(db.read_page(PageId(0)).unwrap().iter().all(|b| *b == 0));
+    }
+}

@@ -1,0 +1,80 @@
+//! Sharp checkpoints.
+//!
+//! Restart recovery processes each surviving node's redo log *forward from
+//! the last checkpoint* (§4.1.2). We implement sharp checkpoints: taking a
+//! checkpoint forces every node's log and flushes every dirty page, so
+//! recovery never needs to look at records older than the per-node
+//! checkpoint LSNs recorded here.
+
+use crate::lsn::Lsn;
+use serde::{Deserialize, Serialize};
+use smdb_sim::NodeId;
+
+/// Durable metadata describing the most recent checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointMeta {
+    /// For each node (indexed by `NodeId`), the LSN of its checkpoint
+    /// record. Recovery scans each node's log strictly after this LSN.
+    pub node_lsns: Vec<Lsn>,
+}
+
+impl CheckpointMeta {
+    /// A "beginning of time" checkpoint for `nodes` nodes: recovery scans
+    /// entire logs.
+    pub fn genesis(nodes: u16) -> Self {
+        CheckpointMeta { node_lsns: vec![Lsn::ZERO; nodes as usize] }
+    }
+
+    /// Checkpoint LSN for one node.
+    pub fn lsn_for(&self, node: NodeId) -> Lsn {
+        self.node_lsns.get(node.0 as usize).copied().unwrap_or(Lsn::ZERO)
+    }
+}
+
+/// Durable storage for checkpoint metadata (conceptually a well-known
+/// location on the shared disks; survives all node crashes).
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    last: CheckpointMeta,
+    /// Number of checkpoints taken.
+    pub checkpoints_taken: u64,
+}
+
+impl CheckpointStore {
+    /// Create a store holding the genesis checkpoint for `nodes` nodes.
+    pub fn new(nodes: u16) -> Self {
+        CheckpointStore { last: CheckpointMeta::genesis(nodes), checkpoints_taken: 0 }
+    }
+
+    /// Durably install a new checkpoint.
+    pub fn install(&mut self, meta: CheckpointMeta) {
+        self.last = meta;
+        self.checkpoints_taken += 1;
+    }
+
+    /// The most recent checkpoint.
+    pub fn last(&self) -> &CheckpointMeta {
+        &self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_is_all_zero() {
+        let m = CheckpointMeta::genesis(3);
+        assert_eq!(m.lsn_for(NodeId(0)), Lsn::ZERO);
+        assert_eq!(m.lsn_for(NodeId(2)), Lsn::ZERO);
+        assert_eq!(m.lsn_for(NodeId(9)), Lsn::ZERO, "out of range defaults to zero");
+    }
+
+    #[test]
+    fn install_replaces_last() {
+        let mut s = CheckpointStore::new(2);
+        s.install(CheckpointMeta { node_lsns: vec![Lsn(4), Lsn(9)] });
+        assert_eq!(s.last().lsn_for(NodeId(1)), Lsn(9));
+        assert_eq!(s.checkpoints_taken, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! The shared-memory (page, LSN) table enforcing WAL under Volatile LBM.
+//!
+//! Paper §6: *"Each updating node remembers an LSN equal to its last update
+//! to page p. Page p can be written to the StableDB only after all nodes
+//! which have updated p have forced their logs up to this LSN. The
+//! determination of whether any other node is required to force its log can
+//! be computed very fast by maintaining this table of (page,LSN) pairs in
+//! shared memory. Recovery problems for this table can be avoided since
+//! this information is written only by the local node, and, in the event of
+//! a node crash, will be reinitialized on the crashed node."*
+
+use crate::lsn::Lsn;
+use smdb_sim::NodeId;
+use smdb_storage::PageId;
+use std::collections::BTreeMap;
+
+/// Tracks, per page, the last update LSN of every node that has updated it
+/// since the page was last flushed.
+#[derive(Clone, Debug, Default)]
+pub struct PageLsnTable {
+    entries: BTreeMap<(PageId, NodeId), Lsn>,
+}
+
+impl PageLsnTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `node` updated `page` with a log record at `lsn`.
+    pub fn note_update(&mut self, page: PageId, node: NodeId, lsn: Lsn) {
+        let e = self.entries.entry((page, node)).or_insert(Lsn::ZERO);
+        if lsn > *e {
+            *e = lsn;
+        }
+    }
+
+    /// The per-node force requirements before `page` may be flushed: every
+    /// `(node, lsn)` pair returned must satisfy `stable_lsn(node) >= lsn`.
+    pub fn flush_requirements(&self, page: PageId) -> Vec<(NodeId, Lsn)> {
+        self.entries
+            .range((page, NodeId(0))..=(page, NodeId(u16::MAX)))
+            .map(|(&(_, n), &l)| (n, l))
+            .collect()
+    }
+
+    /// Clear all entries for a page (after it has been flushed).
+    pub fn page_flushed(&mut self, page: PageId) {
+        self.entries.retain(|&(p, _), _| p != page);
+    }
+
+    /// Reinitialize a crashed node's entries (its updates are being rolled
+    /// back or redone by recovery; the stale LSNs are meaningless).
+    pub fn clear_node(&mut self, node: NodeId) {
+        self.entries.retain(|&(_, n), _| n != node);
+    }
+
+    /// All pages any node has updated since their last flush (the dirty
+    /// page set from the WAL table's point of view).
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        let mut pages: Vec<PageId> = self.entries.keys().map(|&(p, _)| p).collect();
+        pages.dedup();
+        pages
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requirements_track_max_lsn_per_node() {
+        let mut t = PageLsnTable::new();
+        t.note_update(PageId(1), NodeId(0), Lsn(3));
+        t.note_update(PageId(1), NodeId(0), Lsn(7));
+        t.note_update(PageId(1), NodeId(0), Lsn(5)); // lower: ignored
+        t.note_update(PageId(1), NodeId(2), Lsn(1));
+        let req = t.flush_requirements(PageId(1));
+        assert_eq!(req, vec![(NodeId(0), Lsn(7)), (NodeId(2), Lsn(1))]);
+    }
+
+    #[test]
+    fn pages_are_isolated() {
+        let mut t = PageLsnTable::new();
+        t.note_update(PageId(1), NodeId(0), Lsn(3));
+        t.note_update(PageId(2), NodeId(1), Lsn(9));
+        assert_eq!(t.flush_requirements(PageId(1)), vec![(NodeId(0), Lsn(3))]);
+        assert_eq!(t.flush_requirements(PageId(2)), vec![(NodeId(1), Lsn(9))]);
+        assert_eq!(t.flush_requirements(PageId(3)), vec![]);
+    }
+
+    #[test]
+    fn flush_clears_page_entries() {
+        let mut t = PageLsnTable::new();
+        t.note_update(PageId(1), NodeId(0), Lsn(3));
+        t.note_update(PageId(2), NodeId(0), Lsn(4));
+        t.page_flushed(PageId(1));
+        assert!(t.flush_requirements(PageId(1)).is_empty());
+        assert_eq!(t.dirty_pages(), vec![PageId(2)]);
+    }
+
+    #[test]
+    fn crashed_node_entries_reinitialized() {
+        let mut t = PageLsnTable::new();
+        t.note_update(PageId(1), NodeId(0), Lsn(3));
+        t.note_update(PageId(1), NodeId(1), Lsn(5));
+        t.clear_node(NodeId(1));
+        assert_eq!(t.flush_requirements(PageId(1)), vec![(NodeId(0), Lsn(3))]);
+    }
+}

@@ -1,0 +1,605 @@
+//! Log records and per-node logs.
+
+use crate::lsn::Lsn;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use smdb_sim::{NodeId, TxnId};
+use smdb_storage::PageId;
+use std::fmt;
+
+/// Identity of a database record: a slot within a heap page.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RecId {
+    /// The heap page holding the record.
+    pub page: PageId,
+    /// Slot index within the page.
+    pub slot: u16,
+}
+
+impl RecId {
+    /// Construct a record id.
+    pub fn new(page: PageId, slot: u16) -> Self {
+        RecId { page, slot }
+    }
+}
+
+impl fmt::Debug for RecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}.{}", self.page.0, self.slot)
+    }
+}
+
+/// Lock mode as recorded in logical lock-log records. Mirrored by the lock
+/// manager's richer mode type; kept here so log records are self-contained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LockModeRepr {
+    /// Shared (read) lock. Logged too — the paper's protocols require the
+    /// logging of read locks so lock state lost in a crash can be redone
+    /// for surviving transactions (§4.2.2, Table 1).
+    Shared,
+    /// Exclusive (write) lock.
+    Exclusive,
+}
+
+/// Kinds of early-committed structural changes (§4.2): changes to database
+/// management structures that are allowed to commit independently of the
+/// transaction that caused them (nested top-level actions), so no
+/// inter-node abort dependency can form through the changed structure.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StructuralKind {
+    /// A B-tree node split: the page `new_page` was allocated and keys ≥
+    /// `split_key` moved into it from `old_page`.
+    BtreeSplit { old_page: u32, new_page: u32, split_key: u64 },
+    /// Allocation of a new B-tree root page (tree height grew).
+    BtreeNewRoot { root_page: u32 },
+    /// Dynamic allocation of lock-table overflow space: `line` was
+    /// allocated and linked from `parent`.
+    LockSpaceAlloc { line: u64, parent: u64 },
+}
+
+/// Payload of one log record.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogPayload {
+    /// Transaction start.
+    Begin { txn: TxnId },
+    /// Transaction commit. Forcing the log up to this record makes the
+    /// transaction durable.
+    Commit { txn: TxnId },
+    /// Transaction abort (after all its updates were undone).
+    Abort { txn: TxnId },
+    /// A physical record update carrying both images. The undo image (the
+    /// before image, i.e. the last committed value — strict 2PL guarantees
+    /// at most one writer) and the redo image (the after image). Written to
+    /// the volatile log *before* the updated line can migrate — the LBM
+    /// policy (§4.1.1). Compensation records written during transaction
+    /// rollback use the same shape with the images swapped.
+    Update {
+        /// Updating transaction.
+        txn: TxnId,
+        /// Updated record.
+        rec: RecId,
+        /// Before image.
+        undo: Bytes,
+        /// After image.
+        redo: Bytes,
+        /// Global update sequence number: a machine-wide monotone stamp
+        /// that totally orders data updates *across* the per-node logs.
+        /// Restart recovery replays redo candidates from several logs in
+        /// GSN order — the cross-log analogue of the §6 ordered-update
+        /// -logging rule.
+        gsn: u64,
+    },
+    /// Logical insert of a key into the B-tree index (leaf record create).
+    IndexInsert {
+        /// Inserting transaction.
+        txn: TxnId,
+        /// Key inserted.
+        key: u64,
+        /// Value stored with the key.
+        value: Bytes,
+        /// Global update sequence number (see [`LogPayload::Update`]).
+        gsn: u64,
+    },
+    /// Logical delete of a key from the B-tree index. Implemented as a
+    /// delete *mark* (§4.2.1); undo merely unmarks.
+    IndexDelete {
+        /// Deleting transaction.
+        txn: TxnId,
+        /// Key marked deleted.
+        key: u64,
+        /// Value at the time of the delete (for redo of the mark on a
+        /// reconstructed node).
+        value: Bytes,
+        /// Global update sequence number (see [`LogPayload::Update`]).
+        gsn: u64,
+    },
+    /// Compensation record: physical removal of an index entry (the undo of
+    /// an uncommitted insert during rollback, or post-commit space reclaim
+    /// of a delete-marked entry).
+    IndexRemove {
+        /// Transaction being rolled back (or committing, for reclaim).
+        txn: TxnId,
+        /// Key removed.
+        key: u64,
+        /// Global update sequence number (see [`LogPayload::Update`]).
+        gsn: u64,
+    },
+    /// Compensation record: unmarking a logically deleted index entry (the
+    /// undo of an uncommitted delete during rollback).
+    IndexUnmark {
+        /// Transaction being rolled back.
+        txn: TxnId,
+        /// Key unmarked.
+        key: u64,
+        /// Global update sequence number (see [`LogPayload::Update`]).
+        gsn: u64,
+    },
+    /// An early-committed structural change (nested top-level action).
+    /// Forced to stable store as part of the early commit, so no other
+    /// transaction can become dependent on volatile structural state
+    /// (§4.2).
+    Structural {
+        /// Transaction whose operation triggered the change (the change
+        /// commits regardless of this transaction's fate).
+        txn: TxnId,
+        /// What changed.
+        kind: StructuralKind,
+    },
+    /// Logical lock-acquisition record, written *before* the LCB update
+    /// (§4.2.2). Read locks are logged too.
+    LockAcquire {
+        /// Acquiring transaction.
+        txn: TxnId,
+        /// Lock name (hash of the resource identity).
+        name: u64,
+        /// Requested mode.
+        mode: LockModeRepr,
+        /// Whether the request was queued rather than granted (queued
+        /// requests must be logged as well — §4.2.2).
+        queued: bool,
+    },
+    /// Logical lock-release record.
+    LockRelease {
+        /// Releasing transaction.
+        txn: TxnId,
+        /// Lock name.
+        name: u64,
+    },
+    /// Sharp checkpoint marker: at this point every dirty page this node
+    /// had updated has been flushed and the log forced.
+    Checkpoint,
+}
+
+impl LogPayload {
+    /// The transaction this record belongs to, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            LogPayload::Begin { txn }
+            | LogPayload::Commit { txn }
+            | LogPayload::Abort { txn }
+            | LogPayload::Update { txn, .. }
+            | LogPayload::IndexInsert { txn, .. }
+            | LogPayload::IndexDelete { txn, .. }
+            | LogPayload::IndexRemove { txn, .. }
+            | LogPayload::IndexUnmark { txn, .. }
+            | LogPayload::Structural { txn, .. }
+            | LogPayload::LockAcquire { txn, .. }
+            | LogPayload::LockRelease { txn, .. } => Some(*txn),
+            LogPayload::Checkpoint => None,
+        }
+    }
+
+    /// The global update sequence number carried by data records; `None`
+    /// for control, lock, and structural records.
+    pub fn gsn(&self) -> Option<u64> {
+        match self {
+            LogPayload::Update { gsn, .. }
+            | LogPayload::IndexInsert { gsn, .. }
+            | LogPayload::IndexDelete { gsn, .. }
+            | LogPayload::IndexRemove { gsn, .. }
+            | LogPayload::IndexUnmark { gsn, .. } => Some(*gsn),
+            _ => None,
+        }
+    }
+
+    /// Approximate serialized size in bytes, used for overhead accounting
+    /// (Table 1 reports *what* must be logged; the bench reports how many
+    /// bytes that costs).
+    pub fn approx_size(&self) -> usize {
+        let header = 16; // lsn + type tag + txn
+        match self {
+            LogPayload::Update { undo, redo, .. } => header + 16 + undo.len() + redo.len(),
+            LogPayload::IndexInsert { value, .. } | LogPayload::IndexDelete { value, .. } => {
+                header + 16 + value.len()
+            }
+            LogPayload::IndexRemove { .. } | LogPayload::IndexUnmark { .. } => header + 16,
+            LogPayload::Structural { .. } => header + 16,
+            LogPayload::LockAcquire { .. } => header + 10,
+            LogPayload::LockRelease { .. } => header + 9,
+            _ => header,
+        }
+    }
+}
+
+/// One record in a node's log.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Node-local sequence number.
+    pub lsn: Lsn,
+    /// The node whose log this record belongs to.
+    pub node: NodeId,
+    /// The logged operation.
+    pub payload: LogPayload,
+}
+
+/// Counters for one node's log.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeLogStats {
+    /// Records appended.
+    pub appends: u64,
+    /// Bytes appended (approximate serialized size).
+    pub bytes_appended: u64,
+    /// Log forces performed (calls that actually moved the stable
+    /// boundary).
+    pub forces: u64,
+    /// Records made stable by forces.
+    pub records_forced: u64,
+    /// Read-lock acquisition records appended (an IFA-specific overhead —
+    /// Table 1).
+    pub read_lock_records: u64,
+    /// Structural early-commit records appended (an IFA-specific overhead —
+    /// Table 1).
+    pub structural_records: u64,
+}
+
+/// One node's log: a volatile tail in the node's local memory plus a stable
+/// prefix on a shared disk.
+///
+/// A crash of the node destroys the volatile tail; the stable prefix
+/// survives (and is all restart recovery can rely on for crashed nodes —
+/// §4.1.1: *"one cannot rely on using the local undo log ... it could
+/// easily be the case that the transaction management system left no trace
+/// of ever running t_x"*).
+///
+/// Checkpoints may [`truncate`](NodeLog::truncate_through) the prefix the
+/// recovery procedure can no longer need (everything at or below the
+/// checkpoint, bounded by the oldest record of any still-active
+/// transaction); LSNs are stable identities and survive truncation.
+#[derive(Clone, Debug)]
+pub struct NodeLog {
+    node: NodeId,
+    /// Retained records; the record at index `i` has LSN `base + i + 1`.
+    records: Vec<LogRecord>,
+    /// Number of records discarded from the front by truncation.
+    base: u64,
+    /// LSN up to which (inclusive) the log is on stable storage.
+    stable_upto: Lsn,
+    stats: NodeLogStats,
+}
+
+impl NodeLog {
+    /// Create an empty log for `node`.
+    pub fn new(node: NodeId) -> Self {
+        NodeLog {
+            node,
+            records: Vec::new(),
+            base: 0,
+            stable_upto: Lsn::ZERO,
+            stats: NodeLogStats::default(),
+        }
+    }
+
+    /// The node that owns this log.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Append a record to the volatile tail; returns its LSN.
+    pub fn append(&mut self, payload: LogPayload) -> Lsn {
+        let lsn = Lsn(self.base + self.records.len() as u64 + 1);
+        self.stats.appends += 1;
+        self.stats.bytes_appended += payload.approx_size() as u64;
+        if let LogPayload::LockAcquire { mode: LockModeRepr::Shared, .. } = payload {
+            self.stats.read_lock_records += 1;
+        }
+        if let LogPayload::Structural { .. } = payload {
+            self.stats.structural_records += 1;
+        }
+        self.records.push(LogRecord { lsn, node: self.node, payload });
+        lsn
+    }
+
+    /// LSN of the most recently appended record ([`Lsn::ZERO`] if empty).
+    pub fn last_lsn(&self) -> Lsn {
+        Lsn(self.base + self.records.len() as u64)
+    }
+
+    /// LSN up to which (inclusive) the log is stable.
+    pub fn stable_lsn(&self) -> Lsn {
+        self.stable_upto
+    }
+
+    /// Whether the record at `lsn` is on stable storage.
+    pub fn is_stable(&self, lsn: Lsn) -> bool {
+        lsn <= self.stable_upto
+    }
+
+    /// Force the log to stable storage up to `lsn` (inclusive). Returns
+    /// `true` if the stable boundary actually moved (i.e. a physical force
+    /// was needed); `false` if the prefix was already stable. The caller
+    /// charges the force latency when `true`.
+    pub fn force_to(&mut self, lsn: Lsn) -> bool {
+        let want = lsn.min(self.last_lsn());
+        if want <= self.stable_upto {
+            return false;
+        }
+        self.stats.forces += 1;
+        self.stats.records_forced += want.0 - self.stable_upto.0;
+        self.stable_upto = want;
+        true
+    }
+
+    /// Force the entire log.
+    pub fn force_all(&mut self) -> bool {
+        self.force_to(self.last_lsn())
+    }
+
+    /// Crash this node's log: the volatile tail vanishes; the stable prefix
+    /// remains.
+    pub fn crash(&mut self) {
+        let keep = self.stable_upto.0.saturating_sub(self.base) as usize;
+        self.records.truncate(keep);
+    }
+
+    /// All retained records (stable prefix + volatile tail). For a
+    /// surviving node this is the full history since the last truncation;
+    /// for a crashed node call after [`NodeLog::crash`] and only the
+    /// stable prefix remains.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Only the (retained part of the) stable prefix.
+    pub fn stable_records(&self) -> &[LogRecord] {
+        let n = (self.stable_upto.0.saturating_sub(self.base) as usize).min(self.records.len());
+        &self.records[..n]
+    }
+
+    /// Records with LSN strictly greater than `after`.
+    pub fn records_after(&self, after: Lsn) -> &[LogRecord] {
+        let start =
+            (after.0.max(self.base).saturating_sub(self.base) as usize).min(self.records.len());
+        &self.records[start..]
+    }
+
+    /// Discard every record with LSN ≤ `lsn` (checkpoint-driven log
+    /// reclamation). Only durable records may be discarded — the volatile
+    /// tail is the crash-recovery source of truth for surviving nodes.
+    /// The caller guarantees recovery will never need the discarded
+    /// prefix: the checkpoint flushed every page (so no redo below it)
+    /// and `lsn` is below the first record of every active transaction
+    /// (so no undo below it either).
+    pub fn truncate_through(&mut self, lsn: Lsn) {
+        assert!(lsn <= self.stable_upto, "cannot truncate unforced records");
+        if lsn.0 <= self.base {
+            return;
+        }
+        let n = (lsn.0 - self.base) as usize;
+        self.records.drain(..n.min(self.records.len()));
+        self.base = lsn.0;
+    }
+
+    /// LSN below which records have been discarded.
+    pub fn truncation_point(&self) -> Lsn {
+        Lsn(self.base)
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Log statistics.
+    pub fn stats(&self) -> &NodeLogStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n0() -> NodeId {
+        NodeId(0)
+    }
+
+    fn begin(seq: u64) -> LogPayload {
+        LogPayload::Begin { txn: TxnId::new(NodeId(0), seq) }
+    }
+
+    #[test]
+    fn append_assigns_sequential_lsns() {
+        let mut log = NodeLog::new(n0());
+        assert_eq!(log.append(begin(1)), Lsn(1));
+        assert_eq!(log.append(begin(2)), Lsn(2));
+        assert_eq!(log.last_lsn(), Lsn(2));
+    }
+
+    #[test]
+    fn force_moves_stable_boundary_once() {
+        let mut log = NodeLog::new(n0());
+        log.append(begin(1));
+        log.append(begin(2));
+        assert!(log.force_to(Lsn(1)));
+        assert!(!log.force_to(Lsn(1)), "already stable: no physical force");
+        assert!(log.is_stable(Lsn(1)));
+        assert!(!log.is_stable(Lsn(2)));
+        assert_eq!(log.stats().forces, 1);
+        assert_eq!(log.stats().records_forced, 1);
+    }
+
+    #[test]
+    fn crash_destroys_volatile_tail_only() {
+        let mut log = NodeLog::new(n0());
+        log.append(begin(1));
+        log.append(begin(2));
+        log.append(begin(3));
+        log.force_to(Lsn(2));
+        log.crash();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.records().last().unwrap().lsn, Lsn(2));
+        // The paper's "left no trace" scenario: nothing forced, all gone.
+        let mut log2 = NodeLog::new(n0());
+        log2.append(begin(9));
+        log2.crash();
+        assert!(log2.is_empty());
+    }
+
+    #[test]
+    fn records_after_slices_by_lsn() {
+        let mut log = NodeLog::new(n0());
+        for i in 1..=5 {
+            log.append(begin(i));
+        }
+        assert_eq!(log.records_after(Lsn(3)).len(), 2);
+        assert_eq!(log.records_after(Lsn(0)).len(), 5);
+        assert_eq!(log.records_after(Lsn(99)).len(), 0);
+    }
+
+    #[test]
+    fn read_lock_records_counted() {
+        let mut log = NodeLog::new(n0());
+        let t = TxnId::new(NodeId(0), 1);
+        log.append(LogPayload::LockAcquire { txn: t, name: 5, mode: LockModeRepr::Shared, queued: false });
+        log.append(LogPayload::LockAcquire { txn: t, name: 6, mode: LockModeRepr::Exclusive, queued: false });
+        assert_eq!(log.stats().read_lock_records, 1);
+    }
+
+    #[test]
+    fn structural_records_counted() {
+        let mut log = NodeLog::new(n0());
+        let t = TxnId::new(NodeId(0), 1);
+        log.append(LogPayload::Structural {
+            txn: t,
+            kind: StructuralKind::BtreeSplit { old_page: 3, new_page: 7, split_key: 10 },
+        });
+        assert_eq!(log.stats().structural_records, 1);
+    }
+
+    #[test]
+    fn force_all_covers_everything() {
+        let mut log = NodeLog::new(n0());
+        log.append(begin(1));
+        log.append(begin(2));
+        assert!(log.force_all());
+        assert_eq!(log.stable_lsn(), Lsn(2));
+        log.crash();
+        assert_eq!(log.len(), 2, "fully forced log survives crash intact");
+    }
+
+    #[test]
+    fn payload_txn_extraction() {
+        let t = TxnId::new(NodeId(2), 7);
+        assert_eq!(LogPayload::Commit { txn: t }.txn(), Some(t));
+        assert_eq!(LogPayload::Checkpoint.txn(), None);
+    }
+
+    #[test]
+    fn update_size_includes_images() {
+        let t = TxnId::new(NodeId(0), 1);
+        let p = LogPayload::Update {
+            txn: t,
+            rec: RecId::new(PageId(0), 0),
+            undo: Bytes::from(vec![0u8; 10]),
+            redo: Bytes::from(vec![0u8; 20]),
+            gsn: 1,
+        };
+        assert!(p.approx_size() >= 30);
+        assert_eq!(p.gsn(), Some(1));
+        assert_eq!(LogPayload::Checkpoint.gsn(), None);
+    }
+}
+
+#[cfg(test)]
+mod truncation_tests {
+    use super::*;
+
+    fn n0() -> NodeId {
+        NodeId(0)
+    }
+
+    fn begin(seq: u64) -> LogPayload {
+        LogPayload::Begin { txn: TxnId::new(NodeId(0), seq) }
+    }
+
+    #[test]
+    fn truncate_preserves_lsn_identity() {
+        let mut log = NodeLog::new(n0());
+        for i in 1..=6 {
+            log.append(begin(i));
+        }
+        log.force_all();
+        log.truncate_through(Lsn(3));
+        assert_eq!(log.truncation_point(), Lsn(3));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.records()[0].lsn, Lsn(4), "LSNs survive truncation");
+        assert_eq!(log.last_lsn(), Lsn(6));
+        // Appends continue the sequence.
+        assert_eq!(log.append(begin(7)), Lsn(7));
+    }
+
+    #[test]
+    fn records_after_respects_truncation() {
+        let mut log = NodeLog::new(n0());
+        for i in 1..=6 {
+            log.append(begin(i));
+        }
+        log.force_all();
+        log.truncate_through(Lsn(3));
+        assert_eq!(log.records_after(Lsn(0)).len(), 3, "discarded records are gone");
+        assert_eq!(log.records_after(Lsn(4)).len(), 2);
+        assert_eq!(log.records_after(Lsn(99)).len(), 0);
+    }
+
+    #[test]
+    fn stable_records_after_truncation() {
+        let mut log = NodeLog::new(n0());
+        for i in 1..=6 {
+            log.append(begin(i));
+        }
+        log.force_to(Lsn(4));
+        log.truncate_through(Lsn(2));
+        let stable = log.stable_records();
+        assert_eq!(stable.len(), 2, "lsn 3..=4 retained and stable");
+        assert_eq!(stable[0].lsn, Lsn(3));
+        // Crash drops the volatile tail only.
+        log.crash();
+        assert_eq!(log.last_lsn(), Lsn(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "unforced")]
+    fn truncating_volatile_tail_rejected() {
+        let mut log = NodeLog::new(n0());
+        log.append(begin(1));
+        log.truncate_through(Lsn(1));
+    }
+
+    #[test]
+    fn idempotent_truncation() {
+        let mut log = NodeLog::new(n0());
+        for i in 1..=4 {
+            log.append(begin(i));
+        }
+        log.force_all();
+        log.truncate_through(Lsn(2));
+        log.truncate_through(Lsn(2)); // no-op
+        log.truncate_through(Lsn(1)); // below base: no-op
+        assert_eq!(log.len(), 2);
+    }
+}

@@ -1,0 +1,435 @@
+//! Record-update mix workload and crash scheduling.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use smdb_core::{DbError, SmDb};
+use smdb_sim::{NodeId, TxnId};
+
+/// Parameters for the record-update mix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MixParams {
+    /// Transactions to run (committed ones count; conflict retries don't).
+    pub txns: usize,
+    /// Operations per transaction.
+    pub ops_per_txn: usize,
+    /// Fraction of operations that are reads (the rest are updates, or
+    /// index ops per `index_fraction`).
+    pub read_fraction: f64,
+    /// Probability that an operation targets the *shared region* (the
+    /// first `shared_slots` record slots, touched by every node) rather
+    /// than the executing node's private partition. This is the
+    /// inter-node data-sharing knob: 0.0 produces no ww/wr coherence
+    /// patterns, 1.0 maximises them.
+    pub sharing: f64,
+    /// Size of the shared region, slots.
+    pub shared_slots: u64,
+    /// Fraction of non-read operations that are index inserts/deletes
+    /// (requires the engine to have an index; 0.0 disables).
+    pub index_fraction: f64,
+    /// Zipf skew θ for slot selection within a region (0 = uniform; ~1 =
+    /// classic hot-spot skew).
+    pub zipf_theta: f64,
+    /// RNG seed (workloads are deterministic given the seed).
+    pub seed: u64,
+    /// Retries after a no-wait conflict before giving up on a
+    /// transaction.
+    pub retries: usize,
+}
+
+impl Default for MixParams {
+    fn default() -> Self {
+        MixParams {
+            txns: 100,
+            ops_per_txn: 4,
+            read_fraction: 0.25,
+            sharing: 0.3,
+            shared_slots: 32,
+            index_fraction: 0.0,
+            zipf_theta: 0.0,
+            seed: 42,
+            retries: 8,
+        }
+    }
+}
+
+/// Outcome of a mix run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MixReport {
+    /// Transactions committed.
+    pub committed: u64,
+    /// No-wait conflict aborts (each followed by a retry, budget
+    /// permitting).
+    pub conflict_aborts: u64,
+    /// Transactions abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+    /// Operations executed (within committed transactions).
+    pub ops: u64,
+    /// Simulated machine makespan consumed by the run, cycles.
+    pub sim_cycles: u64,
+}
+
+/// A mid-workload crash schedule: after `after_txns` committed
+/// transactions, crash `nodes`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CrashPlan {
+    /// Commit count that triggers the crash.
+    pub after_txns: usize,
+    /// Nodes to crash.
+    pub nodes: Vec<NodeId>,
+}
+
+/// One generated operation.
+enum Op {
+    Read(u64),
+    Update(u64, [u8; 8]),
+    Insert(u64, [u8; 8]),
+    Delete(u64),
+}
+
+struct Generator {
+    rng: StdRng,
+    params: MixParams,
+    nodes: u16,
+    private_per_node: u64,
+    shared_dist: Zipf,
+    private_dist: Zipf,
+    /// Committed index keys available for deletion.
+    live_keys: Vec<u64>,
+    next_key: u64,
+}
+
+impl Generator {
+    fn new(db: &SmDb, params: MixParams) -> Self {
+        let nodes = db.config().nodes;
+        let total = db.record_count() as u64;
+        let shared = params.shared_slots.min(total.saturating_sub(nodes as u64));
+        let private_per_node = (total - shared) / nodes as u64;
+        Generator {
+            rng: StdRng::seed_from_u64(params.seed),
+            shared_dist: Zipf::new(shared.max(1), params.zipf_theta),
+            private_dist: Zipf::new(private_per_node.max(1), params.zipf_theta),
+            params: MixParams { shared_slots: shared, ..params },
+            nodes,
+            private_per_node,
+            live_keys: Vec::new(),
+            next_key: 1,
+        }
+    }
+
+    fn pick_slot(&mut self, node: NodeId) -> u64 {
+        if self.rng.gen_bool(self.params.sharing) || self.private_per_node == 0 {
+            self.shared_dist.sample(&mut self.rng)
+        } else {
+            let base = self.params.shared_slots + node.0 as u64 * self.private_per_node;
+            base + self.private_dist.sample(&mut self.rng)
+        }
+    }
+
+    fn gen_txn_ops(&mut self, node: NodeId, with_index: bool) -> Vec<Op> {
+        let mut ops = Vec::with_capacity(self.params.ops_per_txn);
+        for _ in 0..self.params.ops_per_txn {
+            if self.rng.gen_bool(self.params.read_fraction) {
+                ops.push(Op::Read(self.pick_slot(node)));
+            } else if with_index
+                && self.params.index_fraction > 0.0
+                && self.rng.gen_bool(self.params.index_fraction)
+            {
+                // Prefer deletes of committed keys half the time, when
+                // available.
+                if !self.live_keys.is_empty() && self.rng.gen_bool(0.5) {
+                    let i = self.rng.gen_range(0..self.live_keys.len());
+                    ops.push(Op::Delete(self.live_keys[i]));
+                } else {
+                    let key = self.next_key;
+                    self.next_key += 1;
+                    ops.push(Op::Insert(key, self.rng.gen::<u64>().to_le_bytes()));
+                }
+            } else {
+                let slot = self.pick_slot(node);
+                ops.push(Op::Update(slot, self.rng.gen::<u64>().to_le_bytes()));
+            }
+        }
+        ops
+    }
+
+    fn note_committed(&mut self, ops: &[Op]) {
+        for op in ops {
+            match op {
+                Op::Insert(k, _) => self.live_keys.push(*k),
+                Op::Delete(k) => self.live_keys.retain(|x| x != k),
+                _ => {}
+            }
+        }
+    }
+}
+
+fn run_txn_ops(db: &mut SmDb, node: NodeId, ops: &[Op]) -> Result<TxnId, DbError> {
+    let txn = db.begin(node)?;
+    for op in ops {
+        let r = match op {
+            Op::Read(slot) => db.read(txn, *slot).map(|_| ()),
+            Op::Update(slot, v) => db.update(txn, *slot, v),
+            Op::Insert(k, v) => match db.insert(txn, *k, *v) {
+                // A retried transaction may find its key already present
+                // from an independent earlier attempt; treat as success.
+                Err(DbError::Btree(smdb_btree::BtreeError::DuplicateKey { .. })) => Ok(()),
+                other => other,
+            },
+            Op::Delete(k) => match db.delete(txn, *k) {
+                Err(DbError::Btree(smdb_btree::BtreeError::KeyNotFound { .. })) => Ok(()),
+                other => other,
+            },
+        };
+        if let Err(e) = r {
+            // Roll back and surface the conflict.
+            let _ = db.abort(txn);
+            return Err(e);
+        }
+    }
+    db.commit(txn)?;
+    Ok(txn)
+}
+
+/// Run the mix to completion (no crash). Returns the report.
+pub fn run_mix(db: &mut SmDb, params: MixParams) -> MixReport {
+    run_mix_with_crash(db, params, None).0
+}
+
+/// Run the mix, optionally crashing mid-stream per `plan`. Returns the
+/// report plus the recovery outcome if a crash fired.
+pub fn run_mix_with_crash(
+    db: &mut SmDb,
+    params: MixParams,
+    plan: Option<CrashPlan>,
+) -> (MixReport, Option<smdb_core::RecoveryOutcome>) {
+    let with_index = db.config().with_index;
+    let mut g = Generator::new(db, params);
+    let mut report = MixReport::default();
+    let clock0 = db.max_clock();
+    let mut recovery = None;
+    let nodes = g.nodes;
+    for i in 0..g.params.txns {
+        if let Some(p) = &plan {
+            if recovery.is_none() && i == p.after_txns {
+                let outcome = db.crash_and_recover(&p.nodes).expect("recovery succeeds");
+                recovery = Some(outcome);
+            }
+        }
+        // Round-robin over live nodes.
+        let mut node = NodeId((i % nodes as usize) as u16);
+        if db.machine().is_crashed(node) {
+            let survivors = db.machine().surviving_nodes();
+            node = survivors[i % survivors.len()];
+        }
+        let ops = g.gen_txn_ops(node, with_index);
+        let mut attempts = 0;
+        loop {
+            match run_txn_ops(db, node, &ops) {
+                Ok(_) => {
+                    g.note_committed(&ops);
+                    report.committed += 1;
+                    report.ops += ops.len() as u64;
+                    break;
+                }
+                Err(DbError::WouldBlock { .. }) => {
+                    report.conflict_aborts += 1;
+                    attempts += 1;
+                    if attempts > g.params.retries {
+                        report.gave_up += 1;
+                        break;
+                    }
+                }
+                Err(e) => panic!("workload operation failed: {e}"),
+            }
+        }
+    }
+    report.sim_cycles = db.max_clock() - clock0;
+    (report, recovery)
+}
+
+/// Start `per_node` transactions on every (live) node, each performing
+/// `ops_each` updates in its private partition plus optionally one shared
+/// update, and leave them **active**. The setup for the crash/abort-count
+/// experiments: these are the transactions a crash puts at risk.
+pub fn spawn_active(
+    db: &mut SmDb,
+    per_node: usize,
+    ops_each: usize,
+    shared_touch: bool,
+    seed: u64,
+) -> Vec<TxnId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nodes = db.config().nodes;
+    let total = db.record_count() as u64;
+    let shared = 16u64.min(total / 4).max(1);
+    let private_per_node = (total - shared) / nodes as u64;
+    let mut out = Vec::new();
+    // Distinct slots per transaction so no two conflict.
+    for node in db.machine().surviving_nodes() {
+        for k in 0..per_node {
+            let txn = db.begin(node).expect("node is alive");
+            let base = shared + node.0 as u64 * private_per_node;
+            for j in 0..ops_each {
+                let slot = base + (k * ops_each + j) as u64 % private_per_node.max(1);
+                let v = rng.gen::<u64>().to_le_bytes();
+                match db.update(txn, slot, &v) {
+                    Ok(()) => {}
+                    Err(DbError::WouldBlock { .. }) => {} // private overlap; skip op
+                    Err(e) => panic!("spawn_active update failed: {e}"),
+                }
+            }
+            if shared_touch {
+                let slot = rng.gen_range(0..shared);
+                let v = rng.gen::<u64>().to_le_bytes();
+                // Shared slots can conflict between active transactions;
+                // ignore conflicts (the point is inter-node line sharing).
+                let _ = db.update(txn, slot, &v);
+            }
+            out.push(txn);
+        }
+    }
+    out
+}
+
+/// Start `per_node` **parallel** transactions homed on every live node,
+/// each enlisting `fan - 1` additional participant nodes (round-robin)
+/// and updating one private slot per participant. Left active. §9:
+/// a crash of *any* participant aborts the whole transaction, so larger
+/// fan-out widens a crash's blast radius — experiment E10.
+pub fn spawn_active_parallel(
+    db: &mut SmDb,
+    per_node: usize,
+    fan: u16,
+    seed: u64,
+) -> Vec<TxnId> {
+    assert!(fan >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nodes = db.machine().surviving_nodes();
+    let n = nodes.len() as u64;
+    let total = db.record_count() as u64;
+    let per_node_slots = total / n.max(1);
+    let mut out = Vec::new();
+    for (hi, &home) in nodes.iter().enumerate() {
+        for k in 0..per_node {
+            let txn = db.begin(home).expect("node is alive");
+            let mut participants = vec![home];
+            for f in 1..fan {
+                let p = nodes[(hi + f as usize) % nodes.len()];
+                if p != home {
+                    db.attach(txn, p).expect("attach");
+                    participants.push(p);
+                }
+            }
+            for (j, &p) in participants.iter().enumerate() {
+                // Distinct per-(txn, participant) slots: no conflicts.
+                let slot = p.0 as u64 * per_node_slots
+                    + ((k * fan as usize + j) as u64) % per_node_slots.max(1);
+                let v = rng.gen::<u64>().to_le_bytes();
+                match db.update_on(txn, p, slot, &v) {
+                    Ok(()) | Err(DbError::WouldBlock { .. }) => {}
+                    Err(e) => panic!("parallel spawn update failed: {e}"),
+                }
+            }
+            out.push(txn);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_core::{DbConfig, ProtocolKind};
+
+    fn small_db(p: ProtocolKind) -> SmDb {
+        SmDb::new(DbConfig::small(4, p))
+    }
+
+    #[test]
+    fn mix_runs_and_commits() {
+        let mut db = small_db(ProtocolKind::VolatileSelectiveRedo);
+        let report = run_mix(&mut db, MixParams { txns: 50, ..Default::default() });
+        assert_eq!(report.committed + report.gave_up, 50);
+        assert!(report.committed > 40, "most transactions should commit");
+        assert!(report.sim_cycles > 0);
+        db.check_ifa(NodeId(0)).assert_ok();
+    }
+
+    #[test]
+    fn mix_is_deterministic_given_seed() {
+        let run = |seed| {
+            let mut db = small_db(ProtocolKind::VolatileRedoAll);
+            let r = run_mix(&mut db, MixParams { txns: 40, seed, ..Default::default() });
+            (r.committed, r.conflict_aborts, r.ops, db.max_clock())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn mix_with_index_ops() {
+        let mut db = small_db(ProtocolKind::VolatileSelectiveRedo);
+        let report = run_mix(
+            &mut db,
+            MixParams { txns: 60, index_fraction: 0.5, read_fraction: 0.0, ..Default::default() },
+        );
+        assert!(report.committed > 0);
+        let live = db.index_scan(NodeId(0)).unwrap();
+        assert!(!live.is_empty(), "inserts should have landed");
+        db.check_ifa(NodeId(0)).assert_ok();
+    }
+
+    #[test]
+    fn mid_run_crash_preserves_ifa_and_run_continues() {
+        for p in ProtocolKind::ifa_protocols() {
+            let mut db = small_db(p);
+            let plan = CrashPlan { after_txns: 20, nodes: vec![NodeId(3)] };
+            let (report, recovery) = run_mix_with_crash(
+                &mut db,
+                MixParams { txns: 60, sharing: 0.6, ..Default::default() },
+                Some(plan),
+            );
+            let outcome = recovery.expect("crash fired");
+            assert_eq!(outcome.crashed, vec![NodeId(3)]);
+            assert!(report.committed > 40, "{p:?}: survivors kept working");
+            db.check_ifa(NodeId(0)).assert_ok();
+        }
+    }
+
+    #[test]
+    fn spawn_active_leaves_txns_in_flight() {
+        let mut db = small_db(ProtocolKind::VolatileSelectiveRedo);
+        let txns = spawn_active(&mut db, 3, 2, true, 9);
+        assert_eq!(txns.len(), 12);
+        assert_eq!(db.active_txns(None).len(), 12);
+        // Crash one node: exactly its transactions abort.
+        let outcome = db.crash_and_recover(&[NodeId(1)]).unwrap();
+        assert_eq!(outcome.aborted.len(), 3);
+        db.check_ifa(NodeId(0)).assert_ok();
+    }
+
+    #[test]
+    fn parallel_spawn_and_crash_blast_radius() {
+        let mut db = small_db(ProtocolKind::VolatileSelectiveRedo);
+        let txns = spawn_active_parallel(&mut db, 2, 2, 77);
+        assert_eq!(txns.len(), 8);
+        // fan=2 on 4 nodes: a crash of one node dooms its 2 homed txns
+        // plus the 2 txns homed on the previous node (which enlisted it).
+        let outcome = db.crash_and_recover(&[NodeId(1)]).unwrap();
+        assert_eq!(outcome.aborted.len(), 4);
+        db.check_ifa(NodeId(0)).assert_ok();
+    }
+
+    #[test]
+    fn zero_sharing_produces_no_migrations_between_nodes() {
+        let mut db = small_db(ProtocolKind::VolatileSelectiveRedo);
+        let r = run_mix(
+            &mut db,
+            MixParams { txns: 40, sharing: 0.0, read_fraction: 0.0, ..Default::default() },
+        );
+        assert!(r.committed > 0);
+        assert_eq!(r.conflict_aborts, 0, "private partitions cannot conflict");
+    }
+}

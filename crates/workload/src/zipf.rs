@@ -1,0 +1,100 @@
+//! A small Zipf(θ) sampler over `0..n` (no external distribution crate).
+//!
+//! Implements the classic Gray et al. self-similar Zipfian via the inverse
+//! CDF of the discrete Zipf distribution, precomputed at construction.
+//! θ = 0 degenerates to uniform; θ ≈ 1 gives the usual hot-spot skew
+//! (a few branch-like records absorbing most of the traffic — exactly the
+//! co-location stress the paper's §3 scenarios thrive on).
+
+use rand::Rng;
+
+/// Precomputed discrete Zipf sampler.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative probabilities, length `n`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `0..n` with skew `theta ≥ 0`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "empty domain");
+        assert!(theta >= 0.0, "negative skew");
+        let mut weights = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for i in 0..n {
+            let w = 1.0 / ((i + 1) as f64).powf(theta);
+            total += w;
+            weights.push(total);
+        }
+        for w in &mut weights {
+            *w /= total;
+        }
+        Zipf { cdf: weights }
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // Binary search the CDF.
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) | Err(i) => (i as u64).min(self.cdf.len() as u64 - 1),
+        }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the domain is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(theta: f64) -> Vec<u64> {
+        let z = Zipf::new(16, theta);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut h = vec![0u64; 16];
+        for _ in 0..20_000 {
+            h[z.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let h = histogram(0.0);
+        let (min, max) = (h.iter().min().unwrap(), h.iter().max().unwrap());
+        assert!(*max < min * 2, "uniform histogram too skewed: {h:?}");
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_low_ranks() {
+        let h = histogram(1.2);
+        assert!(h[0] > h[8] * 5, "rank 0 should dominate: {h:?}");
+        assert!(h[0] + h[1] + h[2] > 10_000, "top-3 should absorb most traffic");
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(5, 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zero_domain_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,14 @@
+//! # smdb — shared-memory database recovery protocols
+//!
+//! Facade crate re-exporting the full reproduction of *Recovery Protocols
+//! for Shared Memory Database Systems* (Molesky & Ramamritham, SIGMOD
+//! 1995). See the README for an architecture overview and `DESIGN.md` for
+//! the paper-to-module map.
+
+pub use smdb_btree as btree;
+pub use smdb_core as core;
+pub use smdb_lock as lock;
+pub use smdb_sim as sim;
+pub use smdb_storage as storage;
+pub use smdb_wal as wal;
+pub use smdb_workload as workload;

@@ -1,0 +1,111 @@
+//! §3.2: with dirty reads (browse/chaos isolation), the H_wr pattern —
+//! and hence the recovery problem — arises even when a single database
+//! object occupies a whole cache line. IFA must still hold.
+
+use smdb::core::{DbConfig, DbError, ProtocolKind, SmDb};
+use smdb::sim::NodeId;
+
+const X: NodeId = NodeId(0);
+const Y: NodeId = NodeId(1);
+
+/// One record per line (126-byte payloads in 128-byte lines).
+fn one_rec_per_line(p: ProtocolKind) -> SmDb {
+    let cfg = DbConfig::small(4, p).with_rec_data_size(126);
+    let db = SmDb::new(cfg);
+    assert_eq!(db.record_layout().records_per_line(), 1);
+    db
+}
+
+#[test]
+fn dirty_read_sees_uncommitted_value() {
+    let mut db = one_rec_per_line(ProtocolKind::VolatileSelectiveRedo);
+    let t = db.begin(X).unwrap();
+    db.update(t, 5, b"uncommitted!").unwrap();
+    // A browse-mode reader on another node sees it (no lock conflict).
+    let v = db.read_dirty(Y, 5).unwrap();
+    assert_eq!(&v[..12], b"uncommitted!");
+    db.abort(t).unwrap();
+    let v = db.read_dirty(Y, 5).unwrap();
+    assert_eq!(&v[..12], &[0u8; 12][..], "abort visible to browsers too");
+}
+
+#[test]
+fn dirty_read_replicates_line_and_crash_of_writer_still_undone() {
+    for p in ProtocolKind::ifa_protocols() {
+        let mut db = one_rec_per_line(p);
+        // Committed baseline.
+        let setup = db.begin(Y).unwrap();
+        db.update(setup, 5, b"committed").unwrap();
+        db.commit(setup).unwrap();
+        // Writer on x, uncommitted; browser on y replicates the line
+        // (H_wr with a single object in the line!).
+        let t = db.begin(X).unwrap();
+        db.update(t, 5, b"dirty").unwrap();
+        let v = db.read_dirty(Y, 5).unwrap();
+        assert_eq!(&v[..5], b"dirty", "{p:?}");
+        // Crash the writer: its uncommitted value lives on in y's cache
+        // and must be undone even though x's volatile log is gone.
+        let outcome = db.crash_and_recover(&[X]).unwrap();
+        assert_eq!(outcome.aborted, vec![t], "{p:?}");
+        assert_eq!(&db.current_value(5).unwrap()[..9], b"committed", "{p:?}");
+        db.check_ifa(Y).assert_ok();
+    }
+}
+
+#[test]
+fn dirty_read_then_crash_of_reader_loses_nothing() {
+    for p in ProtocolKind::ifa_protocols() {
+        let mut db = one_rec_per_line(p);
+        let t = db.begin(X).unwrap();
+        db.update(t, 5, b"mine").unwrap();
+        let _ = db.read_dirty(Y, 5).unwrap(); // replicate to y
+        db.crash_and_recover(&[Y]).unwrap();
+        // The writer keeps its uncommitted update (a copy survived on x,
+        // or was redone from x's intact log).
+        db.check_ifa(X).assert_ok();
+        db.commit(t).unwrap();
+        assert_eq!(&db.current_value(5).unwrap()[..4], b"mine", "{p:?}");
+    }
+}
+
+#[test]
+fn dirty_read_on_crashed_node_rejected() {
+    let mut db = one_rec_per_line(ProtocolKind::VolatileSelectiveRedo);
+    db.crash_and_recover(&[Y]).unwrap();
+    assert!(db.read_dirty(Y, 5).is_err());
+}
+
+/// Range lookups see committed entries, hide uncommitted delete marks of
+/// other transactions, and survive a crash of a contributor node.
+#[test]
+fn range_lookup_across_crash() {
+    let mut db = SmDb::new(DbConfig::small(4, ProtocolKind::VolatileSelectiveRedo));
+    for i in 0..30u64 {
+        let t = db.begin(NodeId((i % 4) as u16)).unwrap();
+        db.insert(t, i * 10, (i).to_le_bytes()).unwrap();
+        db.commit(t).unwrap();
+    }
+    // A committed-range scan first.
+    let reader = db.begin(X).unwrap();
+    let r = db.range_lookup(reader, 50, 100).unwrap();
+    let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+    assert_eq!(keys, vec![50, 60, 70, 80, 90, 100]);
+    db.commit(reader).unwrap();
+    // An uncommitted insert by node 3 inside the range: a serializable
+    // scan now *conflicts* on the inserted key's lock (no dirty read).
+    let doomed = db.begin(NodeId(3)).unwrap();
+    db.insert(doomed, 55, [9u8; 8]).unwrap();
+    let blocked = db.begin(X).unwrap();
+    assert!(matches!(
+        db.range_lookup(blocked, 50, 100),
+        Err(DbError::WouldBlock { lock, .. }) if lock == 55 * 2 + 3
+    ));
+    db.abort(blocked).unwrap();
+    db.crash_and_recover(&[NodeId(3)]).unwrap();
+    db.check_ifa(X).assert_ok();
+    let reader2 = db.begin(X).unwrap();
+    let r = db.range_lookup(reader2, 50, 100).unwrap();
+    let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+    assert_eq!(keys, vec![50, 60, 70, 80, 90, 100], "doomed insert undone");
+    db.commit(reader2).unwrap();
+}

@@ -1,0 +1,110 @@
+//! F1/F2: the paper's figures and §3 histories, validated end to end
+//! through the facade crate.
+
+use smdb::core::{DbConfig, ProtocolKind, SmDb};
+use smdb::sim::{LineId, Machine, NodeId, SimConfig};
+
+const X: NodeId = NodeId(0);
+const Y: NodeId = NodeId(1);
+const Z: NodeId = NodeId(2);
+
+/// Figure 1: the instantiated model has per-node caches and logs, shared
+/// stable storage, and isolates node failures.
+#[test]
+fn figure1_system_model() {
+    let cfg = DbConfig::small(4, ProtocolKind::VolatileSelectiveRedo);
+    let db = SmDb::new(cfg);
+    assert_eq!(db.machine().node_count(), 4);
+    assert_eq!(db.logs().len(), 4);
+    assert!(db.record_layout().records_per_line() > 1, "records co-locate in lines");
+    // The unit of coherence (line) is smaller than the unit of I/O (page).
+    assert!(db.record_layout().geometry.line_size < db.record_layout().geometry.page_size());
+}
+
+/// §3.2 histories at the machine level.
+#[test]
+fn history_ww1_migration() {
+    let mut m = Machine::new(SimConfig::new(3));
+    let l = LineId(5);
+    m.create_line_at(X, l, &[0]).unwrap();
+    m.write(X, l, 0, &[1]).unwrap(); // w_x[l]
+    m.write(Y, l, 0, &[2]).unwrap(); // w_y[l]
+    assert_eq!(m.exclusive_owner(l), Some(Y), "line migrated directly x→y");
+}
+
+#[test]
+fn history_ww2_shared_interlude() {
+    let mut m = Machine::new(SimConfig::new(3));
+    let l = LineId(5);
+    m.create_line_at(X, l, &[0]).unwrap();
+    m.write(X, l, 0, &[1]).unwrap();
+    let mut b = [0u8];
+    m.read_into(X, l, 0, &mut b).unwrap(); // r_x[l]*
+    m.read_into(Z, l, 0, &mut b).unwrap(); // r_x̄[l]
+    m.read_into(Y, l, 0, &mut b).unwrap(); // r*[l]
+    assert!(m.holders(l).len() >= 3, "line replicated during the read interlude");
+    m.write(Y, l, 0, &[2]).unwrap(); // w_y[l]
+    assert_eq!(m.holders(l), vec![Y], "write invalidated every other copy");
+}
+
+#[test]
+fn history_wr_replication() {
+    let mut m = Machine::new(SimConfig::new(2));
+    let l = LineId(5);
+    m.create_line_at(X, l, &[0]).unwrap();
+    m.write(X, l, 0, &[1]).unwrap();
+    let mut b = [0u8];
+    m.read_into(Y, l, 0, &mut b).unwrap(); // r_y[l]
+    let mut hs = m.holders(l);
+    hs.sort();
+    assert_eq!(hs, vec![X, Y], "line valid on both nodes after w_x; r_y");
+    // Crash of x leaves the (uncommitted, in DB terms) data on y.
+    m.crash(&[X]);
+    assert!(!m.is_lost(l));
+    assert_eq!(m.exclusive_owner(l), Some(Y));
+}
+
+/// Figure 2, end to end, under every IFA protocol (both crash cases are
+/// covered in the core integration tests; here we run the H_wr variant —
+/// replication instead of migration — which the paper stresses matters
+/// even with one object per line when dirty reads are allowed).
+#[test]
+fn figure2_hwr_variant_crash_of_writer() {
+    for p in ProtocolKind::ifa_protocols() {
+        let mut db = SmDb::new(DbConfig::small(4, p));
+        // Baseline.
+        let t = db.begin(X).unwrap();
+        db.update(t, 0, b"committed").unwrap();
+        db.commit(t).unwrap();
+        // Writer on x, uncommitted.
+        let tx = db.begin(X).unwrap();
+        db.update(tx, 0, b"uncommitted").unwrap();
+        // Reader on y touches a co-located record — replicating the line
+        // (serializable mode: no dirty read of record 0 itself).
+        let ty = db.begin(Y).unwrap();
+        let _ = db.read(ty, 1).unwrap();
+        // Crash the writer's node: its update lives on in y's cache and
+        // must be undone there.
+        let outcome = db.crash_and_recover(&[X]).unwrap();
+        assert_eq!(outcome.aborted, vec![tx], "{p:?}");
+        assert_eq!(&db.current_value(0).unwrap()[..9], b"committed", "{p:?}");
+        db.check_ifa(Y).assert_ok();
+        db.commit(ty).unwrap();
+    }
+}
+
+/// §3.1's lock-table variant through the full engine: see
+/// `examples/lock_table_crash.rs` for the narrated version.
+#[test]
+fn lock_info_loss_is_recovered() {
+    let mut db = SmDb::new(DbConfig::small(4, ProtocolKind::VolatileSelectiveRedo));
+    let tx = db.begin(X).unwrap();
+    db.read(tx, 9).unwrap();
+    let ty = db.begin(Y).unwrap();
+    db.read(ty, 9).unwrap(); // LCB line now on y
+    db.crash_and_recover(&[Y]).unwrap();
+    db.check_ifa(X).assert_ok();
+    // x's shared lock survives: an exclusive request conflicts.
+    let tz = db.begin(Z).unwrap();
+    assert!(db.update(tz, 9, b"x").is_err());
+}

@@ -1,0 +1,163 @@
+//! Property-based IFA validation: random workloads × random crash sets ×
+//! every protocol. The invariant (§3.3): after crash-and-recover, all
+//! effects of crashed-node transactions are gone and no effect of any
+//! surviving node's transaction is lost — checked record-by-record,
+//! index-key-by-key, and lock-by-lock by the engine's shadow oracle.
+
+use proptest::prelude::*;
+use smdb::core::{DbConfig, ProtocolKind, SmDb};
+use smdb::sim::NodeId;
+use smdb::workload::{run_mix_with_crash, spawn_active, CrashPlan, MixParams};
+
+fn protocol_strategy() -> impl Strategy<Value = ProtocolKind> {
+    prop_oneof![
+        Just(ProtocolKind::FaOnly),
+        Just(ProtocolKind::VolatileRedoAll),
+        Just(ProtocolKind::VolatileSelectiveRedo),
+        Just(ProtocolKind::StableEager),
+        Just(ProtocolKind::StableTriggered),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Committed work survives any single-node crash; in-flight work on
+    /// survivors persists; in-flight work on the crashed node vanishes.
+    #[test]
+    fn ifa_holds_for_random_mixes(
+        protocol in protocol_strategy(),
+        seed in any::<u64>(),
+        sharing in 0.0f64..=1.0,
+        read_fraction in 0.0f64..=0.8,
+        index_fraction in 0.0f64..=0.6,
+        txns in 10usize..60,
+        crash_node in 0u16..4,
+        actives_per_node in 0usize..3,
+    ) {
+        let mut db = SmDb::new(DbConfig::small(4, protocol));
+        let params = MixParams {
+            txns,
+            sharing,
+            read_fraction,
+            index_fraction,
+            seed,
+            ..Default::default()
+        };
+        let (report, _) = run_mix_with_crash(&mut db, params, None);
+        prop_assert!(report.committed > 0 || txns == 0);
+        let actives = spawn_active(&mut db, actives_per_node, 2, true, seed ^ 0xABCD);
+        let outcome = db.crash_and_recover(&[NodeId(crash_node)]).expect("recovery");
+        // Abort-set exactness.
+        if protocol.guarantees_ifa() {
+            let expected: Vec<_> = actives
+                .iter()
+                .copied()
+                .filter(|t| t.node() == NodeId(crash_node))
+                .collect();
+            prop_assert_eq!(outcome.aborted.clone(), expected);
+        } else {
+            prop_assert_eq!(outcome.aborted.len(), actives.len());
+        }
+        // Full state check against the shadow model.
+        let survivor = db.machine().surviving_nodes()[0];
+        let r = db.check_ifa(survivor);
+        prop_assert!(r.ok(), "IFA violated under {:?}: {:?}", protocol, r.violations);
+    }
+
+    /// Same, crashing in the *middle* of the workload and continuing after.
+    #[test]
+    fn ifa_holds_for_mid_stream_crashes(
+        protocol in protocol_strategy(),
+        seed in any::<u64>(),
+        sharing in 0.0f64..=1.0,
+        crash_after in 5usize..25,
+        crash_node in 0u16..4,
+    ) {
+        let mut db = SmDb::new(DbConfig::small(4, protocol));
+        let params = MixParams { txns: 40, sharing, seed, ..Default::default() };
+        let plan = CrashPlan { after_txns: crash_after, nodes: vec![NodeId(crash_node)] };
+        let (report, recovery) = run_mix_with_crash(&mut db, params, Some(plan));
+        prop_assert!(recovery.is_some());
+        prop_assert!(report.committed > 30, "survivors kept committing");
+        let survivor = db.machine().surviving_nodes()[0];
+        let r = db.check_ifa(survivor);
+        prop_assert!(r.ok(), "IFA violated under {:?}: {:?}", protocol, r.violations);
+    }
+
+    /// Parallel (multi-node) transactions — §9: a crash of *any*
+    /// participant aborts the whole transaction; bystander crashes spare
+    /// it.
+    #[test]
+    fn ifa_holds_with_parallel_txns(
+        protocol in protocol_strategy(),
+        seed in any::<u64>(),
+        home in 0u16..4,
+        participant in 0u16..4,
+        crash_node in 0u16..4,
+        slots in proptest::collection::vec(0u64..200, 1..5),
+    ) {
+        prop_assume!(home != participant);
+        let mut db = SmDb::new(DbConfig::small(4, protocol));
+        // Background committed state.
+        run_mix_with_crash(
+            &mut db,
+            MixParams { txns: 15, seed, ..Default::default() },
+            None,
+        );
+        let t = db.begin(NodeId(home)).expect("begin");
+        db.attach(t, NodeId(participant)).expect("attach");
+        for (i, &slot) in slots.iter().enumerate() {
+            let node = if i % 2 == 0 { NodeId(home) } else { NodeId(participant) };
+            match db.update_on(t, node, slot, &slot.to_le_bytes()) {
+                Ok(()) => {}
+                Err(smdb::core::DbError::WouldBlock { .. }) => {} // tolerated
+                Err(e) => return Err(TestCaseError::fail(format!("update_on: {e}"))),
+            }
+        }
+        let outcome = db.crash_and_recover(&[NodeId(crash_node)]).expect("recovery");
+        let doomed = crash_node == home || crash_node == participant;
+        if protocol.guarantees_ifa() {
+            prop_assert_eq!(
+                outcome.aborted.contains(&t),
+                doomed,
+                "parallel txn aborted iff a participant crashed"
+            );
+        }
+        let survivor = db.machine().surviving_nodes()[0];
+        let r = db.check_ifa(survivor);
+        prop_assert!(r.ok(), "IFA violated under {:?}: {:?}", protocol, r.violations);
+        if !doomed && protocol.guarantees_ifa() {
+            db.commit(t).expect("commit after bystander crash");
+            let r = db.check_ifa(survivor);
+            prop_assert!(r.ok(), "post-commit: {:?}", r.violations);
+        }
+    }
+
+    /// Multi-node and repeated crashes.
+    #[test]
+    fn ifa_holds_for_multi_node_crashes(
+        protocol in protocol_strategy(),
+        seed in any::<u64>(),
+        sharing in 0.0f64..=1.0,
+        crash_a in 0u16..6,
+        crash_b in 0u16..6,
+    ) {
+        let mut db = SmDb::new(DbConfig::small(6, protocol));
+        run_mix_with_crash(
+            &mut db,
+            MixParams { txns: 25, sharing, seed, ..Default::default() },
+            None,
+        );
+        let _ = spawn_active(&mut db, 1, 2, true, seed ^ 0x1234);
+        db.crash_and_recover(&[NodeId(crash_a)]).expect("first recovery");
+        let survivor = db.machine().surviving_nodes()[0];
+        let r = db.check_ifa(survivor);
+        prop_assert!(r.ok(), "after first crash, {:?}: {:?}", protocol, r.violations);
+        // Second crash (possibly the same node — then it's a no-op).
+        db.crash_and_recover(&[NodeId(crash_b)]).expect("second recovery");
+        let survivor = db.machine().surviving_nodes()[0];
+        let r = db.check_ifa(survivor);
+        prop_assert!(r.ok(), "after second crash, {:?}: {:?}", protocol, r.violations);
+    }
+}
