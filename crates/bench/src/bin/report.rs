@@ -11,10 +11,8 @@ use smdb_bench as x;
 use std::io::Write;
 
 fn want(args: &[String], flag: &str) -> bool {
-    let explicit: Vec<&String> = args
-        .iter()
-        .filter(|a| a.starts_with("--") && *a != "--fast" && *a != "--csv")
-        .collect();
+    let explicit: Vec<&String> =
+        args.iter().filter(|a| a.starts_with("--") && *a != "--fast" && *a != "--csv").collect();
     explicit.is_empty() || args.iter().any(|a| a == flag)
 }
 
@@ -140,7 +138,9 @@ fn main() {
             csv_on,
             "e1_line_lock",
             "contenders,mean_us,max_us",
-            &pts.iter().map(|p| format!("{},{},{}", p.contenders, p.mean_us, p.max_us)).collect::<Vec<_>>(),
+            &pts.iter()
+                .map(|p| format!("{},{},{}", p.contenders, p.mean_us, p.max_us))
+                .collect::<Vec<_>>(),
         );
         println!();
     }
@@ -195,21 +195,57 @@ fn main() {
                 p.lost_lines
             );
         }
+        println!("\n   per-phase breakdown of recovery cycles (IFA restart phases):\n");
+        println!(
+            "{:<24} {:>8} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "protocol",
+            "sharing",
+            "st-undo",
+            "reinstall",
+            "discard",
+            "redo",
+            "undo",
+            "locks",
+            "txn-tbl"
+        );
+        for p in &pts {
+            println!(
+                "{:<24} {:>8.1} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                p.protocol,
+                p.sharing,
+                p.phase_stable_undo,
+                p.phase_reinstall,
+                p.phase_cache_discard,
+                p.phase_redo,
+                p.phase_undo,
+                p.phase_lock_recovery,
+                p.phase_txn_table
+            );
+        }
         csv(
             csv_on,
             "e3_recovery_cost",
-            "protocol,sharing,redo_applied,redo_skipped_cached,undo_applied,recovery_cycles,lost_lines",
+            "protocol,sharing,redo_applied,redo_skipped_cached,undo_applied,recovery_cycles,lost_lines,\
+             phase_stable_undo_cycles,phase_reinstall_cycles,phase_cache_discard_cycles,phase_redo_cycles,\
+             phase_undo_cycles,phase_lock_recovery_cycles,phase_txn_table_cycles",
             &pts.iter()
                 .map(|p| {
                     format!(
-                        "{},{},{},{},{},{},{}",
+                        "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                         p.protocol,
                         p.sharing,
                         p.redo_applied,
                         p.redo_skipped_cached,
                         p.undo_applied,
                         p.recovery_cycles,
-                        p.lost_lines
+                        p.lost_lines,
+                        p.phase_stable_undo,
+                        p.phase_reinstall,
+                        p.phase_cache_discard,
+                        p.phase_redo,
+                        p.phase_undo,
+                        p.phase_lock_recovery,
+                        p.phase_txn_table
                     )
                 })
                 .collect::<Vec<_>>(),

@@ -154,6 +154,26 @@ pub struct RecoveryCostPoint {
     pub recovery_cycles: u64,
     /// Lines destroyed by the crash.
     pub lost_lines: u64,
+    /// Per-phase breakdown of `recovery_cycles` (the seven IFA restart
+    /// phases; see `RecoveryOutcome::phases`).
+    pub phase_stable_undo: u64,
+    /// Cycles reinstalling lost lines + index structure.
+    pub phase_reinstall: u64,
+    /// Cycles discarding survivor caches (Redo All only).
+    pub phase_cache_discard: u64,
+    /// Cycles in the redo pass.
+    pub phase_redo: u64,
+    /// Cycles in the undo pass.
+    pub phase_undo: u64,
+    /// Cycles recovering the lock space.
+    pub phase_lock_recovery: u64,
+    /// Cycles updating the transaction table.
+    pub phase_txn_table: u64,
+}
+
+/// Simulated cycles the named recovery phase consumed (0 if absent).
+fn phase_cycles(outcome: &RecoveryOutcome, phase: &str) -> u64 {
+    outcome.phases.iter().find(|p| p.phase == phase).map(|p| p.sim_cycles).unwrap_or(0)
 }
 
 /// Run a mix at each sharing rate, crash one of 8 nodes mid-state, and
@@ -163,10 +183,7 @@ pub fn e3_recovery_cost(txns: usize, sharings: &[f64]) -> Vec<RecoveryCostPoint>
     for &sharing in sharings {
         for p in [ProtocolKind::VolatileRedoAll, ProtocolKind::VolatileSelectiveRedo] {
             let mut db = bench_db(p);
-            run_mix(
-                &mut db,
-                MixParams { txns, sharing, read_fraction: 0.2, ..Default::default() },
-            );
+            run_mix(&mut db, MixParams { txns, sharing, read_fraction: 0.2, ..Default::default() });
             // Leave some in-flight work so recovery has real undo/redo to
             // do.
             let _ = spawn_active(&mut db, 2, 2, true, 5);
@@ -183,6 +200,13 @@ pub fn e3_recovery_cost(txns: usize, sharings: &[f64]) -> Vec<RecoveryCostPoint>
                 undo_applied: outcome.undo_records_applied,
                 recovery_cycles: outcome.recovery_cycles,
                 lost_lines: outcome.lost_lines,
+                phase_stable_undo: phase_cycles(&outcome, "stable_undo"),
+                phase_reinstall: phase_cycles(&outcome, "reinstall"),
+                phase_cache_discard: phase_cycles(&outcome, "cache_discard"),
+                phase_redo: phase_cycles(&outcome, "redo"),
+                phase_undo: phase_cycles(&outcome, "undo"),
+                phase_lock_recovery: phase_cycles(&outcome, "lock_recovery"),
+                phase_txn_table: phase_cycles(&outcome, "txn_table"),
             });
         }
     }
@@ -277,8 +301,7 @@ pub fn e5_coherence_comparison(txns: usize) -> Vec<CoherencePoint> {
             MixParams { txns, sharing: 0.6, read_fraction: 0.2, ..Default::default() },
         );
         let _ = spawn_active(&mut db, 2, 2, true, 5);
-        let traffic =
-            db.machine().stats().invalidations + db.machine().stats().broadcast_updates;
+        let traffic = db.machine().stats().invalidations + db.machine().stats().broadcast_updates;
         let outcome = db.crash_and_recover(&[NodeId(0)]).expect("recovery");
         db.check_ifa(NodeId(1)).assert_ok();
         out.push(CoherencePoint {
@@ -321,16 +344,12 @@ pub fn e6_update_protocol(txns: usize) -> Vec<UpdateProtocolPoint> {
     let mut out = Vec::new();
     // A semaphore P/V pair costs thousands of instructions (syscall or
     // heavyweight latch) vs the single-instruction getline/releaseline.
-    let semaphore_cost = CostModel {
-        line_lock_acquire: 3_000,
-        line_lock_release: 1_500,
-        ..CostModel::default()
-    };
-    for (name, cost) in
-        [("line locks", CostModel::default()), ("semaphores", semaphore_cost)]
-    {
-        let cfg =
-            DbConfig::bench(8, ProtocolKind::VolatileSelectiveRedo).without_index().with_cost(cost.clone());
+    let semaphore_cost =
+        CostModel { line_lock_acquire: 3_000, line_lock_release: 1_500, ..CostModel::default() };
+    for (name, cost) in [("line locks", CostModel::default()), ("semaphores", semaphore_cost)] {
+        let cfg = DbConfig::bench(8, ProtocolKind::VolatileSelectiveRedo)
+            .without_index()
+            .with_cost(cost.clone());
         let mut db = SmDb::new(cfg);
         // Warm phase: fault every touched page in, so the measured phase
         // isolates the update-protocol cost from one-time disk I/O.
@@ -392,8 +411,7 @@ pub fn e7_lock_recovery(per_node: usize) -> Vec<LockRecoveryPoint> {
         // transactions (queued conflicting requests): those LCB lines end
         // up on the survivors, so the crash leaves the crashed holders'
         // entries in surviving LCBs — the undo half of §4.2.2.
-        let doomed: Vec<_> =
-            actives.iter().filter(|t| t.node() == NodeId(7)).copied().collect();
+        let doomed: Vec<_> = actives.iter().filter(|t| t.node() == NodeId(7)).copied().collect();
         for (i, d) in doomed.iter().enumerate() {
             if let Some(&name) = db.held_lock_names(*d).first() {
                 let prober = db.begin(NodeId(i as u16 % 4)).expect("alive");

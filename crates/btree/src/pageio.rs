@@ -14,9 +14,13 @@
 //! * `StableEager` forcing and `Volatile` no-forcing are driven by the
 //!   callers through [`TreeCtx::after_update`].
 
+use smdb_obs::{Event as ObsEvent, ForceReason};
 use smdb_sim::{LineId, Machine, MemError, NodeId};
 use smdb_storage::{PageGeometry, PageId, StableDb, PAGE_LSN_OFFSET, PAGE_LSN_SIZE};
 use smdb_wal::{LbmMode, LogSet, Lsn, PageLsnTable};
+
+/// Histogram of records made durable per physical log force.
+pub const FORCE_RECORDS_HISTOGRAM: &str = "wal.force_records";
 
 /// Mutable context threaded through every tree operation.
 pub struct TreeCtx<'a> {
@@ -70,6 +74,21 @@ impl<'a> TreeCtx<'a> {
         LineId(g.line_addr(page, offset / g.line_size))
     }
 
+    /// Records on `node`'s log not yet durable (counted *before* a force
+    /// moves the stable pointer).
+    fn unforced_records(&self, node: NodeId) -> u64 {
+        let log = self.logs.log(node);
+        log.last_lsn().0.saturating_sub(log.stable_lsn().0)
+    }
+
+    /// Observability hook for a physical log force on `node` that made
+    /// `records` records durable.
+    fn note_force(&self, node: NodeId, records: u64, reason: ForceReason) {
+        let obs = self.m.obs();
+        obs.metrics.observe(FORCE_RECORDS_HISTOGRAM, records);
+        obs.bus.emit(self.m.now(node), || ObsEvent::WalForce { node: node.0, records, reason });
+    }
+
     /// Enforce the §5.2 trigger for an impending access: if the line is
     /// active with another node's unforced update, force that node's log
     /// and clear the bit. No-op under policies that don't use triggers
@@ -80,10 +99,20 @@ impl<'a> TreeCtx<'a> {
             return;
         }
         if let Some(ev) = self.m.pending_triggers(node, line, is_write) {
+            let obs_on = self.m.obs().is_enabled();
+            let pending = if obs_on { self.unforced_records(ev.owner) } else { 0 };
             if self.logs.log_mut(ev.owner).force_all() {
                 let cost = self.m.config().cost.log_force;
                 self.m.advance(ev.owner, cost);
                 self.trigger_forces += 1;
+                if obs_on {
+                    let (owner, l) = (ev.owner.0, ev.line.0);
+                    self.m.obs().bus.emit(self.m.now(ev.owner), || ObsEvent::LbmTriggeredForce {
+                        owner,
+                        line: l,
+                    });
+                    self.note_force(ev.owner, pending, ForceReason::Lbm);
+                }
             }
             self.m.clear_active(ev.line);
         }
@@ -96,7 +125,7 @@ impl<'a> TreeCtx<'a> {
         match self.lbm {
             LbmMode::Volatile => {}
             LbmMode::StableEager => {
-                self.force_node_log(node);
+                self.force_node_log_for(node, ForceReason::Lbm);
             }
             LbmMode::StableTriggered => {
                 // Under write-broadcast, a write to a *shared* line has
@@ -107,10 +136,15 @@ impl<'a> TreeCtx<'a> {
                 let mut forced = false;
                 for &l in lines {
                     if self.m.holders(l).len() > 1 {
+                        let obs_on = self.m.obs().is_enabled();
+                        let pending = if obs_on { self.unforced_records(node) } else { 0 };
                         if !forced && self.logs.log_mut(node).force_all() {
                             let cost = self.m.config().cost.log_force;
                             self.m.advance(node, cost);
                             self.trigger_forces += 1;
+                            if obs_on {
+                                self.note_force(node, pending, ForceReason::Lbm);
+                            }
                         }
                         forced = true;
                     } else {
@@ -122,11 +156,23 @@ impl<'a> TreeCtx<'a> {
     }
 
     /// Force `node`'s entire log, charging the force latency if a physical
-    /// force happened.
+    /// force happened. Used by the tree algorithms for the forced
+    /// structural records (early commit of structural changes), hence the
+    /// `Commit` force reason.
     pub fn force_node_log(&mut self, node: NodeId) {
+        self.force_node_log_for(node, ForceReason::Commit);
+    }
+
+    /// [`TreeCtx::force_node_log`] with an explicit observability reason.
+    pub fn force_node_log_for(&mut self, node: NodeId, reason: ForceReason) {
+        let obs_on = self.m.obs().is_enabled();
+        let pending = if obs_on { self.unforced_records(node) } else { 0 };
         if self.logs.log_mut(node).force_all() {
             let cost = self.m.config().cost.log_force;
             self.m.advance(node, cost);
+            if obs_on {
+                self.note_force(node, pending, reason);
+            }
         }
     }
 
@@ -163,7 +209,13 @@ impl<'a> TreeCtx<'a> {
 
     /// Read `buf.len()` bytes at `offset` within `page`, coherently, on
     /// behalf of `node`.
-    pub fn read(&mut self, node: NodeId, page: PageId, offset: usize, buf: &mut [u8]) -> Result<(), MemError> {
+    pub fn read(
+        &mut self,
+        node: NodeId,
+        page: PageId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<(), MemError> {
         self.ensure_resident(node, page)?;
         let g = self.geometry();
         let mut done = 0;
@@ -189,7 +241,13 @@ impl<'a> TreeCtx<'a> {
 
     /// Write `bytes` at `offset` within `page`, coherently, on behalf of
     /// `node`. Returns the lines touched (for active-bit marking).
-    pub fn write(&mut self, node: NodeId, page: PageId, offset: usize, bytes: &[u8]) -> Result<Vec<LineId>, MemError> {
+    pub fn write(
+        &mut self,
+        node: NodeId,
+        page: PageId,
+        offset: usize,
+        bytes: &[u8],
+    ) -> Result<Vec<LineId>, MemError> {
         self.ensure_resident(node, page)?;
         let g = self.geometry();
         let mut touched = Vec::new();
@@ -212,7 +270,12 @@ impl<'a> TreeCtx<'a> {
     /// field (which lives in the page's first cache line — §6) and notes
     /// the (page, node, lsn) entry in the WAL table. Returns the lines
     /// touched by the Page-LSN write (for active-bit marking).
-    pub fn note_update(&mut self, node: NodeId, page: PageId, lsn: Lsn) -> Result<Vec<LineId>, MemError> {
+    pub fn note_update(
+        &mut self,
+        node: NodeId,
+        page: PageId,
+        lsn: Lsn,
+    ) -> Result<Vec<LineId>, MemError> {
         let touched = self.write(node, page, PAGE_LSN_OFFSET, &lsn.0.to_le_bytes())?;
         self.plt.note_update(page, node, lsn);
         Ok(touched)
@@ -232,10 +295,18 @@ impl<'a> TreeCtx<'a> {
     pub fn flush_page(&mut self, node: NodeId, page: PageId) -> Result<u64, MemError> {
         let mut forces = 0;
         for (n, lsn) in self.plt.flush_requirements(page) {
-            if !self.logs.log(n).is_stable(lsn) && self.logs.log_mut(n).force_to(lsn) {
-                let cost = self.m.config().cost.log_force;
-                self.m.advance(n, cost);
-                forces += 1;
+            if !self.logs.log(n).is_stable(lsn) {
+                let obs_on = self.m.obs().is_enabled();
+                let stable_before = self.logs.log(n).stable_lsn();
+                if self.logs.log_mut(n).force_to(lsn) {
+                    let cost = self.m.config().cost.log_force;
+                    self.m.advance(n, cost);
+                    forces += 1;
+                    if obs_on {
+                        let records = lsn.0.saturating_sub(stable_before.0);
+                        self.note_force(n, records, ForceReason::PageFlush);
+                    }
+                }
             }
         }
         let img = self.read_page_image(node, page)?;

@@ -1,7 +1,9 @@
 //! B+-tree algorithms: search, insert (with early-committed splits),
 //! logical delete, commit/abort processing.
 
-use crate::layout::{BranchRef, LeafEntry, NodeKind, TreeLayout, LEAF_ENTRY_SIZE, NULL_TAG, VAL_SIZE};
+use crate::layout::{
+    BranchRef, LeafEntry, NodeKind, TreeLayout, LEAF_ENTRY_SIZE, NULL_TAG, VAL_SIZE,
+};
 use crate::pageio::TreeCtx;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -238,7 +240,13 @@ impl BTree {
         Ok(self.find_in_leaf(&img, leaf, key, true))
     }
 
-    fn find_in_leaf(&self, img: &[u8], page: PageId, key: u64, include_deleted: bool) -> Option<LeafHit> {
+    fn find_in_leaf(
+        &self,
+        img: &[u8],
+        page: PageId,
+        key: u64,
+        include_deleted: bool,
+    ) -> Option<LeafHit> {
         let n = self.layout.n_entries(img);
         for i in 0..n {
             let e = self.layout.leaf_entry(img, i);
@@ -311,9 +319,7 @@ impl BTree {
             LogPayload::IndexInsert { txn, key, value: Bytes::copy_from_slice(&value), gsn },
         );
         let n = self.layout.n_entries(&img);
-        let pos = (0..n)
-            .find(|&i| self.layout.leaf_entry(&img, i).key > key)
-            .unwrap_or(n);
+        let pos = (0..n).find(|&i| self.layout.leaf_entry(&img, i).key > key).unwrap_or(n);
         // Shift entries right in the local image, then write the dirty
         // span (header + moved region) back through the coherent store.
         for i in (pos..n).rev() {
@@ -345,7 +351,12 @@ impl BTree {
 
     /// Grow the tree by one level: the current (full) root gets a new
     /// parent. Early-committed structural change.
-    fn grow_root(&mut self, ctx: &mut TreeCtx<'_>, txn: TxnId, old_root_img: &[u8]) -> Result<(), BtreeError> {
+    fn grow_root(
+        &mut self,
+        ctx: &mut TreeCtx<'_>,
+        txn: TxnId,
+        old_root_img: &[u8],
+    ) -> Result<(), BtreeError> {
         let node = txn.node();
         let new_root = self.alloc_page()?;
         ctx.create_zero_page(node, new_root)?;
@@ -361,7 +372,10 @@ impl BTree {
         // Early commit: forced structural record + flush of the new root.
         let lsn = ctx.logs.append(
             node,
-            LogPayload::Structural { txn, kind: StructuralKind::BtreeNewRoot { root_page: new_root.0 } },
+            LogPayload::Structural {
+                txn,
+                kind: StructuralKind::BtreeNewRoot { root_page: new_root.0 },
+            },
         );
         ctx.note_update(node, new_root, lsn)?;
         ctx.force_node_log(node);
@@ -428,9 +442,7 @@ impl BTree {
         let mut pimg = ctx.read_page_image(node, parent)?;
         let pn = self.layout.n_entries(&pimg);
         debug_assert!(pn < self.layout.branch_capacity());
-        let pos = (0..pn)
-            .find(|&i| self.layout.branch_ref(&pimg, i).key > split_key)
-            .unwrap_or(pn);
+        let pos = (0..pn).find(|&i| self.layout.branch_ref(&pimg, i).key > split_key).unwrap_or(pn);
         for i in (pos..pn).rev() {
             let r = self.layout.branch_ref(&pimg, i);
             self.layout.set_branch_ref(&mut pimg, i + 1, &r);
@@ -448,7 +460,11 @@ impl BTree {
             node,
             LogPayload::Structural {
                 txn,
-                kind: StructuralKind::BtreeSplit { old_page: child.0, new_page: new_page.0, split_key },
+                kind: StructuralKind::BtreeSplit {
+                    old_page: child.0,
+                    new_page: new_page.0,
+                    split_key,
+                },
             },
         );
         ctx.note_update(node, child, lsn)?;
@@ -470,18 +486,26 @@ impl BTree {
     /// deleted and tagged; the space is not reclaimed until the deleter
     /// commits. Because the mark and the record share a cache line, the
     /// undo of a migrated uncommitted delete is merely unmarking (§4.2.1).
-    pub fn delete(&mut self, ctx: &mut TreeCtx<'_>, txn: TxnId, key: u64) -> Result<(), BtreeError> {
+    pub fn delete(
+        &mut self,
+        ctx: &mut TreeCtx<'_>,
+        txn: TxnId,
+        key: u64,
+    ) -> Result<(), BtreeError> {
         let node = txn.node();
-        let hit = self
-            .search(ctx, node, key)?
-            .ok_or(BtreeError::KeyNotFound { key })?;
+        let hit = self.search(ctx, node, key)?.ok_or(BtreeError::KeyNotFound { key })?;
         if hit.entry.tag != NULL_TAG && hit.entry.tag != node.0 {
             return Err(BtreeError::ConcurrentUpdate { key, tag: hit.entry.tag });
         }
         let gsn = ctx.next_gsn();
         let lsn = ctx.logs.append(
             node,
-            LogPayload::IndexDelete { txn, key, value: Bytes::copy_from_slice(&hit.entry.value), gsn },
+            LogPayload::IndexDelete {
+                txn,
+                key,
+                value: Bytes::copy_from_slice(&hit.entry.value),
+                gsn,
+            },
         );
         let mut e = hit.entry;
         e.deleted = true;
@@ -517,7 +541,12 @@ impl BTree {
     /// Post-commit processing for one key `txn` touched: clear the undo
     /// tag; physically reclaim the space of a committed delete (§4.2.1 —
     /// space freed by a delete becomes reusable only now).
-    pub fn commit_key(&mut self, ctx: &mut TreeCtx<'_>, txn: TxnId, key: u64) -> Result<(), BtreeError> {
+    pub fn commit_key(
+        &mut self,
+        ctx: &mut TreeCtx<'_>,
+        txn: TxnId,
+        key: u64,
+    ) -> Result<(), BtreeError> {
         let node = txn.node();
         let Some(hit) = self.search_any(ctx, node, key)? else {
             return Ok(()); // already compacted
@@ -538,7 +567,12 @@ impl BTree {
     /// Undo an uncommitted insert: physically remove the entry
     /// (§4.2.1 — "allocated space can always be freed"). Used by voluntary
     /// aborts and by restart recovery (with the recovery node acting).
-    pub fn undo_insert(&mut self, ctx: &mut TreeCtx<'_>, node: NodeId, key: u64) -> Result<(), BtreeError> {
+    pub fn undo_insert(
+        &mut self,
+        ctx: &mut TreeCtx<'_>,
+        node: NodeId,
+        key: u64,
+    ) -> Result<(), BtreeError> {
         let Some(hit) = self.search_any(ctx, node, key)? else {
             return Ok(()); // nothing materialized (or already undone)
         };
@@ -548,7 +582,12 @@ impl BTree {
 
     /// Undo an uncommitted logical delete: unmark the entry and clear its
     /// tag.
-    pub fn undo_delete(&mut self, ctx: &mut TreeCtx<'_>, node: NodeId, key: u64) -> Result<(), BtreeError> {
+    pub fn undo_delete(
+        &mut self,
+        ctx: &mut TreeCtx<'_>,
+        node: NodeId,
+        key: u64,
+    ) -> Result<(), BtreeError> {
         let Some(hit) = self.search_any(ctx, node, key)? else {
             return Ok(());
         };
@@ -590,7 +629,11 @@ impl BTree {
     // ------------------------------------------------------------------
 
     /// All live `(key, value)` pairs in key order, walking the leaf chain.
-    pub fn scan_live(&mut self, ctx: &mut TreeCtx<'_>, node: NodeId) -> Result<Vec<(u64, [u8; VAL_SIZE])>, BtreeError> {
+    pub fn scan_live(
+        &mut self,
+        ctx: &mut TreeCtx<'_>,
+        node: NodeId,
+    ) -> Result<Vec<(u64, [u8; VAL_SIZE])>, BtreeError> {
         let mut out = Vec::new();
         let mut page = Some(self.first_leaf());
         while let Some(p) = page {
@@ -638,7 +681,11 @@ impl BTree {
 
     /// All entries (live, deleted, tagged) in key order — for recovery and
     /// invariant checks.
-    pub fn scan_all(&mut self, ctx: &mut TreeCtx<'_>, node: NodeId) -> Result<Vec<LeafEntry>, BtreeError> {
+    pub fn scan_all(
+        &mut self,
+        ctx: &mut TreeCtx<'_>,
+        node: NodeId,
+    ) -> Result<Vec<LeafEntry>, BtreeError> {
         let mut out = Vec::new();
         let mut page = Some(self.first_leaf());
         while let Some(p) = page {
@@ -652,7 +699,11 @@ impl BTree {
     /// Check structural invariants (sorted leaves, consistent chain,
     /// branch separators). Panics with a description on violation; for
     /// tests and property checks.
-    pub fn check_invariants(&mut self, ctx: &mut TreeCtx<'_>, node: NodeId) -> Result<(), BtreeError> {
+    pub fn check_invariants(
+        &mut self,
+        ctx: &mut TreeCtx<'_>,
+        node: NodeId,
+    ) -> Result<(), BtreeError> {
         let keys: Vec<u64> = self.scan_all(ctx, node)?.iter().map(|e| e.key).collect();
         for w in keys.windows(2) {
             assert!(w[0] <= w[1], "leaf chain out of order: {} > {}", w[0], w[1]);
@@ -721,7 +772,14 @@ mod tests {
 
     macro_rules! ctx {
         ($o:expr) => {
-            TreeCtx::new(&mut $o.m, &mut $o.db, &mut $o.logs, &mut $o.plt, LbmMode::Volatile, &mut $o.gsn)
+            TreeCtx::new(
+                &mut $o.m,
+                &mut $o.db,
+                &mut $o.logs,
+                &mut $o.plt,
+                LbmMode::Volatile,
+                &mut $o.gsn,
+            )
         };
     }
 

@@ -51,7 +51,14 @@ struct Owned {
 
 macro_rules! ctx {
     ($o:expr) => {
-        TreeCtx::new(&mut $o.m, &mut $o.db, &mut $o.logs, &mut $o.plt, LbmMode::Volatile, &mut $o.gsn)
+        TreeCtx::new(
+            &mut $o.m,
+            &mut $o.db,
+            &mut $o.logs,
+            &mut $o.plt,
+            LbmMode::Volatile,
+            &mut $o.gsn,
+        )
     };
 }
 

@@ -45,6 +45,17 @@ pub enum ProtocolKind {
 }
 
 impl ProtocolKind {
+    /// Short stable name (reports, observability events).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::FaOnly => "FaOnly",
+            ProtocolKind::VolatileRedoAll => "VolatileRedoAll",
+            ProtocolKind::VolatileSelectiveRedo => "VolatileSelectiveRedo",
+            ProtocolKind::StableEager => "StableEager",
+            ProtocolKind::StableTriggered => "StableTriggered",
+        }
+    }
+
     /// The LBM policy this protocol uses during normal operation.
     pub fn lbm_mode(self) -> LbmMode {
         match self {
@@ -52,7 +63,9 @@ impl ProtocolKind {
             // durability and abort support), it just doesn't use the log
             // to isolate failures.
             ProtocolKind::FaOnly => LbmMode::Volatile,
-            ProtocolKind::VolatileRedoAll | ProtocolKind::VolatileSelectiveRedo => LbmMode::Volatile,
+            ProtocolKind::VolatileRedoAll | ProtocolKind::VolatileSelectiveRedo => {
+                LbmMode::Volatile
+            }
             ProtocolKind::StableEager => LbmMode::StableEager,
             ProtocolKind::StableTriggered => LbmMode::StableTriggered,
         }

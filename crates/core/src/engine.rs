@@ -17,8 +17,9 @@ use crate::record::{RecordLayout, NULL_TAG, TAG_SIZE};
 use crate::stats::EngineStats;
 use crate::txn::{TxnOp, TxnState, TxnStatus};
 use bytes::Bytes;
-use smdb_btree::{BTree, TreeCtx, VAL_SIZE};
+use smdb_btree::{BTree, TreeCtx, FORCE_RECORDS_HISTOGRAM, VAL_SIZE};
 use smdb_lock::{LockManager, LockMode, LockOutcome, LockTable};
+use smdb_obs::{Event as ObsEvent, ForceReason, Obs};
 use smdb_sim::{LineId, Machine, NodeId, SimConfig, TxnId};
 use smdb_storage::{PageGeometry, PageId, StableDb};
 use smdb_wal::{
@@ -28,6 +29,9 @@ use std::collections::BTreeMap;
 
 /// Slack between the page-backed line address range and the lock table.
 const LOCK_TABLE_GAP: u64 = 4096;
+
+/// Histogram of simulated cycles per completed record update.
+pub const UPDATE_CYCLES_HISTOGRAM: &str = "engine.update_cycles";
 
 /// The shared-memory multi-node database engine.
 ///
@@ -97,14 +101,21 @@ impl SmDb {
         }
         let mut logs = LogSet::new(cfg.nodes);
         let mut plt = PageLsnTable::new();
-        let lock_base =
-            total_pages as u64 * cfg.lines_per_page as u64 + LOCK_TABLE_GAP;
-        let table = LockTable::create(&mut m, NodeId(0), lock_base, cfg.lock_buckets, cfg.lcb_geometry)
-            .expect("lock table creation on a fresh machine cannot fail");
+        let lock_base = total_pages as u64 * cfg.lines_per_page as u64 + LOCK_TABLE_GAP;
+        let table =
+            LockTable::create(&mut m, NodeId(0), lock_base, cfg.lock_buckets, cfg.lcb_geometry)
+                .expect("lock table creation on a fresh machine cannot fail");
         let locks = LockManager::new(table);
         let mut gsn = 0u64;
         let tree = if cfg.with_index {
-            let mut ctx = TreeCtx::new(&mut m, &mut sdb, &mut logs, &mut plt, cfg.protocol.lbm_mode(), &mut gsn);
+            let mut ctx = TreeCtx::new(
+                &mut m,
+                &mut sdb,
+                &mut logs,
+                &mut plt,
+                cfg.protocol.lbm_mode(),
+                &mut gsn,
+            );
             Some(
                 BTree::create(&mut ctx, NodeId(0), heap_pages, cfg.index_pages)
                     .expect("index creation on a fresh machine cannot fail"),
@@ -204,6 +215,36 @@ impl SmDb {
         self.logs.total_forces()
     }
 
+    /// The observability handle (cross-layer event bus + metrics
+    /// registry), shared with the underlying machine: coherence, lock,
+    /// WAL, buffer, and recovery events all land on one sequence-numbered
+    /// timeline. Clone semantics — the returned handle observes the same
+    /// state as the engine's own.
+    pub fn observability(&self) -> Obs {
+        self.m.obs_handle()
+    }
+
+    /// Convenience: switch on the event bus (ring of `bus_capacity`
+    /// records; 0 means the default) and the metrics registry together.
+    pub fn enable_observability(&self, bus_capacity: usize) {
+        self.m.obs().enable(bus_capacity);
+    }
+
+    /// Records on `node`'s log not yet durable (counted *before* a force
+    /// moves the stable pointer).
+    fn unforced_records(&self, node: NodeId) -> u64 {
+        let log = self.logs.log(node);
+        log.last_lsn().0.saturating_sub(log.stable_lsn().0)
+    }
+
+    /// Observability hook for a physical log force on `node` that made
+    /// `records` records durable.
+    fn note_wal_force(&self, node: NodeId, records: u64, reason: ForceReason) {
+        let obs = self.m.obs();
+        obs.metrics.observe(FORCE_RECORDS_HISTOGRAM, records);
+        obs.bus.emit(self.m.now(node), || ObsEvent::WalForce { node: node.0, records, reason });
+    }
+
     /// Machine-wide simulated makespan, cycles.
     pub fn max_clock(&self) -> u64 {
         self.m.max_clock()
@@ -262,7 +303,13 @@ impl SmDb {
     }
 
     /// Acquire a record/key lock with the lock-table work on `acting`.
-    fn lock_from(&mut self, txn: TxnId, name: u64, mode: LockMode, acting: NodeId) -> Result<(), DbError> {
+    fn lock_from(
+        &mut self,
+        txn: TxnId,
+        name: u64,
+        mode: LockMode,
+        acting: NodeId,
+    ) -> Result<(), DbError> {
         match self.locks.acquire_from(&mut self.m, &mut self.logs, txn, name, mode, acting)? {
             LockOutcome::Granted | LockOutcome::AlreadyHeld => Ok(()),
             LockOutcome::Waiting => {
@@ -342,12 +389,20 @@ impl SmDb {
     /// [`SmDb::update`] executed on a participant node of a parallel
     /// transaction (§9). The log record goes to the *executing* node's
     /// log and the undo tag carries the executing node's id.
-    pub fn update_on(&mut self, txn: TxnId, node: NodeId, slot: u64, data: &[u8]) -> Result<(), DbError> {
+    pub fn update_on(
+        &mut self,
+        txn: TxnId,
+        node: NodeId,
+        slot: u64,
+        data: &[u8],
+    ) -> Result<(), DbError> {
         self.check_active(txn)?;
         self.check_participant(txn, node)?;
         let rec = self.check_slot(slot)?;
         assert!(data.len() <= self.layout.data_size, "payload too large");
         self.lock_from(txn, Self::lock_name_for_rec(slot), LockMode::Exclusive, node)?;
+        let obs_on = self.m.obs().is_enabled();
+        let update_t0 = if obs_on { self.m.now(node) } else { 0 };
         let tagging = self.cfg.protocol.uses_undo_tags();
         let mut payload = vec![0u8; self.layout.data_size];
         payload[..data.len()].copy_from_slice(data);
@@ -390,6 +445,8 @@ impl SmDb {
                     gsn,
                 },
             );
+            let at = ctx.m.now(node);
+            ctx.m.obs().bus.emit(at, || ObsEvent::WalAppend { node: node.0, lsn: lsn.0 });
             // In-place update: tag + payload share the record's line.
             let tag = if tagging { node.0 } else { NULL_TAG };
             let rec_bytes = self.layout.encode(tag, &payload);
@@ -409,10 +466,14 @@ impl SmDb {
         match self.cfg.protocol.lbm_mode() {
             LbmMode::Volatile => {}
             LbmMode::StableEager => {
+                let pending = if obs_on { self.unforced_records(node) } else { 0 };
                 if self.logs.log_mut(node).force_all() {
                     let cost = self.m.config().cost.log_force;
                     self.m.advance(node, cost);
                     self.stats.lbm_forces += 1;
+                    if obs_on {
+                        self.note_wal_force(node, pending, ForceReason::Lbm);
+                    }
                 }
             }
             LbmMode::StableTriggered => {
@@ -422,10 +483,14 @@ impl SmDb {
                 let mut forced = false;
                 for l in &touched {
                     if self.m.holders(*l).len() > 1 {
+                        let pending = if obs_on { self.unforced_records(node) } else { 0 };
                         if !forced && self.logs.log_mut(node).force_all() {
                             let cost = self.m.config().cost.log_force;
                             self.m.advance(node, cost);
                             self.stats.lbm_forces += 1;
+                            if obs_on {
+                                self.note_wal_force(node, pending, ForceReason::Lbm);
+                            }
                         }
                         forced = true;
                     } else {
@@ -439,6 +504,10 @@ impl SmDb {
             self.stats.undo_tag_bytes += TAG_SIZE as u64;
         }
         self.stats.updates += 1;
+        if obs_on {
+            let cycles = self.m.now(node).saturating_sub(update_t0);
+            self.m.obs().metrics.observe(UPDATE_CYCLES_HISTOGRAM, cycles);
+        }
         let t = self.txns.get_mut(&txn).expect("checked active");
         t.ops.push(TxnOp::Update { rec, before, node });
         self.shadow.note_update(txn, slot, payload);
@@ -576,18 +645,31 @@ impl SmDb {
             .copied()
             .filter(|n| *n != node)
             .collect();
+        let obs_on = self.m.obs().is_enabled();
         for p in participants {
+            let pending = if obs_on { self.unforced_records(p) } else { 0 };
             if self.logs.log_mut(p).force_all() {
                 let cost = self.m.config().cost.log_force;
                 self.m.advance(p, cost);
                 self.stats.commit_forces += 1;
+                if obs_on {
+                    self.note_wal_force(p, pending, ForceReason::Commit);
+                }
             }
         }
         let lsn = self.logs.append(node, LogPayload::Commit { txn });
+        self.m
+            .obs()
+            .bus
+            .emit(self.m.now(node), || ObsEvent::WalAppend { node: node.0, lsn: lsn.0 });
+        let pending = if obs_on { self.unforced_records(node) } else { 0 };
         if self.logs.log_mut(node).force_to(lsn) {
             let cost = self.m.config().cost.log_force;
             self.m.advance(node, cost);
             self.stats.commit_forces += 1;
+            if obs_on {
+                self.note_wal_force(node, pending, ForceReason::Commit);
+            }
         }
         let t = self.txns.get(&txn).expect("checked active").clone();
         // Clear heap undo tags (the data is no longer active — §4.1.2:
@@ -723,6 +805,15 @@ impl SmDb {
         let forces = ctx.flush_page(node, page)?;
         self.stats.wal_flush_forces += forces;
         self.stats.page_flushes += 1;
+        // A flush that fired the WAL rule wrote back records with
+        // unforced (hence uncommitted) updates: a buffer *steal*.
+        self.m.obs().bus.emit(self.m.now(node), || {
+            if forces > 0 {
+                ObsEvent::BufSteal { node: node.0, page: page.0 as u64 }
+            } else {
+                ObsEvent::BufFlush { node: node.0, page: page.0 as u64 }
+            }
+        });
         Ok(())
     }
 
@@ -749,9 +840,14 @@ impl SmDb {
                 continue;
             }
             let lsn = self.logs.append(n, LogPayload::Checkpoint);
+            let obs_on = self.m.obs().is_enabled();
+            let pending = if obs_on { self.unforced_records(n) } else { 0 };
             if self.logs.log_mut(n).force_to(lsn) {
                 let cost = self.m.config().cost.log_force;
                 self.m.advance(n, cost);
+                if obs_on {
+                    self.note_wal_force(n, pending, ForceReason::Checkpoint);
+                }
             }
             lsns.push(lsn);
         }

@@ -203,9 +203,9 @@ impl SmDb {
                     for (k, v) in &expected {
                         match got.get(k) {
                             Some(g) if g == v => {}
-                            Some(g) => report.violations.push(format!(
-                                "index key {k}: expected {v:?}, found {g:?}"
-                            )),
+                            Some(g) => report
+                                .violations
+                                .push(format!("index key {k}: expected {v:?}, found {g:?}")),
                             None => report
                                 .violations
                                 .push(format!("index key {k}: expected present, missing")),
@@ -231,9 +231,9 @@ impl SmDb {
                     for slot in self.shadow.pending_slots(*txn) {
                         let name = Self::lock_name_for_rec(slot);
                         if !held.contains(&name) {
-                            report.violations.push(format!(
-                                "{txn}: active but lost its lock on record {slot}"
-                            ));
+                            report
+                                .violations
+                                .push(format!("{txn}: active but lost its lock on record {slot}"));
                         }
                     }
                 }

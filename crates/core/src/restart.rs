@@ -27,6 +27,7 @@ use crate::txn::TxnStatus;
 use serde::{Deserialize, Serialize};
 use smdb_btree::{BtreeRecoveryStats, TreeCtx};
 use smdb_lock::LockRecoveryStats;
+use smdb_obs::{Event as ObsEvent, PhaseSpan, PhaseTiming};
 use smdb_sim::{LineId, NodeId, TxnId};
 use smdb_storage::PageId;
 use smdb_wal::{LogPayload, RecId};
@@ -70,6 +71,24 @@ pub struct RecoveryOutcome {
     pub recovery_cycles: u64,
     /// The surviving node that orchestrated reconstruction.
     pub recovery_node: NodeId,
+    /// Per-phase simulated-cycle and wall-clock spans of the IFA restart
+    /// (empty for the FA-only full restart, which is a single monolithic
+    /// rebuild pass).
+    pub phases: Vec<PhaseTiming>,
+}
+
+/// Histogram of simulated cycles per recovery phase, keyed by phase name.
+fn phase_histogram(phase: &str) -> &'static str {
+    match phase {
+        "stable_undo" => "recovery.phase.stable_undo",
+        "reinstall" => "recovery.phase.reinstall",
+        "cache_discard" => "recovery.phase.cache_discard",
+        "redo" => "recovery.phase.redo",
+        "undo" => "recovery.phase.undo",
+        "lock_recovery" => "recovery.phase.lock_recovery",
+        "txn_table" => "recovery.phase.txn_table",
+        _ => "recovery.phase.other",
+    }
 }
 
 /// Per-crash analysis of the stable logs: who committed, which
@@ -131,11 +150,8 @@ impl SmDb {
             .filter(|t| t.is_active() && t.participants.iter().any(|p| crashed.contains(p)))
             .map(|t| t.id)
             .collect();
-        let surviving_active: Vec<TxnId> = self
-            .active_txns(None)
-            .into_iter()
-            .filter(|t| !crashed_active.contains(t))
-            .collect();
+        let surviving_active: Vec<TxnId> =
+            self.active_txns(None).into_iter().filter(|t| !crashed_active.contains(t)).collect();
 
         // The crash itself + the simulator's low-level directory restore.
         let report = self.m.crash(&crashed);
@@ -154,13 +170,45 @@ impl SmDb {
         let recovery_node = if total_failure { NodeId(0) } else { survivors[0] };
         outcome.recovery_node = recovery_node;
 
+        let protocol = self.cfg.protocol.name();
+        let crashed_n = crashed.len() as u16;
+        self.m
+            .obs()
+            .bus
+            .emit(self.m.max_clock(), || ObsEvent::RecoveryBegin { crashed: crashed_n, protocol });
         if self.cfg.protocol == ProtocolKind::FaOnly || total_failure {
             self.full_restart(&mut outcome, recovery_node)?;
         } else {
             self.ifa_restart(&mut outcome, recovery_node, &crashed_active, &surviving_active)?;
         }
         outcome.recovery_cycles = self.m.max_clock() - clock0;
+        let cycles = outcome.recovery_cycles;
+        let obs = self.m.obs();
+        obs.metrics.observe("recovery.total_cycles", cycles);
+        obs.bus.emit(self.m.max_clock(), || ObsEvent::RecoveryEnd { sim_cycles: cycles });
         Ok(outcome)
+    }
+
+    /// Open a named recovery-phase span (bus event + paired clocks).
+    fn begin_phase(&self, phase: &'static str) -> PhaseSpan {
+        self.m.obs().bus.emit(self.m.max_clock(), || ObsEvent::RecoveryPhaseBegin { phase });
+        PhaseSpan::begin(phase, self.m.max_clock())
+    }
+
+    /// Close a phase span: bus event, per-phase histogram, and the
+    /// outcome's phase table (always recorded, even with observability
+    /// off — the bench reports read it).
+    fn end_phase(&self, span: PhaseSpan, outcome: &mut RecoveryOutcome) {
+        let t = span.end(self.m.max_clock());
+        let obs = self.m.obs();
+        obs.metrics.observe(phase_histogram(t.phase), t.sim_cycles);
+        let (phase, sim_cycles, wall_ns) = (t.phase, t.sim_cycles, t.wall_ns);
+        obs.bus.emit(self.m.max_clock(), || ObsEvent::RecoveryPhaseEnd {
+            phase,
+            sim_cycles,
+            wall_ns,
+        });
+        outcome.phases.push(t);
     }
 
     // ------------------------------------------------------------------
@@ -248,11 +296,7 @@ impl SmDb {
 
     /// The last committed payload for one record, using the precomputed
     /// map with a stable-database fallback.
-    fn last_committed_payload(
-        &self,
-        map: &BTreeMap<RecId, (u64, Vec<u8>)>,
-        rec: RecId,
-    ) -> Vec<u8> {
+    fn last_committed_payload(&self, map: &BTreeMap<RecId, (u64, Vec<u8>)>, rec: RecId) -> Vec<u8> {
         if let Some((_, v)) = map.get(&rec) {
             return v.clone();
         }
@@ -433,8 +477,7 @@ impl SmDb {
         // stable log may contain uncommitted updates that were already
         // rolled back, and replaying them as "survivor redo" would
         // resurrect aborted data. (Found by the IFA property tests.)
-        let down: Vec<NodeId> =
-            self.m.node_ids().filter(|n| self.m.is_crashed(*n)).collect();
+        let down: Vec<NodeId> = self.m.node_ids().filter(|n| self.m.is_crashed(*n)).collect();
         let crashed_set: BTreeSet<NodeId> = down.iter().copied().collect();
         let scheme = self.cfg.protocol.restart_scheme();
         // Snapshot which heap lines genuinely survive in caches *before*
@@ -446,20 +489,24 @@ impl SmDb {
         } else {
             BTreeSet::new()
         };
+        // Phase 1 ("stable_undo"): analyse the stable logs and undo stolen
+        // updates in the stable database.
+        let span = self.begin_phase("stable_undo");
         let analysis = self.analyse_stable(&down);
         let committed_map = self.last_committed_map();
-
-        // Phase 1: undo stolen updates in the stable database.
         self.patch_stable_undo(&analysis, &committed_map, outcome);
+        self.end_phase(span, outcome);
 
-        // Phase 1b: reinstall heap lines destroyed by the crash from the
-        // (just-patched) stable images, restoring page residency
-        // invariants.
+        // Phase 2 ("reinstall"): reinstall heap lines destroyed by the
+        // crash from the (just-patched) stable images, restoring page
+        // residency invariants, then the index's structural skeleton.
+        let span = self.begin_phase("reinstall");
         let mut heap_reinstalled: BTreeSet<LineId> =
             self.normalize_lost_heap_lines(recovery_node)?;
 
-        // Phase 2: restore the index's structural skeleton (root,
-        // allocation map, lost pages) from the forced structural records.
+        // Still in "reinstall": restore the index's structural skeleton
+        // (root, allocation map, lost pages) from the forced structural
+        // records.
         // Record whether the crash destroyed *any* tree line first: if it
         // did not, every index effect still lives in a coherent cache and
         // the Selective scheme can skip index replay entirely.
@@ -489,10 +536,13 @@ impl SmDb {
             outcome.btree_recovery = st;
             reinstalled_pages.extend(pages);
         }
+        self.end_phase(span, outcome);
 
-        // Phase 3 (Redo All only): discard every cached database line on
-        // every survivor — implicitly undoing migrated uncommitted updates
-        // of crashed transactions — and reload the index wholesale.
+        // Phase 3 ("cache_discard", Redo All only): discard every cached
+        // database line on every survivor — implicitly undoing migrated
+        // uncommitted updates of crashed transactions — and reload the
+        // index wholesale.
+        let span = self.begin_phase("cache_discard");
         if scheme == RestartScheme::RedoAll {
             let heap_limit = self.heap_pages as u64 * self.cfg.lines_per_page as u64;
             for node in self.m.surviving_nodes() {
@@ -511,14 +561,17 @@ impl SmDb {
                 reinstalled_pages.extend(tree.allocated_pages());
             }
         }
+        self.end_phase(span, outcome);
 
-        // Phase 4: redo. Candidates from survivors' full logs + crashed
+        // Phase 4 ("redo"): candidates from survivors' full logs + crashed
         // nodes' committed stable records, applied in GSN order. The
         // cached-skip decisions are snapshotted *before* any reinstall so
         // a line we reinstalled from a stale stable image is never
         // mistaken for a coherent surviving copy.
+        let span = self.begin_phase("redo");
         let replay_index = tree_lost_any || scheme == RestartScheme::RedoAll;
         let candidates = self.collect_redo_candidates(&down, &analysis, &doomed);
+        self.m.obs().metrics.observe("recovery.redo_batch", candidates.len() as u64);
         for (_gsn, op) in candidates {
             if !replay_index && !matches!(op, RedoOp::Rec { .. }) {
                 continue;
@@ -551,7 +604,8 @@ impl SmDb {
                     // record updates which were made by the local node" —
                     // the replaying actor (and the one charged) is the
                     // update's own node when it survived.
-                    let actor = if self.m.is_crashed(txn.node()) { recovery_node } else { txn.node() };
+                    let actor =
+                        if self.m.is_crashed(txn.node()) { recovery_node } else { txn.node() };
                     let mut ctx = engine_ctx!(self);
                     ctx.write(actor, rec.page, off, &expected)?;
                     outcome.redo_applied += 1;
@@ -633,14 +687,15 @@ impl SmDb {
             }
         }
 
-        // Phase 4b: roll back doomed transactions' effects recorded on
-        // *surviving* nodes — a parallel transaction with a crashed
-        // participant leaves intact log records (with undo images) on its
-        // surviving participants (§9: the entire transaction must be
-        // aborted).
-        self.undo_doomed_from_surviving_logs(outcome, recovery_node, &doomed)?;
+        self.end_phase(span, outcome);
 
-        // Phase 5: undo.
+        // Phase 5 ("undo"): first roll back doomed transactions' effects
+        // recorded on *surviving* nodes — a parallel transaction with a
+        // crashed participant leaves intact log records (with undo images)
+        // on its surviving participants (§9: the entire transaction must
+        // be aborted) — then the protocol-specific undo pass.
+        let span = self.begin_phase("undo");
+        self.undo_doomed_from_surviving_logs(outcome, recovery_node, &doomed)?;
         match self.cfg.protocol {
             ProtocolKind::VolatileSelectiveRedo => {
                 self.undo_by_tags(
@@ -665,18 +720,15 @@ impl SmDb {
                 // Stable LBM: every migrated uncommitted update has stable
                 // undo information; apply it to any surviving cached
                 // copies (stable images were patched in phase 1).
-                self.undo_from_stable_logs(
-                    outcome,
-                    recovery_node,
-                    &analysis,
-                    &committed_map,
-                )?;
+                self.undo_from_stable_logs(outcome, recovery_node, &analysis, &committed_map)?;
                 self.undo_index_from_stable(outcome, recovery_node, &analysis)?;
             }
             ProtocolKind::FaOnly => unreachable!("handled by full_restart"),
         }
+        self.end_phase(span, outcome);
 
-        // Phase 6: lock-space recovery (§4.2.2).
+        // Phase 6 ("lock_recovery"): lock-space recovery (§4.2.2).
+        let span = self.begin_phase("lock_recovery");
         let active_surviving_set: BTreeSet<TxnId> = surviving_active.iter().copied().collect();
         outcome.lock_recovery = self.locks.recover(
             &mut self.m,
@@ -700,8 +752,10 @@ impl SmDb {
                 self.logs.append(txn.node(), LogPayload::Abort { txn });
             }
         }
+        self.end_phase(span, outcome);
 
-        // Phase 7: transaction table + shadow bookkeeping.
+        // Phase 7 ("txn_table"): transaction table + shadow bookkeeping.
+        let span = self.begin_phase("txn_table");
         for &txn in crashed_active {
             if let Some(t) = self.txns.get_mut(&txn) {
                 t.status = TxnStatus::Aborted;
@@ -713,6 +767,7 @@ impl SmDb {
         }
         self.stats.crash_aborts += crashed_active.len() as u64;
         outcome.preserved_active = surviving_active.to_vec();
+        self.end_phase(span, outcome);
         Ok(())
     }
 
@@ -768,8 +823,8 @@ impl SmDb {
             }
         }
         for (line, rec, tag) in candidates {
-            let committed = heap_reinstalled.contains(&line)
-                && analysis.is_committed_rec(NodeId(tag), rec);
+            let committed =
+                heap_reinstalled.contains(&line) && analysis.is_committed_rec(NodeId(tag), rec);
             let off = self.layout.page_offset(rec.slot);
             if committed {
                 // Stale tag on a committed value: scrub the tag only.
@@ -794,9 +849,10 @@ impl SmDb {
                 self.cfg.protocol.lbm_mode(),
                 &mut self.gsn,
             );
-            let st = tree.undo_by_tags(&mut ctx, recovery_node, crashed, tree_reinstalled, |n, k| {
-                analysis.is_committed_key(n, k)
-            })?;
+            let st =
+                tree.undo_by_tags(&mut ctx, recovery_node, crashed, tree_reinstalled, |n, k| {
+                    analysis.is_committed_key(n, k)
+                })?;
             outcome.undo_records_applied += st.undo_inserts + st.undo_deletes;
             outcome.tags_cleared += st.tags_cleared;
             outcome.btree_recovery.undo_inserts += st.undo_inserts;
@@ -1024,10 +1080,16 @@ impl SmDb {
                             out.push((*gsn, RedoOp::Rec { rec: *rec, redo: redo.to_vec(), txn }));
                         }
                         LogPayload::IndexInsert { key, value, gsn, .. } => {
-                            out.push((*gsn, RedoOp::IxInsert { key: *key, value: to_arr(value), txn }));
+                            out.push((
+                                *gsn,
+                                RedoOp::IxInsert { key: *key, value: to_arr(value), txn },
+                            ));
                         }
                         LogPayload::IndexDelete { key, value, gsn, .. } => {
-                            out.push((*gsn, RedoOp::IxDelete { key: *key, value: to_arr(value), txn }));
+                            out.push((
+                                *gsn,
+                                RedoOp::IxDelete { key: *key, value: to_arr(value), txn },
+                            ));
                         }
                         LogPayload::IndexRemove { key, gsn, .. } => {
                             out.push((*gsn, RedoOp::IxRemove { key: *key }));
@@ -1069,7 +1131,13 @@ impl SmDb {
                         self.cfg.protocol.lbm_mode(),
                         &mut self.gsn,
                     );
-                    if tree.redo_insert(&mut ctx, recovery_node, key, value, smdb_btree::NULL_TAG)? {
+                    if tree.redo_insert(
+                        &mut ctx,
+                        recovery_node,
+                        key,
+                        value,
+                        smdb_btree::NULL_TAG,
+                    )? {
                         outcome.index_redo_applied += 1;
                     }
                 }
@@ -1083,7 +1151,13 @@ impl SmDb {
                         self.cfg.protocol.lbm_mode(),
                         &mut self.gsn,
                     );
-                    if tree.redo_delete_mark(&mut ctx, recovery_node, key, value, smdb_btree::NULL_TAG)? {
+                    if tree.redo_delete_mark(
+                        &mut ctx,
+                        recovery_node,
+                        key,
+                        value,
+                        smdb_btree::NULL_TAG,
+                    )? {
                         outcome.index_redo_applied += 1;
                     }
                 }

@@ -51,11 +51,13 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Counter-wise difference `self - earlier`.
+    /// Counter-wise difference `self - earlier`. Saturates at zero: an
+    /// `earlier` snapshot taken after a counter reset (or from a different
+    /// engine) yields zeros instead of panicking on underflow.
     pub fn delta_since(&self, earlier: &EngineStats) -> EngineStats {
         macro_rules! d {
             ($($f:ident),*) => {
-                EngineStats { $($f: self.$f - earlier.$f),* }
+                EngineStats { $($f: self.$f.saturating_sub(earlier.$f)),* }
             };
         }
         d!(
@@ -92,5 +94,16 @@ mod tests {
         assert_eq!(d.commits, 6);
         assert_eq!(d.updates, 5);
         assert_eq!(d.reads, 0);
+    }
+
+    #[test]
+    fn delta_saturates_on_counter_regress() {
+        // `earlier` ahead of `self` (snapshot straddling a stats reset):
+        // clamp to zero instead of panicking.
+        let after_reset = EngineStats { commits: 1, ..Default::default() };
+        let before_reset = EngineStats { commits: 50, updates: 9, ..Default::default() };
+        let d = after_reset.delta_since(&before_reset);
+        assert_eq!(d.commits, 0);
+        assert_eq!(d.updates, 0);
     }
 }

@@ -153,8 +153,12 @@ fn stolen_uncommitted_update_is_undone_in_stable_db() {
         let page = db.record_layout().rec_of_global(0).page;
         db.flush_page(N1, page).unwrap();
         let stable = db.stats();
-        assert!(stable.wal_flush_forces >= 1 || p.lbm_mode().forces_eagerly() || p.lbm_mode().uses_triggers(),
-            "{p:?}: WAL must have forced the updater's log at flush");
+        assert!(
+            stable.wal_flush_forces >= 1
+                || p.lbm_mode().forces_eagerly()
+                || p.lbm_mode().uses_triggers(),
+            "{p:?}: WAL must have forced the updater's log at flush"
+        );
         let outcome = db.crash_and_recover(&[N1]).unwrap();
         assert_eq!(outcome.aborted, vec![tx]);
         assert_eq!(&db.current_value(0).unwrap()[..5], b"commd", "{p:?}");
@@ -265,7 +269,11 @@ fn checkpoint_bounds_recovery_and_preserves_state() {
         let outcome = db.crash_and_recover(&[N0, N1]).unwrap();
         // Pre-checkpoint updates are all in the stable db: no redo needed
         // for them.
-        assert!(outcome.redo_applied <= 2, "{p:?}: checkpoint should bound redo, got {}", outcome.redo_applied);
+        assert!(
+            outcome.redo_applied <= 2,
+            "{p:?}: checkpoint should bound redo, got {}",
+            outcome.redo_applied
+        );
         assert_eq!(&db.current_value(3).unwrap()[..5], b"newer", "{p:?}");
         for i in [0u64, 1, 2, 4, 5, 9] {
             assert_eq!(&db.current_value(i).unwrap()[..2], format!("v{i}").as_bytes(), "{p:?}");
@@ -415,7 +423,11 @@ fn redo_all_discards_more_than_selective() {
         }
         let outcome = db.crash_and_recover(&[N3]).unwrap();
         db.check_ifa(N0).assert_ok();
-        counts.push((p, outcome.redo_applied + outcome.redo_skipped_stable, outcome.redo_skipped_cached));
+        counts.push((
+            p,
+            outcome.redo_applied + outcome.redo_skipped_stable,
+            outcome.redo_skipped_cached,
+        ));
     }
     let (_, redo_all_considered, _) = counts[0];
     let (_, _sel_considered, sel_skipped_cached) = counts[1];

@@ -52,11 +52,7 @@ fn grid_case(protocol: ProtocolKind, coherence: CoherenceKind, crashes: &[Vec<No
         db.crash_and_recover(crash).unwrap();
         let survivor = db.machine().surviving_nodes()[0];
         let r = db.check_ifa(survivor);
-        assert!(
-            r.ok(),
-            "{protocol:?}/{coherence:?} after crash {crash:?}: {:?}",
-            r.violations
-        );
+        assert!(r.ok(), "{protocol:?}/{coherence:?} after crash {crash:?}: {:?}", r.violations);
     }
 }
 

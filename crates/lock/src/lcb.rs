@@ -116,8 +116,7 @@ impl Lcb {
     /// requested mode is compatible with the mode stored in the LCB, and
     /// there are no conflicting waiters"*).
     pub fn can_grant(&self, txn: TxnId, mode: LockMode) -> bool {
-        let compat_holders =
-            self.holders.iter().all(|e| e.txn == txn || mode.compatible(e.mode));
+        let compat_holders = self.holders.iter().all(|e| e.txn == txn || mode.compatible(e.mode));
         let no_conflicting_waiters =
             self.waiters.iter().all(|w| mode.compatible(w.mode) && w.mode.compatible(mode));
         compat_holders && (self.waiters.is_empty() || no_conflicting_waiters)

@@ -33,7 +33,10 @@ mod mode;
 mod recovery;
 mod table;
 
-pub use lcb::{clear_slot, decode_slot, encode_slot, read_overflow, write_overflow, Lcb, LcbGeometry, LockEntry};
+pub use lcb::{
+    clear_slot, decode_slot, encode_slot, read_overflow, write_overflow, Lcb, LcbGeometry,
+    LockEntry,
+};
 pub use manager::{LockError, LockManager, LockOutcome, LockStats};
 pub use mode::LockMode;
 pub use recovery::LockRecoveryStats;

@@ -10,10 +10,15 @@ use crate::lcb::{Lcb, LockEntry};
 use crate::mode::LockMode;
 use crate::table::LockTable;
 use serde::{Deserialize, Serialize};
+use smdb_obs::Event as ObsEvent;
 use smdb_sim::{LineId, Machine, MemError, NodeId, TxnId};
 use smdb_wal::{LogPayload, LogSet, StructuralKind};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Histogram of simulated cycles each logical lock was held, recorded on
+/// release when observability is enabled.
+pub const HOLD_CYCLES_HISTOGRAM: &str = "lock.hold_cycles";
 
 /// Result of a lock request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,7 +62,9 @@ impl fmt::Display for LockError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LockError::Mem(e) => write!(f, "memory error: {e}"),
-            LockError::CapacityExceeded { name } => write!(f, "LCB capacity exceeded for lock {name}"),
+            LockError::CapacityExceeded { name } => {
+                write!(f, "LCB capacity exceeded for lock {name}")
+            }
             LockError::NotHolder { txn, name } => write!(f, "{txn} does not hold lock {name}"),
         }
     }
@@ -95,12 +102,21 @@ pub struct LockManager {
     /// from, then reconstruct the pointers"*.
     chains: BTreeMap<TxnId, Vec<u64>>,
     stats: LockStats,
+    /// Simulated acquire timestamps for currently-held locks, kept only
+    /// while observability is enabled, to compute hold time on release.
+    /// Purely observational — never consulted by the locking protocol.
+    acquired_at: BTreeMap<(TxnId, u64), u64>,
 }
 
 impl LockManager {
     /// Wrap a created [`LockTable`].
     pub fn new(table: LockTable) -> Self {
-        LockManager { table, chains: BTreeMap::new(), stats: LockStats::default() }
+        LockManager {
+            table,
+            chains: BTreeMap::new(),
+            stats: LockStats::default(),
+            acquired_at: BTreeMap::new(),
+        }
     }
 
     /// The underlying table.
@@ -176,12 +192,7 @@ impl LockManager {
                 lcb = fresh;
             }
             if lcb.holds(txn) {
-                let held = lcb
-                    .holders
-                    .iter()
-                    .find(|e| e.txn == txn)
-                    .expect("holds() checked")
-                    .mode;
+                let held = lcb.holders.iter().find(|e| e.txn == txn).expect("holds() checked").mode;
                 if held >= mode {
                     return Ok(LockOutcome::AlreadyHeld);
                 }
@@ -242,6 +253,28 @@ impl LockManager {
             }
         })();
         m.releaseline(node, line)?;
+        if m.obs().bus.is_enabled() || m.obs().metrics.is_enabled() {
+            let now = m.now(node);
+            match &result {
+                Ok(LockOutcome::Granted) => {
+                    self.acquired_at.entry((txn, name)).or_insert(now);
+                    m.obs().bus.emit(now, || ObsEvent::LockAcquire {
+                        node: node.0,
+                        txn: txn.0,
+                        name,
+                        exclusive: mode == LockMode::Exclusive,
+                    });
+                }
+                Ok(LockOutcome::Waiting) => {
+                    m.obs().bus.emit(now, || ObsEvent::LockWouldBlock {
+                        node: node.0,
+                        txn: txn.0,
+                        name,
+                    });
+                }
+                _ => {}
+            }
+        }
         result
     }
 
@@ -292,10 +325,8 @@ impl LockManager {
         name: u64,
     ) -> Result<Vec<LockEntry>, LockError> {
         let node = txn.node();
-        let (line, slot, mut lcb) = self
-            .table
-            .find(m, node, name)?
-            .ok_or(LockError::NotHolder { txn, name })?;
+        let (line, slot, mut lcb) =
+            self.table.find(m, node, name)?.ok_or(LockError::NotHolder { txn, name })?;
         if !lcb.holds(txn) {
             return Err(LockError::NotHolder { txn, name });
         }
@@ -307,7 +338,12 @@ impl LockManager {
             for p in &promoted {
                 logs.append(
                     p.txn.node(),
-                    LogPayload::LockAcquire { txn: p.txn, name, mode: p.mode.into(), queued: false },
+                    LogPayload::LockAcquire {
+                        txn: p.txn,
+                        name,
+                        mode: p.mode.into(),
+                        queued: false,
+                    },
                 );
                 // A promoted *upgrade* already has the name in its chain.
                 let chain = self.chains.entry(p.txn).or_default();
@@ -325,6 +361,34 @@ impl LockManager {
             Ok(promoted)
         })();
         m.releaseline(node, line)?;
+        if m.obs().bus.is_enabled() || m.obs().metrics.is_enabled() {
+            let now = m.now(node);
+            if let Ok(promoted) = &result {
+                let held = self
+                    .acquired_at
+                    .remove(&(txn, name))
+                    .map(|t0| now.saturating_sub(t0))
+                    .unwrap_or(0);
+                m.obs().metrics.observe(HOLD_CYCLES_HISTOGRAM, held);
+                m.obs().bus.emit(now, || ObsEvent::LockRelease {
+                    node: node.0,
+                    txn: txn.0,
+                    name,
+                    held_cycles: held,
+                });
+                for p in promoted {
+                    self.acquired_at.entry((p.txn, name)).or_insert(now);
+                    m.obs().bus.emit(now, || ObsEvent::LockAcquire {
+                        node: p.txn.node().0,
+                        txn: p.txn.0,
+                        name,
+                        exclusive: p.mode == LockMode::Exclusive,
+                    });
+                }
+            }
+        } else {
+            self.acquired_at.remove(&(txn, name));
+        }
         if let Some(chain) = self.chains.get_mut(&txn) {
             chain.retain(|n| *n != name);
             if chain.is_empty() {
@@ -360,7 +424,12 @@ impl LockManager {
             for p in &promoted {
                 logs.append(
                     p.txn.node(),
-                    LogPayload::LockAcquire { txn: p.txn, name, mode: p.mode.into(), queued: false },
+                    LogPayload::LockAcquire {
+                        txn: p.txn,
+                        name,
+                        mode: p.mode.into(),
+                        queued: false,
+                    },
                 );
                 let chain = self.chains.entry(p.txn).or_default();
                 if !chain.contains(&name) {
@@ -427,6 +496,12 @@ impl LockManager {
         &mut self.table
     }
 
+    /// Drop observability acquire-timestamps for transactions on crashed
+    /// nodes (they will never release).
+    pub(crate) fn drop_acquire_times(&mut self, crashed: &std::collections::BTreeSet<NodeId>) {
+        self.acquired_at.retain(|(txn, _), _| !crashed.contains(&txn.node()));
+    }
+
     pub(crate) fn chains_mut(&mut self) -> &mut BTreeMap<TxnId, Vec<u64>> {
         &mut self.chains
     }
@@ -461,8 +536,14 @@ mod tests {
         let (mut m, mut logs, mut mgr) = setup();
         let tx = t(0, 1);
         let ty = t(1, 1);
-        assert_eq!(mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Exclusive).unwrap(), LockOutcome::Granted);
-        assert_eq!(mgr.acquire(&mut m, &mut logs, ty, 7, LockMode::Exclusive).unwrap(), LockOutcome::Waiting);
+        assert_eq!(
+            mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Exclusive).unwrap(),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            mgr.acquire(&mut m, &mut logs, ty, 7, LockMode::Exclusive).unwrap(),
+            LockOutcome::Waiting
+        );
         assert_eq!(mgr.stats().acquires, 1);
         assert_eq!(mgr.stats().waits, 1);
         assert_eq!(mgr.held_locks(tx), &[7]);
@@ -601,6 +682,28 @@ mod tests {
     }
 
     #[test]
+    fn observability_records_hold_times_and_events() {
+        let (mut m, mut logs, mut mgr) = setup();
+        m.obs().enable(64);
+        let tx = t(0, 1);
+        let ty = t(1, 1);
+        mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Exclusive).unwrap();
+        m.advance(N0, 500);
+        assert_eq!(
+            mgr.acquire(&mut m, &mut logs, ty, 7, LockMode::Exclusive).unwrap(),
+            LockOutcome::Waiting
+        );
+        mgr.release(&mut m, &mut logs, tx, 7).unwrap();
+        let h = m.obs().metrics.histogram(HOLD_CYCLES_HISTOGRAM).unwrap();
+        assert_eq!(h.count, 1, "one completed hold (the promoted waiter still holds)");
+        assert!(h.max >= 500, "hold time includes the advanced cycles: {}", h.max);
+        let kinds: Vec<&str> = m.obs().bus.snapshot().iter().map(|r| r.event.kind()).collect();
+        for expected in ["lock_acquire", "lock_would_block", "lock_release"] {
+            assert!(kinds.contains(&expected), "missing {expected} in {kinds:?}");
+        }
+    }
+
+    #[test]
     fn overflow_alloc_is_forced_structural_commit() {
         let (mut m, mut logs, mut mgr) = setup();
         // Grab many names colliding into the same bucket until overflow.
@@ -614,10 +717,9 @@ mod tests {
         assert_eq!(logs.log(N0).stats().structural_records, mgr.stats().overflow_allocs);
         // Each structural record was forced (early commit).
         let stable = logs.log(N0).stable_records();
-        let forced_structural = stable
-            .iter()
-            .filter(|r| matches!(r.payload, LogPayload::Structural { .. }))
-            .count() as u64;
+        let forced_structural =
+            stable.iter().filter(|r| matches!(r.payload, LogPayload::Structural { .. })).count()
+                as u64;
         assert_eq!(forced_structural, mgr.stats().overflow_allocs);
     }
 }

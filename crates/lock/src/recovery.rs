@@ -100,6 +100,10 @@ impl LockManager {
         let crashed: BTreeSet<NodeId> = crashed.iter().copied().collect();
         let line_size = m.line_size();
 
+        // Observability bookkeeping: crashed transactions will never
+        // release, so drop their hold-time entries.
+        self.drop_acquire_times(&crashed);
+
         // Phase 0: restore the overflow-chain skeleton from structural log
         // records. Structural changes were committed early (forced), so
         // every allocation appears in some node's *stable* log even if that
@@ -226,35 +230,37 @@ impl LockManager {
                     }
                 }
                 None => {
-                    let (line, slot) = match self.table().find_empty_slot(m, recovery_node, *name)? {
-                        Some(found) => found,
-                        None => {
-                            // The chain is full (reconstruction packs LCBs
-                            // in a different order than the original
-                            // inserts): extend it, early-committing the
-                            // structural change exactly as normal
-                            // operation would.
-                            let chain = self.table().chain_for(m, recovery_node, *name)?;
-                            let tail = *chain.last().expect("chain non-empty");
-                            let new_line = self.table_mut().alloc_overflow(m, recovery_node, tail)?;
-                            let recovery_txn = TxnId::new(recovery_node, 0);
-                            let lsn = logs.append(
-                                recovery_node,
-                                LogPayload::Structural {
-                                    txn: recovery_txn,
-                                    kind: StructuralKind::LockSpaceAlloc {
-                                        line: new_line.0,
-                                        parent: tail.0,
+                    let (line, slot) =
+                        match self.table().find_empty_slot(m, recovery_node, *name)? {
+                            Some(found) => found,
+                            None => {
+                                // The chain is full (reconstruction packs LCBs
+                                // in a different order than the original
+                                // inserts): extend it, early-committing the
+                                // structural change exactly as normal
+                                // operation would.
+                                let chain = self.table().chain_for(m, recovery_node, *name)?;
+                                let tail = *chain.last().expect("chain non-empty");
+                                let new_line =
+                                    self.table_mut().alloc_overflow(m, recovery_node, tail)?;
+                                let recovery_txn = TxnId::new(recovery_node, 0);
+                                let lsn = logs.append(
+                                    recovery_node,
+                                    LogPayload::Structural {
+                                        txn: recovery_txn,
+                                        kind: StructuralKind::LockSpaceAlloc {
+                                            line: new_line.0,
+                                            parent: tail.0,
+                                        },
                                     },
-                                },
-                            );
-                            if logs.log_mut(recovery_node).force_to(lsn) {
-                                let cost = m.config().cost.log_force;
-                                m.advance(recovery_node, cost);
+                                );
+                                if logs.log_mut(recovery_node).force_to(lsn) {
+                                    let cost = m.config().cost.log_force;
+                                    m.advance(recovery_node, cost);
+                                }
+                                (new_line, 0)
                             }
-                            (new_line, 0)
-                        }
-                    };
+                        };
                     self.table().write_lcb(m, recovery_node, line, slot, want)?;
                     stats.lcbs_reconstructed += 1;
                     stats.survivor_entries_restored +=

@@ -50,7 +50,13 @@ impl LockTable {
         for i in 0..n_buckets {
             m.create_line_at(node, LineId(base + i as u64), &zero)?;
         }
-        Ok(LockTable { base, n_buckets, geom, line_size: m.line_size(), overflow_lines: Vec::new() })
+        Ok(LockTable {
+            base,
+            n_buckets,
+            geom,
+            line_size: m.line_size(),
+            overflow_lines: Vec::new(),
+        })
     }
 
     /// The LCB geometry in use.
@@ -76,7 +82,8 @@ impl LockTable {
 
     /// Every line of the table: base buckets then overflow lines.
     pub fn all_lines(&self) -> Vec<LineId> {
-        let mut v: Vec<LineId> = (0..self.n_buckets as u64).map(|i| LineId(self.base + i)).collect();
+        let mut v: Vec<LineId> =
+            (0..self.n_buckets as u64).map(|i| LineId(self.base + i)).collect();
         v.extend(self.overflow_lines.iter().map(|&(_, l)| l));
         v
     }
@@ -95,7 +102,12 @@ impl LockTable {
     }
 
     /// Walk the bucket chain for `name`, returning the lines in order.
-    pub fn chain_for(&self, m: &mut Machine, node: NodeId, name: u64) -> Result<Vec<LineId>, MemError> {
+    pub fn chain_for(
+        &self,
+        m: &mut Machine,
+        node: NodeId,
+        name: u64,
+    ) -> Result<Vec<LineId>, MemError> {
         let mut chain = vec![self.bucket_line(name)];
         loop {
             let last = *chain.last().expect("chain non-empty");
@@ -119,7 +131,9 @@ impl LockTable {
             let img = m.read_line(node, line)?;
             for slot in 0..self.geom.lcbs_per_line {
                 let off = self.geom.slot_offset(slot);
-                if let Some(l) = lcb::decode_slot(&self.geom, &img[off..off + self.geom.slot_size()]) {
+                if let Some(l) =
+                    lcb::decode_slot(&self.geom, &img[off..off + self.geom.slot_size()])
+                {
                     if l.name == name {
                         return Ok(Some((line, slot, l)));
                     }

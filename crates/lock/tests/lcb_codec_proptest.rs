@@ -2,7 +2,9 @@
 //! holder/waiter populations within capacity.
 
 use proptest::prelude::*;
-use smdb_lock::{decode_slot, encode_slot, read_overflow, write_overflow, Lcb, LcbGeometry, LockEntry, LockMode};
+use smdb_lock::{
+    decode_slot, encode_slot, read_overflow, write_overflow, Lcb, LcbGeometry, LockEntry, LockMode,
+};
 use smdb_sim::{NodeId, TxnId};
 
 fn entry_strategy() -> impl Strategy<Value = LockEntry> {

@@ -84,10 +84,7 @@ mod tests {
 
     #[test]
     fn builder_chain() {
-        let c = SimConfig::new(4)
-            .write_broadcast()
-            .with_line_size(64)
-            .with_stall_on_lost(true);
+        let c = SimConfig::new(4).write_broadcast().with_line_size(64).with_stall_on_lost(true);
         assert_eq!(c.nodes, 4);
         assert_eq!(c.line_size, 64);
         assert_eq!(c.coherence, CoherenceKind::WriteBroadcast);

@@ -57,6 +57,11 @@ pub use machine::{CrashReport, Machine, TransferKind, TriggerEvent};
 pub use stats::SimStats;
 pub use trace::{Trace, TraceEvent};
 
+/// Re-export of the observability layer the [`Machine`] emits into, so
+/// downstream crates can name event and metric types without a separate
+/// dependency edge.
+pub use smdb_obs as obs;
+
 /// Cache line size used by default throughout the reproduction: 128 bytes,
 /// the line size of both the KSR-1/KSR-2 and Stanford FLASH (paper, §3).
 pub const DEFAULT_LINE_SIZE: usize = 128;

@@ -15,6 +15,7 @@ use crate::error::MemError;
 use crate::ids::{LineId, NodeId};
 use crate::stats::SimStats;
 use crate::trace::{Trace, TraceEvent};
+use smdb_obs::{Event as ObsEvent, Obs};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Directory state of one cache line.
@@ -99,6 +100,7 @@ pub struct Machine {
     nodes: Vec<NodeState>,
     stats: SimStats,
     trace: Trace,
+    obs: Obs,
     next_dynamic: u64,
 }
 
@@ -115,6 +117,7 @@ impl Machine {
             nodes,
             stats: SimStats::default(),
             trace: Trace::default(),
+            obs: Obs::new(),
             next_dynamic: LineId::DYNAMIC_BASE,
         }
     }
@@ -180,6 +183,21 @@ impl Machine {
         self.trace.take()
     }
 
+    /// The machine-wide observability handle (event bus + metrics). The
+    /// coherence events mirrored onto the bus share one sequence numbering
+    /// with lock, WAL, and recovery events emitted by higher layers, so
+    /// cross-layer causality is visible in a single timeline. Disabled by
+    /// default; see [`smdb_obs::Obs::enable`].
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// A clone of the observability handle (shared-handle semantics: it
+    /// observes the same bus and registry as [`Machine::obs`]).
+    pub fn obs_handle(&self) -> Obs {
+        self.obs.clone()
+    }
+
     // ------------------------------------------------------------------
     // Clocks
     // ------------------------------------------------------------------
@@ -227,13 +245,21 @@ impl Machine {
     /// cache. `data` is zero-padded to the line size. Errors if the address
     /// is already populated (including `Lost` remnants — use
     /// [`Machine::install_line`] during recovery).
-    pub fn create_line_at(&mut self, node: NodeId, line: LineId, data: &[u8]) -> Result<(), MemError> {
+    pub fn create_line_at(
+        &mut self,
+        node: NodeId,
+        line: LineId,
+        data: &[u8],
+    ) -> Result<(), MemError> {
         self.check_node(node)?;
         if self.dir.contains_key(&line) {
             return Err(MemError::AlreadyExists { line });
         }
         let buf = self.padded(data);
-        self.dir.insert(line, DirEntry { state: DirState::Exclusive(node), locked_by: None, active_owner: None });
+        self.dir.insert(
+            line,
+            DirEntry { state: DirState::Exclusive(node), locked_by: None, active_owner: None },
+        );
         self.nodes[node.0 as usize].cache.insert(line, buf);
         self.stats.lines_created += 1;
         self.charge(node, self.cfg.cost.local_hit);
@@ -301,7 +327,13 @@ impl Machine {
     /// Read `buf.len()` bytes at `offset` within `line` into `buf`, on
     /// behalf of `node`. May replicate the line into `node`'s cache
     /// (downgrading a remote exclusive copy — the `H_wr` pattern).
-    pub fn read_into(&mut self, node: NodeId, line: LineId, offset: usize, buf: &mut [u8]) -> Result<(), MemError> {
+    pub fn read_into(
+        &mut self,
+        node: NodeId,
+        line: LineId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<(), MemError> {
         self.check_access(node, line)?;
         if offset + buf.len() > self.cfg.line_size {
             return Err(MemError::OutOfBounds { line, offset, len: buf.len() });
@@ -312,6 +344,10 @@ impl Machine {
             self.stats.local_hits += 1;
             self.charge(node, self.cfg.cost.local_hit);
             self.trace.emit(TraceEvent::ReadHit { node, line });
+            self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::ReadHit {
+                node: node.0,
+                line: line.0,
+            });
         } else {
             // Fetch from a remote cache; exclusive owners are downgraded.
             let data = self.copy_from_any_holder(line);
@@ -337,6 +373,11 @@ impl Machine {
             self.stats.remote_transfers += 1;
             self.charge(node, self.cfg.cost.remote_transfer);
             self.trace.emit(TraceEvent::ReadRemote { node, line, downgraded });
+            self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::ReadRemote {
+                node: node.0,
+                line: line.0,
+                downgraded,
+            });
         }
         let data = &self.nodes[node.0 as usize].cache[&line];
         buf.copy_from_slice(&data[offset..offset + buf.len()]);
@@ -362,7 +403,13 @@ impl Machine {
     /// if another node held it, this is a **migration** (`H_ww1`). Under
     /// [`CoherenceKind::WriteBroadcast`] every cached copy is updated in
     /// place and all holders remain valid (§7).
-    pub fn write(&mut self, node: NodeId, line: LineId, offset: usize, data: &[u8]) -> Result<(), MemError> {
+    pub fn write(
+        &mut self,
+        node: NodeId,
+        line: LineId,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), MemError> {
         self.check_access(node, line)?;
         if offset + data.len() > self.cfg.line_size {
             return Err(MemError::OutOfBounds { line, offset, len: data.len() });
@@ -376,6 +423,10 @@ impl Machine {
                     self.stats.local_hits += 1;
                     self.charge(node, self.cfg.cost.local_hit);
                     self.trace.emit(TraceEvent::WriteLocal { node, line });
+                    self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::WriteLocal {
+                        node: node.0,
+                        line: line.0,
+                    });
                 } else {
                     // Obtain the data if we don't hold it, then invalidate
                     // every other copy.
@@ -389,7 +440,8 @@ impl Machine {
                     } else {
                         self.charge(node, self.cfg.cost.local_hit);
                     }
-                    let others: Vec<NodeId> = holders.iter().copied().filter(|h| *h != node).collect();
+                    let others: Vec<NodeId> =
+                        holders.iter().copied().filter(|h| *h != node).collect();
                     for other in &others {
                         self.nodes[other.0 as usize].cache.remove(&line);
                         self.stats.invalidations += 1;
@@ -398,6 +450,12 @@ impl Machine {
                     self.trace.emit(TraceEvent::WriteTake {
                         node,
                         line,
+                        invalidated: others.len() as u16,
+                        migration,
+                    });
+                    self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::WriteTake {
+                        node: node.0,
+                        line: line.0,
                         invalidated: others.len() as u16,
                         migration,
                     });
@@ -418,17 +476,24 @@ impl Machine {
                 // Update every other valid copy in place.
                 let mut updated = 0u16;
                 for other in holders.iter().filter(|h| **h != node) {
-                    let copy = self.nodes[other.0 as usize].cache.get_mut(&line).expect("holder has copy");
+                    let copy =
+                        self.nodes[other.0 as usize].cache.get_mut(&line).expect("holder has copy");
                     copy[offset..offset + data.len()].copy_from_slice(data);
                     self.stats.broadcast_updates += 1;
                     self.charge(node, self.cfg.cost.broadcast_update);
                     updated += 1;
                 }
                 self.trace.emit(TraceEvent::WriteBroadcast { node, line, updated });
+                self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::WriteBroadcast {
+                    node: node.0,
+                    line: line.0,
+                    updated,
+                });
                 let mut set = holders;
                 set.insert(node);
                 let entry = self.dir.get_mut(&line).expect("entry exists");
-                entry.state = if set.len() == 1 { DirState::Exclusive(node) } else { DirState::Shared(set) };
+                entry.state =
+                    if set.len() == 1 { DirState::Exclusive(node) } else { DirState::Shared(set) };
             }
         }
         let copy = self.nodes[node.0 as usize].cache.get_mut(&line).expect("writer has copy");
@@ -496,6 +561,10 @@ impl Machine {
         self.stats.line_lock_acquires += 1;
         self.charge(node, self.cfg.cost.line_lock_acquire);
         self.trace.emit(TraceEvent::LineLock { node, line });
+        self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::LineLock {
+            node: node.0,
+            line: line.0,
+        });
         Ok(())
     }
 
@@ -509,6 +578,10 @@ impl Machine {
         entry.locked_by = None;
         self.charge(node, self.cfg.cost.line_lock_release);
         self.trace.emit(TraceEvent::LineUnlock { node, line });
+        self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::LineUnlock {
+            node: node.0,
+            line: line.0,
+        });
         Ok(())
     }
 
@@ -547,7 +620,12 @@ impl Machine {
     /// performing the access. A Stable-LBM engine consults this before
     /// every access and forces the owner's log when an event is pending —
     /// realising the trigger-based enforcement of §5.2.
-    pub fn pending_triggers(&self, node: NodeId, line: LineId, is_write: bool) -> Option<TriggerEvent> {
+    pub fn pending_triggers(
+        &self,
+        node: NodeId,
+        line: LineId,
+        is_write: bool,
+    ) -> Option<TriggerEvent> {
         let entry = self.dir.get(&line)?;
         let owner = entry.active_owner?;
         if owner == node {
@@ -653,6 +731,10 @@ impl Machine {
             nodes: report.crashed.clone(),
             lost: report.lost_lines.len() as u64,
         });
+        self.obs.bus.emit(self.max_clock(), || ObsEvent::CrashInjected {
+            nodes: report.crashed.len() as u16,
+            lost_lines: report.lost_lines.len() as u64,
+        });
         report
     }
 
@@ -747,7 +829,12 @@ impl Machine {
     /// restart recovery (reconstructing lines from logs) and by the buffer
     /// manager (fetching pages from the stable database). Clears any
     /// active bit and line lock.
-    pub fn install_line(&mut self, node: NodeId, line: LineId, data: &[u8]) -> Result<(), MemError> {
+    pub fn install_line(
+        &mut self,
+        node: NodeId,
+        line: LineId,
+        data: &[u8],
+    ) -> Result<(), MemError> {
         self.check_node(node)?;
         let buf = self.padded(data);
         // Invalidate any surviving copies elsewhere: install is
@@ -759,10 +846,17 @@ impl Machine {
                 }
             }
         }
-        self.dir.insert(line, DirEntry { state: DirState::Exclusive(node), locked_by: None, active_owner: None });
+        self.dir.insert(
+            line,
+            DirEntry { state: DirState::Exclusive(node), locked_by: None, active_owner: None },
+        );
         self.nodes[node.0 as usize].cache.insert(line, buf);
         self.charge(node, self.cfg.cost.local_hit);
         self.trace.emit(TraceEvent::Install { node, line });
+        self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::Install {
+            node: node.0,
+            line: line.0,
+        });
         Ok(())
     }
 

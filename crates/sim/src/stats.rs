@@ -45,24 +45,28 @@ pub struct SimStats {
 
 impl SimStats {
     /// Difference `self - earlier`, counter-wise. Useful for measuring one
-    /// phase of a workload.
+    /// phase of a workload. Saturates at zero: an `earlier` snapshot taken
+    /// after a counter reset (or from a different machine) yields zeros
+    /// instead of panicking on underflow.
     pub fn delta_since(&self, earlier: &SimStats) -> SimStats {
         SimStats {
-            reads: self.reads - earlier.reads,
-            writes: self.writes - earlier.writes,
-            local_hits: self.local_hits - earlier.local_hits,
-            remote_transfers: self.remote_transfers - earlier.remote_transfers,
-            migrations: self.migrations - earlier.migrations,
-            replications: self.replications - earlier.replications,
-            invalidations: self.invalidations - earlier.invalidations,
-            downgrades: self.downgrades - earlier.downgrades,
-            broadcast_updates: self.broadcast_updates - earlier.broadcast_updates,
-            line_lock_acquires: self.line_lock_acquires - earlier.line_lock_acquires,
-            line_lock_conflicts: self.line_lock_conflicts - earlier.line_lock_conflicts,
-            lost_line_accesses: self.lost_line_accesses - earlier.lost_line_accesses,
-            lines_created: self.lines_created - earlier.lines_created,
-            lines_lost: self.lines_lost - earlier.lines_lost,
-            evictions: self.evictions - earlier.evictions,
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            local_hits: self.local_hits.saturating_sub(earlier.local_hits),
+            remote_transfers: self.remote_transfers.saturating_sub(earlier.remote_transfers),
+            migrations: self.migrations.saturating_sub(earlier.migrations),
+            replications: self.replications.saturating_sub(earlier.replications),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            downgrades: self.downgrades.saturating_sub(earlier.downgrades),
+            broadcast_updates: self.broadcast_updates.saturating_sub(earlier.broadcast_updates),
+            line_lock_acquires: self.line_lock_acquires.saturating_sub(earlier.line_lock_acquires),
+            line_lock_conflicts: self
+                .line_lock_conflicts
+                .saturating_sub(earlier.line_lock_conflicts),
+            lost_line_accesses: self.lost_line_accesses.saturating_sub(earlier.lost_line_accesses),
+            lines_created: self.lines_created.saturating_sub(earlier.lines_created),
+            lines_lost: self.lines_lost.saturating_sub(earlier.lines_lost),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
         }
     }
 }
@@ -79,5 +83,16 @@ mod tests {
         assert_eq!(d.reads, 7);
         assert_eq!(d.writes, 3);
         assert_eq!(d.migrations, 0);
+    }
+
+    #[test]
+    fn delta_saturates_on_counter_regress() {
+        // `earlier` ahead of `self` (e.g. snapshot taken before a
+        // reset_stats): the delta clamps to zero instead of panicking.
+        let after_reset = SimStats { reads: 2, ..Default::default() };
+        let before_reset = SimStats { reads: 100, writes: 5, ..Default::default() };
+        let d = after_reset.delta_since(&before_reset);
+        assert_eq!(d.reads, 0);
+        assert_eq!(d.writes, 0);
     }
 }

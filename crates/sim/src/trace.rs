@@ -108,6 +108,11 @@ impl Trace {
         assert!(capacity > 0, "trace capacity must be non-zero");
         self.enabled = true;
         self.capacity = capacity;
+        // Re-enabling with a smaller capacity must also bound the events
+        // retained from the previous enablement: drop the oldest.
+        while self.ring.len() > capacity {
+            self.ring.pop_front();
+        }
     }
 
     pub(crate) fn disable(&mut self) {
@@ -174,6 +179,24 @@ mod tests {
     }
 
     #[test]
+    fn reenable_with_smaller_capacity_trims_ring() {
+        let mut t = Trace::default();
+        t.enable(5);
+        for i in 0..5 {
+            t.emit(TraceEvent::ReadHit { node: NodeId(i), line: LineId(1) });
+        }
+        // Shrink while enabled: backlog must be cut to the new bound,
+        // keeping the newest events.
+        t.enable(2);
+        assert_eq!(t.len(), 2);
+        let seqs: Vec<u64> = t.events().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![3, 4], "newest events kept after shrink");
+        // Subsequent emissions stay within the new capacity.
+        t.emit(TraceEvent::ReadHit { node: NodeId(9), line: LineId(2) });
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
     fn take_drains() {
         let mut t = Trace::default();
         t.enable(8);
@@ -223,8 +246,6 @@ mod machine_trace_tests {
         m.create_line_at(NodeId(1), LineId(9), &[0]).unwrap();
         m.crash(&[NodeId(1)]);
         let events = m.take_trace();
-        assert!(events
-            .iter()
-            .any(|(_, e)| matches!(e, TraceEvent::Crash { lost: 1, .. })));
+        assert!(events.iter().any(|(_, e)| matches!(e, TraceEvent::Crash { lost: 1, .. })));
     }
 }

@@ -101,12 +101,16 @@ fn run_model(kind: CoherenceKind, ops: Vec<Op>) -> Result<(), TestCaseError> {
                     Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
                 }
             }
-            Op::Lock { node, line } => if let Ok(()) = m.getline(NodeId(node), LineId(line)) {
-                locked.insert(line, node);
-            },
-            Op::Unlock { node, line } => if let Ok(()) = m.releaseline(NodeId(node), LineId(line)) {
-                locked.remove(&line);
-            },
+            Op::Lock { node, line } => {
+                if let Ok(()) = m.getline(NodeId(node), LineId(line)) {
+                    locked.insert(line, node);
+                }
+            }
+            Op::Unlock { node, line } => {
+                if let Ok(()) = m.releaseline(NodeId(node), LineId(line)) {
+                    locked.remove(&line);
+                }
+            }
             Op::Crash { node } => {
                 let report = m.crash(&[NodeId(node)]);
                 for l in report.lost_lines {
@@ -134,10 +138,8 @@ fn run_model(kind: CoherenceKind, ops: Vec<Op>) -> Result<(), TestCaseError> {
                 prop_assert_eq!(holders.clone(), vec![owner], "exclusive ⇒ sole holder");
             }
             // All valid copies agree byte-for-byte.
-            let copies: Vec<u8> = holders
-                .iter()
-                .filter_map(|h| m.peek_local(*h, line).map(|c| c[0]))
-                .collect();
+            let copies: Vec<u8> =
+                holders.iter().filter_map(|h| m.peek_local(*h, line).map(|c| c[0])).collect();
             prop_assert!(
                 copies.windows(2).all(|w| w[0] == w[1]),
                 "copies of l{l} diverge: {copies:?}"

@@ -39,4 +39,6 @@ pub use lbm::LbmMode;
 pub use log_set::LogSet;
 pub use lsn::Lsn;
 pub use page_lsn::PageLsnTable;
-pub use record::{LockModeRepr, LogPayload, LogRecord, NodeLog, NodeLogStats, RecId, StructuralKind};
+pub use record::{
+    LockModeRepr, LogPayload, LogRecord, NodeLog, NodeLogStats, RecId, StructuralKind,
+};

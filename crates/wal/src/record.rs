@@ -475,8 +475,18 @@ mod tests {
     fn read_lock_records_counted() {
         let mut log = NodeLog::new(n0());
         let t = TxnId::new(NodeId(0), 1);
-        log.append(LogPayload::LockAcquire { txn: t, name: 5, mode: LockModeRepr::Shared, queued: false });
-        log.append(LogPayload::LockAcquire { txn: t, name: 6, mode: LockModeRepr::Exclusive, queued: false });
+        log.append(LogPayload::LockAcquire {
+            txn: t,
+            name: 5,
+            mode: LockModeRepr::Shared,
+            queued: false,
+        });
+        log.append(LogPayload::LockAcquire {
+            txn: t,
+            name: 6,
+            mode: LockModeRepr::Exclusive,
+            queued: false,
+        });
         assert_eq!(log.stats().read_lock_records, 1);
     }
 

@@ -22,6 +22,9 @@ mod mix;
 mod tp1;
 mod zipf;
 
-pub use mix::{run_mix, run_mix_with_crash, spawn_active, spawn_active_parallel, CrashPlan, MixParams, MixReport};
+pub use mix::{
+    run_mix, run_mix_with_crash, spawn_active, spawn_active_parallel, CrashPlan, MixParams,
+    MixReport,
+};
 pub use tp1::{run_tp1, Tp1Params, Tp1Report};
 pub use zipf::Zipf;

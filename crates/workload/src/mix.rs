@@ -298,12 +298,7 @@ pub fn spawn_active(
 /// and updating one private slot per participant. Left active. §9:
 /// a crash of *any* participant aborts the whole transaction, so larger
 /// fan-out widens a crash's blast radius — experiment E10.
-pub fn spawn_active_parallel(
-    db: &mut SmDb,
-    per_node: usize,
-    fan: u16,
-    seed: u64,
-) -> Vec<TxnId> {
+pub fn spawn_active_parallel(db: &mut SmDb, per_node: usize, fan: u16, seed: u64) -> Vec<TxnId> {
     assert!(fan >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let nodes = db.machine().surviving_nodes();

@@ -87,7 +87,8 @@ impl Tp1Layout {
     }
 
     fn teller_slot(&self, b: u64, t: u64) -> u64 {
-        self.branches + (b % self.branches) * (self.tellers / self.branches)
+        self.branches
+            + (b % self.branches) * (self.tellers / self.branches)
             + t % (self.tellers / self.branches)
     }
 
@@ -137,9 +138,7 @@ pub fn run_tp1(db: &mut SmDb, params: Tp1Params) -> Tp1Report {
                     let bal = i64::from_le_bytes(cur[..8].try_into().expect("8 bytes"));
                     db.update(txn, a_slot, &(bal + delta).to_le_bytes())?;
                     // Teller and branch accumulate the delta too.
-                    for slot in
-                        [layout.teller_slot(branch, teller), layout.branch_slot(branch)]
-                    {
+                    for slot in [layout.teller_slot(branch, teller), layout.branch_slot(branch)] {
                         let cur = db.read(txn, slot)?;
                         let bal = i64::from_le_bytes(cur[..8].try_into().expect("8 bytes"));
                         db.update(txn, slot, &(bal + delta).to_le_bytes())?;
@@ -149,9 +148,9 @@ pub fn run_tp1(db: &mut SmDb, params: Tp1Params) -> Tp1Report {
                             // A retry after a conflict later in the
                             // transaction may re-insert the same history
                             // key; the row is already there.
-                            Err(DbError::Btree(
-                                smdb_btree::BtreeError::DuplicateKey { .. },
-                            )) => {}
+                            Err(DbError::Btree(smdb_btree::BtreeError::DuplicateKey {
+                                ..
+                            })) => {}
                             other => other?,
                         }
                     }
@@ -214,10 +213,7 @@ mod tests {
         };
         let branch_total = sum(0..layout.branches, &db);
         let teller_total = sum(layout.branches..layout.branches + layout.tellers, &db);
-        let account_total = sum(
-            layout.branches + layout.tellers..db.record_count() as u64,
-            &db,
-        );
+        let account_total = sum(layout.branches + layout.tellers..db.record_count() as u64, &db);
         assert_eq!(branch_total, teller_total);
         assert_eq!(branch_total, account_total);
     }

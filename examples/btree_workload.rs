@@ -59,7 +59,10 @@ fn main() {
     let live = db.index_scan(NodeId(0)).expect("scan");
     let keys: Vec<u64> = live.iter().map(|(k, _)| *k).collect();
     assert!(!keys.contains(&1) && !keys.contains(&4), "committed deletes stay deleted");
-    assert!(keys.contains(&13) && keys.contains(&16) && keys.contains(&19), "in-flight deletes unmarked");
+    assert!(
+        keys.contains(&13) && keys.contains(&16) && keys.contains(&19),
+        "in-flight deletes unmarked"
+    );
     assert!(!keys.contains(&9_999_999), "in-flight insert removed");
     println!(
         "live keys: {} (committed deletes gone; n2's in-flight delete-marks unmarked; its insert undone)",

@@ -42,13 +42,19 @@ fn run_case(crash_x: bool) {
 
     let ty = db.begin(y).expect("begin");
     db.update(ty, 1, b"r2-by-ty").expect("update");
-    println!("after w_y[r2]: line holders = {:?}  (H_ww1: migrated to y)", db.machine().holders(line));
+    println!(
+        "after w_y[r2]: line holders = {:?}  (H_ww1: migrated to y)",
+        db.machine().holders(line)
+    );
     assert_eq!(db.machine().exclusive_owner(line), Some(y));
 
     if crash_x {
         println!("\n--- crash case 1: node x crashes ---");
         let outcome = db.crash_and_recover(&[x]).expect("recovery");
-        println!("aborted: {:?}; undo ops applied: {}", outcome.aborted, outcome.undo_records_applied);
+        println!(
+            "aborted: {:?}; undo ops applied: {}",
+            outcome.aborted, outcome.undo_records_applied
+        );
         let v = db.current_value(0).expect("read");
         println!("r1 after recovery: {:?}", String::from_utf8_lossy(&v[..12]));
         assert_eq!(&v[..12], b"r1-committed", "t_x's migrated update undone");

@@ -26,9 +26,11 @@ fn main() {
     let ty = db.begin(NodeId(2)).expect("begin");
     db.read(ty, record).expect("read");
     println!("t_x (n1) and t_y (n2) both hold a shared lock on record {record}");
-    println!("read-lock log records: n1={} n2={}",
+    println!(
+        "read-lock log records: n1={} n2={}",
         db.logs().log(NodeId(1)).stats().read_lock_records,
-        db.logs().log(NodeId(2)).stats().read_lock_records);
+        db.logs().log(NodeId(2)).stats().read_lock_records
+    );
 
     // n2 acquired last, so the LCB line lives in n2's cache. Crash n2:
     // the LCB — including *n1's* grant — is destroyed.

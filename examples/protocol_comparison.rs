@@ -37,6 +37,8 @@ fn main() {
             actives.len(),
         );
     }
-    println!("\n* aborts = transactions killed by one node crash, out of the in-flight population.");
+    println!(
+        "\n* aborts = transactions killed by one node crash, out of the in-flight population."
+    );
     println!("  FA-only kills everyone; the IFA protocols kill exactly the crashed node's three.");
 }

@@ -19,7 +19,11 @@ fn main() {
     println!("nodes:                {}", cfg.nodes);
     println!("cache line size:      {} B", cfg.line_size);
     println!("page size:            {} B", cfg.line_size * cfg.lines_per_page);
-    println!("records:              {} ({} per cache line)", cfg.records, cfg.line_size / (cfg.rec_data_size + 2));
+    println!(
+        "records:              {} ({} per cache line)",
+        cfg.records,
+        cfg.line_size / (cfg.rec_data_size + 2)
+    );
     println!("recovery protocol:    {:?} (LBM: {:?})", cfg.protocol, cfg.protocol.lbm_mode());
     println!("coherence:            {:?}", cfg.coherence);
     let mut db = SmDb::new(cfg);
@@ -63,9 +67,17 @@ fn main() {
     println!("record 0: {:?}", String::from_utf8_lossy(&db.current_value(0).expect("read")[..9]));
     println!("record 2: {:?}", String::from_utf8_lossy(&db.current_value(2).expect("read")[..8]));
     let live = db.index_scan(NodeId(0)).expect("scan");
-    println!("index live keys: {:?} (the uncommitted 42 was undone)", live.iter().map(|(k, _)| *k).collect::<Vec<_>>());
+    println!(
+        "index live keys: {:?} (the uncommitted 42 was undone)",
+        live.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+    );
 
     let s = db.stats();
     println!("\n=== engine stats ===");
-    println!("commits: {}  crash aborts: {}  log forces: {}", s.commits, s.crash_aborts, db.total_log_forces());
+    println!(
+        "commits: {}  crash aborts: {}  log forces: {}",
+        s.commits,
+        s.crash_aborts,
+        db.total_log_forces()
+    );
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full CI gate, runnable offline: the workspace resolves every third-party
+# dependency to the stand-ins under vendor/, so no network or crates.io
+# cache is needed. Mirrors .github/workflows/ci.yml.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== rustfmt =="
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all --check
+else
+    echo "rustfmt not installed; skipping"
+fi
+
+echo "== clippy =="
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping"
+fi
+
+echo "CI OK"

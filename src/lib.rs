@@ -8,6 +8,7 @@
 pub use smdb_btree as btree;
 pub use smdb_core as core;
 pub use smdb_lock as lock;
+pub use smdb_obs as obs;
 pub use smdb_sim as sim;
 pub use smdb_storage as storage;
 pub use smdb_wal as wal;

@@ -1,0 +1,136 @@
+//! Cross-layer observability: one global sequence numbering means events
+//! from the coherence, lock, WAL, and recovery layers can be causally
+//! ordered against each other on a single timeline.
+
+use smdb::core::{DbConfig, ProtocolKind, SmDb};
+use smdb::obs::{Event, ForceReason, Record};
+use smdb::sim::NodeId;
+
+/// Two uncommitted updates to records co-located in cache line 0, from
+/// different nodes, under Stable-Triggered LBM — the second update
+/// migrates the first updater's active line, forcing its log.
+fn contended_line_scenario(enable_obs: bool) -> (SmDb, Vec<Record>) {
+    let mut db = SmDb::new(DbConfig::small(4, ProtocolKind::StableTriggered));
+    if enable_obs {
+        db.observability().enable(8192);
+    }
+    let t0 = db.begin(NodeId(0)).unwrap();
+    db.update(t0, 0, b"alice=100").unwrap();
+    let t1 = db.begin(NodeId(1)).unwrap();
+    db.update(t1, 1, b"bob=50").unwrap();
+    db.commit(t0).unwrap();
+    let records = db.observability().bus.snapshot();
+    (db, records)
+}
+
+fn seq_of(records: &[Record], what: &str, pred: impl Fn(&Event) -> bool) -> u64 {
+    records
+        .iter()
+        .find(|r| pred(&r.event))
+        .unwrap_or_else(|| panic!("no {what} event on the bus"))
+        .seq
+}
+
+#[test]
+fn crash_timeline_is_causally_ordered_across_layers() {
+    let (mut db, records) = contended_line_scenario(true);
+
+    // The §5.2 causal chain, under one sequence numbering: node 0 line-
+    // locks line 0 for its update; node 1's later acquisition of the same
+    // line would migrate the active line, so the trigger forces node 0's
+    // log (LbmTriggeredForce + WalForce) *before* node 1's LineLock.
+    let lock0 =
+        seq_of(&records, "LineLock(n0,l0)", |e| matches!(e, Event::LineLock { node: 0, line: 0 }));
+    let trigger = seq_of(&records, "LbmTriggeredForce(owner 0,l0)", |e| {
+        matches!(e, Event::LbmTriggeredForce { owner: 0, line: 0 })
+    });
+    let force = seq_of(&records, "WalForce(n0,Lbm)", |e| {
+        matches!(e, Event::WalForce { node: 0, reason: ForceReason::Lbm, .. })
+    });
+    let lock1 =
+        seq_of(&records, "LineLock(n1,l0)", |e| matches!(e, Event::LineLock { node: 1, line: 0 }));
+    assert!(lock0 < trigger, "owner's lock ({lock0}) precedes the trigger ({trigger})");
+    assert!(trigger < force, "trigger ({trigger}) precedes the log force ({force})");
+    assert!(force < lock1, "log forced ({force}) before the taker's lock ({lock1})");
+
+    // Forced records are counted: the update wrote >= 1 log record.
+    let forced = records
+        .iter()
+        .find_map(|r| match r.event {
+            Event::WalForce { node: 0, records, reason: ForceReason::Lbm } => Some(records),
+            _ => None,
+        })
+        .unwrap();
+    assert!(forced >= 1, "the triggered force made {forced} records durable");
+
+    // Crash node 1 and recover: the tail of the same timeline carries the
+    // crash and the recovery phases, still in order.
+    let outcome = db.crash_and_recover(&[NodeId(1)]).unwrap();
+    db.check_ifa(NodeId(0)).assert_ok();
+    let records = db.observability().bus.snapshot();
+
+    let crash = seq_of(&records, "CrashInjected", |e| matches!(e, Event::CrashInjected { .. }));
+    let begin = seq_of(&records, "RecoveryBegin", |e| matches!(e, Event::RecoveryBegin { .. }));
+    let end = seq_of(&records, "RecoveryEnd", |e| matches!(e, Event::RecoveryEnd { .. }));
+    assert!(lock1 < crash && crash < begin && begin < end);
+
+    // Phase begin/end events nest between RecoveryBegin and RecoveryEnd,
+    // in the canonical phase order.
+    let phase_names: Vec<&str> = records
+        .iter()
+        .filter(|r| r.seq > begin && r.seq < end)
+        .filter_map(|r| match r.event {
+            Event::RecoveryPhaseBegin { phase } => Some(phase),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        phase_names,
+        ["stable_undo", "reinstall", "cache_discard", "redo", "undo", "lock_recovery", "txn_table"]
+    );
+
+    // The outcome's phase timings mirror the bus events.
+    let timed: Vec<&str> = outcome.phases.iter().map(|p| p.phase).collect();
+    assert_eq!(timed, phase_names);
+    let phase_sum: u64 = outcome.phases.iter().map(|p| p.sim_cycles).sum();
+    assert!(
+        phase_sum <= outcome.recovery_cycles,
+        "phases ({phase_sum}) are sub-spans of the whole recovery ({})",
+        outcome.recovery_cycles
+    );
+}
+
+#[test]
+fn metrics_cover_every_layer() {
+    let (mut db, _) = contended_line_scenario(true);
+    db.crash_and_recover(&[NodeId(1)]).unwrap();
+    let obs = db.observability();
+
+    for h in
+        ["lock.hold_cycles", "wal.force_records", "engine.update_cycles", "recovery.total_cycles"]
+    {
+        let snap = obs.metrics.histogram(h).unwrap_or_else(|| panic!("histogram {h} missing"));
+        assert!(snap.count >= 1, "{h} has samples");
+    }
+    // Per-phase histograms exist for all seven phases.
+    for p in
+        ["stable_undo", "reinstall", "cache_discard", "redo", "undo", "lock_recovery", "txn_table"]
+    {
+        let name = format!("recovery.phase.{p}");
+        assert!(obs.metrics.histogram(&name).is_some(), "{name} missing");
+    }
+    let csv = obs.metrics.snapshot().to_csv();
+    assert!(csv.contains("histogram,recovery.total_cycles,"));
+}
+
+#[test]
+fn disabled_observability_records_nothing_but_phases_still_time() {
+    let (mut db, records) = contended_line_scenario(false);
+    assert!(records.is_empty(), "disabled bus buffers no events");
+    let outcome = db.crash_and_recover(&[NodeId(1)]).unwrap();
+    assert_eq!(db.observability().bus.len(), 0);
+    assert!(db.observability().metrics.histogram("lock.hold_cycles").is_none());
+    // Phase timings feed the E3 bench report, so they are captured even
+    // with observability off.
+    assert_eq!(outcome.phases.len(), 7);
+}

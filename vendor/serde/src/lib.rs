@@ -1,0 +1,27 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access and no vendored registry,
+//! so this workspace ships a minimal serde facade: the two marker traits
+//! and no-op derive macros. Nothing in the repo performs actual
+//! serialization through serde (CSV/JSON exports are hand-rolled in
+//! `smdb-obs` and the report binary); the derives exist so that type
+//! definitions keep their upstream-compatible `#[derive(Serialize,
+//! Deserialize)]` annotations and can switch to real serde unchanged once
+//! a vendored copy is available.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of serde's `de` module, for `serde::de::DeserializeOwned` paths.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,52 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! offline serde stand-in (see `vendor/serde`). They emit empty marker
+//! impls — just enough for derive annotations on plain (non-generic)
+//! structs and enums to compile unchanged against the real serde API
+//! surface used in this repo.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the name of the struct/enum a derive is attached to.
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(n)) => n.to_string(),
+                        other => panic!("derive: expected type name, got {other:?}"),
+                    };
+                    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                        panic!(
+                            "the offline serde derive stub does not support generic type `{name}`"
+                        );
+                    }
+                    return name;
+                }
+                // `pub`, `pub(crate)`, doc idents etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("derive: no struct/enum found in input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().expect("valid impl tokens")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
