@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use smdb_core::{DbConfig, ProtocolKind, SmDb};
 use smdb_obs::{Event, Obs};
-use smdb_sim::NodeId;
+use smdb_sim::{LineId, Machine, NodeId, SimConfig, METRIC_BUF_REUSE, METRIC_INDEX_PROBES};
 use std::hint::black_box;
 
 fn bench_obs_overhead(c: &mut Criterion) {
@@ -23,6 +23,19 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.bench_function("metrics_observe_disabled", |b| {
         b.iter(|| obs.metrics.observe("bench.lat", black_box(42)))
     });
+    // The flat-simulator hot-path counters (`sim.index_probes`,
+    // `sim.buf_reuse`) use exactly these two registry entry points from
+    // `Machine::slot_of` and `Machine::alloc_slot`. While observability
+    // is disabled they must cost one relaxed atomic load + branch — the
+    // counter name is never hashed and no lock is taken — so these two
+    // benches must track `metrics_observe_disabled` (sub-nanosecond),
+    // not the `*_enabled` variants below.
+    group.bench_function("metrics_add_index_probes_disabled", |b| {
+        b.iter(|| obs.metrics.add(METRIC_INDEX_PROBES, black_box(3)))
+    });
+    group.bench_function("metrics_inc_buf_reuse_disabled", |b| {
+        b.iter(|| obs.metrics.inc(black_box(METRIC_BUF_REUSE)))
+    });
 
     obs.enable(4096);
     group.bench_function("bus_emit_enabled", |b| {
@@ -35,6 +48,28 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.bench_function("metrics_observe_enabled", |b| {
         b.iter(|| obs.metrics.observe("bench.lat", black_box(42)))
     });
+
+    // The same sites measured in situ: a cached-line read goes through
+    // `slot_of` (index-probe emission) on every access. Disabled vs
+    // enabled isolates the per-read cost of the counter pair.
+    for (label, enable) in [("sim_read_obs_disabled", false), ("sim_read_obs_enabled", true)] {
+        let mut m = Machine::new(SimConfig::new(2));
+        if enable {
+            m.obs().enable(4096);
+        }
+        for l in 0..64u64 {
+            m.create_line_at(NodeId(0), LineId(l), &[0]).expect("create");
+        }
+        let mut buf = [0u8; 1];
+        let mut l = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                l = (l + 1) % 64;
+                m.read_into(NodeId(0), LineId(black_box(l)), 0, &mut buf).expect("read");
+                black_box(buf[0]);
+            })
+        });
+    }
 
     // End-to-end: the same committed single-update transaction with
     // instrumentation off and on (every layer's emission sites run).

@@ -3,400 +3,661 @@
 //! ```text
 //! cargo run -p smdb-bench --bin report --release              # everything
 //! cargo run -p smdb-bench --bin report --release -- --table1  # one artifact
+//! cargo run -p smdb-bench --bin report --release -- --jobs 4  # parallel
 //! ```
 //!
-//! Flags: `--table1 --e1 --e2 --e3 --e4 --e5 --e6 --e7 --e8 --e9 --e10 --fast`
+//! Flags: `--table1 --e1 --e2 --e3 --e4 --e5 --e6 --e7 --e8 --e9 --e10
+//! --fast --csv --jobs N --json [PATH]`
+//!
+//! Every experiment is a deterministic, independent *cell*; `--jobs N`
+//! fans the cells across N OS threads and merges stdout sections and CSV
+//! artifacts in the fixed submission order, so the report and `results/`
+//! CSVs are byte-identical to a sequential run. `--json` additionally
+//! writes a machine-readable `BENCH_report.json` trajectory record
+//! (per-cell wall-clock, engine cycles/op where the experiment measures
+//! one, peak RSS).
 
 use smdb_bench as x;
-use std::io::Write;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// One CSV artifact produced by a cell, written under `results/` by the
+/// merge step (in cell order, so `--csv` output is identical under any
+/// `--jobs`).
+struct CsvArtifact {
+    name: &'static str,
+    header: &'static str,
+    rows: Vec<String>,
+}
+
+/// The rendered output of one experiment cell.
+struct Section {
+    text: String,
+    csvs: Vec<CsvArtifact>,
+    /// A representative engine cycles-per-operation figure, when the
+    /// experiment measures one (recorded in BENCH_report.json).
+    cycles_per_op: Option<u64>,
+}
+
+impl Section {
+    fn text_only(text: String) -> Section {
+        Section { text, csvs: Vec::new(), cycles_per_op: None }
+    }
+}
+
+/// An experiment cell: a name plus a deterministic closure producing its
+/// section. Cells never touch stdout/stderr or the filesystem — the
+/// harness owns all output ordering.
+struct Cell {
+    name: &'static str,
+    run: Box<dyn FnOnce() -> Section + Send>,
+}
+
+/// A finished cell with its timing, ready for the merge step.
+struct CellResult {
+    name: &'static str,
+    section: Section,
+    wall_ms: f64,
+}
 
 fn want(args: &[String], flag: &str) -> bool {
-    let explicit: Vec<&String> =
-        args.iter().filter(|a| a.starts_with("--") && *a != "--fast" && *a != "--csv").collect();
+    let explicit: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            a.starts_with("--")
+                && *a != "--fast"
+                && *a != "--csv"
+                && !a.starts_with("--jobs")
+                && !a.starts_with("--json")
+        })
+        .collect();
     explicit.is_empty() || args.iter().any(|a| a == flag)
 }
 
-/// Write one CSV artifact under `results/` when `--csv` is passed.
-fn csv(enabled: bool, name: &str, header: &str, rows: &[String]) {
-    if !enabled {
-        return;
+/// Parse `--flag N` / `--flag=N`; `missing` when absent, `bare` when the
+/// flag appears without a value.
+fn flag_value(
+    args: &[String],
+    flag: &str,
+    missing: Option<String>,
+    bare: String,
+) -> Option<String> {
+    let eq = format!("{flag}=");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v.to_string());
+        }
+        if a == flag {
+            return match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => Some(v.clone()),
+                _ => Some(bare),
+            };
+        }
     }
+    missing
+}
+
+/// Write one CSV artifact under `results/`.
+fn write_csv(a: &CsvArtifact) {
     std::fs::create_dir_all("results").expect("create results/");
-    let path = format!("results/{name}.csv");
+    let path = format!("results/{}.csv", a.name);
     let mut f = std::fs::File::create(&path).expect("create csv");
-    writeln!(f, "{header}").expect("write header");
-    for row in rows {
+    writeln!(f, "{}", a.header).expect("write header");
+    for row in &a.rows {
         writeln!(f, "{row}").expect("write row");
     }
     eprintln!("wrote {path}");
+}
+
+/// Write the machine-readable bench-trajectory record.
+fn write_json_report(
+    path: &str,
+    jobs: usize,
+    fast: bool,
+    total_wall_ms: f64,
+    cells: &[CellResult],
+) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"smdb-bench-report/v1\",\n");
+    let _ = writeln!(s, "  \"jobs\": {jobs},");
+    let _ = writeln!(s, "  \"fast\": {fast},");
+    let _ = writeln!(s, "  \"total_wall_ms\": {total_wall_ms:.3},");
+    match x::peak_rss_kb() {
+        Some(kb) => {
+            let _ = writeln!(s, "  \"peak_rss_kb\": {kb},");
+        }
+        None => {
+            let _ = writeln!(s, "  \"peak_rss_kb\": null,");
+        }
+    }
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let cyc = match c.section.cycles_per_op {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"cycles_per_op\": {}}}{}",
+            x::json_escape(c.name),
+            c.wall_ms,
+            cyc,
+            comma
+        );
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).expect("write json report");
+    eprintln!("wrote {path}");
+}
+
+fn table1_cell(t1_txns: usize) -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let _ = writeln!(p, "== Table 1: incremental overheads of protocols ensuring IFA ==");
+    let _ = writeln!(
+        p,
+        "   workload: TP1 debit-credit, 8 nodes, {t1_txns} transactions, history index\n"
+    );
+    let rows = x::table1_overheads(t1_txns);
+    let _ = writeln!(
+        p,
+        "{:<24} {:>10} {:>10} {:>9} {:>10} {:>9}",
+        "protocol", "structural", "read-lock", "undo-tag", "LBM", "committed"
+    );
+    let _ = writeln!(
+        p,
+        "{:<24} {:>10} {:>10} {:>9} {:>10} {:>9}",
+        "", "early-cmts", "log recs", "writes", "forces", "txns"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            p,
+            "{:<24} {:>10} {:>10} {:>9} {:>10} {:>9}",
+            r.protocol,
+            r.structural_early_commits,
+            r.read_lock_records,
+            r.undo_tag_writes,
+            r.lbm_forces,
+            r.committed
+        );
+    }
+    let csvs = vec![CsvArtifact {
+        name: "table1",
+        header: "protocol,structural_early_commits,read_lock_records,undo_tag_writes,lbm_forces,commit_forces,committed",
+        rows: rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},{},{},{},{},{}",
+                    r.protocol,
+                    r.structural_early_commits,
+                    r.read_lock_records,
+                    r.undo_tag_writes,
+                    r.lbm_forces,
+                    r.commit_forces,
+                    r.committed
+                )
+            })
+            .collect(),
+    }];
+    let _ = writeln!(
+        p,
+        "\n   paper's checkmark matrix (✓ = overhead incurred), derived from the counts:"
+    );
+    let _ = writeln!(
+        p,
+        "{:<32} {:>12} {:>18} {:>12}",
+        "overhead", "Stable LBM", "Vol.+SelectiveRedo", "Vol.+RedoAll"
+    );
+    let find = |s: &str| rows.iter().find(|r| r.protocol.contains(s)).expect("row");
+    let sel = find("VolatileSelective");
+    let all = find("VolatileRedoAll");
+    let stable = find("StableTriggered");
+    let mark = |v: u64| if v > 0 { "✓" } else { "—" };
+    let _ = writeln!(
+        p,
+        "{:<32} {:>12} {:>18} {:>12}",
+        "early commit of structural chgs",
+        mark(stable.structural_early_commits),
+        mark(sel.structural_early_commits),
+        mark(all.structural_early_commits)
+    );
+    let _ = writeln!(
+        p,
+        "{:<32} {:>12} {:>18} {:>12}",
+        "logging of read locks",
+        mark(stable.read_lock_records),
+        mark(sel.read_lock_records),
+        mark(all.read_lock_records)
+    );
+    let _ = writeln!(
+        p,
+        "{:<32} {:>12} {:>18} {:>12}",
+        "undo tagging",
+        mark(stable.undo_tag_writes),
+        mark(sel.undo_tag_writes),
+        mark(all.undo_tag_writes)
+    );
+    let _ = writeln!(
+        p,
+        "{:<32} {:>12} {:>18} {:>12}",
+        "higher frequency of log forces",
+        mark(stable.lbm_forces),
+        mark(sel.lbm_forces),
+        mark(all.lbm_forces)
+    );
+    let _ = writeln!(p);
+    Section { text: s, csvs, cycles_per_op: None }
+}
+
+fn e1_cell() -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let _ = writeln!(p, "== E1 (§5.1): line-lock acquisition latency vs contention ==");
+    let _ = writeln!(p, "   paper (KSR-1 measurements): <10 µs uncontended, <40 µs at 32-way\n");
+    let _ = writeln!(p, "{:>10} {:>12} {:>12}", "contenders", "mean (µs)", "max (µs)");
+    let pts = x::e1_line_lock_contention(32);
+    for pt in &pts {
+        if [1, 2, 4, 8, 16, 24, 32].contains(&pt.contenders) {
+            let _ = writeln!(p, "{:>10} {:>12.2} {:>12.2}", pt.contenders, pt.mean_us, pt.max_us);
+        }
+    }
+    let csvs = vec![CsvArtifact {
+        name: "e1_line_lock",
+        header: "contenders,mean_us,max_us",
+        rows: pts
+            .iter()
+            .map(|pt| format!("{},{},{}", pt.contenders, pt.mean_us, pt.max_us))
+            .collect(),
+    }];
+    let _ = writeln!(p);
+    Section { text: s, csvs, cycles_per_op: None }
+}
+
+fn e2_cell(fast: bool) -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let _ = writeln!(p, "== E2 (§1/§3.3): transactions aborted by a single node crash ==");
+    let _ = writeln!(p, "   (per-node active txns: 3; the paper's motivation — at KSR-1 scale a");
+    let _ = writeln!(p, "    single failure would otherwise affect thousands of transactions)\n");
+    let sizes: &[u16] = if fast { &[2, 8, 32] } else { &[2, 8, 32, 128, 1088] };
+    let _ = writeln!(
+        p,
+        "{:>6} {:>8} {:>16} {:>12} {:>8}",
+        "nodes", "active", "FA-only aborts", "IFA aborts", "saved"
+    );
+    let pts = x::e2_abort_counts(sizes, 3);
+    for pt in &pts {
+        let _ = writeln!(
+            p,
+            "{:>6} {:>8} {:>16} {:>12} {:>7}x",
+            pt.nodes,
+            pt.active,
+            pt.fa_only_aborts,
+            pt.ifa_aborts,
+            pt.fa_only_aborts / pt.ifa_aborts.max(1)
+        );
+    }
+    let csvs = vec![CsvArtifact {
+        name: "e2_abort_counts",
+        header: "nodes,active,fa_only_aborts,ifa_aborts",
+        rows: pts
+            .iter()
+            .map(|pt| format!("{},{},{},{}", pt.nodes, pt.active, pt.fa_only_aborts, pt.ifa_aborts))
+            .collect(),
+    }];
+    let _ = writeln!(p);
+    Section { text: s, csvs, cycles_per_op: None }
+}
+
+fn e3_cell(mix_txns: usize) -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let _ = writeln!(p, "== E3 (§4.1.2): Redo All vs Selective Redo recovery cost ==\n");
+    let _ = writeln!(
+        p,
+        "{:<24} {:>8} {:>8} {:>9} {:>8} {:>12} {:>7}",
+        "protocol", "sharing", "redo", "skipped", "undo", "rec cycles", "lost"
+    );
+    let pts = x::e3_recovery_cost(mix_txns, &[0.1, 0.5, 0.9]);
+    for pt in &pts {
+        let _ = writeln!(
+            p,
+            "{:<24} {:>8.1} {:>8} {:>9} {:>8} {:>12} {:>7}",
+            pt.protocol,
+            pt.sharing,
+            pt.redo_applied,
+            pt.redo_skipped_cached,
+            pt.undo_applied,
+            pt.recovery_cycles,
+            pt.lost_lines
+        );
+    }
+    let _ = writeln!(p, "\n   per-phase breakdown of recovery cycles (IFA restart phases):\n");
+    let _ = writeln!(
+        p,
+        "{:<24} {:>8} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "protocol",
+        "sharing",
+        "st-undo",
+        "reinstall",
+        "discard",
+        "redo",
+        "undo",
+        "locks",
+        "txn-tbl"
+    );
+    for pt in &pts {
+        let _ = writeln!(
+            p,
+            "{:<24} {:>8.1} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            pt.protocol,
+            pt.sharing,
+            pt.phase_stable_undo,
+            pt.phase_reinstall,
+            pt.phase_cache_discard,
+            pt.phase_redo,
+            pt.phase_undo,
+            pt.phase_lock_recovery,
+            pt.phase_txn_table
+        );
+    }
+    let csvs = vec![CsvArtifact {
+        name: "e3_recovery_cost",
+        header: "protocol,sharing,redo_applied,redo_skipped_cached,undo_applied,recovery_cycles,lost_lines,\
+             phase_stable_undo_cycles,phase_reinstall_cycles,phase_cache_discard_cycles,phase_redo_cycles,\
+             phase_undo_cycles,phase_lock_recovery_cycles,phase_txn_table_cycles",
+        rows: pts
+            .iter()
+            .map(|pt| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    pt.protocol,
+                    pt.sharing,
+                    pt.redo_applied,
+                    pt.redo_skipped_cached,
+                    pt.undo_applied,
+                    pt.recovery_cycles,
+                    pt.lost_lines,
+                    pt.phase_stable_undo,
+                    pt.phase_reinstall,
+                    pt.phase_cache_discard,
+                    pt.phase_redo,
+                    pt.phase_undo,
+                    pt.phase_lock_recovery,
+                    pt.phase_txn_table
+                )
+            })
+            .collect(),
+    }];
+    let _ = writeln!(p);
+    Section { text: s, csvs, cycles_per_op: None }
+}
+
+fn e4_cell(mix_txns: usize) -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let _ = writeln!(p, "== E4 (§5.2/§7): log-force frequency by LBM policy and sharing rate ==\n");
+    let _ = writeln!(
+        p,
+        "{:<24} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}",
+        "protocol", "sharing", "forces", "commit", "LBM", "txns", "cyc/txn"
+    );
+    let pts = x::e4_log_forces(mix_txns, &[0.0, 0.5, 1.0], false);
+    for pt in &pts {
+        let _ = writeln!(
+            p,
+            "{:<24} {:>8.1} {:>8} {:>8} {:>8} {:>8} {:>12}",
+            pt.protocol,
+            pt.sharing,
+            pt.total_forces,
+            pt.commit_forces,
+            pt.lbm_forces,
+            pt.committed,
+            pt.cycles_per_txn
+        );
+    }
+    // BENCH_report.json trajectory figure: mean engine cycles per
+    // committed transaction across the policy × sharing grid.
+    let cycles_per_op = if pts.is_empty() {
+        None
+    } else {
+        Some(pts.iter().map(|pt| pt.cycles_per_txn).sum::<u64>() / pts.len() as u64)
+    };
+    let csvs = vec![CsvArtifact {
+        name: "e4_log_forces",
+        header: "protocol,sharing,total_forces,commit_forces,lbm_forces,committed,cycles_per_txn",
+        rows: pts
+            .iter()
+            .map(|pt| {
+                format!(
+                    "{},{},{},{},{},{},{}",
+                    pt.protocol,
+                    pt.sharing,
+                    pt.total_forces,
+                    pt.commit_forces,
+                    pt.lbm_forces,
+                    pt.committed,
+                    pt.cycles_per_txn
+                )
+            })
+            .collect(),
+    }];
+    let _ = writeln!(p, "\n   ablation: NVRAM log device (§7: Stable LBM becomes affordable)\n");
+    let _ = writeln!(p, "{:<24} {:>8} {:>8} {:>12}", "protocol", "sharing", "forces", "cyc/txn");
+    for pt in x::e4_log_forces(mix_txns, &[0.5], true) {
+        let _ = writeln!(
+            p,
+            "{:<24} {:>8.1} {:>8} {:>12}",
+            pt.protocol, pt.sharing, pt.total_forces, pt.cycles_per_txn
+        );
+    }
+    let _ = writeln!(p);
+    Section { text: s, csvs, cycles_per_op }
+}
+
+fn e5_cell(mix_txns: usize) -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let _ = writeln!(p, "== E5 (§7): write-invalidate vs write-broadcast recovery demands ==\n");
+    let _ = writeln!(
+        p,
+        "{:<18} {:>7} {:>7} {:>7} {:>14}",
+        "coherence", "lost", "redo", "undo", "traffic (msgs)"
+    );
+    for pt in x::e5_coherence_comparison(mix_txns) {
+        let _ = writeln!(
+            p,
+            "{:<18} {:>7} {:>7} {:>7} {:>14}",
+            pt.coherence, pt.lost_lines, pt.redo_applied, pt.undo_applied, pt.coherence_traffic
+        );
+    }
+    let _ = writeln!(p);
+    Section::text_only(s)
+}
+
+fn e6_cell(mix_txns: usize) -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let _ = writeln!(p, "== E6 (§6): update-protocol cost, line locks vs semaphores ==\n");
+    let _ = writeln!(
+        p,
+        "{:<14} {:>12} {:>14} {:>18}",
+        "primitive", "cyc/txn", "µs per update", "crit. section µs"
+    );
+    let pts = x::e6_update_protocol(mix_txns);
+    for pt in &pts {
+        let _ = writeln!(
+            p,
+            "{:<14} {:>12} {:>14.2} {:>18.2}",
+            pt.primitive, pt.cycles_per_txn, pt.us_per_update, pt.critical_section_us
+        );
+    }
+    let cycles_per_op = pts.first().map(|pt| pt.cycles_per_txn);
+    let _ = writeln!(p);
+    Section { text: s, csvs: Vec::new(), cycles_per_op }
+}
+
+fn e7_cell() -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let _ = writeln!(p, "== E7 (§4.2.2): lock-space recovery after a node crash ==\n");
+    let _ = writeln!(
+        p,
+        "{:<28} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "LCB layout", "lines", "released", "rebuilt", "restored", "promoted"
+    );
+    for pt in x::e7_lock_recovery(4) {
+        let _ = writeln!(
+            p,
+            "{:<28} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            pt.layout,
+            pt.lines_reinstalled,
+            pt.crashed_entries_released,
+            pt.lcbs_reconstructed,
+            pt.survivor_entries_restored,
+            pt.promotions
+        );
+    }
+    let _ = writeln!(p);
+    Section::text_only(s)
+}
+
+fn e9_cell(mix_txns: usize) -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let _ = writeln!(p, "== E9 (§3.1 ablation): record co-location per cache line ==\n");
+    let _ = writeln!(
+        p,
+        "{:>9} {:>9} {:>12} {:>7} {:>13} {:>11}",
+        "recs/line", "rec size", "ww traffic", "lost", "recovery ops", "B/rec slot"
+    );
+    for pt in x::e9_colocation(mix_txns) {
+        let _ = writeln!(
+            p,
+            "{:>9} {:>9} {:>12} {:>7} {:>13} {:>11}",
+            pt.records_per_line,
+            pt.rec_data_size,
+            pt.coherence_traffic,
+            pt.lost_lines,
+            pt.recovery_work,
+            pt.bytes_per_record_slot
+        );
+    }
+    let _ = writeln!(p);
+    Section::text_only(s)
+}
+
+fn e8_cell(mix_txns: usize) -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let _ = writeln!(p, "== E8 (§4.2.1): B-tree recovery ==\n");
+    let pt = x::e8_btree_recovery(mix_txns);
+    let _ = writeln!(p, "committed index ops:        {}", pt.committed_ops);
+    let _ = writeln!(p, "structural early commits:   {}", pt.structural_changes);
+    let _ = writeln!(p, "tree pages reinstalled:     {}", pt.pages_reinstalled);
+    let _ = writeln!(p, "index redo ops applied:     {}", pt.index_redo_applied);
+    let _ = writeln!(p, "index undo ops applied:     {}", pt.index_undo_applied);
+    let _ = writeln!(p);
+    Section::text_only(s)
+}
+
+fn e10_cell() -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let _ = writeln!(p, "== E10 (§9 extension): parallel transactions widen the blast radius ==");
+    let _ = writeln!(p, "   (8 nodes, 2 active txns homed per node, crash one node)\n");
+    let _ = writeln!(p, "{:>5} {:>8} {:>9} {:>14}", "fan", "active", "aborted", "kill fraction");
+    for pt in x::e10_parallel_blast_radius(2) {
+        let _ = writeln!(
+            p,
+            "{:>5} {:>8} {:>9} {:>13.0}%",
+            pt.fan,
+            pt.active,
+            pt.aborted,
+            pt.kill_fraction * 100.0
+        );
+    }
+    let _ = writeln!(p);
+    Section::text_only(s)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let csv_on = args.iter().any(|a| a == "--csv");
+    let jobs: usize = flag_value(&args, "--jobs", None, "1".into())
+        .map(|v| v.parse().expect("--jobs expects a number"))
+        .unwrap_or(1)
+        .max(1);
+    let json_path = flag_value(&args, "--json", None, "BENCH_report.json".into());
     let (t1_txns, mix_txns) = if fast { (120, 60) } else { (400, 200) };
 
     println!("smdb experiment report — Recovery Protocols for Shared Memory Database Systems");
     println!("(Molesky & Ramamritham, SIGMOD 1995) — simulated reproduction\n");
 
+    // Assemble the enabled cells in the fixed report order. Every cell is
+    // a pure function of its parameters, so the merge below is
+    // byte-identical for any `--jobs`.
+    let mut cells: Vec<Cell> = Vec::new();
     if want(&args, "--table1") {
-        println!("== Table 1: incremental overheads of protocols ensuring IFA ==");
-        println!("   workload: TP1 debit-credit, 8 nodes, {t1_txns} transactions, history index\n");
-        let rows = x::table1_overheads(t1_txns);
-        println!(
-            "{:<24} {:>10} {:>10} {:>9} {:>10} {:>9}",
-            "protocol", "structural", "read-lock", "undo-tag", "LBM", "committed"
-        );
-        println!(
-            "{:<24} {:>10} {:>10} {:>9} {:>10} {:>9}",
-            "", "early-cmts", "log recs", "writes", "forces", "txns"
-        );
-        for r in &rows {
-            println!(
-                "{:<24} {:>10} {:>10} {:>9} {:>10} {:>9}",
-                r.protocol,
-                r.structural_early_commits,
-                r.read_lock_records,
-                r.undo_tag_writes,
-                r.lbm_forces,
-                r.committed
-            );
-        }
-        csv(
-            csv_on,
-            "table1",
-            "protocol,structural_early_commits,read_lock_records,undo_tag_writes,lbm_forces,commit_forces,committed",
-            &rows
-                .iter()
-                .map(|r| {
-                    format!(
-                        "{},{},{},{},{},{},{}",
-                        r.protocol,
-                        r.structural_early_commits,
-                        r.read_lock_records,
-                        r.undo_tag_writes,
-                        r.lbm_forces,
-                        r.commit_forces,
-                        r.committed
-                    )
-                })
-                .collect::<Vec<_>>(),
-        );
-        println!("\n   paper's checkmark matrix (✓ = overhead incurred), derived from the counts:");
-        println!(
-            "{:<32} {:>12} {:>18} {:>12}",
-            "overhead", "Stable LBM", "Vol.+SelectiveRedo", "Vol.+RedoAll"
-        );
-        let find = |s: &str| rows.iter().find(|r| r.protocol.contains(s)).expect("row");
-        let sel = find("VolatileSelective");
-        let all = find("VolatileRedoAll");
-        let stable = find("StableTriggered");
-        let mark = |v: u64| if v > 0 { "✓" } else { "—" };
-        println!(
-            "{:<32} {:>12} {:>18} {:>12}",
-            "early commit of structural chgs",
-            mark(stable.structural_early_commits),
-            mark(sel.structural_early_commits),
-            mark(all.structural_early_commits)
-        );
-        println!(
-            "{:<32} {:>12} {:>18} {:>12}",
-            "logging of read locks",
-            mark(stable.read_lock_records),
-            mark(sel.read_lock_records),
-            mark(all.read_lock_records)
-        );
-        println!(
-            "{:<32} {:>12} {:>18} {:>12}",
-            "undo tagging",
-            mark(stable.undo_tag_writes),
-            mark(sel.undo_tag_writes),
-            mark(all.undo_tag_writes)
-        );
-        println!(
-            "{:<32} {:>12} {:>18} {:>12}",
-            "higher frequency of log forces",
-            mark(stable.lbm_forces),
-            mark(sel.lbm_forces),
-            mark(all.lbm_forces)
-        );
-        println!();
+        cells.push(Cell { name: "table1", run: Box::new(move || table1_cell(t1_txns)) });
+    }
+    if want(&args, "--e1") {
+        cells.push(Cell { name: "e1_line_lock", run: Box::new(e1_cell) });
+    }
+    if want(&args, "--e2") {
+        cells.push(Cell { name: "e2_abort_counts", run: Box::new(move || e2_cell(fast)) });
+    }
+    if want(&args, "--e3") {
+        cells.push(Cell { name: "e3_recovery_cost", run: Box::new(move || e3_cell(mix_txns)) });
+    }
+    if want(&args, "--e4") {
+        cells.push(Cell { name: "e4_log_forces", run: Box::new(move || e4_cell(mix_txns)) });
+    }
+    if want(&args, "--e5") {
+        cells.push(Cell { name: "e5_coherence", run: Box::new(move || e5_cell(mix_txns)) });
+    }
+    if want(&args, "--e6") {
+        cells.push(Cell { name: "e6_update_protocol", run: Box::new(move || e6_cell(mix_txns)) });
+    }
+    if want(&args, "--e7") {
+        cells.push(Cell { name: "e7_lock_recovery", run: Box::new(e7_cell) });
+    }
+    if want(&args, "--e9") {
+        cells.push(Cell { name: "e9_colocation", run: Box::new(move || e9_cell(mix_txns)) });
+    }
+    if want(&args, "--e8") {
+        cells.push(Cell { name: "e8_btree_recovery", run: Box::new(move || e8_cell(mix_txns)) });
+    }
+    if want(&args, "--e10") {
+        cells.push(Cell { name: "e10_blast_radius", run: Box::new(e10_cell) });
     }
 
-    if want(&args, "--e1") {
-        println!("== E1 (§5.1): line-lock acquisition latency vs contention ==");
-        println!("   paper (KSR-1 measurements): <10 µs uncontended, <40 µs at 32-way\n");
-        println!("{:>10} {:>12} {:>12}", "contenders", "mean (µs)", "max (µs)");
-        let pts = x::e1_line_lock_contention(32);
-        for p in &pts {
-            if [1, 2, 4, 8, 16, 24, 32].contains(&p.contenders) {
-                println!("{:>10} {:>12.2} {:>12.2}", p.contenders, p.mean_us, p.max_us);
+    let t0 = Instant::now();
+    let results: Vec<CellResult> = x::parallel_map(cells, jobs, |_, cell| {
+        let start = Instant::now();
+        let section = (cell.run)();
+        CellResult { name: cell.name, section, wall_ms: start.elapsed().as_secs_f64() * 1e3 }
+    });
+    let total_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Merge step: sections then CSV artifacts, in cell order.
+    for r in &results {
+        print!("{}", r.section.text);
+    }
+    if csv_on {
+        for r in &results {
+            for a in &r.section.csvs {
+                write_csv(a);
             }
         }
-        csv(
-            csv_on,
-            "e1_line_lock",
-            "contenders,mean_us,max_us",
-            &pts.iter()
-                .map(|p| format!("{},{},{}", p.contenders, p.mean_us, p.max_us))
-                .collect::<Vec<_>>(),
-        );
-        println!();
     }
-
-    if want(&args, "--e2") {
-        println!("== E2 (§1/§3.3): transactions aborted by a single node crash ==");
-        println!("   (per-node active txns: 3; the paper's motivation — at KSR-1 scale a");
-        println!("    single failure would otherwise affect thousands of transactions)\n");
-        let sizes: &[u16] = if fast { &[2, 8, 32] } else { &[2, 8, 32, 128, 1088] };
-        println!(
-            "{:>6} {:>8} {:>16} {:>12} {:>8}",
-            "nodes", "active", "FA-only aborts", "IFA aborts", "saved"
-        );
-        let pts = x::e2_abort_counts(sizes, 3);
-        for p in &pts {
-            println!(
-                "{:>6} {:>8} {:>16} {:>12} {:>7}x",
-                p.nodes,
-                p.active,
-                p.fa_only_aborts,
-                p.ifa_aborts,
-                p.fa_only_aborts / p.ifa_aborts.max(1)
-            );
-        }
-        csv(
-            csv_on,
-            "e2_abort_counts",
-            "nodes,active,fa_only_aborts,ifa_aborts",
-            &pts.iter()
-                .map(|p| format!("{},{},{},{}", p.nodes, p.active, p.fa_only_aborts, p.ifa_aborts))
-                .collect::<Vec<_>>(),
-        );
-        println!();
-    }
-
-    if want(&args, "--e3") {
-        println!("== E3 (§4.1.2): Redo All vs Selective Redo recovery cost ==\n");
-        println!(
-            "{:<24} {:>8} {:>8} {:>9} {:>8} {:>12} {:>7}",
-            "protocol", "sharing", "redo", "skipped", "undo", "rec cycles", "lost"
-        );
-        let pts = x::e3_recovery_cost(mix_txns, &[0.1, 0.5, 0.9]);
-        for p in &pts {
-            println!(
-                "{:<24} {:>8.1} {:>8} {:>9} {:>8} {:>12} {:>7}",
-                p.protocol,
-                p.sharing,
-                p.redo_applied,
-                p.redo_skipped_cached,
-                p.undo_applied,
-                p.recovery_cycles,
-                p.lost_lines
-            );
-        }
-        println!("\n   per-phase breakdown of recovery cycles (IFA restart phases):\n");
-        println!(
-            "{:<24} {:>8} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
-            "protocol",
-            "sharing",
-            "st-undo",
-            "reinstall",
-            "discard",
-            "redo",
-            "undo",
-            "locks",
-            "txn-tbl"
-        );
-        for p in &pts {
-            println!(
-                "{:<24} {:>8.1} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
-                p.protocol,
-                p.sharing,
-                p.phase_stable_undo,
-                p.phase_reinstall,
-                p.phase_cache_discard,
-                p.phase_redo,
-                p.phase_undo,
-                p.phase_lock_recovery,
-                p.phase_txn_table
-            );
-        }
-        csv(
-            csv_on,
-            "e3_recovery_cost",
-            "protocol,sharing,redo_applied,redo_skipped_cached,undo_applied,recovery_cycles,lost_lines,\
-             phase_stable_undo_cycles,phase_reinstall_cycles,phase_cache_discard_cycles,phase_redo_cycles,\
-             phase_undo_cycles,phase_lock_recovery_cycles,phase_txn_table_cycles",
-            &pts.iter()
-                .map(|p| {
-                    format!(
-                        "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-                        p.protocol,
-                        p.sharing,
-                        p.redo_applied,
-                        p.redo_skipped_cached,
-                        p.undo_applied,
-                        p.recovery_cycles,
-                        p.lost_lines,
-                        p.phase_stable_undo,
-                        p.phase_reinstall,
-                        p.phase_cache_discard,
-                        p.phase_redo,
-                        p.phase_undo,
-                        p.phase_lock_recovery,
-                        p.phase_txn_table
-                    )
-                })
-                .collect::<Vec<_>>(),
-        );
-        println!();
-    }
-
-    if want(&args, "--e4") {
-        println!("== E4 (§5.2/§7): log-force frequency by LBM policy and sharing rate ==\n");
-        println!(
-            "{:<24} {:>8} {:>8} {:>8} {:>8} {:>8} {:>12}",
-            "protocol", "sharing", "forces", "commit", "LBM", "txns", "cyc/txn"
-        );
-        let pts = x::e4_log_forces(mix_txns, &[0.0, 0.5, 1.0], false);
-        for p in &pts {
-            println!(
-                "{:<24} {:>8.1} {:>8} {:>8} {:>8} {:>8} {:>12}",
-                p.protocol,
-                p.sharing,
-                p.total_forces,
-                p.commit_forces,
-                p.lbm_forces,
-                p.committed,
-                p.cycles_per_txn
-            );
-        }
-        csv(
-            csv_on,
-            "e4_log_forces",
-            "protocol,sharing,total_forces,commit_forces,lbm_forces,committed,cycles_per_txn",
-            &pts.iter()
-                .map(|p| {
-                    format!(
-                        "{},{},{},{},{},{},{}",
-                        p.protocol,
-                        p.sharing,
-                        p.total_forces,
-                        p.commit_forces,
-                        p.lbm_forces,
-                        p.committed,
-                        p.cycles_per_txn
-                    )
-                })
-                .collect::<Vec<_>>(),
-        );
-        println!("\n   ablation: NVRAM log device (§7: Stable LBM becomes affordable)\n");
-        println!("{:<24} {:>8} {:>8} {:>12}", "protocol", "sharing", "forces", "cyc/txn");
-        for p in x::e4_log_forces(mix_txns, &[0.5], true) {
-            println!(
-                "{:<24} {:>8.1} {:>8} {:>12}",
-                p.protocol, p.sharing, p.total_forces, p.cycles_per_txn
-            );
-        }
-        println!();
-    }
-
-    if want(&args, "--e5") {
-        println!("== E5 (§7): write-invalidate vs write-broadcast recovery demands ==\n");
-        println!(
-            "{:<18} {:>7} {:>7} {:>7} {:>14}",
-            "coherence", "lost", "redo", "undo", "traffic (msgs)"
-        );
-        for p in x::e5_coherence_comparison(mix_txns) {
-            println!(
-                "{:<18} {:>7} {:>7} {:>7} {:>14}",
-                p.coherence, p.lost_lines, p.redo_applied, p.undo_applied, p.coherence_traffic
-            );
-        }
-        println!();
-    }
-
-    if want(&args, "--e6") {
-        println!("== E6 (§6): update-protocol cost, line locks vs semaphores ==\n");
-        println!(
-            "{:<14} {:>12} {:>14} {:>18}",
-            "primitive", "cyc/txn", "µs per update", "crit. section µs"
-        );
-        for p in x::e6_update_protocol(mix_txns) {
-            println!(
-                "{:<14} {:>12} {:>14.2} {:>18.2}",
-                p.primitive, p.cycles_per_txn, p.us_per_update, p.critical_section_us
-            );
-        }
-        println!();
-    }
-
-    if want(&args, "--e7") {
-        println!("== E7 (§4.2.2): lock-space recovery after a node crash ==\n");
-        println!(
-            "{:<28} {:>9} {:>9} {:>9} {:>9} {:>9}",
-            "LCB layout", "lines", "released", "rebuilt", "restored", "promoted"
-        );
-        for p in x::e7_lock_recovery(4) {
-            println!(
-                "{:<28} {:>9} {:>9} {:>9} {:>9} {:>9}",
-                p.layout,
-                p.lines_reinstalled,
-                p.crashed_entries_released,
-                p.lcbs_reconstructed,
-                p.survivor_entries_restored,
-                p.promotions
-            );
-        }
-        println!();
-    }
-
-    if want(&args, "--e9") {
-        println!("== E9 (§3.1 ablation): record co-location per cache line ==\n");
-        println!(
-            "{:>9} {:>9} {:>12} {:>7} {:>13} {:>11}",
-            "recs/line", "rec size", "ww traffic", "lost", "recovery ops", "B/rec slot"
-        );
-        for p in x::e9_colocation(mix_txns) {
-            println!(
-                "{:>9} {:>9} {:>12} {:>7} {:>13} {:>11}",
-                p.records_per_line,
-                p.rec_data_size,
-                p.coherence_traffic,
-                p.lost_lines,
-                p.recovery_work,
-                p.bytes_per_record_slot
-            );
-        }
-        println!();
-    }
-
-    if want(&args, "--e8") {
-        println!("== E8 (§4.2.1): B-tree recovery ==\n");
-        let p = x::e8_btree_recovery(mix_txns);
-        println!("committed index ops:        {}", p.committed_ops);
-        println!("structural early commits:   {}", p.structural_changes);
-        println!("tree pages reinstalled:     {}", p.pages_reinstalled);
-        println!("index redo ops applied:     {}", p.index_redo_applied);
-        println!("index undo ops applied:     {}", p.index_undo_applied);
-        println!();
-    }
-
-    if want(&args, "--e10") {
-        println!("== E10 (§9 extension): parallel transactions widen the blast radius ==");
-        println!("   (8 nodes, 2 active txns homed per node, crash one node)\n");
-        println!("{:>5} {:>8} {:>9} {:>14}", "fan", "active", "aborted", "kill fraction");
-        for p in x::e10_parallel_blast_radius(2) {
-            println!(
-                "{:>5} {:>8} {:>9} {:>13.0}%",
-                p.fan,
-                p.active,
-                p.aborted,
-                p.kill_fraction * 100.0
-            );
-        }
-        println!();
+    if let Some(path) = json_path {
+        write_json_report(&path, jobs, fast, total_wall_ms, &results);
     }
 
     println!("done.");

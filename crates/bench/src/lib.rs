@@ -6,5 +6,7 @@
 //! `EXPERIMENTS.md` for paper-vs-measured records.
 
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::*;
+pub use harness::{json_escape, parallel_map, peak_rss_kb};

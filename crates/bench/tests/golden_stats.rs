@@ -1,0 +1,134 @@
+//! Golden-stats equivalence test for the flat-structure refactor.
+//!
+//! Runs the E3 (recovery cost) and E4 (log forces) scenarios on fixed
+//! seeds and serialises every observable statistic — `SimStats`,
+//! `EngineStats`, and the recovery outcome — into a canonical text form,
+//! compared byte-for-byte against a committed fixture. The fixture was
+//! generated from the `BTreeMap`-based simulator, so a passing run proves
+//! the dense slot-array/open-addressed-index hot path is
+//! behaviour-preserving: same coherence traffic, same clock charges, same
+//! recovery work, for the exact workloads the paper reproduction reports.
+//!
+//! Regenerate (only when an *intentional* behaviour change occurs) with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p smdb-bench --test golden_stats
+//! ```
+
+use smdb_core::{DbConfig, ProtocolKind, RecoveryOutcome, SmDb};
+use smdb_sim::NodeId;
+use smdb_workload::{run_mix, spawn_active, MixParams};
+use std::fmt::Write as _;
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/e3_e4_stats.golden")
+}
+
+fn render_outcome(out: &mut String, o: &RecoveryOutcome) {
+    let _ = writeln!(out, "outcome.crashed: {:?}", o.crashed);
+    let _ = writeln!(out, "outcome.aborted: {:?}", o.aborted);
+    let _ = writeln!(out, "outcome.preserved_active: {:?}", o.preserved_active);
+    let _ = writeln!(out, "outcome.lost_lines: {}", o.lost_lines);
+    let _ = writeln!(out, "outcome.redo_applied: {}", o.redo_applied);
+    let _ = writeln!(out, "outcome.redo_skipped_cached: {}", o.redo_skipped_cached);
+    let _ = writeln!(out, "outcome.redo_skipped_stable: {}", o.redo_skipped_stable);
+    let _ = writeln!(out, "outcome.index_redo_applied: {}", o.index_redo_applied);
+    let _ = writeln!(out, "outcome.undo_records_applied: {}", o.undo_records_applied);
+    let _ = writeln!(out, "outcome.tags_cleared: {}", o.tags_cleared);
+    let _ = writeln!(out, "outcome.stable_undo_patches: {}", o.stable_undo_patches);
+    let _ = writeln!(out, "outcome.lock_recovery: {:?}", o.lock_recovery);
+    let _ = writeln!(out, "outcome.btree_recovery: {:?}", o.btree_recovery);
+    let _ = writeln!(out, "outcome.recovery_cycles: {}", o.recovery_cycles);
+    for p in &o.phases {
+        // wall_ns deliberately excluded: host time is not deterministic.
+        let _ = writeln!(out, "outcome.phase.{}: {} cycles", p.phase, p.sim_cycles);
+    }
+}
+
+fn render_db(out: &mut String, db: &SmDb) {
+    let _ = writeln!(out, "sim: {:?}", db.machine().stats());
+    let _ = writeln!(out, "engine: {:?}", db.stats());
+    let _ = writeln!(out, "max_clock: {}", db.machine().max_clock());
+    let _ = writeln!(out, "log_forces: {}", db.total_log_forces());
+}
+
+/// The E3 scenario, verbatim from `smdb_bench::e3_recovery_cost` but with
+/// full stats capture.
+fn golden_e3(out: &mut String) {
+    for sharing in [0.1, 0.9] {
+        for p in [ProtocolKind::VolatileRedoAll, ProtocolKind::VolatileSelectiveRedo] {
+            let _ = writeln!(out, "[e3 protocol={p:?} sharing={sharing}]");
+            let mut db = SmDb::new(DbConfig::bench(8, p));
+            run_mix(
+                &mut db,
+                MixParams { txns: 60, sharing, read_fraction: 0.2, ..Default::default() },
+            );
+            let _ = spawn_active(&mut db, 2, 2, true, 5);
+            let outcome = db.crash_and_recover(&[NodeId(0)]).expect("recovery");
+            db.check_ifa(NodeId(1)).assert_ok();
+            render_outcome(out, &outcome);
+            render_db(out, &db);
+            let _ = writeln!(out);
+        }
+    }
+}
+
+/// The E4 scenario, verbatim from `smdb_bench::e4_log_forces` with full
+/// stats capture (no crash: this pins the normal-operation hot path).
+fn golden_e4(out: &mut String) {
+    for sharing in [0.0, 1.0] {
+        for p in ProtocolKind::ifa_protocols() {
+            let _ = writeln!(out, "[e4 protocol={p:?} sharing={sharing}]");
+            let mut db = SmDb::new(DbConfig::bench(8, p).without_index());
+            let report = run_mix(
+                &mut db,
+                MixParams { txns: 60, sharing, read_fraction: 0.3, ..Default::default() },
+            );
+            let _ = writeln!(out, "committed: {}", report.committed);
+            let _ = writeln!(out, "report_cycles: {}", report.sim_cycles);
+            render_db(out, &db);
+            let _ = writeln!(out);
+        }
+    }
+}
+
+#[test]
+fn golden_e3_e4_stats_equivalence() {
+    let mut got = String::new();
+    golden_e3(&mut got);
+    golden_e4(&mut got);
+
+    let path = fixture_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir fixtures");
+        std::fs::write(&path, &got).expect("write fixture");
+        eprintln!("rewrote {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {} ({e}); run with UPDATE_GOLDEN=1", path.display())
+    });
+    if got != want {
+        // Find the first diverging line for a readable failure.
+        let (mut line_no, mut context) = (0usize, String::new());
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            if g != w {
+                line_no = i + 1;
+                context = format!("got:  {g}\nwant: {w}");
+                break;
+            }
+        }
+        if context.is_empty() {
+            context = format!(
+                "line-count mismatch: got {} lines, fixture {} lines",
+                got.lines().count(),
+                want.lines().count()
+            );
+        }
+        panic!(
+            "golden stats diverged from fixture at line {line_no}:\n{context}\n\
+             (the flat-structure hot path must be behaviour-preserving; \
+             regenerate with UPDATE_GOLDEN=1 only for intentional changes)"
+        );
+    }
+}

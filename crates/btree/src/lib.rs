@@ -32,6 +32,6 @@ mod recovery;
 mod tree;
 
 pub use layout::{BranchRef, LeafEntry, NodeKind, TreeLayout, NULL_TAG, VAL_SIZE};
-pub use pageio::{TreeCtx, FORCE_RECORDS_HISTOGRAM};
+pub use pageio::{LineSpan, TreeCtx, FORCE_RECORDS_HISTOGRAM};
 pub use recovery::BtreeRecoveryStats;
 pub use tree::{BTree, BtreeError, BtreeStats, LeafHit};

@@ -22,6 +22,46 @@ use smdb_wal::{LbmMode, LogSet, Lsn, PageLsnTable};
 /// Histogram of records made durable per physical log force.
 pub const FORCE_RECORDS_HISTOGRAM: &str = "wal.force_records";
 
+/// A contiguous run of cache lines touched by one page write.
+///
+/// Because a page occupies consecutive line addresses
+/// ([`PageGeometry::line_addr`]), the lines covered by any byte range are a
+/// contiguous `LineId` interval — so [`TreeCtx::write`] can describe them
+/// with two words instead of allocating a `Vec<LineId>` per write (the old
+/// hot-path behaviour).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LineSpan {
+    start: u64,
+    count: u32,
+}
+
+impl LineSpan {
+    /// The empty span.
+    pub fn empty() -> Self {
+        LineSpan::default()
+    }
+
+    /// Span covering `count` lines starting at `start`.
+    pub fn new(start: LineId, count: u32) -> Self {
+        LineSpan { start: start.0, count }
+    }
+
+    /// Number of lines covered.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether the span covers no lines.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The covered lines, in address order.
+    pub fn iter(&self) -> impl Iterator<Item = LineId> {
+        (self.start..self.start + self.count as u64).map(LineId)
+    }
+}
+
 /// Mutable context threaded through every tree operation.
 pub struct TreeCtx<'a> {
     /// The coherent shared-memory machine.
@@ -42,6 +82,10 @@ pub struct TreeCtx<'a> {
     /// context's lifetime (feeds the Table 1 "higher frequency of log
     /// forces" accounting).
     pub trigger_forces: u64,
+    /// Reusable page-image buffer for flushes: allocated on first use,
+    /// reused for every subsequent flush through this context (restart's
+    /// Redo-All/Selective-Redo scans flush many pages through one context).
+    scratch: Vec<u8>,
 }
 
 impl<'a> TreeCtx<'a> {
@@ -54,7 +98,7 @@ impl<'a> TreeCtx<'a> {
         lbm: LbmMode,
         gsn: &'a mut u64,
     ) -> Self {
-        TreeCtx { m, db, logs, plt, lbm, gsn, trigger_forces: 0 }
+        TreeCtx { m, db, logs, plt, lbm, gsn, trigger_forces: 0, scratch: Vec::new() }
     }
 
     /// Draw the next global update sequence number.
@@ -121,7 +165,7 @@ impl<'a> TreeCtx<'a> {
     /// Policy hook to run after an update's log record has been appended:
     /// eager forcing under `StableEager`, active-bit marking under
     /// `StableTriggered`, nothing under `Volatile`.
-    pub fn after_update(&mut self, node: NodeId, lines: &[LineId]) {
+    pub fn after_update(&mut self, node: NodeId, spans: &[LineSpan]) {
         match self.lbm {
             LbmMode::Volatile => {}
             LbmMode::StableEager => {
@@ -134,8 +178,8 @@ impl<'a> TreeCtx<'a> {
                 // so the log must be forced now. Only exclusively-held
                 // lines can defer to the coherence trigger.
                 let mut forced = false;
-                for &l in lines {
-                    if self.m.holders(l).len() > 1 {
+                for l in spans.iter().flat_map(LineSpan::iter) {
+                    if self.m.holder_count(l) > 1 {
                         let obs_on = self.m.obs().is_enabled();
                         let pending = if obs_on { self.unforced_records(node) } else { 0 };
                         if !forced && self.logs.log_mut(node).force_all() {
@@ -191,12 +235,13 @@ impl<'a> TreeCtx<'a> {
         if self.m.line_exists(first) {
             return Ok(());
         }
-        // Fault the page in from the stable database.
+        // Fault the page in from the stable database. The stable image is
+        // borrowed directly (`db` and `m` are disjoint fields) — no page
+        // copy is made.
         let img = self
             .db
             .read_page(page)
-            .unwrap_or_else(|| panic!("tree page {page} missing from stable db"))
-            .to_vec();
+            .unwrap_or_else(|| panic!("tree page {page} missing from stable db"));
         let cost = self.m.config().cost.disk_io;
         self.m.advance(node, cost);
         for idx in 0..g.lines_per_page {
@@ -247,10 +292,13 @@ impl<'a> TreeCtx<'a> {
         page: PageId,
         offset: usize,
         bytes: &[u8],
-    ) -> Result<Vec<LineId>, MemError> {
+    ) -> Result<LineSpan, MemError> {
         self.ensure_resident(node, page)?;
         let g = self.geometry();
-        let mut touched = Vec::new();
+        if bytes.is_empty() {
+            return Ok(LineSpan::empty());
+        }
+        let first_idx = offset / g.line_size;
         let mut done = 0;
         while done < bytes.len() {
             let abs = offset + done;
@@ -260,10 +308,10 @@ impl<'a> TreeCtx<'a> {
             let line = LineId(g.line_addr(page, idx));
             self.enforce_trigger(node, line, true);
             self.m.write(node, line, within, &bytes[done..done + chunk])?;
-            touched.push(line);
             done += chunk;
         }
-        Ok(touched)
+        let last_idx = (offset + bytes.len() - 1) / g.line_size;
+        Ok(LineSpan::new(LineId(g.line_addr(page, first_idx)), (last_idx - first_idx + 1) as u32))
     }
 
     /// Record an update to `page` by `node` at `lsn`: writes the Page-LSN
@@ -275,7 +323,7 @@ impl<'a> TreeCtx<'a> {
         node: NodeId,
         page: PageId,
         lsn: Lsn,
-    ) -> Result<Vec<LineId>, MemError> {
+    ) -> Result<LineSpan, MemError> {
         let touched = self.write(node, page, PAGE_LSN_OFFSET, &lsn.0.to_le_bytes())?;
         self.plt.note_update(page, node, lsn);
         Ok(touched)
@@ -309,8 +357,15 @@ impl<'a> TreeCtx<'a> {
                 }
             }
         }
-        let img = self.read_page_image(node, page)?;
+        // Assemble the page image in the reusable scratch buffer (one
+        // allocation per context, not per flush).
+        let ps = self.geometry().page_size();
+        let mut img = std::mem::take(&mut self.scratch);
+        img.clear();
+        img.resize(ps, 0);
+        self.read(node, page, 0, &mut img)?;
         self.db.write_page(page, &img);
+        self.scratch = img;
         let cost = self.m.config().cost.disk_io;
         self.m.advance(node, cost);
         self.plt.page_flushed(page);
@@ -330,7 +385,9 @@ impl<'a> TreeCtx<'a> {
         let g = self.geometry();
         for idx in 0..g.lines_per_page {
             let line = LineId(g.line_addr(page, idx));
-            for holder in self.m.holders(line) {
+            // Discard holders one at a time (the holder slice borrows the
+            // directory, so it is re-fetched after each removal).
+            while let Some(&holder) = self.m.holders(line).first() {
                 let _ = self.m.discard(holder, line);
             }
         }
@@ -339,14 +396,13 @@ impl<'a> TreeCtx<'a> {
     /// (Re)install every line of `page` from the stable image, on
     /// `node`, overwriting lost lines. Recovery-side primitive.
     pub fn install_page_from_stable(&mut self, node: NodeId, page: PageId) -> Result<(), MemError> {
+        let g = self.geometry();
         let img = self
             .db
             .read_page(page)
-            .unwrap_or_else(|| panic!("tree page {page} missing from stable db"))
-            .to_vec();
+            .unwrap_or_else(|| panic!("tree page {page} missing from stable db"));
         let cost = self.m.config().cost.disk_io;
         self.m.advance(node, cost);
-        let g = self.geometry();
         for idx in 0..g.lines_per_page {
             let line = LineId(g.line_addr(page, idx));
             let off = g.line_offset(idx);
@@ -461,15 +517,16 @@ mod tests {
         let mut c = ctx(&mut o, LbmMode::StableTriggered);
         // n0 updates; the engine appends a log record and marks active.
         let touched = c.write(N0, P, 10, &[9]).unwrap();
+        let first = touched.iter().next().unwrap();
         c.logs.append(N0, smdb_wal::LogPayload::Checkpoint);
-        c.after_update(N0, &touched);
-        assert_eq!(c.m.active_owner(touched[0]), Some(N0));
+        c.after_update(N0, &[touched]);
+        assert_eq!(c.m.active_owner(first), Some(N0));
         assert_eq!(c.logs.log(N0).stable_lsn(), Lsn::ZERO);
         // n1 reads the same line: the trigger forces n0's log first.
         let mut buf = [0u8; 1];
         c.read(N1, P, 10, &mut buf).unwrap();
         assert_eq!(c.logs.log(N0).stable_lsn(), Lsn(1), "downgrade forced the log");
-        assert_eq!(c.m.active_owner(touched[0]), None);
+        assert_eq!(c.m.active_owner(first), None);
     }
 
     #[test]
@@ -478,7 +535,7 @@ mod tests {
         let mut c = ctx(&mut o, LbmMode::StableEager);
         let touched = c.write(N0, P, 10, &[9]).unwrap();
         c.logs.append(N0, smdb_wal::LogPayload::Checkpoint);
-        c.after_update(N0, &touched);
+        c.after_update(N0, &[touched]);
         assert_eq!(c.logs.log(N0).stats().forces, 1);
     }
 
@@ -488,7 +545,7 @@ mod tests {
         let mut c = ctx(&mut o, LbmMode::Volatile);
         let touched = c.write(N0, P, 10, &[9]).unwrap();
         c.logs.append(N0, smdb_wal::LogPayload::Checkpoint);
-        c.after_update(N0, &touched);
+        c.after_update(N0, &[touched]);
         let mut buf = [0u8; 1];
         c.read(N1, P, 10, &mut buf).unwrap();
         assert_eq!(c.logs.log(N0).stats().forces, 0);

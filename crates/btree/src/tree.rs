@@ -332,10 +332,10 @@ impl BTree {
         let (h0, h1) = self.layout.header_range();
         let (d0, _) = self.layout.leaf_entry_range(pos);
         let (_, d1) = self.layout.leaf_entry_range(n);
-        let mut touched = ctx.write(node, page, h0, &img[h0..h1])?;
-        touched.extend(ctx.write(node, page, d0, &img[d0..d1])?);
+        let header_span = ctx.write(node, page, h0, &img[h0..h1])?;
+        let data_span = ctx.write(node, page, d0, &img[d0..d1])?;
         ctx.note_update(node, page, lsn)?;
-        ctx.after_update(node, &touched);
+        ctx.after_update(node, &[header_span, data_span]);
         self.stats.inserts += 1;
         Ok(())
     }
@@ -512,7 +512,7 @@ impl BTree {
         e.tag = node.0;
         let touched = self.write_leaf_entry(ctx, node, hit.page, hit.idx, &e)?;
         ctx.note_update(node, hit.page, lsn)?;
-        ctx.after_update(node, &touched);
+        ctx.after_update(node, &[touched]);
         self.stats.deletes += 1;
         Ok(())
     }
@@ -524,7 +524,7 @@ impl BTree {
         page: PageId,
         idx: usize,
         e: &LeafEntry,
-    ) -> Result<Vec<smdb_sim::LineId>, BtreeError> {
+    ) -> Result<crate::pageio::LineSpan, BtreeError> {
         let mut buf = vec![0u8; LEAF_ENTRY_SIZE];
         // Encode into a scratch image region.
         let mut scratch = vec![0u8; self.layout.page_size];

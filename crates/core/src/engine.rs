@@ -17,7 +17,7 @@ use crate::record::{RecordLayout, NULL_TAG, TAG_SIZE};
 use crate::stats::EngineStats;
 use crate::txn::{TxnOp, TxnState, TxnStatus};
 use bytes::Bytes;
-use smdb_btree::{BTree, TreeCtx, FORCE_RECORDS_HISTOGRAM, VAL_SIZE};
+use smdb_btree::{BTree, LineSpan, TreeCtx, FORCE_RECORDS_HISTOGRAM, VAL_SIZE};
 use smdb_lock::{LockManager, LockMode, LockOutcome, LockTable};
 use smdb_obs::{Event as ObsEvent, ForceReason, Obs};
 use smdb_sim::{LineId, Machine, NodeId, SimConfig, TxnId};
@@ -428,7 +428,7 @@ impl SmDb {
         if rec_line != page_lsn_line {
             ctx.m.getline(node, rec_line)?;
         }
-        let result: Result<(u64, Vec<LineId>, Vec<u8>), DbError> = (|| {
+        let result: Result<(u64, [LineSpan; 2], Vec<u8>), DbError> = (|| {
             // Before image (the last committed value under strict 2PL —
             // or our own earlier write; the log keeps per-update images so
             // rollback replays them in reverse).
@@ -450,9 +450,9 @@ impl SmDb {
             // In-place update: tag + payload share the record's line.
             let tag = if tagging { node.0 } else { NULL_TAG };
             let rec_bytes = self.layout.encode(tag, &payload);
-            let mut touched = ctx.write(node, rec.page, rec_off, &rec_bytes)?;
-            touched.extend(ctx.note_update(node, rec.page, lsn)?);
-            Ok((gsn, touched, before))
+            let data_span = ctx.write(node, rec.page, rec_off, &rec_bytes)?;
+            let lsn_span = ctx.note_update(node, rec.page, lsn)?;
+            Ok((gsn, [data_span, lsn_span], before))
         })();
         // Release line locks before propagating errors.
         let _ = ctx.m.releaseline(node, page_lsn_line);
@@ -481,8 +481,8 @@ impl SmDb {
                 // (write-broadcast) has already published the uncommitted
                 // bytes; force now. Exclusive lines defer to the trigger.
                 let mut forced = false;
-                for l in &touched {
-                    if self.m.holders(*l).len() > 1 {
+                for l in touched.iter().flat_map(LineSpan::iter) {
+                    if self.m.holder_count(l) > 1 {
                         let pending = if obs_on { self.unforced_records(node) } else { 0 };
                         if !forced && self.logs.log_mut(node).force_all() {
                             let cost = self.m.config().cost.log_force;
@@ -494,7 +494,7 @@ impl SmDb {
                         }
                         forced = true;
                     } else {
-                        self.m.set_active(*l, node);
+                        self.m.set_active(l, node);
                     }
                 }
             }

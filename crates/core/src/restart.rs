@@ -415,10 +415,12 @@ impl SmDb {
         for p in 0..self.heap_pages {
             let page = PageId(p);
             let mut charged = false;
+            // Borrow the stable image once per page; `install_line` only
+            // touches `self.m`, so no copy of the page is needed.
+            let img = self.sdb.peek_page(page).expect("heap page exists");
             for idx in 0..g.lines_per_page {
                 let line = LineId(g.line_addr(page, idx));
                 if self.m.is_lost(line) {
-                    let img = self.sdb.peek_page(page).expect("heap page exists").to_vec();
                     let off = g.line_offset(idx);
                     self.m.install_line(recovery_node, line, &img[off..off + g.line_size])?;
                     if !charged {
@@ -794,14 +796,10 @@ impl SmDb {
         let rpl = self.layout.records_per_line();
         let survivors = self.m.surviving_nodes();
         for node in survivors {
-            let lines: Vec<(LineId, Vec<u8>)> = self
-                .m
-                .iter_cached(node)
-                .filter(|(l, _)| self.is_heap_line(*l))
-                .map(|(l, d)| (l, d.to_vec()))
-                .collect();
-            for (line, bytes) in lines {
-                if !seen_lines.insert(line) {
+            // Scan cached lines in place: the tag probe only reads the
+            // borrowed line bytes, so no per-line image copy is needed.
+            for (line, bytes) in self.m.iter_cached(node) {
+                if !self.is_heap_line(line) || !seen_lines.insert(line) {
                     continue;
                 }
                 let (page, line_idx) = self.layout.geometry.page_of_addr(line.0);

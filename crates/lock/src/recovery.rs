@@ -151,8 +151,8 @@ impl LockManager {
             if !m.probe_cached(*line) {
                 continue;
             }
-            let img = m.read_line(recovery_node, *line)?;
-            let lcbs = self.table().decode_line(&img);
+            let lcbs =
+                m.read_line_with(recovery_node, *line, |img| self.table().decode_line(img))?;
             for (slot, mut lcb) in lcbs {
                 let before = lcb.holders.len() + lcb.waiters.len();
                 lcb.holders.retain(|e| !crashed.contains(&e.txn.node()));

@@ -96,8 +96,7 @@ impl LockTable {
         node: NodeId,
         line: LineId,
     ) -> Result<Option<LineId>, MemError> {
-        let img = m.read_line(node, line)?;
-        let ptr = lcb::read_overflow(&self.geom, &img);
+        let ptr = m.read_line_with(node, line, |img| lcb::read_overflow(&self.geom, img))?;
         Ok(if ptr == 0 { None } else { Some(LineId(ptr)) })
     }
 
@@ -128,16 +127,23 @@ impl LockTable {
         name: u64,
     ) -> Result<Option<(LineId, usize, Lcb)>, MemError> {
         for line in self.chain_for(m, node, name)? {
-            let img = m.read_line(node, line)?;
-            for slot in 0..self.geom.lcbs_per_line {
-                let off = self.geom.slot_offset(slot);
-                if let Some(l) =
-                    lcb::decode_slot(&self.geom, &img[off..off + self.geom.slot_size()])
-                {
-                    if l.name == name {
-                        return Ok(Some((line, slot, l)));
+            // Scan the line's slots inside the coherent read — no image
+            // copy is made.
+            let hit = m.read_line_with(node, line, |img| {
+                for slot in 0..self.geom.lcbs_per_line {
+                    let off = self.geom.slot_offset(slot);
+                    if let Some(l) =
+                        lcb::decode_slot(&self.geom, &img[off..off + self.geom.slot_size()])
+                    {
+                        if l.name == name {
+                            return Some((slot, l));
+                        }
                     }
                 }
+                None
+            })?;
+            if let Some((slot, l)) = hit {
+                return Ok(Some((line, slot, l)));
             }
         }
         Ok(None)
@@ -153,12 +159,14 @@ impl LockTable {
         name: u64,
     ) -> Result<Option<(LineId, usize)>, MemError> {
         for line in self.chain_for(m, node, name)? {
-            let img = m.read_line(node, line)?;
-            for slot in 0..self.geom.lcbs_per_line {
-                let off = self.geom.slot_offset(slot);
-                if lcb::decode_slot(&self.geom, &img[off..off + self.geom.slot_size()]).is_none() {
-                    return Ok(Some((line, slot)));
-                }
+            let empty = m.read_line_with(node, line, |img| {
+                (0..self.geom.lcbs_per_line).find(|&slot| {
+                    let off = self.geom.slot_offset(slot);
+                    lcb::decode_slot(&self.geom, &img[off..off + self.geom.slot_size()]).is_none()
+                })
+            })?;
+            if let Some(slot) = empty {
+                return Ok(Some((line, slot)));
             }
         }
         Ok(None)

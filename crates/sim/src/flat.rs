@@ -1,0 +1,417 @@
+//! Flat hot-path data structures backing the [`crate::Machine`].
+//!
+//! The coherence directory and the per-node cache maps used to be
+//! `BTreeMap`s: every access paid pointer-chasing through tree nodes and
+//! every replication paid a fresh `Box<[u8]>`. The paper's KSR-1 substrate
+//! pays neither, and neither do we any more:
+//!
+//! * [`LineIndex`] — an open-addressed hash index mapping a sparse
+//!   [`LineId`](crate::LineId) address space to dense `u32` slot numbers.
+//!   Linear probing over two flat arrays, Fibonacci hashing, tombstone
+//!   deletion, amortised O(1) lookup with a single cache miss in the
+//!   common case.
+//! * [`HolderSet`] — the set of nodes holding a valid copy of a line.
+//!   Sorted, deduplicated, and stored inline (no heap) for up to
+//!   [`HOLDERS_INLINE`] nodes, spilling to a `Vec` only for very widely
+//!   shared lines. Iteration order is ascending `NodeId`, matching the
+//!   `BTreeSet` the directory used before, so "first holder" choices are
+//!   unchanged.
+//!
+//! Line *data* lives in one arena owned by the machine (slot `i` owns the
+//! `i*line_size..` window): because the hardware coherence protocol keeps
+//! every valid copy byte-identical, one copy per line is observationally
+//! equivalent to one copy per holder, and replication/migration become
+//! pure membership updates with zero byte traffic and zero allocation.
+
+use crate::ids::NodeId;
+use std::cell::Cell;
+
+const EMPTY: u32 = u32::MAX;
+const TOMB: u32 = u32::MAX - 1;
+
+/// Open-addressed `LineId → slot` index (linear probing, power-of-two
+/// capacity, Fibonacci hashing).
+pub(crate) struct LineIndex {
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    mask: usize,
+    live: usize,
+    tombs: usize,
+    /// Cumulative probe steps (diagnostic; mirrored to the
+    /// `sim.index_probes` observability counter by the machine).
+    probes: Cell<u64>,
+}
+
+#[inline]
+fn fib_hash(key: u64, mask: usize) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask
+}
+
+impl LineIndex {
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(64);
+        LineIndex {
+            keys: vec![0; cap],
+            vals: vec![EMPTY; cap],
+            mask: cap - 1,
+            live: 0,
+            tombs: 0,
+            probes: Cell::new(0),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Current table capacity (diagnostic).
+    pub fn capacity(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Cumulative probe steps across all lookups/inserts/removes.
+    pub fn probe_count(&self) -> u64 {
+        self.probes.get()
+    }
+
+    /// Slot for `key`, if present. One probe step = one (key, val) pair
+    /// inspected.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u32> {
+        let mut i = fib_hash(key, self.mask);
+        let mut steps = 1u64;
+        loop {
+            let v = self.vals[i];
+            if v == EMPTY {
+                self.probes.set(self.probes.get() + steps);
+                return None;
+            }
+            if v != TOMB && self.keys[i] == key {
+                self.probes.set(self.probes.get() + steps);
+                return Some(v);
+            }
+            i = (i + 1) & self.mask;
+            steps += 1;
+        }
+    }
+
+    /// Insert or overwrite `key → slot`.
+    pub fn insert(&mut self, key: u64, slot: u32) {
+        debug_assert!(slot < TOMB);
+        if (self.live + self.tombs + 1) * 8 >= self.capacity() * 7 {
+            self.grow();
+        }
+        let mut i = fib_hash(key, self.mask);
+        let mut first_tomb: Option<usize> = None;
+        let mut steps = 1u64;
+        loop {
+            let v = self.vals[i];
+            if v == EMPTY {
+                let at = first_tomb.unwrap_or(i);
+                if first_tomb.is_some() {
+                    self.tombs -= 1;
+                }
+                self.keys[at] = key;
+                self.vals[at] = slot;
+                self.live += 1;
+                self.probes.set(self.probes.get() + steps);
+                return;
+            }
+            if v == TOMB {
+                if first_tomb.is_none() {
+                    first_tomb = Some(i);
+                }
+            } else if self.keys[i] == key {
+                self.vals[i] = slot;
+                self.probes.set(self.probes.get() + steps);
+                return;
+            }
+            i = (i + 1) & self.mask;
+            steps += 1;
+        }
+    }
+
+    /// Remove `key`, returning its slot if present.
+    pub fn remove(&mut self, key: u64) -> Option<u32> {
+        let mut i = fib_hash(key, self.mask);
+        let mut steps = 1u64;
+        loop {
+            let v = self.vals[i];
+            if v == EMPTY {
+                self.probes.set(self.probes.get() + steps);
+                return None;
+            }
+            if v != TOMB && self.keys[i] == key {
+                self.vals[i] = TOMB;
+                self.live -= 1;
+                self.tombs += 1;
+                self.probes.set(self.probes.get() + steps);
+                return Some(v);
+            }
+            i = (i + 1) & self.mask;
+            steps += 1;
+        }
+    }
+
+    fn grow(&mut self) {
+        // Double when mostly live; same size when mostly tombstones.
+        let target =
+            if self.live * 4 >= self.capacity() { self.capacity() * 2 } else { self.capacity() };
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; target]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![EMPTY; target]);
+        self.mask = target - 1;
+        self.live = 0;
+        self.tombs = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if v != EMPTY && v != TOMB {
+                // Re-insert without the load-factor check (capacity is
+                // already sufficient).
+                let mut i = fib_hash(k, self.mask);
+                while self.vals[i] != EMPTY {
+                    i = (i + 1) & self.mask;
+                }
+                self.keys[i] = k;
+                self.vals[i] = v;
+                self.live += 1;
+            }
+        }
+    }
+}
+
+/// How many holders fit inline (no heap) in a [`HolderSet`]. Lines shared
+/// by more nodes — rare outside write-broadcast torture tests — spill to a
+/// `Vec`.
+pub const HOLDERS_INLINE: usize = 8;
+
+/// Sorted, deduplicated set of nodes holding a valid copy of one line.
+#[derive(Clone, Debug)]
+pub enum HolderSet {
+    /// Up to [`HOLDERS_INLINE`] holders, stored inline and sorted.
+    Inline {
+        /// Sorted holder ids; only `..len` are meaningful.
+        arr: [NodeId; HOLDERS_INLINE],
+        /// Number of live entries in `arr`.
+        len: u8,
+    },
+    /// More than [`HOLDERS_INLINE`] holders (sorted).
+    Spill(Vec<NodeId>),
+}
+
+impl HolderSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        HolderSet::Inline { arr: [NodeId(0); HOLDERS_INLINE], len: 0 }
+    }
+
+    /// A singleton set.
+    pub fn single(n: NodeId) -> Self {
+        let mut arr = [NodeId(0); HOLDERS_INLINE];
+        arr[0] = n;
+        HolderSet::Inline { arr, len: 1 }
+    }
+
+    /// The holders, ascending.
+    #[inline]
+    pub fn as_slice(&self) -> &[NodeId] {
+        match self {
+            HolderSet::Inline { arr, len } => &arr[..*len as usize],
+            HolderSet::Spill(v) => v,
+        }
+    }
+
+    /// Number of holders.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            HolderSet::Inline { len, .. } => *len as usize,
+            HolderSet::Spill(v) => v.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `n` holds a copy.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.as_slice().binary_search(&n).is_ok()
+    }
+
+    /// Smallest holder id, if any (the "first holder" the directory's
+    /// `BTreeSet` used to yield).
+    #[inline]
+    pub fn first(&self) -> Option<NodeId> {
+        self.as_slice().first().copied()
+    }
+
+    /// Insert `n`, keeping the set sorted. No-op if present.
+    pub fn insert(&mut self, n: NodeId) {
+        let slice = self.as_slice();
+        let pos = match slice.binary_search(&n) {
+            Ok(_) => return,
+            Err(p) => p,
+        };
+        match self {
+            HolderSet::Inline { arr, len } => {
+                let l = *len as usize;
+                if l < HOLDERS_INLINE {
+                    arr.copy_within(pos..l, pos + 1);
+                    arr[pos] = n;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(l + 1);
+                    v.extend_from_slice(&arr[..l]);
+                    v.insert(pos, n);
+                    *self = HolderSet::Spill(v);
+                }
+            }
+            HolderSet::Spill(v) => v.insert(pos, n),
+        }
+    }
+
+    /// Remove `n` if present.
+    pub fn remove(&mut self, n: NodeId) {
+        let pos = match self.as_slice().binary_search(&n) {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        match self {
+            HolderSet::Inline { arr, len } => {
+                let l = *len as usize;
+                arr.copy_within(pos + 1..l, pos);
+                *len -= 1;
+            }
+            HolderSet::Spill(v) => {
+                v.remove(pos);
+                // Shrink back inline so long-lived lines don't pin spill
+                // allocations after a crash thins their holder set.
+                if v.len() <= HOLDERS_INLINE {
+                    let mut arr = [NodeId(0); HOLDERS_INLINE];
+                    arr[..v.len()].copy_from_slice(v);
+                    *self = HolderSet::Inline { arr, len: v.len() as u8 };
+                }
+            }
+        }
+    }
+
+    /// Keep only holders satisfying `pred` (order preserved).
+    pub fn retain(&mut self, mut pred: impl FnMut(NodeId) -> bool) {
+        match self {
+            HolderSet::Inline { arr, len } => {
+                let l = *len as usize;
+                let mut w = 0usize;
+                for r in 0..l {
+                    if pred(arr[r]) {
+                        arr[w] = arr[r];
+                        w += 1;
+                    }
+                }
+                *len = w as u8;
+            }
+            HolderSet::Spill(v) => {
+                v.retain(|n| pred(*n));
+                if v.len() <= HOLDERS_INLINE {
+                    let mut arr = [NodeId(0); HOLDERS_INLINE];
+                    arr[..v.len()].copy_from_slice(v);
+                    *self = HolderSet::Inline { arr, len: v.len() as u8 };
+                }
+            }
+        }
+    }
+
+    /// Drop every holder.
+    pub fn clear(&mut self) {
+        *self = HolderSet::empty();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip_and_overwrite() {
+        let mut ix = LineIndex::with_capacity(4);
+        for k in 0..500u64 {
+            ix.insert(k * 7, k as u32);
+        }
+        assert_eq!(ix.len(), 500);
+        for k in 0..500u64 {
+            assert_eq!(ix.get(k * 7), Some(k as u32));
+        }
+        assert_eq!(ix.get(1), None);
+        ix.insert(7, 999);
+        assert_eq!(ix.get(7), Some(999));
+        assert_eq!(ix.len(), 500, "overwrite is not an insert");
+        assert!(ix.probe_count() > 0);
+    }
+
+    #[test]
+    fn index_remove_and_reinsert_through_tombstones() {
+        let mut ix = LineIndex::with_capacity(4);
+        for k in 0..200u64 {
+            ix.insert(k, k as u32);
+        }
+        for k in (0..200u64).step_by(2) {
+            assert_eq!(ix.remove(k), Some(k as u32));
+        }
+        assert_eq!(ix.len(), 100);
+        for k in 0..200u64 {
+            assert_eq!(ix.get(k), if k % 2 == 1 { Some(k as u32) } else { None });
+        }
+        // Reinsertion reuses tombstoned space and stays findable.
+        for k in (0..200u64).step_by(2) {
+            ix.insert(k, (k + 1000) as u32);
+        }
+        for k in (0..200u64).step_by(2) {
+            assert_eq!(ix.get(k), Some((k + 1000) as u32));
+        }
+        assert_eq!(ix.remove(99999), None);
+    }
+
+    #[test]
+    fn index_sparse_keys() {
+        // The DYNAMIC_BASE split means keys span the full u64 range.
+        let mut ix = LineIndex::with_capacity(8);
+        let keys = [0u64, 1, u64::from(u32::MAX), 1 << 40, (1 << 40) + 1, u64::MAX - 2];
+        for (i, k) in keys.iter().enumerate() {
+            ix.insert(*k, i as u32);
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(ix.get(*k), Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn holder_set_sorted_inline_and_spill() {
+        let mut h = HolderSet::empty();
+        assert!(h.is_empty());
+        for n in [5u16, 1, 9, 3, 7, 2, 8, 6] {
+            h.insert(NodeId(n));
+        }
+        assert_eq!(h.len(), 8);
+        assert!(matches!(h, HolderSet::Inline { .. }));
+        assert_eq!(
+            h.as_slice().iter().map(|n| n.0).collect::<Vec<_>>(),
+            vec![1, 2, 3, 5, 6, 7, 8, 9]
+        );
+        h.insert(NodeId(4)); // ninth holder spills
+        assert!(matches!(h, HolderSet::Spill(_)));
+        assert_eq!(h.len(), 9);
+        assert_eq!(h.first(), Some(NodeId(1)));
+        h.insert(NodeId(4)); // dedup
+        assert_eq!(h.len(), 9);
+        h.remove(NodeId(1));
+        assert!(matches!(h, HolderSet::Inline { .. }), "shrinks back inline");
+        assert_eq!(h.first(), Some(NodeId(2)));
+        h.retain(|n| n.0 % 2 == 0);
+        assert_eq!(h.as_slice().iter().map(|n| n.0).collect::<Vec<_>>(), vec![2, 4, 6, 8]);
+        assert!(h.contains(NodeId(4)) && !h.contains(NodeId(5)));
+        h.clear();
+        assert!(h.is_empty());
+    }
+}

@@ -43,6 +43,7 @@ mod config;
 mod contention;
 mod cost;
 mod error;
+mod flat;
 mod ids;
 mod machine;
 mod stats;
@@ -52,8 +53,12 @@ pub use config::{CoherenceKind, SimConfig};
 pub use contention::{contended_line_lock_costs, ContentionOutcome};
 pub use cost::CostModel;
 pub use error::MemError;
+pub use flat::{HolderSet, HOLDERS_INLINE};
 pub use ids::{LineId, NodeId, TxnId};
-pub use machine::{CrashReport, Machine, TransferKind, TriggerEvent};
+pub use machine::{
+    CrashReport, FlatStats, Machine, TransferKind, TriggerEvent, METRIC_BUF_REUSE,
+    METRIC_INDEX_PROBES,
+};
 pub use stats::SimStats;
 pub use trace::{Trace, TraceEvent};
 

@@ -1,40 +1,61 @@
 //! The simulated cache-coherent shared-memory multiprocessor.
 //!
 //! A [`Machine`] owns a set of nodes (processor/memory pairs), a cache
-//! directory, and per-node caches. All operations are issued *on behalf of*
-//! a node and charge simulated cycles to that node's clock.
+//! directory, and the coherent line store. All operations are issued *on
+//! behalf of* a node and charge simulated cycles to that node's clock.
 //!
 //! The simulator deliberately models the *observable semantics* of the
 //! coherence protocol rather than bus/network timing: which caches hold
 //! valid copies, when the only copy migrates, what a node crash destroys,
 //! and what the low-level directory-restore step leaves behind. These are
 //! exactly the properties the paper's recovery protocols depend on (§2, §3).
+//!
+//! # Representation
+//!
+//! The hot path is flat and allocation-free. Lines live in a dense slot
+//! array (`Vec<Slot>`) addressed through a compact open-addressed
+//! [`LineIndex`]; line *data* lives in a single arena (`Vec<u8>`, slot `i`
+//! owning the `i × line_size` window). Because the coherence protocol keeps
+//! every valid copy byte-identical, per-node "caches" reduce to holder-set
+//! membership in each slot's [`HolderSet`] — replication and migration are
+//! membership updates, not byte copies, and a read/write/lock costs one
+//! hash probe plus direct array indexing instead of multiple `BTreeMap`
+//! walks and a `Box<[u8]>` clone. Freed slots are recycled through a free
+//! list, so steady-state operation performs no allocation at all.
+//!
+//! The directory states of the old representation are derived views:
+//! *Exclusive(n)* ⇔ exactly one holder, *Shared* ⇔ several holders,
+//! *Lost* ⇔ the `lost` flag (holders empty, data destroyed by a crash).
 
 use crate::config::{CoherenceKind, SimConfig};
 use crate::error::MemError;
+use crate::flat::{HolderSet, LineIndex};
 use crate::ids::{LineId, NodeId};
 use crate::stats::SimStats;
 use crate::trace::{Trace, TraceEvent};
 use smdb_obs::{Event as ObsEvent, Obs};
-use std::collections::{BTreeMap, BTreeSet};
 
-/// Directory state of one cache line.
-#[derive(Clone, Debug, PartialEq, Eq)]
-enum DirState {
-    /// Exactly one valid copy, in this node's cache.
-    Exclusive(NodeId),
-    /// Valid copies in every listed cache (always ≥ 1 entry; a singleton is
-    /// normalised to `Exclusive`).
-    Shared(BTreeSet<NodeId>),
+/// Obs counter: cumulative open-addressing probe steps on the line-index
+/// lookup path (`sim.index_probes`). A healthy index stays near one probe
+/// per lookup; growth signals clustering.
+pub const METRIC_INDEX_PROBES: &str = "sim.index_probes";
+/// Obs counter: line-store slots recycled from the free list instead of
+/// growing the arena (`sim.buf_reuse`). Non-zero means the steady state is
+/// allocation-free.
+pub const METRIC_BUF_REUSE: &str = "sim.buf_reuse";
+
+/// One line's directory entry + metadata. Data lives in the machine's
+/// arena at `slot_index × line_size`.
+#[derive(Clone, Debug)]
+struct Slot {
+    /// The line this slot holds (meaningful only while `live`).
+    line: LineId,
+    /// Whether the slot is occupied (false ⇒ on the free list).
+    live: bool,
     /// Every valid copy resided on a crashed node: the data is destroyed.
     /// The low-level recovery step leaves this marker so software recovery
-    /// can distinguish *lost* from *never existed*.
-    Lost,
-}
-
-#[derive(Clone, Debug)]
-struct DirEntry {
-    state: DirState,
+    /// can distinguish *lost* from *never existed*. Implies no holders.
+    lost: bool,
     /// Line-lock holder, if the line is held in mutually-exclusive state
     /// via `getline` (§5.1).
     locked_by: Option<NodeId>,
@@ -45,11 +66,25 @@ struct DirEntry {
     /// [`Machine::pending_triggers`] so a Stable-LBM engine can force the
     /// owner's log first.
     active_owner: Option<NodeId>,
+    /// Nodes holding a valid copy (sorted; empty ⇔ `lost`).
+    holders: HolderSet,
+}
+
+impl Slot {
+    fn vacant() -> Self {
+        Slot {
+            line: LineId(0),
+            live: false,
+            lost: false,
+            locked_by: None,
+            active_owner: None,
+            holders: HolderSet::empty(),
+        }
+    }
 }
 
 #[derive(Debug)]
 struct NodeState {
-    cache: BTreeMap<LineId, Box<[u8]>>,
     clock: u64,
     crashed: bool,
 }
@@ -87,38 +122,64 @@ pub struct CrashReport {
     /// Nodes that failed.
     pub crashed: Vec<NodeId>,
     /// Lines whose every valid copy resided on failed nodes: data destroyed.
+    /// Sorted by line id.
     pub lost_lines: Vec<LineId>,
     /// Line locks that were held by failed nodes and were broken by the
-    /// low-level recovery step.
+    /// low-level recovery step. Sorted by line id.
     pub broken_line_locks: Vec<LineId>,
+}
+
+/// Diagnostic view of the flat line store (see
+/// [`Machine::flat_stats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlatStats {
+    /// Slots currently holding a line (live, including `Lost` markers).
+    pub live_lines: usize,
+    /// Total slots ever allocated (live + free-listed).
+    pub slots: usize,
+    /// Slots on the free list awaiting reuse.
+    pub free_slots: usize,
+    /// Current open-addressed index capacity.
+    pub index_capacity: usize,
+    /// Cumulative index probe steps (lookups + inserts + removes).
+    pub index_probes: u64,
+    /// Slots recycled from the free list instead of growing the arena.
+    pub buf_reuse: u64,
 }
 
 /// The simulated multiprocessor. See the crate-level docs for an overview.
 pub struct Machine {
     cfg: SimConfig,
-    dir: BTreeMap<LineId, DirEntry>,
+    index: LineIndex,
+    slots: Vec<Slot>,
+    /// Line data arena: slot `i` owns bytes `i*line_size .. (i+1)*line_size`.
+    data: Vec<u8>,
+    free: Vec<u32>,
     nodes: Vec<NodeState>,
     stats: SimStats,
     trace: Trace,
     obs: Obs,
     next_dynamic: u64,
+    buf_reuse: u64,
 }
 
 impl Machine {
     /// Build a machine from a configuration.
     pub fn new(cfg: SimConfig) -> Self {
         assert!(cfg.nodes > 0, "machine needs at least one node");
-        let nodes = (0..cfg.nodes)
-            .map(|_| NodeState { cache: BTreeMap::new(), clock: 0, crashed: false })
-            .collect();
+        let nodes = (0..cfg.nodes).map(|_| NodeState { clock: 0, crashed: false }).collect();
         Machine {
             cfg,
-            dir: BTreeMap::new(),
+            index: LineIndex::with_capacity(1024),
+            slots: Vec::new(),
+            data: Vec::new(),
+            free: Vec::new(),
             nodes,
             stats: SimStats::default(),
             trace: Trace::default(),
             obs: Obs::new(),
             next_dynamic: LineId::DYNAMIC_BASE,
+            buf_reuse: 0,
         }
     }
 
@@ -160,6 +221,18 @@ impl Machine {
     /// Reset all statistics counters.
     pub fn reset_stats(&mut self) {
         self.stats = SimStats::default();
+    }
+
+    /// Diagnostic counters for the flat line store (slot/index health).
+    pub fn flat_stats(&self) -> FlatStats {
+        FlatStats {
+            live_lines: self.index.len(),
+            slots: self.slots.len(),
+            free_slots: self.free.len(),
+            index_capacity: self.index.capacity(),
+            index_probes: self.index.probe_count(),
+            buf_reuse: self.buf_reuse,
+        }
     }
 
     /// Enable coherence-event tracing with a bounded ring of `capacity`
@@ -231,15 +304,80 @@ impl Machine {
     }
 
     // ------------------------------------------------------------------
-    // Line creation
+    // Slot plumbing
     // ------------------------------------------------------------------
 
-    fn padded(&self, data: &[u8]) -> Box<[u8]> {
-        assert!(data.len() <= self.cfg.line_size, "initialiser longer than a cache line");
-        let mut buf = vec![0u8; self.cfg.line_size];
-        buf[..data.len()].copy_from_slice(data);
-        buf.into_boxed_slice()
+    /// Index lookup, mirroring probe steps onto the `sim.index_probes`
+    /// counter (one relaxed load + branch when observability is off).
+    #[inline]
+    fn slot_of(&self, line: LineId) -> Option<u32> {
+        let before = self.index.probe_count();
+        let slot = self.index.get(line.0);
+        self.obs.metrics.add(METRIC_INDEX_PROBES, self.index.probe_count() - before);
+        slot
     }
+
+    #[inline]
+    fn line_data(&self, slot: u32) -> &[u8] {
+        let ls = self.cfg.line_size;
+        let off = slot as usize * ls;
+        &self.data[off..off + ls]
+    }
+
+    /// Occupy a slot for `line`, exclusive in `owner`. Recycles the free
+    /// list before growing the arena.
+    fn alloc_slot(&mut self, line: LineId, owner: NodeId) -> u32 {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.buf_reuse += 1;
+                self.obs.metrics.inc(METRIC_BUF_REUSE);
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot::vacant());
+                self.data.resize(self.data.len() + self.cfg.line_size, 0);
+                s
+            }
+        };
+        let sl = &mut self.slots[slot as usize];
+        sl.line = line;
+        sl.live = true;
+        sl.lost = false;
+        sl.locked_by = None;
+        sl.active_owner = None;
+        sl.holders = HolderSet::single(owner);
+        self.index.insert(line.0, slot);
+        slot
+    }
+
+    /// Return a slot to the free list (the line ceases to exist).
+    fn free_slot(&mut self, slot: u32) {
+        let sl = &mut self.slots[slot as usize];
+        debug_assert!(sl.live);
+        self.index.remove(sl.line.0);
+        sl.live = false;
+        sl.lost = false;
+        sl.locked_by = None;
+        sl.active_owner = None;
+        sl.holders.clear();
+        self.free.push(slot);
+    }
+
+    /// Overwrite a slot's data window with `data`, zero-padded to the line
+    /// size.
+    fn write_line_padded(&mut self, slot: u32, data: &[u8]) {
+        let ls = self.cfg.line_size;
+        assert!(data.len() <= ls, "initialiser longer than a cache line");
+        let off = slot as usize * ls;
+        let win = &mut self.data[off..off + ls];
+        win[..data.len()].copy_from_slice(data);
+        win[data.len()..].fill(0);
+    }
+
+    // ------------------------------------------------------------------
+    // Line creation
+    // ------------------------------------------------------------------
 
     /// Create a line at a fixed address, initially exclusive in `node`'s
     /// cache. `data` is zero-padded to the line size. Errors if the address
@@ -252,15 +390,11 @@ impl Machine {
         data: &[u8],
     ) -> Result<(), MemError> {
         self.check_node(node)?;
-        if self.dir.contains_key(&line) {
+        if self.slot_of(line).is_some() {
             return Err(MemError::AlreadyExists { line });
         }
-        let buf = self.padded(data);
-        self.dir.insert(
-            line,
-            DirEntry { state: DirState::Exclusive(node), locked_by: None, active_owner: None },
-        );
-        self.nodes[node.0 as usize].cache.insert(line, buf);
+        let slot = self.alloc_slot(line, node);
+        self.write_line_padded(slot, data);
         self.stats.lines_created += 1;
         self.charge(node, self.cfg.cost.local_hit);
         Ok(())
@@ -279,13 +413,14 @@ impl Machine {
     // Access checks shared by read/write/getline
     // ------------------------------------------------------------------
 
-    fn check_access(&mut self, node: NodeId, line: LineId) -> Result<(), MemError> {
+    fn check_access(&mut self, node: NodeId, line: LineId) -> Result<u32, MemError> {
         self.check_node(node)?;
-        let entry = match self.dir.get(&line) {
+        let slot = match self.slot_of(line) {
             None => return Err(MemError::NotResident { line }),
-            Some(e) => e,
+            Some(s) => s,
         };
-        if let DirState::Lost = entry.state {
+        let sl = &self.slots[slot as usize];
+        if sl.lost {
             self.stats.lost_line_accesses += 1;
             return if self.cfg.stall_on_lost {
                 Err(MemError::Stalled { line, holder: None })
@@ -293,36 +428,52 @@ impl Machine {
                 Err(MemError::LineLost { line })
             };
         }
-        if let Some(holder) = entry.locked_by {
+        if let Some(holder) = sl.locked_by {
             if holder != node {
                 self.stats.line_lock_conflicts += 1;
                 return Err(MemError::Stalled { line, holder: Some(holder) });
             }
         }
-        Ok(())
-    }
-
-    fn copy_from_any_holder(&self, line: LineId) -> Box<[u8]> {
-        let entry = &self.dir[&line];
-        let holder = match &entry.state {
-            DirState::Exclusive(n) => *n,
-            DirState::Shared(s) => *s.iter().next().expect("shared set non-empty"),
-            DirState::Lost => unreachable!("checked before copy"),
-        };
-        self.nodes[holder.0 as usize].cache[&line].clone()
-    }
-
-    fn holders_set(&self, line: LineId) -> BTreeSet<NodeId> {
-        match &self.dir[&line].state {
-            DirState::Exclusive(n) => std::iter::once(*n).collect(),
-            DirState::Shared(s) => s.clone(),
-            DirState::Lost => BTreeSet::new(),
-        }
+        Ok(slot)
     }
 
     // ------------------------------------------------------------------
     // Reads
     // ------------------------------------------------------------------
+
+    /// The coherence transition + accounting for a read, after
+    /// `check_access` succeeded.
+    fn do_read(&mut self, node: NodeId, line: LineId, slot: u32) {
+        self.stats.reads += 1;
+        let sl = &self.slots[slot as usize];
+        if sl.holders.contains(node) {
+            self.stats.local_hits += 1;
+            self.charge(node, self.cfg.cost.local_hit);
+            self.trace.emit(TraceEvent::ReadHit { node, line });
+            self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::ReadHit {
+                node: node.0,
+                line: line.0,
+            });
+        } else {
+            // Replicate into `node`'s cache; an exclusive owner is
+            // downgraded to shared (the `H_wr` pattern). All copies are
+            // identical, so replication is pure membership.
+            let downgraded = sl.holders.len() == 1;
+            if downgraded {
+                self.stats.replications += 1;
+                self.stats.downgrades += 1;
+            }
+            self.slots[slot as usize].holders.insert(node);
+            self.stats.remote_transfers += 1;
+            self.charge(node, self.cfg.cost.remote_transfer);
+            self.trace.emit(TraceEvent::ReadRemote { node, line, downgraded });
+            self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::ReadRemote {
+                node: node.0,
+                line: line.0,
+                downgraded,
+            });
+        }
+    }
 
     /// Read `buf.len()` bytes at `offset` within `line` into `buf`, on
     /// behalf of `node`. May replicate the line into `node`'s cache
@@ -334,62 +485,29 @@ impl Machine {
         offset: usize,
         buf: &mut [u8],
     ) -> Result<(), MemError> {
-        self.check_access(node, line)?;
+        let slot = self.check_access(node, line)?;
         if offset + buf.len() > self.cfg.line_size {
             return Err(MemError::OutOfBounds { line, offset, len: buf.len() });
         }
-        self.stats.reads += 1;
-        let holders = self.holders_set(line);
-        if holders.contains(&node) {
-            self.stats.local_hits += 1;
-            self.charge(node, self.cfg.cost.local_hit);
-            self.trace.emit(TraceEvent::ReadHit { node, line });
-            self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::ReadHit {
-                node: node.0,
-                line: line.0,
-            });
-        } else {
-            // Fetch from a remote cache; exclusive owners are downgraded.
-            let data = self.copy_from_any_holder(line);
-            let entry = self.dir.get_mut(&line).expect("entry exists");
-            let mut downgraded = false;
-            match &mut entry.state {
-                DirState::Exclusive(owner) => {
-                    let owner = *owner;
-                    self.stats.replications += 1;
-                    self.stats.downgrades += 1;
-                    downgraded = true;
-                    let mut set: BTreeSet<NodeId> = BTreeSet::new();
-                    set.insert(owner);
-                    set.insert(node);
-                    entry.state = DirState::Shared(set);
-                }
-                DirState::Shared(set) => {
-                    set.insert(node);
-                }
-                DirState::Lost => unreachable!(),
-            }
-            self.nodes[node.0 as usize].cache.insert(line, data);
-            self.stats.remote_transfers += 1;
-            self.charge(node, self.cfg.cost.remote_transfer);
-            self.trace.emit(TraceEvent::ReadRemote { node, line, downgraded });
-            self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::ReadRemote {
-                node: node.0,
-                line: line.0,
-                downgraded,
-            });
-        }
-        let data = &self.nodes[node.0 as usize].cache[&line];
+        self.do_read(node, line, slot);
+        let data = self.line_data(slot);
         buf.copy_from_slice(&data[offset..offset + buf.len()]);
         Ok(())
     }
 
-    /// Read the full line into a fresh vector (convenience wrapper around
-    /// [`Machine::read_into`]).
-    pub fn read_line(&mut self, node: NodeId, line: LineId) -> Result<Vec<u8>, MemError> {
-        let mut buf = vec![0u8; self.cfg.line_size];
-        self.read_into(node, line, 0, &mut buf)?;
-        Ok(buf)
+    /// Coherent full-line read without copying: performs the same
+    /// transitions and accounting as [`Machine::read_into`], then hands the
+    /// line's bytes to `f`. This is the allocation-free replacement for the
+    /// old `read_line` (which returned a fresh `Vec<u8>` per access).
+    pub fn read_line_with<R>(
+        &mut self,
+        node: NodeId,
+        line: LineId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, MemError> {
+        let slot = self.check_access(node, line)?;
+        self.do_read(node, line, slot);
+        Ok(f(self.line_data(slot)))
     }
 
     // ------------------------------------------------------------------
@@ -410,16 +528,18 @@ impl Machine {
         offset: usize,
         data: &[u8],
     ) -> Result<(), MemError> {
-        self.check_access(node, line)?;
+        let slot = self.check_access(node, line)?;
         if offset + data.len() > self.cfg.line_size {
             return Err(MemError::OutOfBounds { line, offset, len: data.len() });
         }
         self.stats.writes += 1;
-        let holders = self.holders_set(line);
-        let locally_held = holders.contains(&node);
+        let (holder_count, locally_held) = {
+            let h = &self.slots[slot as usize].holders;
+            (h.len(), h.contains(node))
+        };
         match self.cfg.coherence {
             CoherenceKind::WriteInvalidate => {
-                if locally_held && holders.len() == 1 {
+                if locally_held && holder_count == 1 {
                     self.stats.local_hits += 1;
                     self.charge(node, self.cfg.cost.local_hit);
                     self.trace.emit(TraceEvent::WriteLocal { node, line });
@@ -431,73 +551,52 @@ impl Machine {
                     // Obtain the data if we don't hold it, then invalidate
                     // every other copy.
                     let migration = !locally_held;
+                    let invalidated = (holder_count - locally_held as usize) as u16;
                     if !locally_held {
-                        let buf = self.copy_from_any_holder(line);
-                        self.nodes[node.0 as usize].cache.insert(line, buf);
                         self.stats.remote_transfers += 1;
                         self.stats.migrations += 1;
                         self.charge(node, self.cfg.cost.remote_transfer);
                     } else {
                         self.charge(node, self.cfg.cost.local_hit);
                     }
-                    let others: Vec<NodeId> =
-                        holders.iter().copied().filter(|h| *h != node).collect();
-                    for other in &others {
-                        self.nodes[other.0 as usize].cache.remove(&line);
-                        self.stats.invalidations += 1;
-                        self.charge(node, self.cfg.cost.invalidate);
-                    }
-                    self.trace.emit(TraceEvent::WriteTake {
-                        node,
-                        line,
-                        invalidated: others.len() as u16,
-                        migration,
-                    });
+                    self.stats.invalidations += invalidated as u64;
+                    self.charge(node, self.cfg.cost.invalidate * invalidated as u64);
+                    self.trace.emit(TraceEvent::WriteTake { node, line, invalidated, migration });
                     self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::WriteTake {
                         node: node.0,
                         line: line.0,
-                        invalidated: others.len() as u16,
+                        invalidated,
                         migration,
                     });
                 }
-                let entry = self.dir.get_mut(&line).expect("entry exists");
-                entry.state = DirState::Exclusive(node);
+                let sl = &mut self.slots[slot as usize];
+                sl.holders = HolderSet::single(node);
             }
             CoherenceKind::WriteBroadcast => {
                 if !locally_held {
-                    let buf = self.copy_from_any_holder(line);
-                    self.nodes[node.0 as usize].cache.insert(line, buf);
                     self.stats.remote_transfers += 1;
                     self.charge(node, self.cfg.cost.remote_transfer);
                 } else {
                     self.stats.local_hits += 1;
                     self.charge(node, self.cfg.cost.local_hit);
                 }
-                // Update every other valid copy in place.
-                let mut updated = 0u16;
-                for other in holders.iter().filter(|h| **h != node) {
-                    let copy =
-                        self.nodes[other.0 as usize].cache.get_mut(&line).expect("holder has copy");
-                    copy[offset..offset + data.len()].copy_from_slice(data);
-                    self.stats.broadcast_updates += 1;
-                    self.charge(node, self.cfg.cost.broadcast_update);
-                    updated += 1;
-                }
+                // Every other valid copy is updated in place (membership is
+                // unchanged; the single stored image serves all holders).
+                let updated = (holder_count - locally_held as usize) as u16;
+                self.stats.broadcast_updates += updated as u64;
+                self.charge(node, self.cfg.cost.broadcast_update * updated as u64);
                 self.trace.emit(TraceEvent::WriteBroadcast { node, line, updated });
                 self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::WriteBroadcast {
                     node: node.0,
                     line: line.0,
                     updated,
                 });
-                let mut set = holders;
-                set.insert(node);
-                let entry = self.dir.get_mut(&line).expect("entry exists");
-                entry.state =
-                    if set.len() == 1 { DirState::Exclusive(node) } else { DirState::Shared(set) };
+                self.slots[slot as usize].holders.insert(node);
             }
         }
-        let copy = self.nodes[node.0 as usize].cache.get_mut(&line).expect("writer has copy");
-        copy[offset..offset + data.len()].copy_from_slice(data);
+        let ls = self.cfg.line_size;
+        let off = slot as usize * ls + offset;
+        self.data[off..off + data.len()].copy_from_slice(data);
         Ok(())
     }
 
@@ -510,54 +609,45 @@ impl Machine {
     /// or lock the line (their accesses return [`MemError::Stalled`]).
     /// Re-acquisition by the current holder is a no-op.
     pub fn getline(&mut self, node: NodeId, line: LineId) -> Result<(), MemError> {
-        self.check_access(node, line)?;
-        if self.dir[&line].locked_by == Some(node) {
+        let slot = self.check_access(node, line)?;
+        if self.slots[slot as usize].locked_by == Some(node) {
             return Ok(());
         }
+        let (holder_count, locally_held) = {
+            let h = &self.slots[slot as usize].holders;
+            (h.len(), h.contains(node))
+        };
         if self.cfg.coherence == CoherenceKind::WriteBroadcast {
             // A broadcast machine's lock primitive does not invalidate
             // remote copies (writes update them in place); it only pins
             // mutual exclusion and ensures a local copy.
-            let holders = self.holders_set(line);
-            if !holders.contains(&node) {
-                let buf = self.copy_from_any_holder(line);
-                self.nodes[node.0 as usize].cache.insert(line, buf);
+            if !locally_held {
+                self.slots[slot as usize].holders.insert(node);
                 self.stats.remote_transfers += 1;
                 self.charge(node, self.cfg.cost.remote_transfer);
-                let entry = self.dir.get_mut(&line).expect("entry exists");
-                let mut set = holders;
-                set.insert(node);
-                entry.state =
-                    if set.len() == 1 { DirState::Exclusive(node) } else { DirState::Shared(set) };
             }
-            let entry = self.dir.get_mut(&line).expect("entry exists");
-            entry.locked_by = Some(node);
+            self.slots[slot as usize].locked_by = Some(node);
             self.stats.line_lock_acquires += 1;
             self.charge(node, self.cfg.cost.line_lock_acquire);
             return Ok(());
         }
         // Bring the line exclusive (same transitions as a write, but the
         // data is not modified).
-        let holders = self.holders_set(line);
-        if !(holders.len() == 1 && holders.contains(&node)) {
-            if !holders.contains(&node) {
-                let buf = self.copy_from_any_holder(line);
-                self.nodes[node.0 as usize].cache.insert(line, buf);
+        if !(holder_count == 1 && locally_held) {
+            if !locally_held {
                 self.stats.remote_transfers += 1;
-                if matches!(self.dir[&line].state, DirState::Exclusive(_)) {
+                if holder_count == 1 {
                     self.stats.migrations += 1;
                 }
                 self.charge(node, self.cfg.cost.remote_transfer);
             }
-            for other in holders.iter().filter(|h| **h != node) {
-                self.nodes[other.0 as usize].cache.remove(&line);
-                self.stats.invalidations += 1;
-                self.charge(node, self.cfg.cost.invalidate);
-            }
+            let invalidated = (holder_count - locally_held as usize) as u64;
+            self.stats.invalidations += invalidated;
+            self.charge(node, self.cfg.cost.invalidate * invalidated);
         }
-        let entry = self.dir.get_mut(&line).expect("entry exists");
-        entry.state = DirState::Exclusive(node);
-        entry.locked_by = Some(node);
+        let sl = &mut self.slots[slot as usize];
+        sl.holders = HolderSet::single(node);
+        sl.locked_by = Some(node);
         self.stats.line_lock_acquires += 1;
         self.charge(node, self.cfg.cost.line_lock_acquire);
         self.trace.emit(TraceEvent::LineLock { node, line });
@@ -571,11 +661,12 @@ impl Machine {
     /// Release a line lock held by `node`.
     pub fn releaseline(&mut self, node: NodeId, line: LineId) -> Result<(), MemError> {
         self.check_node(node)?;
-        let entry = self.dir.get_mut(&line).ok_or(MemError::NotResident { line })?;
-        if entry.locked_by != Some(node) {
+        let slot = self.slot_of(line).ok_or(MemError::NotResident { line })?;
+        let sl = &mut self.slots[slot as usize];
+        if sl.locked_by != Some(node) {
             return Err(MemError::NotLockHolder { line, node });
         }
-        entry.locked_by = None;
+        sl.locked_by = None;
         self.charge(node, self.cfg.cost.line_lock_release);
         self.trace.emit(TraceEvent::LineUnlock { node, line });
         self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::LineUnlock {
@@ -587,7 +678,7 @@ impl Machine {
 
     /// The current line-lock holder, if any.
     pub fn line_lock_holder(&self, line: LineId) -> Option<NodeId> {
-        self.dir.get(&line).and_then(|e| e.locked_by)
+        self.slot_of(line).and_then(|s| self.slots[s as usize].locked_by)
     }
 
     // ------------------------------------------------------------------
@@ -598,21 +689,21 @@ impl Machine {
     /// whose log records have not yet been forced to stable store. This is
     /// the one-bit-per-line coherence extension proposed in §5.2.
     pub fn set_active(&mut self, line: LineId, owner: NodeId) {
-        if let Some(e) = self.dir.get_mut(&line) {
-            e.active_owner = Some(owner);
+        if let Some(s) = self.slot_of(line) {
+            self.slots[s as usize].active_owner = Some(owner);
         }
     }
 
     /// Clear the active bit (called after the owner forces its log).
     pub fn clear_active(&mut self, line: LineId) {
-        if let Some(e) = self.dir.get_mut(&line) {
-            e.active_owner = None;
+        if let Some(s) = self.slot_of(line) {
+            self.slots[s as usize].active_owner = None;
         }
     }
 
     /// The node whose unforced update marks this line active, if any.
     pub fn active_owner(&self, line: LineId) -> Option<NodeId> {
-        self.dir.get(&line).and_then(|e| e.active_owner)
+        self.slot_of(line).and_then(|s| self.slots[s as usize].active_owner)
     }
 
     /// Report the coherence transition that an access by `node` to `line`
@@ -626,25 +717,21 @@ impl Machine {
         line: LineId,
         is_write: bool,
     ) -> Option<TriggerEvent> {
-        let entry = self.dir.get(&line)?;
-        let owner = entry.active_owner?;
+        let sl = &self.slots[self.slot_of(line)? as usize];
+        let owner = sl.active_owner?;
         if owner == node {
             return None;
         }
         // Does `owner` still hold a valid copy that this access endangers?
-        let owner_holds = match &entry.state {
-            DirState::Exclusive(n) => *n == owner,
-            DirState::Shared(s) => s.contains(&owner),
-            DirState::Lost => false,
-        };
-        if !owner_holds {
+        if !sl.holders.contains(owner) {
             return None;
         }
+        let exclusive = !sl.lost && sl.holders.len() == 1;
         match self.cfg.coherence {
             CoherenceKind::WriteInvalidate => {
                 if is_write {
                     Some(TriggerEvent { line, owner, kind: TransferKind::Invalidate })
-                } else if matches!(entry.state, DirState::Exclusive(_)) {
+                } else if exclusive {
                     Some(TriggerEvent { line, owner, kind: TransferKind::Downgrade })
                 } else {
                     None
@@ -654,7 +741,7 @@ impl Machine {
             // uncommitted update becomes visible on (and dependent on) the
             // accessing node — undo information must be stable first.
             CoherenceKind::WriteBroadcast => {
-                if matches!(entry.state, DirState::Exclusive(_)) {
+                if exclusive {
                     Some(TriggerEvent { line, owner, kind: TransferKind::Downgrade })
                 } else {
                     None
@@ -684,49 +771,42 @@ impl Machine {
                 continue;
             }
             st.crashed = true;
-            st.cache.clear();
             report.crashed.push(n);
         }
-        let crashed: BTreeSet<NodeId> = report.crashed.iter().copied().collect();
-        if crashed.is_empty() {
+        if report.crashed.is_empty() {
             return report;
         }
-        for (&line, entry) in self.dir.iter_mut() {
-            let newly_lost = match &mut entry.state {
-                DirState::Exclusive(n) if crashed.contains(n) => true,
-                DirState::Shared(s) => {
-                    s.retain(|n| !crashed.contains(n));
-                    match s.len() {
-                        0 => true,
-                        1 => {
-                            let sole = *s.iter().next().expect("len checked");
-                            entry.state = DirState::Exclusive(sole);
-                            false
-                        }
-                        _ => false,
-                    }
-                }
-                _ => false,
-            };
-            if newly_lost {
-                entry.state = DirState::Lost;
-                report.lost_lines.push(line);
-                self.stats.lines_lost += 1;
+        let crashed = &report.crashed;
+        for sl in self.slots.iter_mut() {
+            if !sl.live {
+                continue;
             }
-            if let Some(h) = entry.locked_by {
+            if !sl.lost {
+                sl.holders.retain(|n| !crashed.contains(&n));
+                if sl.holders.is_empty() {
+                    sl.lost = true;
+                    report.lost_lines.push(sl.line);
+                    self.stats.lines_lost += 1;
+                }
+            }
+            if let Some(h) = sl.locked_by {
                 if crashed.contains(&h) {
-                    entry.locked_by = None;
-                    report.broken_line_locks.push(line);
+                    sl.locked_by = None;
+                    report.broken_line_locks.push(sl.line);
                 }
             }
-            if let Some(o) = entry.active_owner {
+            if let Some(o) = sl.active_owner {
                 if crashed.contains(&o) {
                     // The owner's volatile log died with it; the active bit
                     // is meaningless now.
-                    entry.active_owner = None;
+                    sl.active_owner = None;
                 }
             }
         }
+        // Slot order is allocation order; reports are sorted by line id
+        // (the order the old BTreeMap directory yielded them in).
+        report.lost_lines.sort();
+        report.broken_line_locks.sort();
         self.trace.emit(TraceEvent::Crash {
             nodes: report.crashed.clone(),
             lost: report.lost_lines.len() as u64,
@@ -749,7 +829,6 @@ impl Machine {
         let max = self.max_clock();
         let st = &mut self.nodes[node.0 as usize];
         st.crashed = false;
-        st.cache.clear();
         st.clock = st.clock.max(max);
     }
 
@@ -760,7 +839,7 @@ impl Machine {
     /// Whether the line's data was destroyed by a crash and has not been
     /// reinstalled.
     pub fn is_lost(&self, line: LineId) -> bool {
-        matches!(self.dir.get(&line).map(|e| &e.state), Some(DirState::Lost))
+        self.slot_of(line).map(|s| self.slots[s as usize].lost).unwrap_or(false)
     }
 
     /// Whether any surviving cache holds a valid copy. This is the §4.1.2
@@ -769,10 +848,7 @@ impl Machine {
     /// with a cache line in a surviving node, an invalid flag is
     /// returned."*
     pub fn probe_cached(&self, line: LineId) -> bool {
-        matches!(
-            self.dir.get(&line).map(|e| &e.state),
-            Some(DirState::Exclusive(_)) | Some(DirState::Shared(_))
-        )
+        self.slot_of(line).map(|s| !self.slots[s as usize].lost).unwrap_or(false)
     }
 
     /// Discard `node`'s cached copy of `line` (no writeback — the caller is
@@ -782,46 +858,39 @@ impl Machine {
     /// buffer manager after flushing a page.
     pub fn discard(&mut self, node: NodeId, line: LineId) -> Result<(), MemError> {
         self.check_node(node)?;
-        let entry = match self.dir.get_mut(&line) {
+        let slot = match self.slot_of(line) {
             None => return Ok(()), // already gone
-            Some(e) => e,
+            Some(s) => s,
         };
-        match &mut entry.state {
-            DirState::Exclusive(n) if *n == node => {
-                self.dir.remove(&line);
-                self.nodes[node.0 as usize].cache.remove(&line);
+        let sl = &mut self.slots[slot as usize];
+        if sl.holders.contains(node) {
+            sl.holders.remove(node);
+            if sl.holders.is_empty() && !sl.lost {
+                self.free_slot(slot);
             }
-            DirState::Shared(s) => {
-                s.retain(|n| *n != node);
-                match s.len() {
-                    0 => {
-                        self.dir.remove(&line);
-                    }
-                    1 => {
-                        let sole = *s.iter().next().expect("len checked");
-                        entry.state = DirState::Exclusive(sole);
-                    }
-                    _ => {}
-                }
-                self.nodes[node.0 as usize].cache.remove(&line);
-            }
-            _ => {}
         }
         self.stats.evictions += 1;
         self.charge(node, self.cfg.cost.local_hit);
         Ok(())
     }
 
-    /// Discard every line in `node`'s cache matching `pred`; returns the
-    /// discarded line ids. Redo-All step 1 uses this to flush all cached
-    /// database objects from surviving nodes.
-    pub fn discard_matching(&mut self, node: NodeId, pred: impl Fn(LineId) -> bool) -> Vec<LineId> {
-        let lines: Vec<LineId> =
-            self.nodes[node.0 as usize].cache.keys().copied().filter(|l| pred(*l)).collect();
-        for &l in &lines {
-            let _ = self.discard(node, l);
+    /// Discard every line in `node`'s cache matching `pred`; returns how
+    /// many were discarded. Redo-All step 1 uses this to flush all cached
+    /// database objects from surviving nodes. Single allocation-free pass
+    /// over the slot array.
+    pub fn discard_matching(&mut self, node: NodeId, pred: impl Fn(LineId) -> bool) -> u64 {
+        let mut count = 0u64;
+        for i in 0..self.slots.len() {
+            let (live, line, holds) = {
+                let sl = &self.slots[i];
+                (sl.live, sl.line, sl.holders.contains(node))
+            };
+            if live && holds && pred(line) {
+                let _ = self.discard(node, line);
+                count += 1;
+            }
         }
-        lines
+        count
     }
 
     /// (Re)install a line's contents as exclusive in `node`'s cache,
@@ -836,21 +905,20 @@ impl Machine {
         data: &[u8],
     ) -> Result<(), MemError> {
         self.check_node(node)?;
-        let buf = self.padded(data);
-        // Invalidate any surviving copies elsewhere: install is
-        // authoritative.
-        if self.dir.contains_key(&line) {
-            for holder in self.holders_set(line) {
-                if holder != node {
-                    self.nodes[holder.0 as usize].cache.remove(&line);
-                }
+        let slot = match self.slot_of(line) {
+            Some(s) => {
+                // Install is authoritative: any surviving copies elsewhere
+                // are dropped along with locks and active bits.
+                let sl = &mut self.slots[s as usize];
+                sl.lost = false;
+                sl.locked_by = None;
+                sl.active_owner = None;
+                sl.holders = HolderSet::single(node);
+                s
             }
-        }
-        self.dir.insert(
-            line,
-            DirEntry { state: DirState::Exclusive(node), locked_by: None, active_owner: None },
-        );
-        self.nodes[node.0 as usize].cache.insert(line, buf);
+            None => self.alloc_slot(line, node),
+        };
+        self.write_line_padded(slot, data);
         self.charge(node, self.cfg.cost.local_hit);
         self.trace.emit(TraceEvent::Install { node, line });
         self.obs.bus.emit(self.nodes[node.0 as usize].clock, || ObsEvent::Install {
@@ -864,8 +932,10 @@ impl Machine {
     /// `NotResident`). Recovery calls this once it has ensured the line's
     /// durable state is authoritative and no reinstall is needed.
     pub fn clear_lost(&mut self, line: LineId) {
-        if self.is_lost(line) {
-            self.dir.remove(&line);
+        if let Some(s) = self.slot_of(line) {
+            if self.slots[s as usize].lost {
+                self.free_slot(s);
+            }
         }
     }
 
@@ -878,55 +948,123 @@ impl Machine {
     /// recovery bookkeeping, invariant oracles, and tests — *not* part of
     /// the coherent access path.
     pub fn peek(&self, line: LineId) -> Option<&[u8]> {
-        let entry = self.dir.get(&line)?;
-        let holder = match &entry.state {
-            DirState::Exclusive(n) => *n,
-            DirState::Shared(s) => *s.iter().next()?,
-            DirState::Lost => return None,
-        };
-        self.nodes[holder.0 as usize].cache.get(&line).map(|b| &b[..])
+        let slot = self.slot_of(line)?;
+        if self.slots[slot as usize].lost {
+            return None;
+        }
+        Some(self.line_data(slot))
     }
 
     /// Zero-cost view of `node`'s own cached copy, if valid.
     pub fn peek_local(&self, node: NodeId, line: LineId) -> Option<&[u8]> {
-        if !self.holders_set_opt(line)?.contains(&node) {
+        let slot = self.slot_of(line)?;
+        if !self.slots[slot as usize].holders.contains(node) {
             return None;
         }
-        self.nodes[node.0 as usize].cache.get(&line).map(|b| &b[..])
-    }
-
-    fn holders_set_opt(&self, line: LineId) -> Option<BTreeSet<NodeId>> {
-        self.dir.get(&line)?;
-        Some(self.holders_set(line))
+        Some(self.line_data(slot))
     }
 
     /// Iterate over the lines currently valid in `node`'s cache. This is
     /// the sequential cache scan Selective Redo performs to find records
-    /// tagged by crashed nodes (§4.1.2).
+    /// tagged by crashed nodes (§4.1.2). Iteration is in slot (allocation)
+    /// order.
     pub fn iter_cached(&self, node: NodeId) -> impl Iterator<Item = (LineId, &[u8])> {
-        self.nodes[node.0 as usize].cache.iter().map(|(l, d)| (*l, &d[..]))
+        let ls = self.cfg.line_size;
+        self.slots.iter().enumerate().filter_map(move |(i, sl)| {
+            if sl.live && sl.holders.contains(node) {
+                Some((sl.line, &self.data[i * ls..(i + 1) * ls]))
+            } else {
+                None
+            }
+        })
     }
 
-    /// The nodes currently holding valid copies of `line`.
-    pub fn holders(&self, line: LineId) -> Vec<NodeId> {
-        match self.dir.get(&line) {
-            None => Vec::new(),
-            Some(_) => self.holders_set(line).into_iter().collect(),
+    /// The nodes currently holding valid copies of `line`, as a sorted
+    /// slice borrowed from the directory (no allocation; empty if the line
+    /// is lost or not resident).
+    pub fn holders(&self, line: LineId) -> &[NodeId] {
+        match self.slot_of(line) {
+            Some(s) => self.slots[s as usize].holders.as_slice(),
+            None => &[],
         }
+    }
+
+    /// Number of nodes holding a valid copy of `line`.
+    pub fn holder_count(&self, line: LineId) -> usize {
+        self.holders(line).len()
     }
 
     /// The exclusive owner of `line`, if it is held exclusively.
     pub fn exclusive_owner(&self, line: LineId) -> Option<NodeId> {
-        match self.dir.get(&line).map(|e| &e.state) {
-            Some(DirState::Exclusive(n)) => Some(*n),
-            _ => None,
+        let slot = self.slot_of(line)?;
+        let sl = &self.slots[slot as usize];
+        if !sl.lost && sl.holders.len() == 1 {
+            sl.holders.first()
+        } else {
+            None
         }
     }
 
     /// Whether `line` exists in the directory (in any state, including
     /// `Lost`).
     pub fn line_exists(&self, line: LineId) -> bool {
-        self.dir.contains_key(&line)
+        self.slot_of(line).is_some()
+    }
+
+    /// Check every structural invariant of the flat line store, panicking
+    /// with a description on violation. O(slots × nodes); meant for tests
+    /// and property checks, not the hot path.
+    pub fn validate_flat(&self) {
+        let mut live = 0usize;
+        for (i, sl) in self.slots.iter().enumerate() {
+            if !sl.live {
+                assert!(
+                    self.free.contains(&(i as u32)),
+                    "dead slot {i} missing from the free list"
+                );
+                continue;
+            }
+            live += 1;
+            assert_eq!(
+                self.index.get(sl.line.0),
+                Some(i as u32),
+                "live slot {i} (line {:?}) not indexed back to itself",
+                sl.line
+            );
+            let h = sl.holders.as_slice();
+            assert!(
+                h.windows(2).all(|w| w[0] < w[1]),
+                "holder set of {:?} not sorted/deduped: {h:?}",
+                sl.line
+            );
+            if sl.lost {
+                assert!(h.is_empty(), "lost line {:?} still has holders {h:?}", sl.line);
+                assert!(sl.locked_by.is_none(), "lost line {:?} still locked", sl.line);
+            } else {
+                assert!(!h.is_empty(), "valid line {:?} has no holders", sl.line);
+            }
+            for n in h {
+                assert!(
+                    !self.nodes[n.0 as usize].crashed,
+                    "crashed node {n:?} still holds {:?}",
+                    sl.line
+                );
+            }
+            if let Some(l) = sl.locked_by {
+                assert!(h.contains(&l), "lock holder {l:?} of {:?} holds no copy", sl.line);
+            }
+        }
+        assert_eq!(self.index.len(), live, "index size disagrees with live slot count");
+        assert_eq!(
+            self.slots.len(),
+            live + self.free.len(),
+            "slot accounting: live + free ≠ total"
+        );
+        assert_eq!(
+            self.data.len(),
+            self.slots.len() * self.cfg.line_size,
+            "arena size disagrees with slot count"
+        );
     }
 }
 
@@ -986,9 +1124,8 @@ mod tests {
         m.read_into(N1, L, 0, &mut b).unwrap();
         assert_eq!(b, [7]);
         assert_eq!(m.exclusive_owner(L), None);
-        let mut hs = m.holders(L);
-        hs.sort();
-        assert_eq!(hs, vec![N0, N1]);
+        // Holder slices are always sorted by node id.
+        assert_eq!(m.holders(L), vec![N0, N1]);
         assert_eq!(m.stats().replications, 1);
         assert_eq!(m.stats().downgrades, 1);
     }
@@ -1001,7 +1138,7 @@ mod tests {
         let mut b = [0u8];
         m.read_into(N1, L, 0, &mut b).unwrap();
         m.read_into(N2, L, 0, &mut b).unwrap();
-        assert_eq!(m.holders(L).len(), 3);
+        assert_eq!(m.holder_count(L), 3);
         m.write(N1, L, 0, &[9]).unwrap();
         assert_eq!(m.holders(L), vec![N1]);
         assert_eq!(m.stats().invalidations, 2);
@@ -1105,7 +1242,7 @@ mod tests {
         m.write(N0, L, 0, &[9]).unwrap();
         // Both copies reflect the write; no invalidation happened.
         assert_eq!(m.peek_local(N1, L).unwrap()[0], 9);
-        assert_eq!(m.holders(L).len(), 2);
+        assert_eq!(m.holder_count(L), 2);
         assert_eq!(m.stats().invalidations, 0);
         assert_eq!(m.stats().broadcast_updates, 1);
         // Crash of either node leaves the data intact.
@@ -1174,9 +1311,54 @@ mod tests {
         m.create_line_at(N0, LineId(2), &[2]).unwrap();
         m.create_line_at(N0, LineId(100), &[3]).unwrap();
         let dropped = m.discard_matching(N0, |l| l.0 < 10);
-        assert_eq!(dropped, vec![LineId(1), LineId(2)]);
+        assert_eq!(dropped, 2);
         assert!(m.probe_cached(LineId(100)));
         assert!(!m.probe_cached(LineId(1)));
+        assert!(!m.probe_cached(LineId(2)));
+    }
+
+    #[test]
+    fn freed_slots_are_recycled() {
+        let mut m = machine(1);
+        m.create_line_at(N0, LineId(1), &[1]).unwrap();
+        m.create_line_at(N0, LineId(2), &[2]).unwrap();
+        let before = m.flat_stats();
+        assert_eq!(before.buf_reuse, 0);
+        m.discard(N0, LineId(1)).unwrap();
+        assert_eq!(m.flat_stats().free_slots, 1);
+        // New line takes the freed slot: no arena growth, stale bytes
+        // zeroed.
+        m.create_line_at(N0, LineId(3), &[]).unwrap();
+        let after = m.flat_stats();
+        assert_eq!(after.slots, before.slots);
+        assert_eq!(after.free_slots, 0);
+        assert_eq!(after.buf_reuse, 1);
+        assert!(m.peek(LineId(3)).unwrap().iter().all(|b| *b == 0));
+        m.validate_flat();
+    }
+
+    #[test]
+    fn clear_lost_frees_the_slot() {
+        let mut m = machine(2);
+        m.create_line_at(N1, L, &[3]).unwrap();
+        m.crash(&[N1]);
+        assert!(m.line_exists(L));
+        m.clear_lost(L);
+        assert!(!m.line_exists(L));
+        assert_eq!(m.flat_stats().free_slots, 1);
+        m.validate_flat();
+    }
+
+    #[test]
+    fn holders_slice_is_borrowed_and_sorted() {
+        let mut m = machine(3);
+        m.create_line_at(N2, L, &[1]).unwrap();
+        let mut b = [0u8];
+        m.read_into(N0, L, 0, &mut b).unwrap();
+        m.read_into(N1, L, 0, &mut b).unwrap();
+        assert_eq!(m.holders(L), vec![N0, N1, N2]);
+        assert_eq!(m.holders(LineId(999)), &[] as &[NodeId]);
+        m.validate_flat();
     }
 
     #[test]
@@ -1219,6 +1401,22 @@ mod tests {
     }
 
     #[test]
+    fn read_line_with_runs_coherence_transitions() {
+        let mut m = machine(2);
+        m.create_line_at(N0, L, b"abc").unwrap();
+        let first = m.read_line_with(N1, L, |d| d[0]).unwrap();
+        assert_eq!(first, b'a');
+        // The closure read behaves exactly like read_into: replication +
+        // downgrade happened.
+        assert_eq!(m.holders(L), vec![N0, N1]);
+        assert_eq!(m.stats().remote_transfers, 1);
+        assert_eq!(m.stats().replications, 1);
+        // Locked lines still stall.
+        m.getline(N0, L).unwrap();
+        assert!(matches!(m.read_line_with(N1, L, |_| ()), Err(MemError::Stalled { .. })));
+    }
+
+    #[test]
     fn out_of_bounds_rejected() {
         let mut m = machine(1);
         m.create_line_at(N0, L, &[1]).unwrap();
@@ -1238,6 +1436,7 @@ mod tests {
         assert_eq!(rep.crashed, vec![N0, N1]);
         assert_eq!(rep.lost_lines, vec![LineId(1), LineId(2)]);
         assert!(m.probe_cached(LineId(3)));
+        m.validate_flat();
     }
 
     #[test]

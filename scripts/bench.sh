@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Bench-trajectory gate: run the experiment report in fast mode, record
+# the machine-readable BENCH_report.json, and fail when total wall-clock
+# regresses more than 25% against the checked-in baseline
+# (scripts/bench_baseline.json).
+#
+# Wall-clock on shared CI runners is noisy, so the CI wiring treats this
+# gate as NON-BLOCKING (continue-on-error); locally it is the fastest way
+# to notice a hot-path regression. Refresh the baseline intentionally
+# with: scripts/bench.sh --update-baseline
+#
+# Usage: scripts/bench.sh [--jobs N] [--update-baseline]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+JOBS="${BENCH_JOBS:-$(nproc 2>/dev/null || echo 1)}"
+UPDATE=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --jobs) JOBS="$2"; shift 2 ;;
+        --jobs=*) JOBS="${1#--jobs=}"; shift ;;
+        --update-baseline) UPDATE=1; shift ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+BASELINE=scripts/bench_baseline.json
+REPORT=BENCH_report.json
+
+echo "== bench: report --fast --jobs $JOBS =="
+cargo build -q --release -p smdb-bench
+./target/release/report --fast --jobs "$JOBS" --json "$REPORT" > /dev/null
+
+extract_wall_ms() {
+    # total_wall_ms, truncated to an integer (no jq/bc in minimal images).
+    sed -n 's/.*"total_wall_ms": \([0-9]*\)\(\.[0-9]*\)\?.*/\1/p' "$1" | head -1
+}
+
+NEW_MS="$(extract_wall_ms "$REPORT")"
+if [ -z "$NEW_MS" ]; then
+    echo "bench: could not parse total_wall_ms from $REPORT" >&2
+    exit 1
+fi
+echo "total wall-clock: ${NEW_MS} ms (jobs=$JOBS)"
+
+if [ "$UPDATE" = 1 ]; then
+    cp "$REPORT" "$BASELINE"
+    echo "baseline updated: $BASELINE"
+    exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+    echo "bench: no baseline at $BASELINE; run scripts/bench.sh --update-baseline" >&2
+    exit 1
+fi
+
+BASE_MS="$(extract_wall_ms "$BASELINE")"
+LIMIT_MS=$(( BASE_MS * 125 / 100 ))
+echo "baseline: ${BASE_MS} ms, regression limit (+25%): ${LIMIT_MS} ms"
+if [ "$NEW_MS" -gt "$LIMIT_MS" ]; then
+    echo "bench: REGRESSION — ${NEW_MS} ms > ${LIMIT_MS} ms" >&2
+    exit 1
+fi
+echo "bench OK"

@@ -27,4 +27,11 @@ else
     echo "clippy not installed; skipping"
 fi
 
+echo "== bench trajectory (non-blocking) =="
+# Wall-clock is machine-dependent; a regression here warns but never
+# fails the gate. See scripts/bench.sh for the blocking local variant.
+if ! scripts/bench.sh; then
+    echo "bench gate failed (non-blocking): inspect BENCH_report.json" >&2
+fi
+
 echo "CI OK"

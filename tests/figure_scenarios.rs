@@ -55,9 +55,7 @@ fn history_wr_replication() {
     m.write(X, l, 0, &[1]).unwrap();
     let mut b = [0u8];
     m.read_into(Y, l, 0, &mut b).unwrap(); // r_y[l]
-    let mut hs = m.holders(l);
-    hs.sort();
-    assert_eq!(hs, vec![X, Y], "line valid on both nodes after w_x; r_y");
+    assert_eq!(m.holders(l), vec![X, Y], "line valid on both nodes after w_x; r_y");
     // Crash of x leaves the (uncommitted, in DB terms) data on y.
     m.crash(&[X]);
     assert!(!m.is_lost(l));
