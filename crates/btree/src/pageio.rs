@@ -14,6 +14,7 @@
 //! * `StableEager` forcing and `Volatile` no-forcing are driven by the
 //!   callers through [`TreeCtx::after_update`].
 
+use crate::tree::BtreeError;
 use smdb_obs::{Event as ObsEvent, ForceReason};
 use smdb_sim::{LineId, Machine, MemError, NodeId};
 use smdb_storage::{PageGeometry, PageId, StableDb, PAGE_LSN_OFFSET, PAGE_LSN_SIZE};
@@ -138,14 +139,19 @@ impl<'a> TreeCtx<'a> {
     /// and clear the bit. No-op under policies that don't use triggers
     /// (volatile logging needs no force; eager forcing never leaves active
     /// lines behind).
-    pub fn enforce_trigger(&mut self, node: NodeId, line: LineId, is_write: bool) {
+    pub fn enforce_trigger(
+        &mut self,
+        node: NodeId,
+        line: LineId,
+        is_write: bool,
+    ) -> Result<(), BtreeError> {
         if !self.lbm.uses_triggers() {
-            return;
+            return Ok(());
         }
         if let Some(ev) = self.m.pending_triggers(node, line, is_write) {
             let obs_on = self.m.obs().is_enabled();
             let pending = if obs_on { self.unforced_records(ev.owner) } else { 0 };
-            if self.logs.log_mut(ev.owner).force_all() {
+            if self.logs.force_all_checked(ev.owner).map_err(MemError::FaultCrash)? {
                 let cost = self.m.config().cost.log_force;
                 self.m.advance(ev.owner, cost);
                 self.trigger_forces += 1;
@@ -160,16 +166,17 @@ impl<'a> TreeCtx<'a> {
             }
             self.m.clear_active(ev.line);
         }
+        Ok(())
     }
 
     /// Policy hook to run after an update's log record has been appended:
     /// eager forcing under `StableEager`, active-bit marking under
     /// `StableTriggered`, nothing under `Volatile`.
-    pub fn after_update(&mut self, node: NodeId, spans: &[LineSpan]) {
+    pub fn after_update(&mut self, node: NodeId, spans: &[LineSpan]) -> Result<(), BtreeError> {
         match self.lbm {
             LbmMode::Volatile => {}
             LbmMode::StableEager => {
-                self.force_node_log_for(node, ForceReason::Lbm);
+                self.force_node_log_for(node, ForceReason::Lbm)?;
             }
             LbmMode::StableTriggered => {
                 // Under write-broadcast, a write to a *shared* line has
@@ -182,7 +189,9 @@ impl<'a> TreeCtx<'a> {
                     if self.m.holder_count(l) > 1 {
                         let obs_on = self.m.obs().is_enabled();
                         let pending = if obs_on { self.unforced_records(node) } else { 0 };
-                        if !forced && self.logs.log_mut(node).force_all() {
+                        if !forced
+                            && self.logs.force_all_checked(node).map_err(MemError::FaultCrash)?
+                        {
                             let cost = self.m.config().cost.log_force;
                             self.m.advance(node, cost);
                             self.trigger_forces += 1;
@@ -197,40 +206,46 @@ impl<'a> TreeCtx<'a> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Force `node`'s entire log, charging the force latency if a physical
     /// force happened. Used by the tree algorithms for the forced
     /// structural records (early commit of structural changes), hence the
     /// `Commit` force reason.
-    pub fn force_node_log(&mut self, node: NodeId) {
-        self.force_node_log_for(node, ForceReason::Commit);
+    pub fn force_node_log(&mut self, node: NodeId) -> Result<(), BtreeError> {
+        self.force_node_log_for(node, ForceReason::Commit)
     }
 
     /// [`TreeCtx::force_node_log`] with an explicit observability reason.
-    pub fn force_node_log_for(&mut self, node: NodeId, reason: ForceReason) {
+    pub fn force_node_log_for(
+        &mut self,
+        node: NodeId,
+        reason: ForceReason,
+    ) -> Result<(), BtreeError> {
         let obs_on = self.m.obs().is_enabled();
         let pending = if obs_on { self.unforced_records(node) } else { 0 };
-        if self.logs.log_mut(node).force_all() {
+        if self.logs.force_all_checked(node).map_err(MemError::FaultCrash)? {
             let cost = self.m.config().cost.log_force;
             self.m.advance(node, cost);
             if obs_on {
                 self.note_force(node, pending, reason);
             }
         }
+        Ok(())
     }
 
     /// Ensure every line of `page` is resident in some cache, faulting the
     /// page in from the stable database if necessary. Errors with
     /// [`MemError::LineLost`] (or a stall) if the page's lines were
     /// destroyed by a crash and not yet recovered.
-    pub fn ensure_resident(&mut self, node: NodeId, page: PageId) -> Result<(), MemError> {
+    pub fn ensure_resident(&mut self, node: NodeId, page: PageId) -> Result<(), BtreeError> {
         let g = self.geometry();
         let first = LineId(g.line_addr(page, 0));
         if self.m.is_lost(first) {
             // Surface the loss exactly like a direct access would.
             let mut probe = [0u8; 1];
-            return self.m.read_into(node, first, 0, &mut probe).map(|_| ());
+            return self.m.read_into(node, first, 0, &mut probe).map_err(BtreeError::from);
         }
         if self.m.line_exists(first) {
             return Ok(());
@@ -238,10 +253,7 @@ impl<'a> TreeCtx<'a> {
         // Fault the page in from the stable database. The stable image is
         // borrowed directly (`db` and `m` are disjoint fields) — no page
         // copy is made.
-        let img = self
-            .db
-            .read_page(page)
-            .unwrap_or_else(|| panic!("tree page {page} missing from stable db"));
+        let img = self.db.read_page(page).ok_or(BtreeError::StablePageMissing { page })?;
         let cost = self.m.config().cost.disk_io;
         self.m.advance(node, cost);
         for idx in 0..g.lines_per_page {
@@ -260,7 +272,7 @@ impl<'a> TreeCtx<'a> {
         page: PageId,
         offset: usize,
         buf: &mut [u8],
-    ) -> Result<(), MemError> {
+    ) -> Result<(), BtreeError> {
         self.ensure_resident(node, page)?;
         let g = self.geometry();
         let mut done = 0;
@@ -270,7 +282,7 @@ impl<'a> TreeCtx<'a> {
             let within = abs % g.line_size;
             let chunk = (g.line_size - within).min(buf.len() - done);
             let line = LineId(g.line_addr(page, idx));
-            self.enforce_trigger(node, line, false);
+            self.enforce_trigger(node, line, false)?;
             self.m.read_into(node, line, within, &mut buf[done..done + chunk])?;
             done += chunk;
         }
@@ -278,7 +290,7 @@ impl<'a> TreeCtx<'a> {
     }
 
     /// Read the full page image coherently.
-    pub fn read_page_image(&mut self, node: NodeId, page: PageId) -> Result<Vec<u8>, MemError> {
+    pub fn read_page_image(&mut self, node: NodeId, page: PageId) -> Result<Vec<u8>, BtreeError> {
         let mut buf = vec![0u8; self.geometry().page_size()];
         self.read(node, page, 0, &mut buf)?;
         Ok(buf)
@@ -292,7 +304,7 @@ impl<'a> TreeCtx<'a> {
         page: PageId,
         offset: usize,
         bytes: &[u8],
-    ) -> Result<LineSpan, MemError> {
+    ) -> Result<LineSpan, BtreeError> {
         self.ensure_resident(node, page)?;
         let g = self.geometry();
         if bytes.is_empty() {
@@ -306,7 +318,7 @@ impl<'a> TreeCtx<'a> {
             let within = abs % g.line_size;
             let chunk = (g.line_size - within).min(bytes.len() - done);
             let line = LineId(g.line_addr(page, idx));
-            self.enforce_trigger(node, line, true);
+            self.enforce_trigger(node, line, true)?;
             self.m.write(node, line, within, &bytes[done..done + chunk])?;
             done += chunk;
         }
@@ -323,14 +335,14 @@ impl<'a> TreeCtx<'a> {
         node: NodeId,
         page: PageId,
         lsn: Lsn,
-    ) -> Result<LineSpan, MemError> {
+    ) -> Result<LineSpan, BtreeError> {
         let touched = self.write(node, page, PAGE_LSN_OFFSET, &lsn.0.to_le_bytes())?;
         self.plt.note_update(page, node, lsn);
         Ok(touched)
     }
 
     /// Current Page-LSN of the cached page.
-    pub fn page_lsn(&mut self, node: NodeId, page: PageId) -> Result<Lsn, MemError> {
+    pub fn page_lsn(&mut self, node: NodeId, page: PageId) -> Result<Lsn, BtreeError> {
         let mut buf = [0u8; PAGE_LSN_SIZE];
         self.read(node, page, PAGE_LSN_OFFSET, &mut buf)?;
         Ok(Lsn(u64::from_le_bytes(buf)))
@@ -340,13 +352,13 @@ impl<'a> TreeCtx<'a> {
     /// every node that updated the page since its last flush must have
     /// forced its log up to its last update LSN (§6). Returns the number of
     /// log forces this flush triggered.
-    pub fn flush_page(&mut self, node: NodeId, page: PageId) -> Result<u64, MemError> {
+    pub fn flush_page(&mut self, node: NodeId, page: PageId) -> Result<u64, BtreeError> {
         let mut forces = 0;
         for (n, lsn) in self.plt.flush_requirements(page) {
             if !self.logs.log(n).is_stable(lsn) {
                 let obs_on = self.m.obs().is_enabled();
                 let stable_before = self.logs.log(n).stable_lsn();
-                if self.logs.log_mut(n).force_to(lsn) {
+                if self.logs.force_to_checked(n, lsn).map_err(MemError::FaultCrash)? {
                     let cost = self.m.config().cost.log_force;
                     self.m.advance(n, cost);
                     forces += 1;
@@ -364,8 +376,11 @@ impl<'a> TreeCtx<'a> {
         img.clear();
         img.resize(ps, 0);
         self.read(node, page, 0, &mut img)?;
-        self.db.write_page(page, &img);
+        // Torn-write crash point: the flush may die between sectors,
+        // leaving a stable image that mixes old and new lines.
+        let write = self.db.write_page_checked(node.0, page, &img);
         self.scratch = img;
+        write.map_err(MemError::FaultCrash)?;
         let cost = self.m.config().cost.disk_io;
         self.m.advance(node, cost);
         self.plt.page_flushed(page);
@@ -395,12 +410,13 @@ impl<'a> TreeCtx<'a> {
 
     /// (Re)install every line of `page` from the stable image, on
     /// `node`, overwriting lost lines. Recovery-side primitive.
-    pub fn install_page_from_stable(&mut self, node: NodeId, page: PageId) -> Result<(), MemError> {
+    pub fn install_page_from_stable(
+        &mut self,
+        node: NodeId,
+        page: PageId,
+    ) -> Result<(), BtreeError> {
         let g = self.geometry();
-        let img = self
-            .db
-            .read_page(page)
-            .unwrap_or_else(|| panic!("tree page {page} missing from stable db"));
+        let img = self.db.read_page(page).ok_or(BtreeError::StablePageMissing { page })?;
         let cost = self.m.config().cost.disk_io;
         self.m.advance(node, cost);
         for idx in 0..g.lines_per_page {
@@ -414,10 +430,10 @@ impl<'a> TreeCtx<'a> {
     /// Create a fresh zeroed page: stable zero image plus resident zero
     /// lines on `node`. Used for structural allocations (the stable write
     /// is part of the early commit).
-    pub fn create_zero_page(&mut self, node: NodeId, page: PageId) -> Result<(), MemError> {
+    pub fn create_zero_page(&mut self, node: NodeId, page: PageId) -> Result<(), BtreeError> {
         let g = self.geometry();
         let zeros = vec![0u8; g.page_size()];
-        self.db.write_page(page, &zeros);
+        self.db.write_page_checked(node.0, page, &zeros).map_err(MemError::FaultCrash)?;
         let cost = self.m.config().cost.disk_io;
         self.m.advance(node, cost);
         for idx in 0..g.lines_per_page {
@@ -519,7 +535,7 @@ mod tests {
         let touched = c.write(N0, P, 10, &[9]).unwrap();
         let first = touched.iter().next().unwrap();
         c.logs.append(N0, smdb_wal::LogPayload::Checkpoint);
-        c.after_update(N0, &[touched]);
+        c.after_update(N0, &[touched]).unwrap();
         assert_eq!(c.m.active_owner(first), Some(N0));
         assert_eq!(c.logs.log(N0).stable_lsn(), Lsn::ZERO);
         // n1 reads the same line: the trigger forces n0's log first.
@@ -535,7 +551,7 @@ mod tests {
         let mut c = ctx(&mut o, LbmMode::StableEager);
         let touched = c.write(N0, P, 10, &[9]).unwrap();
         c.logs.append(N0, smdb_wal::LogPayload::Checkpoint);
-        c.after_update(N0, &[touched]);
+        c.after_update(N0, &[touched]).unwrap();
         assert_eq!(c.logs.log(N0).stats().forces, 1);
     }
 
@@ -545,7 +561,7 @@ mod tests {
         let mut c = ctx(&mut o, LbmMode::Volatile);
         let touched = c.write(N0, P, 10, &[9]).unwrap();
         c.logs.append(N0, smdb_wal::LogPayload::Checkpoint);
-        c.after_update(N0, &[touched]);
+        c.after_update(N0, &[touched]).unwrap();
         let mut buf = [0u8; 1];
         c.read(N1, P, 10, &mut buf).unwrap();
         assert_eq!(c.logs.log(N0).stats().forces, 0);

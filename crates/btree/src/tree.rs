@@ -37,6 +37,14 @@ pub enum BtreeError {
         /// The tag found on the entry.
         tag: u16,
     },
+    /// A tree page that should exist in the stable database is missing —
+    /// the durable store is corrupt or the caller asked for a page that
+    /// was never created. Previously a panic deep in the page-I/O layer;
+    /// surfaced as a typed error so a crashed recovery can report it.
+    StablePageMissing {
+        /// The missing page.
+        page: PageId,
+    },
 }
 
 impl From<MemError> for BtreeError {
@@ -54,6 +62,9 @@ impl fmt::Display for BtreeError {
             BtreeError::TreeFull => write!(f, "tree page budget exhausted"),
             BtreeError::ConcurrentUpdate { key, tag } => {
                 write!(f, "key {key} carries uncommitted update tagged n{tag}")
+            }
+            BtreeError::StablePageMissing { page } => {
+                write!(f, "tree page {page} missing from stable db")
             }
         }
     }
@@ -335,7 +346,7 @@ impl BTree {
         let header_span = ctx.write(node, page, h0, &img[h0..h1])?;
         let data_span = ctx.write(node, page, d0, &img[d0..d1])?;
         ctx.note_update(node, page, lsn)?;
-        ctx.after_update(node, &[header_span, data_span]);
+        ctx.after_update(node, &[header_span, data_span])?;
         self.stats.inserts += 1;
         Ok(())
     }
@@ -378,7 +389,7 @@ impl BTree {
             },
         );
         ctx.note_update(node, new_root, lsn)?;
-        ctx.force_node_log(node);
+        ctx.force_node_log(node)?;
         ctx.flush_page(node, new_root)?;
         self.stats.root_grows += 1;
         Ok(())
@@ -470,7 +481,7 @@ impl BTree {
         ctx.note_update(node, child, lsn)?;
         ctx.note_update(node, new_page, lsn)?;
         ctx.note_update(node, parent, lsn)?;
-        ctx.force_node_log(node);
+        ctx.force_node_log(node)?;
         ctx.flush_page(node, child)?;
         ctx.flush_page(node, new_page)?;
         ctx.flush_page(node, parent)?;
@@ -512,7 +523,7 @@ impl BTree {
         e.tag = node.0;
         let touched = self.write_leaf_entry(ctx, node, hit.page, hit.idx, &e)?;
         ctx.note_update(node, hit.page, lsn)?;
-        ctx.after_update(node, &[touched]);
+        ctx.after_update(node, &[touched])?;
         self.stats.deletes += 1;
         Ok(())
     }
@@ -531,7 +542,7 @@ impl BTree {
         self.layout.set_leaf_entry(&mut scratch, idx, e);
         let (s, t) = self.layout.leaf_entry_range(idx);
         buf.copy_from_slice(&scratch[s..t]);
-        Ok(ctx.write(node, page, s, &buf)?)
+        ctx.write(node, page, s, &buf)
     }
 
     // ------------------------------------------------------------------

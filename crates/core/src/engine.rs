@@ -18,6 +18,7 @@ use crate::stats::EngineStats;
 use crate::txn::{TxnOp, TxnState, TxnStatus};
 use bytes::Bytes;
 use smdb_btree::{BTree, LineSpan, TreeCtx, FORCE_RECORDS_HISTOGRAM, VAL_SIZE};
+use smdb_fault::FaultInjector;
 use smdb_lock::{LockManager, LockMode, LockOutcome, LockTable};
 use smdb_obs::{Event as ObsEvent, ForceReason, Obs};
 use smdb_sim::{LineId, Machine, NodeId, SimConfig, TxnId};
@@ -25,13 +26,19 @@ use smdb_storage::{PageGeometry, PageId, StableDb};
 use smdb_wal::{
     CheckpointMeta, CheckpointStore, LbmMode, LogPayload, LogSet, Lsn, PageLsnTable, RecId,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Slack between the page-backed line address range and the lock table.
 const LOCK_TABLE_GAP: u64 = 4096;
 
 /// Histogram of simulated cycles per completed record update.
 pub const UPDATE_CYCLES_HISTOGRAM: &str = "engine.update_cycles";
+
+/// Fault-injection site visited on the commit path: once before the commit
+/// record is appended (a crash here dooms the transaction) and once after
+/// the commit force succeeds but before post-commit processing (a crash
+/// here must preserve the transaction — its commit record is durable).
+pub const FAULT_COMMIT: &str = "core.commit";
 
 /// The shared-memory multi-node database engine.
 ///
@@ -55,6 +62,27 @@ pub struct SmDb {
     /// Lock names on which each transaction has a queued (waiting)
     /// request, so aborts can withdraw them (no-wait policy).
     pub(crate) pending_waits: BTreeMap<TxnId, Vec<u64>>,
+    /// Fault-injection handle shared with the machine, log set, and stable
+    /// database (disabled by default: one relaxed load per crash point).
+    pub(crate) fault: FaultInjector,
+    /// Nodes crashed via [`SmDb::crash`] whose recovery has not completed.
+    pub(crate) pending_recovery: BTreeSet<NodeId>,
+    /// Cache lines destroyed by crashes since the last completed recovery.
+    pub(crate) pending_lost_lines: u64,
+    /// A crash took every node down; recovery must run the full restart
+    /// even if a survivor has since been rebooted by an interrupted
+    /// recovery attempt.
+    pub(crate) pending_total_failure: bool,
+    /// Heap lines reinstalled from (possibly stale) stable images by a
+    /// recovery attempt that did not complete. A re-entered restart must
+    /// not mistake them for coherent surviving copies: they are excluded
+    /// from the Selective-Redo cached probe and carried into the
+    /// reinstalled set of the next attempt. Cleared on completed recovery.
+    pub(crate) stale_heap_lines: BTreeSet<LineId>,
+    /// Index pages reinstalled/reloaded from stable images by an
+    /// incomplete recovery attempt (same hazard as `stale_heap_lines`:
+    /// their entries are stale until index redo completes).
+    pub(crate) stale_tree_pages: BTreeSet<PageId>,
 }
 
 /// Construct a [`TreeCtx`] over the engine's split-borrowed fields.
@@ -142,7 +170,31 @@ impl SmDb {
             stats: EngineStats::default(),
             shadow: ShadowDb::new(),
             pending_waits: BTreeMap::new(),
+            fault: FaultInjector::new(),
+            pending_recovery: BTreeSet::new(),
+            pending_lost_lines: 0,
+            pending_total_failure: false,
+            stale_heap_lines: BTreeSet::new(),
+            stale_tree_pages: BTreeSet::new(),
         }
+    }
+
+    /// Wire one fault injector through every layer: coherence traffic
+    /// (`sim.migrate`/`sim.invalidate`), log forces (`wal.force.record`),
+    /// stable-page flushes (`storage.flush.line`), the commit path
+    /// (`core.commit`), and the restart phases (`recovery.phase`). All
+    /// layers share the handle, so a single plan sequences crash points
+    /// across them.
+    pub fn set_fault_injector(&mut self, fault: FaultInjector) {
+        self.m.set_fault_injector(fault.clone());
+        self.logs.set_fault_injector(fault.clone());
+        self.sdb.set_fault_injector(fault.clone());
+        self.fault = fault;
+    }
+
+    /// A clone of the engine's fault-injection handle.
+    pub fn fault_handle(&self) -> FaultInjector {
+        self.fault.clone()
     }
 
     // ------------------------------------------------------------------
@@ -419,8 +471,8 @@ impl SmDb {
         ctx.ensure_resident(node, rec.page)?;
         // §5.2 triggers must fire *before* the line locks migrate the
         // lines to this node.
-        ctx.enforce_trigger(node, page_lsn_line, true);
-        ctx.enforce_trigger(node, rec_line, true);
+        ctx.enforce_trigger(node, page_lsn_line, true)?;
+        ctx.enforce_trigger(node, rec_line, true)?;
         // §6: line locks on the Page-LSN line and the record's line for
         // the duration of update + log write (ordered update logging +
         // volatile LBM).
@@ -467,7 +519,7 @@ impl SmDb {
             LbmMode::Volatile => {}
             LbmMode::StableEager => {
                 let pending = if obs_on { self.unforced_records(node) } else { 0 };
-                if self.logs.log_mut(node).force_all() {
+                if self.logs.force_all_checked(node)? {
                     let cost = self.m.config().cost.log_force;
                     self.m.advance(node, cost);
                     self.stats.lbm_forces += 1;
@@ -484,7 +536,7 @@ impl SmDb {
                 for l in touched.iter().flat_map(LineSpan::iter) {
                     if self.m.holder_count(l) > 1 {
                         let pending = if obs_on { self.unforced_records(node) } else { 0 };
-                        if !forced && self.logs.log_mut(node).force_all() {
+                        if !forced && self.logs.force_all_checked(node)? {
                             let cost = self.m.config().cost.log_force;
                             self.m.advance(node, cost);
                             self.stats.lbm_forces += 1;
@@ -633,6 +685,11 @@ impl SmDb {
     pub fn commit(&mut self, txn: TxnId) -> Result<(), DbError> {
         self.check_active(txn)?;
         let node = txn.node();
+        // Crash point: the node dies before its commit record exists —
+        // the transaction must be doomed by recovery.
+        if let Some(c) = self.fault.hit(FAULT_COMMIT, node.0) {
+            return Err(DbError::FaultCrash(c));
+        }
         // Parallel transactions (§9): every participant's updates must be
         // durable before the home node's commit record — force the other
         // participants' logs first.
@@ -648,7 +705,7 @@ impl SmDb {
         let obs_on = self.m.obs().is_enabled();
         for p in participants {
             let pending = if obs_on { self.unforced_records(p) } else { 0 };
-            if self.logs.log_mut(p).force_all() {
+            if self.logs.force_all_checked(p)? {
                 let cost = self.m.config().cost.log_force;
                 self.m.advance(p, cost);
                 self.stats.commit_forces += 1;
@@ -663,13 +720,19 @@ impl SmDb {
             .bus
             .emit(self.m.now(node), || ObsEvent::WalAppend { node: node.0, lsn: lsn.0 });
         let pending = if obs_on { self.unforced_records(node) } else { 0 };
-        if self.logs.log_mut(node).force_to(lsn) {
+        if self.logs.force_to_checked(node, lsn)? {
             let cost = self.m.config().cost.log_force;
             self.m.advance(node, cost);
             self.stats.commit_forces += 1;
             if obs_on {
                 self.note_wal_force(node, pending, ForceReason::Commit);
             }
+        }
+        // Crash point: the commit record is durable but post-commit
+        // processing (tag clears, delete reclaim, lock release) has not
+        // run — recovery must treat the transaction as committed.
+        if let Some(c) = self.fault.hit(FAULT_COMMIT, node.0) {
+            return Err(DbError::FaultCrash(c));
         }
         let t = self.txns.get(&txn).expect("checked active").clone();
         // Clear heap undo tags (the data is no longer active — §4.1.2:
@@ -842,7 +905,7 @@ impl SmDb {
             let lsn = self.logs.append(n, LogPayload::Checkpoint);
             let obs_on = self.m.obs().is_enabled();
             let pending = if obs_on { self.unforced_records(n) } else { 0 };
-            if self.logs.log_mut(n).force_to(lsn) {
+            if self.logs.force_to_checked(n, lsn)? {
                 let cost = self.m.config().cost.log_force;
                 self.m.advance(n, cost);
                 if obs_on {
@@ -935,6 +998,26 @@ impl SmDb {
             &mut self.gsn,
         );
         Ok(tree.scan_live(&mut ctx, node)?)
+    }
+
+    /// Check the index's structural invariants (sorted leaf chain, branch
+    /// separator ranges) via `node`'s coherent reads. Panics with a
+    /// description on violation; no-op without an index. The B+-tree
+    /// oracle of the crash-sweep harness.
+    pub fn check_index_invariants(&mut self, node: NodeId) -> Result<(), DbError> {
+        let Some(tree) = self.tree.as_mut() else {
+            return Ok(());
+        };
+        let mut ctx = TreeCtx::new(
+            &mut self.m,
+            &mut self.sdb,
+            &mut self.logs,
+            &mut self.plt,
+            self.cfg.protocol.lbm_mode(),
+            &mut self.gsn,
+        );
+        tree.check_invariants(&mut ctx, node)?;
+        Ok(())
     }
 
     /// Bring a crashed node back online (empty cache; it resumes logging

@@ -1,8 +1,10 @@
 //! Engine errors.
 
 use smdb_btree::BtreeError;
+use smdb_fault::FaultCrash;
 use smdb_lock::LockError;
 use smdb_sim::{MemError, TxnId};
+use smdb_storage::PageId;
 use std::fmt;
 
 /// Errors surfaced by the [`crate::SmDb`] engine.
@@ -41,18 +43,51 @@ pub enum DbError {
     },
     /// The engine was built without an index.
     NoIndex,
+    /// An armed fault-injection point fired: the acting node must be
+    /// treated as crashed at this instant. The crash driver catches this
+    /// variant, calls [`crate::SmDb::crash`] on the victim, and then
+    /// [`crate::SmDb::recover`]. Flattened out of every lower layer so one
+    /// match arm suffices regardless of where the point fired.
+    FaultCrash(FaultCrash),
+    /// A page recovery relies on is missing from the stable database —
+    /// the durable state itself is inconsistent. Previously a panic on the
+    /// restart path.
+    StablePageMissing {
+        /// The missing page.
+        page: PageId,
+    },
+}
+
+impl DbError {
+    /// The injected crash, if this error is one (crash drivers match on
+    /// this to distinguish "victim died as scheduled" from a real error).
+    pub fn fault_crash(&self) -> Option<&FaultCrash> {
+        match self {
+            DbError::FaultCrash(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultCrash> for DbError {
+    fn from(c: FaultCrash) -> Self {
+        DbError::FaultCrash(c)
+    }
 }
 
 impl From<MemError> for DbError {
     fn from(e: MemError) -> Self {
-        DbError::Mem(e)
+        match e {
+            MemError::FaultCrash(c) => DbError::FaultCrash(c),
+            other => DbError::Mem(other),
+        }
     }
 }
 
 impl From<LockError> for DbError {
     fn from(e: LockError) -> Self {
         match e {
-            LockError::Mem(m) => DbError::Mem(m),
+            LockError::Mem(m) => DbError::from(m),
             other => DbError::Lock(other),
         }
     }
@@ -61,7 +96,7 @@ impl From<LockError> for DbError {
 impl From<BtreeError> for DbError {
     fn from(e: BtreeError) -> Self {
         match e {
-            BtreeError::Mem(m) => DbError::Mem(m),
+            BtreeError::Mem(m) => DbError::from(m),
             other => DbError::Btree(other),
         }
     }
@@ -80,6 +115,10 @@ impl fmt::Display for DbError {
             DbError::NoSuchRecord { slot } => write!(f, "no record slot {slot}"),
             DbError::NodeDown { node } => write!(f, "{node} is down"),
             DbError::NoIndex => write!(f, "engine configured without an index"),
+            DbError::FaultCrash(c) => write!(f, "injected crash point fired: {c}"),
+            DbError::StablePageMissing { page } => {
+                write!(f, "stable database page {page} missing during recovery")
+            }
         }
     }
 }
@@ -96,6 +135,16 @@ mod tests {
         let m = MemError::LineLost { line: LineId(4) };
         assert_eq!(DbError::from(LockError::Mem(m.clone())), DbError::Mem(m.clone()));
         assert_eq!(DbError::from(BtreeError::Mem(m.clone())), DbError::Mem(m));
+    }
+
+    #[test]
+    fn fault_crash_flattens_from_every_layer() {
+        let c = FaultCrash { site: "sim.migrate", hit: 3, node: 1 };
+        assert_eq!(DbError::from(MemError::FaultCrash(c)), DbError::FaultCrash(c));
+        assert_eq!(DbError::from(LockError::Mem(MemError::FaultCrash(c))), DbError::FaultCrash(c));
+        assert_eq!(DbError::from(BtreeError::Mem(MemError::FaultCrash(c))), DbError::FaultCrash(c));
+        assert_eq!(DbError::FaultCrash(c).fault_crash(), Some(&c));
+        assert_eq!(DbError::NoIndex.fault_crash(), None);
     }
 
     #[test]

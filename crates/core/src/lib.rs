@@ -66,10 +66,14 @@ mod stats;
 mod txn;
 
 pub use config::{DbConfig, ProtocolKind, RestartScheme};
-pub use engine::SmDb;
+pub use engine::{SmDb, FAULT_COMMIT};
 pub use error::DbError;
 pub use oracle::{IfaReport, ShadowDb};
 pub use record::RecordLayout;
-pub use restart::RecoveryOutcome;
+pub use restart::{RecoveryOutcome, FAULT_RECOVERY_PHASE};
 pub use stats::EngineStats;
 pub use txn::{TxnOp, TxnState, TxnStatus};
+
+/// Re-export of the fault-injection crate: crash drivers need the
+/// injector, plan, and sweep types alongside the engine.
+pub use smdb_fault as fault;

@@ -33,6 +33,13 @@ use smdb_storage::PageId;
 use smdb_wal::{LogPayload, RecId};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Fault-injection site visited between restart-recovery phases (after
+/// each of phases 1–6 of the IFA restart, and once mid full-restart). A
+/// fire here kills the *recovery node itself*: the crash driver crashes
+/// it and calls [`SmDb::recover`] again, which restarts recovery from a
+/// fresh survivor over the (possibly larger) crashed set.
+pub const FAULT_RECOVERY_PHASE: &str = "recovery.phase";
+
 /// What one crash-and-recover episode did.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct RecoveryOutcome {
@@ -131,43 +138,112 @@ enum RedoOp {
 
 impl SmDb {
     /// Crash the given nodes and run the configured restart-recovery
-    /// protocol. Returns what happened; pair with
-    /// [`SmDb::check_ifa`] to validate the IFA guarantee.
+    /// protocol. Thin wrapper over [`SmDb::crash`] + [`SmDb::recover`];
+    /// pair with [`SmDb::check_ifa`] to validate the IFA guarantee.
     pub fn crash_and_recover(&mut self, crashed: &[NodeId]) -> Result<RecoveryOutcome, DbError> {
+        self.crash(crashed);
+        self.recover()
+    }
+
+    /// Crash the given nodes *without* recovering: caches are destroyed,
+    /// volatile log tails are truncated to their stable prefixes, and the
+    /// simulator's low-level directory restore runs. The nodes join the
+    /// pending-recovery set consumed by [`SmDb::recover`]. Returns the
+    /// nodes that actually crashed (already-down nodes are skipped).
+    ///
+    /// Between `crash` and a completed `recover` the database is *not*
+    /// IFA-consistent: doomed transactions' effects are still present.
+    pub fn crash(&mut self, nodes: &[NodeId]) -> Vec<NodeId> {
         let crashed: Vec<NodeId> =
-            crashed.iter().copied().filter(|n| !self.m.is_crashed(*n)).collect();
+            nodes.iter().copied().filter(|n| !self.m.is_crashed(*n)).collect();
+        if crashed.is_empty() {
+            return crashed;
+        }
+        let report = self.m.crash(&crashed);
+        self.pending_lost_lines += report.lost_lines.len() as u64;
+        self.logs.crash(&crashed);
+        for &n in &crashed {
+            self.plt.clear_node(n);
+            self.pending_recovery.insert(n);
+        }
+        if self.m.surviving_nodes().is_empty() {
+            // Machine-wide outage. Latch it: even if an interrupted
+            // recovery attempt reboots a host node and then dies, later
+            // attempts must still run the full restart (every active
+            // transaction died in the outage).
+            self.pending_total_failure = true;
+        }
+        // The commit point is the durable commit record (§4.1.1). A node
+        // can die *after* forcing its commit record but before finishing
+        // post-commit bookkeeping; such transactions are committed, not
+        // doomed, and recovery will redo them from the stable logs.
+        self.promote_durably_committed();
+        crashed
+    }
+
+    /// Flip to `Committed` every transaction still marked active whose
+    /// commit record reached a stable log (see [`SmDb::crash`]).
+    fn promote_durably_committed(&mut self) {
+        let mut durable: BTreeSet<TxnId> = BTreeSet::new();
+        for n in self.m.node_ids().collect::<Vec<_>>() {
+            for rec in self.logs.log(n).stable_records() {
+                if let LogPayload::Commit { txn } = rec.payload {
+                    durable.insert(txn);
+                }
+            }
+        }
+        let promoted: Vec<TxnId> = self
+            .txns
+            .values()
+            .filter(|t| t.is_active() && durable.contains(&t.id))
+            .map(|t| t.id)
+            .collect();
+        for txn in promoted {
+            if let Some(t) = self.txns.get_mut(&txn) {
+                t.status = TxnStatus::Committed;
+            }
+            self.shadow.commit(txn);
+            self.stats.commits += 1;
+        }
+    }
+
+    /// Run the configured restart-recovery protocol over every node
+    /// crashed since the last completed recovery. Re-entrant: if recovery
+    /// itself is interrupted (the recovery node dies, surfacing
+    /// [`DbError::FaultCrash`] or a crash of its own), call `crash` on the
+    /// victim and `recover` again — a fresh survivor is elected and the
+    /// restart converges to the same IFA-consistent state. No-op when
+    /// nothing is pending.
+    pub fn recover(&mut self) -> Result<RecoveryOutcome, DbError> {
+        let crashed: Vec<NodeId> = self.pending_recovery.iter().copied().collect();
         let mut outcome = RecoveryOutcome { crashed: crashed.clone(), ..Default::default() };
         if crashed.is_empty() {
             return Ok(outcome);
         }
+        outcome.lost_lines = self.pending_lost_lines;
         let clock0 = self.m.max_clock();
-        // A transaction dies with the crash if *any* node it executes on
-        // failed — for single-node transactions that is just the home
-        // node; for parallel transactions (§9) it is any participant.
+        // A transaction dies if *any* node it executes on is down — for
+        // single-node transactions that is just the home node; for
+        // parallel transactions (§9) it is any participant. Recomputed
+        // from the machine on every entry (statuses only flip in the final
+        // phase), so an interrupted recovery re-derives the same — or,
+        // after further crashes, a larger — doomed set.
         let crashed_active: Vec<TxnId> = self
             .txns
             .values()
-            .filter(|t| t.is_active() && t.participants.iter().any(|p| crashed.contains(p)))
+            .filter(|t| t.is_active() && t.participants.iter().any(|p| self.m.is_crashed(*p)))
             .map(|t| t.id)
             .collect();
         let surviving_active: Vec<TxnId> =
             self.active_txns(None).into_iter().filter(|t| !crashed_active.contains(t)).collect();
 
-        // The crash itself + the simulator's low-level directory restore.
-        let report = self.m.crash(&crashed);
-        outcome.lost_lines = report.lost_lines.len() as u64;
-        self.logs.crash(&crashed);
-        for &n in &crashed {
-            self.plt.clear_node(n);
-        }
-
         let survivors = self.m.surviving_nodes();
-        let total_failure = survivors.is_empty();
-        if total_failure {
+        let total_failure = self.pending_total_failure || survivors.is_empty();
+        if survivors.is_empty() {
             // Machine-wide outage: reboot node 0 to host the rebuild.
             self.m.reboot_node(NodeId(0));
         }
-        let recovery_node = if total_failure { NodeId(0) } else { survivors[0] };
+        let recovery_node = if survivors.is_empty() { NodeId(0) } else { survivors[0] };
         outcome.recovery_node = recovery_node;
 
         let protocol = self.cfg.protocol.name();
@@ -186,7 +262,28 @@ impl SmDb {
         let obs = self.m.obs();
         obs.metrics.observe("recovery.total_cycles", cycles);
         obs.bus.emit(self.m.max_clock(), || ObsEvent::RecoveryEnd { sim_cycles: cycles });
+        self.pending_recovery.clear();
+        self.pending_lost_lines = 0;
+        self.pending_total_failure = false;
+        // Recovery completed: every reinstalled line/page has been redone
+        // and undone; their contents are authoritative again.
+        self.stale_heap_lines.clear();
+        self.stale_tree_pages.clear();
         Ok(outcome)
+    }
+
+    /// Whether any crashed node awaits recovery (the window between
+    /// [`SmDb::crash`] and a completed [`SmDb::recover`]).
+    pub fn recovery_pending(&self) -> bool {
+        !self.pending_recovery.is_empty()
+    }
+
+    /// Crash point between recovery phases: the recovery node itself dies.
+    fn phase_crash_point(&self, recovery_node: NodeId) -> Result<(), DbError> {
+        if let Some(c) = self.fault.hit(FAULT_RECOVERY_PHASE, recovery_node.0) {
+            return Err(DbError::FaultCrash(c));
+        }
+        Ok(())
     }
 
     /// Open a named recovery-phase span (bus event + paired clocks).
@@ -233,6 +330,15 @@ impl SmDb {
         // writers.
         for &n in nodes {
             for lrec in self.logs.log(n).stable_records() {
+                // Skip the synthetic recovery transactions (seq 0): an
+                // interrupted recovery attempt leaves its redo's
+                // IndexInsert records in the (now-crashed) recovery node's
+                // stable log, and they re-install *committed* entries —
+                // treating them as uncommitted ops would undo committed
+                // data on the next attempt.
+                if lrec.payload.txn().is_some_and(|t| t.seq() == 0) {
+                    continue;
+                }
                 match &lrec.payload {
                     LogPayload::Update { txn, rec, gsn, .. } => {
                         a.last_rec_txn.insert((n, *rec), *txn);
@@ -296,13 +402,18 @@ impl SmDb {
 
     /// The last committed payload for one record, using the precomputed
     /// map with a stable-database fallback.
-    fn last_committed_payload(&self, map: &BTreeMap<RecId, (u64, Vec<u8>)>, rec: RecId) -> Vec<u8> {
+    fn last_committed_payload(
+        &self,
+        map: &BTreeMap<RecId, (u64, Vec<u8>)>,
+        rec: RecId,
+    ) -> Result<Vec<u8>, DbError> {
         if let Some((_, v)) = map.get(&rec) {
-            return v.clone();
+            return Ok(v.clone());
         }
-        let img = self.sdb.peek_page(rec.page).expect("heap page exists");
+        let img =
+            self.sdb.peek_page(rec.page).ok_or(DbError::StablePageMissing { page: rec.page })?;
         let off = self.layout.payload_offset(rec.slot);
-        img[off..off + self.layout.data_size].to_vec()
+        Ok(img[off..off + self.layout.data_size].to_vec())
     }
 
     /// Undo stolen updates in the stable database: every record with a
@@ -314,19 +425,23 @@ impl SmDb {
         analysis: &StableAnalysis,
         committed_map: &BTreeMap<RecId, (u64, Vec<u8>)>,
         outcome: &mut RecoveryOutcome,
-    ) {
+    ) -> Result<(), DbError> {
         let recs: BTreeSet<RecId> =
             analysis.uncommitted_updates.iter().map(|(_, _, r)| *r).collect();
         for rec in recs {
-            let value = self.last_committed_payload(committed_map, rec);
+            let value = self.last_committed_payload(committed_map, rec)?;
             let off = self.layout.page_offset(rec.slot);
             let bytes = self.layout.encode(NULL_TAG, &value);
-            let img = self.sdb.peek_page(rec.page).expect("heap page exists");
+            let img = self
+                .sdb
+                .peek_page(rec.page)
+                .ok_or(DbError::StablePageMissing { page: rec.page })?;
             if img[off..off + bytes.len()] != bytes[..] {
                 self.sdb.patch(rec.page, off, &bytes);
                 outcome.stable_undo_patches += 1;
             }
         }
+        Ok(())
     }
 
     /// Collect redo candidates: all data records from survivors' full
@@ -417,7 +532,7 @@ impl SmDb {
             let mut charged = false;
             // Borrow the stable image once per page; `install_line` only
             // touches `self.m`, so no copy of the page is needed.
-            let img = self.sdb.peek_page(page).expect("heap page exists");
+            let img = self.sdb.peek_page(page).ok_or(DbError::StablePageMissing { page })?;
             for idx in 0..g.lines_per_page {
                 let line = LineId(g.line_addr(page, idx));
                 if self.m.is_lost(line) {
@@ -485,9 +600,16 @@ impl SmDb {
         // Snapshot which heap lines genuinely survive in caches *before*
         // any reinstall: this is the Selective-Redo probe (a line we later
         // reinstall from a stale stable image must not be mistaken for a
-        // coherent surviving copy).
+        // coherent surviving copy). Lines reinstalled by an *interrupted
+        // earlier attempt* carry the same stale-image hazard — they sit in
+        // a survivor's cache now, but their content is the stable image,
+        // not the coherent pre-crash copy — so they are excluded too.
         let cached_before: BTreeSet<LineId> = if scheme == RestartScheme::Selective {
-            self.cached_heap_lines()
+            let mut cached = self.cached_heap_lines();
+            for line in &self.stale_heap_lines {
+                cached.remove(line);
+            }
+            cached
         } else {
             BTreeSet::new()
         };
@@ -496,15 +618,19 @@ impl SmDb {
         let span = self.begin_phase("stable_undo");
         let analysis = self.analyse_stable(&down);
         let committed_map = self.last_committed_map();
-        self.patch_stable_undo(&analysis, &committed_map, outcome);
+        self.patch_stable_undo(&analysis, &committed_map, outcome)?;
         self.end_phase(span, outcome);
+        self.phase_crash_point(recovery_node)?;
 
         // Phase 2 ("reinstall"): reinstall heap lines destroyed by the
         // crash from the (just-patched) stable images, restoring page
         // residency invariants, then the index's structural skeleton.
         let span = self.begin_phase("reinstall");
-        let mut heap_reinstalled: BTreeSet<LineId> =
-            self.normalize_lost_heap_lines(recovery_node)?;
+        // Seed with the stale reinstalls of any interrupted earlier
+        // attempt: for undo purposes they are reinstalled lines of *this*
+        // restart too.
+        let mut heap_reinstalled: BTreeSet<LineId> = self.stale_heap_lines.clone();
+        heap_reinstalled.extend(self.normalize_lost_heap_lines(recovery_node)?);
 
         // Still in "reinstall": restore the index's structural skeleton
         // (root, allocation map, lost pages) from the forced structural
@@ -512,8 +638,12 @@ impl SmDb {
         // Record whether the crash destroyed *any* tree line first: if it
         // did not, every index effect still lives in a coherent cache and
         // the Selective scheme can skip index replay entirely.
-        let mut tree_lost_any = false;
-        let mut reinstalled_pages: BTreeSet<PageId> = BTreeSet::new();
+        // An earlier interrupted attempt may already have reinstalled the
+        // lost tree pages — they are no longer "lost", but their entries
+        // are still the stale stable images, so index replay is required
+        // all the same.
+        let mut tree_lost_any = !self.stale_tree_pages.is_empty();
+        let mut reinstalled_pages: BTreeSet<PageId> = self.stale_tree_pages.clone();
         if let Some(tree) = self.tree.as_ref() {
             let g = self.layout.geometry;
             'outer: for page in tree.allocated_pages() {
@@ -538,7 +668,13 @@ impl SmDb {
             outcome.btree_recovery = st;
             reinstalled_pages.extend(pages);
         }
+        // Persist the stale-reinstall knowledge *before* the next crash
+        // window: if this restart is interrupted from here on, the next
+        // attempt must still treat these lines/pages as stale images.
+        self.stale_heap_lines.extend(heap_reinstalled.iter().copied());
+        self.stale_tree_pages.extend(reinstalled_pages.iter().copied());
         self.end_phase(span, outcome);
+        self.phase_crash_point(recovery_node)?;
 
         // Phase 3 ("cache_discard", Redo All only): discard every cached
         // database line on every survivor — implicitly undoing migrated
@@ -561,9 +697,11 @@ impl SmDb {
                 );
                 tree.discard_and_reload_all(&mut ctx, recovery_node)?;
                 reinstalled_pages.extend(tree.allocated_pages());
+                self.stale_tree_pages.extend(reinstalled_pages.iter().copied());
             }
         }
         self.end_phase(span, outcome);
+        self.phase_crash_point(recovery_node)?;
 
         // Phase 4 ("redo"): candidates from survivors' full logs + crashed
         // nodes' committed stable records, applied in GSN order. The
@@ -590,7 +728,10 @@ impl SmDb {
                     if !self.m.probe_cached(line) {
                         // Page not resident: is the stable image already
                         // current for this record?
-                        let img = self.sdb.peek_page(rec.page).expect("heap page exists");
+                        let img = self
+                            .sdb
+                            .peek_page(rec.page)
+                            .ok_or(DbError::StablePageMissing { page: rec.page })?;
                         if img[off..off + expected.len()] == expected[..] {
                             outcome.redo_skipped_stable += 1;
                             continue;
@@ -599,7 +740,9 @@ impl SmDb {
                         // stable: every line of it is a stale reinstall.
                         let g = self.layout.geometry;
                         for idx in 0..g.lines_per_page {
-                            heap_reinstalled.insert(LineId(g.line_addr(rec.page, idx)));
+                            let line = LineId(g.line_addr(rec.page, idx));
+                            heap_reinstalled.insert(line);
+                            self.stale_heap_lines.insert(line);
                         }
                     }
                     // §4.1.2: "each surviving node performs redo for ...
@@ -690,6 +833,7 @@ impl SmDb {
         }
 
         self.end_phase(span, outcome);
+        self.phase_crash_point(recovery_node)?;
 
         // Phase 5 ("undo"): first roll back doomed transactions' effects
         // recorded on *surviving* nodes — a parallel transaction with a
@@ -728,6 +872,7 @@ impl SmDb {
             ProtocolKind::FaOnly => unreachable!("handled by full_restart"),
         }
         self.end_phase(span, outcome);
+        self.phase_crash_point(recovery_node)?;
 
         // Phase 6 ("lock_recovery"): lock-space recovery (§4.2.2).
         let span = self.begin_phase("lock_recovery");
@@ -755,6 +900,7 @@ impl SmDb {
             }
         }
         self.end_phase(span, outcome);
+        self.phase_crash_point(recovery_node)?;
 
         // Phase 7 ("txn_table"): transaction table + shadow bookkeeping.
         let span = self.begin_phase("txn_table");
@@ -830,7 +976,7 @@ impl SmDb {
                 ctx.write(recovery_node, rec.page, off, &NULL_TAG.to_le_bytes())?;
                 outcome.tags_cleared += 1;
             } else {
-                let value = self.last_committed_payload(committed_map, rec);
+                let value = self.last_committed_payload(committed_map, rec)?;
                 let bytes = self.layout.encode(NULL_TAG, &value);
                 let mut ctx = engine_ctx!(self);
                 ctx.write(recovery_node, rec.page, off, &bytes)?;
@@ -877,7 +1023,7 @@ impl SmDb {
             if !self.m.probe_cached(line) {
                 continue; // nothing cached; stable image already patched
             }
-            let value = self.last_committed_payload(committed_map, rec);
+            let value = self.last_committed_payload(committed_map, rec)?;
             let bytes = self.layout.encode(NULL_TAG, &value);
             let off = self.layout.page_offset(rec.slot);
             let mut ctx = engine_ctx!(self);
@@ -970,7 +1116,10 @@ impl SmDb {
                     // directly).
                     let mut ctx = engine_ctx!(self);
                     ctx.write(recovery_node, rec.page, off, &bytes)?;
-                    let img = self.sdb.peek_page(rec.page).expect("heap page exists");
+                    let img = self
+                        .sdb
+                        .peek_page(rec.page)
+                        .ok_or(DbError::StablePageMissing { page: rec.page })?;
                     if img[off..off + bytes.len()] != bytes[..] {
                         self.sdb.patch(rec.page, off, &bytes);
                         outcome.stable_undo_patches += 1;
@@ -1027,7 +1176,7 @@ impl SmDb {
         let analysis = self.analyse_stable(&all_nodes);
         let committed_map = self.last_committed_map();
         // Undo every durable trace of every not-committed transaction.
-        self.patch_stable_undo(&analysis, &committed_map, outcome);
+        self.patch_stable_undo(&analysis, &committed_map, outcome)?;
         // Discard all cached database lines machine-wide, and forget lost
         // ones: the (patched) stable database is now the authority.
         for node in self.m.surviving_nodes() {
@@ -1109,7 +1258,10 @@ impl SmDb {
                     let expected = self.layout.encode(NULL_TAG, &redo);
                     let line = self.rec_line(rec);
                     if !self.m.probe_cached(line) {
-                        let img = self.sdb.peek_page(rec.page).expect("heap page exists");
+                        let img = self
+                            .sdb
+                            .peek_page(rec.page)
+                            .ok_or(DbError::StablePageMissing { page: rec.page })?;
                         if img[off..off + expected.len()] == expected[..] {
                             outcome.redo_skipped_stable += 1;
                             continue;
@@ -1187,6 +1339,9 @@ impl SmDb {
         }
         // Undo of uncommitted index entries that had been flushed.
         self.undo_index_from_stable(outcome, recovery_node, &analysis)?;
+        // Crash point: the rebuild host dies mid full-restart (data redone,
+        // lock space and transaction table not yet reset).
+        self.phase_crash_point(recovery_node)?;
         // Reset the lock space: every transaction is dead.
         let line_size = self.cfg.line_size;
         for line in self.locks.table().all_lines() {

@@ -483,3 +483,222 @@ fn undo_tags_only_under_selective_volatile() {
         assert_eq!(db.current_tag(0).unwrap(), u16::MAX, "{p:?}: tag cleared at commit");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fault injection: interrupted and nested recovery.
+// ---------------------------------------------------------------------------
+
+use smdb_core::fault::{CrashPoint, FaultInjector, FaultPlan};
+use smdb_core::{FAULT_COMMIT, FAULT_RECOVERY_PHASE};
+use smdb_sim::TxnId;
+
+/// A small shared workload for the interrupted-recovery tests: committed
+/// values on slots 0/1/7, an index entry, an active survivor update on n1
+/// and an active doomed update on n2.
+fn seed_workload(db: &mut SmDb) -> (TxnId, TxnId) {
+    for (node, slot, val) in [(N0, 0u64, b"base0"), (N1, 1, b"base1"), (N3, 7, b"base7")] {
+        let t = db.begin(node).unwrap();
+        db.update(t, slot, val).unwrap();
+        db.commit(t).unwrap();
+    }
+    let t = db.begin(N0).unwrap();
+    db.insert(t, 500, *b"IDXENTRY").unwrap();
+    db.commit(t).unwrap();
+    let ts = db.begin(N1).unwrap();
+    db.update(ts, 4, b"survr").unwrap();
+    let td = db.begin(N2).unwrap();
+    db.update(td, 0, b"doomd").unwrap();
+    (ts, td)
+}
+
+fn assert_converged(db: &mut SmDb, ts: TxnId, p: ProtocolKind, ctx: &str) {
+    db.check_ifa(N1).assert_ok();
+    assert_eq!(&db.current_value(0).unwrap()[..5], b"base0", "{p:?} {ctx}: undo failed");
+    assert_eq!(&db.current_value(7).unwrap()[..5], b"base7", "{p:?} {ctx}: committed data lost");
+    assert_eq!(&db.current_value(4).unwrap()[..5], b"survr", "{p:?} {ctx}: survivor lost");
+    let live = db.index_scan(N1).unwrap();
+    assert!(live.iter().any(|(k, _)| *k == 500), "{p:?} {ctx}: committed index entry lost");
+    // The preserved survivor transaction can still commit.
+    db.commit(ts).unwrap();
+    db.check_ifa(N1).assert_ok();
+}
+
+/// Crash node B (the recovery node) after *each* phase of node A's
+/// restart, then finish recovery from a fresh survivor. Every interruption
+/// point must converge to the same IFA-consistent state.
+#[test]
+fn recovery_interrupted_after_each_phase_converges() {
+    for p in ProtocolKind::ifa_protocols() {
+        // Phases 1..=6 end with a `recovery.phase` crash point
+        // (ordinals 0..=5).
+        for k in 0..6u64 {
+            let mut db = mk(p);
+            let f = FaultInjector::new();
+            db.set_fault_injector(f.clone());
+            let (ts, _td) = seed_workload(&mut db);
+            db.crash(&[N2]);
+            f.arm(FaultPlan::single(CrashPoint::new(FAULT_RECOVERY_PHASE, k)));
+            let err = db.recover().expect_err("armed phase point must fire");
+            let c = *err.fault_crash().unwrap_or_else(|| panic!("{p:?} phase {k}: {err}"));
+            assert_eq!(c.site, FAULT_RECOVERY_PHASE);
+            // The recovery node itself died mid-restart; recovery stays
+            // pending until a fresh survivor finishes the job.
+            assert!(db.recovery_pending(), "{p:?} phase {k}");
+            db.crash(&[NodeId(c.node)]);
+            let outcome = db.recover().unwrap_or_else(|e| panic!("{p:?} phase {k}: {e}"));
+            assert_ne!(outcome.recovery_node, NodeId(c.node), "{p:?} phase {k}");
+            assert_converged(&mut db, ts, p, &format!("phase {k}"));
+        }
+    }
+}
+
+/// Acceptance scenario, named: recovery of node A is interrupted (the
+/// recovery node dies), and the restart is re-run from a *different*
+/// survivor. The second attempt must converge even though the first left
+/// partially reinstalled state behind.
+#[test]
+fn interrupted_recovery_restarted_from_new_survivor_converges() {
+    for p in ProtocolKind::ifa_protocols() {
+        let mut db = mk(p);
+        let f = FaultInjector::new();
+        db.set_fault_injector(f.clone());
+        let (ts, _td) = seed_workload(&mut db);
+        db.crash(&[N2]);
+        // Interrupt after phase 2 (reinstall): stale stable images now sit
+        // in the recovery node's cache — the hardest point to re-enter.
+        f.arm(FaultPlan::single(CrashPoint::new(FAULT_RECOVERY_PHASE, 1)));
+        let err = db.recover().expect_err("armed phase point must fire");
+        let first_recovery_node = NodeId(err.fault_crash().unwrap().node);
+        db.crash(&[first_recovery_node]);
+        let outcome = db.recover().unwrap_or_else(|e| panic!("{p:?}: {e}"));
+        assert_ne!(
+            outcome.recovery_node, first_recovery_node,
+            "{p:?}: a new survivor must host the second attempt"
+        );
+        // Both crashed nodes' doomed transactions are gone and the second
+        // attempt's outcome covers both.
+        let mut crashed = outcome.crashed.clone();
+        crashed.sort();
+        let mut expected = vec![first_recovery_node, N2];
+        expected.sort();
+        assert_eq!(crashed, expected, "{p:?}");
+        assert_converged(&mut db, ts, p, "new survivor");
+    }
+}
+
+/// Total failure *during* recovery: every node is down, the rebooted host
+/// dies mid full-restart, and the next attempt must still run the full
+/// restart (the outage is latched) and reach the committed state.
+#[test]
+fn total_failure_interrupted_mid_restart_still_full_restarts() {
+    for p in ProtocolKind::all() {
+        let mut db = mk(p);
+        let f = FaultInjector::new();
+        db.set_fault_injector(f.clone());
+        let t = db.begin(N0).unwrap();
+        db.update(t, 7, b"keep!").unwrap();
+        db.commit(t).unwrap();
+        let t2 = db.begin(N1).unwrap();
+        db.update(t2, 8, b"lose!").unwrap();
+        let all: Vec<NodeId> = (0..4).map(NodeId).collect();
+        db.crash(&all);
+        // The full restart has one mid-rebuild crash point.
+        f.arm(FaultPlan::single(CrashPoint::new(FAULT_RECOVERY_PHASE, 0)));
+        let err = db.recover().expect_err("armed full-restart point must fire");
+        let victim = NodeId(err.fault_crash().unwrap_or_else(|| panic!("{p:?}: {err}")).node);
+        db.crash(&[victim]);
+        let outcome = db.recover().unwrap_or_else(|e| panic!("{p:?}: {e}"));
+        assert_eq!(outcome.aborted, vec![t2], "{p:?}: outage must doom every active txn");
+        assert_eq!(&db.current_value(7).unwrap()[..5], b"keep!", "{p:?}");
+        assert_eq!(&db.current_value(8).unwrap()[..5], &[0u8; 5][..], "{p:?}");
+        db.check_ifa(db.machine().surviving_nodes()[0]).assert_ok();
+    }
+}
+
+/// A node can die *after* forcing its commit record but before post-commit
+/// bookkeeping. The commit point is the durable record: the transaction is
+/// committed, recovery must redo — not undo — it.
+#[test]
+fn crash_after_durable_commit_record_promotes_txn() {
+    for p in ProtocolKind::ifa_protocols() {
+        let mut db = mk(p);
+        let f = FaultInjector::new();
+        db.set_fault_injector(f.clone());
+        let t = db.begin(N2).unwrap();
+        db.update(t, 10, b"gold!").unwrap();
+        // `core.commit` is visited twice per commit: before the commit
+        // record exists (ordinal 0) and after it is durable (ordinal 1).
+        f.arm(FaultPlan::single(CrashPoint::new(FAULT_COMMIT, 1)));
+        let err = db.commit(t).expect_err("armed commit point must fire");
+        let victim = NodeId(err.fault_crash().unwrap().node);
+        assert_eq!(victim, N2, "{p:?}");
+        let outcome = db.crash_and_recover(&[victim]).unwrap();
+        assert!(outcome.aborted.is_empty(), "{p:?}: durably committed txn was doomed");
+        assert_eq!(&db.current_value(10).unwrap()[..5], b"gold!", "{p:?}: commit lost");
+        db.check_ifa(N0).assert_ok();
+    }
+}
+
+/// The mirror case: the node dies *before* its commit record is forced.
+/// The transaction never reached its commit point and must be undone.
+#[test]
+fn crash_before_commit_record_dooms_txn() {
+    for p in ProtocolKind::ifa_protocols() {
+        let mut db = mk(p);
+        let f = FaultInjector::new();
+        db.set_fault_injector(f.clone());
+        let t = db.begin(N2).unwrap();
+        db.update(t, 10, b"never").unwrap();
+        f.arm(FaultPlan::single(CrashPoint::new(FAULT_COMMIT, 0)));
+        let err = db.commit(t).expect_err("armed commit point must fire");
+        let outcome = db.crash_and_recover(&[NodeId(err.fault_crash().unwrap().node)]).unwrap();
+        assert_eq!(outcome.aborted, vec![t], "{p:?}: unforced commit must be doomed");
+        assert_eq!(&db.current_value(10).unwrap()[..5], &[0u8; 5][..], "{p:?}");
+        db.check_ifa(N0).assert_ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// check_ifa between crash and recover (quiescent-point masking).
+// ---------------------------------------------------------------------------
+
+/// Between `crash` and a completed `recover` the physical state still
+/// carries doomed residue: `check_ifa` must report the pending recovery as
+/// a single violation instead of a storm of value mismatches, and go green
+/// again once recovery completes.
+#[test]
+fn check_ifa_reports_pending_recovery_between_crash_and_recover() {
+    for p in ProtocolKind::ifa_protocols() {
+        let mut db = mk(p);
+        let (ts, _td) = seed_workload(&mut db);
+        db.crash(&[N2]);
+        let r = db.check_ifa(N0);
+        assert!(!r.ok(), "{p:?}: pending recovery must not pass");
+        assert_eq!(r.violations.len(), 1, "{p:?}: exactly one violation, got {:?}", r.violations);
+        assert!(r.violations[0].contains("recovery pending"), "{p:?}: {:?}", r.violations);
+        db.recover().unwrap();
+        db.check_ifa(N0).assert_ok();
+        db.commit(ts).unwrap();
+        db.check_ifa(N0).assert_ok();
+    }
+}
+
+/// After recovery, transactions still active on surviving nodes are masked
+/// *into* the expectation: their uncommitted effects in place are correct,
+/// not violations.
+#[test]
+fn check_ifa_masks_surviving_active_txns() {
+    for p in ProtocolKind::ifa_protocols() {
+        let mut db = mk(p);
+        let (ts, _td) = seed_workload(&mut db);
+        db.crash_and_recover(&[N2]).unwrap();
+        // ts is still active with an in-flight update on slot 4; the check
+        // must accept its pending value as the expectation.
+        assert_eq!(&db.current_value(4).unwrap()[..5], b"survr", "{p:?}");
+        db.check_ifa(N1).assert_ok();
+        db.abort(ts).unwrap();
+        // After the abort the slot reverts and the check still holds.
+        assert_eq!(&db.current_value(4).unwrap()[..5], &[0u8; 5][..], "{p:?}");
+        db.check_ifa(N1).assert_ok();
+    }
+}

@@ -1,0 +1,365 @@
+//! The injector: crash points, plans, and the shared handle.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The crash that a fired fault point demands: the acting node must be
+/// treated as having failed *at this instant*, with whatever partial state
+/// the instrumented layer left behind (a half-forced log, a torn page, a
+/// half-finished recovery). Layers wrap this in their own error enums and
+/// propagate it up to the driver, which performs the actual
+/// `SmDb::crash(&[victim])`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultCrash {
+    /// The site that fired.
+    pub site: &'static str,
+    /// The visit ordinal at which it fired (0-based: the (hit+1)-th visit).
+    pub hit: u64,
+    /// The acting node — the crash victim. Raw id, so this crate stays
+    /// dependency-free; layers convert to their `NodeId`.
+    pub node: u16,
+}
+
+impl fmt::Display for FaultCrash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}@n{}", self.site, self.hit, self.node)
+    }
+}
+
+/// One crash point: a site name plus a 0-based visit ordinal. `site#hit`
+/// in `Display` form — together with the scenario seed this is the full
+/// one-line repro of a failing schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CrashPoint {
+    /// Site name as passed to [`FaultInjector::hit`].
+    pub site: &'static str,
+    /// Fire on the (hit+1)-th visit to the site.
+    pub hit: u64,
+}
+
+impl CrashPoint {
+    /// Construct a crash point.
+    pub fn new(site: &'static str, hit: u64) -> Self {
+        CrashPoint { site, hit }
+    }
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.site, self.hit)
+    }
+}
+
+/// A plan: crash points fired in sequence. One point models a single
+/// failure; two points model a nested failure (the second ordinal counts
+/// visits *after* the first fire — i.e. during recovery). Counters reset
+/// at every fire.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The points, in fire order.
+    pub points: Vec<CrashPoint>,
+}
+
+impl FaultPlan {
+    /// A single-failure plan.
+    pub fn single(point: CrashPoint) -> Self {
+        FaultPlan { points: vec![point] }
+    }
+
+    /// A nested-failure plan: `second` counts visits after `first` fires.
+    pub fn nested(first: CrashPoint, second: CrashPoint) -> Self {
+        FaultPlan { points: vec![first, second] }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                write!(f, "+")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Injector operating mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Visits cost one relaxed load + branch and never fire (default).
+    Disabled,
+    /// Visits are recorded (site + acting node) for enumeration.
+    Counting,
+    /// A plan is armed; visits count toward the next point's ordinal.
+    Armed,
+}
+
+const MODE_DISABLED: u8 = 0;
+const MODE_COUNTING: u8 = 1;
+const MODE_ARMED: u8 = 2;
+
+/// The recorded visits to one site during a counting run: element `k` is
+/// the acting node of the (k+1)-th visit, so `(site, k)` for
+/// `k < nodes.len()` enumerates the site's crash points.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SiteVisits {
+    /// Site name.
+    pub site: &'static str,
+    /// Acting node per visit, in visit order.
+    pub nodes: Vec<u16>,
+}
+
+#[derive(Default)]
+struct State {
+    /// Counting mode: acting node per visit, per site.
+    visits: BTreeMap<&'static str, Vec<u16>>,
+    /// Armed mode: the plan and the index of the next point to fire.
+    plan: Vec<CrashPoint>,
+    next: usize,
+    /// Armed mode: per-site visit counters since the last fire.
+    counters: BTreeMap<&'static str, u64>,
+    /// Every fire so far, in order.
+    fired: Vec<FaultCrash>,
+    /// After the last plan point fires, switch to counting instead of
+    /// disabling (used to enumerate recovery-time points).
+    count_after: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    mode: AtomicU8,
+    state: Mutex<State>,
+}
+
+/// Shared fault-injection handle. Clones observe the same state; a
+/// default-constructed injector is permanently disabled until armed.
+/// `Arc`-based so instrumented layers can be driven from scoped threads.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector").field("mode", &self.mode()).finish()
+    }
+}
+
+impl FaultInjector {
+    /// A disabled injector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> Mode {
+        match self.inner.mode.load(Ordering::Relaxed) {
+            MODE_COUNTING => Mode::Counting,
+            MODE_ARMED => Mode::Armed,
+            _ => Mode::Disabled,
+        }
+    }
+
+    /// Disable the injector (visits become free; nothing fires).
+    pub fn off(&self) {
+        self.inner.mode.store(MODE_DISABLED, Ordering::Relaxed);
+    }
+
+    /// Start a counting run: clear recorded visits and record every
+    /// subsequent visit without firing.
+    pub fn start_counting(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.visits.clear();
+        self.inner.mode.store(MODE_COUNTING, Ordering::Relaxed);
+    }
+
+    /// Stop counting and drain the recorded visits, sorted by site name.
+    pub fn take_visits(&self) -> Vec<SiteVisits> {
+        let mut st = self.inner.state.lock().unwrap();
+        self.inner.mode.store(MODE_DISABLED, Ordering::Relaxed);
+        std::mem::take(&mut st.visits)
+            .into_iter()
+            .map(|(site, nodes)| SiteVisits { site, nodes })
+            .collect()
+    }
+
+    /// Arm a plan. Counters and the fire record are cleared; after the last
+    /// point fires the injector disarms itself.
+    pub fn arm(&self, plan: FaultPlan) {
+        self.arm_inner(plan, false);
+    }
+
+    /// Arm a plan, switching to counting mode after the last point fires.
+    /// The sweep uses this to enumerate the crash points *inside recovery*:
+    /// arm the primary point, run, and the visits recorded after the fire
+    /// are exactly the recovery-time sites.
+    pub fn arm_then_count(&self, plan: FaultPlan) {
+        self.arm_inner(plan, true);
+    }
+
+    fn arm_inner(&self, plan: FaultPlan, count_after: bool) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.plan = plan.points;
+        st.next = 0;
+        st.counters.clear();
+        st.visits.clear();
+        st.fired.clear();
+        st.count_after = count_after;
+        let mode = if st.plan.is_empty() {
+            if count_after {
+                MODE_COUNTING
+            } else {
+                MODE_DISABLED
+            }
+        } else {
+            MODE_ARMED
+        };
+        self.inner.mode.store(mode, Ordering::Relaxed);
+    }
+
+    /// Every fire so far, in order (the victims of the current plan).
+    pub fn fired(&self) -> Vec<FaultCrash> {
+        self.inner.state.lock().unwrap().fired.clone()
+    }
+
+    /// Whether an armed plan still has points left to fire.
+    pub fn pending(&self) -> bool {
+        self.mode() == Mode::Armed
+    }
+
+    /// Visit a crash-point site on behalf of `node`. Returns
+    /// `Some(FaultCrash)` exactly when an armed point fires — the caller
+    /// must then abandon the operation mid-flight and propagate the crash.
+    /// When the injector is disabled this is one relaxed load and a branch.
+    #[inline]
+    pub fn hit(&self, site: &'static str, node: u16) -> Option<FaultCrash> {
+        if self.inner.mode.load(Ordering::Relaxed) == MODE_DISABLED {
+            return None;
+        }
+        self.hit_slow(site, node)
+    }
+
+    #[cold]
+    fn hit_slow(&self, site: &'static str, node: u16) -> Option<FaultCrash> {
+        let mut st = self.inner.state.lock().unwrap();
+        match self.inner.mode.load(Ordering::Relaxed) {
+            MODE_COUNTING => {
+                st.visits.entry(site).or_default().push(node);
+                None
+            }
+            MODE_ARMED => {
+                let count = st.counters.entry(site).or_insert(0);
+                let ordinal = *count;
+                *count += 1;
+                let target = st.plan[st.next];
+                if target.site == site && target.hit == ordinal {
+                    let crash = FaultCrash { site, hit: ordinal, node };
+                    st.fired.push(crash);
+                    st.next += 1;
+                    st.counters.clear();
+                    if st.next >= st.plan.len() {
+                        let after = if st.count_after { MODE_COUNTING } else { MODE_DISABLED };
+                        self.inner.mode.store(after, Ordering::Relaxed);
+                    }
+                    Some(crash)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let f = FaultInjector::new();
+        for _ in 0..100 {
+            assert!(f.hit("a", 0).is_none());
+        }
+    }
+
+    #[test]
+    fn counting_records_visits_per_site() {
+        let f = FaultInjector::new();
+        f.start_counting();
+        f.hit("a", 0);
+        f.hit("b", 1);
+        f.hit("a", 2);
+        let v = f.take_visits();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].site, "a");
+        assert_eq!(v[0].nodes, vec![0, 2]);
+        assert_eq!(v[1].nodes, vec![1]);
+        assert_eq!(f.mode(), Mode::Disabled);
+    }
+
+    #[test]
+    fn armed_point_fires_at_exact_ordinal() {
+        let f = FaultInjector::new();
+        f.arm(FaultPlan::single(CrashPoint::new("a", 2)));
+        assert!(f.hit("a", 5).is_none()); // visit 0
+        assert!(f.hit("b", 5).is_none()); // other site doesn't count
+        assert!(f.hit("a", 5).is_none()); // visit 1
+        let crash = f.hit("a", 7).expect("fires on visit 2");
+        assert_eq!(crash, FaultCrash { site: "a", hit: 2, node: 7 });
+        assert_eq!(f.mode(), Mode::Disabled, "single plan self-disarms");
+        assert!(f.hit("a", 5).is_none());
+        assert_eq!(f.fired(), vec![crash]);
+    }
+
+    #[test]
+    fn nested_plan_counts_from_fire() {
+        let f = FaultInjector::new();
+        f.arm(FaultPlan::nested(CrashPoint::new("a", 1), CrashPoint::new("a", 0)));
+        assert!(f.hit("a", 0).is_none());
+        assert!(f.hit("a", 0).is_some(), "primary fires");
+        // Counters reset: the very next visit to "a" is ordinal 0 again.
+        let second = f.hit("a", 3).expect("nested point fires");
+        assert_eq!(second.hit, 0);
+        assert_eq!(second.node, 3);
+        assert_eq!(f.fired().len(), 2);
+        assert_eq!(f.mode(), Mode::Disabled);
+    }
+
+    #[test]
+    fn arm_then_count_enumerates_post_fire_visits() {
+        let f = FaultInjector::new();
+        f.arm_then_count(FaultPlan::single(CrashPoint::new("a", 0)));
+        assert!(f.hit("a", 1).is_some());
+        assert_eq!(f.mode(), Mode::Counting);
+        f.hit("rec", 2);
+        f.hit("rec", 2);
+        let v = f.take_visits();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].site, "rec");
+        assert_eq!(v[0].nodes.len(), 2);
+    }
+
+    #[test]
+    fn display_forms_are_one_line_repros() {
+        let p = FaultPlan::nested(
+            CrashPoint::new("wal.force.record", 3),
+            CrashPoint::new("recovery.phase", 1),
+        );
+        assert_eq!(p.to_string(), "wal.force.record#3+recovery.phase#1");
+        let c = FaultCrash { site: "sim.migrate", hit: 9, node: 2 };
+        assert_eq!(c.to_string(), "sim.migrate#9@n2");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let f = FaultInjector::new();
+        let g = f.clone();
+        f.arm(FaultPlan::single(CrashPoint::new("a", 0)));
+        assert!(g.hit("a", 4).is_some());
+        assert_eq!(f.fired().len(), 1);
+    }
+}

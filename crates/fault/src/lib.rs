@@ -1,0 +1,45 @@
+//! # smdb-fault — deterministic crash-point fault injection
+//!
+//! The paper's claim is *Isolated Failure Atomicity under independent node
+//! failures*: a node may die at any instant — halfway through a log force,
+//! in the middle of a line migration, between two phases of another node's
+//! restart. Validating that claim needs a way to crash the simulated
+//! machine at exactly those instants, repeatably.
+//!
+//! This crate provides the machinery, with zero dependencies so every layer
+//! (sim, wal, storage, btree, lock, core) can thread it through:
+//!
+//! * A **crash point** is a named site in the code (`"wal.force.record"`,
+//!   `"sim.migrate"`, `"recovery.phase"`, ...) plus a *visit ordinal*: the
+//!   k-th time execution reaches that site during a scenario. Sites are
+//!   visited via [`FaultInjector::hit`], which the instrumented layers call
+//!   with the **acting node** — the node that would be mid-operation, and
+//!   therefore the crash victim, if the point fires.
+//! * A [`FaultInjector`] is a cheaply clonable handle shared by every layer
+//!   of one database instance. When disabled (the default) a visit costs
+//!   one relaxed atomic load and a branch — the same discipline as the obs
+//!   crate, so production paths stay hot.
+//! * **Counting mode** dry-runs a scenario and records every visit (site +
+//!   acting node), enumerating the scenario's crash points without
+//!   perturbing it.
+//! * **Armed mode** carries a [`FaultPlan`]: a sequence of [`CrashPoint`]s.
+//!   When the visit counter of the first point's site reaches its ordinal,
+//!   the injector *fires*: [`FaultInjector::hit`] returns a [`FaultCrash`]
+//!   which the instrumented layer converts into its own error type and
+//!   propagates. The driver catches it, crashes the victim node, and runs
+//!   recovery. Counters reset on fire and the plan advances to its next
+//!   point, so a two-point plan models a **nested failure**: the second
+//!   point's ordinal counts visits *during recovery from the first crash*.
+//!   After the last point fires the injector disarms itself (or switches to
+//!   counting, see [`FaultInjector::arm_then_count`], which is how the
+//!   sweep enumerates recovery-time crash points).
+//!
+//! Determinism: scenarios are seeded, and the injector only perturbs a run
+//! *at* the fire point, so a counting run and a replay agree visit-for-visit
+//! up to the crash. Every failing schedule is reproducible from one line:
+//! the seed plus the `site#ordinal` ids (see [`CrashPoint`]'s `Display`).
+
+mod injector;
+pub mod sweep;
+
+pub use injector::{CrashPoint, FaultCrash, FaultInjector, FaultPlan, Mode, SiteVisits};

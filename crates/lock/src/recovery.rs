@@ -240,7 +240,9 @@ impl LockManager {
                                 // structural change exactly as normal
                                 // operation would.
                                 let chain = self.table().chain_for(m, recovery_node, *name)?;
-                                let tail = *chain.last().expect("chain non-empty");
+                                let tail = *chain.last().ok_or(MemError::Corrupted {
+                                    what: "lock bucket chain empty during reconstruction",
+                                })?;
                                 let new_line =
                                     self.table_mut().alloc_overflow(m, recovery_node, tail)?;
                                 let recovery_txn = TxnId::new(recovery_node, 0);
@@ -254,7 +256,12 @@ impl LockManager {
                                         },
                                     },
                                 );
-                                if logs.log_mut(recovery_node).force_to(lsn) {
+                                // Checked force: a mid-recovery crash point —
+                                // the recovery node itself can die here.
+                                if logs
+                                    .force_to_checked(recovery_node, lsn)
+                                    .map_err(MemError::FaultCrash)?
+                                {
                                     let cost = m.config().cost.log_force;
                                     m.advance(recovery_node, cost);
                                 }

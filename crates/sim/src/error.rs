@@ -1,6 +1,7 @@
 //! Memory-operation errors.
 
 use crate::ids::{LineId, NodeId};
+use smdb_fault::FaultCrash;
 use std::fmt;
 
 /// Errors returned by [`crate::Machine`] memory operations.
@@ -29,6 +30,19 @@ pub enum MemError {
     OutOfBounds { line: LineId, offset: usize, len: usize },
     /// Node id outside the configured machine population.
     NoSuchNode { node: NodeId },
+    /// An armed fault-injection point fired mid-operation: the acting node
+    /// must be treated as crashed at this instant. Propagated (never
+    /// handled) by every layer up to the crash driver.
+    FaultCrash(FaultCrash),
+    /// A structural invariant of a shared-memory data structure did not
+    /// hold (e.g. an empty lock-chain where the bucket head must exist).
+    /// Previously a panic on the recovery path; surfaced as a typed error
+    /// so an interrupted recovery can report instead of aborting the
+    /// process.
+    Corrupted {
+        /// Which invariant was violated.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -51,6 +65,8 @@ impl fmt::Display for MemError {
                 write!(f, "access [{offset}, {offset}+{len}) out of bounds for {line:?}")
             }
             MemError::NoSuchNode { node } => write!(f, "no such node: {node}"),
+            MemError::FaultCrash(c) => write!(f, "injected crash point fired: {c}"),
+            MemError::Corrupted { what } => write!(f, "shared structure corrupted: {what}"),
         }
     }
 }

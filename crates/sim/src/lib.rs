@@ -56,8 +56,8 @@ pub use error::MemError;
 pub use flat::{HolderSet, HOLDERS_INLINE};
 pub use ids::{LineId, NodeId, TxnId};
 pub use machine::{
-    CrashReport, FlatStats, Machine, TransferKind, TriggerEvent, METRIC_BUF_REUSE,
-    METRIC_INDEX_PROBES,
+    CrashReport, FlatStats, Machine, TransferKind, TriggerEvent, FAULT_INVALIDATE, FAULT_MIGRATE,
+    METRIC_BUF_REUSE, METRIC_INDEX_PROBES,
 };
 pub use stats::SimStats;
 pub use trace::{Trace, TraceEvent};
@@ -66,6 +66,11 @@ pub use trace::{Trace, TraceEvent};
 /// downstream crates can name event and metric types without a separate
 /// dependency edge.
 pub use smdb_obs as obs;
+
+/// Re-export of the fault-injection layer (the [`Machine`] hosts crash
+/// points on its coherence paths), so downstream crates can name injector
+/// types without a separate dependency edge.
+pub use smdb_fault as fault;
 
 /// Cache line size used by default throughout the reproduction: 128 bytes,
 /// the line size of both the KSR-1/KSR-2 and Stanford FLASH (paper, §3).

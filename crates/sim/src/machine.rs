@@ -33,7 +33,18 @@ use crate::flat::{HolderSet, LineIndex};
 use crate::ids::{LineId, NodeId};
 use crate::stats::SimStats;
 use crate::trace::{Trace, TraceEvent};
+use smdb_fault::FaultInjector;
 use smdb_obs::{Event as ObsEvent, Obs};
+
+/// Fault site: a write or `getline` is about to *migrate* the line — the
+/// acting node does not hold a copy and will take the only valid one.
+/// Crashing here models death mid-`H_ww1`: whatever the LBM policy left in
+/// the volatile log is all recovery has.
+pub const FAULT_MIGRATE: &str = "sim.migrate";
+/// Fault site: a write or `getline` is about to *invalidate* remote copies
+/// (the acting node already holds one). Crashing here models death
+/// mid-invalidation.
+pub const FAULT_INVALIDATE: &str = "sim.invalidate";
 
 /// Obs counter: cumulative open-addressing probe steps on the line-index
 /// lookup path (`sim.index_probes`). A healthy index stays near one probe
@@ -159,6 +170,7 @@ pub struct Machine {
     stats: SimStats,
     trace: Trace,
     obs: Obs,
+    fault: FaultInjector,
     next_dynamic: u64,
     buf_reuse: u64,
 }
@@ -178,6 +190,7 @@ impl Machine {
             stats: SimStats::default(),
             trace: Trace::default(),
             obs: Obs::new(),
+            fault: FaultInjector::new(),
             next_dynamic: LineId::DYNAMIC_BASE,
             buf_reuse: 0,
         }
@@ -269,6 +282,18 @@ impl Machine {
     /// observes the same bus and registry as [`Machine::obs`]).
     pub fn obs_handle(&self) -> Obs {
         self.obs.clone()
+    }
+
+    /// Install a fault injector. The machine hosts the coherence-layer
+    /// crash points ([`FAULT_MIGRATE`], [`FAULT_INVALIDATE`]); higher
+    /// layers share the same handle for their own sites.
+    pub fn set_fault_injector(&mut self, fault: FaultInjector) {
+        self.fault = fault;
+    }
+
+    /// A clone of the fault-injection handle.
+    pub fn fault_handle(&self) -> FaultInjector {
+        self.fault.clone()
     }
 
     // ------------------------------------------------------------------
@@ -537,6 +562,15 @@ impl Machine {
             let h = &self.slots[slot as usize].holders;
             (h.len(), h.contains(node))
         };
+        // Crash point: the transition is about to move or destroy copies.
+        // Fires *before* any directory or data mutation, so the victim
+        // dies exactly as the hardware request would have been issued.
+        if !(locally_held && holder_count == 1) {
+            let site = if locally_held { FAULT_INVALIDATE } else { FAULT_MIGRATE };
+            if let Some(c) = self.fault.hit(site, node.0) {
+                return Err(MemError::FaultCrash(c));
+            }
+        }
         match self.cfg.coherence {
             CoherenceKind::WriteInvalidate => {
                 if locally_held && holder_count == 1 {
@@ -617,6 +651,13 @@ impl Machine {
             let h = &self.slots[slot as usize].holders;
             (h.len(), h.contains(node))
         };
+        // Crash point: acquiring the line lock migrates/invalidates copies.
+        if !(locally_held && holder_count == 1) {
+            let site = if locally_held { FAULT_INVALIDATE } else { FAULT_MIGRATE };
+            if let Some(c) = self.fault.hit(site, node.0) {
+                return Err(MemError::FaultCrash(c));
+            }
+        }
         if self.cfg.coherence == CoherenceKind::WriteBroadcast {
             // A broadcast machine's lock primitive does not invalidate
             // remote copies (writes update them in place); it only pins

@@ -18,7 +18,7 @@ mod page;
 mod stable_db;
 
 pub use page::{PageGeometry, PageId};
-pub use stable_db::{StableDb, StableDbStats};
+pub use stable_db::{StableDb, StableDbStats, FAULT_FLUSH_LINE};
 
 /// Byte offset of the Page-LSN field within every page (§6 of the paper:
 /// by convention the Page-LSN lives in the *first cache line* of the page;

@@ -2,7 +2,14 @@
 
 use crate::page::{PageGeometry, PageId};
 use serde::{Deserialize, Serialize};
+use smdb_fault::{FaultCrash, FaultInjector};
 use std::collections::BTreeMap;
+
+/// Fault site: visited once per cache-line-sized sector of a page flush.
+/// Firing at ordinal `k` within a flush leaves a **torn page**: the first
+/// `k` sectors carry the new image, the rest keep the old one (zeroes if
+/// the page was never written). The acting node is the flusher.
+pub const FAULT_FLUSH_LINE: &str = "storage.flush.line";
 
 /// I/O counters for the stable database.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -25,12 +32,24 @@ pub struct StableDb {
     geometry: PageGeometry,
     pages: BTreeMap<PageId, Box<[u8]>>,
     stats: StableDbStats,
+    fault: FaultInjector,
 }
 
 impl StableDb {
     /// Create an empty stable database with the given geometry.
     pub fn new(geometry: PageGeometry) -> Self {
-        StableDb { geometry, pages: BTreeMap::new(), stats: StableDbStats::default() }
+        StableDb {
+            geometry,
+            pages: BTreeMap::new(),
+            stats: StableDbStats::default(),
+            fault: FaultInjector::new(),
+        }
+    }
+
+    /// Install a fault injector; the stable database hosts the torn-write
+    /// crash point ([`FAULT_FLUSH_LINE`]).
+    pub fn set_fault_injector(&mut self, fault: FaultInjector) {
+        self.fault = fault;
     }
 
     /// The page geometry.
@@ -65,6 +84,40 @@ impl StableDb {
         assert_eq!(data.len(), self.geometry.page_size(), "page image size mismatch");
         self.stats.page_writes += 1;
         self.pages.insert(page, data.to_vec().into_boxed_slice());
+    }
+
+    /// Write (flush) a full page image on behalf of `node`, visiting the
+    /// [`FAULT_FLUSH_LINE`] crash point once per line-sized sector. If the
+    /// point fires at sector `k`, the flush is **torn**: sectors `< k`
+    /// carry the new image, the rest keep the old contents (zeroes if the
+    /// page was never allocated), and the error demands that `node` be
+    /// crashed. Disk sectors are assumed atomic at line granularity — the
+    /// same assumption the paper's in-place update model makes — so a torn
+    /// flush never splices *within* a line.
+    pub fn write_page_checked(
+        &mut self,
+        node: u16,
+        page: PageId,
+        data: &[u8],
+    ) -> Result<(), FaultCrash> {
+        assert_eq!(data.len(), self.geometry.page_size(), "page image size mismatch");
+        let ls = self.geometry.line_size;
+        let sectors = self.geometry.lines_per_page;
+        for k in 0..sectors {
+            if let Some(c) = self.fault.hit(FAULT_FLUSH_LINE, node) {
+                if k > 0 {
+                    let old = self
+                        .pages
+                        .entry(page)
+                        .or_insert_with(|| vec![0u8; data.len()].into_boxed_slice());
+                    old[..k * ls].copy_from_slice(&data[..k * ls]);
+                    self.stats.page_writes += 1;
+                }
+                return Err(c);
+            }
+        }
+        self.write_page(page, data);
+        Ok(())
     }
 
     /// Overwrite a single record-sized byte range within a stable page

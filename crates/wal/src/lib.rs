@@ -36,7 +36,7 @@ mod lbm;
 
 pub use checkpoint::{CheckpointMeta, CheckpointStore};
 pub use lbm::LbmMode;
-pub use log_set::LogSet;
+pub use log_set::{LogSet, FAULT_FORCE_RECORD};
 pub use lsn::Lsn;
 pub use page_lsn::PageLsnTable;
 pub use record::{

@@ -2,18 +2,62 @@
 
 use crate::lsn::Lsn;
 use crate::record::{LogPayload, LogRecord, NodeLog};
+use smdb_fault::{FaultCrash, FaultInjector};
 use smdb_sim::NodeId;
+
+/// Fault site: visited once per volatile record a log force is about to
+/// make durable. Firing at ordinal `k` of a force means the force wrote
+/// exactly `k` records and then the node died — the classic torn log
+/// force. The acting node is the log owner.
+pub const FAULT_FORCE_RECORD: &str = "wal.force.record";
 
 /// All per-node logs of the machine, indexed by [`NodeId`].
 #[derive(Clone, Debug)]
 pub struct LogSet {
     logs: Vec<NodeLog>,
+    fault: FaultInjector,
 }
 
 impl LogSet {
     /// Create one empty log per node.
     pub fn new(nodes: u16) -> Self {
-        LogSet { logs: (0..nodes).map(|n| NodeLog::new(NodeId(n))).collect() }
+        LogSet {
+            logs: (0..nodes).map(|n| NodeLog::new(NodeId(n))).collect(),
+            fault: FaultInjector::new(),
+        }
+    }
+
+    /// Install a fault injector; the log set hosts the per-record force
+    /// crash point ([`FAULT_FORCE_RECORD`]).
+    pub fn set_fault_injector(&mut self, fault: FaultInjector) {
+        self.fault = fault;
+    }
+
+    /// Force `node`'s log up to `lsn` (inclusive), visiting the
+    /// [`FAULT_FORCE_RECORD`] crash point once per record written. When the
+    /// point fires mid-force, the records already visited are durable, the
+    /// rest are not, and the error demands the node be crashed — exactly a
+    /// power failure between two log-disk writes.
+    pub fn force_to_checked(&mut self, node: NodeId, lsn: Lsn) -> Result<bool, FaultCrash> {
+        let fault = &self.fault;
+        let log = &mut self.logs[node.0 as usize];
+        let count = log.unforced_count_to(lsn);
+        for k in 0..count {
+            if let Some(c) = fault.hit(FAULT_FORCE_RECORD, node.0) {
+                if k > 0 {
+                    log.force_records(k);
+                }
+                return Err(c);
+            }
+        }
+        Ok(log.force_to(lsn))
+    }
+
+    /// Force all of `node`'s log, with per-record crash points (see
+    /// [`LogSet::force_to_checked`]).
+    pub fn force_all_checked(&mut self, node: NodeId) -> Result<bool, FaultCrash> {
+        let last = self.logs[node.0 as usize].last_lsn();
+        self.force_to_checked(node, last)
     }
 
     /// Number of logs (== number of nodes).

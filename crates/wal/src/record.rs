@@ -344,6 +344,20 @@ impl NodeLog {
         self.force_to(self.last_lsn())
     }
 
+    /// Advance the stable boundary by exactly `n` records (bounded by the
+    /// volatile tail). This models a force interrupted partway: the first
+    /// `n` records of the batch reached the disk, the rest die with the
+    /// node. Fault injection uses it to leave a *half-forced* log behind.
+    pub fn force_records(&mut self, n: u64) -> bool {
+        self.force_to(Lsn(self.stable_upto.0 + n))
+    }
+
+    /// Number of volatile-tail records a force to `lsn` would write.
+    pub fn unforced_count_to(&self, lsn: Lsn) -> u64 {
+        let want = lsn.min(self.last_lsn());
+        want.0.saturating_sub(self.stable_upto.0)
+    }
+
     /// Crash this node's log: the volatile tail vanishes; the stable prefix
     /// remains.
     pub fn crash(&mut self) {

@@ -68,6 +68,10 @@ pub struct MixReport {
     pub ops: u64,
     /// Simulated machine makespan consumed by the run, cycles.
     pub sim_cycles: u64,
+    /// Whether the [`CrashPlan`] actually fired. A plan whose
+    /// `after_txns` is at or beyond the transaction count never triggers;
+    /// callers that assumed "plan given ⇒ crash exercised" can now tell.
+    pub crash_fired: bool,
 }
 
 /// A mid-workload crash schedule: after `after_txns` committed
@@ -183,8 +187,19 @@ fn run_txn_ops(db: &mut SmDb, node: NodeId, ops: &[Op]) -> Result<TxnId, DbError
             },
         };
         if let Err(e) = r {
-            // Roll back and surface the conflict.
-            let _ = db.abort(txn);
+            // An injected crash means the acting node is dead at this
+            // instant: do NOT run a voluntary abort on its behalf (a dead
+            // node cannot write compensation records — recovery rolls the
+            // transaction back). Everything else rolls back and surfaces.
+            if e.fault_crash().is_none() {
+                if let Err(e2) = db.abort(txn) {
+                    // The rollback itself hit an armed crash point: that
+                    // crash outranks the original error.
+                    if e2.fault_crash().is_some() {
+                        return Err(e2);
+                    }
+                }
+            }
             return Err(e);
         }
     }
@@ -192,18 +207,30 @@ fn run_txn_ops(db: &mut SmDb, node: NodeId, ops: &[Op]) -> Result<TxnId, DbError
     Ok(txn)
 }
 
-/// Run the mix to completion (no crash). Returns the report.
+/// Run the mix to completion (no crash plan, no fault injection).
+/// Returns the report. Panics on engine errors — with no crash plan and
+/// the fault injector disabled, the mix cannot fail; harnesses that arm
+/// fault injection must use [`run_mix_with_crash`] and handle the error.
 pub fn run_mix(db: &mut SmDb, params: MixParams) -> MixReport {
-    run_mix_with_crash(db, params, None).0
+    run_mix_with_crash(db, params, None)
+        .unwrap_or_else(|e| panic!("workload operation failed: {e}"))
+        .0
 }
 
 /// Run the mix, optionally crashing mid-stream per `plan`. Returns the
-/// report plus the recovery outcome if a crash fired.
+/// report plus the recovery outcome if the plan fired (also surfaced as
+/// [`MixReport::crash_fired`] — a plan with `after_txns >= txns` never
+/// triggers).
+///
+/// Errors — a failed recovery, or a [`DbError::FaultCrash`] from an armed
+/// fault injector — are returned, not panicked, with the partial progress
+/// lost: the caller (typically a crash-sweep driver) owns the
+/// crash-and-recover response.
 pub fn run_mix_with_crash(
     db: &mut SmDb,
     params: MixParams,
     plan: Option<CrashPlan>,
-) -> (MixReport, Option<smdb_core::RecoveryOutcome>) {
+) -> Result<(MixReport, Option<smdb_core::RecoveryOutcome>), DbError> {
     let with_index = db.config().with_index;
     let mut g = Generator::new(db, params);
     let mut report = MixReport::default();
@@ -213,8 +240,9 @@ pub fn run_mix_with_crash(
     for i in 0..g.params.txns {
         if let Some(p) = &plan {
             if recovery.is_none() && i == p.after_txns {
-                let outcome = db.crash_and_recover(&p.nodes).expect("recovery succeeds");
+                let outcome = db.crash_and_recover(&p.nodes)?;
                 recovery = Some(outcome);
+                report.crash_fired = true;
             }
         }
         // Round-robin over live nodes.
@@ -241,12 +269,12 @@ pub fn run_mix_with_crash(
                         break;
                     }
                 }
-                Err(e) => panic!("workload operation failed: {e}"),
+                Err(e) => return Err(e),
             }
         }
     }
     report.sim_cycles = db.max_clock() - clock0;
-    (report, recovery)
+    Ok((report, recovery))
 }
 
 /// Start `per_node` transactions on every (live) node, each performing
@@ -385,12 +413,28 @@ mod tests {
                 &mut db,
                 MixParams { txns: 60, sharing: 0.6, ..Default::default() },
                 Some(plan),
-            );
+            )
+            .expect("recovery succeeds");
             let outcome = recovery.expect("crash fired");
+            assert!(report.crash_fired);
             assert_eq!(outcome.crashed, vec![NodeId(3)]);
             assert!(report.committed > 40, "{p:?}: survivors kept working");
             db.check_ifa(NodeId(0)).assert_ok();
         }
+    }
+
+    #[test]
+    fn crash_plan_beyond_txn_count_is_surfaced_not_silent() {
+        let mut db = small_db(ProtocolKind::VolatileSelectiveRedo);
+        // after_txns == txns: the plan can never trigger. Previously this
+        // was indistinguishable from a run whose crash fired.
+        let plan = CrashPlan { after_txns: 10, nodes: vec![NodeId(1)] };
+        let (report, recovery) =
+            run_mix_with_crash(&mut db, MixParams { txns: 10, ..Default::default() }, Some(plan))
+                .expect("mix runs");
+        assert!(!report.crash_fired, "plan at txns boundary must not fire");
+        assert!(recovery.is_none());
+        assert!(!db.machine().is_crashed(NodeId(1)));
     }
 
     #[test]

@@ -13,6 +13,12 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== crash-point sweep (bounded) =="
+# Deterministic fault-injection sweep over all protocols (DESIGN §8);
+# release build keeps the bounded sweep fast. The exhaustive variant is
+# scripts/crash_sweep.sh.
+cargo test --release -q --test crash_sweep
+
 echo "== rustfmt =="
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --all --check

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Exhaustive crash-point sweep (DESIGN §8): replay the seeded workload
+# once per *every* enumerated crash point under each protocol, plus the
+# full nested-schedule budget. The bounded variant runs in tier-1 CI
+# (scripts/ci.sh); this one is for local soak runs and release gates.
+#
+# Every failure prints a one-line repro:
+#   FAIL scenario=<label> seed=<seed> plan=<site#hit[+site#hit]> :: <msg>
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+export SMDB_FULL_SWEEP=1
+
+cargo test --release --test crash_sweep -- --nocapture

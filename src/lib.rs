@@ -7,6 +7,7 @@
 
 pub use smdb_btree as btree;
 pub use smdb_core as core;
+pub use smdb_fault as fault;
 pub use smdb_lock as lock;
 pub use smdb_obs as obs;
 pub use smdb_sim as sim;

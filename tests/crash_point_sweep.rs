@@ -19,7 +19,8 @@ fn sweep(protocol: ProtocolKind, crash_nodes: Vec<NodeId>) {
             ..Default::default()
         };
         let plan = CrashPlan { after_txns: crash_after, nodes: crash_nodes.clone() };
-        let (report, recovery) = run_mix_with_crash(&mut db, params, Some(plan));
+        let (report, recovery) =
+            run_mix_with_crash(&mut db, params, Some(plan)).expect("recovery succeeds");
         assert!(recovery.is_some(), "{protocol:?}@{crash_after}: crash did not fire");
         assert!(
             report.committed >= 25,
@@ -77,7 +78,7 @@ fn fine_sweep_with_checkpoint() {
             index_fraction: 0.2,
             ..Default::default()
         };
-        run_mix_with_crash(&mut db, params.clone(), None);
+        run_mix_with_crash(&mut db, params.clone(), None).expect("mix runs");
         db.checkpoint(NodeId(0)).unwrap();
         // Second half with the crash somewhere inside.
         let plan = CrashPlan { after_txns: crash_after, nodes: vec![NodeId(2)] };
@@ -85,7 +86,8 @@ fn fine_sweep_with_checkpoint() {
             &mut db,
             MixParams { txns: 20, seed: 0xBEEF ^ 1, ..params },
             Some(plan),
-        );
+        )
+        .expect("recovery succeeds");
         assert!(recovery.is_some());
         let survivor = db.machine().surviving_nodes()[0];
         let r = db.check_ifa(survivor);

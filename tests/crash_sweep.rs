@@ -1,0 +1,197 @@
+//! End-to-end crash-point sweep: the fault-injection subsystem's main
+//! integration harness.
+//!
+//! For each Table-1 protocol, a seeded workload is dry-run once with a
+//! counting injector to enumerate every crash point it visits (WAL record
+//! forces, line migrations and invalidations, stable-page line flushes,
+//! commit-path points, recovery-phase boundaries). The sweep driver then
+//! replays the scenario once per sampled point — the victim node dies
+//! mid-operation with whatever partial state the layer left behind — and
+//! once per sampled (primary, secondary) pair, where a second node dies
+//! while recovery from the first crash is still in flight. After every
+//! schedule three oracles run: `check_ifa` (records + index + lock space
+//! vs the shadow model), the B+-tree structural invariants, and the
+//! committed-data check. Every failure is a one-line repro: scenario
+//! label, seed, and the `site#hit` plan.
+//!
+//! Bounded by default so tier-1 stays fast; `SMDB_FULL_SWEEP=1` (see
+//! `scripts/crash_sweep.sh`) sweeps every enumerated point.
+
+use smdb::core::fault::sweep::{sweep, RunMode, RunOutput, SweepConfig, SweepReport};
+use smdb::core::fault::{FaultInjector, Mode};
+use smdb::core::{DbConfig, DbError, ProtocolKind, SmDb};
+use smdb::sim::NodeId;
+use smdb::workload::{run_mix_with_crash, MixParams};
+
+const SEED: u64 = 0x5EED_CAFE;
+
+fn params(seed: u64) -> MixParams {
+    MixParams {
+        txns: 16,
+        ops_per_txn: 4,
+        sharing: 0.6,
+        read_fraction: 0.2,
+        index_fraction: 0.25,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Drive crash + recovery after an injected fire. Nested fires — the
+/// recovery node itself dying mid-restart — surface as further
+/// `FaultCrash` errors out of `recover`: crash the new victim and recover
+/// again from a fresh survivor until the restart converges.
+fn drive_recovery(db: &mut SmDb, first: DbError) -> Result<(), String> {
+    let mut err = first;
+    for _ in 0..8 {
+        let Some(c) = err.fault_crash().copied() else {
+            return Err(format!("non-crash error out of scenario: {err}"));
+        };
+        db.crash(&[NodeId(c.node)]);
+        match db.recover() {
+            Ok(_) => return Ok(()),
+            Err(e) => err = e,
+        }
+    }
+    Err("recovery did not converge after 8 nested crashes".into())
+}
+
+/// The post-schedule oracles. Any violation becomes the one-line repro's
+/// message.
+fn check_oracles(db: &mut SmDb) -> Result<(), String> {
+    let survivors = db.machine().surviving_nodes();
+    let scan = *survivors.first().ok_or("no survivors after recovery")?;
+    // IFA oracle: physical record values, live index contents, and the
+    // lock space, all compared against the shadow model.
+    let r = db.check_ifa(scan);
+    if !r.ok() {
+        return Err(format!("IFA: {}", r.violations.join("; ")));
+    }
+    // B+-tree oracle: structural invariants (sorted leaf chain, branch
+    // separator ranges). `check_invariants` panics with a description.
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| db.check_index_invariants(scan)))
+    {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => return Err(format!("btree oracle unreadable: {e}")),
+        Err(p) => {
+            let msg = p
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic".into());
+            return Err(format!("btree invariant: {msg}"));
+        }
+    }
+    // Committed-data oracle: once no transaction is active (recovery
+    // aborted the doomed one; everything else committed), every record
+    // must physically hold its committed value.
+    if db.active_txns(None).is_empty() {
+        for slot in 0..db.record_count() as u64 {
+            let got = db.current_value(slot).map_err(|e| format!("slot {slot}: {e}"))?;
+            let want = db.read_committed(slot).map_err(|e| format!("slot {slot}: {e}"))?;
+            if got != want {
+                return Err(format!(
+                    "committed data: slot {slot} expected {:?}…, found {:?}…",
+                    &want[..want.len().min(8)],
+                    &got[..got.len().min(8)]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One scenario execution in the given sweep mode: fresh database, seeded
+/// workload, crash driving on fire, oracles, injector snapshot.
+fn run_scenario(protocol: ProtocolKind, seed: u64, mode: &RunMode) -> Result<RunOutput, String> {
+    let mut db = SmDb::new(DbConfig::small(4, protocol));
+    let f = FaultInjector::new();
+    db.set_fault_injector(f.clone());
+    match mode {
+        RunMode::Count => f.start_counting(),
+        RunMode::Replay(plan) => f.arm(plan.clone()),
+        RunMode::CountDuringRecovery(plan) => f.arm_then_count(plan.clone()),
+    }
+    match run_mix_with_crash(&mut db, params(seed), None) {
+        Ok(_) => {}
+        Err(e) => drive_recovery(&mut db, e)?,
+    }
+    // Snapshot the injector BEFORE the oracle scans: enumeration must not
+    // include oracle-only visits, and an armed point the perturbed path
+    // never reached must not fire mid-oracle.
+    let expected = match mode {
+        RunMode::Count => 0,
+        RunMode::Replay(p) | RunMode::CountDuringRecovery(p) => p.points.len(),
+    };
+    let all_fired = f.fired().len() == expected;
+    let visits = if f.mode() == Mode::Counting {
+        f.take_visits()
+    } else {
+        f.off();
+        Vec::new()
+    };
+    check_oracles(&mut db)?;
+    Ok(RunOutput { visits, all_fired })
+}
+
+fn sweep_protocol(protocol: ProtocolKind, label: &str) -> SweepReport {
+    let full = std::env::var("SMDB_FULL_SWEEP").map(|v| v == "1").unwrap_or(false);
+    let cfg = SweepConfig {
+        label: label.to_string(),
+        seed: SEED,
+        max_single: if full { usize::MAX } else { 60 },
+        max_nested: if full { 200 } else { 15 },
+        nested_primaries: if full { 12 } else { 5 },
+    };
+    let report = sweep(&cfg, |mode| run_scenario(protocol, SEED, mode));
+    println!(
+        "{label}: {} points, {} single + {} nested replays, {} unfired",
+        report.points_enumerated, report.single_runs, report.nested_runs, report.unfired
+    );
+    assert!(report.passed(), "{}", report.failures.join("\n"));
+    report
+}
+
+/// Per-protocol floors: 4 × 50 single replays and 4 × 13 nested replays
+/// keep the suite above 200 distinct single crash points and 50 nested
+/// schedules across the four Table-1 protocols.
+fn assert_coverage(r: &SweepReport) {
+    assert!(r.single_runs >= 50, "{}: only {} single replays", r.label, r.single_runs);
+    assert!(r.nested_runs >= 13, "{}: only {} nested replays", r.label, r.nested_runs);
+}
+
+#[test]
+fn sweep_volatile_selective_redo() {
+    assert_coverage(&sweep_protocol(ProtocolKind::VolatileSelectiveRedo, "volatile_selective"));
+}
+
+#[test]
+fn sweep_volatile_redo_all() {
+    assert_coverage(&sweep_protocol(ProtocolKind::VolatileRedoAll, "volatile_redo_all"));
+}
+
+#[test]
+fn sweep_stable_eager() {
+    assert_coverage(&sweep_protocol(ProtocolKind::StableEager, "stable_eager"));
+}
+
+#[test]
+fn sweep_stable_triggered() {
+    assert_coverage(&sweep_protocol(ProtocolKind::StableTriggered, "stable_triggered"));
+}
+
+/// The FA-only baseline recovers with a full restart; sweep it lightly to
+/// keep the crash points on that path honest too.
+#[test]
+fn sweep_fa_only_baseline() {
+    let cfg = SweepConfig {
+        label: "fa_only".to_string(),
+        seed: SEED,
+        max_single: 20,
+        max_nested: 4,
+        nested_primaries: 2,
+    };
+    let report = sweep(&cfg, |mode| run_scenario(ProtocolKind::FaOnly, SEED, mode));
+    assert!(report.passed(), "{}", report.failures.join("\n"));
+    assert!(report.single_runs >= 15, "fa_only: only {} single replays", report.single_runs);
+}
