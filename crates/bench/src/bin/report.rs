@@ -6,8 +6,8 @@
 //! cargo run -p smdb-bench --bin report --release -- --jobs 4  # parallel
 //! ```
 //!
-//! Flags: `--table1 --e1 --e2 --e3 --e4 --e5 --e6 --e7 --e8 --e9 --e10
-//! --fast --csv --jobs N --json [PATH]`
+//! Flags: `--table1 --e1 --e2 --e3 --e4 --e5 --e6 --e7 --e7scale --e8
+//! --e9 --e10 --fast --csv --jobs N --json [PATH]`
 //!
 //! Every experiment is a deterministic, independent *cell*; `--jobs N`
 //! fans the cells across N OS threads and merges stdout sections and CSV
@@ -319,19 +319,20 @@ fn e3_cell(mix_txns: usize) -> Section {
     let _ = writeln!(p, "== E3 (§4.1.2): Redo All vs Selective Redo recovery cost ==\n");
     let _ = writeln!(
         p,
-        "{:<24} {:>8} {:>8} {:>9} {:>8} {:>12} {:>7}",
-        "protocol", "sharing", "redo", "skipped", "undo", "rec cycles", "lost"
+        "{:<24} {:>8} {:>8} {:>9} {:>8} {:>8} {:>12} {:>7}",
+        "protocol", "sharing", "redo", "skipped", "undo", "scanned", "rec cycles", "lost"
     );
     let pts = x::e3_recovery_cost(mix_txns, &[0.1, 0.5, 0.9]);
     for pt in &pts {
         let _ = writeln!(
             p,
-            "{:<24} {:>8.1} {:>8} {:>9} {:>8} {:>12} {:>7}",
+            "{:<24} {:>8.1} {:>8} {:>9} {:>8} {:>8} {:>12} {:>7}",
             pt.protocol,
             pt.sharing,
             pt.redo_applied,
             pt.redo_skipped_cached,
             pt.undo_applied,
+            pt.scan_records,
             pt.recovery_cycles,
             pt.lost_lines
         );
@@ -367,19 +368,20 @@ fn e3_cell(mix_txns: usize) -> Section {
     }
     let csvs = vec![CsvArtifact {
         name: "e3_recovery_cost",
-        header: "protocol,sharing,redo_applied,redo_skipped_cached,undo_applied,recovery_cycles,lost_lines,\
+        header: "protocol,sharing,redo_applied,redo_skipped_cached,undo_applied,scan_records,recovery_cycles,lost_lines,\
              phase_stable_undo_cycles,phase_reinstall_cycles,phase_cache_discard_cycles,phase_redo_cycles,\
              phase_undo_cycles,phase_lock_recovery_cycles,phase_txn_table_cycles",
         rows: pts
             .iter()
             .map(|pt| {
                 format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     pt.protocol,
                     pt.sharing,
                     pt.redo_applied,
                     pt.redo_skipped_cached,
                     pt.undo_applied,
+                    pt.scan_records,
                     pt.recovery_cycles,
                     pt.lost_lines,
                     pt.phase_stable_undo,
@@ -526,6 +528,62 @@ fn e7_cell() -> Section {
     Section::text_only(s)
 }
 
+fn e7scale_cell(fast: bool) -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let _ = writeln!(p, "== E7b: checkpoint-bounded restart — recovery cost vs history length ==");
+    let interval = 25;
+    let lens: &[usize] = if fast { &[50, 200] } else { &[50, 200, 400] };
+    let _ = writeln!(
+        p,
+        "   sharp checkpoint every {interval} txns vs none; crash one of 8 nodes after the mix\n"
+    );
+    let _ = writeln!(
+        p,
+        "{:<24} {:>8} {:>6} {:>9} {:>8} {:>9} {:>12} {:>10}",
+        "protocol", "history", "ckpt", "scanned", "redo", "skipped", "rec cycles", "wall µs"
+    );
+    let pts = x::e7_recovery_scaling(lens, interval);
+    for pt in &pts {
+        let _ = writeln!(
+            p,
+            "{:<24} {:>8} {:>6} {:>9} {:>8} {:>9} {:>12} {:>10}",
+            pt.protocol,
+            pt.history_txns,
+            pt.checkpoint_every,
+            pt.scan_records,
+            pt.redo_applied,
+            pt.redo_skipped,
+            pt.recovery_cycles,
+            pt.wall_ns / 1_000
+        );
+    }
+    let csvs = vec![CsvArtifact {
+        name: "e7_recovery_scaling",
+        header: "protocol,history_txns,checkpoint_every,scan_records,redo_applied,redo_skipped,\
+             ckpt_bound_lsn,recovery_cycles,wall_ns",
+        rows: pts
+            .iter()
+            .map(|pt| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{}",
+                    pt.protocol,
+                    pt.history_txns,
+                    pt.checkpoint_every,
+                    pt.scan_records,
+                    pt.redo_applied,
+                    pt.redo_skipped,
+                    pt.ckpt_bound_lsn,
+                    pt.recovery_cycles,
+                    pt.wall_ns
+                )
+            })
+            .collect(),
+    }];
+    let _ = writeln!(p);
+    Section { text: s, csvs, cycles_per_op: None }
+}
+
 fn e9_cell(mix_txns: usize) -> Section {
     let mut s = String::new();
     let p = &mut s;
@@ -626,6 +684,9 @@ fn main() {
     }
     if want(&args, "--e7") {
         cells.push(Cell { name: "e7_lock_recovery", run: Box::new(e7_cell) });
+    }
+    if want(&args, "--e7scale") {
+        cells.push(Cell { name: "e7_recovery_scaling", run: Box::new(move || e7scale_cell(fast)) });
     }
     if want(&args, "--e9") {
         cells.push(Cell { name: "e9_colocation", run: Box::new(move || e9_cell(mix_txns)) });

@@ -150,6 +150,8 @@ pub struct RecoveryCostPoint {
     pub redo_skipped_cached: u64,
     /// Undo operations applied.
     pub undo_applied: u64,
+    /// Log records visited by the single analysis scan.
+    pub scan_records: u64,
     /// Simulated recovery time, cycles.
     pub recovery_cycles: u64,
     /// Lines destroyed by the crash.
@@ -198,6 +200,7 @@ pub fn e3_recovery_cost(txns: usize, sharings: &[f64]) -> Vec<RecoveryCostPoint>
                 redo_applied: outcome.redo_applied,
                 redo_skipped_cached: outcome.redo_skipped_cached,
                 undo_applied: outcome.undo_records_applied,
+                scan_records: outcome.scan_records,
                 recovery_cycles: outcome.recovery_cycles,
                 lost_lines: outcome.lost_lines,
                 phase_stable_undo: phase_cycles(&outcome, "stable_undo"),
@@ -429,6 +432,87 @@ pub fn e7_lock_recovery(per_node: usize) -> Vec<LockRecoveryPoint> {
             survivor_entries_restored: lr.survivor_entries_restored,
             promotions: lr.promotions,
         });
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// E7b — checkpoint-bounded restart: recovery cost vs history length
+// ----------------------------------------------------------------------
+
+/// Recovery-scaling measurements for one (protocol, history, checkpoint
+/// interval) cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RecoveryScalingPoint {
+    /// Protocol measured.
+    pub protocol: String,
+    /// Transactions executed before the crash (history length).
+    pub history_txns: usize,
+    /// Sharp-checkpoint interval in transactions (0 = checkpoints off,
+    /// i.e. the unbounded pre-checkpoint restart).
+    pub checkpoint_every: usize,
+    /// Simulated recovery time, cycles.
+    pub recovery_cycles: u64,
+    /// Log records visited by the single analysis scan.
+    pub scan_records: u64,
+    /// Heap redo operations applied.
+    pub redo_applied: u64,
+    /// Redo candidates not applied (cached-probe + stable-equal +
+    /// plan-superseded).
+    pub redo_skipped: u64,
+    /// Highest per-node checkpoint LSN bounding the redo scan.
+    pub ckpt_bound_lsn: u64,
+    /// Recovery wall-clock, nanoseconds (host-dependent; the CSV carries
+    /// it for the report, the gates use the deterministic cycle counts).
+    pub wall_ns: u64,
+}
+
+/// Grow the pre-crash history with and without periodic sharp
+/// checkpoints, crash one node, and measure how restart cost scales. The
+/// point of checkpoint-bounded recovery: without checkpoints the analysis
+/// scan (and therefore restart time) grows linearly with the history;
+/// with them, truncation caps the retained log so recovery cost plateaus
+/// near one checkpoint interval regardless of history length.
+pub fn e7_recovery_scaling(
+    history_lens: &[usize],
+    checkpoint_every: usize,
+) -> Vec<RecoveryScalingPoint> {
+    assert!(checkpoint_every > 0, "pass the interval; 0 is generated as the baseline");
+    let mut out = Vec::new();
+    for &txns in history_lens {
+        for p in ProtocolKind::ifa_protocols() {
+            for ckpt in [0, checkpoint_every] {
+                let mut db = bench_db(p);
+                run_mix(
+                    &mut db,
+                    MixParams {
+                        txns,
+                        sharing: 0.5,
+                        read_fraction: 0.2,
+                        checkpoint_every: ckpt,
+                        ..Default::default()
+                    },
+                );
+                let _ = spawn_active(&mut db, 2, 2, true, 5);
+                let t0 = std::time::Instant::now();
+                let outcome = db.crash_and_recover(&[NodeId(0)]).expect("recovery");
+                let wall_ns = t0.elapsed().as_nanos() as u64;
+                db.check_ifa(NodeId(1)).assert_ok();
+                out.push(RecoveryScalingPoint {
+                    protocol: format!("{p:?}"),
+                    history_txns: txns,
+                    checkpoint_every: ckpt,
+                    recovery_cycles: outcome.recovery_cycles,
+                    scan_records: outcome.scan_records,
+                    redo_applied: outcome.redo_applied,
+                    redo_skipped: outcome.redo_skipped_cached
+                        + outcome.redo_skipped_stable
+                        + outcome.redo_superseded,
+                    ckpt_bound_lsn: outcome.ckpt_bound_lsn,
+                    wall_ns,
+                });
+            }
+        }
     }
     out
 }

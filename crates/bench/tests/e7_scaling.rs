@@ -1,0 +1,68 @@
+//! E7b acceptance gate: checkpoint-bounded restart must beat the
+//! unbounded (pre-checkpoint) restart by ≥1.5× on long histories.
+//!
+//! The gates run on the deterministic simulated quantities — recovery
+//! cycles and records scanned — never wall-clock, so they hold on any
+//! host. History lengths are ≥8× the checkpoint interval, where the
+//! retained-log difference dominates the fixed recovery costs.
+
+use smdb_bench::e7_recovery_scaling;
+
+const INTERVAL: usize = 25;
+
+#[test]
+fn checkpointed_recovery_beats_unbounded_by_1_5x_on_long_histories() {
+    // 200 txns = 8× the checkpoint interval.
+    let pts = e7_recovery_scaling(&[8 * INTERVAL], INTERVAL);
+    assert_eq!(pts.len(), 8, "4 IFA protocols × {{0, interval}}");
+    for pair in pts.chunks(2) {
+        let (off, on) = (&pair[0], &pair[1]);
+        assert_eq!(off.protocol, on.protocol);
+        assert_eq!(off.checkpoint_every, 0);
+        assert_eq!(on.checkpoint_every, INTERVAL);
+        // Checkpoints were actually taken and bounded the redo scan.
+        assert!(on.ckpt_bound_lsn > 0, "{}: no checkpoint bound", on.protocol);
+        // The analysis scan shrinks to roughly one interval's tail: the
+        // truncated prefix is physically gone from the stable logs.
+        assert!(
+            off.scan_records >= 2 * on.scan_records,
+            "{}: scan {} -> {} records, expected >= 2x fewer",
+            on.protocol,
+            off.scan_records,
+            on.scan_records
+        );
+        // The headline gate: >= 1.5x cheaper recovery (in simulated
+        // cycles, scan + redo + fixed phases included).
+        assert!(
+            2 * off.recovery_cycles >= 3 * on.recovery_cycles,
+            "{}: recovery {} -> {} cycles, expected >= 1.5x cheaper",
+            on.protocol,
+            off.recovery_cycles,
+            on.recovery_cycles
+        );
+    }
+}
+
+#[test]
+fn checkpointed_scan_plateaus_as_history_grows() {
+    // Doubling the history (8x -> 16x the interval) must leave the
+    // checkpoint-bounded scan flat while the unbounded scan ~doubles.
+    let pts = e7_recovery_scaling(&[8 * INTERVAL, 16 * INTERVAL], INTERVAL);
+    let scan = |history: usize, ckpt: usize| -> u64 {
+        pts.iter()
+            .filter(|p| p.history_txns == history && p.checkpoint_every == ckpt)
+            .map(|p| p.scan_records)
+            .max()
+            .expect("cell present")
+    };
+    let (short_off, long_off) = (scan(8 * INTERVAL, 0), scan(16 * INTERVAL, 0));
+    let (short_on, long_on) = (scan(8 * INTERVAL, INTERVAL), scan(16 * INTERVAL, INTERVAL));
+    assert!(
+        long_off * 10 >= short_off * 15,
+        "unbounded scan should grow with history: {short_off} -> {long_off}"
+    );
+    assert!(
+        long_on * 10 <= short_on.max(1) * 15,
+        "bounded scan should plateau: {short_on} -> {long_on}"
+    );
+}

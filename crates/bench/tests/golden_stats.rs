@@ -32,6 +32,9 @@ fn render_outcome(out: &mut String, o: &RecoveryOutcome) {
     let _ = writeln!(out, "outcome.redo_applied: {}", o.redo_applied);
     let _ = writeln!(out, "outcome.redo_skipped_cached: {}", o.redo_skipped_cached);
     let _ = writeln!(out, "outcome.redo_skipped_stable: {}", o.redo_skipped_stable);
+    let _ = writeln!(out, "outcome.redo_superseded: {}", o.redo_superseded);
+    let _ = writeln!(out, "outcome.scan_records: {}", o.scan_records);
+    let _ = writeln!(out, "outcome.ckpt_bound_lsn: {}", o.ckpt_bound_lsn);
     let _ = writeln!(out, "outcome.index_redo_applied: {}", o.index_redo_applied);
     let _ = writeln!(out, "outcome.undo_records_applied: {}", o.undo_records_applied);
     let _ = writeln!(out, "outcome.tags_cleared: {}", o.tags_cleared);

@@ -247,6 +247,11 @@ impl SmDb {
         &self.logs
     }
 
+    /// The sharp-checkpoint store (last installed checkpoint + count).
+    pub fn checkpoint_store(&self) -> &CheckpointStore {
+        &self.ckpt
+    }
+
     /// Record layout.
     pub fn record_layout(&self) -> &RecordLayout {
         &self.layout
@@ -902,7 +907,7 @@ impl SmDb {
                 lsns.push(self.logs.log(n).stable_lsn());
                 continue;
             }
-            let lsn = self.logs.append(n, LogPayload::Checkpoint);
+            let lsn = self.logs.append_checkpoint_checked(n)?;
             let obs_on = self.m.obs().is_enabled();
             let pending = if obs_on { self.unforced_records(n) } else { 0 };
             if self.logs.force_to_checked(n, lsn)? {
@@ -926,16 +931,15 @@ impl SmDb {
             }
             let ckpt_lsn = lsns[n as usize];
             let mut cutoff = ckpt_lsn;
-            for rec in self.logs.log(nid).records() {
-                if let Some(txn) = rec.payload.txn() {
-                    if self.txns.get(&txn).map(|t| t.is_active()).unwrap_or(false) {
-                        cutoff = cutoff.min(Lsn(rec.lsn.0.saturating_sub(1)));
-                        break; // records scan in LSN order: first hit is the min
-                    }
+            // The log's incremental index knows where each transaction's
+            // first record sits; no scan needed to find the undo floor.
+            for t in self.txns.values().filter(|t| t.is_active()) {
+                if let Some(first) = self.logs.log(nid).index().first_txn_lsn(t.id) {
+                    cutoff = cutoff.min(Lsn(first.0.saturating_sub(1)));
                 }
             }
             let cutoff = cutoff.min(self.logs.log(nid).stable_lsn());
-            self.logs.log_mut(nid).truncate_through(cutoff);
+            self.logs.truncate_through_checked(nid, cutoff)?;
         }
         self.stats.checkpoints += 1;
         Ok(())

@@ -62,6 +62,9 @@ pub struct RecoveryOutcome {
     /// Heap redo candidates skipped because the stable image already
     /// reflected the update.
     pub redo_skipped_stable: u64,
+    /// Heap redo candidates dropped by the plan phase because a later
+    /// candidate for the same record superseded them.
+    pub redo_superseded: u64,
     /// Index redo operations applied.
     pub index_redo_applied: u64,
     /// Undo operations applied to cached records.
@@ -78,6 +81,11 @@ pub struct RecoveryOutcome {
     pub recovery_cycles: u64,
     /// The surviving node that orchestrated reconstruction.
     pub recovery_node: NodeId,
+    /// Log records visited by the single analysis scan.
+    pub scan_records: u64,
+    /// Highest per-node checkpoint LSN that bounded the redo scan (0 when
+    /// no checkpoint had been taken).
+    pub ckpt_bound_lsn: u64,
     /// Per-phase simulated-cycle and wall-clock spans of the IFA restart
     /// (empty for the FA-only full restart, which is a single monolithic
     /// rebuild pass).
@@ -98,12 +106,51 @@ fn phase_histogram(phase: &str) -> &'static str {
     }
 }
 
-/// Per-crash analysis of the stable logs: who committed, which
-/// not-committed transactions left durable traces, and last-writer maps
-/// for the stale-tag predicate.
+/// One planned heap redo write. The after image is a refcounted handle
+/// into the log record (`bytes::Bytes`), never a byte copy — redo lends
+/// the logged payload all the way to the page write.
+struct HeapRedo {
+    gsn: u64,
+    rec: RecId,
+    /// The cache line holding `rec` (precomputed during analysis so the
+    /// parallel plan phase is pure computation over owned data).
+    line: LineId,
+    txn: TxnId,
+    image: bytes::Bytes,
+}
+
+/// One redo candidate for the index (applied sequentially in GSN order —
+/// logical B-tree ops don't commute).
+enum IxRedo {
+    Insert { key: u64, value: [u8; 8], txn: TxnId },
+    Delete { key: u64, value: [u8; 8], txn: TxnId },
+    Remove { key: u64 },
+    Unmark { key: u64 },
+}
+
+/// One undo action for a doomed transaction's effect recorded on a
+/// surviving node's intact log.
+enum DoomedOp {
+    Rec { rec: RecId, before: bytes::Bytes },
+    RemoveKey(u64),
+    UnmarkKey(u64),
+}
+
+/// A planned restart operation: a reduced heap write or an index op.
+enum PlannedOp {
+    Rec(HeapRedo),
+    Ix(IxRedo),
+}
+
+/// Per-crash analysis of the logs, built by **one pass over each retained
+/// log** ([`SmDb::analyse_stable`]): commit status, durable traces of
+/// not-committed transactions, last-writer maps for the stale-tag
+/// predicate, last committed values, redo candidates past the checkpoint
+/// bound, and doomed-transaction undo work.
 #[derive(Default)]
 struct StableAnalysis {
-    /// Transactions with a Commit record in their node's stable log.
+    /// Committed transactions, from the per-log incremental indexes
+    /// (includes commits whose record was reclaimed by truncation).
     committed: BTreeSet<TxnId>,
     /// Stable-logged updates of *not-committed* transactions of the
     /// analysed nodes: `(gsn, txn, rec)`.
@@ -115,6 +162,25 @@ struct StableAnalysis {
     last_rec_txn: BTreeMap<(NodeId, RecId), TxnId>,
     /// Last stable index-op writer per (node, key).
     last_key_txn: BTreeMap<(NodeId, u64), TxnId>,
+    /// Highest-GSN committed after image per record, over every retained
+    /// log (the §4.1.2 stable-log source of committed values).
+    committed_values: BTreeMap<RecId, (u64, bytes::Bytes)>,
+    /// Undo images of the analysed nodes' stable uncommitted updates per
+    /// record: `(gsn, txn, before image)`. The backstop source of a last
+    /// committed value when the committed update itself has been
+    /// truncated but the record's stable image was stolen over.
+    uncommitted_undo: BTreeMap<RecId, Vec<(u64, TxnId, bytes::Bytes)>>,
+    /// Heap redo candidates past the checkpoint bound, in GSN order.
+    heap_redo: Vec<HeapRedo>,
+    /// Index redo candidates past the checkpoint bound, in GSN order.
+    index_redo: Vec<(u64, IxRedo)>,
+    /// Doomed transactions' effects on surviving logs (applied in reverse
+    /// GSN order by the undo phase).
+    doomed_ops: Vec<(u64, DoomedOp)>,
+    /// Log records visited by the scan.
+    scanned_records: u64,
+    /// Highest per-node checkpoint LSN bounding the redo scan.
+    ckpt_bound: u64,
 }
 
 impl StableAnalysis {
@@ -127,13 +193,67 @@ impl StableAnalysis {
     }
 }
 
-/// One redo candidate drawn from a log.
-enum RedoOp {
-    Rec { rec: RecId, redo: Vec<u8>, txn: TxnId },
-    IxInsert { key: u64, value: [u8; 8], txn: TxnId },
-    IxDelete { key: u64, value: [u8; 8], txn: TxnId },
-    IxRemove { key: u64 },
-    IxUnmark { key: u64 },
+/// Candidate count at which the redo plan fans out to scoped threads;
+/// below it the same partition/reduce runs inline (identical result).
+const PARALLEL_PLAN_THRESHOLD: usize = 64;
+
+/// Number of line-keyed partitions in the redo plan.
+const PLAN_BUCKETS: usize = 8;
+
+/// Reduce one partition of heap redo candidates to the final (highest-GSN)
+/// image per record. Pure computation over owned handles.
+fn reduce_partition(part: Vec<HeapRedo>) -> Vec<HeapRedo> {
+    let mut best: BTreeMap<RecId, HeapRedo> = BTreeMap::new();
+    for c in part {
+        match best.entry(c.rec) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(c);
+            }
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                if c.gsn >= o.get().gsn {
+                    o.insert(c);
+                }
+            }
+        }
+    }
+    best.into_values().collect()
+}
+
+/// The parallel redo *plan* phase: partition candidates by cache line,
+/// reduce each partition to one final write per record (superseded
+/// intermediate images are dropped), and merge back into a single
+/// GSN-ordered schedule for the deterministic sequential apply.
+///
+/// Determinism: partitioning is a pure function of the line id, each
+/// partition is reduced independently (records never span partitions, so
+/// the reductions are disjoint), and the merged schedule is re-sorted by
+/// the globally unique GSNs — the result is byte-identical whether the
+/// partitions were reduced on worker threads or inline.
+///
+/// Returns the plan and the number of superseded candidates dropped.
+fn plan_heap_redo(candidates: Vec<HeapRedo>) -> (Vec<HeapRedo>, u64) {
+    let total = candidates.len();
+    if total <= 1 {
+        return (candidates, 0);
+    }
+    let mut parts: Vec<Vec<HeapRedo>> = (0..PLAN_BUCKETS).map(|_| Vec::new()).collect();
+    for c in candidates {
+        let b = (c.line.0 % PLAN_BUCKETS as u64) as usize;
+        parts[b].push(c);
+    }
+    let reduced: Vec<Vec<HeapRedo>> = if total >= PARALLEL_PLAN_THRESHOLD {
+        std::thread::scope(|s| {
+            let handles: Vec<_> =
+                parts.into_iter().map(|p| s.spawn(move || reduce_partition(p))).collect();
+            handles.into_iter().map(|h| h.join().expect("plan worker panicked")).collect()
+        })
+    } else {
+        parts.into_iter().map(reduce_partition).collect()
+    };
+    let mut plan: Vec<HeapRedo> = reduced.into_iter().flatten().collect();
+    plan.sort_by_key(|c| c.gsn);
+    let superseded = (total - plan.len()) as u64;
+    (plan, superseded)
 }
 
 impl SmDb {
@@ -184,18 +304,13 @@ impl SmDb {
     /// Flip to `Committed` every transaction still marked active whose
     /// commit record reached a stable log (see [`SmDb::crash`]).
     fn promote_durably_committed(&mut self) {
-        let mut durable: BTreeSet<TxnId> = BTreeSet::new();
-        for n in self.m.node_ids().collect::<Vec<_>>() {
-            for rec in self.logs.log(n).stable_records() {
-                if let LogPayload::Commit { txn } = rec.payload {
-                    durable.insert(txn);
-                }
-            }
-        }
+        // Commit records are appended to the transaction's home log, so
+        // the home log's incremental index answers durability without a
+        // scan.
         let promoted: Vec<TxnId> = self
             .txns
             .values()
-            .filter(|t| t.is_active() && durable.contains(&t.id))
+            .filter(|t| t.is_active() && self.logs.log(t.id.node()).is_commit_stable(t.id))
             .map(|t| t.id)
             .collect();
         for txn in promoted {
@@ -261,6 +376,13 @@ impl SmDb {
         let cycles = outcome.recovery_cycles;
         let obs = self.m.obs();
         obs.metrics.observe("recovery.total_cycles", cycles);
+        obs.metrics.add("restart.scan_records", outcome.scan_records);
+        obs.metrics.add("restart.redo_applied", outcome.redo_applied);
+        obs.metrics.add(
+            "restart.redo_skipped",
+            outcome.redo_skipped_cached + outcome.redo_skipped_stable + outcome.redo_superseded,
+        );
+        obs.metrics.gauge_set("restart.ckpt_bound_lsn", outcome.ckpt_bound_lsn as i64);
         obs.bus.emit(self.m.max_clock(), || ObsEvent::RecoveryEnd { sim_cycles: cycles });
         self.pending_recovery.clear();
         self.pending_lost_lines = 0;
@@ -312,108 +434,217 @@ impl SmDb {
     // Shared analysis helpers
     // ------------------------------------------------------------------
 
-    /// Analyse the stable logs of `nodes`.
-    fn analyse_stable(&self, nodes: &[NodeId]) -> StableAnalysis {
+    /// Analyse the logs — the **single scan** of restart recovery. Each
+    /// retained log is read exactly once (crashed/analysed nodes: the
+    /// stable prefix; survivors: the full retained log, volatile tail
+    /// included), and every product recovery needs is collected in that
+    /// one pass:
+    ///
+    /// * commit status — no scan at all: read off the per-log incremental
+    ///   indexes, and therefore immune to Commit records reclaimed by
+    ///   checkpoint truncation;
+    /// * durable uncommitted traces + last-writer maps of the analysed
+    ///   nodes (the undo analysis), with undo images lent as refcounted
+    ///   handles;
+    /// * the highest-GSN retained committed after image per record (the
+    ///   paper's §4.1.2 stable-log source of committed values);
+    /// * redo candidates strictly past each log's checkpoint LSN —
+    ///   truncation keeps the retained prefix near that bound, so the
+    ///   scan cost tracks work since the last checkpoint, not history
+    ///   length;
+    /// * doomed transactions' effects on surviving logs, for the undo
+    ///   phase.
+    ///
+    /// A log whose incremental index proves it retains no data records is
+    /// skipped without being read at all. With `full` set (FA-only / total
+    /// failure), every node is analysed, only stable prefixes are read,
+    /// and redo is restricted to committed transactions.
+    fn analyse_stable(
+        &self,
+        analysed: &[NodeId],
+        doomed: &BTreeSet<TxnId>,
+        full: bool,
+    ) -> StableAnalysis {
         let mut a = StableAnalysis::default();
-        // Pass 1: commit status. Scan *every* node's stable log (commit
-        // records are always forced, and a parallel transaction's commit
-        // lives on its home node, which may differ from the analysed
-        // nodes).
-        for n in self.m.node_ids().collect::<Vec<_>>() {
-            for rec in self.logs.log(n).stable_records() {
-                if let LogPayload::Commit { txn } = rec.payload {
-                    a.committed.insert(txn);
-                }
+        self.m.obs().metrics.inc("restart.analysis_scans");
+        let nodes: Vec<NodeId> = self.m.node_ids().collect();
+        // Commit status covers *every* node: commit records are always
+        // forced, and a parallel transaction's commit lives on its home
+        // node, which may differ from the analysed nodes.
+        for &n in &nodes {
+            for t in self.logs.log(n).stable_commits() {
+                a.committed.insert(t);
             }
         }
-        // Pass 2: durable traces of not-committed transactions + last
-        // writers.
-        for &n in nodes {
-            for lrec in self.logs.log(n).stable_records() {
+        let to_arr = |b: &bytes::Bytes| {
+            let mut v = [0u8; 8];
+            let n = b.len().min(8);
+            v[..n].copy_from_slice(&b[..n]);
+            v
+        };
+        for &n in &nodes {
+            let log = self.logs.log(n);
+            let bound = self.ckpt.last().lsn_for(n);
+            a.ckpt_bound = a.ckpt_bound.max(bound.0);
+            if !log.has_data_after(log.truncation_point()) {
+                continue; // index proves no retained data records
+            }
+            let is_analysed = full || analysed.contains(&n);
+            let recs = if is_analysed { log.stable_records() } else { log.records() };
+            for lrec in recs {
+                a.scanned_records += 1;
+                let Some(txn) = lrec.payload.txn() else { continue };
                 // Skip the synthetic recovery transactions (seq 0): an
                 // interrupted recovery attempt leaves its redo's
                 // IndexInsert records in the (now-crashed) recovery node's
                 // stable log, and they re-install *committed* entries —
                 // treating them as uncommitted ops would undo committed
                 // data on the next attempt.
-                if lrec.payload.txn().is_some_and(|t| t.seq() == 0) {
+                if txn.seq() == 0 {
                     continue;
                 }
+                let committed = a.committed.contains(&txn);
+                let is_doomed = doomed.contains(&txn);
+                // Redo candidacy: strictly past the checkpoint bound and
+                // never doomed; analysed nodes (and everyone, under a
+                // full restart) contribute committed work only.
+                let redo = lrec.lsn > bound && !is_doomed && (committed || !(is_analysed || full));
                 match &lrec.payload {
-                    LogPayload::Update { txn, rec, gsn, .. } => {
-                        a.last_rec_txn.insert((n, *rec), *txn);
-                        if !a.committed.contains(txn) {
-                            a.uncommitted_updates.push((*gsn, *txn, *rec));
+                    LogPayload::Update { rec, undo, redo: after, gsn, .. } => {
+                        if is_analysed {
+                            a.last_rec_txn.insert((n, *rec), txn);
+                            if !committed {
+                                a.uncommitted_updates.push((*gsn, txn, *rec));
+                                a.uncommitted_undo.entry(*rec).or_default().push((
+                                    *gsn,
+                                    txn,
+                                    undo.clone(),
+                                ));
+                            }
+                        } else if is_doomed {
+                            a.doomed_ops
+                                .push((*gsn, DoomedOp::Rec { rec: *rec, before: undo.clone() }));
+                        }
+                        if committed {
+                            let e = a
+                                .committed_values
+                                .entry(*rec)
+                                .or_insert((0, bytes::Bytes::from(&[][..])));
+                            if *gsn >= e.0 {
+                                *e = (*gsn, after.clone());
+                            }
+                        }
+                        if redo {
+                            a.heap_redo.push(HeapRedo {
+                                gsn: *gsn,
+                                rec: *rec,
+                                line: self.rec_line(*rec),
+                                txn,
+                                image: after.clone(),
+                            });
                         }
                     }
-                    LogPayload::IndexInsert { txn, key, gsn, .. } => {
-                        a.last_key_txn.insert((n, *key), *txn);
-                        if !a.committed.contains(txn) {
-                            a.uncommitted_index.push((*gsn, *txn, *key, false));
+                    LogPayload::IndexInsert { key, value, gsn, .. } => {
+                        if is_analysed {
+                            a.last_key_txn.insert((n, *key), txn);
+                            if !committed {
+                                a.uncommitted_index.push((*gsn, txn, *key, false));
+                            }
+                        } else if is_doomed {
+                            a.doomed_ops.push((*gsn, DoomedOp::RemoveKey(*key)));
+                        }
+                        if redo {
+                            a.index_redo.push((
+                                *gsn,
+                                IxRedo::Insert { key: *key, value: to_arr(value), txn },
+                            ));
                         }
                     }
-                    LogPayload::IndexDelete { txn, key, gsn, .. } => {
-                        a.last_key_txn.insert((n, *key), *txn);
-                        if !a.committed.contains(txn) {
-                            a.uncommitted_index.push((*gsn, *txn, *key, true));
+                    LogPayload::IndexDelete { key, value, gsn, .. } => {
+                        if is_analysed {
+                            a.last_key_txn.insert((n, *key), txn);
+                            if !committed {
+                                a.uncommitted_index.push((*gsn, txn, *key, true));
+                            }
+                        } else if is_doomed {
+                            a.doomed_ops.push((*gsn, DoomedOp::UnmarkKey(*key)));
+                        }
+                        if redo {
+                            a.index_redo.push((
+                                *gsn,
+                                IxRedo::Delete { key: *key, value: to_arr(value), txn },
+                            ));
                         }
                     }
-                    LogPayload::IndexRemove { txn, key, .. }
-                    | LogPayload::IndexUnmark { txn, key, .. } => {
-                        a.last_key_txn.insert((n, *key), *txn);
+                    LogPayload::IndexRemove { key, gsn, .. } => {
+                        if is_analysed {
+                            a.last_key_txn.insert((n, *key), txn);
+                        }
+                        if redo {
+                            a.index_redo.push((*gsn, IxRedo::Remove { key: *key }));
+                        }
+                    }
+                    LogPayload::IndexUnmark { key, gsn, .. } => {
+                        if is_analysed {
+                            a.last_key_txn.insert((n, *key), txn);
+                        }
+                        if redo {
+                            a.index_redo.push((*gsn, IxRedo::Unmark { key: *key }));
+                        }
                     }
                     _ => {}
                 }
             }
         }
+        a.heap_redo.sort_by_key(|c| c.gsn);
+        a.index_redo.sort_by_key(|(gsn, _)| *gsn);
         a
     }
 
-    /// Last committed payload of each record that appears in any stable
-    /// log's committed updates: `rec → (gsn, payload)`. The paper's §4.1.2
-    /// source of committed values: *"the last committed value of these
-    /// records will necessarily be in stable store — either in the stable
-    /// log, or in the stable database."* Records absent from this map take
-    /// their value from the stable database.
-    fn last_committed_map(&self) -> BTreeMap<RecId, (u64, Vec<u8>)> {
-        let mut committed: BTreeSet<TxnId> = BTreeSet::new();
-        for n in self.m.node_ids().collect::<Vec<_>>() {
-            for rec in self.logs.log(n).stable_records() {
-                if let LogPayload::Commit { txn } = rec.payload {
-                    committed.insert(txn);
-                }
-            }
-        }
-        let mut map: BTreeMap<RecId, (u64, Vec<u8>)> = BTreeMap::new();
-        for n in self.m.node_ids().collect::<Vec<_>>() {
-            for lrec in self.logs.log(n).stable_records() {
-                if let LogPayload::Update { txn, rec, redo, gsn, .. } = &lrec.payload {
-                    if committed.contains(txn) {
-                        let e = map.entry(*rec).or_insert((0, Vec::new()));
-                        if *gsn >= e.0 {
-                            *e = (*gsn, redo.to_vec());
-                        }
-                    }
-                }
-            }
-        }
-        map
-    }
-
-    /// The last committed payload for one record, using the precomputed
-    /// map with a stable-database fallback.
+    /// The last committed payload for one record, from the single-pass
+    /// analysis. The paper's §4.1.2 source: *"the last committed value of
+    /// these records will necessarily be in stable store — either in the
+    /// stable log, or in the stable database."*
+    ///
+    /// Precedence: the highest-GSN retained committed after image wins
+    /// unless an uncommitted update follows it (higher GSN). In that case
+    /// the final run of uncommitted writes is all by one transaction —
+    /// strict 2PL means every transaction interposed since the last
+    /// commit either committed or restored the value on abort — so that
+    /// transaction's earliest undo image *is* the last committed value.
+    /// This stays correct even when the committed update's own log record
+    /// has been reclaimed by checkpoint truncation. Records with no
+    /// retained log trace take their value from the (checkpoint-flushed)
+    /// stable database.
     fn last_committed_payload(
         &self,
-        map: &BTreeMap<RecId, (u64, Vec<u8>)>,
+        analysis: &StableAnalysis,
         rec: RecId,
     ) -> Result<Vec<u8>, DbError> {
-        if let Some((_, v)) = map.get(&rec) {
-            return Ok(v.clone());
+        let committed = analysis.committed_values.get(&rec);
+        let chain = analysis.uncommitted_undo.get(&rec);
+        let latest = chain.and_then(|c| c.iter().max_by_key(|(gsn, _, _)| *gsn));
+        match (committed, latest) {
+            (Some((gc, value)), Some((gu, _, _))) if gc > gu => Ok(value.to_vec()),
+            (_, Some((_, tstar, _))) => {
+                let (_, _, before) = chain
+                    .expect("latest drawn from chain")
+                    .iter()
+                    .filter(|(_, t, _)| t == tstar)
+                    .min_by_key(|(gsn, _, _)| *gsn)
+                    .expect("tstar drawn from chain");
+                Ok(before.to_vec())
+            }
+            (Some((_, value)), None) => Ok(value.to_vec()),
+            (None, None) => {
+                let img = self
+                    .sdb
+                    .peek_page(rec.page)
+                    .ok_or(DbError::StablePageMissing { page: rec.page })?;
+                let off = self.layout.payload_offset(rec.slot);
+                Ok(img[off..off + self.layout.data_size].to_vec())
+            }
         }
-        let img =
-            self.sdb.peek_page(rec.page).ok_or(DbError::StablePageMissing { page: rec.page })?;
-        let off = self.layout.payload_offset(rec.slot);
-        Ok(img[off..off + self.layout.data_size].to_vec())
     }
 
     /// Undo stolen updates in the stable database: every record with a
@@ -423,13 +654,12 @@ impl SmDb {
     fn patch_stable_undo(
         &mut self,
         analysis: &StableAnalysis,
-        committed_map: &BTreeMap<RecId, (u64, Vec<u8>)>,
         outcome: &mut RecoveryOutcome,
     ) -> Result<(), DbError> {
         let recs: BTreeSet<RecId> =
             analysis.uncommitted_updates.iter().map(|(_, _, r)| *r).collect();
         for rec in recs {
-            let value = self.last_committed_payload(committed_map, rec)?;
+            let value = self.last_committed_payload(analysis, rec)?;
             let off = self.layout.page_offset(rec.slot);
             let bytes = self.layout.encode(NULL_TAG, &value);
             let img = self
@@ -444,70 +674,12 @@ impl SmDb {
         Ok(())
     }
 
-    /// Collect redo candidates: all data records from survivors' full
-    /// logs (after their checkpoint LSN), plus committed transactions'
-    /// data records from crashed nodes' stable logs.
-    fn collect_redo_candidates(
-        &self,
-        crashed: &[NodeId],
-        crashed_analysis: &StableAnalysis,
-        doomed: &BTreeSet<TxnId>,
-    ) -> Vec<(u64, RedoOp)> {
-        let mut out: Vec<(u64, RedoOp)> = Vec::new();
-        let to_arr = |b: &bytes::Bytes| {
-            let mut v = [0u8; 8];
-            let n = b.len().min(8);
-            v[..n].copy_from_slice(&b[..n]);
-            v
-        };
-        for n in self.m.node_ids().collect::<Vec<_>>() {
-            let is_crashed = crashed.contains(&n);
-            let after = self.ckpt.last().lsn_for(n);
-            let recs: Vec<LogPayload> = if is_crashed {
-                self.logs
-                    .log(n)
-                    .stable_records()
-                    .iter()
-                    .filter(|r| r.lsn > after)
-                    .map(|r| r.payload.clone())
-                    .collect()
-            } else {
-                self.logs.log(n).records_after(after).iter().map(|r| r.payload.clone()).collect()
-            };
-            for p in recs {
-                let Some(txn) = p.txn() else { continue };
-                // Skip the synthetic recovery transactions (seq 0).
-                if txn.seq() == 0 {
-                    continue;
-                }
-                if is_crashed && !crashed_analysis.committed.contains(&txn) {
-                    continue; // crashed & not committed: undo, not redo
-                }
-                if doomed.contains(&txn) {
-                    continue; // dying with a crashed participant: undo
-                }
-                match p {
-                    LogPayload::Update { rec, redo, gsn, .. } => {
-                        out.push((gsn, RedoOp::Rec { rec, redo: redo.to_vec(), txn }));
-                    }
-                    LogPayload::IndexInsert { key, value, gsn, .. } => {
-                        out.push((gsn, RedoOp::IxInsert { key, value: to_arr(&value), txn }));
-                    }
-                    LogPayload::IndexDelete { key, value, gsn, .. } => {
-                        out.push((gsn, RedoOp::IxDelete { key, value: to_arr(&value), txn }));
-                    }
-                    LogPayload::IndexRemove { key, gsn, .. } => {
-                        out.push((gsn, RedoOp::IxRemove { key }));
-                    }
-                    LogPayload::IndexUnmark { key, gsn, .. } => {
-                        out.push((gsn, RedoOp::IxUnmark { key }));
-                    }
-                    _ => {}
-                }
-            }
-        }
-        out.sort_by_key(|(gsn, _)| *gsn);
-        out
+    /// Charge the sequential log-device read behind the analysis scan to
+    /// the recovery node's clock: restart time must scale with the log
+    /// actually retained, which is what checkpoint truncation bounds.
+    fn charge_analysis_scan(&mut self, recovery_node: NodeId, scanned: u64) {
+        let cost = self.m.config().cost.log_scan_record;
+        self.m.advance(recovery_node, cost * scanned);
     }
 
     /// The line holding a record.
@@ -613,12 +785,15 @@ impl SmDb {
         } else {
             BTreeSet::new()
         };
-        // Phase 1 ("stable_undo"): analyse the stable logs and undo stolen
-        // updates in the stable database.
+        // Phase 1 ("stable_undo"): the single analysis scan over every
+        // retained log, then undo of stolen updates in the stable
+        // database.
         let span = self.begin_phase("stable_undo");
-        let analysis = self.analyse_stable(&down);
-        let committed_map = self.last_committed_map();
-        self.patch_stable_undo(&analysis, &committed_map, outcome)?;
+        let mut analysis = self.analyse_stable(&down, &doomed, false);
+        outcome.scan_records = analysis.scanned_records;
+        outcome.ckpt_bound_lsn = analysis.ckpt_bound;
+        self.charge_analysis_scan(recovery_node, analysis.scanned_records);
+        self.patch_stable_undo(&analysis, outcome)?;
         self.end_phase(span, outcome);
         self.phase_crash_point(recovery_node)?;
 
@@ -703,27 +878,41 @@ impl SmDb {
         self.end_phase(span, outcome);
         self.phase_crash_point(recovery_node)?;
 
-        // Phase 4 ("redo"): candidates from survivors' full logs + crashed
-        // nodes' committed stable records, applied in GSN order. The
-        // cached-skip decisions are snapshotted *before* any reinstall so
-        // a line we reinstalled from a stale stable image is never
-        // mistaken for a coherent surviving copy.
+        // Phase 4 ("redo"): candidates were gathered by the analysis scan
+        // (survivors' full logs + crashed nodes' committed stable records
+        // past the checkpoint bound). The *plan* step partitions the heap
+        // candidates by cache line and reduces each partition — on scoped
+        // worker threads for large batches — to the final image per
+        // record; the merged GSN-ordered plan is then applied
+        // sequentially, so every machine-state mutation stays
+        // deterministic. The cached-skip decisions are snapshotted
+        // *before* any reinstall so a line we reinstalled from a stale
+        // stable image is never mistaken for a coherent surviving copy.
         let span = self.begin_phase("redo");
         let replay_index = tree_lost_any || scheme == RestartScheme::RedoAll;
-        let candidates = self.collect_redo_candidates(&down, &analysis, &doomed);
-        self.m.obs().metrics.observe("recovery.redo_batch", candidates.len() as u64);
-        for (_gsn, op) in candidates {
-            if !replay_index && !matches!(op, RedoOp::Rec { .. }) {
+        let raw_heap = std::mem::take(&mut analysis.heap_redo);
+        let raw_index = std::mem::take(&mut analysis.index_redo);
+        self.m
+            .obs()
+            .metrics
+            .observe("recovery.redo_batch", (raw_heap.len() + raw_index.len()) as u64);
+        let (heap_plan, superseded) = plan_heap_redo(raw_heap);
+        outcome.redo_superseded += superseded;
+        let mut plan: Vec<(u64, PlannedOp)> =
+            heap_plan.into_iter().map(|h| (h.gsn, PlannedOp::Rec(h))).collect();
+        plan.extend(raw_index.into_iter().map(|(gsn, ix)| (gsn, PlannedOp::Ix(ix))));
+        plan.sort_by_key(|(gsn, _)| *gsn);
+        for (_gsn, op) in plan {
+            if !replay_index && matches!(op, PlannedOp::Ix(_)) {
                 continue;
             }
             match op {
-                RedoOp::Rec { rec, redo, txn } => {
-                    let line = self.rec_line(rec);
+                PlannedOp::Rec(HeapRedo { rec, line, txn, image, .. }) => {
                     if scheme == RestartScheme::Selective && cached_before.contains(&line) {
                         outcome.redo_skipped_cached += 1;
                         continue;
                     }
-                    let expected = self.expected_rec_bytes(txn, &redo);
+                    let expected = self.expected_rec_bytes(txn, &image);
                     let off = self.layout.page_offset(rec.slot);
                     if !self.m.probe_cached(line) {
                         // Page not resident: is the stable image already
@@ -755,7 +944,7 @@ impl SmDb {
                     ctx.write(actor, rec.page, off, &expected)?;
                     outcome.redo_applied += 1;
                 }
-                RedoOp::IxInsert { key, value, txn } => {
+                PlannedOp::Ix(IxRedo::Insert { key, value, txn }) => {
                     let tag = if self.cfg.protocol.uses_undo_tags()
                         && self
                             .txns
@@ -780,7 +969,7 @@ impl SmDb {
                         outcome.index_redo_applied += 1;
                     }
                 }
-                RedoOp::IxDelete { key, value, txn } => {
+                PlannedOp::Ix(IxRedo::Delete { key, value, txn }) => {
                     let tag = if self.cfg.protocol.uses_undo_tags()
                         && self
                             .txns
@@ -805,7 +994,7 @@ impl SmDb {
                         outcome.index_redo_applied += 1;
                     }
                 }
-                RedoOp::IxRemove { key } => {
+                PlannedOp::Ix(IxRedo::Remove { key }) => {
                     let tree = self.tree.as_mut().expect("index op implies index");
                     let mut ctx = TreeCtx::new(
                         &mut self.m,
@@ -817,7 +1006,7 @@ impl SmDb {
                     );
                     tree.undo_insert(&mut ctx, recovery_node, key)?;
                 }
-                RedoOp::IxUnmark { key } => {
+                PlannedOp::Ix(IxRedo::Unmark { key }) => {
                     let tree = self.tree.as_mut().expect("index op implies index");
                     let mut ctx = TreeCtx::new(
                         &mut self.m,
@@ -839,9 +1028,11 @@ impl SmDb {
         // recorded on *surviving* nodes — a parallel transaction with a
         // crashed participant leaves intact log records (with undo images)
         // on its surviving participants (§9: the entire transaction must
-        // be aborted) — then the protocol-specific undo pass.
+        // be aborted); the analysis scan already collected them — then the
+        // protocol-specific undo pass.
         let span = self.begin_phase("undo");
-        self.undo_doomed_from_surviving_logs(outcome, recovery_node, &doomed)?;
+        let doomed_ops = std::mem::take(&mut analysis.doomed_ops);
+        self.undo_doomed_ops(outcome, recovery_node, doomed_ops)?;
         match self.cfg.protocol {
             ProtocolKind::VolatileSelectiveRedo => {
                 self.undo_by_tags(
@@ -849,7 +1040,6 @@ impl SmDb {
                     recovery_node,
                     &crashed_set,
                     &analysis,
-                    &committed_map,
                     &heap_reinstalled,
                     &reinstalled_pages,
                 )?;
@@ -866,7 +1056,7 @@ impl SmDb {
                 // Stable LBM: every migrated uncommitted update has stable
                 // undo information; apply it to any surviving cached
                 // copies (stable images were patched in phase 1).
-                self.undo_from_stable_logs(outcome, recovery_node, &analysis, &committed_map)?;
+                self.undo_from_stable_logs(outcome, recovery_node, &analysis)?;
                 self.undo_index_from_stable(outcome, recovery_node, &analysis)?;
             }
             ProtocolKind::FaOnly => unreachable!("handled by full_restart"),
@@ -925,14 +1115,12 @@ impl SmDb {
     /// reinstalled from stale stable images) are merely cleared; genuinely
     /// uncommitted updates get the record's last committed value
     /// installed.
-    #[allow(clippy::too_many_arguments)]
     fn undo_by_tags(
         &mut self,
         outcome: &mut RecoveryOutcome,
         recovery_node: NodeId,
         crashed: &BTreeSet<NodeId>,
         analysis: &StableAnalysis,
-        committed_map: &BTreeMap<RecId, (u64, Vec<u8>)>,
         heap_reinstalled: &BTreeSet<LineId>,
         tree_reinstalled: &BTreeSet<PageId>,
     ) -> Result<(), DbError> {
@@ -976,7 +1164,7 @@ impl SmDb {
                 ctx.write(recovery_node, rec.page, off, &NULL_TAG.to_le_bytes())?;
                 outcome.tags_cleared += 1;
             } else {
-                let value = self.last_committed_payload(committed_map, rec)?;
+                let value = self.last_committed_payload(analysis, rec)?;
                 let bytes = self.layout.encode(NULL_TAG, &value);
                 let mut ctx = engine_ctx!(self);
                 ctx.write(recovery_node, rec.page, off, &bytes)?;
@@ -1014,7 +1202,6 @@ impl SmDb {
         outcome: &mut RecoveryOutcome,
         recovery_node: NodeId,
         analysis: &StableAnalysis,
-        committed_map: &BTreeMap<RecId, (u64, Vec<u8>)>,
     ) -> Result<(), DbError> {
         let recs: BTreeSet<RecId> =
             analysis.uncommitted_updates.iter().map(|(_, _, r)| *r).collect();
@@ -1023,7 +1210,7 @@ impl SmDb {
             if !self.m.probe_cached(line) {
                 continue; // nothing cached; stable image already patched
             }
-            let value = self.last_committed_payload(committed_map, rec)?;
+            let value = self.last_committed_payload(analysis, rec)?;
             let bytes = self.layout.encode(NULL_TAG, &value);
             let off = self.layout.page_offset(rec.slot);
             let mut ctx = engine_ctx!(self);
@@ -1067,47 +1254,20 @@ impl SmDb {
     }
 
     /// Roll back every effect a doomed transaction recorded on a
-    /// surviving node, using that node's intact log (undo images for
-    /// records, logical inverses for index ops), in reverse GSN order.
-    fn undo_doomed_from_surviving_logs(
+    /// surviving node's intact log (undo images for records, logical
+    /// inverses for index ops), in reverse GSN order. The ops were
+    /// collected by the single analysis scan; the before images are
+    /// refcounted handles into the log records.
+    fn undo_doomed_ops(
         &mut self,
         outcome: &mut RecoveryOutcome,
         recovery_node: NodeId,
-        doomed: &BTreeSet<TxnId>,
+        mut ops: Vec<(u64, DoomedOp)>,
     ) -> Result<(), DbError> {
-        if doomed.is_empty() {
-            return Ok(());
-        }
-        enum UndoOp {
-            Rec { rec: RecId, before: Vec<u8> },
-            RemoveKey(u64),
-            UnmarkKey(u64),
-        }
-        let mut ops: Vec<(u64, UndoOp)> = Vec::new();
-        for n in self.m.surviving_nodes() {
-            for lrec in self.logs.log(n).records() {
-                let Some(txn) = lrec.payload.txn() else { continue };
-                if !doomed.contains(&txn) {
-                    continue;
-                }
-                match &lrec.payload {
-                    LogPayload::Update { rec, undo, gsn, .. } => {
-                        ops.push((*gsn, UndoOp::Rec { rec: *rec, before: undo.to_vec() }));
-                    }
-                    LogPayload::IndexInsert { key, gsn, .. } => {
-                        ops.push((*gsn, UndoOp::RemoveKey(*key)));
-                    }
-                    LogPayload::IndexDelete { key, gsn, .. } => {
-                        ops.push((*gsn, UndoOp::UnmarkKey(*key)));
-                    }
-                    _ => {}
-                }
-            }
-        }
         ops.sort_by_key(|(gsn, _)| std::cmp::Reverse(*gsn));
         for (_gsn, op) in ops {
             match op {
-                UndoOp::Rec { rec, before } => {
+                DoomedOp::Rec { rec, before } => {
                     let bytes = self.layout.encode(NULL_TAG, &before);
                     let off = self.layout.page_offset(rec.slot);
                     // Undo in the coherent store and in the stable image
@@ -1126,7 +1286,7 @@ impl SmDb {
                     }
                     outcome.undo_records_applied += 1;
                 }
-                UndoOp::RemoveKey(key) => {
+                DoomedOp::RemoveKey(key) => {
                     if let Some(tree) = self.tree.as_mut() {
                         let mut ctx = TreeCtx::new(
                             &mut self.m,
@@ -1140,7 +1300,7 @@ impl SmDb {
                         outcome.undo_records_applied += 1;
                     }
                 }
-                UndoOp::UnmarkKey(key) => {
+                DoomedOp::UnmarkKey(key) => {
                     if let Some(tree) = self.tree.as_mut() {
                         let mut ctx = TreeCtx::new(
                             &mut self.m,
@@ -1172,11 +1332,14 @@ impl SmDb {
         outcome: &mut RecoveryOutcome,
         recovery_node: NodeId,
     ) -> Result<(), DbError> {
-        let all_nodes: Vec<NodeId> = self.m.node_ids().collect();
-        let analysis = self.analyse_stable(&all_nodes);
-        let committed_map = self.last_committed_map();
+        // The single analysis scan in full mode: every node analysed over
+        // its stable prefix, redo restricted to committed transactions.
+        let mut analysis = self.analyse_stable(&[], &BTreeSet::new(), true);
+        outcome.scan_records = analysis.scanned_records;
+        outcome.ckpt_bound_lsn = analysis.ckpt_bound;
+        self.charge_analysis_scan(recovery_node, analysis.scanned_records);
         // Undo every durable trace of every not-committed transaction.
-        self.patch_stable_undo(&analysis, &committed_map, outcome)?;
+        self.patch_stable_undo(&analysis, outcome)?;
         // Discard all cached database lines machine-wide, and forget lost
         // ones: the (patched) stable database is now the authority.
         for node in self.m.surviving_nodes() {
@@ -1203,60 +1366,26 @@ impl SmDb {
             tree.discard_and_reload_all(&mut ctx, recovery_node)?;
         }
         // Redo committed work from stable logs (everyone's commit records
-        // were forced), in GSN order.
-        let candidates: Vec<(u64, RedoOp)> = {
-            let mut out = Vec::new();
-            let to_arr = |b: &bytes::Bytes| {
-                let mut v = [0u8; 8];
-                let n = b.len().min(8);
-                v[..n].copy_from_slice(&b[..n]);
-                v
-            };
-            for n in &all_nodes {
-                let after = self.ckpt.last().lsn_for(*n);
-                for lrec in self.logs.log(*n).stable_records() {
-                    if lrec.lsn <= after {
-                        continue;
-                    }
-                    let Some(txn) = lrec.payload.txn() else { continue };
-                    if txn.seq() == 0 || !analysis.committed.contains(&txn) {
-                        continue;
-                    }
-                    match &lrec.payload {
-                        LogPayload::Update { rec, redo, gsn, .. } => {
-                            out.push((*gsn, RedoOp::Rec { rec: *rec, redo: redo.to_vec(), txn }));
-                        }
-                        LogPayload::IndexInsert { key, value, gsn, .. } => {
-                            out.push((
-                                *gsn,
-                                RedoOp::IxInsert { key: *key, value: to_arr(value), txn },
-                            ));
-                        }
-                        LogPayload::IndexDelete { key, value, gsn, .. } => {
-                            out.push((
-                                *gsn,
-                                RedoOp::IxDelete { key: *key, value: to_arr(value), txn },
-                            ));
-                        }
-                        LogPayload::IndexRemove { key, gsn, .. } => {
-                            out.push((*gsn, RedoOp::IxRemove { key: *key }));
-                        }
-                        LogPayload::IndexUnmark { key, gsn, .. } => {
-                            out.push((*gsn, RedoOp::IxUnmark { key: *key }));
-                        }
-                        _ => {}
-                    }
-                }
-            }
-            out.sort_by_key(|(gsn, _)| *gsn);
-            out
-        };
-        for (_gsn, op) in candidates {
+        // were forced): the analysis already collected the candidates past
+        // the checkpoint bound; plan (partition + reduce), then apply
+        // sequentially in GSN order.
+        let raw_heap = std::mem::take(&mut analysis.heap_redo);
+        let raw_index = std::mem::take(&mut analysis.index_redo);
+        self.m
+            .obs()
+            .metrics
+            .observe("recovery.redo_batch", (raw_heap.len() + raw_index.len()) as u64);
+        let (heap_plan, superseded) = plan_heap_redo(raw_heap);
+        outcome.redo_superseded += superseded;
+        let mut plan: Vec<(u64, PlannedOp)> =
+            heap_plan.into_iter().map(|h| (h.gsn, PlannedOp::Rec(h))).collect();
+        plan.extend(raw_index.into_iter().map(|(gsn, ix)| (gsn, PlannedOp::Ix(ix))));
+        plan.sort_by_key(|(gsn, _)| *gsn);
+        for (_gsn, op) in plan {
             match op {
-                RedoOp::Rec { rec, redo, .. } => {
+                PlannedOp::Rec(HeapRedo { rec, line, image, .. }) => {
                     let off = self.layout.page_offset(rec.slot);
-                    let expected = self.layout.encode(NULL_TAG, &redo);
-                    let line = self.rec_line(rec);
+                    let expected = self.layout.encode(NULL_TAG, &image);
                     if !self.m.probe_cached(line) {
                         let img = self
                             .sdb
@@ -1271,7 +1400,7 @@ impl SmDb {
                     ctx.write(recovery_node, rec.page, off, &expected)?;
                     outcome.redo_applied += 1;
                 }
-                RedoOp::IxInsert { key, value, .. } => {
+                PlannedOp::Ix(IxRedo::Insert { key, value, .. }) => {
                     let tree = self.tree.as_mut().expect("index op implies index");
                     let mut ctx = TreeCtx::new(
                         &mut self.m,
@@ -1291,7 +1420,7 @@ impl SmDb {
                         outcome.index_redo_applied += 1;
                     }
                 }
-                RedoOp::IxDelete { key, value, .. } => {
+                PlannedOp::Ix(IxRedo::Delete { key, value, .. }) => {
                     let tree = self.tree.as_mut().expect("index op implies index");
                     let mut ctx = TreeCtx::new(
                         &mut self.m,
@@ -1311,7 +1440,7 @@ impl SmDb {
                         outcome.index_redo_applied += 1;
                     }
                 }
-                RedoOp::IxRemove { key } => {
+                PlannedOp::Ix(IxRedo::Remove { key }) => {
                     let tree = self.tree.as_mut().expect("index op implies index");
                     let mut ctx = TreeCtx::new(
                         &mut self.m,
@@ -1323,7 +1452,7 @@ impl SmDb {
                     );
                     tree.undo_insert(&mut ctx, recovery_node, key)?;
                 }
-                RedoOp::IxUnmark { key } => {
+                PlannedOp::Ix(IxRedo::Unmark { key }) => {
                     let tree = self.tree.as_mut().expect("index op implies index");
                     let mut ctx = TreeCtx::new(
                         &mut self.m,

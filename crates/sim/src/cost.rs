@@ -35,6 +35,9 @@ pub struct CostModel {
     pub line_lock_release: u64,
     /// One stable-log force (a synchronous disk write of the log tail).
     pub log_force: u64,
+    /// Reading and parsing one retained log record during the restart
+    /// analysis scan (sequential log-device read, amortized per record).
+    pub log_scan_record: u64,
     /// One page read or write against the stable database.
     pub disk_io: u64,
     /// Calibration constant: cycles per microsecond, used only when
@@ -60,6 +63,11 @@ impl Default for CostModel {
             line_lock_contention_step: 140,
             line_lock_release: 50,
             log_force: 1_000_000,
+            // A ~128-byte record off a ~2 MB/s sequential early-90s disk
+            // stream is ~64 µs; restart analysis cost is dominated by how
+            // much log survives truncation, which is the point of
+            // checkpoint-bounded recovery (E7).
+            log_scan_record: 6_400,
             disk_io: 1_200_000,
             cycles_per_us: 100,
         }
@@ -96,6 +104,9 @@ mod tests {
         assert!(c.local_hit < c.remote_transfer);
         assert!(c.remote_transfer < c.disk_io);
         assert!(c.log_force > c.remote_transfer * 100);
+        // A sequential scan of one record is far cheaper than a random
+        // page I/O, but not free relative to cache traffic.
+        assert!(c.remote_transfer < c.log_scan_record && c.log_scan_record < c.disk_io);
     }
 
     #[test]

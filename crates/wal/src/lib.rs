@@ -36,9 +36,9 @@ mod lbm;
 
 pub use checkpoint::{CheckpointMeta, CheckpointStore};
 pub use lbm::LbmMode;
-pub use log_set::{LogSet, FAULT_FORCE_RECORD};
+pub use log_set::{LogSet, FAULT_CHECKPOINT_RECORD, FAULT_FORCE_RECORD, FAULT_TRUNCATE};
 pub use lsn::Lsn;
 pub use page_lsn::PageLsnTable;
 pub use record::{
-    LockModeRepr, LogPayload, LogRecord, NodeLog, NodeLogStats, RecId, StructuralKind,
+    LockModeRepr, LogIndex, LogPayload, LogRecord, NodeLog, NodeLogStats, RecId, StructuralKind,
 };

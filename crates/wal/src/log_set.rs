@@ -11,6 +11,21 @@ use smdb_sim::NodeId;
 /// force. The acting node is the log owner.
 pub const FAULT_FORCE_RECORD: &str = "wal.force.record";
 
+/// Fault site: visited once per live node as the checkpoint is about to
+/// append that node's Checkpoint marker record. Firing kills the node
+/// before its marker exists — the checkpoint is torn across the machine:
+/// some logs carry the new marker, some never will, and the checkpoint
+/// metadata is never installed. The acting node is the marker's owner.
+pub const FAULT_CHECKPOINT_RECORD: &str = "wal.checkpoint.record";
+
+/// Fault site: visited once per live node as checkpoint-driven log
+/// reclamation is about to truncate that node's redo-free prefix. Firing
+/// kills the node after the checkpoint metadata is installed but with
+/// truncation incomplete: some logs are trimmed to the checkpoint, others
+/// still carry (and will re-scan) records below it. The acting node is
+/// the log owner.
+pub const FAULT_TRUNCATE: &str = "wal.truncate";
+
 /// All per-node logs of the machine, indexed by [`NodeId`].
 #[derive(Clone, Debug)]
 pub struct LogSet {
@@ -58,6 +73,27 @@ impl LogSet {
     pub fn force_all_checked(&mut self, node: NodeId) -> Result<bool, FaultCrash> {
         let last = self.logs[node.0 as usize].last_lsn();
         self.force_to_checked(node, last)
+    }
+
+    /// Append `node`'s sharp-checkpoint marker record, visiting the
+    /// [`FAULT_CHECKPOINT_RECORD`] crash point first: a fire means the
+    /// node died before the marker was written.
+    pub fn append_checkpoint_checked(&mut self, node: NodeId) -> Result<Lsn, FaultCrash> {
+        if let Some(c) = self.fault.hit(FAULT_CHECKPOINT_RECORD, node.0) {
+            return Err(c);
+        }
+        Ok(self.append(node, LogPayload::Checkpoint))
+    }
+
+    /// Truncate `node`'s log through `lsn`, visiting the [`FAULT_TRUNCATE`]
+    /// crash point first: a fire means the node died with its prefix still
+    /// in place (truncation is all-or-nothing per log).
+    pub fn truncate_through_checked(&mut self, node: NodeId, lsn: Lsn) -> Result<(), FaultCrash> {
+        if let Some(c) = self.fault.hit(FAULT_TRUNCATE, node.0) {
+            return Err(c);
+        }
+        self.log_mut(node).truncate_through(lsn);
+        Ok(())
     }
 
     /// Number of logs (== number of nodes).

@@ -5,6 +5,7 @@ use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use smdb_sim::{NodeId, TxnId};
 use smdb_storage::PageId;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identity of a database record: a slot within a heap page.
@@ -252,6 +253,105 @@ pub struct NodeLogStats {
     pub structural_records: u64,
 }
 
+/// Incremental per-append index over one node's log, maintained by
+/// [`NodeLog::append`] so restart recovery never has to scan a log just to
+/// answer "who committed?", "where does this transaction start?", or "is
+/// there any data record past the checkpoint?".
+///
+/// Two asymmetries are deliberate:
+///
+/// * **Commit entries survive truncation.** A committed transaction whose
+///   Commit record has been reclaimed by a checkpoint may still have
+///   participant records retained on *another* node's log; classifying it
+///   as uncommitted there would patch committed data away. The entry is
+///   the durable memory of the reclaimed record (conceptually part of the
+///   checkpoint metadata on the shared disk).
+/// * **Crash clamps are conservative upper bounds.** After a crash the
+///   retained maximum data LSN may be lower than the clamped value; the
+///   safe direction is "scan anyway", never "skip".
+#[derive(Clone, Debug, Default)]
+pub struct LogIndex {
+    /// Commit-record LSN per transaction (kept across truncation).
+    commit_lsns: BTreeMap<TxnId, Lsn>,
+    /// LSN of the first record each transaction wrote to this log.
+    first_txn_lsns: BTreeMap<TxnId, Lsn>,
+    /// First/last Update-record LSN per dirtied heap page.
+    dirty_pages: BTreeMap<PageId, (Lsn, Lsn)>,
+    /// Highest LSN of any data record (Update / Index*); [`Lsn::ZERO`]
+    /// when the log has never carried one.
+    last_data_lsn: Lsn,
+}
+
+impl LogIndex {
+    fn note_append(&mut self, lsn: Lsn, payload: &LogPayload) {
+        match payload {
+            LogPayload::Commit { txn } => {
+                self.commit_lsns.insert(*txn, lsn);
+            }
+            LogPayload::Update { rec, .. } => {
+                let span = self.dirty_pages.entry(rec.page).or_insert((lsn, lsn));
+                span.1 = lsn;
+                self.last_data_lsn = lsn;
+            }
+            LogPayload::IndexInsert { .. }
+            | LogPayload::IndexDelete { .. }
+            | LogPayload::IndexRemove { .. }
+            | LogPayload::IndexUnmark { .. } => {
+                self.last_data_lsn = lsn;
+            }
+            _ => {}
+        }
+        if let Some(txn) = payload.txn() {
+            self.first_txn_lsns.entry(txn).or_insert(lsn);
+        }
+    }
+
+    /// Drop knowledge of volatile records lost in a crash; spans that
+    /// straddle the boundary are clamped (upper bounds, see type docs).
+    fn purge_volatile(&mut self, stable: Lsn) {
+        self.commit_lsns.retain(|_, l| *l <= stable);
+        self.first_txn_lsns.retain(|_, l| *l <= stable);
+        self.dirty_pages.retain(|_, (first, _)| *first <= stable);
+        for (_, last) in self.dirty_pages.values_mut() {
+            *last = (*last).min(stable);
+        }
+        self.last_data_lsn = self.last_data_lsn.min(stable);
+    }
+
+    /// Forget dirty-page spans wholly below a truncation cutoff. Commit
+    /// and first-record entries are kept (see type docs); `last_data_lsn`
+    /// is an all-time high-water mark and unaffected.
+    fn note_truncation(&mut self, cutoff: Lsn) {
+        self.dirty_pages.retain(|_, (_, last)| *last > cutoff);
+    }
+
+    /// Transactions whose Commit record reached LSN ≤ `stable`.
+    pub fn stable_commits(&self, stable: Lsn) -> impl Iterator<Item = TxnId> + '_ {
+        self.commit_lsns.iter().filter(move |(_, l)| **l <= stable).map(|(t, _)| *t)
+    }
+
+    /// LSN of `txn`'s first record on this log, if it ever wrote one.
+    pub fn first_txn_lsn(&self, txn: TxnId) -> Option<Lsn> {
+        self.first_txn_lsns.get(&txn).copied()
+    }
+
+    /// First/last Update-record LSN for a retained dirty heap page.
+    pub fn dirty_page_span(&self, page: PageId) -> Option<(Lsn, Lsn)> {
+        self.dirty_pages.get(&page).copied()
+    }
+
+    /// Number of heap pages with retained Update records.
+    pub fn dirty_page_count(&self) -> usize {
+        self.dirty_pages.len()
+    }
+
+    /// Highest LSN of any data record ever appended (upper bound after a
+    /// crash; see type docs).
+    pub fn last_data_lsn(&self) -> Lsn {
+        self.last_data_lsn
+    }
+}
+
 /// One node's log: a volatile tail in the node's local memory plus a stable
 /// prefix on a shared disk.
 ///
@@ -274,6 +374,8 @@ pub struct NodeLog {
     base: u64,
     /// LSN up to which (inclusive) the log is on stable storage.
     stable_upto: Lsn,
+    /// Incremental per-append index (commits, first records, dirty pages).
+    index: LogIndex,
     stats: NodeLogStats,
 }
 
@@ -285,6 +387,7 @@ impl NodeLog {
             records: Vec::new(),
             base: 0,
             stable_upto: Lsn::ZERO,
+            index: LogIndex::default(),
             stats: NodeLogStats::default(),
         }
     }
@@ -305,6 +408,7 @@ impl NodeLog {
         if let LogPayload::Structural { .. } = payload {
             self.stats.structural_records += 1;
         }
+        self.index.note_append(lsn, &payload);
         self.records.push(LogRecord { lsn, node: self.node, payload });
         lsn
     }
@@ -363,6 +467,7 @@ impl NodeLog {
     pub fn crash(&mut self) {
         let keep = self.stable_upto.0.saturating_sub(self.base) as usize;
         self.records.truncate(keep);
+        self.index.purge_volatile(self.stable_upto);
     }
 
     /// All retained records (stable prefix + volatile tail). For a
@@ -401,6 +506,7 @@ impl NodeLog {
         let n = (lsn.0 - self.base) as usize;
         self.records.drain(..n.min(self.records.len()));
         self.base = lsn.0;
+        self.index.note_truncation(lsn);
     }
 
     /// LSN below which records have been discarded.
@@ -416,6 +522,29 @@ impl NodeLog {
     /// Whether no records are retained.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+    }
+
+    /// The incremental per-append index.
+    pub fn index(&self) -> &LogIndex {
+        &self.index
+    }
+
+    /// Transactions whose Commit record is on this log's stable prefix
+    /// (including commits whose record was reclaimed by truncation).
+    pub fn stable_commits(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.index.stable_commits(self.stable_upto)
+    }
+
+    /// Whether `txn`'s Commit record on this log reached stable storage.
+    pub fn is_commit_stable(&self, txn: TxnId) -> bool {
+        self.index.commit_lsns.get(&txn).is_some_and(|l| *l <= self.stable_upto)
+    }
+
+    /// Whether any data record with LSN > `after` may be retained — the
+    /// checkpoint-bounded scan filter. Conservative: `true` may still mean
+    /// an empty scan, `false` guarantees one.
+    pub fn has_data_after(&self, after: Lsn) -> bool {
+        self.index.last_data_lsn > after
     }
 
     /// Log statistics.
@@ -625,5 +754,93 @@ mod truncation_tests {
         log.truncate_through(Lsn(2)); // no-op
         log.truncate_through(Lsn(1)); // below base: no-op
         assert_eq!(log.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod index_tests {
+    use super::*;
+
+    fn txn(seq: u64) -> TxnId {
+        TxnId::new(NodeId(0), seq)
+    }
+
+    fn update(seq: u64, page: u32, gsn: u64) -> LogPayload {
+        LogPayload::Update {
+            txn: txn(seq),
+            rec: RecId::new(PageId(page), 0),
+            undo: Bytes::from(vec![1u8; 4]),
+            redo: Bytes::from(vec![2u8; 4]),
+            gsn,
+        }
+    }
+
+    #[test]
+    fn commit_entries_require_stability() {
+        let mut log = NodeLog::new(NodeId(0));
+        log.append(LogPayload::Begin { txn: txn(1) });
+        log.append(LogPayload::Commit { txn: txn(1) });
+        assert!(!log.is_commit_stable(txn(1)), "commit still volatile");
+        assert_eq!(log.stable_commits().count(), 0);
+        log.force_all();
+        assert!(log.is_commit_stable(txn(1)));
+        assert_eq!(log.stable_commits().collect::<Vec<_>>(), vec![txn(1)]);
+    }
+
+    #[test]
+    fn crash_purges_volatile_index_entries() {
+        let mut log = NodeLog::new(NodeId(0));
+        log.append(LogPayload::Begin { txn: txn(1) });
+        log.force_all();
+        log.append(update(1, 3, 10));
+        log.append(LogPayload::Commit { txn: txn(1) });
+        log.append(LogPayload::Begin { txn: txn(2) });
+        log.crash();
+        assert!(!log.is_commit_stable(txn(1)), "commit died with the tail");
+        assert_eq!(log.index().first_txn_lsn(txn(1)), Some(Lsn(1)));
+        assert_eq!(log.index().first_txn_lsn(txn(2)), None);
+        // The clamp is conservative: the high-water mark drops to the
+        // stable point (an empty scan may still be suggested), but nothing
+        // past it is ever claimed.
+        assert!(!log.has_data_after(Lsn(1)), "update died with the tail");
+        assert_eq!(log.index().dirty_page_count(), 0);
+    }
+
+    #[test]
+    fn commit_entries_survive_truncation() {
+        let mut log = NodeLog::new(NodeId(0));
+        log.append(LogPayload::Begin { txn: txn(1) });
+        log.append(update(1, 0, 1));
+        log.append(LogPayload::Commit { txn: txn(1) });
+        log.force_all();
+        log.truncate_through(Lsn(3));
+        assert!(log.is_commit_stable(txn(1)), "truncated commit is still a commit");
+        assert_eq!(log.index().dirty_page_count(), 0, "dirty span reclaimed");
+        assert!(!log.has_data_after(Lsn(3)));
+        assert!(log.has_data_after(Lsn(1)), "high-water mark is all-time");
+    }
+
+    #[test]
+    fn dirty_page_spans_track_first_and_last() {
+        let mut log = NodeLog::new(NodeId(0));
+        log.append(update(1, 7, 1)); // lsn 1
+        log.append(LogPayload::Begin { txn: txn(2) }); // lsn 2
+        log.append(update(2, 7, 2)); // lsn 3
+        log.append(update(2, 9, 3)); // lsn 4
+        assert_eq!(log.index().dirty_page_span(PageId(7)), Some((Lsn(1), Lsn(3))));
+        assert_eq!(log.index().dirty_page_span(PageId(9)), Some((Lsn(4), Lsn(4))));
+        assert_eq!(log.index().last_data_lsn(), Lsn(4));
+        log.force_all();
+        log.truncate_through(Lsn(3));
+        assert_eq!(log.index().dirty_page_span(PageId(7)), None);
+        assert_eq!(log.index().dirty_page_span(PageId(9)), Some((Lsn(4), Lsn(4))));
+    }
+
+    #[test]
+    fn first_txn_lsn_is_first_append() {
+        let mut log = NodeLog::new(NodeId(0));
+        log.append(LogPayload::Begin { txn: txn(5) }); // lsn 1
+        log.append(update(5, 0, 1)); // lsn 2
+        assert_eq!(log.index().first_txn_lsn(txn(5)), Some(Lsn(1)));
     }
 }

@@ -15,8 +15,10 @@ cargo test -q --workspace
 
 echo "== crash-point sweep (bounded) =="
 # Deterministic fault-injection sweep over all protocols (DESIGN §8);
-# release build keeps the bounded sweep fast. The exhaustive variant is
-# scripts/crash_sweep.sh.
+# release build keeps the bounded sweep fast. The checkpoint-machinery
+# crash points (wal.checkpoint.record, wal.truncate) are replayed
+# exhaustively even in this bounded run. The exhaustive variant of the
+# whole sweep is scripts/crash_sweep.sh.
 cargo test --release -q --test crash_sweep
 
 echo "== rustfmt =="

@@ -18,9 +18,10 @@
 //! `scripts/crash_sweep.sh`) sweeps every enumerated point.
 
 use smdb::core::fault::sweep::{sweep, RunMode, RunOutput, SweepConfig, SweepReport};
-use smdb::core::fault::{FaultInjector, Mode};
+use smdb::core::fault::{CrashPoint, FaultInjector, FaultPlan, Mode};
 use smdb::core::{DbConfig, DbError, ProtocolKind, SmDb};
 use smdb::sim::NodeId;
+use smdb::wal::{FAULT_CHECKPOINT_RECORD, FAULT_TRUNCATE};
 use smdb::workload::{run_mix_with_crash, MixParams};
 
 const SEED: u64 = 0x5EED_CAFE;
@@ -33,6 +34,9 @@ fn params(seed: u64) -> MixParams {
         read_fraction: 0.2,
         index_fraction: 0.25,
         seed,
+        // Exercise the checkpoint + truncation paths (and their crash
+        // points) in every sweep scenario.
+        checkpoint_every: 5,
         ..Default::default()
     }
 }
@@ -178,6 +182,36 @@ fn sweep_stable_eager() {
 #[test]
 fn sweep_stable_triggered() {
     assert_coverage(&sweep_protocol(ProtocolKind::StableTriggered, "stable_triggered"));
+}
+
+/// The checkpoint-machinery crash points, swept **exhaustively** (the
+/// bounded stride-sample above may skip them): every enumerated visit of
+/// `wal.checkpoint.record` (node dies before writing its checkpoint
+/// marker — torn checkpoint, metadata never installed) and `wal.truncate`
+/// (node dies after metadata install with truncation incomplete) is
+/// replayed as a single failure for each Table-1 protocol.
+#[test]
+fn checkpoint_and_truncate_crash_points_swept_exhaustively() {
+    for protocol in ProtocolKind::ifa_protocols() {
+        let out = run_scenario(protocol, SEED, &RunMode::Count).expect("count run is crash-free");
+        let mut points: Vec<CrashPoint> = Vec::new();
+        for sv in &out.visits {
+            if sv.site == FAULT_CHECKPOINT_RECORD || sv.site == FAULT_TRUNCATE {
+                for k in 0..sv.nodes.len() as u64 {
+                    points.push(CrashPoint::new(sv.site, k));
+                }
+            }
+        }
+        assert!(
+            points.iter().any(|p| p.site == FAULT_CHECKPOINT_RECORD)
+                && points.iter().any(|p| p.site == FAULT_TRUNCATE),
+            "{protocol:?}: workload never visited the checkpoint crash points"
+        );
+        for point in points {
+            run_scenario(protocol, SEED, &RunMode::Replay(FaultPlan::single(point)))
+                .unwrap_or_else(|e| panic!("{protocol:?} plan={point} :: {e}"));
+        }
+    }
 }
 
 /// The FA-only baseline recovers with a full restart; sweep it lightly to

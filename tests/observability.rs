@@ -123,6 +123,35 @@ fn metrics_cover_every_layer() {
     assert!(csv.contains("histogram,recovery.total_cycles,"));
 }
 
+/// The perf contract of the single-pass restart: each recovery performs
+/// **exactly one** analysis scan over the stable logs (counted at the
+/// scan itself, not inferred), and the restart counters mirror the
+/// recovery outcome.
+#[test]
+fn recovery_performs_exactly_one_analysis_scan() {
+    let (mut db, _) = contended_line_scenario(true);
+    assert_eq!(db.observability().metrics.counter("restart.analysis_scans"), 0);
+
+    let outcome = db.crash_and_recover(&[NodeId(1)]).unwrap();
+    let obs = db.observability();
+    assert_eq!(obs.metrics.counter("restart.analysis_scans"), 1, "one scan per recovery");
+    assert!(outcome.scan_records > 0, "the scan visited the retained records");
+    assert_eq!(obs.metrics.counter("restart.scan_records"), outcome.scan_records);
+    assert_eq!(obs.metrics.counter("restart.redo_applied"), outcome.redo_applied);
+    assert_eq!(
+        obs.metrics.counter("restart.redo_skipped"),
+        outcome.redo_skipped_cached + outcome.redo_skipped_stable + outcome.redo_superseded
+    );
+    assert_eq!(obs.metrics.gauge("restart.ckpt_bound_lsn"), Some(outcome.ckpt_bound_lsn as i64));
+
+    // A second, independent recovery adds exactly one more scan.
+    let o2 = db.crash_and_recover(&[NodeId(2)]).unwrap();
+    let obs = db.observability();
+    assert_eq!(obs.metrics.counter("restart.analysis_scans"), 2);
+    assert_eq!(obs.metrics.counter("restart.scan_records"), outcome.scan_records + o2.scan_records);
+    db.check_ifa(NodeId(0)).assert_ok();
+}
+
 #[test]
 fn disabled_observability_records_nothing_but_phases_still_time() {
     let (mut db, records) = contended_line_scenario(false);
