@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Flags: `--table1 --e1 --e2 --e3 --e4 --e5 --e6 --e7 --e7scale --e8
-//! --e9 --e10 --fast --csv --jobs N --json [PATH]`
+//! --e8fwd --e9 --e10 --fast --csv --jobs N --json [PATH]`
 //!
 //! Every experiment is a deterministic, independent *cell*; `--jobs N`
 //! fans the cells across N OS threads and merges stdout sections and CSV
@@ -431,15 +431,16 @@ fn e4_cell(mix_txns: usize) -> Section {
     };
     let csvs = vec![CsvArtifact {
         name: "e4_log_forces",
-        header: "protocol,sharing,total_forces,commit_forces,lbm_forces,committed,cycles_per_txn",
+        header: "protocol,sharing,total_forces,forces_requested,commit_forces,lbm_forces,committed,cycles_per_txn",
         rows: pts
             .iter()
             .map(|pt| {
                 format!(
-                    "{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{}",
                     pt.protocol,
                     pt.sharing,
                     pt.total_forces,
+                    pt.forces_requested,
                     pt.commit_forces,
                     pt.lbm_forces,
                     pt.committed,
@@ -623,6 +624,65 @@ fn e8_cell(mix_txns: usize) -> Section {
     Section::text_only(s)
 }
 
+fn e8fwd_cell(t1_txns: usize) -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let _ = writeln!(p, "== E8-fwd: forward-path fast lane — TP1 with coalesced log forces ==");
+    let _ = writeln!(p, "   (8 nodes, {t1_txns} TP1 transactions per cell; coalescing defers LBM");
+    let _ = writeln!(p, "    force requests to the coherence trigger / next covering force)\n");
+    let _ = writeln!(
+        p,
+        "{:<24} {:>9} {:>8} {:>12} {:>10} {:>10} {:>10}",
+        "protocol", "coalesce", "txns", "cyc/txn", "requested", "physical", "fast-hits"
+    );
+    let pts = x::e8_forward_throughput(t1_txns);
+    for pt in &pts {
+        let _ = writeln!(
+            p,
+            "{:<24} {:>9} {:>8} {:>12} {:>10} {:>10} {:>10}",
+            pt.protocol,
+            if pt.coalesce { "on" } else { "off" },
+            pt.committed,
+            pt.cycles_per_txn,
+            pt.forces_requested,
+            pt.physical_forces,
+            pt.lock_fast_hits
+        );
+    }
+    // BENCH_report.json trajectory figure: mean cycles/txn across the
+    // coalescing-on cells (the fast lane under measurement).
+    let on: Vec<&x::ForwardPoint> = pts.iter().filter(|pt| pt.coalesce).collect();
+    let cycles_per_op = if on.is_empty() {
+        None
+    } else {
+        Some(on.iter().map(|pt| pt.cycles_per_txn).sum::<u64>() / on.len() as u64)
+    };
+    let csvs = vec![CsvArtifact {
+        name: "e8_forward_throughput",
+        header: "protocol,coalesce,committed,cycles_per_txn,tps_per_mcycle,forces_requested,\
+             physical_forces,records_forced,lock_fast_hits",
+        rows: pts
+            .iter()
+            .map(|pt| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{}",
+                    pt.protocol,
+                    pt.coalesce,
+                    pt.committed,
+                    pt.cycles_per_txn,
+                    pt.tps_per_mcycle,
+                    pt.forces_requested,
+                    pt.physical_forces,
+                    pt.records_forced,
+                    pt.lock_fast_hits
+                )
+            })
+            .collect(),
+    }];
+    let _ = writeln!(p);
+    Section { text: s, csvs, cycles_per_op }
+}
+
 fn e10_cell() -> Section {
     let mut s = String::new();
     let p = &mut s;
@@ -693,6 +753,12 @@ fn main() {
     }
     if want(&args, "--e8") {
         cells.push(Cell { name: "e8_btree_recovery", run: Box::new(move || e8_cell(mix_txns)) });
+    }
+    if want(&args, "--e8fwd") {
+        cells.push(Cell {
+            name: "e8_forward_throughput",
+            run: Box::new(move || e8fwd_cell(t1_txns)),
+        });
     }
     if want(&args, "--e10") {
         cells.push(Cell { name: "e10_blast_radius", run: Box::new(e10_cell) });

@@ -229,6 +229,9 @@ pub struct LogForcePoint {
     pub sharing: f64,
     /// Total physical log forces.
     pub total_forces: u64,
+    /// Log-force requests (physical forces plus requests absorbed by the
+    /// coalescing window; equal to `total_forces` when coalescing is off).
+    pub forces_requested: u64,
     /// Forces at commit (incurred by any FA scheme).
     pub commit_forces: u64,
     /// LBM-attributable forces (eager per-update, or coherence-triggered).
@@ -261,6 +264,7 @@ pub fn e4_log_forces(txns: usize, sharings: &[f64], nvram: bool) -> Vec<LogForce
                 protocol: format!("{p:?}"),
                 sharing,
                 total_forces: db.total_log_forces(),
+                forces_requested: db.logs().total_forces_requested(),
                 commit_forces: stats.commit_forces,
                 lbm_forces: stats.lbm_forces,
                 committed: report.committed,
@@ -695,6 +699,66 @@ pub fn e10_parallel_blast_radius(per_node: usize) -> Vec<ParallelBlastPoint> {
 }
 
 // ----------------------------------------------------------------------
+// E8-fwd — forward-path fast lane: TP1 throughput with coalesced forces
+// ----------------------------------------------------------------------
+
+/// Forward-path throughput for one (protocol, coalescing) cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ForwardPoint {
+    /// Protocol measured.
+    pub protocol: String,
+    /// Whether coalesced (group) log forces were enabled.
+    pub coalesce: bool,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Simulated cycles per committed transaction.
+    pub cycles_per_txn: u64,
+    /// Committed transactions per million simulated cycles.
+    pub tps_per_mcycle: f64,
+    /// Log-force requests (physical + coalesced).
+    pub forces_requested: u64,
+    /// Physical log forces (each paid the full force latency).
+    pub physical_forces: u64,
+    /// Log records made durable by the physical forces.
+    pub records_forced: u64,
+    /// Lock-manager re-acquire fast-lane hits.
+    pub lock_fast_hits: u64,
+}
+
+/// TP1 under every IFA protocol, with force coalescing off and on. The
+/// durability guarantees are identical either way (a force request's
+/// window is only uncovered while the updated lines are still exclusive
+/// to the updater — exactly the window Stable-Triggered already leaves
+/// open), so the comparison isolates the forward-path cost of eager
+/// physical forcing.
+pub fn e8_forward_throughput(txns: usize) -> Vec<ForwardPoint> {
+    let mut out = Vec::new();
+    for p in ProtocolKind::ifa_protocols() {
+        for coalesce in [false, true] {
+            let mut cfg = DbConfig::bench(8, p);
+            if coalesce {
+                cfg = cfg.with_coalesced_forces();
+            }
+            let mut db = SmDb::new(cfg);
+            let report = run_tp1(&mut db, Tp1Params { txns, ..Default::default() });
+            db.check_ifa(NodeId(0)).assert_ok();
+            out.push(ForwardPoint {
+                protocol: format!("{p:?}"),
+                coalesce,
+                committed: report.committed,
+                cycles_per_txn: report.sim_cycles / report.committed.max(1),
+                tps_per_mcycle: report.tps_per_mcycle,
+                forces_requested: report.forces_requested,
+                physical_forces: report.physical_forces,
+                records_forced: report.records_forced,
+                lock_fast_hits: db.lock_stats().fast_hits,
+            });
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
 // Shared small helpers for the report binary and benches
 // ----------------------------------------------------------------------
 
@@ -735,6 +799,24 @@ mod tests {
         assert_eq!(vol.lbm_forces, 0);
         let eager = pts.iter().find(|p| p.protocol.contains("Eager")).unwrap();
         assert!(eager.lbm_forces > vol.lbm_forces);
+        // E4 runs without coalescing: every force request is physical, so
+        // the requested/physical split must not drift apart here.
+        for p in &pts {
+            assert_eq!(p.forces_requested, p.total_forces, "{}", p.protocol);
+        }
+    }
+
+    #[test]
+    fn e8_forward_smoke() {
+        let pts = e8_forward_throughput(12);
+        assert_eq!(pts.len(), 8, "4 IFA protocols x coalescing off/on");
+        for pt in &pts {
+            assert!(pt.committed > 0, "{pt:?}");
+            assert!(pt.physical_forces <= pt.forces_requested, "{pt:?}");
+            if !pt.coalesce {
+                assert_eq!(pt.physical_forces, pt.forces_requested, "{pt:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! E8-fwd acceptance gate: the forward-path fast lane must actually pay
+//! off against the pre-optimisation engine.
+//!
+//! The baselines below were measured on the tree *before* the flat lock
+//! table, allocation-free WAL append, and coalesced log forces landed
+//! (TP1, 8 nodes, 200 transactions, default seed). They are simulated
+//! cycles per committed transaction, so they are exactly reproducible —
+//! no wall-clock noise — and any regression that pushes the optimised
+//! engine back toward these numbers trips the gate deterministically.
+
+use smdb_bench::experiments::{e8_forward_throughput, ForwardPoint};
+
+const TXNS: usize = 200;
+
+/// Pre-PR cycles/txn by protocol (TP1, 8 nodes, 200 txns).
+fn pre_pr_cycles_per_txn(protocol: &str) -> u64 {
+    match protocol {
+        "VolatileRedoAll" => 163_264,
+        "VolatileSelectiveRedo" => 163_268,
+        "StableEager" => 663_264,
+        "StableTriggered" => 288_264,
+        other => panic!("no pre-PR baseline for protocol {other}"),
+    }
+}
+
+fn coalesced(points: &[ForwardPoint], protocol: &str) -> ForwardPoint {
+    points
+        .iter()
+        .find(|p| p.protocol == protocol && p.coalesce)
+        .unwrap_or_else(|| panic!("missing coalesced point for {protocol}"))
+        .clone()
+}
+
+#[test]
+fn e8_forward_fast_lane_beats_pre_pr_baseline() {
+    let points = e8_forward_throughput(TXNS);
+
+    // Every cell must have done real work and kept the physical-force
+    // count within the request count (coalescing can only drop forces).
+    for p in &points {
+        assert!(p.committed > 0, "{p:?} committed nothing");
+        assert!(p.physical_forces <= p.forces_requested, "{p:?}: physical forces exceed requests");
+        if !p.coalesce {
+            assert_eq!(
+                p.physical_forces, p.forces_requested,
+                "{p:?}: without coalescing every request is physical"
+            );
+        }
+    }
+
+    // Tentpole gate: at least one IFA protocol runs >= 1.5x faster
+    // (cycles/txn) with the fast lane on than the pre-PR engine did.
+    // Integer form of `pre / on >= 1.5`: 2*pre >= 3*on.
+    let winners: Vec<&ForwardPoint> = points
+        .iter()
+        .filter(|p| p.coalesce)
+        .filter(|p| 2 * pre_pr_cycles_per_txn(&p.protocol) >= 3 * p.cycles_per_txn)
+        .collect();
+    assert!(
+        !winners.is_empty(),
+        "no IFA protocol improved >= 1.5x over the pre-PR baseline: {points:#?}"
+    );
+
+    // Coalescing gate: StableEager must absorb at least half its force
+    // requests into the pending window (2*physical <= requested).
+    let se = coalesced(&points, "StableEager");
+    assert!(se.forces_requested > 0, "StableEager made no force requests: {se:?}");
+    assert!(
+        2 * se.physical_forces <= se.forces_requested,
+        "StableEager coalescing absorbed too little: {se:?}"
+    );
+}
+
+#[test]
+fn e8_forward_coalescing_preserves_durability_volume() {
+    // Coalescing changes *when* records reach the stable log, not
+    // whether they do: across a full run each committed transaction's
+    // records still hit the platter, so the volume forced by the
+    // commit-time forces is unchanged for the volatile protocols (which
+    // never force from the LBM path at all).
+    let points = e8_forward_throughput(TXNS);
+    for proto in ["VolatileRedoAll", "VolatileSelectiveRedo"] {
+        let off =
+            points.iter().find(|p| p.protocol == proto && !p.coalesce).expect("uncoalesced point");
+        let on = coalesced(&points, proto);
+        assert_eq!(off.committed, on.committed, "{proto}: txn count must match");
+        assert_eq!(
+            off.records_forced, on.records_forced,
+            "{proto}: coalescing must not change the records made durable"
+        );
+        assert_eq!(
+            off.physical_forces, on.physical_forces,
+            "{proto}: volatile protocols have no LBM forces to coalesce"
+        );
+    }
+}

@@ -32,6 +32,9 @@ mod recovery;
 mod tree;
 
 pub use layout::{BranchRef, LeafEntry, NodeKind, TreeLayout, NULL_TAG, VAL_SIZE};
-pub use pageio::{LineSpan, TreeCtx, FORCE_RECORDS_HISTOGRAM};
+pub use pageio::{
+    LineSpan, TreeCtx, APPEND_BYTES_COUNTER, COALESCED_FORCES_COUNTER, FORCE_RECORDS_HISTOGRAM,
+    PHYSICAL_FORCES_COUNTER,
+};
 pub use recovery::BtreeRecoveryStats;
 pub use tree::{BTree, BtreeError, BtreeStats, LeafHit};

@@ -23,6 +23,16 @@ use smdb_wal::{LbmMode, LogSet, Lsn, PageLsnTable};
 /// Histogram of records made durable per physical log force.
 pub const FORCE_RECORDS_HISTOGRAM: &str = "wal.force_records";
 
+/// Counter of physical log forces (each paid the full force latency).
+pub const PHYSICAL_FORCES_COUNTER: &str = "wal.physical_forces";
+
+/// Counter of LBM force requests absorbed by the coalescing window
+/// instead of paying a physical force.
+pub const COALESCED_FORCES_COUNTER: &str = "wal.forces_coalesced";
+
+/// Counter of log-record payload bytes appended to the per-node logs.
+pub const APPEND_BYTES_COUNTER: &str = "wal.append_bytes";
+
 /// A contiguous run of cache lines touched by one page write.
 ///
 /// Because a page occupies consecutive line addresses
@@ -83,6 +93,13 @@ pub struct TreeCtx<'a> {
     /// context's lifetime (feeds the Table 1 "higher frequency of log
     /// forces" accounting).
     pub trigger_forces: u64,
+    /// Count of LBM force requests registered with the coalescing window
+    /// (deferred, not physical) during this context's lifetime.
+    pub force_requests: u64,
+    /// Whether LBM force requests go through the coalescing window
+    /// (forward path) instead of each paying a physical force. Always off
+    /// for recovery-side contexts: recovery forces are physical.
+    coalesce: bool,
     /// Reusable page-image buffer for flushes: allocated on first use,
     /// reused for every subsequent flush through this context (restart's
     /// Redo-All/Selective-Redo scans flush many pages through one context).
@@ -99,7 +116,26 @@ impl<'a> TreeCtx<'a> {
         lbm: LbmMode,
         gsn: &'a mut u64,
     ) -> Self {
-        TreeCtx { m, db, logs, plt, lbm, gsn, trigger_forces: 0, scratch: Vec::new() }
+        TreeCtx {
+            m,
+            db,
+            logs,
+            plt,
+            lbm,
+            gsn,
+            trigger_forces: 0,
+            force_requests: 0,
+            coalesce: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Route LBM force requests through the coalescing window. The log
+    /// set's own coalescing must be enabled
+    /// ([`LogSet::set_coalescing`]) when this is.
+    pub fn with_coalescing(mut self, on: bool) -> Self {
+        self.coalesce = on;
+        self
     }
 
     /// Draw the next global update sequence number.
@@ -131,6 +167,7 @@ impl<'a> TreeCtx<'a> {
     fn note_force(&self, node: NodeId, records: u64, reason: ForceReason) {
         let obs = self.m.obs();
         obs.metrics.observe(FORCE_RECORDS_HISTOGRAM, records);
+        obs.metrics.inc(PHYSICAL_FORCES_COUNTER);
         obs.bus.emit(self.m.now(node), || ObsEvent::WalForce { node: node.0, records, reason });
     }
 
@@ -145,7 +182,10 @@ impl<'a> TreeCtx<'a> {
         line: LineId,
         is_write: bool,
     ) -> Result<(), BtreeError> {
-        if !self.lbm.uses_triggers() {
+        // Coalesced StableEager defers its per-update force requests to
+        // the same coherence trigger StableTriggered uses, so the trigger
+        // must be live for it too.
+        if !(self.lbm.uses_triggers() || (self.coalesce && self.lbm.forces_eagerly())) {
             return Ok(());
         }
         if let Some(ev) = self.m.pending_triggers(node, line, is_write) {
@@ -176,34 +216,56 @@ impl<'a> TreeCtx<'a> {
         match self.lbm {
             LbmMode::Volatile => {}
             LbmMode::StableEager => {
-                self.force_node_log_for(node, ForceReason::Lbm)?;
+                if self.coalesce {
+                    // Group commit of LBM forces: raise the pending
+                    // high-water mark (one word) instead of paying the
+                    // physical force, then defer to the coherence
+                    // trigger exactly like StableTriggered — the
+                    // request only becomes physical when uncommitted
+                    // bytes would actually publish.
+                    let last = self.logs.log(node).last_lsn();
+                    if self.logs.request_force_to(node, last) {
+                        self.force_requests += 1;
+                        let obs = self.m.obs();
+                        if obs.is_enabled() {
+                            obs.metrics.inc(COALESCED_FORCES_COUNTER);
+                        }
+                    }
+                    self.mark_or_force(node, spans)?;
+                } else {
+                    self.force_node_log_for(node, ForceReason::Lbm)?;
+                }
             }
             LbmMode::StableTriggered => {
-                // Under write-broadcast, a write to a *shared* line has
-                // already replicated the uncommitted bytes into other
-                // caches — the "migration" happened at the write itself,
-                // so the log must be forced now. Only exclusively-held
-                // lines can defer to the coherence trigger.
-                let mut forced = false;
-                for l in spans.iter().flat_map(LineSpan::iter) {
-                    if self.m.holder_count(l) > 1 {
-                        let obs_on = self.m.obs().is_enabled();
-                        let pending = if obs_on { self.unforced_records(node) } else { 0 };
-                        if !forced
-                            && self.logs.force_all_checked(node).map_err(MemError::FaultCrash)?
-                        {
-                            let cost = self.m.config().cost.log_force;
-                            self.m.advance(node, cost);
-                            self.trigger_forces += 1;
-                            if obs_on {
-                                self.note_force(node, pending, ForceReason::Lbm);
-                            }
-                        }
-                        forced = true;
-                    } else {
-                        self.m.set_active(l, node);
+                self.mark_or_force(node, spans)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deferred-force line handling shared by `StableTriggered` and
+    /// coalesced `StableEager`: under write-broadcast, a write to a
+    /// *shared* line has already replicated the uncommitted bytes into
+    /// other caches — the "migration" happened at the write itself, so
+    /// the log must be forced now. Only exclusively-held lines can defer
+    /// to the coherence trigger.
+    fn mark_or_force(&mut self, node: NodeId, spans: &[LineSpan]) -> Result<(), BtreeError> {
+        let mut forced = false;
+        for l in spans.iter().flat_map(LineSpan::iter) {
+            if self.m.holder_count(l) > 1 {
+                let obs_on = self.m.obs().is_enabled();
+                let pending = if obs_on { self.unforced_records(node) } else { 0 };
+                if !forced && self.logs.force_all_checked(node).map_err(MemError::FaultCrash)? {
+                    let cost = self.m.config().cost.log_force;
+                    self.m.advance(node, cost);
+                    self.trigger_forces += 1;
+                    if obs_on {
+                        self.note_force(node, pending, ForceReason::Lbm);
                     }
                 }
+                forced = true;
+            } else {
+                self.m.set_active(l, node);
             }
         }
         Ok(())

@@ -150,6 +150,14 @@ pub struct DbConfig {
     pub index_pages: u32,
     /// §4.2.2 hardware stall option for references to lost lines.
     pub stall_on_lost: bool,
+    /// Coalesce log forces: LBM force *requests* raise a pending
+    /// high-water mark instead of each paying a physical force; the next
+    /// physical force (commit, WAL rule, checkpoint, or an LBM request
+    /// that cannot be deferred) covers the whole pending window. Purely a
+    /// forward-path optimisation — recovery semantics are unchanged
+    /// because a crash discards the pending window exactly like any other
+    /// unforced log tail.
+    pub coalesce_forces: bool,
 }
 
 impl DbConfig {
@@ -171,6 +179,7 @@ impl DbConfig {
             with_index: true,
             index_pages: 64,
             stall_on_lost: false,
+            coalesce_forces: false,
         }
     }
 
@@ -191,6 +200,7 @@ impl DbConfig {
             with_index: true,
             index_pages: 256,
             stall_on_lost: false,
+            coalesce_forces: false,
         }
     }
 
@@ -215,6 +225,12 @@ impl DbConfig {
     /// Disable the index.
     pub fn without_index(mut self) -> Self {
         self.with_index = false;
+        self
+    }
+
+    /// Enable coalesced (group) log forces.
+    pub fn with_coalesced_forces(mut self) -> Self {
+        self.coalesce_forces = true;
         self
     }
 }

@@ -17,7 +17,10 @@ use crate::record::{RecordLayout, NULL_TAG, TAG_SIZE};
 use crate::stats::EngineStats;
 use crate::txn::{TxnOp, TxnState, TxnStatus};
 use bytes::Bytes;
-use smdb_btree::{BTree, LineSpan, TreeCtx, FORCE_RECORDS_HISTOGRAM, VAL_SIZE};
+use smdb_btree::{
+    BTree, LineSpan, TreeCtx, APPEND_BYTES_COUNTER, COALESCED_FORCES_COUNTER,
+    FORCE_RECORDS_HISTOGRAM, PHYSICAL_FORCES_COUNTER, VAL_SIZE,
+};
 use smdb_fault::FaultInjector;
 use smdb_lock::{LockManager, LockMode, LockOutcome, LockTable};
 use smdb_obs::{Event as ObsEvent, ForceReason, Obs};
@@ -96,6 +99,7 @@ macro_rules! engine_ctx {
             $self.cfg.protocol.lbm_mode(),
             &mut $self.gsn,
         )
+        .with_coalescing($self.cfg.coalesce_forces)
     };
 }
 pub(crate) use engine_ctx;
@@ -128,6 +132,7 @@ impl SmDb {
             }
         }
         let mut logs = LogSet::new(cfg.nodes);
+        logs.set_coalescing(cfg.coalesce_forces);
         let mut plt = PageLsnTable::new();
         let lock_base = total_pages as u64 * cfg.lines_per_page as u64 + LOCK_TABLE_GAP;
         let table =
@@ -299,7 +304,36 @@ impl SmDb {
     fn note_wal_force(&self, node: NodeId, records: u64, reason: ForceReason) {
         let obs = self.m.obs();
         obs.metrics.observe(FORCE_RECORDS_HISTOGRAM, records);
+        obs.metrics.inc(PHYSICAL_FORCES_COUNTER);
         obs.bus.emit(self.m.now(node), || ObsEvent::WalForce { node: node.0, records, reason });
+    }
+
+    /// Deferred-force line handling (engine-side twin of
+    /// `TreeCtx::after_update`'s shared-line rule, used by
+    /// `StableTriggered` and coalesced `StableEager`): a write to a
+    /// *shared* line (write-broadcast) has already published the
+    /// uncommitted bytes, so the log is forced now; exclusively-held
+    /// lines are marked active and defer to the coherence trigger.
+    fn lbm_mark_or_force(&mut self, node: NodeId, touched: &[LineSpan]) -> Result<(), DbError> {
+        let obs_on = self.m.obs().is_enabled();
+        let mut forced = false;
+        for l in touched.iter().flat_map(LineSpan::iter) {
+            if self.m.holder_count(l) > 1 {
+                let pending = if obs_on { self.unforced_records(node) } else { 0 };
+                if !forced && self.logs.force_all_checked(node)? {
+                    let cost = self.m.config().cost.log_force;
+                    self.m.advance(node, cost);
+                    self.stats.lbm_forces += 1;
+                    if obs_on {
+                        self.note_wal_force(node, pending, ForceReason::Lbm);
+                    }
+                }
+                forced = true;
+            } else {
+                self.m.set_active(l, node);
+            }
+        }
+        Ok(())
     }
 
     /// Machine-wide simulated makespan, cycles.
@@ -424,6 +458,7 @@ impl SmDb {
         let mut ctx = engine_ctx!(self);
         ctx.read(node, rec.page, off, &mut buf)?;
         self.stats.lbm_forces += ctx.trigger_forces;
+        self.stats.lbm_force_requests += ctx.force_requests;
         self.stats.reads += 1;
         Ok(buf)
     }
@@ -485,24 +520,33 @@ impl SmDb {
         if rec_line != page_lsn_line {
             ctx.m.getline(node, rec_line)?;
         }
-        let result: Result<(u64, [LineSpan; 2], Vec<u8>), DbError> = (|| {
+        let result: Result<(u64, [LineSpan; 2], Bytes), DbError> = (|| {
             // Before image (the last committed value under strict 2PL —
             // or our own earlier write; the log keeps per-update images so
-            // rollback replays them in reverse).
-            let mut before = vec![0u8; self.layout.data_size];
-            ctx.read(node, rec.page, payload_off, &mut before)?;
+            // rollback replays them in reverse). Undo and redo images are
+            // zero-copy views of one backing buffer: a single allocation
+            // serves the log record and the rollback bookkeeping.
+            let ds = self.layout.data_size;
+            let mut img = vec![0u8; 2 * ds];
+            ctx.read(node, rec.page, payload_off, &mut img[..ds])?;
+            img[ds..].copy_from_slice(&payload);
+            let backing = Bytes::from(img);
+            let before = backing.slice(..ds);
             let gsn = ctx.next_gsn();
             let lsn = ctx.logs.append(
                 node,
                 LogPayload::Update {
                     txn,
                     rec,
-                    undo: Bytes::copy_from_slice(&before),
-                    redo: Bytes::copy_from_slice(&payload),
+                    undo: before.clone(),
+                    redo: backing.slice(ds..),
                     gsn,
                 },
             );
             let at = ctx.m.now(node);
+            if obs_on {
+                ctx.m.obs().metrics.add(APPEND_BYTES_COUNTER, 2 * ds as u64);
+            }
             ctx.m.obs().bus.emit(at, || ObsEvent::WalAppend { node: node.0, lsn: lsn.0 });
             // In-place update: tag + payload share the record's line.
             let tag = if tagging { node.0 } else { NULL_TAG };
@@ -519,41 +563,39 @@ impl SmDb {
         let trigger_forces = ctx.trigger_forces;
         let (_gsn, touched, before) = result?;
         self.stats.lbm_forces += trigger_forces;
-        // LBM policy hook (eager force / active-bit marking).
+        // LBM policy hook (eager force / coalesced force request /
+        // active-bit marking).
         match self.cfg.protocol.lbm_mode() {
             LbmMode::Volatile => {}
             LbmMode::StableEager => {
-                let pending = if obs_on { self.unforced_records(node) } else { 0 };
-                if self.logs.force_all_checked(node)? {
-                    let cost = self.m.config().cost.log_force;
-                    self.m.advance(node, cost);
-                    self.stats.lbm_forces += 1;
-                    if obs_on {
-                        self.note_wal_force(node, pending, ForceReason::Lbm);
+                if self.cfg.coalesce_forces {
+                    // Group commit of LBM forces: raise the pending
+                    // high-water mark instead of forcing, then defer the
+                    // physical force to the coherence trigger exactly like
+                    // StableTriggered. Commit/WAL/checkpoint forces drain
+                    // the pending window when they cover it.
+                    let last = self.logs.log(node).last_lsn();
+                    if self.logs.request_force_to(node, last) {
+                        self.stats.lbm_force_requests += 1;
+                        if obs_on {
+                            self.m.obs().metrics.inc(COALESCED_FORCES_COUNTER);
+                        }
+                    }
+                    self.lbm_mark_or_force(node, &touched)?;
+                } else {
+                    let pending = if obs_on { self.unforced_records(node) } else { 0 };
+                    if self.logs.force_all_checked(node)? {
+                        let cost = self.m.config().cost.log_force;
+                        self.m.advance(node, cost);
+                        self.stats.lbm_forces += 1;
+                        if obs_on {
+                            self.note_wal_force(node, pending, ForceReason::Lbm);
+                        }
                     }
                 }
             }
             LbmMode::StableTriggered => {
-                // See TreeCtx::after_update: a write to a shared line
-                // (write-broadcast) has already published the uncommitted
-                // bytes; force now. Exclusive lines defer to the trigger.
-                let mut forced = false;
-                for l in touched.iter().flat_map(LineSpan::iter) {
-                    if self.m.holder_count(l) > 1 {
-                        let pending = if obs_on { self.unforced_records(node) } else { 0 };
-                        if !forced && self.logs.force_all_checked(node)? {
-                            let cost = self.m.config().cost.log_force;
-                            self.m.advance(node, cost);
-                            self.stats.lbm_forces += 1;
-                            if obs_on {
-                                self.note_wal_force(node, pending, ForceReason::Lbm);
-                            }
-                        }
-                        forced = true;
-                    } else {
-                        self.m.set_active(l, node);
-                    }
-                }
+                self.lbm_mark_or_force(node, &touched)?;
             }
         }
         if tagging {
@@ -586,9 +628,11 @@ impl SmDb {
             &mut self.plt,
             self.cfg.protocol.lbm_mode(),
             &mut self.gsn,
-        );
+        )
+        .with_coalescing(self.cfg.coalesce_forces);
         tree.insert(&mut ctx, txn, key, value)?;
         self.stats.lbm_forces += ctx.trigger_forces;
+        self.stats.lbm_force_requests += ctx.force_requests;
         if self.cfg.protocol.uses_undo_tags() {
             self.stats.undo_tag_writes += 1;
             self.stats.undo_tag_bytes += TAG_SIZE as u64;
@@ -616,9 +660,11 @@ impl SmDb {
             &mut self.plt,
             self.cfg.protocol.lbm_mode(),
             &mut self.gsn,
-        );
+        )
+        .with_coalescing(self.cfg.coalesce_forces);
         let hit = tree.search(&mut ctx, node, key)?;
         self.stats.lbm_forces += ctx.trigger_forces;
+        self.stats.lbm_force_requests += ctx.force_requests;
         Ok(hit.map(|h| h.entry.value))
     }
 
@@ -646,7 +692,8 @@ impl SmDb {
                 &mut self.plt,
                 self.cfg.protocol.lbm_mode(),
                 &mut self.gsn,
-            );
+            )
+            .with_coalescing(self.cfg.coalesce_forces);
             tree.range_live(&mut ctx, node, lo, hi)?
         };
         for (key, _) in &hits {
@@ -670,9 +717,11 @@ impl SmDb {
             &mut self.plt,
             self.cfg.protocol.lbm_mode(),
             &mut self.gsn,
-        );
+        )
+        .with_coalescing(self.cfg.coalesce_forces);
         tree.delete(&mut ctx, txn, key)?;
         self.stats.lbm_forces += ctx.trigger_forces;
+        self.stats.lbm_force_requests += ctx.force_requests;
         if self.cfg.protocol.uses_undo_tags() {
             self.stats.undo_tag_writes += 1;
             self.stats.undo_tag_bytes += TAG_SIZE as u64;
@@ -767,7 +816,8 @@ impl SmDb {
                 &mut self.plt,
                 self.cfg.protocol.lbm_mode(),
                 &mut self.gsn,
-            );
+            )
+            .with_coalescing(self.cfg.coalesce_forces);
             for key in t.index_keys() {
                 // The physical reclaim of a committed delete is logged so
                 // log replay converges to the same physical state.
@@ -809,7 +859,7 @@ impl SmDb {
                             txn,
                             rec: *rec,
                             undo: Bytes::copy_from_slice(&current),
-                            redo: Bytes::copy_from_slice(before),
+                            redo: before.clone(),
                             gsn,
                         },
                     );
@@ -826,7 +876,8 @@ impl SmDb {
                         &mut self.plt,
                         self.cfg.protocol.lbm_mode(),
                         &mut self.gsn,
-                    );
+                    )
+                    .with_coalescing(self.cfg.coalesce_forces);
                     let gsn = ctx.next_gsn();
                     ctx.logs.append(node, LogPayload::IndexRemove { txn, key: *key, gsn });
                     tree.undo_insert(&mut ctx, node, *key)?;
@@ -840,7 +891,8 @@ impl SmDb {
                         &mut self.plt,
                         self.cfg.protocol.lbm_mode(),
                         &mut self.gsn,
-                    );
+                    )
+                    .with_coalescing(self.cfg.coalesce_forces);
                     let gsn = ctx.next_gsn();
                     ctx.logs.append(node, LogPayload::IndexUnmark { txn, key: *key, gsn });
                     tree.undo_delete(&mut ctx, node, *key)?;
@@ -1000,7 +1052,8 @@ impl SmDb {
             &mut self.plt,
             self.cfg.protocol.lbm_mode(),
             &mut self.gsn,
-        );
+        )
+        .with_coalescing(self.cfg.coalesce_forces);
         Ok(tree.scan_live(&mut ctx, node)?)
     }
 
@@ -1019,7 +1072,8 @@ impl SmDb {
             &mut self.plt,
             self.cfg.protocol.lbm_mode(),
             &mut self.gsn,
-        );
+        )
+        .with_coalescing(self.cfg.coalesce_forces);
         tree.check_invariants(&mut ctx, node)?;
         Ok(())
     }
@@ -1048,6 +1102,7 @@ impl SmDb {
         let mut ctx = engine_ctx!(self);
         ctx.read(node, rec.page, off, &mut buf)?;
         self.stats.lbm_forces += ctx.trigger_forces;
+        self.stats.lbm_force_requests += ctx.force_requests;
         self.stats.reads += 1;
         Ok(buf)
     }

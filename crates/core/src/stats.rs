@@ -36,6 +36,10 @@ pub struct EngineStats {
     /// the Stable LBM policy (eager per-update forces and trigger-driven
     /// forces), beyond commit/WAL forces.
     pub lbm_forces: u64,
+    /// LBM force *requests* absorbed by the coalescing window instead of
+    /// paying a physical force (zero unless
+    /// [`DbConfig::coalesce_forces`](crate::DbConfig) is set).
+    pub lbm_force_requests: u64,
     /// Forces required by the WAL rule at page flush.
     pub wal_flush_forces: u64,
     /// *(Table 1: Early Commit of Structural Changes)* structural changes
@@ -73,6 +77,7 @@ impl EngineStats {
             undo_tag_bytes,
             commit_forces,
             lbm_forces,
+            lbm_force_requests,
             wal_flush_forces,
             structural_early_commits,
             page_flushes,

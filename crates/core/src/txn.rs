@@ -1,5 +1,6 @@
 //! Transaction state tracking.
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use smdb_sim::TxnId;
 use smdb_wal::RecId;
@@ -24,8 +25,9 @@ pub enum TxnOp {
     Update {
         /// Updated record.
         rec: RecId,
-        /// Before image of the payload.
-        before: Vec<u8>,
+        /// Before image of the payload — a zero-copy view of the same
+        /// backing buffer the update's log record holds.
+        before: Bytes,
         /// The node that executed the update (differs from the home node
         /// only for parallel transactions — paper §9).
         node: smdb_sim::NodeId,
@@ -117,8 +119,8 @@ mod tests {
         let mut t = TxnState::new(TxnId::new(NodeId(0), 1));
         assert!(t.is_active());
         let r = RecId::new(PageId(0), 3);
-        t.ops.push(TxnOp::Update { rec: r, before: vec![1], node: NodeId(0) });
-        t.ops.push(TxnOp::Update { rec: r, before: vec![2], node: NodeId(0) });
+        t.ops.push(TxnOp::Update { rec: r, before: Bytes::copy_from_slice(&[1]), node: NodeId(0) });
+        t.ops.push(TxnOp::Update { rec: r, before: Bytes::copy_from_slice(&[2]), node: NodeId(0) });
         t.ops.push(TxnOp::IndexInsert { key: 9 });
         t.ops.push(TxnOp::IndexDelete { key: 10 });
         assert_eq!(t.touched_records(), vec![r]);

@@ -88,22 +88,120 @@ impl LcbGeometry {
     }
 }
 
+/// Upper bound on entries an [`EntryVec`] holds inline: the largest
+/// holder capacity of any geometry ([`LcbGeometry::one_per_line`]'s 10)
+/// plus slack for transient promote states.
+pub const MAX_ENTRIES: usize = 12;
+
+const EMPTY_ENTRY: LockEntry = LockEntry { txn: TxnId(0), mode: LockMode::Shared };
+
+/// Fixed-capacity inline entry list: the LCB's holder/waiter arrays
+/// without a heap allocation per decode. Capacity is bounded by the line
+/// geometry (an LCB that outgrows its slot is rejected with
+/// `CapacityExceeded` before it ever reaches this size), so spilling to
+/// the heap is never needed.
+#[derive(Clone, Copy)]
+pub struct EntryVec {
+    entries: [LockEntry; MAX_ENTRIES],
+    len: u8,
+}
+
+impl EntryVec {
+    /// An empty list.
+    pub const fn new() -> Self {
+        EntryVec { entries: [EMPTY_ENTRY; MAX_ENTRIES], len: 0 }
+    }
+
+    /// Append an entry. Panics past [`MAX_ENTRIES`] — callers enforce the
+    /// (smaller) geometry capacity first.
+    pub fn push(&mut self, e: LockEntry) {
+        assert!((self.len as usize) < MAX_ENTRIES, "EntryVec overflow");
+        self.entries[self.len as usize] = e;
+        self.len += 1;
+    }
+
+    /// Remove and return the entry at `i`, shifting later entries down
+    /// (order-preserving, like `Vec::remove`).
+    pub fn remove(&mut self, i: usize) -> LockEntry {
+        let n = self.len as usize;
+        assert!(i < n, "EntryVec remove out of bounds");
+        let e = self.entries[i];
+        self.entries.copy_within(i + 1..n, i);
+        self.len -= 1;
+        e
+    }
+
+    /// Keep only entries matching the predicate (order-preserving).
+    pub fn retain(&mut self, mut keep: impl FnMut(&LockEntry) -> bool) {
+        let mut w = 0usize;
+        for r in 0..self.len as usize {
+            if keep(&self.entries[r]) {
+                self.entries[w] = self.entries[r];
+                w += 1;
+            }
+        }
+        self.len = w as u8;
+    }
+}
+
+impl Default for EntryVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for EntryVec {
+    type Target = [LockEntry];
+    fn deref(&self) -> &[LockEntry] {
+        &self.entries[..self.len as usize]
+    }
+}
+
+impl std::ops::DerefMut for EntryVec {
+    fn deref_mut(&mut self) -> &mut [LockEntry] {
+        let n = self.len as usize;
+        &mut self.entries[..n]
+    }
+}
+
+impl PartialEq for EntryVec {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for EntryVec {}
+
+impl std::fmt::Debug for EntryVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a EntryVec {
+    type Item = &'a LockEntry;
+    type IntoIter = std::slice::Iter<'a, LockEntry>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// In-memory (decoded) view of one lock control block.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Lcb {
     /// Lock name (non-zero; 0 marks an empty slot on the wire).
     pub name: u64,
     /// Current holders.
-    pub holders: Vec<LockEntry>,
+    pub holders: EntryVec,
     /// FIFO wait queue.
-    pub waiters: Vec<LockEntry>,
+    pub waiters: EntryVec,
 }
 
 impl Lcb {
     /// A fresh LCB for `name` with no holders or waiters.
     pub fn new(name: u64) -> Self {
         assert!(name != 0, "lock name 0 is reserved for empty slots");
-        Lcb { name, holders: Vec::new(), waiters: Vec::new() }
+        Lcb { name, holders: EntryVec::new(), waiters: EntryVec::new() }
     }
 
     /// The current (strongest) granted mode, if any holder exists.

@@ -31,11 +31,12 @@ mod lcb;
 mod manager;
 mod mode;
 mod recovery;
+pub mod reference;
 mod table;
 
 pub use lcb::{
-    clear_slot, decode_slot, encode_slot, read_overflow, write_overflow, Lcb, LcbGeometry,
-    LockEntry,
+    clear_slot, decode_slot, encode_slot, read_overflow, write_overflow, EntryVec, Lcb,
+    LcbGeometry, LockEntry,
 };
 pub use manager::{LockError, LockManager, LockOutcome, LockStats};
 pub use mode::LockMode;

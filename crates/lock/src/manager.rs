@@ -5,6 +5,15 @@
 //! so lock state can never migrate to another node without the acquiring
 //! node's log describing it (the Volatile LBM discipline applied to the
 //! lock table, §4.2.2 + §5.1).
+//!
+//! Forward-path fast lane: under strict 2PL only the owning transaction
+//! ever releases its own grant, so the volatile per-transaction chain
+//! ([`TxnChains`], a flat open-addressed map with inline entry arrays) is
+//! an authoritative record of "does `txn` already hold `name`, and how
+//! strongly". The dominant re-acquire / compatible-re-read case is
+//! answered from the chain alone — no LCB line read, no line lock, no log
+//! record (the original grant is already logged) — counted by
+//! [`LockStats::fast_hits`] and the `lock.fast_hits` obs counter.
 
 use crate::lcb::{Lcb, LockEntry};
 use crate::mode::LockMode;
@@ -13,12 +22,15 @@ use serde::{Deserialize, Serialize};
 use smdb_obs::Event as ObsEvent;
 use smdb_sim::{LineId, Machine, MemError, NodeId, TxnId};
 use smdb_wal::{LogPayload, LogSet, StructuralKind};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Histogram of simulated cycles each logical lock was held, recorded on
 /// release when observability is enabled.
 pub const HOLD_CYCLES_HISTOGRAM: &str = "lock.hold_cycles";
+
+/// Counter of acquire requests served entirely from the volatile chain
+/// (re-acquire in a sufficient mode): no simulated memory traffic.
+pub const FAST_HITS_COUNTER: &str = "lock.fast_hits";
 
 /// Result of a lock request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,34 +101,326 @@ pub struct LockStats {
     pub promotions: u64,
     /// Overflow lines allocated (early-committed structural changes).
     pub overflow_allocs: u64,
+    /// Re-acquire requests served from the volatile chain with no LCB
+    /// traffic (the fast lane).
+    pub fast_hits: u64,
+}
+
+const CHAIN_INLINE: usize = 8;
+
+/// Sentinel for "no acquire timestamp recorded" (observability disabled
+/// at grant time).
+const NO_TIME: u64 = u64::MAX;
+
+/// One held lock in a transaction's chain: the name, the granted mode
+/// (kept in lockstep with the LCB holder entry), and the simulated
+/// acquire timestamp for the hold-time histogram.
+#[derive(Clone, Copy, Debug)]
+struct ChainEntry {
+    name: u64,
+    mode: LockMode,
+    acquired_at: u64,
+}
+
+const EMPTY_CHAIN_ENTRY: ChainEntry =
+    ChainEntry { name: 0, mode: LockMode::Shared, acquired_at: NO_TIME };
+
+/// One transaction's lock chain: an inline small-vec of entries in
+/// acquisition order, spilling to the heap only past [`CHAIN_INLINE`]
+/// simultaneously-held locks.
+#[derive(Clone, Debug)]
+struct ChainSlot {
+    txn: TxnId,
+    len: u32,
+    inline: [ChainEntry; CHAIN_INLINE],
+    spill: Vec<ChainEntry>,
+}
+
+impl ChainSlot {
+    fn entry(&self, i: usize) -> &ChainEntry {
+        if i < CHAIN_INLINE {
+            &self.inline[i]
+        } else {
+            &self.spill[i - CHAIN_INLINE]
+        }
+    }
+
+    fn entry_mut(&mut self, i: usize) -> &mut ChainEntry {
+        if i < CHAIN_INLINE {
+            &mut self.inline[i]
+        } else {
+            &mut self.spill[i - CHAIN_INLINE]
+        }
+    }
+
+    fn find(&self, name: u64) -> Option<usize> {
+        (0..self.len as usize).find(|&i| self.entry(i).name == name)
+    }
+
+    fn push(&mut self, e: ChainEntry) {
+        let i = self.len as usize;
+        if i < CHAIN_INLINE {
+            self.inline[i] = e;
+        } else {
+            self.spill.push(e);
+        }
+        self.len += 1;
+    }
+
+    /// Order-preserving removal (releases must happen in acquisition
+    /// order for log-stream stability).
+    fn remove(&mut self, i: usize) -> ChainEntry {
+        let n = self.len as usize;
+        let e = *self.entry(i);
+        for j in i..n - 1 {
+            *self.entry_mut(j) = *self.entry(j + 1);
+        }
+        if n > CHAIN_INLINE {
+            self.spill.pop();
+        }
+        self.len -= 1;
+        e
+    }
+}
+
+const CTRL_EMPTY: u8 = 0;
+const CTRL_FULL: u8 = 1;
+const CTRL_TOMB: u8 = 2;
+
+/// Flat per-transaction lock chains: an open-addressed `TxnId → slot`
+/// index over a recycled slot arena (same flat-slot pattern as the sim's
+/// line directory). Replaces the old `BTreeMap<TxnId, Vec<u64>>` chain
+/// map *and* the separate `BTreeMap<(TxnId, u64), u64>` acquire-time map,
+/// whose entries previously accumulated without bound across
+/// transactions: a slot is freed (and reused by later transactions) the
+/// moment its last entry is released, so footprint is bounded by the
+/// peak number of concurrently lock-holding transactions.
+#[derive(Clone, Debug)]
+struct TxnChains {
+    ctrl: Vec<u8>,
+    keys: Vec<u64>,
+    slot_of: Vec<u32>,
+    slots: Vec<ChainSlot>,
+    free: Vec<u32>,
+    live: usize,
+    used: usize,
+}
+
+impl TxnChains {
+    fn new() -> Self {
+        let cap = 64;
+        TxnChains {
+            ctrl: vec![CTRL_EMPTY; cap],
+            keys: vec![0; cap],
+            slot_of: vec![0; cap],
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            used: 0,
+        }
+    }
+
+    fn start(&self, key: u64) -> usize {
+        let h = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32;
+        h as usize & (self.ctrl.len() - 1)
+    }
+
+    fn probe(&self, txn: TxnId) -> Option<u32> {
+        let mask = self.ctrl.len() - 1;
+        let mut i = self.start(txn.0);
+        loop {
+            match self.ctrl[i] {
+                CTRL_EMPTY => return None,
+                CTRL_FULL if self.keys[i] == txn.0 => return Some(self.slot_of[i]),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn slot(&self, txn: TxnId) -> Option<&ChainSlot> {
+        self.probe(txn).map(|s| &self.slots[s as usize])
+    }
+
+    fn slot_mut_or_insert(&mut self, txn: TxnId) -> &mut ChainSlot {
+        if let Some(s) = self.probe(txn) {
+            return &mut self.slots[s as usize];
+        }
+        if (self.used + 1) * 8 >= self.ctrl.len() * 7 {
+            self.grow();
+        }
+        let s = match self.free.pop() {
+            Some(s) => {
+                let slot = &mut self.slots[s as usize];
+                slot.txn = txn;
+                slot.len = 0;
+                slot.spill.clear();
+                s
+            }
+            None => {
+                self.slots.push(ChainSlot {
+                    txn,
+                    len: 0,
+                    inline: [EMPTY_CHAIN_ENTRY; CHAIN_INLINE],
+                    spill: Vec::new(),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let mask = self.ctrl.len() - 1;
+        let mut i = self.start(txn.0);
+        let mut first_tomb = None;
+        loop {
+            match self.ctrl[i] {
+                CTRL_EMPTY => {
+                    let at = first_tomb.unwrap_or(i);
+                    if self.ctrl[at] == CTRL_EMPTY {
+                        self.used += 1;
+                    }
+                    self.ctrl[at] = CTRL_FULL;
+                    self.keys[at] = txn.0;
+                    self.slot_of[at] = s;
+                    self.live += 1;
+                    return &mut self.slots[s as usize];
+                }
+                CTRL_TOMB => {
+                    first_tomb.get_or_insert(i);
+                    i = (i + 1) & mask;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn unlink(&mut self, txn: TxnId) {
+        let mask = self.ctrl.len() - 1;
+        let mut i = self.start(txn.0);
+        loop {
+            match self.ctrl[i] {
+                CTRL_EMPTY => return,
+                CTRL_FULL if self.keys[i] == txn.0 => {
+                    let s = self.slot_of[i];
+                    self.ctrl[i] = CTRL_TOMB;
+                    self.live -= 1;
+                    self.slots[s as usize].len = 0;
+                    self.slots[s as usize].spill.clear();
+                    self.free.push(s);
+                    return;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.ctrl.len() * 2;
+        let old_ctrl = std::mem::replace(&mut self.ctrl, vec![CTRL_EMPTY; cap]);
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; cap]);
+        let old_slot_of = std::mem::replace(&mut self.slot_of, vec![0; cap]);
+        self.used = 0;
+        for i in 0..old_ctrl.len() {
+            if old_ctrl[i] == CTRL_FULL {
+                let mask = cap - 1;
+                let mut j = self.start(old_keys[i]);
+                while self.ctrl[j] != CTRL_EMPTY {
+                    j = (j + 1) & mask;
+                }
+                self.ctrl[j] = CTRL_FULL;
+                self.keys[j] = old_keys[i];
+                self.slot_of[j] = old_slot_of[i];
+                self.used += 1;
+            }
+        }
+    }
+
+    /// The granted mode of `name` in `txn`'s chain, if held.
+    fn mode_of(&self, txn: TxnId, name: u64) -> Option<LockMode> {
+        let slot = self.slot(txn)?;
+        slot.find(name).map(|i| slot.entry(i).mode)
+    }
+
+    /// Record a grant (or strengthen an existing one to `mode`).
+    fn grant(&mut self, txn: TxnId, name: u64, mode: LockMode) {
+        let slot = self.slot_mut_or_insert(txn);
+        match slot.find(name) {
+            Some(i) => {
+                let e = slot.entry_mut(i);
+                e.mode = e.mode.max(mode);
+            }
+            None => slot.push(ChainEntry { name, mode, acquired_at: NO_TIME }),
+        }
+    }
+
+    /// Record the acquire timestamp if none was recorded yet (matches the
+    /// old `acquired_at.entry(..).or_insert(now)`).
+    fn note_acquired(&mut self, txn: TxnId, name: u64, now: u64) {
+        if let Some(s) = self.probe(txn) {
+            let slot = &mut self.slots[s as usize];
+            if let Some(i) = slot.find(name) {
+                let e = slot.entry_mut(i);
+                if e.acquired_at == NO_TIME {
+                    e.acquired_at = now;
+                }
+            }
+        }
+    }
+
+    /// Remove `name` from `txn`'s chain, freeing the slot when it empties.
+    /// Returns the recorded acquire timestamp, if any.
+    fn remove_name(&mut self, txn: TxnId, name: u64) -> Option<u64> {
+        let s = self.probe(txn)?;
+        let slot = &mut self.slots[s as usize];
+        let i = slot.find(name)?;
+        let e = slot.remove(i);
+        if slot.len == 0 {
+            self.unlink(txn);
+        }
+        (e.acquired_at != NO_TIME).then_some(e.acquired_at)
+    }
+
+    /// Drop `txn`'s entire chain (crashed transaction).
+    fn drop_txn(&mut self, txn: TxnId) {
+        if self.probe(txn).is_some() {
+            self.unlink(txn);
+        }
+    }
+
+    /// Held lock names in acquisition order.
+    fn names_of(&self, txn: TxnId) -> Vec<u64> {
+        match self.slot(txn) {
+            Some(slot) => (0..slot.len as usize).map(|i| slot.entry(i).name).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn txn_count(&self) -> usize {
+        self.live
+    }
+
+    /// (allocated slots, live chains) — slot-arena footprint, for
+    /// bounded-growth regression tests.
+    fn footprint(&self) -> (usize, usize) {
+        (self.slots.len(), self.live)
+    }
 }
 
 /// The shared-memory lock manager (*SM locking*).
 #[derive(Clone, Debug)]
 pub struct LockManager {
     table: LockTable,
-    /// Per-transaction chains of held lock names. Volatile derived state:
-    /// reconstructible from the LCBs themselves (each entry carries its
-    /// transaction id), exactly as §4.2.2 prescribes for pointer-based
-    /// structures: *"first restore the data that the pointers are derived
-    /// from, then reconstruct the pointers"*.
-    chains: BTreeMap<TxnId, Vec<u64>>,
+    /// Per-transaction chains of held lock names (+ granted mode and
+    /// acquire timestamp). Volatile derived state: reconstructible from
+    /// the LCBs themselves (each entry carries its transaction id),
+    /// exactly as §4.2.2 prescribes for pointer-based structures: *"first
+    /// restore the data that the pointers are derived from, then
+    /// reconstruct the pointers"*.
+    chains: TxnChains,
     stats: LockStats,
-    /// Simulated acquire timestamps for currently-held locks, kept only
-    /// while observability is enabled, to compute hold time on release.
-    /// Purely observational — never consulted by the locking protocol.
-    acquired_at: BTreeMap<(TxnId, u64), u64>,
 }
 
 impl LockManager {
     /// Wrap a created [`LockTable`].
     pub fn new(table: LockTable) -> Self {
-        LockManager {
-            table,
-            chains: BTreeMap::new(),
-            stats: LockStats::default(),
-            acquired_at: BTreeMap::new(),
-        }
+        LockManager { table, chains: TxnChains::new(), stats: LockStats::default() }
     }
 
     /// The underlying table.
@@ -129,14 +433,28 @@ impl LockManager {
         &self.stats
     }
 
-    /// Locks currently held by `txn` (from the volatile chain).
-    pub fn held_locks(&self, txn: TxnId) -> &[u64] {
-        self.chains.get(&txn).map(|v| &v[..]).unwrap_or(&[])
+    /// Locks currently held by `txn` (from the volatile chain), in
+    /// acquisition order.
+    pub fn held_locks(&self, txn: TxnId) -> Vec<u64> {
+        self.chains.names_of(txn)
+    }
+
+    /// The mode `txn` holds `name` in, if any (volatile chain lookup; no
+    /// simulated memory traffic).
+    pub fn held_mode(&self, txn: TxnId, name: u64) -> Option<LockMode> {
+        self.chains.mode_of(txn, name)
     }
 
     /// Number of transactions with at least one held lock.
     pub fn transactions_with_locks(&self) -> usize {
-        self.chains.len()
+        self.chains.txn_count()
+    }
+
+    /// Chain-arena footprint as (allocated slots, live chains): slots are
+    /// recycled, so allocated slots track the *peak* concurrent
+    /// lock-holding transactions, not the total ever run.
+    pub fn chain_footprint(&self) -> (usize, usize) {
+        self.chains.footprint()
     }
 
     /// Acquire `name` in `mode` on behalf of `txn`, executing on its home
@@ -170,6 +488,18 @@ impl LockManager {
         acting: NodeId,
     ) -> Result<LockOutcome, LockError> {
         assert!(name != 0, "lock name 0 is reserved");
+        // Fast lane: strict 2PL means a granted lock stays granted until
+        // this same transaction releases it, so the volatile chain alone
+        // proves a sufficient re-acquire. No LCB read, no line lock, no
+        // log record (the original grant is logged already) — the exact
+        // semantics of the slow path's AlreadyHeld branch.
+        if let Some(held) = self.chains.mode_of(txn, name) {
+            if held >= mode {
+                self.stats.fast_hits += 1;
+                m.obs().metrics.inc(FAST_HITS_COUNTER);
+                return Ok(LockOutcome::AlreadyHeld);
+            }
+        }
         let node = acting;
         // Locate or make room (may allocate an early-committed overflow
         // line).
@@ -204,6 +534,7 @@ impl LockManager {
                     );
                     lcb.holders[0].mode = mode;
                     self.table.write_lcb(m, node, line, slot, &lcb)?;
+                    self.chains.grant(txn, name, mode);
                     self.stats.acquires += 1;
                     self.stats.exclusive_acquires += 1;
                     return Ok(LockOutcome::Granted);
@@ -231,7 +562,7 @@ impl LockManager {
                 );
                 lcb.holders.push(LockEntry { txn, mode });
                 self.table.write_lcb(m, node, line, slot, &lcb)?;
-                self.chains.entry(txn).or_default().push(name);
+                self.chains.grant(txn, name, mode);
                 self.stats.acquires += 1;
                 match mode {
                     LockMode::Shared => self.stats.shared_acquires += 1,
@@ -257,7 +588,7 @@ impl LockManager {
             let now = m.now(node);
             match &result {
                 Ok(LockOutcome::Granted) => {
-                    self.acquired_at.entry((txn, name)).or_insert(now);
+                    self.chains.note_acquired(txn, name, now);
                     m.obs().bus.emit(now, || ObsEvent::LockAcquire {
                         node: node.0,
                         txn: txn.0,
@@ -282,7 +613,8 @@ impl LockManager {
     /// is full. Overflow allocation is a structural change: it is logged
     /// and *forced* (early commit, §4.2) before the new space is linked,
     /// so no transaction can become dependent on volatile structural
-    /// state.
+    /// state. The force is always physical — even under coalescing, an
+    /// early commit by definition cannot wait in a pending window.
     fn ensure_empty_slot(
         &mut self,
         m: &mut Machine,
@@ -332,10 +664,10 @@ impl LockManager {
         }
         m.getline(node, line)?;
         let result = (|| {
-            logs.append(node, LogPayload::LockRelease { txn, name });
+            logs.append(node, LogPayload::LockRelease { txn, name, wait_only: false });
             lcb.remove(txn);
             let promoted = lcb.promote_waiters();
-            for p in &promoted {
+            for p in promoted.iter() {
                 logs.append(
                     p.txn.node(),
                     LogPayload::LockAcquire {
@@ -345,14 +677,13 @@ impl LockManager {
                         queued: false,
                     },
                 );
-                // A promoted *upgrade* already has the name in its chain.
-                let chain = self.chains.entry(p.txn).or_default();
-                if !chain.contains(&name) {
-                    chain.push(name);
-                }
+                // A promoted *upgrade* strengthens the existing chain
+                // entry; a fresh grant appends one.
+                self.chains.grant(p.txn, name, p.mode);
             }
             if lcb.is_empty() {
                 self.table.clear_lcb(m, node, line, slot)?;
+                self.table.forget_placement(name);
             } else {
                 self.table.write_lcb(m, node, line, slot, &lcb)?;
             }
@@ -361,14 +692,11 @@ impl LockManager {
             Ok(promoted)
         })();
         m.releaseline(node, line)?;
+        let acquired_at = self.chains.remove_name(txn, name);
         if m.obs().bus.is_enabled() || m.obs().metrics.is_enabled() {
             let now = m.now(node);
             if let Ok(promoted) = &result {
-                let held = self
-                    .acquired_at
-                    .remove(&(txn, name))
-                    .map(|t0| now.saturating_sub(t0))
-                    .unwrap_or(0);
+                let held = acquired_at.map(|t0| now.saturating_sub(t0)).unwrap_or(0);
                 m.obs().metrics.observe(HOLD_CYCLES_HISTOGRAM, held);
                 m.obs().bus.emit(now, || ObsEvent::LockRelease {
                     node: node.0,
@@ -376,8 +704,8 @@ impl LockManager {
                     name,
                     held_cycles: held,
                 });
-                for p in promoted {
-                    self.acquired_at.entry((p.txn, name)).or_insert(now);
+                for p in promoted.iter() {
+                    self.chains.note_acquired(p.txn, name, now);
                     m.obs().bus.emit(now, || ObsEvent::LockAcquire {
                         node: p.txn.node().0,
                         txn: p.txn.0,
@@ -385,14 +713,6 @@ impl LockManager {
                         exclusive: p.mode == LockMode::Exclusive,
                     });
                 }
-            }
-        } else {
-            self.acquired_at.remove(&(txn, name));
-        }
-        if let Some(chain) = self.chains.get_mut(&txn) {
-            chain.retain(|n| *n != name);
-            if chain.is_empty() {
-                self.chains.remove(&txn);
             }
         }
         result
@@ -418,10 +738,10 @@ impl LockManager {
         }
         m.getline(node, line)?;
         let result = (|| {
-            logs.append(node, LogPayload::LockRelease { txn, name });
+            logs.append(node, LogPayload::LockRelease { txn, name, wait_only: true });
             lcb.waiters.retain(|w| w.txn != txn);
             let promoted = lcb.promote_waiters();
-            for p in &promoted {
+            for p in promoted.iter() {
                 logs.append(
                     p.txn.node(),
                     LogPayload::LockAcquire {
@@ -431,14 +751,12 @@ impl LockManager {
                         queued: false,
                     },
                 );
-                let chain = self.chains.entry(p.txn).or_default();
-                if !chain.contains(&name) {
-                    chain.push(name);
-                }
+                self.chains.grant(p.txn, name, p.mode);
             }
             self.stats.promotions += promoted.len() as u64;
             if lcb.is_empty() {
                 self.table.clear_lcb(m, node, line, slot)?;
+                self.table.forget_placement(name);
             } else {
                 self.table.write_lcb(m, node, line, slot, &lcb)?;
             }
@@ -457,7 +775,7 @@ impl LockManager {
         logs: &mut LogSet,
         txn: TxnId,
     ) -> Result<Vec<(u64, LockEntry)>, LockError> {
-        let names: Vec<u64> = self.held_locks(txn).to_vec();
+        let names: Vec<u64> = self.held_locks(txn);
         let mut promoted = Vec::new();
         for name in names {
             promoted.extend(self.release(m, logs, txn, name)?.into_iter().map(|e| (name, e)));
@@ -469,7 +787,7 @@ impl LockManager {
     /// when the transaction's node crashed (its chain is gone anyway) after
     /// recovery has scrubbed the LCBs.
     pub fn drop_chain(&mut self, txn: TxnId) {
-        self.chains.remove(&txn);
+        self.chains.drop_txn(txn);
     }
 
     /// Current holders of `name` (coherent read by `node`).
@@ -479,7 +797,7 @@ impl LockManager {
         node: NodeId,
         name: u64,
     ) -> Result<Vec<LockEntry>, LockError> {
-        Ok(self.table.find(m, node, name)?.map(|(_, _, l)| l.holders).unwrap_or_default())
+        Ok(self.table.find(m, node, name)?.map(|(_, _, l)| l.holders.to_vec()).unwrap_or_default())
     }
 
     /// Current waiters on `name`.
@@ -489,21 +807,30 @@ impl LockManager {
         node: NodeId,
         name: u64,
     ) -> Result<Vec<LockEntry>, LockError> {
-        Ok(self.table.find(m, node, name)?.map(|(_, _, l)| l.waiters).unwrap_or_default())
+        Ok(self.table.find(m, node, name)?.map(|(_, _, l)| l.waiters.to_vec()).unwrap_or_default())
     }
 
     pub(crate) fn table_mut(&mut self) -> &mut LockTable {
         &mut self.table
     }
 
-    /// Drop observability acquire-timestamps for transactions on crashed
-    /// nodes (they will never release).
-    pub(crate) fn drop_acquire_times(&mut self, crashed: &std::collections::BTreeSet<NodeId>) {
-        self.acquired_at.retain(|(txn, _), _| !crashed.contains(&txn.node()));
-    }
-
-    pub(crate) fn chains_mut(&mut self) -> &mut BTreeMap<TxnId, Vec<u64>> {
-        &mut self.chains
+    /// Replace every volatile chain with `entries` (recovery phase 3:
+    /// chains rebuilt from the reconstructed LCBs, in table order).
+    /// Acquire timestamps of grants that survive across the rebuild are
+    /// preserved for the hold-time histogram.
+    pub(crate) fn rebuild_chains(&mut self, entries: &[(TxnId, u64, LockMode)]) {
+        let old = std::mem::replace(&mut self.chains, TxnChains::new());
+        for &(txn, name, mode) in entries {
+            self.chains.grant(txn, name, mode);
+            if let Some(slot) = old.slot(txn) {
+                if let Some(i) = slot.find(name) {
+                    let at = slot.entry(i).acquired_at;
+                    if at != NO_TIME {
+                        self.chains.note_acquired(txn, name, at);
+                    }
+                }
+            }
+        }
     }
 
     pub(crate) fn stats_mut(&mut self) -> &mut LockStats {
@@ -603,6 +930,25 @@ mod tests {
             mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Exclusive).unwrap(),
             LockOutcome::AlreadyHeld
         );
+        assert_eq!(mgr.stats().fast_hits, 2, "both re-acquires served from the chain");
+    }
+
+    #[test]
+    fn fast_lane_adds_no_log_records_or_traffic() {
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(0, 1);
+        mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Exclusive).unwrap();
+        let appends = logs.log(N0).stats().appends;
+        let reads = m.stats().reads;
+        for _ in 0..10 {
+            assert_eq!(
+                mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Shared).unwrap(),
+                LockOutcome::AlreadyHeld
+            );
+        }
+        assert_eq!(logs.log(N0).stats().appends, appends, "no new log records");
+        assert_eq!(m.stats().reads, reads, "no coherent reads");
+        assert_eq!(mgr.stats().fast_hits, 10);
     }
 
     #[test]
@@ -616,6 +962,13 @@ mod tests {
         );
         let holders = mgr.holders_of(&mut m, N0, 7).unwrap();
         assert_eq!(holders[0].mode, LockMode::Exclusive);
+        // The chain tracked the strengthened grant: an X re-acquire is now
+        // a fast hit, not a queued upgrade.
+        assert_eq!(
+            mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Exclusive).unwrap(),
+            LockOutcome::AlreadyHeld
+        );
+        assert_eq!(mgr.stats().fast_hits, 1);
     }
 
     #[test]
@@ -715,11 +1068,31 @@ mod tests {
         }
         assert!(mgr.stats().overflow_allocs > 0, "expected at least one overflow");
         assert_eq!(logs.log(N0).stats().structural_records, mgr.stats().overflow_allocs);
-        // Each structural record was forced (early commit).
+        // Each structural record was forced (early commit) — physical
+        // forces, not merely requests.
+        assert_eq!(logs.log(N0).stats().forces, mgr.stats().overflow_allocs);
         let stable = logs.log(N0).stable_records();
         let forced_structural =
             stable.iter().filter(|r| matches!(r.payload, LogPayload::Structural { .. })).count()
                 as u64;
         assert_eq!(forced_structural, mgr.stats().overflow_allocs);
+    }
+
+    #[test]
+    fn chain_slots_recycle_across_transactions() {
+        let (mut m, mut logs, mut mgr) = setup();
+        // Sequential transactions each hold a few locks then release all:
+        // the arena must stay at the concurrency footprint (1), not grow
+        // with transaction count.
+        for seq in 1..=200u64 {
+            let tx = t(0, seq);
+            for name in [3u64, 4, 5] {
+                mgr.acquire(&mut m, &mut logs, tx, name, LockMode::Exclusive).unwrap();
+            }
+            mgr.release_all(&mut m, &mut logs, tx).unwrap();
+        }
+        let (slots, live) = mgr.chain_footprint();
+        assert_eq!(live, 0);
+        assert_eq!(slots, 1, "one recycled slot serves every sequential transaction");
     }
 }

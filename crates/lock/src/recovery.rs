@@ -67,9 +67,15 @@ fn replay_node_lock_log(
                     lcb.holders.push(LockEntry { txn: *txn, mode });
                 }
             }
-            LogPayload::LockRelease { txn, name } if active.contains(txn) => {
+            LogPayload::LockRelease { txn, name, wait_only } if active.contains(txn) => {
                 if let Some(lcb) = desired.get_mut(name) {
-                    lcb.remove(*txn);
+                    if *wait_only {
+                        // A withdrawn queued request (no-wait cancel): the
+                        // transaction's grant, if it holds one, stands.
+                        lcb.waiters.retain(|w| w.txn != *txn);
+                    } else {
+                        lcb.remove(*txn);
+                    }
                     if lcb.is_empty() {
                         desired.remove(name);
                     }
@@ -100,9 +106,10 @@ impl LockManager {
         let crashed: BTreeSet<NodeId> = crashed.iter().copied().collect();
         let line_size = m.line_size();
 
-        // Observability bookkeeping: crashed transactions will never
-        // release, so drop their hold-time entries.
-        self.drop_acquire_times(&crashed);
+        // The placement hint cache may point at lines that died with the
+        // crashed nodes or at slots recovery will repack; drop it wholesale
+        // (it re-warms on first use).
+        self.table().invalidate_placement();
 
         // Phase 0: restore the overflow-chain skeleton from structural log
         // records. Structural changes were committed early (forced), so
@@ -225,6 +232,20 @@ impl LockManager {
                             changed = true;
                         }
                     }
+                    let promoted = existing.promote_waiters();
+                    for p in &promoted {
+                        logs.append(
+                            p.txn.node(),
+                            LogPayload::LockAcquire {
+                                txn: p.txn,
+                                name: *name,
+                                mode: p.mode.into(),
+                                queued: false,
+                            },
+                        );
+                        changed = true;
+                    }
+                    stats.promotions += promoted.len() as u64;
                     if changed {
                         self.table().write_lcb(m, recovery_node, line, slot, &existing)?;
                     }
@@ -268,29 +289,48 @@ impl LockManager {
                                 (new_line, 0)
                             }
                         };
-                    self.table().write_lcb(m, recovery_node, line, slot, want)?;
-                    stats.lcbs_reconstructed += 1;
+                    // The reconstructed LCB may be headed by waiters whose
+                    // blocker died with the crash (the grant lived only in
+                    // the destroyed line): promote them now, exactly as
+                    // phase 1 does for surviving lines.
+                    let mut rebuilt = want.clone();
                     stats.survivor_entries_restored +=
-                        (want.holders.len() + want.waiters.len()) as u64;
+                        (rebuilt.holders.len() + rebuilt.waiters.len()) as u64;
+                    let promoted = rebuilt.promote_waiters();
+                    for p in &promoted {
+                        logs.append(
+                            p.txn.node(),
+                            LogPayload::LockAcquire {
+                                txn: p.txn,
+                                name: *name,
+                                mode: p.mode.into(),
+                                queued: false,
+                            },
+                        );
+                    }
+                    stats.promotions += promoted.len() as u64;
+                    self.table().write_lcb(m, recovery_node, line, slot, &rebuilt)?;
+                    stats.lcbs_reconstructed += 1;
                 }
             }
         }
 
         // Phase 3: rebuild the per-transaction chains from the restored
         // LCB data (pointers reconstructed from the data they derive from).
-        self.chains_mut().clear();
+        // Grant modes come straight from the reconstructed holder entries,
+        // which keeps the re-acquire fast lane truthful after recovery.
         let lines = self.table().all_lines();
-        let mut new_chains: BTreeMap<TxnId, Vec<u64>> = BTreeMap::new();
+        let mut grants: Vec<(TxnId, u64, LockMode)> = Vec::new();
         for line in lines {
             if let Some(img) = m.peek(line).map(|d| d.to_vec()) {
                 for (_, lcb) in self.table().decode_line(&img) {
                     for e in &lcb.holders {
-                        new_chains.entry(e.txn).or_default().push(lcb.name);
+                        grants.push((e.txn, lcb.name, e.mode));
                     }
                 }
             }
         }
-        *self.chains_mut() = new_chains;
+        self.rebuild_chains(&grants);
         self.stats_mut().promotions += stats.promotions;
         Ok(stats)
     }

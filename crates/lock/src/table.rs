@@ -5,9 +5,18 @@
 //! [`LcbGeometry::lcbs_per_line`] LCB slots plus an overflow pointer;
 //! overflow lines are allocated dynamically — a *structural* change that
 //! the manager commits early (§4.2).
+//!
+//! The table keeps a volatile, open-addressed **placement cache**
+//! (name → `(line, slot)`) so the dominant find path costs one coherent
+//! line read instead of a chain walk (overflow-pointer read + per-line
+//! slot scan). The cache is a hint, never an authority: every hit is
+//! verified against the decoded slot under the coherent read, stale
+//! entries self-heal by falling back to the chain walk, and recovery
+//! invalidates the whole cache before reconstructing lost lines.
 
 use crate::lcb::{self, Lcb, LcbGeometry};
 use smdb_sim::{LineId, Machine, MemError, NodeId};
+use std::cell::RefCell;
 
 /// Hash a lock name to a bucket index (splitmix64 finalizer: cheap and
 /// well-distributed).
@@ -16,6 +25,134 @@ fn bucket_hash(name: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Largest slot any supported geometry encodes; bounds the stack buffers
+/// used by the allocation-free [`LockTable::write_lcb`] path.
+const MAX_SLOT_SIZE: usize = 128;
+
+const CTRL_EMPTY: u8 = 0;
+const CTRL_FULL: u8 = 1;
+const CTRL_TOMB: u8 = 2;
+
+/// Open-addressed name → `(line, slot)` placement hints (same flat-slot
+/// pattern as the sim's `LineIndex`: Fibonacci probing, tombstones,
+/// doubling growth at 7/8 load). Volatile host-side bookkeeping — a real
+/// implementation would keep this in node-local memory; the simulation
+/// charges the coherent verification read on every use.
+#[derive(Clone, Debug)]
+struct PlacementCache {
+    ctrl: Vec<u8>,
+    names: Vec<u64>,
+    lines: Vec<u64>,
+    slots: Vec<u8>,
+    len: usize,
+    used: usize,
+}
+
+impl PlacementCache {
+    fn new() -> Self {
+        let cap = 64;
+        PlacementCache {
+            ctrl: vec![CTRL_EMPTY; cap],
+            names: vec![0; cap],
+            lines: vec![0; cap],
+            slots: vec![0; cap],
+            len: 0,
+            used: 0,
+        }
+    }
+
+    fn start(&self, name: u64) -> usize {
+        let h = (name.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32;
+        h as usize & (self.ctrl.len() - 1)
+    }
+
+    fn get(&self, name: u64) -> Option<(LineId, usize)> {
+        let mask = self.ctrl.len() - 1;
+        let mut i = self.start(name);
+        loop {
+            match self.ctrl[i] {
+                CTRL_EMPTY => return None,
+                CTRL_FULL if self.names[i] == name => {
+                    return Some((LineId(self.lines[i]), self.slots[i] as usize));
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn insert(&mut self, name: u64, line: LineId, slot: usize) {
+        if (self.used + 1) * 8 >= self.ctrl.len() * 7 {
+            self.grow();
+        }
+        let mask = self.ctrl.len() - 1;
+        let mut i = self.start(name);
+        let mut first_tomb = None;
+        loop {
+            match self.ctrl[i] {
+                CTRL_EMPTY => {
+                    let at = first_tomb.unwrap_or(i);
+                    if self.ctrl[at] == CTRL_EMPTY {
+                        self.used += 1;
+                    }
+                    self.ctrl[at] = CTRL_FULL;
+                    self.names[at] = name;
+                    self.lines[at] = line.0;
+                    self.slots[at] = slot as u8;
+                    self.len += 1;
+                    return;
+                }
+                CTRL_FULL if self.names[i] == name => {
+                    self.lines[i] = line.0;
+                    self.slots[i] = slot as u8;
+                    return;
+                }
+                CTRL_TOMB => {
+                    first_tomb.get_or_insert(i);
+                    i = (i + 1) & mask;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn remove(&mut self, name: u64) {
+        let mask = self.ctrl.len() - 1;
+        let mut i = self.start(name);
+        loop {
+            match self.ctrl[i] {
+                CTRL_EMPTY => return,
+                CTRL_FULL if self.names[i] == name => {
+                    self.ctrl[i] = CTRL_TOMB;
+                    self.len -= 1;
+                    return;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.ctrl.fill(CTRL_EMPTY);
+        self.len = 0;
+        self.used = 0;
+    }
+
+    fn grow(&mut self) {
+        let cap = self.ctrl.len() * 2;
+        let old_ctrl = std::mem::replace(&mut self.ctrl, vec![CTRL_EMPTY; cap]);
+        let old_names = std::mem::replace(&mut self.names, vec![0; cap]);
+        let old_lines = std::mem::replace(&mut self.lines, vec![0; cap]);
+        let old_slots = std::mem::replace(&mut self.slots, vec![0; cap]);
+        self.len = 0;
+        self.used = 0;
+        for i in 0..old_ctrl.len() {
+            if old_ctrl[i] == CTRL_FULL {
+                self.insert(old_names[i], LineId(old_lines[i]), old_slots[i] as usize);
+            }
+        }
+    }
 }
 
 /// The lock table: a fixed array of bucket lines in shared memory, plus
@@ -31,6 +168,9 @@ pub struct LockTable {
     /// log record, so this list is reconstructible from the stable logs;
     /// we keep the materialized copy as volatile bookkeeping.
     overflow_lines: Vec<(LineId, LineId)>,
+    /// Volatile placement hints (see module docs). Interior mutability so
+    /// read paths (`find`) can maintain it.
+    placement: RefCell<PlacementCache>,
 }
 
 impl LockTable {
@@ -46,6 +186,7 @@ impl LockTable {
     ) -> Result<LockTable, MemError> {
         assert!(n_buckets > 0, "lock table needs at least one bucket");
         assert!(geom.fits(m.line_size()), "LCB geometry does not fit the cache line size");
+        assert!(geom.slot_size() <= MAX_SLOT_SIZE, "slot exceeds the encode stack buffer");
         let zero = vec![0u8; m.line_size()];
         for i in 0..n_buckets {
             m.create_line_at(node, LineId(base + i as u64), &zero)?;
@@ -56,6 +197,7 @@ impl LockTable {
             geom,
             line_size: m.line_size(),
             overflow_lines: Vec::new(),
+            placement: RefCell::new(PlacementCache::new()),
         })
     }
 
@@ -88,6 +230,23 @@ impl LockTable {
         v
     }
 
+    /// Drop every placement hint. Recovery calls this before it scrubs and
+    /// reconstructs LCB lines: reconstruction repacks slots, so all prior
+    /// placements are suspect.
+    pub fn invalidate_placement(&self) {
+        self.placement.borrow_mut().clear();
+    }
+
+    /// Drop the placement hint for one name (slot reclaimed).
+    pub fn forget_placement(&self, name: u64) {
+        self.placement.borrow_mut().remove(name);
+    }
+
+    /// Number of live placement hints (bounded-growth regression checks).
+    pub fn placement_len(&self) -> usize {
+        self.placement.borrow().len
+    }
+
     /// The overflow line linked from `line`, if any, according to the
     /// coherent contents read by `node`.
     pub fn read_overflow_of(
@@ -118,14 +277,36 @@ impl LockTable {
         Ok(chain)
     }
 
-    /// Find the slot holding `name` in the chain: returns
-    /// `(line, slot index, decoded LCB)`.
+    /// Find the slot holding `name`: returns `(line, slot index, decoded
+    /// LCB)`.
+    ///
+    /// Fast path: one verified coherent read at the cached placement.
+    /// Slow path (cache miss or stale hint): the chain walk, which then
+    /// refreshes the cache.
     pub fn find(
         &self,
         m: &mut Machine,
         node: NodeId,
         name: u64,
     ) -> Result<Option<(LineId, usize, Lcb)>, MemError> {
+        let hint = self.placement.borrow().get(name);
+        if let Some((line, slot)) = hint {
+            let off = self.geom.slot_offset(slot);
+            match m.read_line_with(node, line, |img| {
+                lcb::decode_slot(&self.geom, &img[off..off + self.geom.slot_size()])
+            }) {
+                Ok(Some(l)) if l.name == name => return Ok(Some((line, slot, l))),
+                // Slot empty, reused by another name, or the line is
+                // stalled/lost: the hint is stale — heal and fall back to
+                // the authoritative walk (which re-raises any real error).
+                Ok(_)
+                | Err(MemError::LineLost { .. })
+                | Err(MemError::Stalled { .. })
+                | Err(MemError::NotResident { .. }) => {}
+                Err(e) => return Err(e),
+            }
+            self.placement.borrow_mut().remove(name);
+        }
         for line in self.chain_for(m, node, name)? {
             // Scan the line's slots inside the coherent read — no image
             // copy is made.
@@ -143,6 +324,7 @@ impl LockTable {
                 None
             })?;
             if let Some((slot, l)) = hit {
+                self.placement.borrow_mut().insert(name, line, slot);
                 return Ok(Some((line, slot, l)));
             }
         }
@@ -173,6 +355,7 @@ impl LockTable {
     }
 
     /// Write `lcb` into `(line, slot)` via a coherent write by `node`.
+    /// Allocation-free: encodes into a stack buffer.
     pub fn write_lcb(
         &self,
         m: &mut Machine,
@@ -181,9 +364,12 @@ impl LockTable {
         slot: usize,
         lcb_val: &Lcb,
     ) -> Result<(), MemError> {
-        let mut buf = vec![0u8; self.geom.slot_size()];
-        lcb::encode_slot(&self.geom, lcb_val, &mut buf);
-        m.write(node, line, self.geom.slot_offset(slot), &buf)
+        let mut buf = [0u8; MAX_SLOT_SIZE];
+        let buf = &mut buf[..self.geom.slot_size()];
+        lcb::encode_slot(&self.geom, lcb_val, buf);
+        m.write(node, line, self.geom.slot_offset(slot), buf)?;
+        self.placement.borrow_mut().insert(lcb_val.name, line, slot);
+        Ok(())
     }
 
     /// Clear `(line, slot)` (reclaim the LCB slot).
@@ -194,8 +380,8 @@ impl LockTable {
         line: LineId,
         slot: usize,
     ) -> Result<(), MemError> {
-        let buf = vec![0u8; self.geom.slot_size()];
-        m.write(node, line, self.geom.slot_offset(slot), &buf)
+        let buf = [0u8; MAX_SLOT_SIZE];
+        m.write(node, line, self.geom.slot_offset(slot), &buf[..self.geom.slot_size()])
     }
 
     /// Allocate and link an overflow line at the end of the chain whose
@@ -288,7 +474,7 @@ mod tests {
         let (line, slot) = t.find_empty_slot(&mut m, N0, 42).unwrap().unwrap();
         t.write_lcb(&mut m, N0, line, slot, &Lcb::new(42)).unwrap();
         t.clear_lcb(&mut m, N0, line, slot).unwrap();
-        assert_eq!(t.find(&mut m, N0, 42).unwrap(), None);
+        assert_eq!(t.find(&mut m, N0, 42).unwrap(), None, "stale hint self-heals");
     }
 
     #[test]
@@ -321,5 +507,49 @@ mod tests {
         let of1 = t.alloc_overflow(&mut m, N0, bucket).unwrap();
         let of2 = t.alloc_overflow(&mut m, N0, of1).unwrap();
         assert_eq!(t.chain_for(&mut m, N0, name).unwrap(), vec![bucket, of1, of2]);
+    }
+
+    #[test]
+    fn placement_cache_hits_verify_and_heal() {
+        let (mut m, t) = setup();
+        let name = 42u64;
+        let (line, slot) = t.find_empty_slot(&mut m, N0, name).unwrap().unwrap();
+        t.write_lcb(&mut m, N0, line, slot, &Lcb::new(name)).unwrap();
+        assert_eq!(t.placement_len(), 1);
+        // Reuse the slot for a different name behind the cache's back.
+        t.clear_lcb(&mut m, N0, line, slot).unwrap();
+        let other = 1042u64;
+        t.write_lcb(&mut m, N0, line, slot, &Lcb::new(other)).unwrap();
+        assert_eq!(t.find(&mut m, N0, name).unwrap(), None, "mismatched hint healed");
+        let hit = t.find(&mut m, N0, other).unwrap();
+        assert!(hit.is_some());
+        t.invalidate_placement();
+        assert_eq!(t.placement_len(), 0);
+        assert!(t.find(&mut m, N0, other).unwrap().is_some(), "walk refills the cache");
+        assert_eq!(t.placement_len(), 1);
+    }
+
+    #[test]
+    fn placement_cache_survives_many_names() {
+        // Grow through several doublings and stay coherent.
+        let mut cache = PlacementCache::new();
+        for i in 1..=500u64 {
+            cache.insert(i, LineId(i + 7), (i % 2) as usize);
+        }
+        for i in 1..=500u64 {
+            assert_eq!(cache.get(i), Some((LineId(i + 7), (i % 2) as usize)));
+        }
+        for i in 1..=250u64 {
+            cache.remove(i);
+        }
+        assert_eq!(cache.len, 250);
+        for i in 1..=250u64 {
+            assert_eq!(cache.get(i), None);
+        }
+        // Tombstones are reused by fresh inserts.
+        for i in 1..=250u64 {
+            cache.insert(i, LineId(i), 0);
+        }
+        assert_eq!(cache.get(17), Some((LineId(17), 0)));
     }
 }

@@ -24,8 +24,12 @@ proptest! {
     ) {
         let geom = if one_per_line { LcbGeometry::one_per_line() } else { LcbGeometry::co_located() };
         let mut lcb = Lcb::new(name);
-        lcb.holders = holders;
-        lcb.waiters = waiters;
+        for h in holders {
+            lcb.holders.push(h);
+        }
+        for w in waiters {
+            lcb.waiters.push(w);
+        }
         let mut buf = vec![0u8; geom.slot_size()];
         encode_slot(&geom, &lcb, &mut buf);
         prop_assert_eq!(decode_slot(&geom, &buf), Some(lcb));

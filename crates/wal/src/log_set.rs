@@ -146,9 +146,40 @@ impl LogSet {
         self.logs.iter().flat_map(|l| l.records().iter())
     }
 
+    /// Enable or disable force coalescing on every node's log.
+    pub fn set_coalescing(&mut self, on: bool) {
+        for l in &mut self.logs {
+            l.set_coalescing(on);
+        }
+    }
+
+    /// Logical durability request for `node`'s log under coalescing: defer
+    /// into the pending-force window instead of forcing physically (see
+    /// [`NodeLog::request_force_to`]). No crash point is visited — nothing
+    /// is written until a later physical force drains the window.
+    pub fn request_force_to(&mut self, node: NodeId, lsn: Lsn) -> bool {
+        self.log_mut(node).request_force_to(lsn)
+    }
+
     /// Total number of physical forces across all logs.
     pub fn total_forces(&self) -> u64 {
         self.logs.iter().map(|l| l.stats().forces).sum()
+    }
+
+    /// Total logical durability requests across all logs (physical forces
+    /// plus coalesced requests).
+    pub fn total_forces_requested(&self) -> u64 {
+        self.logs.iter().map(|l| l.stats().forces_requested).sum()
+    }
+
+    /// Total requests absorbed into pending-force windows across all logs.
+    pub fn total_forces_coalesced(&self) -> u64 {
+        self.logs.iter().map(|l| l.stats().forces_coalesced).sum()
+    }
+
+    /// Total records made stable by forces across all logs.
+    pub fn total_records_forced(&self) -> u64 {
+        self.logs.iter().map(|l| l.stats().records_forced).sum()
     }
 
     /// Total appended records across all logs.

@@ -165,6 +165,11 @@ pub enum LogPayload {
         txn: TxnId,
         /// Lock name.
         name: u64,
+        /// `true` when only a *queued* request was withdrawn (a no-wait
+        /// cancel); the transaction's grant, if any, is unaffected. Replay
+        /// must not confuse the two: a cancelled queued upgrade leaves the
+        /// original grant in force.
+        wait_only: bool,
     },
     /// Sharp checkpoint marker: at this point every dirty page this node
     /// had updated has been flushed and the log forced.
@@ -216,7 +221,7 @@ impl LogPayload {
             LogPayload::IndexRemove { .. } | LogPayload::IndexUnmark { .. } => header + 16,
             LogPayload::Structural { .. } => header + 16,
             LogPayload::LockAcquire { .. } => header + 10,
-            LogPayload::LockRelease { .. } => header + 9,
+            LogPayload::LockRelease { .. } => header + 10,
             _ => header,
         }
     }
@@ -240,9 +245,21 @@ pub struct NodeLogStats {
     pub appends: u64,
     /// Bytes appended (approximate serialized size).
     pub bytes_appended: u64,
-    /// Log forces performed (calls that actually moved the stable
-    /// boundary).
+    /// Physical log forces performed (calls that actually moved the stable
+    /// boundary). The [`CostModel`](smdb_sim) force latency is charged per
+    /// *physical* force; see `forces_requested` for the logical count.
     pub forces: u64,
+    /// Logical durability requests: every force call that found volatile
+    /// records it needed stable. Without coalescing each request is served
+    /// by its own physical force (`forces_requested == forces`); with
+    /// coalescing, requests inside a transaction's LBM window are absorbed
+    /// into the pending-force window and served later by one physical
+    /// force, so `forces_requested >= forces`.
+    pub forces_requested: u64,
+    /// Requests absorbed into the pending-force window instead of being
+    /// served by an immediate physical force
+    /// (`forces_requested == forces + forces_coalesced`).
+    pub forces_coalesced: u64,
     /// Records made stable by forces.
     pub records_forced: u64,
     /// Read-lock acquisition records appended (an IFA-specific overhead —
@@ -374,6 +391,13 @@ pub struct NodeLog {
     base: u64,
     /// LSN up to which (inclusive) the log is on stable storage.
     stable_upto: Lsn,
+    /// Whether logical durability requests may be deferred into the
+    /// pending-force window (see [`NodeLog::request_force_to`]).
+    coalesce: bool,
+    /// High-water mark of deferred force requests. [`Lsn::ZERO`] (or any
+    /// value ≤ `stable_upto`) means the window is empty. Volatile: a crash
+    /// discards it along with the unforced tail it pointed at.
+    pending_force: Lsn,
     /// Incremental per-append index (commits, first records, dirty pages).
     index: LogIndex,
     stats: NodeLogStats,
@@ -387,6 +411,8 @@ impl NodeLog {
             records: Vec::new(),
             base: 0,
             stable_upto: Lsn::ZERO,
+            coalesce: false,
+            pending_force: Lsn::ZERO,
             index: LogIndex::default(),
             stats: NodeLogStats::default(),
         }
@@ -431,16 +457,63 @@ impl NodeLog {
     /// Force the log to stable storage up to `lsn` (inclusive). Returns
     /// `true` if the stable boundary actually moved (i.e. a physical force
     /// was needed); `false` if the prefix was already stable. The caller
-    /// charges the force latency when `true`.
+    /// charges the force latency when `true`. A physical force also drains
+    /// whatever part of the pending-force window it covers — this is how
+    /// coalesced requests piggyback on commit/trigger forces.
     pub fn force_to(&mut self, lsn: Lsn) -> bool {
         let want = lsn.min(self.last_lsn());
         if want <= self.stable_upto {
             return false;
         }
         self.stats.forces += 1;
+        self.stats.forces_requested += 1;
         self.stats.records_forced += want.0 - self.stable_upto.0;
         self.stable_upto = want;
+        if self.pending_force <= self.stable_upto {
+            self.pending_force = Lsn::ZERO;
+        }
         true
+    }
+
+    /// Enable or disable force coalescing for this log.
+    pub fn set_coalescing(&mut self, on: bool) {
+        self.coalesce = on;
+    }
+
+    /// Whether force coalescing is enabled.
+    pub fn coalescing(&self) -> bool {
+        self.coalesce
+    }
+
+    /// Logical durability request under force coalescing: instead of
+    /// forcing physically, record `lsn` in the pending-force window. The
+    /// next physical force on this log (a commit force, an LBM trigger
+    /// force, a checkpoint, or an overflow early commit) covers the whole
+    /// window at the cost of one [`CostModel`](smdb_sim) force charge —
+    /// the group-commit / piggybacked-force mechanism. Returns `true` if
+    /// the request was deferred (there were volatile records to cover);
+    /// `false` if the prefix was already stable and nothing was needed.
+    ///
+    /// Only meaningful with coalescing enabled — eager callers should use
+    /// the physical [`NodeLog::force_to`] (or the fault-checked LogSet
+    /// wrappers) directly so torn-force crash points keep firing.
+    pub fn request_force_to(&mut self, lsn: Lsn) -> bool {
+        debug_assert!(self.coalesce, "request_force_to without coalescing enabled");
+        let want = lsn.min(self.last_lsn());
+        if want <= self.stable_upto {
+            return false;
+        }
+        self.stats.forces_requested += 1;
+        self.stats.forces_coalesced += 1;
+        if want > self.pending_force {
+            self.pending_force = want;
+        }
+        true
+    }
+
+    /// The deferred-force high-water mark, if any request is still pending.
+    pub fn pending_force(&self) -> Option<Lsn> {
+        (self.pending_force > self.stable_upto).then_some(self.pending_force)
     }
 
     /// Force the entire log.
@@ -467,6 +540,7 @@ impl NodeLog {
     pub fn crash(&mut self) {
         let keep = self.stable_upto.0.saturating_sub(self.base) as usize;
         self.records.truncate(keep);
+        self.pending_force = Lsn::ZERO;
         self.index.purge_volatile(self.stable_upto);
     }
 
@@ -583,7 +657,59 @@ mod tests {
         assert!(log.is_stable(Lsn(1)));
         assert!(!log.is_stable(Lsn(2)));
         assert_eq!(log.stats().forces, 1);
+        assert_eq!(log.stats().forces_requested, 1, "eager: one request, one physical force");
+        assert_eq!(log.stats().forces_coalesced, 0);
         assert_eq!(log.stats().records_forced, 1);
+    }
+
+    #[test]
+    fn coalesced_requests_batch_into_one_physical_force() {
+        let mut log = NodeLog::new(n0());
+        log.set_coalescing(true);
+        let l1 = log.append(begin(1));
+        let l2 = log.append(begin(2));
+        assert!(log.request_force_to(l1), "deferred into the window");
+        assert!(log.request_force_to(l2), "window grows, still no physical force");
+        assert_eq!(log.stats().forces, 0);
+        assert_eq!(log.stats().forces_requested, 2);
+        assert_eq!(log.stats().forces_coalesced, 2);
+        assert_eq!(log.pending_force(), Some(l2));
+        // One physical force (e.g. the commit force) drains the window.
+        let l3 = log.append(begin(3));
+        assert!(log.force_to(l3));
+        assert_eq!(log.pending_force(), None);
+        assert_eq!(log.stats().forces, 1);
+        assert_eq!(log.stats().forces_requested, 3);
+        assert_eq!(log.stats().records_forced, 3, "every record still reaches stable store");
+        // Requests below the stable boundary need nothing.
+        assert!(!log.request_force_to(l1));
+        assert_eq!(log.stats().forces_requested, 3);
+    }
+
+    #[test]
+    fn partial_force_keeps_uncovered_window() {
+        let mut log = NodeLog::new(n0());
+        log.set_coalescing(true);
+        log.append(begin(1));
+        let l2 = log.append(begin(2));
+        log.request_force_to(l2);
+        // A torn force that persisted only the first record leaves the
+        // window demanding the rest.
+        assert!(log.force_records(1));
+        assert_eq!(log.pending_force(), Some(l2));
+        assert!(log.force_to(l2));
+        assert_eq!(log.pending_force(), None);
+    }
+
+    #[test]
+    fn crash_discards_pending_window() {
+        let mut log = NodeLog::new(n0());
+        log.set_coalescing(true);
+        let l1 = log.append(begin(1));
+        log.request_force_to(l1);
+        log.crash();
+        assert_eq!(log.pending_force(), None, "deferred requests die with the tail");
+        assert!(log.is_empty());
     }
 
     #[test]

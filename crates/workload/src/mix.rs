@@ -77,6 +77,13 @@ pub struct MixReport {
     /// `after_txns` is at or beyond the transaction count never triggers;
     /// callers that assumed "plan given ⇒ crash exercised" can now tell.
     pub crash_fired: bool,
+    /// Log-force requests made during the run: physical forces plus
+    /// requests absorbed by the coalescing window.
+    pub forces_requested: u64,
+    /// Physical log forces performed (each paid the full force latency).
+    pub physical_forces: u64,
+    /// Log records made durable by those physical forces.
+    pub records_forced: u64,
 }
 
 /// A mid-workload crash schedule: after `after_txns` committed
@@ -240,6 +247,9 @@ pub fn run_mix_with_crash(
     let mut g = Generator::new(db, params);
     let mut report = MixReport::default();
     let clock0 = db.max_clock();
+    let requested0 = db.logs().total_forces_requested();
+    let physical0 = db.logs().total_forces();
+    let records0 = db.logs().total_records_forced();
     let mut recovery = None;
     let nodes = g.nodes;
     for i in 0..g.params.txns {
@@ -286,6 +296,9 @@ pub fn run_mix_with_crash(
         }
     }
     report.sim_cycles = db.max_clock() - clock0;
+    report.forces_requested = db.logs().total_forces_requested() - requested0;
+    report.physical_forces = db.logs().total_forces() - physical0;
+    report.records_forced = db.logs().total_records_forced() - records0;
     Ok((report, recovery))
 }
 

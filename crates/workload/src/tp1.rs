@@ -61,6 +61,13 @@ pub struct Tp1Report {
     pub sim_cycles: u64,
     /// Committed transactions per million simulated cycles.
     pub tps_per_mcycle: f64,
+    /// Log-force requests made during the run: physical forces plus
+    /// requests absorbed by the coalescing window.
+    pub forces_requested: u64,
+    /// Physical log forces performed (each paid the full force latency).
+    pub physical_forces: u64,
+    /// Log records made durable by those physical forces.
+    pub records_forced: u64,
 }
 
 /// Slot layout: branches, then tellers, then accounts fill the rest.
@@ -104,6 +111,9 @@ pub fn run_tp1(db: &mut SmDb, params: Tp1Params) -> Tp1Report {
     let nodes = db.config().nodes as u64;
     let mut report = Tp1Report::default();
     let clock0 = db.max_clock();
+    let requested0 = db.logs().total_forces_requested();
+    let physical0 = db.logs().total_forces();
+    let records0 = db.logs().total_records_forced();
     // History keys live in their own key space, offset by the seed so
     // repeated runs against one engine don't collide.
     let mut next_history_key = (1u64 << 32) + params.seed.wrapping_mul(1 << 20);
@@ -185,6 +195,9 @@ pub fn run_tp1(db: &mut SmDb, params: Tp1Params) -> Tp1Report {
     report.sim_cycles = db.max_clock() - clock0;
     report.tps_per_mcycle =
         report.committed as f64 / (report.sim_cycles as f64 / 1_000_000.0).max(f64::EPSILON);
+    report.forces_requested = db.logs().total_forces_requested() - requested0;
+    report.physical_forces = db.logs().total_forces() - physical0;
+    report.records_forced = db.logs().total_records_forced() - records0;
     report
 }
 

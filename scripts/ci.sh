@@ -42,4 +42,12 @@ if ! scripts/bench.sh; then
     echo "bench gate failed (non-blocking): inspect BENCH_report.json" >&2
 fi
 
+echo "== E8 forward-path report (non-blocking) =="
+# Refresh the forward-path fast-lane CSV (DESIGN §10). The blocking
+# acceptance gate is the e8_forward integration test, already run by the
+# workspace test step above; this render is informational only.
+if ! ./target/release/report --e8fwd --fast --csv > /dev/null; then
+    echo "e8fwd report failed (non-blocking): rerun report --e8fwd" >&2
+fi
+
 echo "CI OK"

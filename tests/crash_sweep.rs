@@ -108,7 +108,10 @@ fn check_oracles(db: &mut SmDb) -> Result<(), String> {
 /// One scenario execution in the given sweep mode: fresh database, seeded
 /// workload, crash driving on fire, oracles, injector snapshot.
 fn run_scenario(protocol: ProtocolKind, seed: u64, mode: &RunMode) -> Result<RunOutput, String> {
-    let mut db = SmDb::new(DbConfig::small(4, protocol));
+    // Coalesced (group) log forces stay on for every sweep scenario: the
+    // sweep is the proof that deferring force requests into the pending
+    // window preserves recovery semantics at every crash point.
+    let mut db = SmDb::new(DbConfig::small(4, protocol).with_coalesced_forces());
     let f = FaultInjector::new();
     db.set_fault_injector(f.clone());
     match mode {

@@ -1,26 +1,33 @@
 //! Offline stand-in for the `bytes` crate: just [`Bytes`], an immutable,
 //! cheaply-cloneable, reference-counted byte container with the subset of
 //! the upstream API this workspace uses.
+//!
+//! Like the upstream crate, a [`Bytes`] value is a *view* (offset + length)
+//! into a shared buffer: [`Bytes::slice`] produces a sub-view without
+//! copying, so several log-record payloads can lend windows of one shared
+//! allocation.
 
 use std::fmt;
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// Immutable shared byte buffer (API-compatible subset of `bytes::Bytes`).
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// Empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes { data: Arc::from(&[][..]), off: 0, len: 0 }
     }
 
     /// Copy `data` into a new shared buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes { data: Arc::from(data), off: 0, len: data.len() }
     }
 
     /// Wrap a static slice (copies under the hood in this stand-in).
@@ -28,38 +35,81 @@ impl Bytes {
         Self::copy_from_slice(data)
     }
 
+    /// A sub-view of this buffer sharing the same allocation (no copy).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end && end <= self.len, "slice {start}..{end} out of range {}", self.len);
+        Bytes { data: Arc::clone(&self.data), off: self.off + start, len: end - start }
+    }
+
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Copy out to a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_ref().to_vec()
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.off..self.off + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state)
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        let len = v.len();
+        Bytes { data: Arc::from(v.into_boxed_slice()), off: 0, len }
     }
 }
 
@@ -72,7 +122,7 @@ impl From<&[u8]> for Bytes {
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_ref() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -98,5 +148,25 @@ mod tests {
         assert_eq!(b.to_vec(), vec![1, 2, 3]);
         let c = b.clone();
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn slices_share_the_allocation() {
+        let b = Bytes::copy_from_slice(&[10, 20, 30, 40, 50]);
+        let head = b.slice(..2);
+        let tail = b.slice(2..);
+        assert_eq!(head.as_ref(), &[10, 20]);
+        assert_eq!(tail.as_ref(), &[30, 40, 50]);
+        assert_eq!(tail.slice(1..2).as_ref(), &[40]);
+        assert_eq!(b.slice(..).len(), 5);
+        assert!(b.slice(5..5).is_empty());
+        // Equality and hashing are view-based, not allocation-based.
+        assert_eq!(head, Bytes::copy_from_slice(&[10, 20]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slice_panics() {
+        Bytes::copy_from_slice(&[1]).slice(0..2);
     }
 }
