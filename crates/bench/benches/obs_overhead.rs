@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use smdb_core::{DbConfig, ProtocolKind, SmDb};
-use smdb_obs::{Event, Obs};
+use smdb_obs::{Event, Obs, Stage};
 use smdb_sim::{LineId, Machine, NodeId, SimConfig, METRIC_BUF_REUSE, METRIC_INDEX_PROBES};
 use std::hint::black_box;
 
@@ -36,6 +36,27 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.bench_function("metrics_inc_buf_reuse_disabled", |b| {
         b.iter(|| obs.metrics.inc(black_box(METRIC_BUF_REUSE)))
     });
+    // The span tracker and availability timeline share the same
+    // contract: while disabled, every entry point the engine calls per
+    // transaction (`begin`/`add`/`end`, `on_begin`/`on_commit`) is one
+    // relaxed load + branch — no map lookup, no lock, no bucket math.
+    group.bench_function("span_begin_disabled", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            obs.spans.begin(black_box(t), 0, t);
+        })
+    });
+    group.bench_function("span_add_disabled", |b| {
+        b.iter(|| obs.spans.add(black_box(7), Stage::Execute, black_box(42)))
+    });
+    group.bench_function("timeline_on_commit_disabled", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            obs.timeline.on_commit(black_box(t), 42, 1);
+        })
+    });
 
     obs.enable(4096);
     group.bench_function("bus_emit_enabled", |b| {
@@ -47,6 +68,22 @@ fn bench_obs_overhead(c: &mut Criterion) {
     });
     group.bench_function("metrics_observe_enabled", |b| {
         b.iter(|| obs.metrics.observe("bench.lat", black_box(42)))
+    });
+    group.bench_function("span_full_cycle_enabled", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            obs.spans.begin(black_box(t), 0, t);
+            obs.spans.add(t, Stage::Execute, 42);
+            black_box(obs.spans.end(t, t + 100, true));
+        })
+    });
+    group.bench_function("timeline_on_commit_enabled", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            obs.timeline.on_commit(black_box(t), 42, 1);
+        })
     });
 
     // The same sites measured in situ: a cached-line read goes through

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Flags: `--table1 --e1 --e2 --e3 --e4 --e5 --e6 --e7 --e7scale --e8
-//! --e8fwd --e9 --e10 --fast --csv --jobs N --json [PATH]`
+//! --e8fwd --e9 --e9lat --e10 --fast --csv --jobs N --json [PATH]`
 //!
 //! Every experiment is a deterministic, independent *cell*; `--jobs N`
 //! fans the cells across N OS threads and merges stdout sections and CSV
@@ -683,6 +683,76 @@ fn e8fwd_cell(t1_txns: usize) -> Section {
     Section { text: s, csvs, cycles_per_op }
 }
 
+fn e9lat_cell(t1_txns: usize) -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let _ = writeln!(p, "== E9-lat: transaction-latency breakdown by protocol ==");
+    let _ = writeln!(p, "   (8 nodes, {t1_txns} TP1 transactions per protocol, spans enabled;");
+    let _ = writeln!(p, "    cycles attributed lock-wait / execute / log-append / force-wait /");
+    let _ = writeln!(p, "    commit; latencies in simulated cycles)\n");
+    let _ = writeln!(
+        p,
+        "{:<24} {:>6} {:>10} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "protocol", "txns", "p50", "p99", "p999", "lock%", "exec%", "appnd%", "force%", "commit%"
+    );
+    let pts = x::e9_latency(t1_txns);
+    for pt in &pts {
+        let total = pt.total_latency_cycles.max(1) as f64;
+        let pct = |c: u64| 100.0 * c as f64 / total;
+        let _ = writeln!(
+            p,
+            "{:<24} {:>6} {:>10} {:>10} {:>10} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            pt.protocol,
+            pt.committed,
+            pt.p50_cycles,
+            pt.p99_cycles,
+            pt.p999_cycles,
+            pct(pt.lock_wait_cycles),
+            pct(pt.execute_cycles),
+            pct(pt.log_append_cycles),
+            pct(pt.force_wait_cycles),
+            pct(pt.commit_cycles)
+        );
+    }
+    // BENCH_report.json trajectory figure: mean latency across protocols.
+    let cycles_per_op = if pts.is_empty() {
+        None
+    } else {
+        Some(pts.iter().map(|pt| pt.mean_cycles as u64).sum::<u64>() / pts.len() as u64)
+    };
+    let csvs = vec![CsvArtifact {
+        name: "e9_latency",
+        header: "protocol,committed,aborted,mean_cycles,p50_cycles,p99_cycles,p999_cycles,\
+             max_cycles,total_latency_cycles,lock_wait_cycles,execute_cycles,\
+             log_append_cycles,force_wait_cycles,commit_cycles,attributed_fraction",
+        rows: pts
+            .iter()
+            .map(|pt| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    pt.protocol,
+                    pt.committed,
+                    pt.aborted,
+                    pt.mean_cycles,
+                    pt.p50_cycles,
+                    pt.p99_cycles,
+                    pt.p999_cycles,
+                    pt.max_cycles,
+                    pt.total_latency_cycles,
+                    pt.lock_wait_cycles,
+                    pt.execute_cycles,
+                    pt.log_append_cycles,
+                    pt.force_wait_cycles,
+                    pt.commit_cycles,
+                    pt.attributed_fraction
+                )
+            })
+            .collect(),
+    }];
+    let _ = writeln!(p);
+    Section { text: s, csvs, cycles_per_op }
+}
+
 fn e10_cell() -> Section {
     let mut s = String::new();
     let p = &mut s;
@@ -759,6 +829,9 @@ fn main() {
             name: "e8_forward_throughput",
             run: Box::new(move || e8fwd_cell(t1_txns)),
         });
+    }
+    if want(&args, "--e9lat") {
+        cells.push(Cell { name: "e9_latency", run: Box::new(move || e9lat_cell(t1_txns)) });
     }
     if want(&args, "--e10") {
         cells.push(Cell { name: "e10_blast_radius", run: Box::new(e10_cell) });

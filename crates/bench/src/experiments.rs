@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use smdb_core::{DbConfig, ProtocolKind, RecoveryOutcome, SmDb};
 use smdb_lock::LcbGeometry;
+use smdb_obs::Stage;
 use smdb_sim::{contended_line_lock_costs, CoherenceKind, CostModel, NodeId};
 use smdb_workload::{run_mix, run_tp1, spawn_active, spawn_active_parallel, MixParams, Tp1Params};
 
@@ -759,6 +760,84 @@ pub fn e8_forward_throughput(txns: usize) -> Vec<ForwardPoint> {
 }
 
 // ----------------------------------------------------------------------
+// E9-lat — transaction-latency breakdown by protocol (span attribution)
+// ----------------------------------------------------------------------
+
+/// Latency distribution and per-stage cycle attribution for one protocol.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LatencyPoint {
+    /// Protocol measured.
+    pub protocol: String,
+    /// Committed transactions (span count behind the percentiles).
+    pub committed: u64,
+    /// Aborted transactions.
+    pub aborted: u64,
+    /// Mean end-to-end latency, simulated cycles.
+    pub mean_cycles: f64,
+    /// Median latency (log₂-bucket resolution).
+    pub p50_cycles: u64,
+    /// 99th-percentile latency.
+    pub p99_cycles: u64,
+    /// 99.9th-percentile latency.
+    pub p999_cycles: u64,
+    /// Largest observed latency.
+    pub max_cycles: u64,
+    /// Sum of end-to-end latencies over all finished spans.
+    pub total_latency_cycles: u64,
+    /// Cycles attributed to waiting on line locks.
+    pub lock_wait_cycles: u64,
+    /// Cycles attributed to operation execution (index probes, buffer
+    /// traffic, coherence misses).
+    pub execute_cycles: u64,
+    /// Cycles attributed to WAL appends.
+    pub log_append_cycles: u64,
+    /// Cycles attributed to waiting on physical log forces.
+    pub force_wait_cycles: u64,
+    /// Cycles attributed to the commit/abort protocol itself.
+    pub commit_cycles: u64,
+    /// Fraction of total latency the five stages account for (the
+    /// attribution invariant; ≈1.0 by construction).
+    pub attributed_fraction: f64,
+}
+
+/// TP1 under every IFA protocol with transaction spans enabled: where do
+/// a transaction's cycles go, and what does the tail look like? The
+/// Stable-LBM protocols pay the log-force latency on the forward path
+/// (Table 1's "higher frequency of log forces"), which this experiment
+/// resolves into the `force_wait` stage and a fatter p99.
+pub fn e9_latency(txns: usize) -> Vec<LatencyPoint> {
+    let mut out = Vec::new();
+    for p in ProtocolKind::ifa_protocols() {
+        let mut db = bench_db(p);
+        db.enable_observability(0);
+        let _ = run_tp1(&mut db, Tp1Params { txns, ..Default::default() });
+        let agg = db.observability().spans.aggregate();
+        let lat = agg.latency.snapshot();
+        let stages = agg.stage_cycles;
+        let attributed: u64 = stages.iter().sum();
+        let total = agg.total_latency_cycles as u64;
+        out.push(LatencyPoint {
+            protocol: format!("{p:?}"),
+            committed: agg.committed,
+            aborted: agg.aborted,
+            mean_cycles: lat.mean,
+            p50_cycles: lat.p50,
+            p99_cycles: lat.p99,
+            p999_cycles: lat.p999,
+            max_cycles: lat.max,
+            total_latency_cycles: total,
+            lock_wait_cycles: stages[Stage::LockWait.index()],
+            execute_cycles: stages[Stage::Execute.index()],
+            log_append_cycles: stages[Stage::LogAppend.index()],
+            force_wait_cycles: stages[Stage::ForceWait.index()],
+            commit_cycles: stages[Stage::Commit.index()],
+            attributed_fraction: attributed as f64 / total.max(1) as f64,
+        });
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
 // Shared small helpers for the report binary and benches
 // ----------------------------------------------------------------------
 
@@ -816,6 +895,17 @@ mod tests {
             if !pt.coalesce {
                 assert_eq!(pt.physical_forces, pt.forces_requested, "{pt:?}");
             }
+        }
+    }
+
+    #[test]
+    fn e9lat_smoke() {
+        let pts = e9_latency(12);
+        assert_eq!(pts.len(), 4, "one point per IFA protocol");
+        for pt in &pts {
+            assert!(pt.committed > 0, "{pt:?}");
+            assert!(pt.p50_cycles <= pt.p99_cycles && pt.p99_cycles <= pt.p999_cycles, "{pt:?}");
+            assert!((pt.attributed_fraction - 1.0).abs() < 0.05, "{pt:?}");
         }
     }
 

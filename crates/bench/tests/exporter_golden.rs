@@ -1,0 +1,147 @@
+//! Golden-file tests for the observability exporters.
+//!
+//! One fixed, seeded mix-with-crash scenario drives both exporters:
+//!
+//! - the Chrome trace-event JSON (`chrome_trace` over the event bus and
+//!   the finished transaction spans), and
+//! - the availability-timeline CSV (`Timeline::to_csv`).
+//!
+//! Both are compared byte-for-byte against committed fixtures — the
+//! exporters promise deterministic output for a deterministic run
+//! (fixed field order, wall-clock fields excluded), and these tests are
+//! the enforcement. A third test pins the availability semantics: after
+//! a mid-stream crash and recovery, the timeline must yield a positive
+//! time-to-first-transaction.
+//!
+//! Regenerate (only when an *intentional* format or behaviour change
+//! occurs) with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p smdb-bench --test exporter_golden
+//! ```
+
+use smdb_core::{DbConfig, ProtocolKind, SmDb};
+use smdb_sim::NodeId;
+use smdb_workload::{run_mix_with_crash, CrashPlan, MixParams};
+
+/// Bus ring capacity for the scenario: small enough to keep the fixture
+/// reviewable, large enough that the backlog spans the crash and the
+/// recovery phases.
+const BUS_CAPACITY: usize = 256;
+
+fn fixture(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// The scenario: 8 nodes, Stable-Triggered (exercises LBM-triggered
+/// forces on the bus), 20 mixed transactions with node 0 crashing after
+/// the 10th commit, recovery, then the remaining 10 transactions.
+fn scenario() -> SmDb {
+    let mut db = SmDb::new(DbConfig::bench(8, ProtocolKind::StableTriggered));
+    db.enable_observability(BUS_CAPACITY);
+    let plan = CrashPlan { after_txns: 10, nodes: vec![NodeId(0)] };
+    let params = MixParams { txns: 20, sharing: 0.5, read_fraction: 0.25, ..Default::default() };
+    let (report, outcome) =
+        run_mix_with_crash(&mut db, params, Some(plan)).expect("mix with crash");
+    assert!(report.crash_fired && outcome.is_some(), "the crash plan must fire");
+    db
+}
+
+fn check_golden(name: &str, got: &str) {
+    let path = fixture(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir fixtures");
+        std::fs::write(&path, got).expect("write fixture");
+        eprintln!("rewrote {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {} ({e}); run with UPDATE_GOLDEN=1", path.display())
+    });
+    if got != want {
+        let (mut line_no, mut context) = (0usize, String::new());
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            if g != w {
+                line_no = i + 1;
+                context = format!("got:  {g}\nwant: {w}");
+                break;
+            }
+        }
+        if context.is_empty() {
+            context = format!(
+                "line-count mismatch: got {} lines, fixture {} lines",
+                got.lines().count(),
+                want.lines().count()
+            );
+        }
+        panic!(
+            "{name} diverged from fixture at line {line_no}:\n{context}\n\
+             (exporter output must be byte-deterministic; regenerate with \
+             UPDATE_GOLDEN=1 only for intentional changes)"
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let db = scenario();
+    let json = db.observability().export_chrome_trace();
+    // Structural sanity before the byte diff: the trace must carry both
+    // process tracks, at least one bus instant, and at least one span.
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(json.contains("\"name\":\"event bus\""));
+    assert!(json.contains("\"name\":\"transactions\""));
+    assert!(json.contains("\"cat\":\"bus\""));
+    assert!(json.contains("\"cat\":\"txn\""));
+    check_golden("chrome_trace.golden", &json);
+}
+
+#[test]
+fn timeline_csv_matches_golden() {
+    let db = scenario();
+    let csv = db.observability().timeline.to_csv();
+    let header = csv.lines().next().expect("csv has a header");
+    assert_eq!(
+        header,
+        "bucket_start,begins,commits,aborts,crashes,in_flight_max,latency_sum,\
+         latency_count,scan_records,redo_applied,redo_planned"
+    );
+    assert!(csv.lines().count() > 1, "timeline sampled no buckets");
+    check_golden("timeline.golden.csv", &csv);
+}
+
+#[test]
+fn exporters_are_run_to_run_deterministic() {
+    // Independent of the fixtures: two identical runs must export
+    // identical bytes (no iteration-order, allocation, or wall-clock
+    // leakage).
+    let a = scenario();
+    let b = scenario();
+    assert_eq!(
+        a.observability().export_chrome_trace(),
+        b.observability().export_chrome_trace(),
+        "chrome trace differs between identical runs"
+    );
+    assert_eq!(
+        a.observability().timeline.to_csv(),
+        b.observability().timeline.to_csv(),
+        "timeline csv differs between identical runs"
+    );
+}
+
+#[test]
+fn crash_timeline_yields_time_to_first_txn() {
+    let db = scenario();
+    let tl = db.observability().timeline;
+    let crash_at = tl.last_crash_at().expect("crash marker recorded");
+    let recovered_at = tl.last_recovery_end().expect("recovery-end marker recorded");
+    assert!(recovered_at > crash_at, "recovery must take simulated time");
+    let ttft = tl.time_to_first_txn().expect("a transaction committed after recovery");
+    // The first post-recovery commit cannot land before recovery ends.
+    assert!(ttft >= recovered_at - crash_at, "ttft {ttft} < recovery span");
+    // And the availability ring must have seen the recovery progress
+    // gauges move.
+    let buckets = tl.snapshot();
+    assert!(buckets.iter().any(|b| b.redo_planned > 0 || b.scan_records > 0));
+    assert!(buckets.iter().any(|b| b.commits > 0));
+}

@@ -21,17 +21,17 @@ use smdb_storage::{PageGeometry, PageId, StableDb, PAGE_LSN_OFFSET, PAGE_LSN_SIZ
 use smdb_wal::{LbmMode, LogSet, Lsn, PageLsnTable};
 
 /// Histogram of records made durable per physical log force.
-pub const FORCE_RECORDS_HISTOGRAM: &str = "wal.force_records";
+pub const FORCE_RECORDS_HISTOGRAM: &str = smdb_obs::names::WAL_FORCE_RECORDS;
 
 /// Counter of physical log forces (each paid the full force latency).
-pub const PHYSICAL_FORCES_COUNTER: &str = "wal.physical_forces";
+pub const PHYSICAL_FORCES_COUNTER: &str = smdb_obs::names::WAL_PHYSICAL_FORCES;
 
 /// Counter of LBM force requests absorbed by the coalescing window
 /// instead of paying a physical force.
-pub const COALESCED_FORCES_COUNTER: &str = "wal.forces_coalesced";
+pub const COALESCED_FORCES_COUNTER: &str = smdb_obs::names::WAL_FORCES_COALESCED;
 
 /// Counter of log-record payload bytes appended to the per-node logs.
-pub const APPEND_BYTES_COUNTER: &str = "wal.append_bytes";
+pub const APPEND_BYTES_COUNTER: &str = smdb_obs::names::WAL_APPEND_BYTES;
 
 /// A contiguous run of cache lines touched by one page write.
 ///
@@ -100,6 +100,16 @@ pub struct TreeCtx<'a> {
     /// (forward path) instead of each paying a physical force. Always off
     /// for recovery-side contexts: recovery forces are physical.
     coalesce: bool,
+    /// Node whose force charges this context should tally into
+    /// [`TreeCtx::attr_force_cycles`] — the acting transaction's home,
+    /// set by the engine's index operations for span attribution. Forces
+    /// charged to *other* nodes' clocks (trigger forces on a remote
+    /// owner, flush-side WAL forces of other updaters) are outside the
+    /// home-clock span and deliberately not tallied.
+    attr_node: Option<NodeId>,
+    /// Simulated cycles of physical log forces charged to
+    /// [`TreeCtx::attr_node`]'s clock during this context's lifetime.
+    pub attr_force_cycles: u64,
     /// Reusable page-image buffer for flushes: allocated on first use,
     /// reused for every subsequent flush through this context (restart's
     /// Redo-All/Selective-Redo scans flush many pages through one context).
@@ -126,7 +136,24 @@ impl<'a> TreeCtx<'a> {
             trigger_forces: 0,
             force_requests: 0,
             coalesce: false,
+            attr_node: None,
+            attr_force_cycles: 0,
             scratch: Vec::new(),
+        }
+    }
+
+    /// Tally force cycles charged to `node`'s clock into
+    /// [`TreeCtx::attr_force_cycles`] (span stage attribution).
+    pub fn with_attribution(mut self, node: NodeId) -> Self {
+        self.attr_node = Some(node);
+        self
+    }
+
+    /// Record that a physical force just advanced `node`'s clock by
+    /// `cost` cycles.
+    fn note_attr_force(&mut self, node: NodeId, cost: u64) {
+        if self.attr_node == Some(node) {
+            self.attr_force_cycles += cost;
         }
     }
 
@@ -194,6 +221,7 @@ impl<'a> TreeCtx<'a> {
             if self.logs.force_all_checked(ev.owner).map_err(MemError::FaultCrash)? {
                 let cost = self.m.config().cost.log_force;
                 self.m.advance(ev.owner, cost);
+                self.note_attr_force(ev.owner, cost);
                 self.trigger_forces += 1;
                 if obs_on {
                     let (owner, l) = (ev.owner.0, ev.line.0);
@@ -258,6 +286,7 @@ impl<'a> TreeCtx<'a> {
                 if !forced && self.logs.force_all_checked(node).map_err(MemError::FaultCrash)? {
                     let cost = self.m.config().cost.log_force;
                     self.m.advance(node, cost);
+                    self.note_attr_force(node, cost);
                     self.trigger_forces += 1;
                     if obs_on {
                         self.note_force(node, pending, ForceReason::Lbm);
@@ -290,6 +319,7 @@ impl<'a> TreeCtx<'a> {
         if self.logs.force_all_checked(node).map_err(MemError::FaultCrash)? {
             let cost = self.m.config().cost.log_force;
             self.m.advance(node, cost);
+            self.note_attr_force(node, cost);
             if obs_on {
                 self.note_force(node, pending, reason);
             }
@@ -423,6 +453,7 @@ impl<'a> TreeCtx<'a> {
                 if self.logs.force_to_checked(n, lsn).map_err(MemError::FaultCrash)? {
                     let cost = self.m.config().cost.log_force;
                     self.m.advance(n, cost);
+                    self.note_attr_force(n, cost);
                     forces += 1;
                     if obs_on {
                         let records = lsn.0.saturating_sub(stable_before.0);

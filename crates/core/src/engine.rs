@@ -23,7 +23,7 @@ use smdb_btree::{
 };
 use smdb_fault::FaultInjector;
 use smdb_lock::{LockManager, LockMode, LockOutcome, LockTable};
-use smdb_obs::{Event as ObsEvent, ForceReason, Obs};
+use smdb_obs::{names, Event as ObsEvent, ForceReason, Obs, Stage};
 use smdb_sim::{LineId, Machine, NodeId, SimConfig, TxnId};
 use smdb_storage::{PageGeometry, PageId, StableDb};
 use smdb_wal::{
@@ -35,7 +35,7 @@ use std::collections::{BTreeMap, BTreeSet};
 const LOCK_TABLE_GAP: u64 = 4096;
 
 /// Histogram of simulated cycles per completed record update.
-pub const UPDATE_CYCLES_HISTOGRAM: &str = "engine.update_cycles";
+pub const UPDATE_CYCLES_HISTOGRAM: &str = names::ENGINE_UPDATE_CYCLES;
 
 /// Fault-injection site visited on the commit path: once before the commit
 /// record is appended (a crash here dooms the transaction) and once after
@@ -314,9 +314,12 @@ impl SmDb {
     /// *shared* line (write-broadcast) has already published the
     /// uncommitted bytes, so the log is forced now; exclusively-held
     /// lines are marked active and defer to the coherence trigger.
-    fn lbm_mark_or_force(&mut self, node: NodeId, touched: &[LineSpan]) -> Result<(), DbError> {
+    /// Returns the simulated cycles spent on the force (0 if none fired),
+    /// so the caller can attribute them to the force-wait span stage.
+    fn lbm_mark_or_force(&mut self, node: NodeId, touched: &[LineSpan]) -> Result<u64, DbError> {
         let obs_on = self.m.obs().is_enabled();
         let mut forced = false;
+        let mut force_cycles = 0u64;
         for l in touched.iter().flat_map(LineSpan::iter) {
             if self.m.holder_count(l) > 1 {
                 let pending = if obs_on { self.unforced_records(node) } else { 0 };
@@ -324,6 +327,7 @@ impl SmDb {
                     let cost = self.m.config().cost.log_force;
                     self.m.advance(node, cost);
                     self.stats.lbm_forces += 1;
+                    force_cycles += cost;
                     if obs_on {
                         self.note_wal_force(node, pending, ForceReason::Lbm);
                     }
@@ -333,7 +337,7 @@ impl SmDb {
                 self.m.set_active(l, node);
             }
         }
-        Ok(())
+        Ok(force_cycles)
     }
 
     /// Machine-wide simulated makespan, cycles.
@@ -349,6 +353,11 @@ impl SmDb {
     /// Transactions table (read-only view).
     pub fn txn(&self, txn: TxnId) -> Option<&TxnState> {
         self.txns.get(&txn)
+    }
+
+    /// Active transaction count (the timeline's in-flight gauge).
+    fn in_flight(&self) -> u64 {
+        self.txns.values().filter(|t| t.is_active()).count() as u64
     }
 
     /// Currently active transactions, optionally filtered by node.
@@ -401,7 +410,14 @@ impl SmDb {
         mode: LockMode,
         acting: NodeId,
     ) -> Result<(), DbError> {
-        match self.locks.acquire_from(&mut self.m, &mut self.logs, txn, name, mode, acting)? {
+        let spans_on = self.m.obs().spans.is_enabled();
+        let t0 = if spans_on { self.m.now(acting) } else { 0 };
+        let outcome = self.locks.acquire_from(&mut self.m, &mut self.logs, txn, name, mode, acting);
+        if spans_on {
+            let waited = self.m.now(acting).saturating_sub(t0);
+            self.m.obs().spans.add(txn.0, Stage::LockWait, waited);
+        }
+        match outcome? {
             LockOutcome::Granted | LockOutcome::AlreadyHeld => Ok(()),
             LockOutcome::Waiting => {
                 self.stats.would_blocks += 1;
@@ -425,6 +441,13 @@ impl SmDb {
         self.logs.append(node, LogPayload::Begin { txn });
         self.txns.insert(txn, TxnState::new(txn));
         self.stats.begins += 1;
+        let obs = self.m.obs();
+        if obs.spans.is_enabled() {
+            obs.spans.begin(txn.0, node.0, self.m.now(node));
+        }
+        if obs.timeline.is_enabled() {
+            obs.timeline.on_begin(self.m.max_clock(), self.in_flight());
+        }
         Ok(txn)
     }
 
@@ -453,6 +476,8 @@ impl SmDb {
         self.check_participant(txn, node)?;
         let rec = self.check_slot(slot)?;
         self.lock_from(txn, Self::lock_name_for_rec(slot), LockMode::Shared, node)?;
+        let spans_on = self.m.obs().spans.is_enabled();
+        let t0 = if spans_on { self.m.now(node) } else { 0 };
         let off = self.layout.payload_offset(rec.slot);
         let mut buf = vec![0u8; self.layout.data_size];
         let mut ctx = engine_ctx!(self);
@@ -460,6 +485,10 @@ impl SmDb {
         self.stats.lbm_forces += ctx.trigger_forces;
         self.stats.lbm_force_requests += ctx.force_requests;
         self.stats.reads += 1;
+        if spans_on {
+            let cycles = self.m.now(node).saturating_sub(t0);
+            self.m.obs().spans.add(txn.0, Stage::Execute, cycles);
+        }
         Ok(buf)
     }
 
@@ -520,6 +549,7 @@ impl SmDb {
         if rec_line != page_lsn_line {
             ctx.m.getline(node, rec_line)?;
         }
+        let mut append_cycles = 0u64;
         let result: Result<(u64, [LineSpan; 2], Bytes), DbError> = (|| {
             // Before image (the last committed value under strict 2PL —
             // or our own earlier write; the log keeps per-update images so
@@ -533,6 +563,7 @@ impl SmDb {
             let backing = Bytes::from(img);
             let before = backing.slice(..ds);
             let gsn = ctx.next_gsn();
+            let append_t0 = ctx.m.now(node);
             let lsn = ctx.logs.append(
                 node,
                 LogPayload::Update {
@@ -544,6 +575,7 @@ impl SmDb {
                 },
             );
             let at = ctx.m.now(node);
+            append_cycles = at.saturating_sub(append_t0);
             if obs_on {
                 ctx.m.obs().metrics.add(APPEND_BYTES_COUNTER, 2 * ds as u64);
             }
@@ -564,7 +596,9 @@ impl SmDb {
         let (_gsn, touched, before) = result?;
         self.stats.lbm_forces += trigger_forces;
         // LBM policy hook (eager force / coalesced force request /
-        // active-bit marking).
+        // active-bit marking). Forces advancing *this* node's clock are
+        // collected for the force-wait span stage.
+        let mut force_cycles = 0u64;
         match self.cfg.protocol.lbm_mode() {
             LbmMode::Volatile => {}
             LbmMode::StableEager => {
@@ -581,13 +615,14 @@ impl SmDb {
                             self.m.obs().metrics.inc(COALESCED_FORCES_COUNTER);
                         }
                     }
-                    self.lbm_mark_or_force(node, &touched)?;
+                    force_cycles += self.lbm_mark_or_force(node, &touched)?;
                 } else {
                     let pending = if obs_on { self.unforced_records(node) } else { 0 };
                     if self.logs.force_all_checked(node)? {
                         let cost = self.m.config().cost.log_force;
                         self.m.advance(node, cost);
                         self.stats.lbm_forces += 1;
+                        force_cycles += cost;
                         if obs_on {
                             self.note_wal_force(node, pending, ForceReason::Lbm);
                         }
@@ -595,7 +630,7 @@ impl SmDb {
                 }
             }
             LbmMode::StableTriggered => {
-                self.lbm_mark_or_force(node, &touched)?;
+                force_cycles += self.lbm_mark_or_force(node, &touched)?;
             }
         }
         if tagging {
@@ -605,7 +640,15 @@ impl SmDb {
         self.stats.updates += 1;
         if obs_on {
             let cycles = self.m.now(node).saturating_sub(update_t0);
-            self.m.obs().metrics.observe(UPDATE_CYCLES_HISTOGRAM, cycles);
+            let obs = self.m.obs();
+            obs.metrics.observe(UPDATE_CYCLES_HISTOGRAM, cycles);
+            // Stage attribution: the appends and forces measured above,
+            // the remainder of this node's clock delta as execution —
+            // stage sums stay within epsilon of the span's total latency.
+            obs.spans.add(txn.0, Stage::LogAppend, append_cycles);
+            obs.spans.add(txn.0, Stage::ForceWait, force_cycles);
+            let execute = cycles.saturating_sub(append_cycles + force_cycles);
+            obs.spans.add(txn.0, Stage::Execute, execute);
         }
         let t = self.txns.get_mut(&txn).expect("checked active");
         t.ops.push(TxnOp::Update { rec, before, node });
@@ -620,6 +663,8 @@ impl SmDb {
             return Err(DbError::NoIndex);
         }
         self.lock(txn, Self::lock_name_for_key(key), LockMode::Exclusive)?;
+        let spans_on = self.m.obs().spans.is_enabled();
+        let t0 = if spans_on { self.m.now(txn.node()) } else { 0 };
         let tree = self.tree.as_mut().expect("checked");
         let mut ctx = TreeCtx::new(
             &mut self.m,
@@ -629,8 +674,10 @@ impl SmDb {
             self.cfg.protocol.lbm_mode(),
             &mut self.gsn,
         )
-        .with_coalescing(self.cfg.coalesce_forces);
+        .with_coalescing(self.cfg.coalesce_forces)
+        .with_attribution(txn.node());
         tree.insert(&mut ctx, txn, key, value)?;
+        let force_cycles = ctx.attr_force_cycles;
         self.stats.lbm_forces += ctx.trigger_forces;
         self.stats.lbm_force_requests += ctx.force_requests;
         if self.cfg.protocol.uses_undo_tags() {
@@ -638,6 +685,12 @@ impl SmDb {
             self.stats.undo_tag_bytes += TAG_SIZE as u64;
         }
         self.stats.index_inserts += 1;
+        if spans_on {
+            let cycles = self.m.now(txn.node()).saturating_sub(t0);
+            let obs = self.m.obs();
+            obs.spans.add(txn.0, Stage::ForceWait, force_cycles);
+            obs.spans.add(txn.0, Stage::Execute, cycles.saturating_sub(force_cycles));
+        }
         let t = self.txns.get_mut(&txn).expect("checked active");
         t.ops.push(TxnOp::IndexInsert { key });
         self.shadow.note_index_insert(txn, key, value);
@@ -652,6 +705,8 @@ impl SmDb {
         }
         self.lock(txn, Self::lock_name_for_key(key), LockMode::Shared)?;
         let node = txn.node();
+        let spans_on = self.m.obs().spans.is_enabled();
+        let t0 = if spans_on { self.m.now(node) } else { 0 };
         let tree = self.tree.as_mut().expect("checked");
         let mut ctx = TreeCtx::new(
             &mut self.m,
@@ -661,10 +716,18 @@ impl SmDb {
             self.cfg.protocol.lbm_mode(),
             &mut self.gsn,
         )
-        .with_coalescing(self.cfg.coalesce_forces);
+        .with_coalescing(self.cfg.coalesce_forces)
+        .with_attribution(node);
         let hit = tree.search(&mut ctx, node, key)?;
+        let force_cycles = ctx.attr_force_cycles;
         self.stats.lbm_forces += ctx.trigger_forces;
         self.stats.lbm_force_requests += ctx.force_requests;
+        if spans_on {
+            let cycles = self.m.now(node).saturating_sub(t0);
+            let obs = self.m.obs();
+            obs.spans.add(txn.0, Stage::ForceWait, force_cycles);
+            obs.spans.add(txn.0, Stage::Execute, cycles.saturating_sub(force_cycles));
+        }
         Ok(hit.map(|h| h.entry.value))
     }
 
@@ -683,7 +746,9 @@ impl SmDb {
             return Err(DbError::NoIndex);
         }
         let node = txn.node();
-        let hits = {
+        let spans_on = self.m.obs().spans.is_enabled();
+        let t0 = if spans_on { self.m.now(node) } else { 0 };
+        let (hits, force_cycles) = {
             let tree = self.tree.as_mut().expect("checked");
             let mut ctx = TreeCtx::new(
                 &mut self.m,
@@ -693,9 +758,17 @@ impl SmDb {
                 self.cfg.protocol.lbm_mode(),
                 &mut self.gsn,
             )
-            .with_coalescing(self.cfg.coalesce_forces);
-            tree.range_live(&mut ctx, node, lo, hi)?
+            .with_coalescing(self.cfg.coalesce_forces)
+            .with_attribution(node);
+            let hits = tree.range_live(&mut ctx, node, lo, hi)?;
+            (hits, ctx.attr_force_cycles)
         };
+        if spans_on {
+            let cycles = self.m.now(node).saturating_sub(t0);
+            let obs = self.m.obs();
+            obs.spans.add(txn.0, Stage::ForceWait, force_cycles);
+            obs.spans.add(txn.0, Stage::Execute, cycles.saturating_sub(force_cycles));
+        }
         for (key, _) in &hits {
             self.lock(txn, Self::lock_name_for_key(*key), LockMode::Shared)?;
         }
@@ -709,6 +782,8 @@ impl SmDb {
             return Err(DbError::NoIndex);
         }
         self.lock(txn, Self::lock_name_for_key(key), LockMode::Exclusive)?;
+        let spans_on = self.m.obs().spans.is_enabled();
+        let t0 = if spans_on { self.m.now(txn.node()) } else { 0 };
         let tree = self.tree.as_mut().expect("checked");
         let mut ctx = TreeCtx::new(
             &mut self.m,
@@ -718,8 +793,10 @@ impl SmDb {
             self.cfg.protocol.lbm_mode(),
             &mut self.gsn,
         )
-        .with_coalescing(self.cfg.coalesce_forces);
+        .with_coalescing(self.cfg.coalesce_forces)
+        .with_attribution(txn.node());
         tree.delete(&mut ctx, txn, key)?;
+        let force_cycles = ctx.attr_force_cycles;
         self.stats.lbm_forces += ctx.trigger_forces;
         self.stats.lbm_force_requests += ctx.force_requests;
         if self.cfg.protocol.uses_undo_tags() {
@@ -727,6 +804,12 @@ impl SmDb {
             self.stats.undo_tag_bytes += TAG_SIZE as u64;
         }
         self.stats.index_deletes += 1;
+        if spans_on {
+            let cycles = self.m.now(txn.node()).saturating_sub(t0);
+            let obs = self.m.obs();
+            obs.spans.add(txn.0, Stage::ForceWait, force_cycles);
+            obs.spans.add(txn.0, Stage::Execute, cycles.saturating_sub(force_cycles));
+        }
         let t = self.txns.get_mut(&txn).expect("checked active");
         t.ops.push(TxnOp::IndexDelete { key });
         self.shadow.note_index_delete(txn, key);
@@ -757,6 +840,12 @@ impl SmDb {
             .filter(|n| *n != node)
             .collect();
         let obs_on = self.m.obs().is_enabled();
+        let spans_on = self.m.obs().spans.is_enabled();
+        // Participant forces advance the *participants'* clocks, not the
+        // home node's, so they are outside the home-clock span total and
+        // deliberately unattributed.
+        let commit_t0 = if spans_on { self.m.now(node) } else { 0 };
+        let mut force_wait = 0u64;
         for p in participants {
             let pending = if obs_on { self.unforced_records(p) } else { 0 };
             if self.logs.force_all_checked(p)? {
@@ -778,6 +867,7 @@ impl SmDb {
             let cost = self.m.config().cost.log_force;
             self.m.advance(node, cost);
             self.stats.commit_forces += 1;
+            force_wait += cost;
             if obs_on {
                 self.note_wal_force(node, pending, ForceReason::Commit);
             }
@@ -833,6 +923,25 @@ impl SmDb {
         self.txns.get_mut(&txn).expect("checked").status = TxnStatus::Committed;
         self.shadow.commit(txn);
         self.stats.commits += 1;
+        let mut latency = 0u64;
+        if spans_on {
+            let end_at = self.m.now(node);
+            let total = end_at.saturating_sub(commit_t0);
+            let obs = self.m.obs();
+            obs.spans.add(txn.0, Stage::ForceWait, force_wait);
+            obs.spans.add(txn.0, Stage::Commit, total.saturating_sub(force_wait));
+            if let Some(span) = obs.spans.end(txn.0, end_at, true) {
+                latency = span.latency();
+                obs.metrics.observe(names::TXN_LATENCY_CYCLES, latency);
+            }
+        }
+        if obs_on {
+            self.m.obs().metrics.inc(names::TXN_COMMITTED);
+        }
+        let obs = self.m.obs();
+        if obs.timeline.is_enabled() {
+            obs.timeline.on_commit(self.m.max_clock(), latency, self.in_flight());
+        }
         Ok(())
     }
 
@@ -842,6 +951,10 @@ impl SmDb {
     pub fn abort(&mut self, txn: TxnId) -> Result<(), DbError> {
         self.check_active(txn)?;
         let node = txn.node();
+        let spans_on = self.m.obs().spans.is_enabled();
+        // The whole rollback body is finalization work: attributed to the
+        // commit/abort stage rather than re-execution.
+        let abort_t0 = if spans_on { self.m.now(node) } else { 0 };
         let t = self.txns.get(&txn).expect("checked active").clone();
         for op in t.ops.iter().rev() {
             match op {
@@ -910,6 +1023,21 @@ impl SmDb {
         self.txns.get_mut(&txn).expect("checked").status = TxnStatus::Aborted;
         self.shadow.drop_pending(txn);
         self.stats.voluntary_aborts += 1;
+        if spans_on {
+            let end_at = self.m.now(node);
+            let obs = self.m.obs();
+            obs.spans.add(txn.0, Stage::Commit, end_at.saturating_sub(abort_t0));
+            if let Some(span) = obs.spans.end(txn.0, end_at, false) {
+                obs.metrics.observe(names::TXN_LATENCY_CYCLES, span.latency());
+            }
+        }
+        let obs = self.m.obs();
+        if obs.metrics.is_enabled() {
+            obs.metrics.inc(names::TXN_ABORTED);
+        }
+        if obs.timeline.is_enabled() {
+            obs.timeline.on_abort(self.m.max_clock(), self.in_flight());
+        }
         Ok(())
     }
 

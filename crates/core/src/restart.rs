@@ -27,7 +27,7 @@ use crate::txn::TxnStatus;
 use serde::{Deserialize, Serialize};
 use smdb_btree::{BtreeRecoveryStats, TreeCtx};
 use smdb_lock::LockRecoveryStats;
-use smdb_obs::{Event as ObsEvent, PhaseSpan, PhaseTiming};
+use smdb_obs::{names, Event as ObsEvent, PhaseSpan, PhaseTiming};
 use smdb_sim::{LineId, NodeId, TxnId};
 use smdb_storage::PageId;
 use smdb_wal::{LogPayload, RecId};
@@ -95,14 +95,14 @@ pub struct RecoveryOutcome {
 /// Histogram of simulated cycles per recovery phase, keyed by phase name.
 fn phase_histogram(phase: &str) -> &'static str {
     match phase {
-        "stable_undo" => "recovery.phase.stable_undo",
-        "reinstall" => "recovery.phase.reinstall",
-        "cache_discard" => "recovery.phase.cache_discard",
-        "redo" => "recovery.phase.redo",
-        "undo" => "recovery.phase.undo",
-        "lock_recovery" => "recovery.phase.lock_recovery",
-        "txn_table" => "recovery.phase.txn_table",
-        _ => "recovery.phase.other",
+        "stable_undo" => names::RECOVERY_PHASE_STABLE_UNDO,
+        "reinstall" => names::RECOVERY_PHASE_REINSTALL,
+        "cache_discard" => names::RECOVERY_PHASE_CACHE_DISCARD,
+        "redo" => names::RECOVERY_PHASE_REDO,
+        "undo" => names::RECOVERY_PHASE_UNDO,
+        "lock_recovery" => names::RECOVERY_PHASE_LOCK_RECOVERY,
+        "txn_table" => names::RECOVERY_PHASE_TXN_TABLE,
+        _ => names::RECOVERY_PHASE_OTHER,
     }
 }
 
@@ -298,6 +298,7 @@ impl SmDb {
         // post-commit bookkeeping; such transactions are committed, not
         // doomed, and recovery will redo them from the stable logs.
         self.promote_durably_committed();
+        self.m.obs().timeline.on_crash(self.m.max_clock());
         crashed
     }
 
@@ -319,6 +320,9 @@ impl SmDb {
             }
             self.shadow.commit(txn);
             self.stats.commits += 1;
+            // The home node died mid-commit; the span can never be ended
+            // on a consistent home clock.
+            self.m.obs().spans.discard(txn.0);
         }
     }
 
@@ -374,16 +378,28 @@ impl SmDb {
         }
         outcome.recovery_cycles = self.m.max_clock() - clock0;
         let cycles = outcome.recovery_cycles;
+        // Doomed transactions never reach a commit/abort on their home
+        // clock; drop their open spans so the tracker cannot leak.
+        for txn in &outcome.aborted {
+            self.m.obs().spans.discard(txn.0);
+        }
         let obs = self.m.obs();
-        obs.metrics.observe("recovery.total_cycles", cycles);
-        obs.metrics.add("restart.scan_records", outcome.scan_records);
-        obs.metrics.add("restart.redo_applied", outcome.redo_applied);
+        obs.metrics.observe(names::RECOVERY_TOTAL_CYCLES, cycles);
+        obs.metrics.add(names::RESTART_SCAN_RECORDS, outcome.scan_records);
+        obs.metrics.add(names::RESTART_REDO_APPLIED, outcome.redo_applied);
         obs.metrics.add(
-            "restart.redo_skipped",
+            names::RESTART_REDO_SKIPPED,
             outcome.redo_skipped_cached + outcome.redo_skipped_stable + outcome.redo_superseded,
         );
-        obs.metrics.gauge_set("restart.ckpt_bound_lsn", outcome.ckpt_bound_lsn as i64);
+        obs.metrics.gauge_set(names::RESTART_CKPT_BOUND_LSN, outcome.ckpt_bound_lsn as i64);
         obs.bus.emit(self.m.max_clock(), || ObsEvent::RecoveryEnd { sim_cycles: cycles });
+        obs.timeline.recovery_progress(
+            self.m.max_clock(),
+            outcome.scan_records,
+            outcome.redo_applied,
+            outcome.redo_applied + outcome.redo_skipped_cached + outcome.redo_skipped_stable,
+        );
+        obs.timeline.on_recovery_end(self.m.max_clock());
         self.pending_recovery.clear();
         self.pending_lost_lines = 0;
         self.pending_total_failure = false;
@@ -427,6 +443,14 @@ impl SmDb {
             sim_cycles,
             wall_ns,
         });
+        // Progress gauges accumulate phase by phase; each phase boundary
+        // lands a sample in the availability timeline's current bucket.
+        obs.timeline.recovery_progress(
+            self.m.max_clock(),
+            outcome.scan_records,
+            outcome.redo_applied,
+            outcome.redo_applied + outcome.redo_skipped_cached + outcome.redo_skipped_stable,
+        );
         outcome.phases.push(t);
     }
 
@@ -466,7 +490,7 @@ impl SmDb {
         full: bool,
     ) -> StableAnalysis {
         let mut a = StableAnalysis::default();
-        self.m.obs().metrics.inc("restart.analysis_scans");
+        self.m.obs().metrics.inc(names::RESTART_ANALYSIS_SCANS);
         let nodes: Vec<NodeId> = self.m.node_ids().collect();
         // Commit status covers *every* node: commit records are always
         // forced, and a parallel transaction's commit lives on its home
@@ -895,7 +919,7 @@ impl SmDb {
         self.m
             .obs()
             .metrics
-            .observe("recovery.redo_batch", (raw_heap.len() + raw_index.len()) as u64);
+            .observe(names::RECOVERY_REDO_BATCH, (raw_heap.len() + raw_index.len()) as u64);
         let (heap_plan, superseded) = plan_heap_redo(raw_heap);
         outcome.redo_superseded += superseded;
         let mut plan: Vec<(u64, PlannedOp)> =
@@ -1374,7 +1398,7 @@ impl SmDb {
         self.m
             .obs()
             .metrics
-            .observe("recovery.redo_batch", (raw_heap.len() + raw_index.len()) as u64);
+            .observe(names::RECOVERY_REDO_BATCH, (raw_heap.len() + raw_index.len()) as u64);
         let (heap_plan, superseded) = plan_heap_redo(raw_heap);
         outcome.redo_superseded += superseded;
         let mut plan: Vec<(u64, PlannedOp)> =

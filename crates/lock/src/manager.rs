@@ -26,11 +26,11 @@ use std::fmt;
 
 /// Histogram of simulated cycles each logical lock was held, recorded on
 /// release when observability is enabled.
-pub const HOLD_CYCLES_HISTOGRAM: &str = "lock.hold_cycles";
+pub const HOLD_CYCLES_HISTOGRAM: &str = smdb_obs::names::LOCK_HOLD_CYCLES;
 
 /// Counter of acquire requests served entirely from the volatile chain
 /// (re-acquire in a sufficient mode): no simulated memory traffic.
-pub const FAST_HITS_COUNTER: &str = "lock.fast_hits";
+pub const FAST_HITS_COUNTER: &str = smdb_obs::names::LOCK_FAST_HITS;
 
 /// Result of a lock request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -9,34 +9,60 @@
 //!   `sim::Trace` ring: one global sequence numbering means events from
 //!   different layers can be causally ordered against each other.
 //! - [`Registry`] — named counters, gauges, and fixed-bucket log₂
-//!   [`Histogram`]s with percentile queries and CSV/JSON export.
+//!   [`Histogram`]s with percentile queries and CSV/JSON export. Every
+//!   metric name lives in the [`names`] catalog.
+//! - [`SpanTracker`] — per-transaction spans with simulated-cycle stage
+//!   attribution (`lock-wait → execute → log-append → force-wait →
+//!   commit`), aggregated into a cycles-by-stage breakdown and latency
+//!   histograms with p50/p99/p999.
+//! - [`Timeline`] — the availability timeline: a fixed-capacity ring of
+//!   simulated-time buckets sampling throughput, in-flight transactions,
+//!   and recovery progress, plus exact crash/recovery/first-commit
+//!   markers for time-to-first-transaction.
+//! - [`chrome_trace`] — Chrome trace-event JSON exporter (Perfetto) over
+//!   the bus and the finished spans.
 //! - [`PhaseSpan`] / [`PhaseTiming`] — paired simulated-cost and wall-clock
 //!   spans for the phases of IFA crash recovery.
 //!
-//! The [`Obs`] handle bundles a bus and a registry; it is `Clone` (shared
-//! handle semantics) so the engine can own one copy and hand another to the
+//! The [`Obs`] handle bundles all of them; it is `Clone` (shared handle
+//! semantics) so the engine can own one copy and hand another to the
 //! caller. Every emission site compiles to a single relaxed atomic load
 //! plus branch while observability is disabled — verified by the
 //! `obs_overhead` micro-benchmark in `crates/bench`.
 
 mod bus;
+mod chrome;
 mod metrics;
+pub mod names;
 mod phase;
+mod span;
+mod timeline;
 
 pub use bus::{Bus, Event, ForceReason, Record};
+pub use chrome::chrome_trace;
 pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use phase::{PhaseSpan, PhaseTiming};
+pub use span::{FinishedSpan, SpanAggregate, SpanTracker, Stage, DEFAULT_SPAN_CAPACITY, STAGES};
+pub use timeline::{Timeline, TimelineBucket, DEFAULT_BUCKET_CYCLES, DEFAULT_TIMELINE_CAPACITY};
 
-/// Shared observability handle: event bus + metrics registry.
+/// Shared observability handle: event bus, metrics registry, transaction
+/// spans, and the availability timeline.
 ///
-/// Cloning yields another handle to the same underlying bus and registry.
-/// Both start disabled; [`Obs::enable`] switches them on together.
+/// Cloning yields another handle to the same underlying state. All four
+/// start disabled; [`Obs::enable`] switches them on together (the
+/// timeline with default bucketing — call [`Timeline::enable`] directly
+/// for a custom bucket width).
 #[derive(Clone, Default)]
 pub struct Obs {
     /// The machine-wide event timeline.
     pub bus: Bus,
     /// Counters, gauges, and histograms.
     pub metrics: Registry,
+    /// Per-transaction spans with stage attribution.
+    pub spans: SpanTracker,
+    /// The availability timeline (throughput / in-flight / recovery
+    /// progress per simulated-time bucket).
+    pub timeline: Timeline,
 }
 
 impl Obs {
@@ -45,21 +71,37 @@ impl Obs {
         Self::default()
     }
 
-    /// Enable both bus (with the given ring capacity) and metrics.
+    /// Enable every half: the bus (with the given ring capacity), the
+    /// metrics registry, the span tracker, and the timeline (default
+    /// bucket width and capacity).
     pub fn enable(&self, bus_capacity: usize) {
         self.bus.enable(bus_capacity);
         self.metrics.enable();
+        self.spans.enable(0);
+        self.timeline.enable(0, 0);
     }
 
-    /// Disable both; buffered events and accumulated metrics are retained.
+    /// Disable everything; buffered events, accumulated metrics, spans,
+    /// and timeline buckets are retained.
     pub fn disable(&self) {
         self.bus.disable();
         self.metrics.disable();
+        self.spans.disable();
+        self.timeline.disable();
     }
 
-    /// Whether either half is currently recording.
+    /// Whether any half is currently recording.
     pub fn is_enabled(&self) -> bool {
-        self.bus.is_enabled() || self.metrics.is_enabled()
+        self.bus.is_enabled()
+            || self.metrics.is_enabled()
+            || self.spans.is_enabled()
+            || self.timeline.is_enabled()
+    }
+
+    /// Render the bus backlog and the retained finished spans as a Chrome
+    /// trace-event JSON document (see [`chrome_trace`]).
+    pub fn export_chrome_trace(&self) -> String {
+        chrome_trace(&self.bus.snapshot(), &self.spans.finished())
     }
 }
 

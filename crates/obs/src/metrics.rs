@@ -92,7 +92,11 @@ impl Histogram {
     }
 
     /// Value at percentile `p` (0–100): the upper bound of the log₂ bucket
-    /// containing the p-th sample, clamped to the observed max.
+    /// containing the p-th sample, clamped to the observed `[min, max]`
+    /// range. Degenerate inputs resolve exactly: an empty histogram is 0,
+    /// a single-bucket histogram answers every percentile with a value
+    /// inside the observed range, and samples in the saturating top
+    /// bucket (`≥ 2^63`) clamp to the observed max instead of `u64::MAX`.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -103,7 +107,7 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return bucket_upper(i).min(self.max);
+                return bucket_upper(i).clamp(self.min, self.max);
             }
         }
         self.max
@@ -120,6 +124,7 @@ impl Histogram {
             p50: self.percentile(50.0),
             p95: self.percentile(95.0),
             p99: self.percentile(99.0),
+            p999: self.percentile(99.9),
         }
     }
 }
@@ -143,6 +148,8 @@ pub struct HistogramSnapshot {
     pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
 }
 
 #[derive(Default)]
@@ -268,21 +275,21 @@ fn json_escape(s: &str) -> String {
 
 impl MetricsSnapshot {
     /// CSV with one row per metric:
-    /// `kind,name,value,count,sum,min,max,mean,p50,p95,p99`.
+    /// `kind,name,value,count,sum,min,max,mean,p50,p95,p99,p999`.
     /// Counters and gauges fill only `value`; histograms fill the rest.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("kind,name,value,count,sum,min,max,mean,p50,p95,p99\n");
+        let mut out = String::from("kind,name,value,count,sum,min,max,mean,p50,p95,p99,p999\n");
         for (name, v) in &self.counters {
-            let _ = writeln!(out, "counter,{name},{v},,,,,,,,");
+            let _ = writeln!(out, "counter,{name},{v},,,,,,,,,");
         }
         for (name, v) in &self.gauges {
-            let _ = writeln!(out, "gauge,{name},{v},,,,,,,,");
+            let _ = writeln!(out, "gauge,{name},{v},,,,,,,,,");
         }
         for (name, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "histogram,{name},,{},{},{},{},{:.2},{},{},{}",
-                h.count, h.sum, h.min, h.max, h.mean, h.p50, h.p95, h.p99
+                "histogram,{name},,{},{},{},{},{:.2},{},{},{},{}",
+                h.count, h.sum, h.min, h.max, h.mean, h.p50, h.p95, h.p99, h.p999
             );
         }
         out
@@ -311,8 +318,8 @@ impl MetricsSnapshot {
             }
             let _ = write!(
                 out,
-                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.2},\"p50\":{},\"p95\":{},\"p99\":{}}}",
-                json_escape(name), h.count, h.sum, h.min, h.max, h.mean, h.p50, h.p95, h.p99
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.2},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{}}}",
+                json_escape(name), h.count, h.sum, h.min, h.max, h.mean, h.p50, h.p95, h.p99, h.p999
             );
         }
         out.push_str("}}");
@@ -357,8 +364,65 @@ mod tests {
     fn empty_histogram_is_zeroes() {
         let h = Histogram::default();
         assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(99.9), 0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.mean(), 0.0);
+        let snap = h.snapshot();
+        assert_eq!((snap.p50, snap.p99, snap.p999), (0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_answers_every_percentile_exactly() {
+        let mut h = Histogram::default();
+        h.record(777);
+        for p in [0.0, 50.0, 95.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 777, "p{p} of a single sample is that sample");
+        }
+    }
+
+    #[test]
+    fn single_bucket_percentiles_stay_inside_observed_range() {
+        // All samples land in the [512, 1023] bucket; the bucket upper
+        // bound (1023) exceeds the observed max and the lower bound of
+        // the bucket undershoots the observed min — percentiles must
+        // clamp to [600, 900].
+        let mut h = Histogram::default();
+        for v in [600u64, 700, 800, 900] {
+            h.record(v);
+        }
+        for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+            let got = h.percentile(p);
+            assert!((600..=900).contains(&got), "p{p}={got} outside observed range");
+        }
+    }
+
+    #[test]
+    fn saturating_top_bucket_clamps_to_observed_max() {
+        // Samples ≥ 2^63 fall into the saturating top bucket whose upper
+        // bound is u64::MAX; percentiles still report the observed max.
+        let mut h = Histogram::default();
+        h.record(1u64 << 63);
+        h.record((1u64 << 63) + 5);
+        assert_eq!(h.percentile(50.0), (1u64 << 63) + 5);
+        assert_eq!(h.percentile(99.9), (1u64 << 63) + 5);
+        assert_eq!(h.snapshot().p999, (1u64 << 63) + 5);
+        h.record(u64::MAX);
+        assert_eq!(h.percentile(100.0), u64::MAX);
+    }
+
+    #[test]
+    fn p999_separates_the_tail() {
+        let mut h = Histogram::default();
+        for _ in 0..998 {
+            h.record(100);
+        }
+        h.record(1 << 20);
+        h.record(1 << 30);
+        let s = h.snapshot();
+        assert!(s.p50 < 1 << 20, "p50 ({}) stays in the body", s.p50);
+        assert!(s.p99 < 1 << 20, "p99 ({}) stays in the body", s.p99);
+        assert!(s.p999 >= 1 << 20, "p999 ({}) reaches the outlier bucket", s.p999);
+        assert!(s.p999 <= s.max);
     }
 
     #[test]

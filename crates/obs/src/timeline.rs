@@ -1,0 +1,408 @@
+//! The availability timeline: a fixed-capacity ring of simulated-time
+//! buckets sampling throughput, in-flight transactions, commit latency,
+//! and recovery progress — the substrate for latency-through-crash and
+//! time-to-first-transaction curves.
+//!
+//! Every sample is stamped with the machine-wide makespan (`max_clock`),
+//! the only clock that is monotone across nodes, and lands in the bucket
+//! `at / bucket_cycles`. The ring holds the newest `capacity` buckets;
+//! older buckets are evicted, so a long run degrades into a sliding
+//! window instead of growing without bound.
+//!
+//! Besides the buckets, the timeline latches three exact markers — the
+//! last crash injection, the last recovery completion, and the first
+//! commit after that recovery — from which [`Timeline::time_to_first_txn`]
+//! answers the availability question directly: how many simulated cycles
+//! passed between the crash and the first post-recovery commit.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default number of retained buckets.
+pub const DEFAULT_TIMELINE_CAPACITY: usize = 512;
+
+/// Default bucket width in simulated cycles (10 ms at 100 cycles/µs).
+pub const DEFAULT_BUCKET_CYCLES: u64 = 1_000_000;
+
+/// One simulated-time bucket of the availability timeline.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimelineBucket {
+    /// Bucket start, simulated cycles.
+    pub start: u64,
+    /// Transactions begun in this bucket.
+    pub begins: u64,
+    /// Transactions committed in this bucket.
+    pub commits: u64,
+    /// Transactions aborted in this bucket.
+    pub aborts: u64,
+    /// Crash injections in this bucket.
+    pub crashes: u64,
+    /// Maximum in-flight transactions sampled in this bucket.
+    pub in_flight_max: u64,
+    /// Sum of commit latencies (simulated cycles) in this bucket.
+    pub latency_sum: u128,
+    /// Number of latency samples in this bucket.
+    pub latency_count: u64,
+    /// Cumulative `restart.scan_records` at the last sample.
+    pub scan_records: u64,
+    /// Cumulative `restart.redo_applied` at the last sample.
+    pub redo_applied: u64,
+    /// Redo candidates planned by the analysis scan (progress target).
+    pub redo_planned: u64,
+}
+
+struct TlInner {
+    bucket_cycles: u64,
+    capacity: usize,
+    /// Bucket index (`at / bucket_cycles`) of `buckets[0]`.
+    base_index: u64,
+    buckets: VecDeque<TimelineBucket>,
+    last_crash_at: Option<u64>,
+    last_recovery_end: Option<u64>,
+    first_commit_after: Option<u64>,
+    /// Latched by a recovery completion; the next commit resolves it.
+    awaiting_first_commit: bool,
+}
+
+impl Default for TlInner {
+    fn default() -> Self {
+        TlInner {
+            bucket_cycles: DEFAULT_BUCKET_CYCLES,
+            capacity: DEFAULT_TIMELINE_CAPACITY,
+            base_index: 0,
+            buckets: VecDeque::new(),
+            last_crash_at: None,
+            last_recovery_end: None,
+            first_commit_after: None,
+            awaiting_first_commit: false,
+        }
+    }
+}
+
+impl TlInner {
+    /// The bucket containing `at`, creating/evicting as needed. Returns
+    /// None for samples older than the retained window.
+    fn bucket_mut(&mut self, at: u64) -> Option<&mut TimelineBucket> {
+        let idx = at / self.bucket_cycles;
+        if self.buckets.is_empty() {
+            self.base_index = idx;
+            self.buckets.push_back(TimelineBucket {
+                start: idx * self.bucket_cycles,
+                ..Default::default()
+            });
+        }
+        if idx < self.base_index {
+            return None;
+        }
+        // A gap wider than the whole ring: drop the stale window outright
+        // rather than pushing (and immediately evicting) filler buckets.
+        if idx >= self.base_index + self.buckets.len() as u64 + self.capacity as u64 {
+            self.buckets.clear();
+            self.base_index = idx;
+            self.buckets.push_back(TimelineBucket {
+                start: idx * self.bucket_cycles,
+                ..Default::default()
+            });
+        }
+        while self.base_index + (self.buckets.len() as u64) <= idx {
+            let next = self.base_index + self.buckets.len() as u64;
+            if self.buckets.len() >= self.capacity {
+                self.buckets.pop_front();
+                self.base_index += 1;
+            }
+            self.buckets.push_back(TimelineBucket {
+                start: next * self.bucket_cycles,
+                ..Default::default()
+            });
+        }
+        let off = (idx - self.base_index) as usize;
+        self.buckets.get_mut(off)
+    }
+}
+
+/// Shared availability timeline. `Clone` shares the ring.
+#[derive(Clone, Default)]
+pub struct Timeline {
+    enabled: Arc<AtomicBool>,
+    inner: Arc<Mutex<TlInner>>,
+}
+
+impl Timeline {
+    /// New disabled timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the timeline currently samples. Disabled, every sampler is
+    /// a single relaxed load + branch.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Start sampling with the given bucket width in simulated cycles and
+    /// ring capacity (0 means the respective default).
+    pub fn enable(&self, bucket_cycles: u64, capacity: usize) {
+        let mut g = self.inner.lock().unwrap();
+        g.bucket_cycles = if bucket_cycles == 0 { DEFAULT_BUCKET_CYCLES } else { bucket_cycles };
+        g.capacity = if capacity == 0 { DEFAULT_TIMELINE_CAPACITY } else { capacity };
+        while g.buckets.len() > g.capacity {
+            g.buckets.pop_front();
+            g.base_index += 1;
+        }
+        drop(g);
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stop sampling; buckets and markers remain readable.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Discard all buckets and markers, keeping the configuration.
+    pub fn reset(&self) {
+        let mut g = self.inner.lock().unwrap();
+        let (w, c) = (g.bucket_cycles, g.capacity);
+        *g = TlInner { bucket_cycles: w, capacity: c, ..TlInner::default() };
+    }
+
+    /// Bucket width, simulated cycles.
+    pub fn bucket_cycles(&self) -> u64 {
+        self.inner.lock().unwrap().bucket_cycles
+    }
+
+    /// Sample a transaction begin at makespan `at` with `in_flight`
+    /// transactions active (this one included).
+    #[inline]
+    pub fn on_begin(&self, at: u64, in_flight: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        if let Some(b) = g.bucket_mut(at) {
+            b.begins += 1;
+            b.in_flight_max = b.in_flight_max.max(in_flight);
+        }
+    }
+
+    /// Sample a commit: `latency` is the transaction's end-to-end
+    /// simulated latency (0 when spans are off), `in_flight` the count of
+    /// still-active transactions.
+    #[inline]
+    pub fn on_commit(&self, at: u64, latency: u64, in_flight: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        if g.awaiting_first_commit {
+            g.awaiting_first_commit = false;
+            g.first_commit_after = Some(at);
+        }
+        if let Some(b) = g.bucket_mut(at) {
+            b.commits += 1;
+            b.latency_sum += latency as u128;
+            b.latency_count += 1;
+            b.in_flight_max = b.in_flight_max.max(in_flight);
+        }
+    }
+
+    /// Sample an abort.
+    #[inline]
+    pub fn on_abort(&self, at: u64, in_flight: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        if let Some(b) = g.bucket_mut(at) {
+            b.aborts += 1;
+            b.in_flight_max = b.in_flight_max.max(in_flight);
+        }
+    }
+
+    /// Mark a crash injection: starts a fresh time-to-first-txn window.
+    #[inline]
+    pub fn on_crash(&self, at: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        g.last_crash_at = Some(at);
+        g.first_commit_after = None;
+        g.awaiting_first_commit = false;
+        if let Some(b) = g.bucket_mut(at) {
+            b.crashes += 1;
+        }
+    }
+
+    /// Sample recovery progress: cumulative analysis/redo counters against
+    /// the planned redo volume.
+    #[inline]
+    pub fn recovery_progress(
+        &self,
+        at: u64,
+        scan_records: u64,
+        redo_applied: u64,
+        redo_planned: u64,
+    ) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        if let Some(b) = g.bucket_mut(at) {
+            b.scan_records = scan_records;
+            b.redo_applied = redo_applied;
+            b.redo_planned = redo_planned;
+        }
+    }
+
+    /// Mark recovery completion: the next commit closes the
+    /// time-to-first-txn window opened by [`Timeline::on_crash`].
+    #[inline]
+    pub fn on_recovery_end(&self, at: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        g.last_recovery_end = Some(at);
+        if g.last_crash_at.is_some() && g.first_commit_after.is_none() {
+            g.awaiting_first_commit = true;
+        }
+    }
+
+    /// Simulated cycles from the last crash injection to the first commit
+    /// after the recovery that followed it (None until both happened).
+    /// This is the availability gap a client would see through the crash:
+    /// outage + recovery + the first transaction's own latency.
+    pub fn time_to_first_txn(&self) -> Option<u64> {
+        let g = self.inner.lock().unwrap();
+        Some(g.first_commit_after?.saturating_sub(g.last_crash_at?))
+    }
+
+    /// Makespan of the last crash injection.
+    pub fn last_crash_at(&self) -> Option<u64> {
+        self.inner.lock().unwrap().last_crash_at
+    }
+
+    /// Makespan when the last recovery completed.
+    pub fn last_recovery_end(&self) -> Option<u64> {
+        self.inner.lock().unwrap().last_recovery_end
+    }
+
+    /// Copy of the retained buckets, oldest first.
+    pub fn snapshot(&self) -> Vec<TimelineBucket> {
+        self.inner.lock().unwrap().buckets.iter().cloned().collect()
+    }
+
+    /// The timeline as CSV, one row per retained bucket:
+    /// `bucket_start,begins,commits,aborts,crashes,in_flight_max,latency_sum,latency_count,scan_records,redo_applied,redo_planned`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "bucket_start,begins,commits,aborts,crashes,in_flight_max,latency_sum,latency_count,scan_records,redo_applied,redo_planned\n",
+        );
+        for b in self.snapshot() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                b.start,
+                b.begins,
+                b.commits,
+                b.aborts,
+                b.crashes,
+                b.in_flight_max,
+                b.latency_sum,
+                b.latency_count,
+                b.scan_records,
+                b.redo_applied,
+                b.redo_planned
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_timeline_samples_nothing() {
+        let t = Timeline::new();
+        t.on_begin(10, 1);
+        t.on_commit(20, 10, 0);
+        t.on_crash(30);
+        assert!(t.snapshot().is_empty());
+        assert!(t.time_to_first_txn().is_none());
+    }
+
+    #[test]
+    fn samples_land_in_width_sized_buckets() {
+        let t = Timeline::new();
+        t.enable(100, 8);
+        t.on_begin(10, 1);
+        t.on_begin(50, 2);
+        t.on_commit(150, 140, 1);
+        t.on_commit(199, 149, 0);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!((snap[0].start, snap[0].begins, snap[0].in_flight_max), (0, 2, 2));
+        assert_eq!((snap[1].start, snap[1].commits, snap[1].latency_sum), (100, 2, 289));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_survives_giant_gaps() {
+        let t = Timeline::new();
+        t.enable(10, 3);
+        for at in [5u64, 15, 25, 35] {
+            t.on_begin(at, 1);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 3, "ring bounded");
+        assert_eq!(snap[0].start, 10, "oldest bucket evicted");
+        // Out-of-order sample older than the window is dropped silently.
+        t.on_begin(2, 1);
+        assert_eq!(t.snapshot()[0].start, 10);
+        // A gap far beyond the ring restarts the window.
+        t.on_begin(10_000, 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].start, 10_000);
+    }
+
+    #[test]
+    fn time_to_first_txn_spans_crash_to_first_post_recovery_commit() {
+        let t = Timeline::new();
+        t.enable(100, 16);
+        t.on_commit(50, 10, 0);
+        assert!(t.time_to_first_txn().is_none(), "no crash yet");
+        t.on_crash(1_000);
+        t.recovery_progress(1_500, 40, 10, 12);
+        t.on_recovery_end(2_000);
+        assert!(t.time_to_first_txn().is_none(), "no commit yet");
+        t.on_commit(2_600, 300, 0);
+        t.on_commit(2_900, 300, 0);
+        assert_eq!(t.time_to_first_txn(), Some(1_600), "crash → first commit");
+        assert_eq!(t.last_recovery_end(), Some(2_000));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("bucket_start,begins,commits,"));
+        assert!(
+            csv.contains("1500,0,0,0,0,0,0,0,40,10,12")
+                || t.snapshot().iter().any(|b| b.scan_records == 40 && b.redo_planned == 12)
+        );
+    }
+
+    #[test]
+    fn a_second_crash_restarts_the_window() {
+        let t = Timeline::new();
+        t.enable(100, 16);
+        t.on_crash(1_000);
+        t.on_recovery_end(1_500);
+        t.on_commit(1_800, 10, 0);
+        assert_eq!(t.time_to_first_txn(), Some(800));
+        t.on_crash(5_000);
+        assert!(t.time_to_first_txn().is_none(), "window reset by new crash");
+        t.on_recovery_end(6_000);
+        t.on_commit(6_300, 10, 0);
+        assert_eq!(t.time_to_first_txn(), Some(1_300));
+    }
+}

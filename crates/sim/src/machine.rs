@@ -49,11 +49,11 @@ pub const FAULT_INVALIDATE: &str = "sim.invalidate";
 /// Obs counter: cumulative open-addressing probe steps on the line-index
 /// lookup path (`sim.index_probes`). A healthy index stays near one probe
 /// per lookup; growth signals clustering.
-pub const METRIC_INDEX_PROBES: &str = "sim.index_probes";
+pub const METRIC_INDEX_PROBES: &str = smdb_obs::names::SIM_INDEX_PROBES;
 /// Obs counter: line-store slots recycled from the free list instead of
 /// growing the arena (`sim.buf_reuse`). Non-zero means the steady state is
 /// allocation-free.
-pub const METRIC_BUF_REUSE: &str = "sim.buf_reuse";
+pub const METRIC_BUF_REUSE: &str = smdb_obs::names::SIM_BUF_REUSE;
 
 /// One line's directory entry + metadata. Data lives in the machine's
 /// arena at `slot_index × line_size`.

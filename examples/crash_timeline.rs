@@ -1,14 +1,17 @@
 //! Observability tour: record a cross-layer event timeline through normal
 //! operation, a migration-triggered log force, a crash, and the seven
 //! phases of IFA recovery — then print it, the per-phase cost breakdown,
-//! and the metrics registry.
+//! the per-transaction span attribution, the availability timeline with
+//! time-to-first-transaction, and the metrics registry, and write the
+//! whole run as a Chrome trace (open `target/crash_timeline.trace.json`
+//! in Perfetto or `chrome://tracing`).
 //!
 //! ```text
 //! cargo run --example crash_timeline
 //! ```
 
 use smdb::core::{DbConfig, ProtocolKind, SmDb};
-use smdb::obs::Event;
+use smdb::obs::{Event, Stage};
 use smdb::sim::NodeId;
 
 fn main() {
@@ -70,7 +73,41 @@ fn main() {
     }
     println!("{:<16} {:>12}", "total", outcome.recovery_cycles);
 
+    // --- first transaction after recovery ---------------------------
+    // The availability clock stops at the first post-recovery commit:
+    // run one so `time_to_first_txn` resolves.
+    let t2 = db.begin(NodeId(0)).expect("begin t2");
+    db.update(t2, 2, b"carol=75").expect("update r2");
+    db.commit(t2).expect("commit t2");
+
+    // --- per-transaction spans --------------------------------------
+    println!("\n=== transaction spans (cycles by stage) ===\n");
+    let agg = obs.spans.aggregate();
+    println!("finished: {} ({} committed, {} aborted)", agg.finished, agg.committed, agg.aborted);
+    for stage in Stage::ALL {
+        println!("{:<12} {:>12}", stage.name(), agg.stage_cycles[stage.index()]);
+    }
+    let lat = agg.latency.snapshot();
+    println!("latency p50/p99: {} / {} cycles", lat.p50, lat.p99);
+
+    // --- availability timeline --------------------------------------
+    println!("\n=== availability timeline ===\n");
+    print!("{}", obs.timeline.to_csv());
+    if let (Some(crash), Some(up)) =
+        (obs.timeline.last_crash_at(), obs.timeline.last_recovery_end())
+    {
+        println!("\ncrash at {crash}, recovery done at {up} (+{} cycles)", up - crash);
+    }
+    if let Some(ttft) = obs.timeline.time_to_first_txn() {
+        println!("time to first post-recovery commit: {ttft} cycles");
+    }
+
     // --- metrics registry -------------------------------------------
     println!("\n=== metrics (CSV export) ===\n");
     print!("{}", obs.metrics.snapshot().to_csv());
+
+    // --- Chrome trace export ----------------------------------------
+    let path = "target/crash_timeline.trace.json";
+    std::fs::write(path, obs.export_chrome_trace()).expect("write trace");
+    println!("\nwrote {path} (load in Perfetto / chrome://tracing)");
 }

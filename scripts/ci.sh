@@ -50,4 +50,20 @@ if ! ./target/release/report --e8fwd --fast --csv > /dev/null; then
     echo "e8fwd report failed (non-blocking): rerun report --e8fwd" >&2
 fi
 
+echo "== E9-lat latency report (non-blocking) =="
+# Refresh the transaction-latency breakdown CSV (DESIGN §11). The
+# blocking gates are the e9_latency / exporter_golden / metric_names
+# integration tests, already run by the workspace test step above.
+if ! ./target/release/report --e9lat --fast --csv > /dev/null; then
+    echo "e9lat report failed (non-blocking): rerun report --e9lat" >&2
+fi
+
+echo "== observability overhead smoke (non-blocking) =="
+# The disabled-path contract (one relaxed load + branch per emission
+# site) is wall-clock sensitive; run the bench in test mode so broken
+# instrumentation fails loudly without gating on timings.
+if ! cargo bench -q -p smdb-bench --bench obs_overhead -- --test > /dev/null; then
+    echo "obs_overhead smoke failed (non-blocking)" >&2
+fi
+
 echo "CI OK"
