@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Flags: `--table1 --e1 --e2 --e3 --e4 --e5 --e6 --e7 --e7scale --e8
-//! --e8fwd --e9 --e9lat --e10 --fast --csv --jobs N --json [PATH]`
+//! --e8fwd --e9 --e9lat --e10 --e10elr --fast --csv --jobs N --json [PATH]`
 //!
 //! Every experiment is a deterministic, independent *cell*; `--jobs N`
 //! fans the cells across N OS threads and merges stdout sections and CSV
@@ -753,6 +753,72 @@ fn e9lat_cell(t1_txns: usize) -> Section {
     Section { text: s, csvs, cycles_per_op }
 }
 
+fn e10elr_cell(mix_txns: usize) -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let _ = writeln!(p, "== E10-elr: early lock release + pipelined group commit ==");
+    let _ = writeln!(p, "   (8 nodes, {mix_txns} contended Zipf TP1 txns per cell, pipelined");
+    let _ = writeln!(p, "    commit window 8, polling locks, coalesced forces; ELR releases");
+    let _ = writeln!(p, "    write locks at commit-record append)\n");
+    let _ = writeln!(
+        p,
+        "{:<24} {:>4} {:>6} {:>10} {:>12} {:>8} {:>9} {:>6} {:>9}",
+        "protocol", "elr", "txns", "cyc/txn", "lock-wait", "stalls", "violated", "deps", "rec-frcd"
+    );
+    let pts = x::e10_elr(mix_txns);
+    for pt in &pts {
+        let _ = writeln!(
+            p,
+            "{:<24} {:>4} {:>6} {:>10} {:>12} {:>8} {:>9} {:>6} {:>9}",
+            pt.protocol,
+            if pt.elr { "on" } else { "off" },
+            pt.committed,
+            pt.cycles_per_txn,
+            pt.lock_wait_cycles,
+            pt.lock_stalls,
+            pt.early_released,
+            pt.commit_deps,
+            pt.records_forced
+        );
+    }
+    // BENCH_report.json trajectory figure: mean cycles/txn across the
+    // ELR-on cells (the fast lane under measurement).
+    let on: Vec<&x::ElrPoint> = pts.iter().filter(|pt| pt.elr).collect();
+    let cycles_per_op = if on.is_empty() {
+        None
+    } else {
+        Some(on.iter().map(|pt| pt.cycles_per_txn).sum::<u64>() / on.len() as u64)
+    };
+    let csvs = vec![CsvArtifact {
+        name: "e10_elr",
+        header: "protocol,elr,committed,cycles_per_txn,lock_wait_cycles,lock_stalls,\
+             early_released,commit_deps,dep_aborts,forces_requested,physical_forces,\
+             records_forced",
+        rows: pts
+            .iter()
+            .map(|pt| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{}",
+                    pt.protocol,
+                    pt.elr,
+                    pt.committed,
+                    pt.cycles_per_txn,
+                    pt.lock_wait_cycles,
+                    pt.lock_stalls,
+                    pt.early_released,
+                    pt.commit_deps,
+                    pt.dep_aborts,
+                    pt.forces_requested,
+                    pt.physical_forces,
+                    pt.records_forced
+                )
+            })
+            .collect(),
+    }];
+    let _ = writeln!(p);
+    Section { text: s, csvs, cycles_per_op }
+}
+
 fn e10_cell() -> Section {
     let mut s = String::new();
     let p = &mut s;
@@ -835,6 +901,9 @@ fn main() {
     }
     if want(&args, "--e10") {
         cells.push(Cell { name: "e10_blast_radius", run: Box::new(e10_cell) });
+    }
+    if want(&args, "--e10elr") {
+        cells.push(Cell { name: "e10_elr", run: Box::new(move || e10elr_cell(mix_txns)) });
     }
 
     let t0 = Instant::now();

@@ -838,6 +838,94 @@ pub fn e9_latency(txns: usize) -> Vec<LatencyPoint> {
 }
 
 // ----------------------------------------------------------------------
+// E10-elr — early lock release + pipelined group commit under contention
+// ----------------------------------------------------------------------
+
+/// One (protocol, early-lock-release) cell of the contended pipelined mix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ElrPoint {
+    /// Protocol measured.
+    pub protocol: String,
+    /// Whether controlled lock violation (early lock release) was on.
+    pub elr: bool,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Simulated cycles per committed transaction.
+    pub cycles_per_txn: u64,
+    /// Cycles attributed to waiting on record locks (span stage total —
+    /// polling retries accumulate here).
+    pub lock_wait_cycles: u64,
+    /// Operations that found their lock held and retried in place.
+    pub lock_stalls: u64,
+    /// Write locks released at commit-record append time.
+    pub early_released: u64,
+    /// Commit-LSN dependencies inherited through violated locks.
+    pub commit_deps: u64,
+    /// Dependents aborted because a predecessor died before the covering
+    /// force (0 in a crash-free run).
+    pub dep_aborts: u64,
+    /// Log-force requests (physical + coalesced).
+    pub forces_requested: u64,
+    /// Physical log forces performed.
+    pub physical_forces: u64,
+    /// Log records made durable, measured over the run *plus* a closing
+    /// checkpoint that forces every log to its tip — i.e. the total
+    /// durability volume of the cell, which must not depend on the
+    /// lock-release policy.
+    pub records_forced: u64,
+}
+
+/// The high-contention Zipf TP1 cell under every IFA protocol, with
+/// controlled lock violation off and on. All cells run the pipelined
+/// group-commit driver over a polling lock manager with coalesced
+/// forces, so the *only* difference between the off and on cell of a
+/// protocol is when write locks come off: at commit acknowledgement
+/// (strict 2PL) versus at commit-record append (violation edges +
+/// dependency-covered acknowledgement). Early release lets successors
+/// run during the force window, so the hot-set serialisation stalls —
+/// and with them whole-run cycles — collapse, while the logged record
+/// stream (and hence `records_forced`) is byte-for-byte the same.
+pub fn e10_elr(txns: usize) -> Vec<ElrPoint> {
+    let mut out = Vec::new();
+    for p in ProtocolKind::ifa_protocols() {
+        for elr in [false, true] {
+            let mut cfg = DbConfig::bench(8, p).with_coalesced_forces().with_lock_polling();
+            if elr {
+                cfg = cfg.with_early_lock_release();
+            }
+            let mut db = SmDb::new(cfg);
+            db.enable_observability(0);
+            let records0 = db.logs().total_records_forced();
+            let report = run_mix(&mut db, MixParams::contended_tp1(txns));
+            // Close the cell by forcing every log to its tip (one
+            // checkpoint record per node, identical in both cells): total
+            // records forced == total records appended, making the
+            // durability volume comparable across lock policies.
+            db.checkpoint(NodeId(0)).expect("closing checkpoint");
+            let records_forced = db.logs().total_records_forced() - records0;
+            db.check_ifa(NodeId(0)).assert_ok();
+            let agg = db.observability().spans.aggregate();
+            let stats = db.stats();
+            out.push(ElrPoint {
+                protocol: format!("{p:?}"),
+                elr,
+                committed: report.committed,
+                cycles_per_txn: report.sim_cycles / report.committed.max(1),
+                lock_wait_cycles: agg.stage_cycles[Stage::LockWait.index()],
+                lock_stalls: report.lock_stalls,
+                early_released: db.lock_stats().early_released,
+                commit_deps: stats.commit_deps,
+                dep_aborts: stats.dep_aborts,
+                forces_requested: report.forces_requested,
+                physical_forces: report.physical_forces,
+                records_forced,
+            });
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
 // Shared small helpers for the report binary and benches
 // ----------------------------------------------------------------------
 
@@ -895,6 +983,24 @@ mod tests {
             if !pt.coalesce {
                 assert_eq!(pt.physical_forces, pt.forces_requested, "{pt:?}");
             }
+        }
+    }
+
+    #[test]
+    fn e10_elr_smoke() {
+        let pts = e10_elr(16);
+        assert_eq!(pts.len(), 8, "4 IFA protocols x ELR off/on");
+        for pair in pts.chunks(2) {
+            let (off, on) = (&pair[0], &pair[1]);
+            assert!(!off.elr && on.elr, "cells ordered off, on: {pair:?}");
+            assert_eq!(off.protocol, on.protocol);
+            assert!(off.committed > 0 && on.committed > 0, "{pair:?}");
+            assert_eq!(off.early_released, 0, "{off:?}");
+            assert!(on.early_released > 0, "{on:?}");
+            assert_eq!(
+                off.records_forced, on.records_forced,
+                "durability volume must not depend on the lock policy: {pair:?}"
+            );
         }
     }
 

@@ -1,0 +1,81 @@
+//! E10-elr acceptance gate: early lock release + pipelined group commit
+//! must pay off under contention without changing what becomes durable.
+//!
+//! The high-contention Zipf TP1 cell serialises the whole commit window
+//! behind a handful of hot record locks. Under strict 2PL those locks
+//! only come off once the commit force completes, so every hot
+//! transaction eats a force latency; controlled lock violation releases
+//! them at commit-record *append*, letting successors run inside the
+//! force window and the coalesced group force amortise across the
+//! pipeline. The gate is comparative — both cells run in-process on the
+//! identical operation stream — so it holds on any host.
+
+use smdb_bench::{e10_elr, ElrPoint};
+
+const TXNS: usize = 200;
+
+fn cells() -> Vec<ElrPoint> {
+    e10_elr(TXNS)
+}
+
+fn pair<'a>(pts: &'a [ElrPoint], protocol: &str) -> (&'a ElrPoint, &'a ElrPoint) {
+    let off = pts.iter().find(|p| p.protocol == protocol && !p.elr).expect("off cell");
+    let on = pts.iter().find(|p| p.protocol == protocol && p.elr).expect("on cell");
+    (off, on)
+}
+
+#[test]
+fn stable_eager_elr_speedup_is_at_least_1_5x() {
+    let pts = cells();
+    let (off, on) = pair(&pts, "StableEager");
+    assert_eq!(off.committed, TXNS as u64, "{off:?}");
+    assert_eq!(on.committed, TXNS as u64, "{on:?}");
+    // cycles/txn(off) >= 1.5 * cycles/txn(on), in integer arithmetic.
+    assert!(
+        2 * off.cycles_per_txn >= 3 * on.cycles_per_txn,
+        "ELR speedup below 1.5x on StableEager: off={} on={}",
+        off.cycles_per_txn,
+        on.cycles_per_txn
+    );
+}
+
+#[test]
+fn elr_reduces_lock_wait_cycles_on_every_protocol() {
+    let pts = cells();
+    for p in ["VolatileRedoAll", "VolatileSelectiveRedo", "StableEager", "StableTriggered"] {
+        let (off, on) = pair(&pts, p);
+        assert!(off.lock_stalls > 0, "cell must actually contend: {off:?}");
+        assert!(
+            on.lock_wait_cycles < off.lock_wait_cycles,
+            "{p}: lock-wait cycles did not drop: off={} on={}",
+            off.lock_wait_cycles,
+            on.lock_wait_cycles
+        );
+    }
+}
+
+#[test]
+fn elr_does_not_change_durability_volume() {
+    let pts = cells();
+    for p in ["VolatileRedoAll", "VolatileSelectiveRedo", "StableEager", "StableTriggered"] {
+        let (off, on) = pair(&pts, p);
+        assert_eq!(off.committed, on.committed, "{p}: committed counts diverged");
+        assert_eq!(
+            off.records_forced, on.records_forced,
+            "{p}: records forced diverged between lock policies"
+        );
+    }
+}
+
+#[test]
+fn violation_machinery_is_exercised_and_clean() {
+    let pts = cells();
+    for p in ["VolatileRedoAll", "VolatileSelectiveRedo", "StableEager", "StableTriggered"] {
+        let (off, on) = pair(&pts, p);
+        assert_eq!(off.early_released, 0, "{off:?}");
+        assert_eq!(off.commit_deps, 0, "{off:?}");
+        assert!(on.early_released > 0, "hot locks must be violated: {on:?}");
+        assert!(on.commit_deps > 0, "successors must inherit deps: {on:?}");
+        assert_eq!(on.dep_aborts, 0, "crash-free run must not cascade: {on:?}");
+    }
+}

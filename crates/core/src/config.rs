@@ -158,6 +158,25 @@ pub struct DbConfig {
     /// because a crash discards the pending window exactly like any other
     /// unforced log tail.
     pub coalesce_forces: bool,
+    /// Early lock release (controlled lock violation): a committing
+    /// transaction releases its write locks at commit-record *append* time
+    /// instead of after the commit force. A transaction that then touches a
+    /// violated name inherits a commit-LSN dependency on the releaser and
+    /// is only acknowledged once a physical force covers the whole
+    /// dependency chain; if a predecessor's node crashes before that
+    /// covering force, dependents abort in cascade. Recovery itself is
+    /// unchanged — the commit point is still the durable commit record.
+    pub early_lock_release: bool,
+    /// Poll conflicting lock requests instead of queueing them: a
+    /// conflicting acquire returns [`crate::DbError::WouldBlock`] without
+    /// parking a logged waiter in the LCB, and the caller re-issues the
+    /// request later (paying the LCB probe each time). Used by the
+    /// pipelined-commit drivers, whose blocked transactions retry in place
+    /// rather than abort — polling keeps the log-record stream identical
+    /// whether or not a request happened to conflict, which is what lets
+    /// the E10-elr experiment compare durability volume across lock
+    /// policies.
+    pub lock_poll: bool,
 }
 
 impl DbConfig {
@@ -180,6 +199,8 @@ impl DbConfig {
             index_pages: 64,
             stall_on_lost: false,
             coalesce_forces: false,
+            early_lock_release: false,
+            lock_poll: false,
         }
     }
 
@@ -201,6 +222,8 @@ impl DbConfig {
             index_pages: 256,
             stall_on_lost: false,
             coalesce_forces: false,
+            early_lock_release: false,
+            lock_poll: false,
         }
     }
 
@@ -231,6 +254,18 @@ impl DbConfig {
     /// Enable coalesced (group) log forces.
     pub fn with_coalesced_forces(mut self) -> Self {
         self.coalesce_forces = true;
+        self
+    }
+
+    /// Enable early lock release (controlled lock violation).
+    pub fn with_early_lock_release(mut self) -> Self {
+        self.early_lock_release = true;
+        self
+    }
+
+    /// Poll conflicting lock requests instead of queueing them.
+    pub fn with_lock_polling(mut self) -> Self {
+        self.lock_poll = true;
         self
     }
 }

@@ -22,12 +22,13 @@ use smdb_btree::{
     FORCE_RECORDS_HISTOGRAM, PHYSICAL_FORCES_COUNTER, VAL_SIZE,
 };
 use smdb_fault::FaultInjector;
-use smdb_lock::{LockManager, LockMode, LockOutcome, LockTable};
+use smdb_lock::{LockManager, LockMode, LockOutcome, LockTable, ViolationTable};
 use smdb_obs::{names, Event as ObsEvent, ForceReason, Obs, Stage};
 use smdb_sim::{LineId, Machine, NodeId, SimConfig, TxnId};
 use smdb_storage::{PageGeometry, PageId, StableDb};
 use smdb_wal::{
-    CheckpointMeta, CheckpointStore, LbmMode, LogPayload, LogSet, Lsn, PageLsnTable, RecId,
+    CheckpointMeta, CheckpointStore, CommitDep, LbmMode, LogPayload, LogSet, Lsn, PageLsnTable,
+    RecId,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -42,6 +43,41 @@ pub const UPDATE_CYCLES_HISTOGRAM: &str = names::ENGINE_UPDATE_CYCLES;
 /// the commit force succeeds but before post-commit processing (a crash
 /// here must preserve the transaction — its commit record is durable).
 pub const FAULT_COMMIT: &str = "core.commit";
+
+/// Fault-injection site on the pipelined commit path with early lock
+/// release: visited *after* the commit record is appended and the write
+/// locks are released (violation edges recorded) but *before* any covering
+/// force. A crash here loses the commit record, dooms the transaction, and
+/// must cascade-abort every dependent that touched the violated names.
+pub const FAULT_COMMIT_DEP: &str = "core.commit.dep";
+
+/// One commit-LSN dependency a transaction inherited by acquiring a lock
+/// name that a not-yet-durable committer released early.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct InheritedDep {
+    /// The early-releasing predecessor.
+    pub releaser: TxnId,
+    /// LSN of the predecessor's commit record on its home log.
+    pub commit_lsn: Lsn,
+    /// The violated lock name the dependency was inherited through.
+    pub name: u64,
+}
+
+/// A pipelined commit awaiting acknowledgement: its record is appended
+/// (and under early lock release its locks are gone) but the
+/// acknowledgement is deferred until a physical force covers `lsn` *and*
+/// every dependency predecessor has itself been acknowledged.
+#[derive(Clone, Debug)]
+pub(crate) struct PendingCommit {
+    pub txn: TxnId,
+    pub node: NodeId,
+    /// LSN of the commit record on the home log.
+    pub lsn: Lsn,
+    /// Dependencies recorded inside the commit record.
+    pub deps: Vec<CommitDep>,
+    /// Home-node clock when the append completed (force-wait attribution).
+    pub appended_at: u64,
+}
 
 /// The shared-memory multi-node database engine.
 ///
@@ -86,6 +122,15 @@ pub struct SmDb {
     /// incomplete recovery attempt (same hazard as `stale_heap_lines`:
     /// their entries are stale until index redo completes).
     pub(crate) stale_tree_pages: BTreeSet<PageId>,
+    /// Pipelined commits awaiting acknowledgement, in append order.
+    pub(crate) pending_commits: Vec<PendingCommit>,
+    /// Lock names released early by not-yet-acknowledged committers
+    /// (controlled lock violation bookkeeping).
+    pub(crate) violations: ViolationTable,
+    /// Commit-LSN dependencies each transaction inherited by touching a
+    /// violated name. Kept until the transaction is acknowledged or
+    /// aborted — recovery's cascade analysis reads the violated names.
+    pub(crate) inherited_deps: BTreeMap<TxnId, Vec<InheritedDep>>,
 }
 
 /// Construct a [`TreeCtx`] over the engine's split-borrowed fields.
@@ -181,6 +226,9 @@ impl SmDb {
             pending_total_failure: false,
             stale_heap_lines: BTreeSet::new(),
             stale_tree_pages: BTreeSet::new(),
+            pending_commits: Vec::new(),
+            violations: ViolationTable::new(),
+            inherited_deps: BTreeMap::new(),
         }
     }
 
@@ -384,7 +432,9 @@ impl SmDb {
 
     fn check_active(&self, txn: TxnId) -> Result<(), DbError> {
         match self.txns.get(&txn) {
-            Some(t) if t.is_active() => Ok(()),
+            // A pipelined commit in flight (`committing`) accepts no
+            // further operations: its commit record is already appended.
+            Some(t) if t.is_active() && !t.committing => Ok(()),
             _ => Err(DbError::TxnNotActive { txn }),
         }
     }
@@ -412,16 +462,47 @@ impl SmDb {
     ) -> Result<(), DbError> {
         let spans_on = self.m.obs().spans.is_enabled();
         let t0 = if spans_on { self.m.now(acting) } else { 0 };
-        let outcome = self.locks.acquire_from(&mut self.m, &mut self.logs, txn, name, mode, acting);
+        let outcome = if self.cfg.lock_poll {
+            self.locks.poll_from(&mut self.m, &mut self.logs, txn, name, mode, acting)
+        } else {
+            self.locks.acquire_from(&mut self.m, &mut self.logs, txn, name, mode, acting)
+        };
         if spans_on {
             let waited = self.m.now(acting).saturating_sub(t0);
             self.m.obs().spans.add(txn.0, Stage::LockWait, waited);
         }
         match outcome? {
-            LockOutcome::Granted | LockOutcome::AlreadyHeld => Ok(()),
+            LockOutcome::Granted => {
+                // Controlled lock violation: acquiring a name a
+                // not-yet-durable committer released early inherits a
+                // commit-LSN dependency on each such releaser.
+                if self.cfg.early_lock_release {
+                    let edges = self.violations.deps_for(name, txn);
+                    if !edges.is_empty() {
+                        let obs = self.m.obs();
+                        if obs.metrics.is_enabled() {
+                            obs.metrics.add(names::TXN_COMMIT_DEPS, edges.len() as u64);
+                        }
+                        self.stats.commit_deps += edges.len() as u64;
+                        self.inherited_deps.entry(txn).or_default().extend(edges.into_iter().map(
+                            |e| InheritedDep {
+                                releaser: e.releaser,
+                                commit_lsn: e.commit_lsn,
+                                name,
+                            },
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            LockOutcome::AlreadyHeld => Ok(()),
             LockOutcome::Waiting => {
                 self.stats.would_blocks += 1;
-                self.pending_waits.entry(txn).or_default().push(name);
+                // A polled conflict parked nothing in the LCB, so there is
+                // no queued request to remember (or cancel on abort).
+                if !self.cfg.lock_poll {
+                    self.pending_waits.entry(txn).or_default().push(name);
+                }
                 Err(DbError::WouldBlock { txn, lock: name })
             }
         }
@@ -857,7 +938,34 @@ impl SmDb {
                 }
             }
         }
-        let lsn = self.logs.append(node, LogPayload::Commit { txn });
+        // A synchronous commit acknowledges immediately, so any inherited
+        // commit dependencies (early lock release) must be durable *now*:
+        // force each unacknowledged predecessor's home log through its
+        // commit record before acknowledging on top of it.
+        let deps = self.commit_deps_for(txn);
+        for d in &deps {
+            let pn = d.txn.node();
+            if !self.m.is_crashed(pn) && self.logs.log(pn).durable_lsn() < d.lsn {
+                let pending = if obs_on { self.unforced_records(pn) } else { 0 };
+                if self.logs.force_to_checked(pn, d.lsn)? {
+                    let cost = self.m.config().cost.log_force;
+                    self.m.advance(pn, cost);
+                    self.stats.commit_forces += 1;
+                    if obs_on {
+                        self.note_wal_force(pn, pending, ForceReason::Commit);
+                    }
+                }
+            }
+            if self.logs.log(pn).durable_lsn() < d.lsn {
+                // The predecessor's commit is unrecoverable (its home is
+                // down with the record unforced): this transaction saw
+                // data that will never commit. Surface a retryable
+                // conflict; the caller aborts and retries.
+                self.inherited_deps.remove(&txn);
+                return Err(DbError::WouldBlock { txn, lock: 0 });
+            }
+        }
+        let lsn = self.logs.append(node, LogPayload::Commit { txn, deps });
         self.m
             .obs()
             .bus
@@ -942,7 +1050,294 @@ impl SmDb {
         if obs.timeline.is_enabled() {
             obs.timeline.on_commit(self.m.max_clock(), latency, self.in_flight());
         }
+        self.inherited_deps.remove(&txn);
         Ok(())
+    }
+
+    /// The not-yet-acknowledged commit-LSN dependencies `txn` inherited,
+    /// deduplicated per predecessor. The per-name list stays in
+    /// `inherited_deps` until acknowledgement or abort — recovery's
+    /// cascade analysis needs the violated names.
+    fn commit_deps_for(&self, txn: TxnId) -> Vec<CommitDep> {
+        let mut deps: Vec<CommitDep> = Vec::new();
+        if let Some(list) = self.inherited_deps.get(&txn) {
+            for d in list {
+                let unacked = self
+                    .txns
+                    .get(&d.releaser)
+                    .map(|t| t.status != TxnStatus::Committed)
+                    .unwrap_or(false);
+                if unacked && !deps.iter().any(|c| c.txn == d.releaser) {
+                    deps.push(CommitDep { txn: d.releaser, lsn: d.commit_lsn });
+                }
+            }
+        }
+        deps
+    }
+
+    /// Pipelined commit (group commit): append the commit record and
+    /// return *without* forcing — acknowledgement is deferred to
+    /// [`SmDb::drain_commit_pipeline`], which covers a whole batch with
+    /// one physical force per node.
+    ///
+    /// Under [`DbConfig::early_lock_release`] the transaction's locks are
+    /// released *now*, at append time (controlled lock violation): the
+    /// released exclusive names are recorded as violation edges, so a
+    /// successor acquiring one inherits a commit-LSN dependency instead of
+    /// blocking until the force. The transaction stays `Active` with the
+    /// `committing` flag set — a crash before the covering force dooms it
+    /// (and cascades through its dependents) exactly like any active
+    /// transaction.
+    pub fn commit_pipelined(&mut self, txn: TxnId) -> Result<(), DbError> {
+        self.check_active(txn)?;
+        let node = txn.node();
+        // Crash point: the node dies before its commit record exists.
+        if let Some(c) = self.fault.hit(FAULT_COMMIT, node.0) {
+            return Err(DbError::FaultCrash(c));
+        }
+        // Parallel transactions (§9): participants' updates must be
+        // durable before the home node's commit record.
+        let participants: Vec<NodeId> = self
+            .txns
+            .get(&txn)
+            .expect("checked active")
+            .participants
+            .iter()
+            .copied()
+            .filter(|n| *n != node)
+            .collect();
+        let obs_on = self.m.obs().is_enabled();
+        let spans_on = self.m.obs().spans.is_enabled();
+        let commit_t0 = if spans_on { self.m.now(node) } else { 0 };
+        for p in participants {
+            let pending = if obs_on { self.unforced_records(p) } else { 0 };
+            if self.logs.force_all_checked(p)? {
+                let cost = self.m.config().cost.log_force;
+                self.m.advance(p, cost);
+                self.stats.commit_forces += 1;
+                if obs_on {
+                    self.note_wal_force(p, pending, ForceReason::Commit);
+                }
+            }
+        }
+        let deps = self.commit_deps_for(txn);
+        let lsn = self.logs.append(node, LogPayload::Commit { txn, deps: deps.clone() });
+        self.m
+            .obs()
+            .bus
+            .emit(self.m.now(node), || ObsEvent::WalAppend { node: node.0, lsn: lsn.0 });
+        if self.cfg.early_lock_release {
+            let (released, promoted) =
+                self.locks.early_release_all(&mut self.m, &mut self.logs, txn)?;
+            let xnames: Vec<u64> = released
+                .iter()
+                .filter(|(_, m)| *m == LockMode::Exclusive)
+                .map(|(n, _)| *n)
+                .collect();
+            self.stats.early_lock_releases += xnames.len() as u64;
+            self.violations.record_release(txn, lsn, &xnames);
+            self.pending_waits.remove(&txn);
+            // A promoted waiter acquires the (possibly still violated)
+            // name without passing through the `lock_from` inheritance
+            // hook — inherit its dependencies here.
+            for (name, entry) in promoted {
+                let edges = self.violations.deps_for(name, entry.txn);
+                if !edges.is_empty() {
+                    let obs = self.m.obs();
+                    if obs.metrics.is_enabled() {
+                        obs.metrics.add(names::TXN_COMMIT_DEPS, edges.len() as u64);
+                    }
+                    self.stats.commit_deps += edges.len() as u64;
+                    self.inherited_deps.entry(entry.txn).or_default().extend(
+                        edges.into_iter().map(|e| InheritedDep {
+                            releaser: e.releaser,
+                            commit_lsn: e.commit_lsn,
+                            name,
+                        }),
+                    );
+                }
+                if let Some(waits) = self.pending_waits.get_mut(&entry.txn) {
+                    waits.retain(|n| *n != name);
+                }
+            }
+        }
+        // Crash point: commit record appended, locks (possibly) released,
+        // no covering force yet — a crash here dooms the transaction and
+        // must cascade through every dependent.
+        if let Some(c) = self.fault.hit(FAULT_COMMIT_DEP, node.0) {
+            return Err(DbError::FaultCrash(c));
+        }
+        if self.cfg.coalesce_forces {
+            // Widen the coalescing window so a later physical force on
+            // this log covers the commit record in the same sweep.
+            self.logs.request_force_to(node, lsn);
+        }
+        let appended_at = self.m.now(node);
+        if spans_on {
+            self.m.obs().spans.add(txn.0, Stage::Commit, appended_at.saturating_sub(commit_t0));
+        }
+        self.txns.get_mut(&txn).expect("checked active").committing = true;
+        self.pending_commits.push(PendingCommit { txn, node, lsn, deps, appended_at });
+        Ok(())
+    }
+
+    /// Drain the commit pipeline: one physical group force per live home
+    /// node (through its highest pending commit record), then acknowledge
+    /// every pending commit whose record is durable and whose dependency
+    /// predecessors are all acknowledged. Returns the number of commits
+    /// acknowledged.
+    pub fn drain_commit_pipeline(&mut self) -> Result<usize, DbError> {
+        let obs_on = self.m.obs().is_enabled();
+        let mut targets: BTreeMap<NodeId, Lsn> = BTreeMap::new();
+        for p in &self.pending_commits {
+            if !self.m.is_crashed(p.node) {
+                let e = targets.entry(p.node).or_insert(p.lsn);
+                if p.lsn > *e {
+                    *e = p.lsn;
+                }
+            }
+        }
+        for (node, lsn) in targets {
+            if self.logs.log(node).durable_lsn() >= lsn {
+                continue;
+            }
+            let pending = if obs_on { self.unforced_records(node) } else { 0 };
+            if self.logs.force_to_checked(node, lsn)? {
+                let cost = self.m.config().cost.log_force;
+                self.m.advance(node, cost);
+                self.stats.commit_forces += 1;
+                if obs_on {
+                    self.note_wal_force(node, pending, ForceReason::Commit);
+                }
+            }
+        }
+        self.ack_scan()
+    }
+
+    /// Acknowledge every pending commit whose record is durable and whose
+    /// dependency predecessors have all been acknowledged, iterating to a
+    /// fixpoint so a whole dependency chain settles in one call once the
+    /// covering forces are in.
+    fn ack_scan(&mut self) -> Result<usize, DbError> {
+        let mut acked = 0usize;
+        loop {
+            let mut next = None;
+            for (i, p) in self.pending_commits.iter().enumerate() {
+                if self.logs.log(p.node).durable_lsn() < p.lsn {
+                    continue;
+                }
+                let deps_ok = p.deps.iter().all(|d| {
+                    self.txns.get(&d.txn).map(|t| t.status == TxnStatus::Committed).unwrap_or(true)
+                });
+                if deps_ok {
+                    next = Some(i);
+                    break;
+                }
+            }
+            let Some(i) = next else { break };
+            let p = self.pending_commits.remove(i);
+            self.ack_commit(p)?;
+            acked += 1;
+        }
+        Ok(acked)
+    }
+
+    /// Acknowledge one pipelined commit: its record is durable and every
+    /// predecessor settled. Runs the post-commit processing the append
+    /// deferred (tag clears, delete reclaim, lock release or violation
+    /// resolution) and flips the transaction to `Committed`.
+    fn ack_commit(&mut self, pc: PendingCommit) -> Result<(), DbError> {
+        let PendingCommit { txn, node, appended_at, .. } = pc;
+        let obs_on = self.m.obs().is_enabled();
+        let spans_on = self.m.obs().spans.is_enabled();
+        let ack_t0 = if spans_on { self.m.now(node) } else { 0 };
+        let t = self.txns.get(&txn).expect("pending commit txn exists").clone();
+        if self.cfg.protocol.uses_undo_tags() {
+            for rec in t.touched_records() {
+                // A successor that inherited the record through early
+                // lock release may have re-tagged it and still be in
+                // flight: the tag is the successor's responsibility now.
+                if self.cfg.early_lock_release {
+                    let owned_elsewhere = self.txns.values().any(|o| {
+                        o.id != txn
+                            && o.is_active()
+                            && o.ops
+                                .iter()
+                                .any(|op| matches!(op, TxnOp::Update { rec: r, .. } if *r == rec))
+                    });
+                    if owned_elsewhere {
+                        continue;
+                    }
+                }
+                let off = self.layout.page_offset(rec.slot);
+                let mut ctx = engine_ctx!(self);
+                ctx.write(node, rec.page, off, &NULL_TAG.to_le_bytes())?;
+            }
+        }
+        if let Some(tree) = self.tree.as_mut() {
+            let deleted: Vec<u64> = t
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    TxnOp::IndexDelete { key } => Some(*key),
+                    _ => None,
+                })
+                .collect();
+            let mut ctx = TreeCtx::new(
+                &mut self.m,
+                &mut self.sdb,
+                &mut self.logs,
+                &mut self.plt,
+                self.cfg.protocol.lbm_mode(),
+                &mut self.gsn,
+            )
+            .with_coalescing(self.cfg.coalesce_forces);
+            for key in t.index_keys() {
+                if deleted.contains(&key) {
+                    let gsn = ctx.next_gsn();
+                    ctx.logs.append(node, LogPayload::IndexRemove { txn, key, gsn });
+                }
+                tree.commit_key(&mut ctx, txn, key)?;
+            }
+        }
+        if self.cfg.early_lock_release {
+            // Locks were already released at append time; settle the
+            // violation edges so later acquirers stop inheriting.
+            self.violations.resolve(txn);
+        } else {
+            self.locks.release_all(&mut self.m, &mut self.logs, txn)?;
+            self.pending_waits.remove(&txn);
+        }
+        self.inherited_deps.remove(&txn);
+        let ts = self.txns.get_mut(&txn).expect("pending commit txn exists");
+        ts.status = TxnStatus::Committed;
+        ts.committing = false;
+        self.shadow.commit(txn);
+        self.stats.commits += 1;
+        let mut latency = 0u64;
+        if spans_on {
+            let end_at = self.m.now(node);
+            let obs = self.m.obs();
+            obs.spans.add(txn.0, Stage::ForceWait, ack_t0.saturating_sub(appended_at));
+            obs.spans.add(txn.0, Stage::Commit, end_at.saturating_sub(ack_t0));
+            if let Some(span) = obs.spans.end(txn.0, end_at, true) {
+                latency = span.latency();
+                obs.metrics.observe(names::TXN_LATENCY_CYCLES, latency);
+            }
+        }
+        if obs_on {
+            self.m.obs().metrics.inc(names::TXN_COMMITTED);
+        }
+        let obs = self.m.obs();
+        if obs.timeline.is_enabled() {
+            obs.timeline.on_commit(self.m.max_clock(), latency, self.in_flight());
+        }
+        Ok(())
+    }
+
+    /// Pipelined commits currently awaiting acknowledgement.
+    pub fn pending_commit_count(&self) -> usize {
+        self.pending_commits.len()
     }
 
     /// Voluntarily abort `txn`: undo all its effects (installing before
@@ -1021,6 +1416,10 @@ impl SmDb {
         }
         self.locks.release_all(&mut self.m, &mut self.logs, txn)?;
         self.txns.get_mut(&txn).expect("checked").status = TxnStatus::Aborted;
+        // A voluntary abort restores every inherited value itself; its
+        // commit dependencies die with it (it never appended a commit
+        // record — `check_active` rejects committing transactions here).
+        self.inherited_deps.remove(&txn);
         self.shadow.drop_pending(txn);
         self.stats.voluntary_aborts += 1;
         if spans_on {

@@ -66,7 +66,7 @@ mod stats;
 mod txn;
 
 pub use config::{DbConfig, ProtocolKind, RestartScheme};
-pub use engine::{SmDb, FAULT_COMMIT};
+pub use engine::{SmDb, FAULT_COMMIT, FAULT_COMMIT_DEP};
 pub use error::DbError;
 pub use oracle::{IfaReport, ShadowDb};
 pub use record::RecordLayout;

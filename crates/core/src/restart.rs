@@ -20,7 +20,7 @@
 //! a full rebuild — the behaviour the paper's protocols exist to avoid.
 
 use crate::config::{ProtocolKind, RestartScheme};
-use crate::engine::{engine_ctx, SmDb};
+use crate::engine::{engine_ctx, PendingCommit, SmDb};
 use crate::error::DbError;
 use crate::record::NULL_TAG;
 use crate::txn::TxnStatus;
@@ -302,27 +302,73 @@ impl SmDb {
         crashed
     }
 
+    /// The transactions whose commit is durably *settled*: their commit
+    /// record reached a stable log **and** — under controlled lock
+    /// violation — every commit dependency recorded inside it is itself
+    /// durably settled. Computed as a fixpoint over the per-log
+    /// incremental indexes (no scan; `commit_lsns`/`commit_deps` survive
+    /// checkpoint truncation): chains of violated commits drop from the
+    /// successor end until only fully covered chains remain. A dependency
+    /// on a commit record that was lost with its node's volatile log tail
+    /// can never be satisfied, so the exclusion is permanent across
+    /// however many recoveries follow.
+    pub(crate) fn durably_committed_set(&self) -> BTreeSet<TxnId> {
+        let mut set = BTreeSet::new();
+        let nodes: Vec<NodeId> = self.m.node_ids().collect();
+        for &n in &nodes {
+            for t in self.logs.log(n).stable_commits() {
+                set.insert(t);
+            }
+        }
+        loop {
+            let dropped: Vec<TxnId> = set
+                .iter()
+                .copied()
+                .filter(|t| {
+                    self.logs
+                        .log(t.node())
+                        .index()
+                        .commit_deps_of(*t)
+                        .iter()
+                        .any(|d| !set.contains(&d.txn))
+                })
+                .collect();
+            if dropped.is_empty() {
+                break;
+            }
+            for t in dropped {
+                set.remove(&t);
+            }
+        }
+        set
+    }
+
     /// Flip to `Committed` every transaction still marked active whose
-    /// commit record reached a stable log (see [`SmDb::crash`]).
+    /// commit record reached a stable log with all its dependencies
+    /// durably settled (see [`SmDb::crash`]).
     fn promote_durably_committed(&mut self) {
-        // Commit records are appended to the transaction's home log, so
-        // the home log's incremental index answers durability without a
-        // scan.
+        let durable = self.durably_committed_set();
         let promoted: Vec<TxnId> = self
             .txns
             .values()
-            .filter(|t| t.is_active() && self.logs.log(t.id.node()).is_commit_stable(t.id))
+            .filter(|t| t.is_active() && durable.contains(&t.id))
             .map(|t| t.id)
             .collect();
         for txn in promoted {
             if let Some(t) = self.txns.get_mut(&txn) {
                 t.status = TxnStatus::Committed;
+                t.committing = false;
             }
             self.shadow.commit(txn);
             self.stats.commits += 1;
-            // The home node died mid-commit; the span can never be ended
-            // on a consistent home clock.
+            // The commit settled off its home clock (mid-crash promotion
+            // or a pipelined append overtaken by the crash); the span can
+            // never be ended consistently.
             self.m.obs().spans.discard(txn.0);
+            // Its violation edges are satisfied: successors no longer
+            // inherit, and its own dependencies are settled.
+            self.inherited_deps.remove(&txn);
+            self.violations.resolve(txn);
         }
     }
 
@@ -353,8 +399,57 @@ impl SmDb {
             .filter(|t| t.is_active() && t.participants.iter().any(|p| self.m.is_crashed(*p)))
             .map(|t| t.id)
             .collect();
+        // Controlled lock violation: every still-active transaction that
+        // inherited a commit-LSN dependency — transitively — on a doomed
+        // predecessor saw data that will never commit; it dies with the
+        // predecessor (cascade abort). The closure is recomputed from the
+        // inherited-dependency table on every entry, so an interrupted
+        // recovery re-derives the same set (statuses flip only in the
+        // final phase).
+        let doomed_seed: BTreeSet<TxnId> = crashed_active.iter().copied().collect();
+        let mut dep_doomed: BTreeSet<TxnId> = BTreeSet::new();
+        loop {
+            let mut grew = false;
+            for (txn, deps) in &self.inherited_deps {
+                if doomed_seed.contains(txn) || dep_doomed.contains(txn) {
+                    continue;
+                }
+                if !self.txns.get(txn).map(|t| t.is_active()).unwrap_or(false) {
+                    continue;
+                }
+                if deps
+                    .iter()
+                    .any(|d| doomed_seed.contains(&d.releaser) || dep_doomed.contains(&d.releaser))
+                {
+                    dep_doomed.insert(*txn);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        // Records a doomed dependent reached through a violated lock name
+        // are *contaminated*: the dependent's logged before image may be
+        // the doomed predecessor's own uncommitted value, so undo must
+        // restore the last committed payload instead.
+        let mut contaminated: BTreeSet<RecId> = BTreeSet::new();
+        for txn in doomed_seed.iter().chain(dep_doomed.iter()) {
+            if let Some(deps) = self.inherited_deps.get(txn) {
+                for d in deps {
+                    if d.name >= 2 && d.name % 2 == 0 {
+                        let slot = (d.name - 2) / 2;
+                        if slot < self.cfg.records as u64 {
+                            contaminated.insert(self.layout.rec_of_global(slot));
+                        }
+                    }
+                }
+            }
+        }
+        let doomed_all: Vec<TxnId> =
+            crashed_active.iter().copied().chain(dep_doomed.iter().copied()).collect();
         let surviving_active: Vec<TxnId> =
-            self.active_txns(None).into_iter().filter(|t| !crashed_active.contains(t)).collect();
+            self.active_txns(None).into_iter().filter(|t| !doomed_all.contains(t)).collect();
 
         let survivors = self.m.surviving_nodes();
         let total_failure = self.pending_total_failure || survivors.is_empty();
@@ -374,8 +469,15 @@ impl SmDb {
         if self.cfg.protocol == ProtocolKind::FaOnly || total_failure {
             self.full_restart(&mut outcome, recovery_node)?;
         } else {
-            self.ifa_restart(&mut outcome, recovery_node, &crashed_active, &surviving_active)?;
+            self.ifa_restart(
+                &mut outcome,
+                recovery_node,
+                &doomed_all,
+                &surviving_active,
+                &contaminated,
+            )?;
         }
+        self.resolve_commit_pipeline(&dep_doomed)?;
         outcome.recovery_cycles = self.m.max_clock() - clock0;
         let cycles = outcome.recovery_cycles;
         // Doomed transactions never reach a commit/abort on their home
@@ -414,6 +516,62 @@ impl SmDb {
     /// [`SmDb::crash`] and a completed [`SmDb::recover`]).
     pub fn recovery_pending(&self) -> bool {
         !self.pending_recovery.is_empty()
+    }
+
+    /// Settle the pipelined-commit bookkeeping after a completed recovery:
+    /// count the cascade aborts, drop pending commits whose transaction
+    /// recovery settled (promoted to `Committed`, or aborted — doomed,
+    /// dep-doomed, or FA-only), release the locks of promoted non-ELR
+    /// pipeliners (their deferred acknowledgement never ran), and clear
+    /// the violation edges and inherited dependencies of everything that
+    /// is no longer in flight.
+    fn resolve_commit_pipeline(&mut self, dep_doomed: &BTreeSet<TxnId>) -> Result<(), DbError> {
+        for _ in dep_doomed {
+            self.stats.dep_aborts += 1;
+        }
+        if !dep_doomed.is_empty() {
+            let obs = self.m.obs();
+            if obs.metrics.is_enabled() {
+                obs.metrics.add(names::TXN_DEP_ABORTS, dep_doomed.len() as u64);
+            }
+        }
+        let settled: Vec<PendingCommit> = {
+            let txns = &self.txns;
+            let mut keep = Vec::new();
+            let mut settled = Vec::new();
+            for p in self.pending_commits.drain(..) {
+                if txns.get(&p.txn).map(|t| t.is_active()).unwrap_or(false) {
+                    keep.push(p);
+                } else {
+                    settled.push(p);
+                }
+            }
+            self.pending_commits = keep;
+            settled
+        };
+        for p in settled {
+            let committed =
+                self.txns.get(&p.txn).map(|t| t.status == TxnStatus::Committed).unwrap_or(false);
+            self.violations.resolve(p.txn);
+            self.inherited_deps.remove(&p.txn);
+            if committed && !self.cfg.early_lock_release {
+                // Promoted mid-pipeline while still holding its locks
+                // (without ELR they are released at acknowledgement):
+                // release them now. Crashed homes were scrubbed by lock
+                // recovery already.
+                if !self.m.is_crashed(p.txn.node()) {
+                    self.locks.release_all(&mut self.m, &mut self.logs, p.txn)?;
+                }
+                self.pending_waits.remove(&p.txn);
+            }
+        }
+        // Doomed dependents that never appended a commit record carry no
+        // pending entry but still hold inherited-dependency bookkeeping.
+        for txn in dep_doomed {
+            self.inherited_deps.remove(txn);
+            self.violations.resolve(*txn);
+        }
+        Ok(())
     }
 
     /// Crash point between recovery phases: the recovery node itself dies.
@@ -494,12 +652,11 @@ impl SmDb {
         let nodes: Vec<NodeId> = self.m.node_ids().collect();
         // Commit status covers *every* node: commit records are always
         // forced, and a parallel transaction's commit lives on its home
-        // node, which may differ from the analysed nodes.
-        for &n in &nodes {
-            for t in self.logs.log(n).stable_commits() {
-                a.committed.insert(t);
-            }
-        }
+        // node, which may differ from the analysed nodes. Under
+        // controlled lock violation a durable commit record only counts
+        // when its recorded dependencies are durably settled too — the
+        // dependency-filtered fixpoint decides.
+        a.committed = self.durably_committed_set();
         let to_arr = |b: &bytes::Bytes| {
             let mut v = [0u8; 8];
             let n = b.len().min(8);
@@ -782,6 +939,7 @@ impl SmDb {
         recovery_node: NodeId,
         crashed_active: &[TxnId],
         surviving_active: &[TxnId],
+        contaminated: &BTreeSet<RecId>,
     ) -> Result<(), DbError> {
         let doomed: BTreeSet<TxnId> = crashed_active.iter().copied().collect();
         // Every node that is *currently* down matters to recovery — not
@@ -1056,7 +1214,7 @@ impl SmDb {
         // protocol-specific undo pass.
         let span = self.begin_phase("undo");
         let doomed_ops = std::mem::take(&mut analysis.doomed_ops);
-        self.undo_doomed_ops(outcome, recovery_node, doomed_ops)?;
+        self.undo_doomed_ops(outcome, recovery_node, doomed_ops, &analysis, contaminated)?;
         match self.cfg.protocol {
             ProtocolKind::VolatileSelectiveRedo => {
                 self.undo_by_tags(
@@ -1121,6 +1279,7 @@ impl SmDb {
         for &txn in crashed_active {
             if let Some(t) = self.txns.get_mut(&txn) {
                 t.status = TxnStatus::Aborted;
+                t.committing = false;
             }
             self.pending_waits.remove(&txn);
             self.locks.drop_chain(txn);
@@ -1287,12 +1446,27 @@ impl SmDb {
         outcome: &mut RecoveryOutcome,
         recovery_node: NodeId,
         mut ops: Vec<(u64, DoomedOp)>,
+        analysis: &StableAnalysis,
+        contaminated: &BTreeSet<RecId>,
     ) -> Result<(), DbError> {
         ops.sort_by_key(|(gsn, _)| std::cmp::Reverse(*gsn));
         for (_gsn, op) in ops {
             match op {
                 DoomedOp::Rec { rec, before } => {
-                    let bytes = self.layout.encode(NULL_TAG, &before);
+                    // A doomed dependent that reached this record through
+                    // a violated lock name (early lock release) logged a
+                    // contaminated before image — possibly the doomed
+                    // predecessor's own uncommitted value. Restore the
+                    // last committed payload instead. All other doomed
+                    // ops keep the logged before image (for parallel
+                    // transactions on non-analysed survivors it is the
+                    // only undo source).
+                    let value: Vec<u8> = if contaminated.contains(&rec) {
+                        self.last_committed_payload(analysis, rec)?
+                    } else {
+                        before.to_vec()
+                    };
+                    let bytes = self.layout.encode(NULL_TAG, &value);
                     let off = self.layout.page_offset(rec.slot);
                     // Undo in the coherent store and in the stable image
                     // (the update may have been stolen; WAL forced its
@@ -1508,7 +1682,9 @@ impl SmDb {
         // Abort everyone.
         let active: Vec<TxnId> = self.active_txns(None);
         for txn in &active {
-            self.txns.get_mut(txn).expect("listed").status = TxnStatus::Aborted;
+            let t = self.txns.get_mut(txn).expect("listed");
+            t.status = TxnStatus::Aborted;
+            t.committing = false;
             self.shadow.drop_pending(*txn);
         }
         self.stats.crash_aborts += active.len() as u64;

@@ -52,6 +52,15 @@ pub struct EngineStats {
     pub checkpoints: u64,
     /// Lock requests denied under the no-wait policy.
     pub would_blocks: u64,
+    /// Write locks released early at commit-record append (controlled lock
+    /// violation), before the covering force made the commit durable.
+    pub early_lock_releases: u64,
+    /// Commit-LSN dependencies inherited by transactions that touched a
+    /// violated lock name before the releaser's covering force.
+    pub commit_deps: u64,
+    /// Transactions aborted in cascade because a commit-dependency
+    /// predecessor's node crashed before the covering force.
+    pub dep_aborts: u64,
 }
 
 impl EngineStats {
@@ -82,7 +91,10 @@ impl EngineStats {
             structural_early_commits,
             page_flushes,
             checkpoints,
-            would_blocks
+            would_blocks,
+            early_lock_releases,
+            commit_deps,
+            dep_aborts
         )
     }
 }

@@ -58,6 +58,11 @@ pub struct TxnState {
     /// more for parallel transactions (§9: a parallel transaction must be
     /// aborted if *any* of its nodes crashes).
     pub participants: std::collections::BTreeSet<smdb_sim::NodeId>,
+    /// The transaction's commit record is appended (pipelined commit) but
+    /// not yet acknowledged. The status stays [`TxnStatus::Active`] — a
+    /// crash before the covering force dooms it exactly like any active
+    /// transaction — but it accepts no further operations.
+    pub committing: bool,
 }
 
 impl TxnState {
@@ -65,7 +70,7 @@ impl TxnState {
     pub fn new(id: TxnId) -> Self {
         let mut participants = std::collections::BTreeSet::new();
         participants.insert(id.node());
-        TxnState { id, status: TxnStatus::Active, ops: Vec::new(), participants }
+        TxnState { id, status: TxnStatus::Active, ops: Vec::new(), participants, committing: false }
     }
 
     /// Whether the transaction executes on `node`.

@@ -702,3 +702,85 @@ fn check_ifa_masks_surviving_active_txns() {
         db.check_ifa(N1).assert_ok();
     }
 }
+
+/// Build the controlled-lock-violation chain T1 → T2 → T3 on one hot
+/// slot: each commit record is appended via `commit_pipelined`, ELR frees
+/// the exclusive lock at append, and each successor acquires it without
+/// blocking while inheriting a commit-LSN dependency on its predecessor.
+/// Returns the three transaction ids; no drain has run when it returns.
+fn chain_three_on_hot_slot(db: &mut SmDb) -> [smdb_sim::TxnId; 3] {
+    let t1 = db.begin(N0).unwrap();
+    db.update(t1, 0, b"t1.hot..").unwrap();
+    db.commit_pipelined(t1).unwrap();
+    let t2 = db.begin(N1).unwrap();
+    db.update(t2, 0, b"t2.hot..").unwrap();
+    db.commit_pipelined(t2).unwrap();
+    let t3 = db.begin(N2).unwrap();
+    db.update(t3, 0, b"t3.hot..").unwrap();
+    db.commit_pipelined(t3).unwrap();
+    assert_eq!(db.pending_commit_count(), 3);
+    assert!(db.stats().commit_deps >= 2, "chain recorded dependencies");
+    [t1, t2, t3]
+}
+
+/// Controlled lock violation, the failure half: none of the chain's commit
+/// records reach the stable log, so crashing T1's home node dooms T1 the
+/// ordinary way and the violation edges must cascade the doom through both
+/// dependents — even though their home nodes survived. Stable-Triggered is
+/// excluded: its coherence-triggered forces make predecessors durable at
+/// line migration (see the contrast test below).
+#[test]
+fn crash_before_force_cascades_through_violation_chain() {
+    for p in [
+        ProtocolKind::VolatileSelectiveRedo,
+        ProtocolKind::VolatileRedoAll,
+        ProtocolKind::StableEager,
+    ] {
+        let mut db = SmDb::new(DbConfig::small(4, p).with_early_lock_release());
+        // A plainly committed control value the episode must not disturb.
+        let t0 = db.begin(N3).unwrap();
+        db.update(t0, 9, b"control.").unwrap();
+        db.commit(t0).unwrap();
+        let before = db.current_value(0).unwrap();
+
+        let [t1, t2, t3] = chain_three_on_hot_slot(&mut db);
+
+        // No drain ran: T1's commit record lives only in node 0's volatile
+        // tail (Stable-Eager forces at *update* time, before the commit
+        // record exists). Crash it.
+        let outcome = db.crash_and_recover(&[N0]).unwrap();
+        for t in [t1, t2, t3] {
+            assert!(outcome.aborted.contains(&t), "{p:?}: {t:?} must abort");
+        }
+        assert_eq!(db.stats().dep_aborts, 2, "{p:?}: exactly T2 and T3 cascade");
+        assert_eq!(db.pending_commit_count(), 0, "{p:?}: pipeline settled");
+
+        // The hot slot reverted to its pre-chain image; the control value
+        // and the IFA invariant are intact.
+        assert_eq!(db.current_value(0).unwrap(), before, "{p:?}");
+        assert_eq!(&db.read_committed(9).unwrap()[..8], b"control.", "{p:?}");
+        db.check_ifa(N1).assert_ok();
+    }
+}
+
+/// The same chain under Stable-Triggered LBM commits instead of cascading:
+/// migrating the hot line to the successor's node forces the predecessor's
+/// whole log — commit record included — so by the time node 0 crashes, T1
+/// and T2 are durable and recovery promotes them. Only T3's unforced
+/// record is still pending, and the next drain acknowledges it.
+#[test]
+fn stable_triggered_migration_forces_make_chain_durable() {
+    let p = ProtocolKind::StableTriggered;
+    let mut db = SmDb::new(DbConfig::small(4, p).with_early_lock_release());
+    let [_t1, _t2, t3] = chain_three_on_hot_slot(&mut db);
+
+    let outcome = db.crash_and_recover(&[N0]).unwrap();
+    assert!(outcome.aborted.is_empty(), "nothing dooms: {:?}", outcome.aborted);
+    assert_eq!(db.stats().dep_aborts, 0);
+    assert_eq!(db.pending_commit_count(), 1, "only T3 still awaits its force");
+
+    assert_eq!(db.drain_commit_pipeline().unwrap(), 1);
+    assert!(!db.active_txns(None).contains(&t3), "T3 acknowledged and retired");
+    assert_eq!(&db.read_committed(0).unwrap()[..8], b"t3.hot..");
+    db.check_ifa(N1).assert_ok();
+}

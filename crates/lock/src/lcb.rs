@@ -238,20 +238,31 @@ impl Lcb {
     /// first incompatible waiter). Returns the promoted entries. A queued
     /// *upgrade* (the waiter already holds the lock in a weaker mode)
     /// strengthens the existing grant rather than duplicating it.
-    pub fn promote_waiters(&mut self) -> Vec<LockEntry> {
+    ///
+    /// `max_holders` bounds the holder array: a promotion that would
+    /// create a *new* holder entry past the geometry's capacity stops the
+    /// FIFO scan (the waiter stays queued for a later release), exactly
+    /// like an incompatible waiter. Without the bound, cancelling an
+    /// exclusive waiter queued behind a full set of shared holders would
+    /// promote a shared waiter into a fourth holder slot and overflow the
+    /// encoded LCB. Upgrades never grow the array and are always allowed.
+    pub fn promote_waiters(&mut self, max_holders: usize) -> Vec<LockEntry> {
         let mut promoted = Vec::new();
         while let Some(&w) = self.waiters.first() {
-            if self.can_grant_ignoring_waiters(w.txn, w.mode) {
-                self.waiters.remove(0);
-                if let Some(h) = self.holders.iter_mut().find(|h| h.txn == w.txn) {
-                    h.mode = h.mode.max(w.mode);
-                } else {
-                    self.holders.push(w);
-                }
-                promoted.push(w);
-            } else {
+            if !self.can_grant_ignoring_waiters(w.txn, w.mode) {
                 break;
             }
+            let upgrade = self.holders.iter().any(|h| h.txn == w.txn);
+            if !upgrade && self.holders.len() >= max_holders {
+                break;
+            }
+            self.waiters.remove(0);
+            if let Some(h) = self.holders.iter_mut().find(|h| h.txn == w.txn) {
+                h.mode = h.mode.max(w.mode);
+            } else {
+                self.holders.push(w);
+            }
+            promoted.push(w);
         }
         promoted
     }
@@ -403,14 +414,35 @@ mod tests {
         lcb.waiters.push(LockEntry { txn: t(1, 2), mode: LockMode::Shared });
         lcb.waiters.push(LockEntry { txn: t(2, 3), mode: LockMode::Shared });
         lcb.waiters.push(LockEntry { txn: t(3, 4), mode: LockMode::Exclusive });
-        assert!(lcb.promote_waiters().is_empty(), "holder still present");
+        assert!(lcb.promote_waiters(usize::MAX).is_empty(), "holder still present");
         lcb.remove(t(0, 1));
-        let promoted = lcb.promote_waiters();
+        let promoted = lcb.promote_waiters(usize::MAX);
         assert_eq!(promoted.len(), 2, "both shares promoted, exclusive still waits");
         assert_eq!(lcb.waiters.len(), 1);
         lcb.remove(t(1, 2));
         lcb.remove(t(2, 3));
-        assert_eq!(lcb.promote_waiters().len(), 1);
+        assert_eq!(lcb.promote_waiters(usize::MAX).len(), 1);
+        assert!(lcb.waiters.is_empty());
+    }
+
+    #[test]
+    fn promotion_respects_holder_capacity() {
+        // Three sharers fill a co_located slot; an exclusive waiter queues,
+        // then a fourth sharer queues behind it (no-starvation rule). When
+        // the exclusive waiter withdraws, the sharer is compatible but
+        // there is no holder slot free: it must stay queued, not overflow.
+        let geom = LcbGeometry::co_located();
+        let mut lcb = Lcb::new(1);
+        for seq in 1..=3 {
+            lcb.holders.push(LockEntry { txn: t(seq as u16, seq), mode: LockMode::Shared });
+        }
+        lcb.waiters.push(LockEntry { txn: t(4, 4), mode: LockMode::Shared });
+        assert!(lcb.promote_waiters(geom.max_holders).is_empty(), "no free holder slot");
+        assert_eq!(lcb.waiters.len(), 1);
+        // A slot frees up: now the promotion goes through.
+        lcb.remove(t(1, 1));
+        assert_eq!(lcb.promote_waiters(geom.max_holders).len(), 1);
+        assert_eq!(lcb.holders.len(), geom.max_holders);
         assert!(lcb.waiters.is_empty());
     }
 
@@ -457,7 +489,7 @@ mod upgrade_tests {
         lcb.waiters.push(LockEntry { txn: t(0, 1), mode: LockMode::Exclusive });
         // The other sharer leaves.
         lcb.remove(t(1, 2));
-        let promoted = lcb.promote_waiters();
+        let promoted = lcb.promote_waiters(usize::MAX);
         assert_eq!(promoted.len(), 1);
         assert_eq!(lcb.holders.len(), 1, "no duplicate holder entry");
         assert_eq!(lcb.holders[0].mode, LockMode::Exclusive);

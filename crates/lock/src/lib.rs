@@ -33,6 +33,7 @@ mod mode;
 mod recovery;
 pub mod reference;
 mod table;
+mod violation;
 
 pub use lcb::{
     clear_slot, decode_slot, encode_slot, read_overflow, write_overflow, EntryVec, Lcb,
@@ -42,3 +43,4 @@ pub use manager::{LockError, LockManager, LockOutcome, LockStats};
 pub use mode::LockMode;
 pub use recovery::LockRecoveryStats;
 pub use table::LockTable;
+pub use violation::{ViolationEdge, ViolationTable};

@@ -32,6 +32,10 @@ pub const HOLD_CYCLES_HISTOGRAM: &str = smdb_obs::names::LOCK_HOLD_CYCLES;
 /// (re-acquire in a sufficient mode): no simulated memory traffic.
 pub const FAST_HITS_COUNTER: &str = smdb_obs::names::LOCK_FAST_HITS;
 
+/// Counter of write locks released early at commit-record append
+/// (controlled lock violation), before the covering force.
+pub const EARLY_RELEASED_COUNTER: &str = smdb_obs::names::LOCK_EARLY_RELEASED;
+
 /// Result of a lock request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LockOutcome {
@@ -104,6 +108,9 @@ pub struct LockStats {
     /// Re-acquire requests served from the volatile chain with no LCB
     /// traffic (the fast lane).
     pub fast_hits: u64,
+    /// Exclusive locks released early (at commit-record append, before the
+    /// covering force) under controlled lock violation.
+    pub early_released: u64,
 }
 
 const CHAIN_INLINE: usize = 8;
@@ -487,6 +494,39 @@ impl LockManager {
         mode: LockMode,
         acting: NodeId,
     ) -> Result<LockOutcome, LockError> {
+        self.acquire_inner(m, logs, txn, name, mode, acting, true)
+    }
+
+    /// [`acquire_from`](Self::acquire_from) with *polling* conflict
+    /// semantics: a conflicting request returns [`LockOutcome::Waiting`]
+    /// without queueing in the LCB and without a log record — the caller
+    /// re-issues the request later (paying the LCB probe traffic each
+    /// time) instead of parking a logged waiter it would have to cancel.
+    /// Used by the pipelined-commit workload driver, whose blocked
+    /// transactions retry in place rather than abort.
+    pub fn poll_from(
+        &mut self,
+        m: &mut Machine,
+        logs: &mut LogSet,
+        txn: TxnId,
+        name: u64,
+        mode: LockMode,
+        acting: NodeId,
+    ) -> Result<LockOutcome, LockError> {
+        self.acquire_inner(m, logs, txn, name, mode, acting, false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn acquire_inner(
+        &mut self,
+        m: &mut Machine,
+        logs: &mut LogSet,
+        txn: TxnId,
+        name: u64,
+        mode: LockMode,
+        acting: NodeId,
+        queue: bool,
+    ) -> Result<LockOutcome, LockError> {
         assert!(name != 0, "lock name 0 is reserved");
         // Fast lane: strict 2PL means a granted lock stays granted until
         // this same transaction releases it, so the volatile chain alone
@@ -539,7 +579,11 @@ impl LockManager {
                     self.stats.exclusive_acquires += 1;
                     return Ok(LockOutcome::Granted);
                 }
-                // Conflicting upgrade: queue it.
+                // Conflicting upgrade: queue it (or, when polling, just
+                // report the conflict and leave no trace to cancel).
+                if !queue {
+                    return Ok(LockOutcome::Waiting);
+                }
                 if lcb.waiters.len() >= self.table.geometry().max_waiters {
                     return Err(LockError::CapacityExceeded { name });
                 }
@@ -570,6 +614,9 @@ impl LockManager {
                 }
                 Ok(LockOutcome::Granted)
             } else {
+                if !queue {
+                    return Ok(LockOutcome::Waiting);
+                }
                 if lcb.waiters.len() >= self.table.geometry().max_waiters {
                     return Err(LockError::CapacityExceeded { name });
                 }
@@ -666,7 +713,7 @@ impl LockManager {
         let result = (|| {
             logs.append(node, LogPayload::LockRelease { txn, name, wait_only: false });
             lcb.remove(txn);
-            let promoted = lcb.promote_waiters();
+            let promoted = lcb.promote_waiters(self.table.geometry().max_holders);
             for p in promoted.iter() {
                 logs.append(
                     p.txn.node(),
@@ -740,7 +787,7 @@ impl LockManager {
         let result = (|| {
             logs.append(node, LogPayload::LockRelease { txn, name, wait_only: true });
             lcb.waiters.retain(|w| w.txn != txn);
-            let promoted = lcb.promote_waiters();
+            let promoted = lcb.promote_waiters(self.table.geometry().max_holders);
             for p in promoted.iter() {
                 logs.append(
                     p.txn.node(),
@@ -781,6 +828,40 @@ impl LockManager {
             promoted.extend(self.release(m, logs, txn, name)?.into_iter().map(|e| (name, e)));
         }
         Ok(promoted)
+    }
+
+    /// Release every lock held by `txn` at commit-record *append* time
+    /// (early lock release / controlled lock violation). Mechanically
+    /// identical to [`release_all`](Self::release_all) — the LCB updates
+    /// and log records are the same, which is exactly why recovery needs
+    /// no changes — but it additionally reports which names were held
+    /// exclusively (those become violation edges: the data they guard
+    /// carries a not-yet-durable commit) and counts them in
+    /// [`LockStats::early_released`] and the `lock.early_released`
+    /// counter.
+    ///
+    /// Returns `(released, promoted)`: every released `(name, mode)` in
+    /// acquisition order, and the waiter entries promoted by the releases.
+    #[allow(clippy::type_complexity)]
+    pub fn early_release_all(
+        &mut self,
+        m: &mut Machine,
+        logs: &mut LogSet,
+        txn: TxnId,
+    ) -> Result<(Vec<(u64, LockMode)>, Vec<(u64, LockEntry)>), LockError> {
+        let names: Vec<u64> = self.held_locks(txn);
+        let mut released = Vec::with_capacity(names.len());
+        let mut promoted = Vec::new();
+        for name in names {
+            let mode = self.chains.mode_of(txn, name).expect("held_locks listed it");
+            if mode == LockMode::Exclusive {
+                self.stats.early_released += 1;
+                m.obs().metrics.inc(EARLY_RELEASED_COUNTER);
+            }
+            released.push((name, mode));
+            promoted.extend(self.release(m, logs, txn, name)?.into_iter().map(|e| (name, e)));
+        }
+        Ok((released, promoted))
     }
 
     /// Forget a transaction's volatile chain without touching LCBs. Used
@@ -1021,6 +1102,54 @@ mod tests {
         for name in [3u64, 4, 5] {
             assert!(mgr.holders_of(&mut m, N0, name).unwrap().is_empty());
         }
+    }
+
+    #[test]
+    fn early_release_all_reports_modes_and_counts_exclusives() {
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(0, 1);
+        let ty = t(1, 1);
+        mgr.acquire(&mut m, &mut logs, tx, 3, LockMode::Exclusive).unwrap();
+        mgr.acquire(&mut m, &mut logs, tx, 4, LockMode::Shared).unwrap();
+        mgr.acquire(&mut m, &mut logs, tx, 5, LockMode::Exclusive).unwrap();
+        mgr.acquire(&mut m, &mut logs, ty, 3, LockMode::Exclusive).unwrap();
+        let (released, promoted) = mgr.early_release_all(&mut m, &mut logs, tx).unwrap();
+        assert_eq!(
+            released,
+            vec![(3, LockMode::Exclusive), (4, LockMode::Shared), (5, LockMode::Exclusive)],
+            "released names in acquisition order with their modes"
+        );
+        assert_eq!(promoted.len(), 1, "ty's queued request was promoted");
+        assert_eq!(promoted[0].0, 3);
+        assert_eq!(promoted[0].1.txn, ty);
+        assert_eq!(mgr.stats().early_released, 2, "only exclusives counted");
+        assert!(mgr.held_locks(tx).is_empty());
+    }
+
+    #[test]
+    fn poll_conflict_leaves_no_queued_state_or_records() {
+        let (mut m, mut logs, mut mgr) = setup();
+        let tx = t(0, 1);
+        let ty = t(1, 1);
+        mgr.acquire(&mut m, &mut logs, tx, 7, LockMode::Exclusive).unwrap();
+        let appends = logs.log(N1).stats().appends;
+        for _ in 0..3 {
+            assert_eq!(
+                mgr.poll_from(&mut m, &mut logs, ty, 7, LockMode::Exclusive, N1).unwrap(),
+                LockOutcome::Waiting
+            );
+        }
+        assert_eq!(logs.log(N1).stats().appends, appends, "polls log nothing");
+        assert!(mgr.waiters_of(&mut m, N0, 7).unwrap().is_empty(), "no queued waiter");
+        assert_eq!(mgr.stats().waits, 0);
+        // Once the holder releases, the next poll is granted normally —
+        // with the single LockAcquire record any immediate grant writes.
+        mgr.release(&mut m, &mut logs, tx, 7).unwrap();
+        assert_eq!(
+            mgr.poll_from(&mut m, &mut logs, ty, 7, LockMode::Exclusive, N1).unwrap(),
+            LockOutcome::Granted
+        );
+        assert_eq!(mgr.held_locks(ty), &[7]);
     }
 
     #[test]

@@ -169,7 +169,7 @@ impl LockManager {
                     continue;
                 }
                 stats.crashed_entries_released += removed as u64;
-                let promoted = lcb.promote_waiters();
+                let promoted = lcb.promote_waiters(self.table().geometry().max_holders);
                 for p in &promoted {
                     logs.append(
                         p.txn.node(),
@@ -232,7 +232,7 @@ impl LockManager {
                             changed = true;
                         }
                     }
-                    let promoted = existing.promote_waiters();
+                    let promoted = existing.promote_waiters(self.table().geometry().max_holders);
                     for p in &promoted {
                         logs.append(
                             p.txn.node(),
@@ -296,7 +296,7 @@ impl LockManager {
                     let mut rebuilt = want.clone();
                     stats.survivor_entries_restored +=
                         (rebuilt.holders.len() + rebuilt.waiters.len()) as u64;
-                    let promoted = rebuilt.promote_waiters();
+                    let promoted = rebuilt.promote_waiters(self.table().geometry().max_holders);
                     for p in &promoted {
                         logs.append(
                             p.txn.node(),

@@ -152,6 +152,72 @@ impl ReferenceLockManager {
         }
     }
 
+    /// Mirror of [`LockManager::poll_from`](crate::LockManager::poll_from):
+    /// the same decision procedure as [`acquire_from`](Self::acquire_from),
+    /// but a conflict reports [`LockOutcome::Waiting`] without queueing a
+    /// waiter, logging a record, or checking waiter capacity — polling
+    /// leaves no trace to cancel.
+    pub fn poll_from(
+        &mut self,
+        txn: TxnId,
+        name: u64,
+        mode: LockMode,
+        acting: NodeId,
+    ) -> Result<LockOutcome, LockError> {
+        assert!(name != 0, "lock name 0 is reserved");
+        let max_holders = self.max_holders;
+        let lcb = self.lcbs.entry(name).or_insert_with(|| Lcb::new(name));
+        if lcb.holds(txn) {
+            let held = lcb.holders.iter().find(|e| e.txn == txn).expect("holds() checked").mode;
+            if held >= mode {
+                return Ok(LockOutcome::AlreadyHeld);
+            }
+            if lcb.holders.len() == 1 && lcb.waiters.is_empty() {
+                lcb.holders[0].mode = mode;
+                self.log(acting, RefLockRecord::Acquire { txn, name, mode, queued: false });
+                return Ok(LockOutcome::Granted);
+            }
+            return Ok(LockOutcome::Waiting);
+        }
+        if lcb.can_grant(txn, mode) {
+            if lcb.holders.len() >= max_holders {
+                return Err(LockError::CapacityExceeded { name });
+            }
+            lcb.holders.push(LockEntry { txn, mode });
+            self.log(acting, RefLockRecord::Acquire { txn, name, mode, queued: false });
+            self.chain_grant(txn, name);
+            Ok(LockOutcome::Granted)
+        } else {
+            Ok(LockOutcome::Waiting)
+        }
+    }
+
+    /// Mirror of [`LockManager::early_release_all`](crate::LockManager::early_release_all):
+    /// identical LCB transitions and log records to
+    /// [`release_all`](Self::release_all), additionally reporting the
+    /// released `(name, mode)` pairs in acquisition order (the exclusive
+    /// ones become violation edges).
+    #[allow(clippy::type_complexity)]
+    pub fn early_release_all(
+        &mut self,
+        txn: TxnId,
+    ) -> Result<(Vec<(u64, LockMode)>, Vec<(u64, LockEntry)>), LockError> {
+        let names = self.held_locks(txn);
+        let mut released = Vec::with_capacity(names.len());
+        let mut promoted = Vec::new();
+        for name in names {
+            let mode = self
+                .lcbs
+                .get(&name)
+                .and_then(|l| l.holders.iter().find(|e| e.txn == txn))
+                .expect("held_locks listed it")
+                .mode;
+            released.push((name, mode));
+            promoted.extend(self.release(txn, name)?.into_iter().map(|e| (name, e)));
+        }
+        Ok((released, promoted))
+    }
+
     /// Mirror of [`LockManager::release`](crate::LockManager::release).
     pub fn release(&mut self, txn: TxnId, name: u64) -> Result<Vec<LockEntry>, LockError> {
         let holds = self.lcbs.get(&name).map(|l| l.holds(txn)).unwrap_or(false);
@@ -159,9 +225,10 @@ impl ReferenceLockManager {
             return Err(LockError::NotHolder { txn, name });
         }
         self.log(txn.node(), RefLockRecord::Release { txn, name, wait_only: false });
+        let max_holders = self.max_holders;
         let lcb = self.lcbs.get_mut(&name).expect("holds checked");
         lcb.remove(txn);
-        let promoted = lcb.promote_waiters();
+        let promoted = lcb.promote_waiters(max_holders);
         let empty = lcb.is_empty();
         for p in promoted.iter() {
             self.log(
@@ -185,9 +252,10 @@ impl ReferenceLockManager {
             return Ok(false);
         }
         self.log(txn.node(), RefLockRecord::Release { txn, name, wait_only: true });
+        let max_holders = self.max_holders;
         let lcb = self.lcbs.get_mut(&name).expect("waiting checked");
         lcb.waiters.retain(|w| w.txn != txn);
-        let promoted = lcb.promote_waiters();
+        let promoted = lcb.promote_waiters(max_holders);
         let empty = lcb.is_empty();
         for p in promoted.iter() {
             self.log(
@@ -221,12 +289,13 @@ impl ReferenceLockManager {
         self.logs.remove(&node.0);
         self.chains.retain(|txn, _| txn.node() != node);
         let mut promoted_all = Vec::new();
+        let max_holders = self.max_holders;
         let names: Vec<u64> = self.lcbs.keys().copied().collect();
         for name in names {
             let lcb = self.lcbs.get_mut(&name).expect("keys just listed");
             lcb.holders.retain(|e| e.txn.node() != node);
             lcb.waiters.retain(|e| e.txn.node() != node);
-            let promoted = lcb.promote_waiters();
+            let promoted = lcb.promote_waiters(max_holders);
             let empty = lcb.is_empty();
             for p in promoted.iter() {
                 self.chain_grant(p.txn, name);

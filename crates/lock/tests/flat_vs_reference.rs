@@ -2,17 +2,18 @@
 //! inline entry arrays, per-txn chain arena, re-acquire fast lane) against
 //! the pure-logic [`ReferenceLockManager`].
 //!
-//! Random schedules of acquire / upgrade / cancel / release / release-all
-//! must produce *identical* outcomes (grant / already-held / queue /
-//! capacity error), identical promotion lists, identical per-transaction
-//! chains, and — because the lock log is what recovery replays — identical
-//! per-node lock-record streams.
+//! Random schedules of acquire / poll / upgrade / cancel / release /
+//! release-all / early-release-all must produce *identical* outcomes
+//! (grant / already-held / queue / capacity error), identical promotion
+//! lists, identical per-transaction chains, identical violation-edge
+//! inheritance, and — because the lock log is what recovery replays —
+//! identical per-node lock-record streams.
 
 use proptest::prelude::*;
 use smdb_lock::reference::{RefLockRecord, ReferenceLockManager};
-use smdb_lock::{LcbGeometry, LockManager, LockMode, LockOutcome, LockTable};
+use smdb_lock::{LcbGeometry, LockManager, LockMode, LockOutcome, LockTable, ViolationTable};
 use smdb_sim::{Machine, NodeId, SimConfig, TxnId};
-use smdb_wal::{LogPayload, LogSet};
+use smdb_wal::{LogPayload, LogSet, Lsn};
 use std::collections::BTreeSet;
 
 const NODES: u16 = 4;
@@ -22,22 +23,28 @@ const NAMES: u64 = 10;
 #[derive(Clone, Debug)]
 enum Op {
     Acquire { node: u16, seq: u64, name: u64, exclusive: bool },
+    Poll { node: u16, seq: u64, name: u64, exclusive: bool },
     Release { node: u16, seq: u64, name: u64 },
     CancelWait { node: u16, seq: u64, name: u64 },
     ReleaseAll { node: u16, seq: u64 },
+    EarlyReleaseAll { node: u16, seq: u64 },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     let ids = (0..NODES, 1..SEQS + 1);
     prop_oneof![
-        6 => (ids.clone(), 1..NAMES + 1, any::<bool>()).prop_map(|((node, seq), name, exclusive)| {
+        5 => (ids.clone(), 1..NAMES + 1, any::<bool>()).prop_map(|((node, seq), name, exclusive)| {
             Op::Acquire { node, seq, name, exclusive }
+        }),
+        3 => (ids.clone(), 1..NAMES + 1, any::<bool>()).prop_map(|((node, seq), name, exclusive)| {
+            Op::Poll { node, seq, name, exclusive }
         }),
         2 => (ids.clone(), 1..NAMES + 1)
             .prop_map(|((node, seq), name)| Op::Release { node, seq, name }),
         1 => (ids.clone(), 1..NAMES + 1)
             .prop_map(|((node, seq), name)| Op::CancelWait { node, seq, name }),
-        1 => ids.prop_map(|(node, seq)| Op::ReleaseAll { node, seq }),
+        1 => ids.clone().prop_map(|(node, seq)| Op::ReleaseAll { node, seq }),
+        1 => ids.prop_map(|(node, seq)| Op::EarlyReleaseAll { node, seq }),
     ]
 }
 
@@ -82,6 +89,12 @@ fn run_schedule(
     mgr: &mut LockManager,
     reference: &mut ReferenceLockManager,
 ) -> Result<(), TestCaseError> {
+    // Violation-edge lockstep: one table fed by the real manager's
+    // early releases, one by the model's. Granted acquires must then
+    // inherit identical dependency edges from both.
+    let mut real_viol = ViolationTable::new();
+    let mut model_viol = ViolationTable::new();
+    let mut next_lsn = 1u64;
     for op in ops {
         match *op {
             Op::Acquire { node, seq, name, exclusive } => {
@@ -90,6 +103,54 @@ fn run_schedule(
                 let real = mgr.acquire(m, logs, txn, name, mode);
                 let model = reference.acquire_from(txn, name, mode, txn.node());
                 prop_assert_eq!(&real, &model, "acquire {:?} {} {:?}", txn, name, mode);
+                if real == Ok(LockOutcome::Granted) {
+                    prop_assert_eq!(
+                        real_viol.deps_for(name, txn),
+                        model_viol.deps_for(name, txn),
+                        "inherited deps of {:?} on {}",
+                        txn,
+                        name
+                    );
+                }
+            }
+            Op::Poll { node, seq, name, exclusive } => {
+                let txn = t(node, seq);
+                let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                let real = mgr.poll_from(m, logs, txn, name, mode, txn.node());
+                let model = reference.poll_from(txn, name, mode, txn.node());
+                prop_assert_eq!(&real, &model, "poll {:?} {} {:?}", txn, name, mode);
+                if real == Ok(LockOutcome::Granted) {
+                    prop_assert_eq!(
+                        real_viol.deps_for(name, txn),
+                        model_viol.deps_for(name, txn),
+                        "inherited deps of {:?} on {} (poll)",
+                        txn,
+                        name
+                    );
+                }
+            }
+            Op::EarlyReleaseAll { node, seq } => {
+                let txn = t(node, seq);
+                let real = mgr.early_release_all(m, logs, txn);
+                let model = reference.early_release_all(txn);
+                prop_assert_eq!(&real, &model, "early_release_all {:?}", txn);
+                if let Ok((released, _)) = real {
+                    let lsn = Lsn(next_lsn);
+                    next_lsn += 1;
+                    let xnames: Vec<u64> = released
+                        .iter()
+                        .filter(|(_, m)| *m == LockMode::Exclusive)
+                        .map(|(n, _)| *n)
+                        .collect();
+                    real_viol.record_release(txn, lsn, &xnames);
+                    let (model_released, _) = model.expect("compared equal to Ok");
+                    let model_xnames: Vec<u64> = model_released
+                        .iter()
+                        .filter(|(_, m)| *m == LockMode::Exclusive)
+                        .map(|(n, _)| *n)
+                        .collect();
+                    model_viol.record_release(txn, lsn, &model_xnames);
+                }
             }
             Op::Release { node, seq, name } => {
                 let txn = t(node, seq);
@@ -108,9 +169,16 @@ fn run_schedule(
                 let real = mgr.release_all(m, logs, txn);
                 let model = reference.release_all(txn);
                 prop_assert_eq!(&real, &model, "release_all {:?}", txn);
+                // The engine resolves a releaser's violation edges when its
+                // commit is acknowledged (or its cascade handled); the
+                // final lock release stands in for that here.
+                real_viol.resolve(txn);
+                model_viol.resolve(txn);
             }
         }
     }
+    prop_assert_eq!(real_viol.edges_recorded(), model_viol.edges_recorded(), "edge totals");
+    prop_assert_eq!(real_viol.violated_names(), model_viol.violated_names(), "violated names");
     Ok(())
 }
 

@@ -1,0 +1,3 @@
+fn main() {
+    print!("{}", smdb_obs::names::markdown_table());
+}

@@ -51,10 +51,17 @@ pub const ENGINE_UPDATE_CYCLES: &str = "engine.update_cycles";
 pub const TXN_ABORTED: &str = "txn.aborted";
 /// Transactions finished by commit.
 pub const TXN_COMMITTED: &str = "txn.committed";
+/// Commit-LSN dependencies inherited through violated locks.
+pub const TXN_COMMIT_DEPS: &str = "txn.commit_deps";
+/// Cascade aborts caused by a crashed commit-dependency predecessor.
+pub const TXN_DEP_ABORTS: &str = "txn.dep_aborts";
 /// End-to-end simulated cycles from `begin` to commit, per transaction.
 pub const TXN_LATENCY_CYCLES: &str = "txn.latency_cycles";
 
 // -- lock ---------------------------------------------------------------
+/// Write locks released early at commit-record append (controlled lock
+/// violation).
+pub const LOCK_EARLY_RELEASED: &str = "lock.early_released";
 /// Flat lock-table fast-path grants (no LCB chain walk).
 pub const LOCK_FAST_HITS: &str = "lock.fast_hits";
 /// Simulated cycles each logical lock was held.
@@ -115,6 +122,12 @@ pub const CATALOG: &[MetricDef] = &[
         kind: MetricKind::Histogram,
         layer: "core",
         help: "Simulated cycles per completed record update",
+    },
+    MetricDef {
+        name: LOCK_EARLY_RELEASED,
+        kind: MetricKind::Counter,
+        layer: "lock",
+        help: "Write locks released early at commit-record append",
     },
     MetricDef {
         name: LOCK_FAST_HITS,
@@ -237,10 +250,22 @@ pub const CATALOG: &[MetricDef] = &[
         help: "Transactions finished by abort (voluntary or retry)",
     },
     MetricDef {
+        name: TXN_COMMIT_DEPS,
+        kind: MetricKind::Counter,
+        layer: "core",
+        help: "Commit-LSN dependencies inherited through violated locks",
+    },
+    MetricDef {
         name: TXN_COMMITTED,
         kind: MetricKind::Counter,
         layer: "core",
         help: "Transactions finished by commit",
+    },
+    MetricDef {
+        name: TXN_DEP_ABORTS,
+        kind: MetricKind::Counter,
+        layer: "core",
+        help: "Cascade aborts caused by a crashed commit-dependency predecessor",
     },
     MetricDef {
         name: TXN_LATENCY_CYCLES,

@@ -40,5 +40,6 @@ pub use log_set::{LogSet, FAULT_CHECKPOINT_RECORD, FAULT_FORCE_RECORD, FAULT_TRU
 pub use lsn::Lsn;
 pub use page_lsn::PageLsnTable;
 pub use record::{
-    LockModeRepr, LogIndex, LogPayload, LogRecord, NodeLog, NodeLogStats, RecId, StructuralKind,
+    CommitDep, LockModeRepr, LogIndex, LogPayload, LogRecord, NodeLog, NodeLogStats, RecId,
+    StructuralKind,
 };

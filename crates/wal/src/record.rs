@@ -58,14 +58,36 @@ pub enum StructuralKind {
     LockSpaceAlloc { line: u64, parent: u64 },
 }
 
+/// One commit-LSN dependency recorded in a [`LogPayload::Commit`] record:
+/// the committing transaction read or overwrote data whose writer released
+/// its locks early (controlled lock violation), so this commit is valid
+/// only if `txn`'s commit record at `lsn` (on `txn`'s home log) is durable
+/// and itself valid. The partially-constrained-logs idea: constraints ride
+/// in the log, so recovery can honour them without any engine state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitDep {
+    /// The predecessor transaction this commit depends on.
+    pub txn: TxnId,
+    /// LSN of the predecessor's commit record on its home node's log.
+    pub lsn: Lsn,
+}
+
 /// Payload of one log record.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LogPayload {
     /// Transaction start.
     Begin { txn: TxnId },
     /// Transaction commit. Forcing the log up to this record makes the
-    /// transaction durable.
-    Commit { txn: TxnId },
+    /// transaction durable — *provided* every recorded dependency is
+    /// durably committed too. `deps` is empty except under early lock
+    /// release, where it lists the commit records this one is constrained
+    /// by (see [`CommitDep`]).
+    Commit {
+        /// Committing transaction.
+        txn: TxnId,
+        /// Commit-LSN dependencies inherited through violated locks.
+        deps: Vec<CommitDep>,
+    },
     /// Transaction abort (after all its updates were undone).
     Abort { txn: TxnId },
     /// A physical record update carrying both images. The undo image (the
@@ -181,7 +203,7 @@ impl LogPayload {
     pub fn txn(&self) -> Option<TxnId> {
         match self {
             LogPayload::Begin { txn }
-            | LogPayload::Commit { txn }
+            | LogPayload::Commit { txn, .. }
             | LogPayload::Abort { txn }
             | LogPayload::Update { txn, .. }
             | LogPayload::IndexInsert { txn, .. }
@@ -290,6 +312,11 @@ pub struct NodeLogStats {
 pub struct LogIndex {
     /// Commit-record LSN per transaction (kept across truncation).
     commit_lsns: BTreeMap<TxnId, Lsn>,
+    /// Commit-LSN dependencies per committed transaction (kept across
+    /// truncation, like `commit_lsns` — a reclaimed commit record's
+    /// constraints remain part of the durable checkpoint metadata). Only
+    /// populated for commits with a non-empty dependency list.
+    commit_deps: BTreeMap<TxnId, Vec<CommitDep>>,
     /// LSN of the first record each transaction wrote to this log.
     first_txn_lsns: BTreeMap<TxnId, Lsn>,
     /// First/last Update-record LSN per dirtied heap page.
@@ -302,8 +329,11 @@ pub struct LogIndex {
 impl LogIndex {
     fn note_append(&mut self, lsn: Lsn, payload: &LogPayload) {
         match payload {
-            LogPayload::Commit { txn } => {
+            LogPayload::Commit { txn, deps } => {
                 self.commit_lsns.insert(*txn, lsn);
+                if !deps.is_empty() {
+                    self.commit_deps.insert(*txn, deps.clone());
+                }
             }
             LogPayload::Update { rec, .. } => {
                 let span = self.dirty_pages.entry(rec.page).or_insert((lsn, lsn));
@@ -326,6 +356,8 @@ impl LogIndex {
     /// Drop knowledge of volatile records lost in a crash; spans that
     /// straddle the boundary are clamped (upper bounds, see type docs).
     fn purge_volatile(&mut self, stable: Lsn) {
+        let lsns = &self.commit_lsns;
+        self.commit_deps.retain(|t, _| lsns.get(t).is_some_and(|l| *l <= stable));
         self.commit_lsns.retain(|_, l| *l <= stable);
         self.first_txn_lsns.retain(|_, l| *l <= stable);
         self.dirty_pages.retain(|_, (first, _)| *first <= stable);
@@ -345,6 +377,17 @@ impl LogIndex {
     /// Transactions whose Commit record reached LSN ≤ `stable`.
     pub fn stable_commits(&self, stable: Lsn) -> impl Iterator<Item = TxnId> + '_ {
         self.commit_lsns.iter().filter(move |(_, l)| **l <= stable).map(|(t, _)| *t)
+    }
+
+    /// LSN of `txn`'s Commit record on this log, if it ever committed here.
+    pub fn commit_lsn(&self, txn: TxnId) -> Option<Lsn> {
+        self.commit_lsns.get(&txn).copied()
+    }
+
+    /// The commit-LSN dependencies recorded with `txn`'s Commit record
+    /// (empty for unconstrained commits).
+    pub fn commit_deps_of(&self, txn: TxnId) -> &[CommitDep] {
+        self.commit_deps.get(&txn).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// LSN of `txn`'s first record on this log, if it ever wrote one.
@@ -452,6 +495,15 @@ impl NodeLog {
     /// Whether the record at `lsn` is on stable storage.
     pub fn is_stable(&self, lsn: Lsn) -> bool {
         lsn <= self.stable_upto
+    }
+
+    /// The committed-through high-water mark: every record at or below
+    /// this LSN has been covered by a physical force. This is the boundary
+    /// the engine tests commit-dependency chains against when deciding
+    /// whether an early-lock-release commit may be acknowledged (an alias
+    /// of [`NodeLog::stable_lsn`], named for that role).
+    pub fn durable_lsn(&self) -> Lsn {
+        self.stable_upto
     }
 
     /// Force the log to stable storage up to `lsn` (inclusive). Returns
@@ -784,7 +836,7 @@ mod tests {
     #[test]
     fn payload_txn_extraction() {
         let t = TxnId::new(NodeId(2), 7);
-        assert_eq!(LogPayload::Commit { txn: t }.txn(), Some(t));
+        assert_eq!(LogPayload::Commit { txn: t, deps: vec![] }.txn(), Some(t));
         assert_eq!(LogPayload::Checkpoint.txn(), None);
     }
 
@@ -905,7 +957,7 @@ mod index_tests {
     fn commit_entries_require_stability() {
         let mut log = NodeLog::new(NodeId(0));
         log.append(LogPayload::Begin { txn: txn(1) });
-        log.append(LogPayload::Commit { txn: txn(1) });
+        log.append(LogPayload::Commit { txn: txn(1), deps: vec![] });
         assert!(!log.is_commit_stable(txn(1)), "commit still volatile");
         assert_eq!(log.stable_commits().count(), 0);
         log.force_all();
@@ -919,7 +971,7 @@ mod index_tests {
         log.append(LogPayload::Begin { txn: txn(1) });
         log.force_all();
         log.append(update(1, 3, 10));
-        log.append(LogPayload::Commit { txn: txn(1) });
+        log.append(LogPayload::Commit { txn: txn(1), deps: vec![] });
         log.append(LogPayload::Begin { txn: txn(2) });
         log.crash();
         assert!(!log.is_commit_stable(txn(1)), "commit died with the tail");
@@ -937,7 +989,7 @@ mod index_tests {
         let mut log = NodeLog::new(NodeId(0));
         log.append(LogPayload::Begin { txn: txn(1) });
         log.append(update(1, 0, 1));
-        log.append(LogPayload::Commit { txn: txn(1) });
+        log.append(LogPayload::Commit { txn: txn(1), deps: vec![] });
         log.force_all();
         log.truncate_through(Lsn(3));
         assert!(log.is_commit_stable(txn(1)), "truncated commit is still a commit");

@@ -40,6 +40,21 @@ pub struct MixParams {
     /// Checkpoints bound how far back restart recovery must scan and let
     /// the engine reclaim redo-free log prefixes.
     pub checkpoint_every: usize,
+    /// Pipelined group commit: keep up to this many transactions in
+    /// flight, round-robin one operation each, and commit them with
+    /// `commit_pipelined` (commit record appended, acknowledgement
+    /// deferred to the next pipeline drain). 0 runs the classic serial
+    /// loop with synchronous commits. Pipelined mode expects the engine
+    /// to be configured with lock *polling* (`DbConfig::with_lock_polling`):
+    /// a blocked transaction retries its operation in place instead of
+    /// aborting, so commit-window lock conflicts cost stall cycles, not
+    /// retry storms.
+    pub commit_window: usize,
+    /// Drain the commit pipeline (group-force the pending commit records
+    /// and acknowledge the covered transactions) after this many pipelined
+    /// commits. 0 drains only when the whole window is blocked and at the
+    /// end of the run. Ignored in serial mode.
+    pub drain_every: usize,
 }
 
 impl Default for MixParams {
@@ -55,6 +70,34 @@ impl Default for MixParams {
             seed: 42,
             retries: 8,
             checkpoint_every: 0,
+            commit_window: 0,
+            drain_every: 0,
+        }
+    }
+}
+
+impl MixParams {
+    /// The high-contention skewed cell used by experiment E10-elr: a pure
+    /// write mix (TP1-style fixed-length update transactions) hammering a
+    /// tiny shared hot set under classic Zipf skew, run through the
+    /// pipelined commit window. Under these parameters nearly every
+    /// transaction collides on the hottest record slots, so the run is
+    /// dominated by lock waits and commit forces — exactly the regime
+    /// where controlled lock violation pays.
+    pub fn contended_tp1(txns: usize) -> Self {
+        MixParams {
+            txns,
+            ops_per_txn: 4,
+            read_fraction: 0.0,
+            sharing: 1.0,
+            shared_slots: 4,
+            index_fraction: 0.0,
+            zipf_theta: 0.95,
+            seed: 0xE10,
+            retries: 64,
+            checkpoint_every: 0,
+            commit_window: 8,
+            drain_every: 8,
         }
     }
 }
@@ -84,6 +127,11 @@ pub struct MixReport {
     pub physical_forces: u64,
     /// Log records made durable by those physical forces.
     pub records_forced: u64,
+    /// Pipelined mode only: operations that found their lock held by
+    /// another in-flight transaction and retried in place (polling
+    /// stalls). The serial driver leaves this 0 — its conflicts surface
+    /// as `conflict_aborts` instead.
+    pub lock_stalls: u64,
 }
 
 /// A mid-workload crash schedule: after `after_txns` committed
@@ -181,23 +229,27 @@ impl Generator {
     }
 }
 
+fn apply_op(db: &mut SmDb, txn: TxnId, op: &Op) -> Result<(), DbError> {
+    match op {
+        Op::Read(slot) => db.read(txn, *slot).map(|_| ()),
+        Op::Update(slot, v) => db.update(txn, *slot, v),
+        Op::Insert(k, v) => match db.insert(txn, *k, *v) {
+            // A retried transaction may find its key already present
+            // from an independent earlier attempt; treat as success.
+            Err(DbError::Btree(smdb_btree::BtreeError::DuplicateKey { .. })) => Ok(()),
+            other => other,
+        },
+        Op::Delete(k) => match db.delete(txn, *k) {
+            Err(DbError::Btree(smdb_btree::BtreeError::KeyNotFound { .. })) => Ok(()),
+            other => other,
+        },
+    }
+}
+
 fn run_txn_ops(db: &mut SmDb, node: NodeId, ops: &[Op]) -> Result<TxnId, DbError> {
     let txn = db.begin(node)?;
     for op in ops {
-        let r = match op {
-            Op::Read(slot) => db.read(txn, *slot).map(|_| ()),
-            Op::Update(slot, v) => db.update(txn, *slot, v),
-            Op::Insert(k, v) => match db.insert(txn, *k, *v) {
-                // A retried transaction may find its key already present
-                // from an independent earlier attempt; treat as success.
-                Err(DbError::Btree(smdb_btree::BtreeError::DuplicateKey { .. })) => Ok(()),
-                other => other,
-            },
-            Op::Delete(k) => match db.delete(txn, *k) {
-                Err(DbError::Btree(smdb_btree::BtreeError::KeyNotFound { .. })) => Ok(()),
-                other => other,
-            },
-        };
+        let r = apply_op(db, txn, op);
         if let Err(e) = r {
             // An injected crash means the acting node is dead at this
             // instant: do NOT run a voluntary abort on its behalf (a dead
@@ -243,6 +295,9 @@ pub fn run_mix_with_crash(
     params: MixParams,
     plan: Option<CrashPlan>,
 ) -> Result<(MixReport, Option<smdb_core::RecoveryOutcome>), DbError> {
+    if params.commit_window > 0 {
+        return run_pipelined(db, params, plan);
+    }
     let with_index = db.config().with_index;
     let mut g = Generator::new(db, params);
     let mut report = MixReport::default();
@@ -293,6 +348,215 @@ pub fn run_mix_with_crash(
                 }
                 Err(e) => return Err(e),
             }
+        }
+    }
+    report.sim_cycles = db.max_clock() - clock0;
+    report.forces_requested = db.logs().total_forces_requested() - requested0;
+    report.physical_forces = db.logs().total_forces() - physical0;
+    report.records_forced = db.logs().total_records_forced() - records0;
+    Ok((report, recovery))
+}
+
+/// One transaction in the pipelined commit window.
+struct InFlight {
+    txn: TxnId,
+    node: NodeId,
+    ops: Vec<Op>,
+    /// Next operation to issue (retried in place on a lock stall).
+    next: usize,
+    /// Deadlock-breaker aborts suffered so far.
+    attempts: usize,
+}
+
+/// Order a transaction's operations by a single global key — record slots
+/// first, then index keys, each ascending. Every pipelined transaction
+/// acquires its locks along this order and holds them to commit, so no
+/// wait-for cycle can form between window members: the blocking-and-retry
+/// driver stays deadlock-free without a timeout. (Duplicates are fine —
+/// re-acquisition hits the already-held fast path.) The sort is stable,
+/// so a read and an update of the same slot keep their program order.
+fn sort_for_pipeline(ops: &mut [Op]) {
+    ops.sort_by_key(|op| match op {
+        Op::Read(s) | Op::Update(s, _) => (0u8, *s),
+        Op::Insert(k, _) | Op::Delete(k) => (1u8, *k),
+    });
+}
+
+/// The pipelined-group-commit driver (`MixParams::commit_window > 0`).
+///
+/// Keeps up to `commit_window` transactions in flight and round-robins
+/// one operation per transaction per round. A lock conflict (the engine
+/// must be configured with `DbConfig::with_lock_polling`) leaves the
+/// transaction in place to retry next round and is counted in
+/// [`MixReport::lock_stalls`]. A transaction that finishes its operations
+/// commits with `commit_pipelined` — commit record appended, locks
+/// released early when the engine runs controlled lock violation,
+/// acknowledgement deferred. The pipeline is drained (one group force
+/// per home node, then dependency-ordered acknowledgement) every
+/// `drain_every` commits, whenever a round makes no progress, and at the
+/// end of the run.
+///
+/// Because stalled transactions block and retry instead of aborting, and
+/// because operations are issued in a global lock order
+/// ([`sort_for_pipeline`]), a conflict generates *no* log records and no
+/// compensation: the logged record stream — and therefore the durability
+/// volume — is identical whichever lock-release policy the engine runs.
+/// The deadlock breaker below is a belt-and-braces fallback (reachable
+/// only through lock orders the sorted mix never produces, e.g. S→X
+/// upgrades); it does abort, which would perturb that equality.
+///
+/// `committed` counts commit-record *appends*. A crash between an append
+/// and its covering force can still doom such a transaction (that is the
+/// controlled-violation window), so under a [`CrashPlan`] the count is an
+/// upper bound on durably-acknowledged commits.
+fn run_pipelined(
+    db: &mut SmDb,
+    params: MixParams,
+    plan: Option<CrashPlan>,
+) -> Result<(MixReport, Option<smdb_core::RecoveryOutcome>), DbError> {
+    let with_index = db.config().with_index;
+    let mut g = Generator::new(db, params);
+    let mut report = MixReport::default();
+    let clock0 = db.max_clock();
+    let requested0 = db.logs().total_forces_requested();
+    let physical0 = db.logs().total_forces();
+    let records0 = db.logs().total_records_forced();
+    let mut recovery = None;
+    let nodes = g.nodes;
+    let window = g.params.commit_window;
+    let mut inflight: Vec<InFlight> = Vec::new();
+    let mut issued = 0usize;
+    let mut commits_since_drain = 0usize;
+    let mut fruitless_rounds = 0u32;
+
+    while issued < g.params.txns || !inflight.is_empty() {
+        // Fire the crash plan at the issue boundary, then reconcile the
+        // window with the survivors: recovery aborted every in-flight
+        // transaction homed on a crashed node (and, under early lock
+        // release, any dependent doomed in cascade) — restart those from
+        // scratch on a live node.
+        if let Some(p) = &plan {
+            if recovery.is_none() && issued >= p.after_txns && p.after_txns < g.params.txns {
+                let outcome = db.crash_and_recover(&p.nodes)?;
+                recovery = Some(outcome);
+                report.crash_fired = true;
+                let alive = db.active_txns(None);
+                let survivors = db.machine().surviving_nodes();
+                for (k, e) in inflight.iter_mut().enumerate() {
+                    if !alive.contains(&e.txn) {
+                        e.node = survivors[k % survivors.len()];
+                        e.txn = db.begin(e.node)?;
+                        e.next = 0;
+                    }
+                }
+            }
+        }
+        // Fill the window.
+        while inflight.len() < window && issued < g.params.txns {
+            let mut node = NodeId((issued % nodes as usize) as u16);
+            if db.machine().is_crashed(node) {
+                let survivors = db.machine().surviving_nodes();
+                node = survivors[issued % survivors.len()];
+            }
+            let ck = g.params.checkpoint_every;
+            if ck > 0 && issued > 0 && issued.is_multiple_of(ck) {
+                db.checkpoint(node)?;
+            }
+            let mut ops = g.gen_txn_ops(node, with_index);
+            sort_for_pipeline(&mut ops);
+            let txn = db.begin(node)?;
+            inflight.push(InFlight { txn, node, ops, next: 0, attempts: 0 });
+            issued += 1;
+        }
+        if inflight.is_empty() {
+            break;
+        }
+        // One operation per in-flight transaction.
+        let mut progressed = false;
+        let mut idx = 0;
+        while idx < inflight.len() {
+            let e = &mut inflight[idx];
+            match apply_op(db, e.txn, &e.ops[e.next]) {
+                Ok(()) => {
+                    progressed = true;
+                    e.next += 1;
+                    if e.next == e.ops.len() {
+                        db.commit_pipelined(e.txn)?;
+                        let done = inflight.swap_remove(idx);
+                        g.note_committed(&done.ops);
+                        report.committed += 1;
+                        report.ops += done.ops.len() as u64;
+                        commits_since_drain += 1;
+                        continue; // swap_remove put a fresh entry at idx
+                    }
+                    idx += 1;
+                }
+                Err(DbError::WouldBlock { .. }) => {
+                    report.lock_stalls += 1;
+                    idx += 1;
+                }
+                Err(err) => {
+                    if err.fault_crash().is_none() {
+                        if let Err(e2) = db.abort(e.txn) {
+                            if e2.fault_crash().is_some() {
+                                return Err(e2);
+                            }
+                        }
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        // Drain policy: every `drain_every` commits, or whenever nothing
+        // moved (the window is stalled behind unacknowledged commits that
+        // still hold locks, or behind the force itself).
+        if (g.params.drain_every > 0 && commits_since_drain >= g.params.drain_every)
+            || (!progressed && db.pending_commit_count() > 0)
+        {
+            if db.drain_commit_pipeline()? > 0 {
+                progressed = true;
+            }
+            commits_since_drain = 0;
+        }
+        if progressed {
+            fruitless_rounds = 0;
+        } else {
+            fruitless_rounds += 1;
+            if fruitless_rounds >= 2 {
+                // Two whole rounds without a single grant or
+                // acknowledgement: a genuine wait cycle (impossible for
+                // the sorted update mix, possible with upgrades). Break it
+                // deterministically: abort the oldest stalled entry and
+                // retry it within its budget.
+                let e = &mut inflight[0];
+                report.conflict_aborts += 1;
+                e.attempts += 1;
+                if let Err(e2) = db.abort(e.txn) {
+                    if e2.fault_crash().is_some() {
+                        return Err(e2);
+                    }
+                }
+                if e.attempts > g.params.retries {
+                    report.gave_up += 1;
+                    inflight.swap_remove(0);
+                } else {
+                    if db.machine().is_crashed(e.node) {
+                        e.node = db.machine().surviving_nodes()[0];
+                    }
+                    e.txn = db.begin(e.node)?;
+                    e.next = 0;
+                }
+                fruitless_rounds = 0;
+            }
+        }
+    }
+    // Final drain: acknowledge everything still pending. Each pass pays
+    // at most one physical force per home node; a pass that acknowledges
+    // nothing means the remaining entries are unacknowledgeable (homed on
+    // crashed nodes — recovery already resolved them).
+    while db.pending_commit_count() > 0 {
+        if db.drain_commit_pipeline()? == 0 {
+            break;
         }
     }
     report.sim_cycles = db.max_clock() - clock0;
@@ -502,6 +766,66 @@ mod tests {
         let outcome = db.crash_and_recover(&[NodeId(2)]).unwrap();
         assert!(outcome.ckpt_bound_lsn > 0);
         db.check_ifa(NodeId(0)).assert_ok();
+    }
+
+    fn pipelined_db(p: ProtocolKind, elr: bool) -> SmDb {
+        let cfg = DbConfig::small(4, p).with_coalesced_forces().with_lock_polling();
+        SmDb::new(if elr { cfg.with_early_lock_release() } else { cfg })
+    }
+
+    #[test]
+    fn pipelined_mix_commits_everything_and_stalls_instead_of_aborting() {
+        let mut db = pipelined_db(ProtocolKind::StableEager, true);
+        let report = run_mix(&mut db, MixParams::contended_tp1(40));
+        assert_eq!(report.committed, 40, "sorted lock order: nobody deadlocks or gives up");
+        assert_eq!(report.conflict_aborts, 0, "stalls retry in place, never abort");
+        assert!(report.lock_stalls > 0, "the hot set must actually contend");
+        assert_eq!(db.pending_commit_count(), 0, "final drain acknowledged everyone");
+        assert!(db.active_txns(None).is_empty());
+        db.check_ifa(NodeId(0)).assert_ok();
+    }
+
+    #[test]
+    fn pipelined_mix_is_deterministic_given_seed() {
+        let run = |elr| {
+            let mut db = pipelined_db(ProtocolKind::StableTriggered, elr);
+            let r = run_mix(&mut db, MixParams::contended_tp1(30));
+            (r.committed, r.lock_stalls, r.ops, db.max_clock())
+        };
+        assert_eq!(run(true), run(true));
+        assert_eq!(run(false), run(false));
+    }
+
+    #[test]
+    fn pipelined_durability_volume_is_lock_policy_independent() {
+        // The record stream a pipelined run appends — and therefore, after
+        // a closing checkpoint forces every log to its tip, the records
+        // made durable — must not depend on whether the engine released
+        // locks early. This is the invariant the E10-elr gate relies on.
+        let volume = |elr| {
+            let mut db = pipelined_db(ProtocolKind::StableEager, elr);
+            let before = db.logs().total_records_forced();
+            run_mix(&mut db, MixParams::contended_tp1(30));
+            db.checkpoint(NodeId(0)).unwrap();
+            db.logs().total_records_forced() - before
+        };
+        assert_eq!(volume(false), volume(true));
+    }
+
+    #[test]
+    fn pipelined_mid_run_crash_recovers_and_run_continues() {
+        for elr in [false, true] {
+            let mut db = pipelined_db(ProtocolKind::VolatileSelectiveRedo, elr);
+            let plan = CrashPlan { after_txns: 16, nodes: vec![NodeId(2)] };
+            let params = MixParams { txns: 48, ..MixParams::contended_tp1(48) };
+            let (report, recovery) =
+                run_mix_with_crash(&mut db, params, Some(plan)).expect("recovery succeeds");
+            assert!(report.crash_fired, "elr={elr}");
+            assert_eq!(recovery.expect("crash fired").crashed, vec![NodeId(2)]);
+            assert!(report.committed > 30, "elr={elr}: survivors kept working");
+            assert_eq!(db.pending_commit_count(), 0);
+            db.check_ifa(NodeId(0)).assert_ok();
+        }
     }
 
     #[test]

@@ -97,4 +97,26 @@ mod tests {
     fn zero_domain_rejected() {
         let _ = Zipf::new(0, 1.0);
     }
+
+    #[test]
+    fn sampling_is_deterministic_given_seed() {
+        // The E10-elr experiment compares two engine configurations on the
+        // byte-identical operation stream; that only holds if the sampler
+        // is a pure function of the seed.
+        let draw = |seed: u64| {
+            let z = Zipf::new(64, 0.95);
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..256).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(0xE10), draw(0xE10));
+        assert_ne!(draw(0xE10), draw(0xE11), "different seeds should diverge");
+    }
+
+    #[test]
+    fn raising_theta_never_reduces_hot_rank_mass() {
+        // Sanity for the contention knob: the share of traffic on the
+        // hottest rank grows monotonically with θ across the sweep range.
+        let mass: Vec<u64> = [0.0, 0.5, 0.95, 1.2].iter().map(|&t| histogram(t)[0]).collect();
+        assert!(mass.windows(2).all(|w| w[0] < w[1]), "rank-0 mass not monotone: {mass:?}");
+    }
 }

@@ -58,6 +58,14 @@ if ! ./target/release/report --e9lat --fast --csv > /dev/null; then
     echo "e9lat report failed (non-blocking): rerun report --e9lat" >&2
 fi
 
+echo "== E10-elr early-lock-release report (non-blocking) =="
+# Refresh the controlled-lock-violation CSV (DESIGN §12). The blocking
+# acceptance gate is the e10_elr integration test (speedup, lock-wait
+# reduction, durability parity), already run by the workspace test step.
+if ! ./target/release/report --e10elr --fast --csv > /dev/null; then
+    echo "e10elr report failed (non-blocking): rerun report --e10elr" >&2
+fi
+
 echo "== observability overhead smoke (non-blocking) =="
 # The disabled-path contract (one relaxed load + branch per emission
 # site) is wall-clock sensitive; run the bench in test mode so broken

@@ -19,7 +19,7 @@
 
 use smdb::core::fault::sweep::{sweep, RunMode, RunOutput, SweepConfig, SweepReport};
 use smdb::core::fault::{CrashPoint, FaultInjector, FaultPlan, Mode};
-use smdb::core::{DbConfig, DbError, ProtocolKind, SmDb};
+use smdb::core::{DbConfig, DbError, ProtocolKind, SmDb, FAULT_COMMIT_DEP};
 use smdb::sim::NodeId;
 use smdb::wal::{FAULT_CHECKPOINT_RECORD, FAULT_TRUNCATE};
 use smdb::workload::{run_mix_with_crash, MixParams};
@@ -38,6 +38,22 @@ fn params(seed: u64) -> MixParams {
         // points) in every sweep scenario.
         checkpoint_every: 5,
         ..Default::default()
+    }
+}
+
+/// The early-lock-release variant of the sweep workload: the pipelined
+/// group-commit driver over polling locks, so commit records sit
+/// unforced while successors already run on violated locks — the window
+/// the `core.commit.dep` crash point (and the cascade-abort machinery
+/// behind it) exists for. Index ops stay off: the pipelined driver's
+/// deadlock freedom relies on sorted record-lock acquisition.
+fn elr_params(seed: u64) -> MixParams {
+    MixParams {
+        index_fraction: 0.0,
+        read_fraction: 0.0,
+        commit_window: 4,
+        drain_every: 3,
+        ..params(seed)
     }
 }
 
@@ -108,10 +124,32 @@ fn check_oracles(db: &mut SmDb) -> Result<(), String> {
 /// One scenario execution in the given sweep mode: fresh database, seeded
 /// workload, crash driving on fire, oracles, injector snapshot.
 fn run_scenario(protocol: ProtocolKind, seed: u64, mode: &RunMode) -> Result<RunOutput, String> {
+    run_scenario_cfg(protocol, seed, mode, false)
+}
+
+/// Same scenario with early lock release + the pipelined driver.
+fn run_scenario_elr(
+    protocol: ProtocolKind,
+    seed: u64,
+    mode: &RunMode,
+) -> Result<RunOutput, String> {
+    run_scenario_cfg(protocol, seed, mode, true)
+}
+
+fn run_scenario_cfg(
+    protocol: ProtocolKind,
+    seed: u64,
+    mode: &RunMode,
+    elr: bool,
+) -> Result<RunOutput, String> {
     // Coalesced (group) log forces stay on for every sweep scenario: the
     // sweep is the proof that deferring force requests into the pending
     // window preserves recovery semantics at every crash point.
-    let mut db = SmDb::new(DbConfig::small(4, protocol).with_coalesced_forces());
+    let mut cfg = DbConfig::small(4, protocol).with_coalesced_forces();
+    if elr {
+        cfg = cfg.with_early_lock_release().with_lock_polling();
+    }
+    let mut db = SmDb::new(cfg);
     let f = FaultInjector::new();
     db.set_fault_injector(f.clone());
     match mode {
@@ -119,9 +157,22 @@ fn run_scenario(protocol: ProtocolKind, seed: u64, mode: &RunMode) -> Result<Run
         RunMode::Replay(plan) => f.arm(plan.clone()),
         RunMode::CountDuringRecovery(plan) => f.arm_then_count(plan.clone()),
     }
-    match run_mix_with_crash(&mut db, params(seed), None) {
+    let p = if elr { elr_params(seed) } else { params(seed) };
+    match run_mix_with_crash(&mut db, p, None) {
         Ok(_) => {}
         Err(e) => drive_recovery(&mut db, e)?,
+    }
+    // A crash that cut the pipelined run short also skipped the driver's
+    // final drain, stranding surviving commit records unacknowledged
+    // (appended, locks violated away, no covering force). Drain them now
+    // — the group-commit daemon catching up after restart. The drain can
+    // itself land on a still-armed crash point; drive recovery and retry.
+    while db.pending_commit_count() > 0 {
+        match db.drain_commit_pipeline() {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => drive_recovery(&mut db, e)?,
+        }
     }
     // Snapshot the injector BEFORE the oracle scans: enumeration must not
     // include oracle-only visits, and an armed point the perturbed path
@@ -185,6 +236,82 @@ fn sweep_stable_eager() {
 #[test]
 fn sweep_stable_triggered() {
     assert_coverage(&sweep_protocol(ProtocolKind::StableTriggered, "stable_triggered"));
+}
+
+/// The same four-protocol sweep with **early lock release** and the
+/// pipelined group-commit driver: commit records pile up unforced while
+/// successors already run on violated locks, so every crash point now
+/// lands on top of live violation edges and pending acknowledgements.
+/// The oracles prove the cascade-abort + dependency-filtered recovery
+/// machinery restores exactly the durably-committed state anyway.
+fn sweep_protocol_elr(protocol: ProtocolKind, label: &str) -> SweepReport {
+    let full = std::env::var("SMDB_FULL_SWEEP").map(|v| v == "1").unwrap_or(false);
+    let cfg = SweepConfig {
+        label: label.to_string(),
+        seed: SEED,
+        max_single: if full { usize::MAX } else { 40 },
+        max_nested: if full { 200 } else { 10 },
+        nested_primaries: if full { 12 } else { 4 },
+    };
+    let report = sweep(&cfg, |mode| run_scenario_elr(protocol, SEED, mode));
+    println!(
+        "{label}: {} points, {} single + {} nested replays, {} unfired",
+        report.points_enumerated, report.single_runs, report.nested_runs, report.unfired
+    );
+    assert!(report.passed(), "{}", report.failures.join("\n"));
+    assert!(report.single_runs >= 30, "{label}: only {} single replays", report.single_runs);
+    assert!(report.nested_runs >= 8, "{label}: only {} nested replays", report.nested_runs);
+    report
+}
+
+#[test]
+fn sweep_elr_volatile_selective_redo() {
+    sweep_protocol_elr(ProtocolKind::VolatileSelectiveRedo, "elr_volatile_selective");
+}
+
+#[test]
+fn sweep_elr_volatile_redo_all() {
+    sweep_protocol_elr(ProtocolKind::VolatileRedoAll, "elr_volatile_redo_all");
+}
+
+#[test]
+fn sweep_elr_stable_eager() {
+    sweep_protocol_elr(ProtocolKind::StableEager, "elr_stable_eager");
+}
+
+#[test]
+fn sweep_elr_stable_triggered() {
+    sweep_protocol_elr(ProtocolKind::StableTriggered, "elr_stable_triggered");
+}
+
+/// The controlled-lock-violation crash point, swept **exhaustively**: a
+/// node dies right after `commit_pipelined` appended the commit record
+/// and released the write locks, before any covering force. Every
+/// enumerated visit of `core.commit.dep` is replayed as a single failure
+/// for each Table-1 protocol — the window where successors may already
+/// hold violated locks and must be cascade-aborted by recovery.
+#[test]
+fn commit_dep_crash_point_swept_exhaustively() {
+    for protocol in ProtocolKind::ifa_protocols() {
+        let out =
+            run_scenario_elr(protocol, SEED, &RunMode::Count).expect("count run is crash-free");
+        let mut points: Vec<CrashPoint> = Vec::new();
+        for sv in &out.visits {
+            if sv.site == FAULT_COMMIT_DEP {
+                for k in 0..sv.nodes.len() as u64 {
+                    points.push(CrashPoint::new(sv.site, k));
+                }
+            }
+        }
+        assert!(
+            !points.is_empty(),
+            "{protocol:?}: pipelined workload never visited {FAULT_COMMIT_DEP}"
+        );
+        for point in points {
+            run_scenario_elr(protocol, SEED, &RunMode::Replay(FaultPlan::single(point)))
+                .unwrap_or_else(|e| panic!("{protocol:?} plan={point} :: {e}"));
+        }
+    }
 }
 
 /// The checkpoint-machinery crash points, swept **exhaustively** (the
