@@ -1,0 +1,110 @@
+//! Deterministic schedule fuzzer CLI (DESIGN.md §13).
+//!
+//! ```text
+//! cargo run -p smdb-bench --bin fuzz --release -- --seed 0xC0DE --budget 500
+//! cargo run -p smdb-bench --bin fuzz --release -- --replay "VOPR seed=0x… cfg=… …"
+//! ```
+//!
+//! Flags: `--seed S` (master seed, default 0xC0DE; accepts decimal or
+//! 0x-hex), `--budget N` (schedules to run, default 500),
+//! `--shrink-budget N` (candidate replays per failing schedule, default
+//! 400), `--replay "LINE"` (replay one repro line — the fuzzer's own
+//! `VOPR …` form or a crash-sweep `FAIL …` line — instead of fuzzing).
+//!
+//! Exit status: 0 when every schedule passed (or the replayed line
+//! reproduced its recorded verdict), 1 on oracle failures (each printed
+//! as a shrunk one-line repro) or a replay mismatch, 2 on usage errors.
+
+use std::process::ExitCode;
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let r = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse::<u64>(),
+    };
+    r.map_err(|_| format!("bad number {s:?}"))
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: fuzz [--seed S] [--budget N] [--shrink-budget N] [--replay \"LINE\"]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut seed: u64 = 0xC0DE;
+    let mut budget: u64 = 500;
+    let mut shrink_budget: u64 = 400;
+    let mut replay: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        let r = match flag.as_str() {
+            "--seed" => value("--seed").and_then(|v| parse_u64(&v)).map(|v| seed = v),
+            "--budget" => value("--budget").and_then(|v| parse_u64(&v)).map(|v| budget = v),
+            "--shrink-budget" => {
+                value("--shrink-budget").and_then(|v| parse_u64(&v)).map(|v| shrink_budget = v)
+            }
+            "--replay" => value("--replay").map(|v| replay = Some(v)),
+            _ => Err(format!("unknown flag {flag:?}")),
+        };
+        if let Err(e) = r {
+            eprintln!("fuzz: {e}");
+            return usage();
+        }
+    }
+
+    if let Some(line) = replay {
+        return match smdb_vopr::replay_line(&line) {
+            Ok(report) => {
+                let verdict = match &report.outcome.failure {
+                    Some((oracle, detail)) => format!("failed oracle {oracle}: {detail}"),
+                    None => "passed all oracles".to_string(),
+                };
+                println!(
+                    "replay seed={:#x} committed={} fired={} :: {}",
+                    report.repro.seed,
+                    report.outcome.committed,
+                    report.outcome.fired.len(),
+                    verdict,
+                );
+                if report.reproduced {
+                    println!("reproduced: the line's recorded verdict holds");
+                    ExitCode::SUCCESS
+                } else {
+                    println!("NOT reproduced: the line's recorded verdict did not recur");
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("fuzz: cannot parse repro line: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    println!("fuzz: master seed {seed:#x}, {budget} schedules, shrink budget {shrink_budget}");
+    let out = smdb_vopr::fuzz_with(seed, budget, shrink_budget, None, &mut |f| {
+        eprintln!(
+            "schedule {} FAILED oracle {} (shrink: {} runs, {} accepted)",
+            f.schedule, f.oracle, f.shrink.runs, f.shrink.accepted,
+        );
+        eprintln!("  {}", f.line);
+    });
+    println!(
+        "schedules={} committed={} fired={} stalls={} failures={}",
+        out.schedules,
+        out.committed,
+        out.fired,
+        out.stalls,
+        out.failures.len(),
+    );
+    for f in &out.failures {
+        println!("{}", f.line);
+    }
+    if out.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -11,7 +11,7 @@
 //! order).
 
 use crate::config::{DbConfig, ProtocolKind};
-use crate::error::DbError;
+use crate::error::{req, DbError};
 use crate::oracle::ShadowDb;
 use crate::record::{RecordLayout, NULL_TAG, TAG_SIZE};
 use crate::stats::EngineStats;
@@ -21,7 +21,7 @@ use smdb_btree::{
     BTree, LineSpan, TreeCtx, APPEND_BYTES_COUNTER, COALESCED_FORCES_COUNTER,
     FORCE_RECORDS_HISTOGRAM, PHYSICAL_FORCES_COUNTER, VAL_SIZE,
 };
-use smdb_fault::FaultInjector;
+use smdb_fault::{FaultInjector, Scheduler};
 use smdb_lock::{LockManager, LockMode, LockOutcome, LockTable, ViolationTable};
 use smdb_obs::{names, Event as ObsEvent, ForceReason, Obs, Stage};
 use smdb_sim::{LineId, Machine, NodeId, SimConfig, TxnId};
@@ -104,6 +104,10 @@ pub struct SmDb {
     /// Fault-injection handle shared with the machine, log set, and stable
     /// database (disabled by default: one relaxed load per crash point).
     pub(crate) fault: FaultInjector,
+    /// Schedule handle: ordering decisions the engine exposes to the
+    /// deterministic fuzzer (disabled by default: every choice is 0, the
+    /// historical order, at the cost of one relaxed load per decision).
+    pub(crate) sched: Scheduler,
     /// Nodes crashed via [`SmDb::crash`] whose recovery has not completed.
     pub(crate) pending_recovery: BTreeSet<NodeId>,
     /// Cache lines destroyed by crashes since the last completed recovery.
@@ -221,6 +225,7 @@ impl SmDb {
             shadow: ShadowDb::new(),
             pending_waits: BTreeMap::new(),
             fault: FaultInjector::new(),
+            sched: Scheduler::new(),
             pending_recovery: BTreeSet::new(),
             pending_lost_lines: 0,
             pending_total_failure: false,
@@ -248,6 +253,21 @@ impl SmDb {
     /// A clone of the engine's fault-injection handle.
     pub fn fault_handle(&self) -> FaultInjector {
         self.fault.clone()
+    }
+
+    /// Wire a schedule handle into the engine's ordering decisions: the
+    /// per-node force order of a pipeline drain (`core.drain.force`), which
+    /// ready pending commit is acknowledged next (`core.ack.pick`), and
+    /// which survivor hosts recovery (`core.recovery.host`). With the
+    /// handle disabled (the default) every choice is 0 — exactly the
+    /// engine's historical order — so production paths are unperturbed.
+    pub fn set_scheduler(&mut self, sched: Scheduler) {
+        self.sched = sched;
+    }
+
+    /// A clone of the engine's schedule handle.
+    pub fn sched_handle(&self) -> Scheduler {
+        self.sched.clone()
     }
 
     // ------------------------------------------------------------------
@@ -541,7 +561,7 @@ impl SmDb {
         if self.m.is_crashed(node) {
             return Err(DbError::NodeDown { node });
         }
-        self.txns.get_mut(&txn).expect("checked active").participants.insert(node);
+        req(self.txns.get_mut(&txn), "txn checked active")?.participants.insert(node);
         Ok(())
     }
 
@@ -731,7 +751,7 @@ impl SmDb {
             let execute = cycles.saturating_sub(append_cycles + force_cycles);
             obs.spans.add(txn.0, Stage::Execute, execute);
         }
-        let t = self.txns.get_mut(&txn).expect("checked active");
+        let t = req(self.txns.get_mut(&txn), "txn checked active")?;
         t.ops.push(TxnOp::Update { rec, before, node });
         self.shadow.note_update(txn, slot, payload);
         Ok(())
@@ -746,7 +766,7 @@ impl SmDb {
         self.lock(txn, Self::lock_name_for_key(key), LockMode::Exclusive)?;
         let spans_on = self.m.obs().spans.is_enabled();
         let t0 = if spans_on { self.m.now(txn.node()) } else { 0 };
-        let tree = self.tree.as_mut().expect("checked");
+        let tree = req(self.tree.as_mut(), "index op on an engine with an index")?;
         let mut ctx = TreeCtx::new(
             &mut self.m,
             &mut self.sdb,
@@ -772,7 +792,7 @@ impl SmDb {
             obs.spans.add(txn.0, Stage::ForceWait, force_cycles);
             obs.spans.add(txn.0, Stage::Execute, cycles.saturating_sub(force_cycles));
         }
-        let t = self.txns.get_mut(&txn).expect("checked active");
+        let t = req(self.txns.get_mut(&txn), "txn checked active")?;
         t.ops.push(TxnOp::IndexInsert { key });
         self.shadow.note_index_insert(txn, key, value);
         Ok(())
@@ -788,7 +808,7 @@ impl SmDb {
         let node = txn.node();
         let spans_on = self.m.obs().spans.is_enabled();
         let t0 = if spans_on { self.m.now(node) } else { 0 };
-        let tree = self.tree.as_mut().expect("checked");
+        let tree = req(self.tree.as_mut(), "index op on an engine with an index")?;
         let mut ctx = TreeCtx::new(
             &mut self.m,
             &mut self.sdb,
@@ -830,7 +850,7 @@ impl SmDb {
         let spans_on = self.m.obs().spans.is_enabled();
         let t0 = if spans_on { self.m.now(node) } else { 0 };
         let (hits, force_cycles) = {
-            let tree = self.tree.as_mut().expect("checked");
+            let tree = req(self.tree.as_mut(), "index op on an engine with an index")?;
             let mut ctx = TreeCtx::new(
                 &mut self.m,
                 &mut self.sdb,
@@ -865,7 +885,7 @@ impl SmDb {
         self.lock(txn, Self::lock_name_for_key(key), LockMode::Exclusive)?;
         let spans_on = self.m.obs().spans.is_enabled();
         let t0 = if spans_on { self.m.now(txn.node()) } else { 0 };
-        let tree = self.tree.as_mut().expect("checked");
+        let tree = req(self.tree.as_mut(), "index op on an engine with an index")?;
         let mut ctx = TreeCtx::new(
             &mut self.m,
             &mut self.sdb,
@@ -891,7 +911,7 @@ impl SmDb {
             obs.spans.add(txn.0, Stage::ForceWait, force_cycles);
             obs.spans.add(txn.0, Stage::Execute, cycles.saturating_sub(force_cycles));
         }
-        let t = self.txns.get_mut(&txn).expect("checked active");
+        let t = req(self.txns.get_mut(&txn), "txn checked active")?;
         t.ops.push(TxnOp::IndexDelete { key });
         self.shadow.note_index_delete(txn, key);
         Ok(())
@@ -911,10 +931,7 @@ impl SmDb {
         // Parallel transactions (§9): every participant's updates must be
         // durable before the home node's commit record — force the other
         // participants' logs first.
-        let participants: Vec<NodeId> = self
-            .txns
-            .get(&txn)
-            .expect("checked active")
+        let participants: Vec<NodeId> = req(self.txns.get(&txn), "txn checked active")?
             .participants
             .iter()
             .copied()
@@ -986,7 +1003,7 @@ impl SmDb {
         if let Some(c) = self.fault.hit(FAULT_COMMIT, node.0) {
             return Err(DbError::FaultCrash(c));
         }
-        let t = self.txns.get(&txn).expect("checked active").clone();
+        let t = req(self.txns.get(&txn), "txn checked active")?.clone();
         // Clear heap undo tags (the data is no longer active — §4.1.2:
         // "Once the data is no longer active, the node ID is assigned a
         // null value").
@@ -1028,7 +1045,7 @@ impl SmDb {
         }
         self.locks.release_all(&mut self.m, &mut self.logs, txn)?;
         self.pending_waits.remove(&txn);
-        self.txns.get_mut(&txn).expect("checked").status = TxnStatus::Committed;
+        req(self.txns.get_mut(&txn), "txn checked active")?.status = TxnStatus::Committed;
         self.shadow.commit(txn);
         self.stats.commits += 1;
         let mut latency = 0u64;
@@ -1097,10 +1114,7 @@ impl SmDb {
         }
         // Parallel transactions (§9): participants' updates must be
         // durable before the home node's commit record.
-        let participants: Vec<NodeId> = self
-            .txns
-            .get(&txn)
-            .expect("checked active")
+        let participants: Vec<NodeId> = req(self.txns.get(&txn), "txn checked active")?
             .participants
             .iter()
             .copied()
@@ -1176,7 +1190,7 @@ impl SmDb {
         if spans_on {
             self.m.obs().spans.add(txn.0, Stage::Commit, appended_at.saturating_sub(commit_t0));
         }
-        self.txns.get_mut(&txn).expect("checked active").committing = true;
+        req(self.txns.get_mut(&txn), "txn checked active")?.committing = true;
         self.pending_commits.push(PendingCommit { txn, node, lsn, deps, appended_at });
         Ok(())
     }
@@ -1197,7 +1211,11 @@ impl SmDb {
                 }
             }
         }
-        for (node, lsn) in targets {
+        // Force order across home nodes is observable (forces advance node
+        // clocks and fire crash points): schedulable, node order by default.
+        let mut order: Vec<(NodeId, Lsn)> = targets.into_iter().collect();
+        while !order.is_empty() {
+            let (node, lsn) = order.remove(self.sched.choose("core.drain.force", order.len()));
             if self.logs.log(node).durable_lsn() >= lsn {
                 continue;
             }
@@ -1221,7 +1239,12 @@ impl SmDb {
     fn ack_scan(&mut self) -> Result<usize, DbError> {
         let mut acked = 0usize;
         loop {
-            let mut next = None;
+            // Any durable pending commit with settled predecessors may be
+            // acknowledged next; the ack order is observable (post-commit
+            // processing touches shared pages), so the pick among ready
+            // candidates is schedulable. Choice 0 = lowest index = append
+            // order, the historical behavior.
+            let mut ready: Vec<usize> = Vec::new();
             for (i, p) in self.pending_commits.iter().enumerate() {
                 if self.logs.log(p.node).durable_lsn() < p.lsn {
                     continue;
@@ -1230,11 +1253,16 @@ impl SmDb {
                     self.txns.get(&d.txn).map(|t| t.status == TxnStatus::Committed).unwrap_or(true)
                 });
                 if deps_ok {
-                    next = Some(i);
-                    break;
+                    ready.push(i);
+                    if !self.sched.is_enabled() {
+                        break;
+                    }
                 }
             }
-            let Some(i) = next else { break };
+            if ready.is_empty() {
+                break;
+            }
+            let i = ready[self.sched.choose("core.ack.pick", ready.len())];
             let p = self.pending_commits.remove(i);
             self.ack_commit(p)?;
             acked += 1;
@@ -1251,7 +1279,7 @@ impl SmDb {
         let obs_on = self.m.obs().is_enabled();
         let spans_on = self.m.obs().spans.is_enabled();
         let ack_t0 = if spans_on { self.m.now(node) } else { 0 };
-        let t = self.txns.get(&txn).expect("pending commit txn exists").clone();
+        let t = req(self.txns.get(&txn), "pending commit txn present in table")?.clone();
         if self.cfg.protocol.uses_undo_tags() {
             for rec in t.touched_records() {
                 // A successor that inherited the record through early
@@ -1309,7 +1337,7 @@ impl SmDb {
             self.pending_waits.remove(&txn);
         }
         self.inherited_deps.remove(&txn);
-        let ts = self.txns.get_mut(&txn).expect("pending commit txn exists");
+        let ts = req(self.txns.get_mut(&txn), "pending commit txn present in table")?;
         ts.status = TxnStatus::Committed;
         ts.committing = false;
         self.shadow.commit(txn);
@@ -1350,7 +1378,7 @@ impl SmDb {
         // The whole rollback body is finalization work: attributed to the
         // commit/abort stage rather than re-execution.
         let abort_t0 = if spans_on { self.m.now(node) } else { 0 };
-        let t = self.txns.get(&txn).expect("checked active").clone();
+        let t = req(self.txns.get(&txn), "txn checked active")?.clone();
         for op in t.ops.iter().rev() {
             match op {
                 TxnOp::Update { rec, before, node: op_node } => {
@@ -1376,7 +1404,7 @@ impl SmDb {
                     let _ = ctx.note_update(node, rec.page, lsn)?;
                 }
                 TxnOp::IndexInsert { key } => {
-                    let tree = self.tree.as_mut().expect("op implies index");
+                    let tree = req(self.tree.as_mut(), "logged op implies an index")?;
                     let mut ctx = TreeCtx::new(
                         &mut self.m,
                         &mut self.sdb,
@@ -1391,7 +1419,7 @@ impl SmDb {
                     tree.undo_insert(&mut ctx, node, *key)?;
                 }
                 TxnOp::IndexDelete { key } => {
-                    let tree = self.tree.as_mut().expect("op implies index");
+                    let tree = req(self.tree.as_mut(), "logged op implies an index")?;
                     let mut ctx = TreeCtx::new(
                         &mut self.m,
                         &mut self.sdb,
@@ -1415,7 +1443,7 @@ impl SmDb {
             }
         }
         self.locks.release_all(&mut self.m, &mut self.logs, txn)?;
-        self.txns.get_mut(&txn).expect("checked").status = TxnStatus::Aborted;
+        req(self.txns.get_mut(&txn), "txn checked active")?.status = TxnStatus::Aborted;
         // A voluntary abort restores every inherited value itself; its
         // commit dependencies die with it (it never appended a commit
         // record — `check_active` rejects committing transactions here).

@@ -56,6 +56,23 @@ pub enum DbError {
         /// The missing page.
         page: PageId,
     },
+    /// An internal invariant did not hold on a reachable engine path.
+    /// Typed replacement for the `expect`/`unwrap` calls that used to sit
+    /// on the forward and recovery paths: the shared structures they read
+    /// (txn table, index handle) live in simulated shared memory that
+    /// crashes mutate concurrently, so "checked three lines up" is not a
+    /// proof — and a violation should surface as an error the caller can
+    /// report, not take the whole process down mid-recovery.
+    Invariant {
+        /// The invariant that was violated.
+        what: &'static str,
+    },
+}
+
+/// `Option` → `Result` sugar for engine invariants:
+/// `req(self.tree.as_mut(), "index op implies an index")?`.
+pub(crate) fn req<T>(opt: Option<T>, what: &'static str) -> Result<T, DbError> {
+    opt.ok_or(DbError::Invariant { what })
 }
 
 impl DbError {
@@ -118,6 +135,9 @@ impl fmt::Display for DbError {
             DbError::FaultCrash(c) => write!(f, "injected crash point fired: {c}"),
             DbError::StablePageMissing { page } => {
                 write!(f, "stable database page {page} missing during recovery")
+            }
+            DbError::Invariant { what } => {
+                write!(f, "internal invariant violated: {what}")
             }
         }
     }

@@ -21,7 +21,7 @@
 
 use crate::config::{ProtocolKind, RestartScheme};
 use crate::engine::{engine_ctx, PendingCommit, SmDb};
-use crate::error::DbError;
+use crate::error::{req, DbError};
 use crate::record::NULL_TAG;
 use crate::txn::TxnStatus;
 use serde::{Deserialize, Serialize};
@@ -30,7 +30,7 @@ use smdb_lock::LockRecoveryStats;
 use smdb_obs::{names, Event as ObsEvent, PhaseSpan, PhaseTiming};
 use smdb_sim::{LineId, NodeId, TxnId};
 use smdb_storage::PageId;
-use smdb_wal::{LogPayload, RecId};
+use smdb_wal::{LogPayload, Lsn, RecId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Fault-injection site visited between restart-recovery phases (after
@@ -457,7 +457,14 @@ impl SmDb {
             // Machine-wide outage: reboot node 0 to host the rebuild.
             self.m.reboot_node(NodeId(0));
         }
-        let recovery_node = if survivors.is_empty() { NodeId(0) } else { survivors[0] };
+        // The paper's IFA argument holds for *any* surviving host, so the
+        // choice is schedulable (choice 0 = lowest survivor, the
+        // historical pick) — a prime fuzz target.
+        let recovery_node = if survivors.is_empty() {
+            NodeId(0)
+        } else {
+            survivors[self.sched.choose("core.recovery.host", survivors.len())]
+        };
         outcome.recovery_node = recovery_node;
 
         let protocol = self.cfg.protocol.name();
@@ -686,6 +693,19 @@ impl SmDb {
                 }
                 let committed = a.committed.contains(&txn);
                 let is_doomed = doomed.contains(&txn);
+                // A transaction the (crash-surviving, shared-memory) txn
+                // table already records as `Aborted` was rolled back by a
+                // previous recovery or a voluntary abort — but when its
+                // home node is *still down*, its stable log keeps being
+                // re-analysed by every subsequent recovery. Its retained
+                // records must not re-enter the undo candidate sets: live
+                // transactions may have legitimately re-written those
+                // records since the rollback, and re-applying the stale
+                // before images would destroy their updates. (Found by
+                // the schedule fuzzer.) It still feeds the last-writer
+                // maps so the stale-tag predicate sees the true history.
+                let settled_aborted =
+                    self.txns.get(&txn).is_some_and(|t| t.status == TxnStatus::Aborted);
                 // Redo candidacy: strictly past the checkpoint bound and
                 // never doomed; analysed nodes (and everyone, under a
                 // full restart) contribute committed work only.
@@ -694,7 +714,7 @@ impl SmDb {
                     LogPayload::Update { rec, undo, redo: after, gsn, .. } => {
                         if is_analysed {
                             a.last_rec_txn.insert((n, *rec), txn);
-                            if !committed {
+                            if !committed && !settled_aborted {
                                 a.uncommitted_updates.push((*gsn, txn, *rec));
                                 a.uncommitted_undo.entry(*rec).or_default().push((
                                     *gsn,
@@ -728,7 +748,7 @@ impl SmDb {
                     LogPayload::IndexInsert { key, value, gsn, .. } => {
                         if is_analysed {
                             a.last_key_txn.insert((n, *key), txn);
-                            if !committed {
+                            if !committed && !settled_aborted {
                                 a.uncommitted_index.push((*gsn, txn, *key, false));
                             }
                         } else if is_doomed {
@@ -744,7 +764,7 @@ impl SmDb {
                     LogPayload::IndexDelete { key, value, gsn, .. } => {
                         if is_analysed {
                             a.last_key_txn.insert((n, *key), txn);
-                            if !committed {
+                            if !committed && !settled_aborted {
                                 a.uncommitted_index.push((*gsn, txn, *key, true));
                             }
                         } else if is_doomed {
@@ -808,12 +828,13 @@ impl SmDb {
         match (committed, latest) {
             (Some((gc, value)), Some((gu, _, _))) if gc > gu => Ok(value.to_vec()),
             (_, Some((_, tstar, _))) => {
-                let (_, _, before) = chain
-                    .expect("latest drawn from chain")
-                    .iter()
-                    .filter(|(_, t, _)| t == tstar)
-                    .min_by_key(|(gsn, _, _)| *gsn)
-                    .expect("tstar drawn from chain");
+                let (_, _, before) = req(
+                    req(chain, "latest undo entry drawn from a present chain")?
+                        .iter()
+                        .filter(|(_, t, _)| t == tstar)
+                        .min_by_key(|(gsn, _, _)| *gsn),
+                    "t* drawn from its own undo chain",
+                )?;
                 Ok(before.to_vec())
             }
             (Some((_, value)), None) => Ok(value.to_vec()),
@@ -1124,6 +1145,18 @@ impl SmDb {
                         if self.m.is_crashed(txn.node()) { recovery_node } else { txn.node() };
                     let mut ctx = engine_ctx!(self);
                     ctx.write(actor, rec.page, off, &expected)?;
+                    drop(ctx);
+                    // The crash cleared the crashed node's WAL-table
+                    // entries (§6: "will be reinitialized on the crashed
+                    // node"), and `ctx.write` does not restore them — so
+                    // without an explicit mark the redone page would look
+                    // clean to the next checkpoint, which would advance
+                    // the redo bound *without flushing it*, and a second
+                    // crash would lose the committed data. The redo
+                    // source record is already stable, so a zero-LSN
+                    // entry (dirty, no force requirement) is exactly
+                    // right. (Found by the schedule fuzzer.)
+                    self.plt.note_update(rec.page, actor, Lsn::ZERO);
                     outcome.redo_applied += 1;
                 }
                 PlannedOp::Ix(IxRedo::Insert { key, value, txn }) => {
@@ -1138,7 +1171,7 @@ impl SmDb {
                     } else {
                         smdb_btree::NULL_TAG
                     };
-                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let tree = req(self.tree.as_mut(), "index op implies an index")?;
                     let mut ctx = TreeCtx::new(
                         &mut self.m,
                         &mut self.sdb,
@@ -1163,7 +1196,7 @@ impl SmDb {
                     } else {
                         smdb_btree::NULL_TAG
                     };
-                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let tree = req(self.tree.as_mut(), "index op implies an index")?;
                     let mut ctx = TreeCtx::new(
                         &mut self.m,
                         &mut self.sdb,
@@ -1177,7 +1210,7 @@ impl SmDb {
                     }
                 }
                 PlannedOp::Ix(IxRedo::Remove { key }) => {
-                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let tree = req(self.tree.as_mut(), "index op implies an index")?;
                     let mut ctx = TreeCtx::new(
                         &mut self.m,
                         &mut self.sdb,
@@ -1189,7 +1222,7 @@ impl SmDb {
                     tree.undo_insert(&mut ctx, recovery_node, key)?;
                 }
                 PlannedOp::Ix(IxRedo::Unmark { key }) => {
-                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let tree = req(self.tree.as_mut(), "index op implies an index")?;
                     let mut ctx = TreeCtx::new(
                         &mut self.m,
                         &mut self.sdb,
@@ -1417,7 +1450,7 @@ impl SmDb {
         let mut ops = analysis.uncommitted_index.clone();
         ops.sort_by_key(|(gsn, _, _, _)| std::cmp::Reverse(*gsn));
         for (_, _, key, is_delete) in ops {
-            let tree = self.tree.as_mut().expect("checked");
+            let tree = req(self.tree.as_mut(), "index undo implies an index")?;
             let mut ctx = TreeCtx::new(
                 &mut self.m,
                 &mut self.sdb,
@@ -1599,7 +1632,7 @@ impl SmDb {
                     outcome.redo_applied += 1;
                 }
                 PlannedOp::Ix(IxRedo::Insert { key, value, .. }) => {
-                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let tree = req(self.tree.as_mut(), "index op implies an index")?;
                     let mut ctx = TreeCtx::new(
                         &mut self.m,
                         &mut self.sdb,
@@ -1619,7 +1652,7 @@ impl SmDb {
                     }
                 }
                 PlannedOp::Ix(IxRedo::Delete { key, value, .. }) => {
-                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let tree = req(self.tree.as_mut(), "index op implies an index")?;
                     let mut ctx = TreeCtx::new(
                         &mut self.m,
                         &mut self.sdb,
@@ -1639,7 +1672,7 @@ impl SmDb {
                     }
                 }
                 PlannedOp::Ix(IxRedo::Remove { key }) => {
-                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let tree = req(self.tree.as_mut(), "index op implies an index")?;
                     let mut ctx = TreeCtx::new(
                         &mut self.m,
                         &mut self.sdb,
@@ -1651,7 +1684,7 @@ impl SmDb {
                     tree.undo_insert(&mut ctx, recovery_node, key)?;
                 }
                 PlannedOp::Ix(IxRedo::Unmark { key }) => {
-                    let tree = self.tree.as_mut().expect("index op implies index");
+                    let tree = req(self.tree.as_mut(), "index op implies an index")?;
                     let mut ctx = TreeCtx::new(
                         &mut self.m,
                         &mut self.sdb,
@@ -1682,7 +1715,7 @@ impl SmDb {
         // Abort everyone.
         let active: Vec<TxnId> = self.active_txns(None);
         for txn in &active {
-            let t = self.txns.get_mut(txn).expect("listed");
+            let t = req(self.txns.get_mut(txn), "listed active txn present in table")?;
             t.status = TxnStatus::Aborted;
             t.committing = false;
             self.shadow.drop_pending(*txn);

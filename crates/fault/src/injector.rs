@@ -126,6 +126,9 @@ struct State {
     /// After the last plan point fires, switch to counting instead of
     /// disabling (used to enumerate recovery-time points).
     count_after: bool,
+    /// Mode saved by [`FaultInjector::pause`], restored by
+    /// [`FaultInjector::resume`].
+    paused_mode: Option<u8>,
 }
 
 #[derive(Default)]
@@ -208,6 +211,7 @@ impl FaultInjector {
         st.visits.clear();
         st.fired.clear();
         st.count_after = count_after;
+        st.paused_mode = None;
         let mode = if st.plan.is_empty() {
             if count_after {
                 MODE_COUNTING
@@ -218,6 +222,30 @@ impl FaultInjector {
             MODE_ARMED
         };
         self.inner.mode.store(mode, Ordering::Relaxed);
+    }
+
+    /// Suspend the injector without disturbing armed counters or recorded
+    /// visits. Oracle scans run *between* schedule steps and walk the same
+    /// instrumented paths as the workload; pausing keeps those read-only
+    /// sweeps from advancing visit ordinals (which would make a replayed
+    /// plan fire at a different instant). No-op if already paused.
+    pub fn pause(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.paused_mode.is_none() {
+            st.paused_mode = Some(self.inner.mode.swap(MODE_DISABLED, Ordering::Relaxed));
+        }
+    }
+
+    /// Restore the mode saved by [`FaultInjector::pause`]. No-op if not
+    /// paused. If the injector was re-armed while paused, the newer mode
+    /// wins and the saved one is dropped.
+    pub fn resume(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        if let Some(saved) = st.paused_mode.take() {
+            if self.inner.mode.load(Ordering::Relaxed) == MODE_DISABLED {
+                self.inner.mode.store(saved, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Every fire so far, in order (the victims of the current plan).
@@ -352,6 +380,36 @@ mod tests {
         assert_eq!(p.to_string(), "wal.force.record#3+recovery.phase#1");
         let c = FaultCrash { site: "sim.migrate", hit: 9, node: 2 };
         assert_eq!(c.to_string(), "sim.migrate#9@n2");
+    }
+
+    #[test]
+    fn pause_preserves_armed_counters() {
+        let f = FaultInjector::new();
+        f.arm(FaultPlan::single(CrashPoint::new("a", 1)));
+        assert!(f.hit("a", 0).is_none()); // visit 0
+        f.pause();
+        assert_eq!(f.mode(), Mode::Disabled);
+        // Visits while paused neither fire nor advance the ordinal.
+        for _ in 0..10 {
+            assert!(f.hit("a", 0).is_none());
+        }
+        f.resume();
+        assert_eq!(f.mode(), Mode::Armed);
+        assert!(f.hit("a", 0).is_some(), "fires on true visit 1");
+    }
+
+    #[test]
+    fn pause_is_idempotent_and_rearm_wins() {
+        let f = FaultInjector::new();
+        f.start_counting();
+        f.pause();
+        f.pause();
+        f.resume();
+        assert_eq!(f.mode(), Mode::Counting);
+        f.pause();
+        f.arm(FaultPlan::single(CrashPoint::new("a", 0)));
+        f.resume(); // must not clobber the newly armed plan
+        assert_eq!(f.mode(), Mode::Armed);
     }
 
     #[test]

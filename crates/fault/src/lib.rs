@@ -40,6 +40,8 @@
 //! the seed plus the `site#ordinal` ids (see [`CrashPoint`]'s `Display`).
 
 mod injector;
+mod schedule;
 pub mod sweep;
 
 pub use injector::{CrashPoint, FaultCrash, FaultInjector, FaultPlan, Mode, SiteVisits};
+pub use schedule::{SchedMode, Scheduler};

@@ -1,0 +1,290 @@
+//! The deterministic schedule tape: a shared handle that turns every
+//! nondeterministic-looking *ordering choice* in the stack into an explicit,
+//! recordable, replayable decision.
+//!
+//! The engine and its drivers consult [`Scheduler::choose`] wherever more
+//! than one order is admissible — which in-flight transaction steps next,
+//! which node's log is force-drained first, which ready commit is
+//! acknowledged next, which survivor hosts recovery. Each call names its
+//! *site* and the number of admissible alternatives `n`, and gets back an
+//! index `< n`:
+//!
+//! * **Disabled** (default): the choice is always `0` — the engine's
+//!   historical deterministic order (oldest first, lowest node id first).
+//!   Cost: one relaxed atomic load and a branch, the same discipline as
+//!   [`crate::FaultInjector`].
+//! * **Recording**: the choice is drawn from a SplitMix64 stream seeded by
+//!   one `u64`, reduced modulo `n`, appended to the **tape**, and returned.
+//!   After the run the tape *is* the schedule: a flat `Vec<u32>` of the
+//!   reduced choices, in decision order.
+//! * **Replaying**: choices are consumed from a supplied tape; each entry is
+//!   re-reduced modulo the live `n`, so a tape remains applicable even when
+//!   a shrink changed how many alternatives a later decision sees. A replay
+//!   that runs past the end of the tape pads with `0` (round-robin), which
+//!   is exactly the shrinker's collapse direction.
+//!
+//! Determinism argument: the stack is single-threaded and otherwise
+//! deterministic, so the k-th `choose` call of two runs with the same
+//! configuration, fault plan, and tape sees the same site and the same `n`
+//! — hence returns the same index, hence the runs stay in lockstep. The
+//! tape is therefore a complete, byte-serialisable encoding of one
+//! interleaving, and collapsing entries toward `0` moves the run toward the
+//! canonical round-robin schedule.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Scheduler operating mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Every choice is `0` (historical order); one relaxed load + branch.
+    Disabled,
+    /// Choices are drawn from the seeded stream and recorded on the tape.
+    Recording,
+    /// Choices are consumed from a supplied tape (`0` past the end).
+    Replaying,
+}
+
+const SCHED_DISABLED: u8 = 0;
+const SCHED_RECORDING: u8 = 1;
+const SCHED_REPLAYING: u8 = 2;
+
+#[derive(Default)]
+struct SchedState {
+    /// The tape: reduced choice per decision, in decision order.
+    tape: Vec<u32>,
+    /// Recording: site name per decision (diagnostics only, not part of
+    /// the serialised schedule).
+    sites: Vec<&'static str>,
+    /// Replay cursor into `tape`.
+    cursor: usize,
+    /// SplitMix64 state (recording mode).
+    rng: u64,
+    /// Replay decisions taken past the end of the tape (padded with 0).
+    overrun: u64,
+}
+
+#[derive(Default)]
+struct SchedInner {
+    mode: AtomicU8,
+    state: Mutex<SchedState>,
+}
+
+/// Shared schedule handle. Clones observe the same state; a
+/// default-constructed scheduler is permanently disabled (choice 0 — the
+/// engine's historical order) until told to record or replay.
+#[derive(Clone, Default)]
+pub struct Scheduler {
+    inner: Arc<SchedInner>,
+}
+
+impl fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduler").field("mode", &self.mode()).finish()
+    }
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Scheduler {
+    /// A disabled scheduler (choice 0 forever).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> SchedMode {
+        match self.inner.mode.load(Ordering::Relaxed) {
+            SCHED_RECORDING => SchedMode::Recording,
+            SCHED_REPLAYING => SchedMode::Replaying,
+            _ => SchedMode::Disabled,
+        }
+    }
+
+    /// Whether choices are currently randomized or replayed (i.e. not the
+    /// all-zero historical order).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.mode.load(Ordering::Relaxed) != SCHED_DISABLED
+    }
+
+    /// Disable: every subsequent choice is 0 and nothing is recorded.
+    pub fn off(&self) {
+        self.inner.mode.store(SCHED_DISABLED, Ordering::Relaxed);
+    }
+
+    /// Start a recording run: clear the tape and draw every subsequent
+    /// choice from a SplitMix64 stream seeded with `seed`.
+    pub fn start_recording(&self, seed: u64) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.tape.clear();
+        st.sites.clear();
+        st.cursor = 0;
+        st.rng = seed;
+        st.overrun = 0;
+        self.inner.mode.store(SCHED_RECORDING, Ordering::Relaxed);
+    }
+
+    /// Start a replay run consuming `tape`; decisions past its end are 0.
+    pub fn start_replay(&self, tape: Vec<u32>) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.tape = tape;
+        st.sites.clear();
+        st.cursor = 0;
+        st.overrun = 0;
+        self.inner.mode.store(SCHED_REPLAYING, Ordering::Relaxed);
+    }
+
+    /// Stop and return the tape (recorded choices, or the replayed input).
+    pub fn take_tape(&self) -> Vec<u32> {
+        let mut st = self.inner.state.lock().unwrap();
+        self.inner.mode.store(SCHED_DISABLED, Ordering::Relaxed);
+        st.sites.clear();
+        std::mem::take(&mut st.tape)
+    }
+
+    /// Decision sites of the last recording, in decision order
+    /// (diagnostics; empty after replay).
+    pub fn recorded_sites(&self) -> Vec<&'static str> {
+        self.inner.state.lock().unwrap().sites.clone()
+    }
+
+    /// Replay decisions that ran past the end of the tape.
+    pub fn overrun(&self) -> u64 {
+        self.inner.state.lock().unwrap().overrun
+    }
+
+    /// Number of decisions taken so far in this run.
+    pub fn decisions(&self) -> usize {
+        let st = self.inner.state.lock().unwrap();
+        match self.mode() {
+            SchedMode::Replaying => st.cursor + st.overrun as usize,
+            _ => st.tape.len(),
+        }
+    }
+
+    /// Make one ordering decision at `site` among `n` alternatives.
+    /// Returns an index `< n`. Disabled mode — and `n <= 1` in any mode —
+    /// always returns 0 without touching the tape, so decision counts stay
+    /// comparable across runs whose alternative sets momentarily collapse
+    /// to one option.
+    #[inline]
+    pub fn choose(&self, site: &'static str, n: usize) -> usize {
+        if self.inner.mode.load(Ordering::Relaxed) == SCHED_DISABLED || n <= 1 {
+            return 0;
+        }
+        self.choose_slow(site, n)
+    }
+
+    #[cold]
+    fn choose_slow(&self, site: &'static str, n: usize) -> usize {
+        let mut st = self.inner.state.lock().unwrap();
+        match self.inner.mode.load(Ordering::Relaxed) {
+            SCHED_RECORDING => {
+                let v = (splitmix64(&mut st.rng) % n as u64) as u32;
+                st.tape.push(v);
+                st.sites.push(site);
+                v as usize
+            }
+            SCHED_REPLAYING => {
+                if st.cursor < st.tape.len() {
+                    let v = st.tape[st.cursor];
+                    st.cursor += 1;
+                    v as usize % n
+                } else {
+                    st.overrun += 1;
+                    0
+                }
+            }
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_scheduler_always_picks_zero() {
+        let s = Scheduler::new();
+        for n in 1..10 {
+            assert_eq!(s.choose("a", n), 0);
+        }
+        assert!(s.take_tape().is_empty());
+    }
+
+    #[test]
+    fn recording_is_seed_deterministic_and_bounded() {
+        let run = |seed| {
+            let s = Scheduler::new();
+            s.start_recording(seed);
+            let picks: Vec<usize> = (2..20).map(|n| s.choose("a", n)).collect();
+            (picks, s.take_tape())
+        };
+        let (p1, t1) = run(42);
+        let (p2, t2) = run(42);
+        assert_eq!(p1, p2);
+        assert_eq!(t1, t2);
+        for (i, &p) in p1.iter().enumerate() {
+            assert!(p < i + 2, "choice within bounds");
+        }
+        let (p3, _) = run(43);
+        assert_ne!(p1, p3, "different seeds should diverge somewhere");
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_choices() {
+        let s = Scheduler::new();
+        s.start_recording(7);
+        let rec: Vec<usize> = (0..30).map(|_| s.choose("a", 5)).collect();
+        let tape = s.take_tape();
+        s.start_replay(tape);
+        let rep: Vec<usize> = (0..30).map(|_| s.choose("a", 5)).collect();
+        assert_eq!(rec, rep);
+        assert_eq!(s.overrun(), 0);
+    }
+
+    #[test]
+    fn replay_pads_with_zero_past_tape_end() {
+        let s = Scheduler::new();
+        s.start_replay(vec![3, 1]);
+        assert_eq!(s.choose("a", 5), 3);
+        assert_eq!(s.choose("a", 5), 1);
+        assert_eq!(s.choose("a", 5), 0);
+        assert_eq!(s.choose("a", 5), 0);
+        assert_eq!(s.overrun(), 2);
+    }
+
+    #[test]
+    fn replay_re_reduces_modulo_live_n() {
+        // A shrink may lower n at a later decision; the tape entry still
+        // applies via `% n`.
+        let s = Scheduler::new();
+        s.start_replay(vec![7]);
+        assert_eq!(s.choose("a", 3), 1, "7 % 3");
+    }
+
+    #[test]
+    fn single_alternative_consumes_nothing() {
+        let s = Scheduler::new();
+        s.start_replay(vec![2, 2]);
+        assert_eq!(s.choose("a", 1), 0);
+        assert_eq!(s.choose("a", 3), 2, "n=1 call did not consume the entry");
+    }
+
+    #[test]
+    fn clones_share_tape() {
+        let s = Scheduler::new();
+        let c = s.clone();
+        s.start_recording(1);
+        c.choose("a", 4);
+        assert_eq!(s.take_tape().len(), 1);
+    }
+}

@@ -58,6 +58,11 @@ pub struct SweepConfig {
     /// How many primary points get nested (crash-during-recovery)
     /// exploration.
     pub nested_primaries: usize,
+    /// Full scenario context for repro lines: a compact encoding of the
+    /// engine configuration and workload shape (the same `cfg=` syntax the
+    /// vopr fuzzer uses), so a printed `FAIL` line carries everything a
+    /// replay needs — not just label/seed/plan. Empty prints as `-`.
+    pub context: String,
 }
 
 /// Aggregated result of one scenario's sweep.
@@ -193,7 +198,11 @@ where
 }
 
 fn repro(cfg: &SweepConfig, plan: &str, msg: &str) -> String {
-    format!("FAIL scenario={} seed={} plan={} :: {}", cfg.label, cfg.seed, plan, msg)
+    let context = if cfg.context.is_empty() { "-" } else { &cfg.context };
+    format!(
+        "FAIL scenario={} seed={} plan={} cfg={} :: {}",
+        cfg.label, cfg.seed, plan, context, msg
+    )
 }
 
 #[cfg(test)]
@@ -246,6 +255,7 @@ mod tests {
             max_single: 5,
             max_nested: 4,
             nested_primaries: 2,
+            context: String::new(),
         };
         let report = sweep(&cfg, fake_run);
         assert_eq!(report.points_enumerated, 10);
@@ -262,6 +272,7 @@ mod tests {
             max_single: 2,
             max_nested: 0,
             nested_primaries: 0,
+            context: "p:SE,n:4".into(),
         };
         let report = sweep(&cfg, |mode| match mode {
             RunMode::Count => fake_run(mode),
@@ -269,6 +280,7 @@ mod tests {
         });
         assert_eq!(report.failures.len(), 2);
         assert!(report.failures[0].starts_with("FAIL scenario=fake seed=7 plan=op#"));
+        assert!(report.failures[0].contains(" cfg=p:SE,n:4 "));
         assert!(report.failures[0].ends_with(":: oracle mismatch"));
     }
 

@@ -403,6 +403,22 @@ impl TxnChains {
         self.live
     }
 
+    /// Every chain entry across all transactions, as `(txn, name, mode)`.
+    fn all_entries(&self) -> Vec<(TxnId, u64, LockMode)> {
+        let mut out = Vec::new();
+        for i in 0..self.ctrl.len() {
+            if self.ctrl[i] != CTRL_FULL {
+                continue;
+            }
+            let slot = &self.slots[self.slot_of[i] as usize];
+            for j in 0..slot.len as usize {
+                let e = slot.entry(j);
+                out.push((slot.txn, e.name, e.mode));
+            }
+        }
+        out
+    }
+
     /// (allocated slots, live chains) — slot-arena footprint, for
     /// bounded-growth regression tests.
     fn footprint(&self) -> (usize, usize) {
@@ -462,6 +478,58 @@ impl LockManager {
     /// lock-holding transactions, not the total ever run.
     pub fn chain_footprint(&self) -> (usize, usize) {
         self.chains.footprint()
+    }
+
+    /// Lockstep cross-check of the two representations of lock state: the
+    /// volatile per-transaction chains (the fast lane's authority) against
+    /// the durable LCB table in shared memory (recovery's authority), in
+    /// both directions. Every chain entry must appear as an LCB holder in
+    /// the same mode, and every LCB holder must appear in its
+    /// transaction's chain. Returns human-readable violations (empty =
+    /// consistent). Reads run as `node`; call only when the machine is
+    /// quiescent and recovered — a crashed node's lines legitimately
+    /// diverge until restart scrubs them.
+    pub fn verify_chains(&self, m: &mut Machine, node: NodeId) -> Result<Vec<String>, LockError> {
+        let mut violations = Vec::new();
+        // Chains → table.
+        for (txn, name, mode) in self.chains.all_entries() {
+            match self.table.find(m, node, name)? {
+                Some((_, _, lcb)) => match lcb.holders.iter().find(|e| e.txn == txn) {
+                    Some(h) if h.mode == mode => {}
+                    Some(h) => violations.push(format!(
+                        "lock {name}: chain says {txn} holds {mode:?}, LCB says {:?}",
+                        h.mode
+                    )),
+                    None => violations.push(format!(
+                        "lock {name}: chain says {txn} holds {mode:?}, LCB has no such holder"
+                    )),
+                },
+                None => violations
+                    .push(format!("lock {name}: chain says {txn} holds {mode:?}, no LCB exists")),
+            }
+        }
+        // Table → chains.
+        for line in self.table.all_lines() {
+            let lcbs = m.read_line_with(node, line, |img| self.table.decode_line(img))?;
+            for (_, lcb) in lcbs {
+                for h in lcb.holders.iter() {
+                    match self.chains.mode_of(h.txn, lcb.name) {
+                        Some(mode) if mode == h.mode => {}
+                        Some(mode) => violations.push(format!(
+                            "lock {}: LCB says {} holds {:?}, chain says {mode:?}",
+                            lcb.name, h.txn, h.mode
+                        )),
+                        None => {
+                            violations.push(format!(
+                                "lock {}: LCB says {} holds {:?}, absent from its chain",
+                                lcb.name, h.txn, h.mode
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(violations)
     }
 
     /// Acquire `name` in `mode` on behalf of `txn`, executing on its home
@@ -597,8 +665,25 @@ impl LockManager {
                 return Ok(LockOutcome::Waiting);
             }
             if lcb.can_grant(txn, mode) {
+                // A full holder array is backpressure, not corruption: the
+                // request is compatible but must wait for a holder slot to
+                // free up. Polling callers retry in place; queueing callers
+                // park a waiter (promotion re-checks holder capacity).
                 if lcb.holders.len() >= self.table.geometry().max_holders {
-                    return Err(LockError::CapacityExceeded { name });
+                    if !queue {
+                        return Ok(LockOutcome::Waiting);
+                    }
+                    if lcb.waiters.len() >= self.table.geometry().max_waiters {
+                        return Err(LockError::CapacityExceeded { name });
+                    }
+                    logs.append(
+                        node,
+                        LogPayload::LockAcquire { txn, name, mode: mode.into(), queued: true },
+                    );
+                    lcb.waiters.push(LockEntry { txn, mode });
+                    self.table.write_lcb(m, node, line, slot, &lcb)?;
+                    self.stats.waits += 1;
+                    return Ok(LockOutcome::Waiting);
                 }
                 logs.append(
                     node,

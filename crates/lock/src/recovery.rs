@@ -132,23 +132,39 @@ impl LockManager {
                 }
             }
         }
+        // The log scan alone is not enough: a link allocated long before
+        // the crash may have had its structural record reclaimed by
+        // checkpoint truncation. The registration list itself lives in
+        // shared memory and survives, so it is the authoritative union.
+        // (Found by the schedule fuzzer: a truncated alloc record left a
+        // reinstalled parent's overflow pointer null, orphaning the
+        // surviving overflow LCBs.)
+        links.extend(self.table().overflow_links().iter().copied());
+        let links: BTreeSet<(LineId, LineId)> = links.into_iter().collect();
         for (parent, line) in links {
             self.table_mut().restore_overflow_registration(parent, line);
-            if !m.probe_cached(line) {
-                // The overflow line itself died: reinstall empty; its LCBs
-                // are rebuilt in phase 2.
-                m.install_line(recovery_node, line, &vec![0u8; line_size])?;
-                stats.lines_reinstalled += 1;
+            // Reinstall whichever end of the link died with the crash —
+            // the *parent* included. Leaving a lost parent to the phase-2
+            // zero-fill would null its overflow pointer, orphaning the
+            // surviving overflow LCBs: `find` (which walks the in-line
+            // pointers) stops seeing them while the lockstep oracle (which
+            // walks the registration list) still does, and releases then
+            // operate on a reconstructed duplicate, stranding stale holder
+            // entries in the orphaned line. (Found by the schedule
+            // fuzzer.)
+            for l in [line, parent] {
+                if !m.probe_cached(l) {
+                    m.install_line(recovery_node, l, &vec![0u8; line_size])?;
+                    stats.lines_reinstalled += 1;
+                }
             }
-            if m.probe_cached(parent) {
-                // Relink the pointer in case the parent's copy predates the
-                // allocation (can't happen with coherent caches, but the
-                // write is idempotent and keeps the invariant explicit).
-                let geom = *self.table().geometry();
-                let off = geom.overflow_offset(line_size);
-                m.write(recovery_node, parent, off, &line.0.to_le_bytes())?;
-                stats.overflow_relinked += 1;
-            }
+            // Relink the pointer unconditionally: the parent's surviving
+            // copy may predate the allocation, and a parent reinstalled
+            // empty above carries a null pointer.
+            let geom = *self.table().geometry();
+            let off = geom.overflow_offset(line_size);
+            m.write(recovery_node, parent, off, &line.0.to_le_bytes())?;
+            stats.overflow_relinked += 1;
         }
 
         // Phase 1 (undo): scrub crashed transactions' entries from

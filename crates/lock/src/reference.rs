@@ -135,8 +135,16 @@ impl ReferenceLockManager {
             return Ok(LockOutcome::Waiting);
         }
         if lcb.can_grant(txn, mode) {
+            // Mirror of the manager's backpressure rule: a compatible
+            // request against a full holder array parks a waiter instead
+            // of failing.
             if lcb.holders.len() >= max_holders {
-                return Err(LockError::CapacityExceeded { name });
+                if lcb.waiters.len() >= max_waiters {
+                    return Err(LockError::CapacityExceeded { name });
+                }
+                lcb.waiters.push(LockEntry { txn, mode });
+                self.log(acting, RefLockRecord::Acquire { txn, name, mode, queued: true });
+                return Ok(LockOutcome::Waiting);
             }
             lcb.holders.push(LockEntry { txn, mode });
             self.log(acting, RefLockRecord::Acquire { txn, name, mode, queued: false });
@@ -180,8 +188,9 @@ impl ReferenceLockManager {
             return Ok(LockOutcome::Waiting);
         }
         if lcb.can_grant(txn, mode) {
+            // Full holder array: backpressure — polling retries in place.
             if lcb.holders.len() >= max_holders {
-                return Err(LockError::CapacityExceeded { name });
+                return Ok(LockOutcome::Waiting);
             }
             lcb.holders.push(LockEntry { txn, mode });
             self.log(acting, RefLockRecord::Acquire { txn, name, mode, queued: false });

@@ -411,6 +411,14 @@ impl LockTable {
         }
     }
 
+    /// Every registered overflow link as `(parent, line)`. The
+    /// registration lives in shared memory and survives node crashes, so
+    /// recovery can rely on it even when the `LockSpaceAlloc` structural
+    /// log record has been reclaimed by checkpoint truncation.
+    pub fn overflow_links(&self) -> &[(LineId, LineId)] {
+        &self.overflow_lines
+    }
+
     /// Decode every LCB in a raw line image (recovery-time helper).
     pub fn decode_line(&self, img: &[u8]) -> Vec<(usize, Lcb)> {
         let mut out = Vec::new();

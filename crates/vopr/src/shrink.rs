@@ -1,0 +1,186 @@
+//! Auto-shrinking: reduce a failing schedule to a minimal repro along
+//! three axes, accepting a candidate only if it still fails the *same*
+//! oracle.
+//!
+//! The shrink lattice:
+//! 1. **Drop fault-plan points** — a nested failure that reproduces with
+//!    one (or zero) crash points is a much smaller repro.
+//! 2. **Drop transactions** — ddmin-style over the transaction index set:
+//!    halving chunks first, then single indices. Per-transaction op
+//!    streams derive from `(seed, index)` alone, so dropping one
+//!    transaction leaves the others' operations untouched.
+//! 3. **Collapse the tape toward round-robin** — zero out chunks of
+//!    schedule choices (replay treats 0 as the historical order), then
+//!    truncate trailing zeros (replay past the tape end pads with 0).
+//!
+//! The axes interact (a dropped transaction changes how many decisions
+//! the run makes), so the pass iterates to a fixpoint under a bounded run
+//! budget.
+
+use crate::config::VoprConfig;
+use crate::driver::{run_schedule_with, ExtraOracle, RunOutcome, SchedInput};
+use crate::repro::Repro;
+use smdb_fault::{CrashPoint, FaultPlan};
+use std::collections::BTreeSet;
+
+/// Shrink statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ShrinkStats {
+    /// Candidate runs executed.
+    pub runs: u64,
+    /// Candidates that still failed the same oracle (accepted).
+    pub accepted: u64,
+}
+
+struct Shrinker<'a> {
+    cfg: VoprConfig,
+    seed: u64,
+    oracle: String,
+    extra: Option<ExtraOracle<'a>>,
+    budget: u64,
+    stats: ShrinkStats,
+}
+
+impl Shrinker<'_> {
+    /// Does this candidate still fail the same oracle?
+    fn still_fails(
+        &mut self,
+        skip: &BTreeSet<usize>,
+        plan: &[(&'static str, u64)],
+        tape: &[u32],
+    ) -> bool {
+        if self.stats.runs >= self.budget {
+            return false;
+        }
+        self.stats.runs += 1;
+        let fp = FaultPlan { points: plan.iter().map(|&(s, h)| CrashPoint::new(s, h)).collect() };
+        let out = run_schedule_with(
+            &self.cfg,
+            self.seed,
+            skip,
+            &fp,
+            SchedInput::Replay(tape.to_vec()),
+            self.extra,
+        );
+        let same = out.failed_oracle() == Some(self.oracle.as_str());
+        if same {
+            self.stats.accepted += 1;
+        }
+        same
+    }
+}
+
+/// Shrink a failing run to a minimal repro. `outcome` must be the failing
+/// [`RunOutcome`] of `(cfg, seed, plan)` recorded with its tape; `budget`
+/// bounds the number of candidate replays. Returns the shrunk [`Repro`]
+/// (worst case: the original, unshrunk) plus statistics.
+pub fn shrink(
+    cfg: &VoprConfig,
+    seed: u64,
+    plan: &FaultPlan,
+    outcome: &RunOutcome,
+    budget: u64,
+    extra: Option<ExtraOracle<'_>>,
+) -> (Repro, ShrinkStats) {
+    let oracle = outcome.failed_oracle().unwrap_or("?").to_string();
+    let mut sh = Shrinker {
+        cfg: cfg.clone(),
+        seed,
+        oracle: oracle.clone(),
+        extra,
+        budget,
+        stats: ShrinkStats::default(),
+    };
+    let mut skip: BTreeSet<usize> = BTreeSet::new();
+    let mut plan_pts: Vec<(&'static str, u64)> =
+        plan.points.iter().map(|p| (p.site, p.hit)).collect();
+    let mut tape: Vec<u32> = outcome.tape.clone();
+
+    loop {
+        let mut changed = false;
+
+        // Axis 1: drop fault-plan points, last first (the nested point is
+        // the most likely to be irrelevant).
+        let mut i = plan_pts.len();
+        while i > 0 {
+            i -= 1;
+            let mut cand = plan_pts.clone();
+            cand.remove(i);
+            if sh.still_fails(&skip, &cand, &tape) {
+                plan_pts = cand;
+                changed = true;
+            }
+        }
+
+        // Axis 2: ddmin-lite over transaction indices: halving chunks,
+        // then singles.
+        let live: Vec<usize> = (0..cfg.txns).filter(|i| !skip.contains(i)).collect();
+        let mut chunk = live.len().div_ceil(2).max(1);
+        while chunk >= 1 {
+            let live_now: Vec<usize> = (0..cfg.txns).filter(|i| !skip.contains(i)).collect();
+            if live_now.is_empty() {
+                break;
+            }
+            let mut start = 0;
+            while start < live_now.len() {
+                let cand_skip: BTreeSet<usize> = skip
+                    .iter()
+                    .copied()
+                    .chain(live_now[start..(start + chunk).min(live_now.len())].iter().copied())
+                    .collect();
+                if cand_skip.len() < cfg.txns && sh.still_fails(&cand_skip, &plan_pts, &tape) {
+                    skip = cand_skip;
+                    changed = true;
+                }
+                start += chunk;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Axis 3a: zero tape chunks (collapse decisions to round-robin).
+        let mut chunk = tape.len().div_ceil(2).max(1);
+        while chunk >= 1 && !tape.is_empty() {
+            let mut start = 0;
+            while start < tape.len() {
+                let end = (start + chunk).min(tape.len());
+                if tape[start..end].iter().any(|&v| v != 0) {
+                    let mut cand = tape.clone();
+                    cand[start..end].fill(0);
+                    if sh.still_fails(&skip, &plan_pts, &cand) {
+                        tape = cand;
+                        changed = true;
+                    }
+                }
+                start += chunk;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        // Axis 3b: truncate trailing zeros (replay pads with 0 anyway).
+        let tail = tape.iter().rposition(|&v| v != 0).map_or(0, |p| p + 1);
+        if tail < tape.len() {
+            tape.truncate(tail);
+            // No replay needed: zero-padding makes this semantically
+            // identical to the pre-truncation tape.
+        }
+
+        if !changed || sh.stats.runs >= budget {
+            break;
+        }
+    }
+
+    let repro = Repro {
+        seed,
+        cfg: cfg.encode(),
+        skip: skip.into_iter().collect(),
+        tape,
+        plan: plan_pts,
+        oracle,
+    };
+    (repro, sh.stats)
+}

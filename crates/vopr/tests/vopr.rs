@@ -1,0 +1,149 @@
+//! Integration tests for the schedule fuzzer itself (DESIGN.md §13):
+//! replay determinism, shrinker soundness, and one named regression per
+//! engine bug the fuzzer found — each asserts that the shrunk repro line
+//! the fuzzer emitted at discovery time now passes all oracles.
+
+use smdb_vopr::{draw_plan, replay_line, replay_line_with, run_schedule, SchedInput, VoprConfig};
+use std::collections::BTreeSet;
+
+/// Two recordings of the same seed must be byte-identical, and replaying
+/// the recorded tape must reproduce the run exactly. This is the fuzzer's
+/// foundational property: without it, repro lines are worthless.
+#[test]
+fn replay_is_deterministic() {
+    for seed in [0xC0DEu64, 0x17293b09efde3a51, 0xd04f5fd560e27ddd] {
+        let cfg = VoprConfig::draw(seed);
+        let plan = draw_plan(seed);
+        let skip = BTreeSet::new();
+        let a = run_schedule(&cfg, seed, &skip, &plan, SchedInput::Record(seed));
+        let b = run_schedule(&cfg, seed, &skip, &plan, SchedInput::Record(seed));
+        assert_eq!(a.events, b.events, "seed {seed:#x}: recorded events diverged");
+        assert_eq!(a.tape, b.tape, "seed {seed:#x}: recorded tapes diverged");
+        assert_eq!(a.failure, b.failure, "seed {seed:#x}: verdicts diverged");
+        let c = run_schedule(&cfg, seed, &skip, &plan, SchedInput::Replay(a.tape.clone()));
+        assert_eq!(a.events, c.events, "seed {seed:#x}: tape replay diverged from recording");
+        assert_eq!(a.failure, c.failure, "seed {seed:#x}: tape replay verdict diverged");
+        assert_eq!(a.committed, c.committed, "seed {seed:#x}: tape replay commits diverged");
+    }
+}
+
+/// Shrinker soundness, tested with a canary oracle that the engine cannot
+/// fix: every schedule fails, and whatever the shrinker keeps must still
+/// reproduce the *same* oracle under byte-identical replay of the line.
+#[test]
+fn shrinker_output_still_reproduces() {
+    let canary: &dyn Fn(&mut smdb_core::SmDb, u64) -> Result<(), String> = &|_db, committed| {
+        if committed >= 2 {
+            Err(format!("canary tripped at {committed} commits"))
+        } else {
+            Ok(())
+        }
+    };
+    let mut lines = Vec::new();
+    smdb_vopr::fuzz_with(0xCAFE, 3, 60, Some(canary), &mut |f| {
+        assert_eq!(f.oracle, "canary", "unexpected oracle {}", f.oracle);
+        lines.push(f.line.clone());
+    });
+    assert!(!lines.is_empty(), "canary oracle should fail some schedule");
+    for line in &lines {
+        let report = replay_line_with(line, Some(canary))
+            .unwrap_or_else(|e| panic!("shrunk line {line:?} does not parse: {e}"));
+        assert!(report.reproduced, "shrunk line no longer reproduces its verdict: {line}");
+    }
+}
+
+/// Replay a repro line the fuzzer emitted when it found a (now fixed)
+/// engine bug, and assert the schedule passes every oracle today.
+fn assert_repro_fixed(line: &str) {
+    let report = replay_line(line).expect("repro line parses");
+    assert!(
+        report.outcome.failure.is_none(),
+        "regression: {line}\n  failed {:?}",
+        report.outcome.failure
+    );
+    assert!(!report.reproduced, "line should no longer reproduce: {line}");
+}
+
+/// ELR predecessor/successor pending-write ambiguity: under early lock
+/// release both a committing predecessor and its successor can hold
+/// pending writes on one slot; the oracle must accept either value.
+#[test]
+fn regression_elr_pending_write_ambiguity() {
+    assert_repro_fixed(
+        "VOPR seed=0x12879fa94cefe854 cfg=p:SE,n:5,t:11,o:6,rf:0,sh:30,ss:4,zf:0,ix:0,ck:0,w:6,d:3,elr:1,co:0 skip=0,1,2,3,4,5,6,7,8 sched=23 plan=- oracle=IFA",
+    );
+    assert_repro_fixed(
+        "VOPR seed=0x8056e5c0756a3d4 cfg=p:ST,n:4,t:8,o:6,rf:0,sh:100,ss:16,zf:95,ix:0,ck:0,w:6,d:0,elr:1,co:1 skip=0,1,2,3,4,5 sched=- plan=- oracle=IFA",
+    );
+}
+
+/// LCB-array backpressure: a full holder array with a compatible grant
+/// must park the requester as a waiter, not error with CapacityExceeded.
+#[test]
+fn regression_lcb_backpressure_capacity() {
+    assert_repro_fixed(
+        "VOPR seed=0x3b823cb606bb2d52 cfg=p:SE,n:3,t:10,o:5,rf:50,sh:60,ss:4,zf:95,ix:0,ck:3,w:6,d:0,elr:1,co:1 skip=0,5,6,7,8,9 sched=- plan=- oracle=engine-error",
+    );
+}
+
+/// Settled-aborted re-undo: a still-down node's stable log is re-analysed
+/// on every later recovery; updates of a transaction the txn table already
+/// records as Aborted must not re-enter the undo-candidate sets, or the
+/// old undo tramples live re-writes of the same slots.
+#[test]
+fn regression_settled_aborted_not_reundone() {
+    assert_repro_fixed(
+        "VOPR seed=0xf8f0592ae1c2fcde cfg=p:ST,n:4,t:11,o:5,rf:0,sh:60,ss:32,zf:95,ix:0,ck:5,w:6,d:0,elr:0,co:1 skip=2,4,5,6,7,8,9,10 sched=- plan=sim.migrate#9+core.commit.dep#0 oracle=IFA",
+    );
+}
+
+/// Orphaned overflow LCB line: when checkpoint truncation reclaims the
+/// `LockSpaceAlloc` structural record, lock recovery must fall back on the
+/// shared-memory overflow registration list to relink the parent's
+/// overflow pointer — and reinstall the *parent* too if it died.
+#[test]
+fn regression_overflow_relink_survives_truncation() {
+    assert_repro_fixed(
+        "VOPR seed=0xd04f5fd560e27ddd cfg=p:ST,n:3,t:10,o:6,rf:50,sh:30,ss:16,zf:0,ix:0,ck:3,w:4,d:2,elr:1,co:1 skip=- sched=00000000000000000000000000001000022 plan=core.commit.dep#7 oracle=lock-chains",
+    );
+}
+
+/// Redo must re-mark pages in the WAL table: the crash wipes the crashed
+/// node's Page-LSN entries, and a redone page that stays "clean" lets the
+/// next checkpoint advance the redo bound without flushing it — a second
+/// crash then loses committed data.
+#[test]
+fn regression_redo_remarks_wal_table() {
+    assert_repro_fixed(
+        "VOPR seed=0xeb3f784cabff9521 cfg=p:VRA,n:4,t:8,o:2,rf:20,sh:0,ss:32,zf:95,ix:0,ck:5,w:2,d:2,elr:1,co:0 skip=- sched=0000002001 plan=core.commit.dep#3+core.commit#4 oracle=IFA",
+    );
+    assert_repro_fixed(
+        "VOPR seed=0x95584bd6ed606e89 cfg=p:VRA,n:2,t:12,o:4,rf:50,sh:0,ss:4,zf:0,ix:0,ck:3,w:2,d:3,elr:0,co:0 skip=1,2,3,4,5 sched=0100001 plan=storage.flush.line#6+core.commit.dep#4 oracle=IFA",
+    );
+    assert_repro_fixed(
+        "VOPR seed=0x1506568a5a4f0989 cfg=p:SE,n:3,t:16,o:4,rf:0,sh:0,ss:16,zf:95,ix:0,ck:5,w:1,d:0,elr:0,co:0 skip=- sched=- plan=storage.flush.line#1+wal.checkpoint.record#2 oracle=IFA",
+    );
+}
+
+/// Out-of-order pipelined commit settle: per-node force acks can settle
+/// two dependent ELR commits in either order; the shadow oracle must apply
+/// committed writes in *write* order (the physical last-writer-wins
+/// truth), not commit-settle order.
+#[test]
+fn regression_shadow_commit_write_order() {
+    assert_repro_fixed(
+        "VOPR seed=0x17293b09efde3a51 cfg=p:VRA,n:3,t:12,o:4,rf:0,sh:30,ss:4,zf:95,ix:0,ck:3,w:4,d:0,elr:1,co:1 skip=0,1,2,3,5,6,7,8,11 sched=- plan=wal.force.record#20 oracle=IFA",
+    );
+}
+
+/// A bounded fixed-seed fuzz sweep stays green (the CI smoke). Kept small
+/// so `cargo test` stays fast; scripts/fuzz.sh runs the larger budgets.
+#[test]
+fn fixed_seed_smoke_sweep_is_green() {
+    let out = smdb_vopr::fuzz(0xC0DE, 20, 100);
+    assert_eq!(out.schedules, 20);
+    for f in &out.failures {
+        eprintln!("{}", f.line);
+    }
+    assert!(out.passed(), "{} schedules failed", out.failures.len());
+}

@@ -21,6 +21,15 @@ echo "== crash-point sweep (bounded) =="
 # whole sweep is scripts/crash_sweep.sh.
 cargo test --release -q --test crash_sweep
 
+echo "== schedule fuzz (bounded, fixed seed) =="
+# Deterministic VOPR-style schedule fuzz (DESIGN §13): one fixed master
+# seed, so this step replays the same schedules on every run. A failure
+# prints shrunk one-line repros (and scripts/fuzz.sh collects them in
+# results/fuzz_failures.txt); replay any line with
+#   cargo run -q --release -p smdb-bench --bin fuzz -- --replay "LINE"
+# The larger multi-seed battery is scripts/fuzz.sh.
+SMDB_FUZZ_BUDGET="${SMDB_FUZZ_BUDGET:-500}" scripts/fuzz.sh 0xC0DE
+
 echo "== rustfmt =="
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --all --check

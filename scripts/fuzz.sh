@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Deterministic schedule-fuzzer sweep (DESIGN §13).
+#
+#   scripts/fuzz.sh [seed...]
+#
+# Runs `SMDB_FUZZ_BUDGET` schedules (default 500) for each master seed
+# given on the command line (default: a fixed four-seed battery). Every
+# run is fully reproducible: the same seed and budget always execute the
+# same schedules and reach the same verdicts. Failures print shrunk
+# one-line repros and are collected in results/fuzz_failures.txt — feed
+# any line back through
+#
+#   cargo run -q --release -p smdb-bench --bin fuzz -- --replay "LINE"
+#
+# to re-execute it byte-identically.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+BUDGET="${SMDB_FUZZ_BUDGET:-500}"
+SHRINK="${SMDB_FUZZ_SHRINK_BUDGET:-400}"
+SEEDS=("$@")
+if [ ${#SEEDS[@]} -eq 0 ]; then
+    SEEDS=(0xC0DE 0xBEEF 0x5EED 0xD00D1234)
+fi
+
+cargo build --release -q -p smdb-bench --bin fuzz
+
+mkdir -p results
+: > results/fuzz_failures.txt
+
+status=0
+for seed in "${SEEDS[@]}"; do
+    echo "== fuzz seed $seed budget $BUDGET =="
+    if ! ./target/release/fuzz --seed "$seed" --budget "$BUDGET" \
+            --shrink-budget "$SHRINK" | tee /tmp/smdb_fuzz_out.txt; then
+        status=1
+        grep '^VOPR ' /tmp/smdb_fuzz_out.txt >> results/fuzz_failures.txt || true
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "fuzz FAILED; shrunk repro lines in results/fuzz_failures.txt" >&2
+fi
+exit "$status"

@@ -12,5 +12,6 @@ pub use smdb_lock as lock;
 pub use smdb_obs as obs;
 pub use smdb_sim as sim;
 pub use smdb_storage as storage;
+pub use smdb_vopr as vopr;
 pub use smdb_wal as wal;
 pub use smdb_workload as workload;

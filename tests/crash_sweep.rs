@@ -57,6 +57,25 @@ fn elr_params(seed: u64) -> MixParams {
     }
 }
 
+/// Encode the sweep scenario in the fuzzer's `cfg=` syntax so a printed
+/// `FAIL` line carries enough context to replay it directly (protocol,
+/// node count, workload shape, pipelining knobs). The fraction knobs are
+/// percentages of the `params`/`elr_params` values above.
+fn scenario_context(protocol: ProtocolKind, elr: bool) -> String {
+    let tag = match protocol {
+        ProtocolKind::FaOnly => "FA",
+        ProtocolKind::VolatileRedoAll => "VRA",
+        ProtocolKind::VolatileSelectiveRedo => "VSR",
+        ProtocolKind::StableEager => "SE",
+        ProtocolKind::StableTriggered => "ST",
+    };
+    if elr {
+        format!("p:{tag},n:4,t:16,o:4,rf:0,sh:60,ix:0,ck:5,w:4,d:3,elr:1,co:1")
+    } else {
+        format!("p:{tag},n:4,t:16,o:4,rf:20,sh:60,ix:25,ck:5,w:1,d:0,elr:0,co:1")
+    }
+}
+
 /// Drive crash + recovery after an injected fire. Nested fires — the
 /// recovery node itself dying mid-restart — surface as further
 /// `FaultCrash` errors out of `recover`: crash the new victim and recover
@@ -200,6 +219,7 @@ fn sweep_protocol(protocol: ProtocolKind, label: &str) -> SweepReport {
         max_single: if full { usize::MAX } else { 60 },
         max_nested: if full { 200 } else { 15 },
         nested_primaries: if full { 12 } else { 5 },
+        context: scenario_context(protocol, false),
     };
     let report = sweep(&cfg, |mode| run_scenario(protocol, SEED, mode));
     println!(
@@ -252,6 +272,7 @@ fn sweep_protocol_elr(protocol: ProtocolKind, label: &str) -> SweepReport {
         max_single: if full { usize::MAX } else { 40 },
         max_nested: if full { 200 } else { 10 },
         nested_primaries: if full { 12 } else { 4 },
+        context: scenario_context(protocol, true),
     };
     let report = sweep(&cfg, |mode| run_scenario_elr(protocol, SEED, mode));
     println!(
@@ -354,6 +375,7 @@ fn sweep_fa_only_baseline() {
         max_single: 20,
         max_nested: 4,
         nested_primaries: 2,
+        context: scenario_context(ProtocolKind::FaOnly, false),
     };
     let report = sweep(&cfg, |mode| run_scenario(ProtocolKind::FaOnly, SEED, mode));
     assert!(report.passed(), "{}", report.failures.join("\n"));
