@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Flags: `--table1 --e1 --e2 --e3 --e4 --e5 --e6 --e7 --e7scale --e8
-//! --e8fwd --e9 --e9lat --e10 --e10elr --fast --csv --jobs N --json [PATH]`
+//! --e8fwd --e9 --e9lat --e10 --e10elr --e11instant --fast --csv --jobs N
+//! --json [PATH]`
 //!
 //! Every experiment is a deterministic, independent *cell*; `--jobs N`
 //! fans the cells across N OS threads and merges stdout sections and CSV
@@ -819,6 +820,73 @@ fn e10elr_cell(mix_txns: usize) -> Section {
     Section { text: s, csvs, cycles_per_op }
 }
 
+fn e11instant_cell(fast: bool) -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let (txns, ckpt) = if fast { (200, 25) } else { (600, 50) };
+    let _ = writeln!(p, "== E11: instant restart — serve transactions during recovery ==");
+    let _ = writeln!(p, "   (8 nodes, E7b-scale history: {txns} txns, checkpoint every {ckpt};");
+    let _ = writeln!(p, "    crash node 0, first txn = locked read in its partition; drain to");
+    let _ = writeln!(p, "    completion, then compare end state byte-for-byte with eager)\n");
+    let _ = writeln!(
+        p,
+        "{:<24} {:>8} {:>12} {:>12} {:>6} {:>9} {:>7} {:>7} {:>6}",
+        "protocol", "instant", "ttft-cyc", "recovery", "redo", "on-dem", "bkgnd", "skip", "state"
+    );
+    let pts = x::e11_instant_restart(txns, ckpt);
+    for pt in &pts {
+        let _ = writeln!(
+            p,
+            "{:<24} {:>8} {:>12} {:>12} {:>6} {:>9} {:>7} {:>7} {:>6}",
+            pt.protocol,
+            if pt.instant { "on" } else { "off" },
+            pt.ttft_cycles,
+            pt.recovery_cycles,
+            pt.redo_total,
+            pt.redo_on_demand,
+            pt.redo_background,
+            pt.redo_skipped_stable,
+            if pt.matches_committed { "ok" } else { "BAD" },
+        );
+    }
+    for pair in pts.chunks(2) {
+        if let [eager, instant] = pair {
+            let _ = writeln!(
+                p,
+                "   {}: TTFT {:.1}x lower, end state {}",
+                eager.protocol,
+                eager.ttft_cycles as f64 / instant.ttft_cycles.max(1) as f64,
+                if eager.state_digest == instant.state_digest { "identical" } else { "DIVERGED" },
+            );
+        }
+    }
+    let csvs = vec![CsvArtifact {
+        name: "e11_instant_restart",
+        header: "protocol,instant,ttft_cycles,recovery_cycles,redo_total,redo_on_demand,\
+             redo_background,redo_skipped_stable,state_digest,matches_committed",
+        rows: pts
+            .iter()
+            .map(|pt| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{:016x},{}",
+                    pt.protocol,
+                    pt.instant,
+                    pt.ttft_cycles,
+                    pt.recovery_cycles,
+                    pt.redo_total,
+                    pt.redo_on_demand,
+                    pt.redo_background,
+                    pt.redo_skipped_stable,
+                    pt.state_digest,
+                    pt.matches_committed
+                )
+            })
+            .collect(),
+    }];
+    let _ = writeln!(p);
+    Section { text: s, csvs, cycles_per_op: None }
+}
+
 fn e10_cell() -> Section {
     let mut s = String::new();
     let p = &mut s;
@@ -904,6 +972,12 @@ fn main() {
     }
     if want(&args, "--e10elr") {
         cells.push(Cell { name: "e10_elr", run: Box::new(move || e10elr_cell(mix_txns)) });
+    }
+    if want(&args, "--e11instant") {
+        cells.push(Cell {
+            name: "e11_instant_restart",
+            run: Box::new(move || e11instant_cell(fast)),
+        });
     }
 
     let t0 = Instant::now();

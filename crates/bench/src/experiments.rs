@@ -926,6 +926,133 @@ pub fn e10_elr(txns: usize) -> Vec<ElrPoint> {
 }
 
 // ----------------------------------------------------------------------
+// E11 — instant restart: serve transactions during recovery
+// ----------------------------------------------------------------------
+
+/// One cell of the instant-restart availability experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InstantRestartPoint {
+    /// Protocol under test.
+    pub protocol: String,
+    /// Instant restart on (open after analysis, deferred heap redo) or
+    /// off (stop-the-world eager restart).
+    pub instant: bool,
+    /// Time to first transaction: simulated cycles from crash injection
+    /// to the first post-recovery commit (the availability headline).
+    pub ttft_cycles: u64,
+    /// Simulated cycles charged inside `recover()` itself.
+    pub recovery_cycles: u64,
+    /// Heap redo writes performed, wherever they ran: eagerly during
+    /// restart, inline on first access, or by the background drain.
+    pub redo_total: u64,
+    /// Deferred entries applied inline on first forward-path access.
+    pub redo_on_demand: u64,
+    /// Deferred entries applied by the background drain.
+    pub redo_background: u64,
+    /// Deferred entries retired without a write (stable image current).
+    pub redo_skipped_stable: u64,
+    /// FNV-1a digest of every record's post-drain value: instant and
+    /// eager cells of the same protocol must agree byte-for-byte.
+    pub state_digest: u64,
+    /// Every record also matched the shadow oracle's committed value.
+    pub matches_committed: bool,
+}
+
+/// Identical pre-crash histories (E7b scale: checkpoint-bounded mix plus
+/// survivor-active transactions), one crash, then the availability
+/// measurement: how long until the engine commits its first post-crash
+/// transaction? The eager cell pays the whole heap-redo pass before it
+/// opens; the instant cell opens after analysis/reinstall and repays the
+/// redo on demand plus in the background — same total work, earlier
+/// first commit, byte-identical end state.
+pub fn e11_instant_restart(txns: usize, checkpoint_every: usize) -> Vec<InstantRestartPoint> {
+    let mut out = Vec::new();
+    for p in ProtocolKind::ifa_protocols() {
+        for instant in [false, true] {
+            let mut cfg = DbConfig::bench(8, p);
+            // E7b-scale heap: enough pages that the crashed node's
+            // resident set at the crash spans hundreds of them. One
+            // record per line (96-byte payloads) makes every lost line
+            // an independent page fault for the eager reinstall.
+            cfg.records = 65536;
+            cfg.rec_data_size = 96;
+            if instant {
+                cfg = cfg.with_instant_restart();
+            }
+            let mut db = SmDb::new(cfg);
+            db.enable_observability(0);
+            // E7b-scale history: a wide uniform footprint (a moderate
+            // shared region plus large per-node partitions) makes the
+            // crashed node's cache span dozens of heap pages, so eager
+            // recovery pays one disk fault per lost page while the
+            // instant open stays bounded by the checkpoint interval.
+            run_mix(
+                &mut db,
+                MixParams {
+                    txns,
+                    ops_per_txn: 8,
+                    sharing: 0.3,
+                    shared_slots: 256,
+                    read_fraction: 0.2,
+                    checkpoint_every,
+                    ..Default::default()
+                },
+            );
+            let active = spawn_active(&mut db, 2, 2, true, 5);
+            // Barrier: start the availability window from a common clock
+            // origin so TTFT is pure recovery + first-txn cost, not
+            // whatever clock skew the mix left between nodes.
+            db.sync_clocks();
+            let outcome = db.crash_and_recover(&[NodeId(0)]).expect("recovery");
+            // First post-recovery transaction: a locked read in the
+            // crashed node's private partition (free of survivor locks,
+            // and exactly where pending redo concentrates).
+            let t = db.begin(NodeId(1)).expect("begin after open");
+            db.read(t, 300).expect("read after open");
+            db.commit(t).expect("commit after open");
+            let ttft = db
+                .observability()
+                .timeline
+                .time_to_first_txn()
+                .expect("crash and post-recovery commit recorded");
+            while db.redo_pending() > 0 {
+                db.drain_redo(NodeId(1), 64).expect("drain");
+            }
+            // Roll back the transactions left in flight across the crash
+            // (the crashed node's are already gone — ignore those) so the
+            // end-state digest compares fully-committed states.
+            for t in &active {
+                let _ = db.abort(*t);
+            }
+            db.check_ifa(NodeId(1)).assert_ok();
+            let c = db.instant_redo_counters();
+            let mut digest = 0xcbf2_9ce4_8422_2325u64;
+            let mut matches_committed = true;
+            for slot in 0..db.record_count() as u64 {
+                let v = db.current_value(slot).expect("record readable");
+                matches_committed &= v == db.read_committed(slot).expect("shadow value");
+                for b in &v {
+                    digest = (digest ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+                }
+            }
+            out.push(InstantRestartPoint {
+                protocol: format!("{p:?}"),
+                instant,
+                ttft_cycles: ttft,
+                recovery_cycles: outcome.recovery_cycles,
+                redo_total: outcome.redo_applied + c.on_demand + c.background,
+                redo_on_demand: c.on_demand,
+                redo_background: c.background,
+                redo_skipped_stable: c.skipped_stable,
+                state_digest: digest,
+                matches_committed,
+            });
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
 // Shared small helpers for the report binary and benches
 // ----------------------------------------------------------------------
 

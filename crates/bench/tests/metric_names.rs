@@ -75,6 +75,37 @@ fn representative_run_covers_most_of_the_catalog() {
 }
 
 #[test]
+fn instant_restart_counters_fire_and_are_catalogued() {
+    // The instant-restart triple never fires in the eager representative
+    // run: light it up explicitly — open early, take one on-demand hit,
+    // drain the rest in the background.
+    let mut db =
+        SmDb::new(DbConfig::bench(8, ProtocolKind::VolatileRedoAll).with_instant_restart());
+    db.enable_observability(0);
+    run_tp1(&mut db, Tp1Params { txns: 40, ..Default::default() });
+    db.crash_and_recover(&[NodeId(0)]).expect("recovery");
+    assert!(db.redo_pending() > 0, "the TP1 history must leave deferred redo");
+    let t = db.begin(NodeId(1)).unwrap();
+    db.read(t, 0).unwrap();
+    db.commit(t).unwrap();
+    while db.redo_pending() > 0 {
+        db.drain_redo(NodeId(1), 64).unwrap();
+    }
+    let snap = db.observability().metrics.snapshot();
+    for name in [
+        names::RESTART_OPEN_EARLY_CYCLES,
+        names::RESTART_REDO_ON_DEMAND,
+        names::RESTART_REDO_BACKGROUND,
+    ] {
+        assert!(
+            snap.counters.iter().any(|(n, v)| n == name && *v > 0),
+            "expected counter `{name}` to fire"
+        );
+        assert!(names::lookup(name).is_some(), "`{name}` missing from CATALOG");
+    }
+}
+
+#[test]
 fn design_doc_metric_table_is_generated() {
     let design = std::fs::read_to_string(
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../DESIGN.md"),

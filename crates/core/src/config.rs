@@ -177,6 +177,17 @@ pub struct DbConfig {
     /// the E10-elr experiment compare durability volume across lock
     /// policies.
     pub lock_poll: bool,
+    /// Instant restart (on-demand redo): the IFA restart stops after
+    /// analysis, reinstall, index redo, undo, and lock recovery — the
+    /// *heap* redo plan is not applied. Instead every heap line with a
+    /// pending redo entry is marked *unrecovered* in the machine, and the
+    /// final image is applied on first forward-path access (charged to the
+    /// accessing transaction's force-wait stage) or by
+    /// [`crate::SmDb::drain_redo`] in GSN order between scheduler steps.
+    /// Time-to-first-transaction then tracks the analysis scan instead of
+    /// the full redo pass. The FA-only baseline and total failures always
+    /// recover eagerly.
+    pub instant_restart: bool,
 }
 
 impl DbConfig {
@@ -201,6 +212,7 @@ impl DbConfig {
             coalesce_forces: false,
             early_lock_release: false,
             lock_poll: false,
+            instant_restart: false,
         }
     }
 
@@ -224,6 +236,7 @@ impl DbConfig {
             coalesce_forces: false,
             early_lock_release: false,
             lock_poll: false,
+            instant_restart: false,
         }
     }
 
@@ -266,6 +279,13 @@ impl DbConfig {
     /// Poll conflicting lock requests instead of queueing them.
     pub fn with_lock_polling(mut self) -> Self {
         self.lock_poll = true;
+        self
+    }
+
+    /// Enable instant restart (open early after analysis; on-demand +
+    /// background heap redo).
+    pub fn with_instant_restart(mut self) -> Self {
+        self.instant_restart = true;
         self
     }
 }

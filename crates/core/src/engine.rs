@@ -14,6 +14,7 @@ use crate::config::{DbConfig, ProtocolKind};
 use crate::error::{req, DbError};
 use crate::oracle::ShadowDb;
 use crate::record::{RecordLayout, NULL_TAG, TAG_SIZE};
+use crate::restart::InstantRedoState;
 use crate::stats::EngineStats;
 use crate::txn::{TxnOp, TxnState, TxnStatus};
 use bytes::Bytes;
@@ -135,6 +136,9 @@ pub struct SmDb {
     /// violated name. Kept until the transaction is acknowledged or
     /// aborted — recovery's cascade analysis reads the violated names.
     pub(crate) inherited_deps: BTreeMap<TxnId, Vec<InheritedDep>>,
+    /// Deferred heap redo of an instant restart (the plan remainder after
+    /// the early open), drained on demand and in the background.
+    pub(crate) instant: InstantRedoState,
 }
 
 /// Construct a [`TreeCtx`] over the engine's split-borrowed fields.
@@ -234,6 +238,7 @@ impl SmDb {
             pending_commits: Vec::new(),
             violations: ViolationTable::new(),
             inherited_deps: BTreeMap::new(),
+            instant: InstantRedoState::default(),
         }
     }
 
@@ -413,6 +418,15 @@ impl SmDb {
         self.m.max_clock()
     }
 
+    /// Synchronise every live node's clock to the makespan (a barrier).
+    /// Benchmarks call this before injecting a crash so the availability
+    /// window (crash → first post-recovery commit) is measured from a
+    /// common time origin rather than being offset by whatever clock skew
+    /// the pre-crash workload left behind.
+    pub fn sync_clocks(&mut self) {
+        self.m.sync_clocks();
+    }
+
     /// The built-in shadow model (for the IFA oracle).
     pub fn shadow(&self) -> &ShadowDb {
         &self.shadow
@@ -438,11 +452,11 @@ impl SmDb {
     }
 
     pub(crate) fn lock_name_for_rec(slot: u64) -> u64 {
-        2 + slot * 2
+        smdb_lock::names::name_for_rec(slot)
     }
 
     pub(crate) fn lock_name_for_key(key: u64) -> u64 {
-        3u64.wrapping_add(key.wrapping_mul(2))
+        smdb_lock::names::name_for_key(key)
     }
 
     /// Whether a line address belongs to the record heap.
@@ -513,9 +527,13 @@ impl SmDb {
                         ));
                     }
                 }
+                self.redo_on_lock(txn, name, acting)?;
                 Ok(())
             }
-            LockOutcome::AlreadyHeld => Ok(()),
+            LockOutcome::AlreadyHeld => {
+                self.redo_on_lock(txn, name, acting)?;
+                Ok(())
+            }
             LockOutcome::Waiting => {
                 self.stats.would_blocks += 1;
                 // A polled conflict parked nothing in the LCB, so there is
@@ -526,6 +544,34 @@ impl SmDb {
                 Err(DbError::WouldBlock { txn, lock: name })
             }
         }
+    }
+
+    /// Instant restart: a granted record lock must not let its holder
+    /// bypass the record's pending redo — the line may still carry the
+    /// stale pre-crash image. Apply the line's deferred entries inline,
+    /// charging the cycles to the accessor's force-wait stage (the
+    /// transaction is waiting on recovery work, not executing).
+    fn redo_on_lock(&mut self, txn: TxnId, name: u64, acting: NodeId) -> Result<(), DbError> {
+        if !self.instant_active() {
+            return Ok(());
+        }
+        let Some(slot) = smdb_lock::names::rec_slot_of_name(name) else {
+            return Ok(()); // key locks guard the (fully recovered) index
+        };
+        if slot >= self.cfg.records as u64 {
+            return Ok(());
+        }
+        let line = self.rec_line(self.layout.rec_of_global(slot));
+        let spans_on = self.m.obs().spans.is_enabled();
+        let t0 = if spans_on { self.m.now(acting) } else { 0 };
+        self.ensure_line_recovered(acting, line)?;
+        if spans_on {
+            let cycles = self.m.now(acting).saturating_sub(t0);
+            if cycles > 0 {
+                self.m.obs().spans.add(txn.0, Stage::ForceWait, cycles);
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1009,6 +1055,9 @@ impl SmDb {
         // null value").
         if self.cfg.protocol.uses_undo_tags() {
             for rec in t.touched_records() {
+                // The tag clear must land on a recovered line: applying a
+                // deferred redo entry afterwards would resurrect the tag.
+                self.ensure_line_recovered(node, self.rec_line(rec))?;
                 let off = self.layout.page_offset(rec.slot);
                 let mut ctx = engine_ctx!(self);
                 ctx.write(node, rec.page, off, &NULL_TAG.to_le_bytes())?;
@@ -1297,6 +1346,7 @@ impl SmDb {
                         continue;
                     }
                 }
+                self.ensure_line_recovered(node, self.rec_line(rec))?;
                 let off = self.layout.page_offset(rec.slot);
                 let mut ctx = engine_ctx!(self);
                 ctx.write(node, rec.page, off, &NULL_TAG.to_le_bytes())?;
@@ -1383,6 +1433,11 @@ impl SmDb {
             match op {
                 TxnOp::Update { rec, before, node: op_node } => {
                     let node = if self.m.is_crashed(*op_node) { node } else { *op_node };
+                    // The before-image restore (and the compensation
+                    // record's read of the current value) must see a
+                    // recovered line, and no deferred entry may land on
+                    // top of the restored value afterwards.
+                    self.ensure_line_recovered(node, self.rec_line(*rec))?;
                     let mut ctx = engine_ctx!(self);
                     let gsn = ctx.next_gsn();
                     let off = self.layout.page_offset(rec.slot);
@@ -1503,6 +1558,12 @@ impl SmDb {
     /// checkpoint record per node, force all logs, and durably install the
     /// checkpoint metadata.
     pub fn checkpoint(&mut self, node: NodeId) -> Result<(), DbError> {
+        // A checkpoint advances the redo bound past the log records that
+        // back any still-deferred instant-restart entries; drain them all
+        // first so no pending redo is orphaned by log truncation.
+        while self.redo_pending() > 0 {
+            self.drain_redo(node, usize::MAX)?;
+        }
         let dirty = self.plt.dirty_pages();
         for page in dirty {
             self.flush_page(node, page)?;
@@ -1652,6 +1713,9 @@ impl SmDb {
             return Err(DbError::NodeDown { node });
         }
         let rec = self.check_slot(slot)?;
+        // Dirty reads skip locking, so the lock-acquisition redo hook
+        // never fires for them — ensure the line here instead.
+        self.ensure_line_recovered(node, self.rec_line(rec))?;
         let off = self.layout.payload_offset(rec.slot);
         let mut buf = vec![0u8; self.layout.data_size];
         let mut ctx = engine_ctx!(self);
@@ -1660,6 +1724,21 @@ impl SmDb {
         self.stats.lbm_force_requests += ctx.force_requests;
         self.stats.reads += 1;
         Ok(buf)
+    }
+
+    /// Degraded recovery-window read: the best value obtainable *without*
+    /// touching recovery state — no locks, no coherence traffic, and no
+    /// inline redo. Returns the cached copy if one survives anywhere
+    /// (possibly a stale pre-crash image on an unrecovered line), else the
+    /// stable image. Unlike [`SmDb::read_dirty`] it never replicates the
+    /// line and never blocks on pending redo, so it stays available during
+    /// the instant-restart drain window; callers trade freshness for that
+    /// availability.
+    pub fn read_degraded(&self, node: NodeId, slot: u64) -> Result<Vec<u8>, DbError> {
+        if self.m.is_crashed(node) {
+            return Err(DbError::NodeDown { node });
+        }
+        self.current_value(slot)
     }
 
     /// Raw lock names currently held by `txn` (experiment instrumentation).

@@ -70,7 +70,10 @@ pub use engine::{SmDb, FAULT_COMMIT, FAULT_COMMIT_DEP};
 pub use error::DbError;
 pub use oracle::{IfaReport, ShadowDb};
 pub use record::RecordLayout;
-pub use restart::{RecoveryOutcome, FAULT_RECOVERY_PHASE};
+pub use restart::{
+    InstantRedoCounters, RecoveryOutcome, FAULT_RECOVERY_PHASE, FAULT_REDO_BACKGROUND,
+    FAULT_REDO_ON_DEMAND,
+};
 pub use stats::EngineStats;
 pub use txn::{TxnOp, TxnState, TxnStatus};
 

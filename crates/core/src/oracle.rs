@@ -254,6 +254,17 @@ impl SmDb {
             ));
             return report;
         }
+        // Instant restart: lines with deferred redo still carry stale
+        // pre-crash images, and `current_value` peeks past the coherence
+        // guard that would repair them — the comparison is meaningless
+        // until the plan drains.
+        if self.redo_pending() > 0 {
+            report.violations.push(format!(
+                "{} redo entries pending: drain_redo to empty before check_ifa",
+                self.redo_pending()
+            ));
+            return report;
+        }
         // Mask: only transactions whose every participant is up count as
         // active writers. A transaction with a crashed participant is
         // doomed — its pending effects must NOT be expected.

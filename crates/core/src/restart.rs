@@ -40,6 +40,18 @@ use std::collections::{BTreeMap, BTreeSet};
 /// fresh survivor over the (possibly larger) crashed set.
 pub const FAULT_RECOVERY_PHASE: &str = "recovery.phase";
 
+/// Fault-injection site visited before an instant restart's *on-demand*
+/// redo applies a line's pending entries on the forward path (first
+/// coherent access after the early open). A fire kills the accessing node
+/// mid-drain: the crash driver crashes it and calls [`SmDb::recover`]
+/// again, which re-derives the remaining plan from the retained logs.
+pub const FAULT_REDO_ON_DEMAND: &str = "restart.redo.on_demand";
+
+/// Fault-injection site visited at the start of every non-empty
+/// *background* drain batch ([`SmDb::drain_redo`]). A fire kills the
+/// draining node mid-drain, same contract as [`FAULT_REDO_ON_DEMAND`].
+pub const FAULT_REDO_BACKGROUND: &str = "restart.redo.background";
+
 /// What one crash-and-recover episode did.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct RecoveryOutcome {
@@ -117,6 +129,106 @@ struct HeapRedo {
     line: LineId,
     txn: TxnId,
     image: bytes::Bytes,
+}
+
+/// One deferred heap redo write of an instant restart: the final on-page
+/// bytes (tag + payload) for one record, precomputed by the recovery pass
+/// and applied on first forward-path access or by the background drain.
+struct PendingRedo {
+    rec: RecId,
+    line: LineId,
+    bytes: Vec<u8>,
+}
+
+/// Instant-restart redo-work counters. Cumulative over the engine's
+/// lifetime, like metrics ([`SmDb::instant_redo_counters`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstantRedoCounters {
+    /// Heap redo entries deferred past open points (plan sizes summed).
+    pub planned: u64,
+    /// Entries applied inline on first forward-path access.
+    pub on_demand: u64,
+    /// Entries applied by the background drain.
+    pub background: u64,
+    /// Entries retired without a write because nothing was cached and the
+    /// stable image already reflected them.
+    pub skipped_stable: u64,
+}
+
+/// Deferred-redo state of an instant restart: the GSN-ordered remainder of
+/// the heap redo plan after the early open. Empty whenever no drain is in
+/// progress.
+#[derive(Default)]
+pub(crate) struct InstantRedoState {
+    /// GSN-ordered plan; an entry flips to `None` once retired.
+    entries: Vec<Option<PendingRedo>>,
+    /// Pending entry indexes per cache line (ascending, hence GSN order).
+    by_line: BTreeMap<LineId, Vec<usize>>,
+    /// Background-drain cursor: every entry below it is retired.
+    cursor: usize,
+    /// Entries not yet retired.
+    pending: usize,
+    /// Heap lines destroyed by the crash whose reinstall was deferred past
+    /// the open point: installed from stable on first access (or when a
+    /// deferred entry's write faults their page in). A line leaves the set
+    /// the moment it is installed.
+    lost_lines: BTreeSet<LineId>,
+    /// Node ids whose undo tags a deferred reinstall must scrub: the nodes
+    /// down at plan time. The eager path clears these tags during its
+    /// reinstall-plus-undo passes; the lazy path does it at install time
+    /// for records no pending entry will overwrite anyway.
+    scrub_tags: BTreeSet<u16>,
+    /// Lifetime counters.
+    counters: InstantRedoCounters,
+}
+
+impl InstantRedoState {
+    fn push(&mut self, rec: RecId, line: LineId, bytes: Vec<u8>) {
+        let idx = self.entries.len();
+        self.entries.push(Some(PendingRedo { rec, line, bytes }));
+        self.by_line.entry(line).or_default().push(idx);
+        self.pending += 1;
+        self.counters.planned += 1;
+    }
+
+    /// Drop the plan (a re-entered recovery re-derives it from the logs).
+    fn clear_plan(&mut self) {
+        self.entries.clear();
+        self.by_line.clear();
+        self.cursor = 0;
+        self.pending = 0;
+        self.lost_lines.clear();
+        self.scrub_tags.clear();
+    }
+
+    pub(crate) fn pending(&self) -> usize {
+        self.pending
+    }
+
+    fn planned_len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Lines still carrying pending entries.
+    fn lines(&self) -> Vec<LineId> {
+        self.by_line.keys().copied().collect()
+    }
+
+    /// Pending entry indexes for one line, in GSN order.
+    fn line_entries(&self, line: LineId) -> Option<Vec<usize>> {
+        self.by_line.get(&line).cloned()
+    }
+
+    /// Lowest-GSN pending entry (advances the background cursor).
+    fn next_pending(&mut self) -> Option<usize> {
+        while self.cursor < self.entries.len() {
+            if self.entries[self.cursor].is_some() {
+                return Some(self.cursor);
+            }
+            self.cursor += 1;
+        }
+        None
+    }
 }
 
 /// One redo candidate for the index (applied sequentially in GSN order —
@@ -386,6 +498,13 @@ impl SmDb {
             return Ok(outcome);
         }
         outcome.lost_lines = self.pending_lost_lines;
+        // A new recovery supersedes any in-progress instant drain: the
+        // analysis below re-derives the complete redo plan from the
+        // retained logs (a checkpoint cannot have advanced the bound past
+        // a pending entry — it drains first), so the stale deferred
+        // entries and their coherence marks are dropped wholesale.
+        self.instant.clear_plan();
+        self.m.clear_all_unrecovered();
         let clock0 = self.m.max_clock();
         // A transaction dies if *any* node it executes on is down — for
         // single-node transactions that is just the home node; for
@@ -437,8 +556,7 @@ impl SmDb {
         for txn in doomed_seed.iter().chain(dep_doomed.iter()) {
             if let Some(deps) = self.inherited_deps.get(txn) {
                 for d in deps {
-                    if d.name >= 2 && d.name % 2 == 0 {
-                        let slot = (d.name - 2) / 2;
+                    if let Some(slot) = smdb_lock::names::rec_slot_of_name(d.name) {
                         if slot < self.cfg.records as u64 {
                             contaminated.insert(self.layout.rec_of_global(slot));
                         }
@@ -512,10 +630,24 @@ impl SmDb {
         self.pending_recovery.clear();
         self.pending_lost_lines = 0;
         self.pending_total_failure = false;
-        // Recovery completed: every reinstalled line/page has been redone
-        // and undone; their contents are authoritative again.
-        self.stale_heap_lines.clear();
-        self.stale_tree_pages.clear();
+        if self.instant.pending() > 0 {
+            // Instant restart: the database opens *here*, with the heap
+            // redo plan still pending. Mark every affected line so the
+            // coherence layer refuses to migrate or replicate its stale
+            // bytes before the deferred redo applies. The index is fully
+            // recovered (index redo is never deferred), but reinstalled
+            // heap lines stay stale until the drain completes.
+            for line in self.instant.lines() {
+                self.m.mark_unrecovered(line);
+            }
+            self.m.obs().metrics.add(names::RESTART_OPEN_EARLY_CYCLES, cycles);
+            self.stale_tree_pages.clear();
+        } else {
+            // Recovery completed: every reinstalled line/page has been
+            // redone and undone; their contents are authoritative again.
+            self.stale_heap_lines.clear();
+            self.stale_tree_pages.clear();
+        }
         Ok(outcome)
     }
 
@@ -885,7 +1017,7 @@ impl SmDb {
     }
 
     /// The line holding a record.
-    fn rec_line(&self, rec: RecId) -> LineId {
+    pub(crate) fn rec_line(&self, rec: RecId) -> LineId {
         let (line_idx, _) = self.layout.line_and_offset(rec.slot);
         LineId(self.layout.geometry.line_addr(rec.page, line_idx))
     }
@@ -951,6 +1083,283 @@ impl SmDb {
     }
 
     // ------------------------------------------------------------------
+    // Instant restart: on-demand + background redo
+    // ------------------------------------------------------------------
+
+    /// Deferred recovery work still pending from an instant restart's
+    /// early open: heap redo entries plus lost lines whose reinstall was
+    /// deferred but have no redo candidate of their own. Zero whenever no
+    /// drain is in progress (including always, without
+    /// [`crate::DbConfig::instant_restart`]). Counting the uninstalled
+    /// lost lines matters when the deferred plan is *empty*: the window
+    /// is not closed until they are resident again, or a raw full-page
+    /// reader (checkpoint flush) trips over a still-lost line.
+    pub fn redo_pending(&self) -> usize {
+        self.instant.pending() + self.instant.lost_lines.len()
+    }
+
+    /// Lifetime instant-redo counters (entries planned at open points,
+    /// applied on demand, applied by the background drain, retired as
+    /// stable-image skips).
+    pub fn instant_redo_counters(&self) -> InstantRedoCounters {
+        self.instant.counters
+    }
+
+    /// Whether an instant restart still has deferred recovery work — plan
+    /// entries pending or lost lines awaiting their lazy reinstall. The
+    /// forward-path hooks gate on this (one cheap check in steady state).
+    pub(crate) fn instant_active(&self) -> bool {
+        self.instant.pending > 0 || !self.instant.lost_lines.is_empty()
+    }
+
+    /// Whether a pending deferred entry holds `rec`'s final bytes.
+    fn instant_covers(&self, rec: RecId) -> bool {
+        let line = self.rec_line(rec);
+        self.instant.by_line.get(&line).is_some_and(|idxs| {
+            idxs.iter().any(|&i| self.instant.entries[i].as_ref().is_some_and(|e| e.rec == rec))
+        })
+    }
+
+    /// Install the still-lost lines of `page` from its stable image (the
+    /// deferred half of the eager reinstall phase), charging one disk read
+    /// to `node`. Every line with no surviving holder is installed — not
+    /// just flagged-lost ones — restoring the per-page all-or-nothing
+    /// residency the line-0 probe relies on (a write updates the page-LSN
+    /// header too, so the last writer sole-holds the header while data
+    /// lines keep older holders; Redo-All's discard then strips those,
+    /// leaving holder-less lines next to deferred-lost ones). Undo tags of
+    /// nodes down at plan time are scrubbed for records no pending entry
+    /// covers — exactly the tags the eager reinstall-plus-undo passes
+    /// would have cleared. Installed lines are recorded as stale
+    /// reinstalls until the drain completes.
+    fn install_deferred_lost(&mut self, node: NodeId, page: PageId) -> Result<(), DbError> {
+        let g = self.layout.geometry;
+        let todo: Vec<(usize, LineId)> = (0..g.lines_per_page)
+            .map(|idx| (idx, LineId(g.line_addr(page, idx))))
+            .filter(|(_, l)| self.instant.lost_lines.contains(l) || self.m.holders(*l).is_empty())
+            .collect();
+        if todo.is_empty() {
+            return Ok(());
+        }
+        let mut img = self.sdb.peek_page(page).ok_or(DbError::StablePageMissing { page })?.to_vec();
+        let rpl = self.layout.records_per_line();
+        for &(line_idx, _) in &todo {
+            if line_idx == 0 {
+                continue; // Page-LSN line holds no records
+            }
+            for k in 0..rpl {
+                let slot = ((line_idx - 1) * rpl + k) as u16;
+                if slot as usize >= self.layout.records_per_page() {
+                    break;
+                }
+                let off = self.layout.page_offset(slot);
+                let tag = u16::from_le_bytes(img[off..off + 2].try_into().expect("tag"));
+                if tag != NULL_TAG
+                    && self.instant.scrub_tags.contains(&tag)
+                    && !self.instant_covers(RecId::new(page, slot))
+                {
+                    img[off..off + 2].copy_from_slice(&NULL_TAG.to_le_bytes());
+                }
+            }
+        }
+        let cost = self.m.config().cost.disk_io;
+        self.m.advance(node, cost);
+        for (idx, line) in todo {
+            let off = g.line_offset(idx);
+            self.m.install_line(node, line, &img[off..off + g.line_size])?;
+            self.instant.lost_lines.remove(&line);
+            self.stale_heap_lines.insert(line);
+        }
+        Ok(())
+    }
+
+    /// Apply a line's pending recovery before `node` accesses it
+    /// coherently: install it from stable if its reinstall was deferred,
+    /// then apply its pending plan entries. No-op when the line carries
+    /// neither. The engine calls this from every forward path that can
+    /// reach an unrecovered heap line: record-lock grants (reads/updates),
+    /// commit and acknowledgement tag clears, abort rollbacks, and
+    /// lockless dirty reads.
+    pub(crate) fn ensure_line_recovered(
+        &mut self,
+        node: NodeId,
+        line: LineId,
+    ) -> Result<(), DbError> {
+        let (page, _) = self.layout.geometry.page_of_addr(line.0);
+        let header = LineId(self.layout.geometry.line_addr(page, 0));
+        // The page-LSN header line gates every resident-page probe: if the
+        // crash destroyed it (even with the record's own line intact), the
+        // page must be installed before any access.
+        let deferred_lost =
+            self.instant.lost_lines.contains(&line) || self.instant.lost_lines.contains(&header);
+        if !deferred_lost && !self.instant.by_line.contains_key(&line) {
+            return Ok(());
+        }
+        // Crash point: the accessing node dies before the inline redo.
+        if let Some(c) = self.fault.hit(FAULT_REDO_ON_DEMAND, node.0) {
+            return Err(DbError::FaultCrash(c));
+        }
+        if deferred_lost {
+            self.install_deferred_lost(node, page)?;
+        }
+        if let Some(idxs) = self.instant.line_entries(line) {
+            for idx in idxs {
+                self.apply_pending_entry(idx, node, false)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Background drain: retire up to `batch` pending entries in GSN
+    /// order, acting (and charged) as `node`. Returns the number retired.
+    /// Call between scheduler steps until [`SmDb::redo_pending`] reaches
+    /// zero; each non-empty batch lands a recovery-progress sample in the
+    /// availability timeline.
+    pub fn drain_redo(&mut self, node: NodeId, batch: usize) -> Result<usize, DbError> {
+        // Gate on the whole window (entries OR uninstalled lost lines):
+        // a plan with zero entries still owes the deferred reinstall.
+        if !self.instant_active() || batch == 0 {
+            return Ok(0);
+        }
+        if self.m.is_crashed(node) {
+            return Err(DbError::NodeDown { node });
+        }
+        // Crash point: the draining node dies at the batch boundary.
+        if let Some(c) = self.fault.hit(FAULT_REDO_BACKGROUND, node.0) {
+            return Err(DbError::FaultCrash(c));
+        }
+        let mut drained = 0usize;
+        while drained < batch {
+            let Some(idx) = self.instant.next_pending() else {
+                break;
+            };
+            self.apply_pending_entry(idx, node, true)?;
+            drained += 1;
+        }
+        if self.instant.pending == 0 {
+            // Plan drained: finish the deferred reinstall too, so the
+            // fully-drained state matches an eager recovery (every lost
+            // line resident again, stale stable tags scrubbed).
+            while let Some(&line) = self.instant.lost_lines.iter().next() {
+                let (page, _) = self.layout.geometry.page_of_addr(line.0);
+                self.install_deferred_lost(node, page)?;
+            }
+            if self.pending_recovery.is_empty() {
+                self.stale_heap_lines.clear();
+                self.stale_tree_pages.clear();
+            }
+        }
+        let planned = self.instant.planned_len();
+        let retired = planned - self.instant.pending() as u64;
+        let obs = self.m.obs();
+        if obs.timeline.is_enabled() {
+            obs.timeline.recovery_progress(self.m.max_clock(), 0, retired, planned);
+        }
+        Ok(drained)
+    }
+
+    /// Retire one pending entry: perform the same write the eager phase-4
+    /// redo would have performed, and lift the line's coherence mark once
+    /// its last entry retires. On failure the entry and the mark are
+    /// restored, so an injected crash mid-apply loses nothing.
+    fn apply_pending_entry(
+        &mut self,
+        idx: usize,
+        actor: NodeId,
+        background: bool,
+    ) -> Result<(), DbError> {
+        let Some(entry) = self.instant.entries[idx].as_ref() else {
+            return Ok(());
+        };
+        let (rec, line) = (entry.rec, entry.line);
+        let bytes = entry.bytes.clone();
+        // Lift the mark for the duration of our own authoritative write —
+        // the coherence guard refuses every other writer.
+        self.m.clear_unrecovered(line);
+        let wrote = match self.write_pending_bytes(actor, rec, line, &bytes) {
+            Ok(w) => w,
+            Err(e) => {
+                self.m.mark_unrecovered(line);
+                return Err(e);
+            }
+        };
+        self.instant.entries[idx] = None;
+        self.instant.pending -= 1;
+        let line_done = match self.instant.by_line.get_mut(&line) {
+            Some(list) => {
+                list.retain(|&i| i != idx);
+                list.is_empty()
+            }
+            None => true,
+        };
+        if line_done {
+            self.instant.by_line.remove(&line);
+        } else {
+            self.m.mark_unrecovered(line);
+        }
+        let obs = self.m.obs();
+        if wrote {
+            obs.metrics.inc(names::RESTART_REDO_APPLIED);
+            if background {
+                obs.metrics.inc(names::RESTART_REDO_BACKGROUND);
+                self.instant.counters.background += 1;
+            } else {
+                obs.metrics.inc(names::RESTART_REDO_ON_DEMAND);
+                self.instant.counters.on_demand += 1;
+            }
+        } else {
+            obs.metrics.inc(names::RESTART_REDO_SKIPPED);
+            self.instant.counters.skipped_stable += 1;
+        }
+        if self.instant.pending == 0 && self.pending_recovery.is_empty() {
+            // Drain complete: every reinstalled heap line has its redo
+            // applied; contents are authoritative again. (With a crash
+            // pending, the stale knowledge is instead carried into the
+            // next recovery attempt.)
+            self.stale_heap_lines.clear();
+            self.stale_tree_pages.clear();
+        }
+        Ok(())
+    }
+
+    /// The deferred write itself: skip when nothing is cached and the
+    /// stable image already reflects the entry; otherwise write through
+    /// the coherent store — faulting the page in marks its lines stale,
+    /// exactly like the eager pass — and leave the page dirty for the
+    /// next checkpoint (zero-LSN entry: dirty, no force requirement; the
+    /// redo source record is already stable).
+    fn write_pending_bytes(
+        &mut self,
+        actor: NodeId,
+        rec: RecId,
+        line: LineId,
+        bytes: &[u8],
+    ) -> Result<bool, DbError> {
+        let off = self.layout.page_offset(rec.slot);
+        if !self.m.probe_cached(line) {
+            let img = self
+                .sdb
+                .peek_page(rec.page)
+                .ok_or(DbError::StablePageMissing { page: rec.page })?;
+            if img[off..off + bytes.len()] == bytes[..] {
+                return Ok(false);
+            }
+            let g = self.layout.geometry;
+            for idx in 0..g.lines_per_page {
+                self.stale_heap_lines.insert(LineId(g.line_addr(rec.page, idx)));
+            }
+        }
+        // A deferred-reinstall page must be installed before the coherent
+        // write can fault it in (the machine refuses lost lines).
+        self.install_deferred_lost(actor, rec.page)?;
+        let mut ctx = engine_ctx!(self);
+        ctx.write(actor, rec.page, off, bytes)?;
+        drop(ctx);
+        self.plt.note_update(rec.page, actor, Lsn::ZERO);
+        Ok(true)
+    }
+
+    // ------------------------------------------------------------------
     // IFA restart recovery
     // ------------------------------------------------------------------
 
@@ -972,6 +1381,12 @@ impl SmDb {
         let down: Vec<NodeId> = self.m.node_ids().filter(|n| self.m.is_crashed(*n)).collect();
         let crashed_set: BTreeSet<NodeId> = down.iter().copied().collect();
         let scheme = self.cfg.protocol.restart_scheme();
+        // Instant restart defers every per-record heap write — stable-undo
+        // patches, lost-line reinstall, Redo-All's cache discard, redo, and
+        // undo — past the open point as plan entries and lazily-installed
+        // lines, so the stop-the-world window shrinks to the analysis scan
+        // plus index recovery.
+        let instant = self.cfg.instant_restart;
         // Snapshot which heap lines genuinely survive in caches *before*
         // any reinstall: this is the Selective-Redo probe (a line we later
         // reinstall from a stale stable image must not be mistaken for a
@@ -996,7 +1411,16 @@ impl SmDb {
         outcome.scan_records = analysis.scanned_records;
         outcome.ckpt_bound_lsn = analysis.ckpt_bound;
         self.charge_analysis_scan(recovery_node, analysis.scanned_records);
-        self.patch_stable_undo(&analysis, outcome)?;
+        if !instant {
+            // Instant restart folds the stolen-update undo into the
+            // deferred plan (phase 5 pushes the last-committed bytes as
+            // entries); the coherent apply dirties the page, so the next
+            // checkpoint — which drains the plan first — writes the
+            // corrected image back. Until then the stolen trace stays in
+            // the retained stable logs, which is exactly what a re-entered
+            // recovery re-derives the plan from.
+            self.patch_stable_undo(&analysis, outcome)?;
+        }
         self.end_phase(span, outcome);
         self.phase_crash_point(recovery_node)?;
 
@@ -1008,7 +1432,26 @@ impl SmDb {
         // attempt: for undo purposes they are reinstalled lines of *this*
         // restart too.
         let mut heap_reinstalled: BTreeSet<LineId> = self.stale_heap_lines.clone();
-        heap_reinstalled.extend(self.normalize_lost_heap_lines(recovery_node)?);
+        if instant {
+            // Defer the heap reinstall: record which lines are lost and
+            // install them from stable on first access (or when a deferred
+            // entry's write needs their page), charging the disk read to
+            // the accessor instead of the stop-the-world window. The tags
+            // of the nodes down *now* are the ones the eager undo passes
+            // would have scrubbed.
+            let g = self.layout.geometry;
+            for p in 0..self.heap_pages {
+                for idx in 0..g.lines_per_page {
+                    let line = LineId(g.line_addr(PageId(p), idx));
+                    if self.m.is_lost(line) {
+                        self.instant.lost_lines.insert(line);
+                    }
+                }
+            }
+            self.instant.scrub_tags.extend(down.iter().map(|n| n.0));
+        } else {
+            heap_reinstalled.extend(self.normalize_lost_heap_lines(recovery_node)?);
+        }
 
         // Still in "reinstall": restore the index's structural skeleton
         // (root, allocation map, lost pages) from the forced structural
@@ -1060,6 +1503,13 @@ impl SmDb {
         // index wholesale.
         let span = self.begin_phase("cache_discard");
         if scheme == RestartScheme::RedoAll {
+            // The discard runs under instant restart too: it is a pure
+            // cache drop (no disk reads — the reinstall cost lands lazily
+            // on whoever faults the page back in), and it is *required* —
+            // a migrated uncommitted update of a doomed transaction whose
+            // record's last committed update predates the checkpoint
+            // bound has no redo candidate, hence no plan entry, and only
+            // the discard removes its stale bytes from survivor caches.
             let heap_limit = self.heap_pages as u64 * self.cfg.lines_per_page as u64;
             for node in self.m.surviving_nodes() {
                 self.m.discard_matching(node, |l| l.0 < heap_limit);
@@ -1093,6 +1543,26 @@ impl SmDb {
         // stable image is never mistaken for a coherent surviving copy.
         let span = self.begin_phase("redo");
         let replay_index = tree_lost_any || scheme == RestartScheme::RedoAll;
+        // Instant restart: heap redo entries are *deferred* past the open
+        // point — except for records the undo phase targets (stable-logged
+        // uncommitted updates of down nodes, and doomed ops on surviving
+        // logs). In eager order undo runs after redo and wins, so for
+        // those records the redo entry is dropped here and phase 5 pushes
+        // the undo's last-committed bytes as the record's single deferred
+        // entry instead.
+        let undo_writes: BTreeSet<RecId> = if instant {
+            analysis
+                .uncommitted_updates
+                .iter()
+                .map(|(_, _, r)| *r)
+                .chain(analysis.doomed_ops.iter().filter_map(|(_, op)| match op {
+                    DoomedOp::Rec { rec, .. } => Some(*rec),
+                    _ => None,
+                }))
+                .collect()
+        } else {
+            BTreeSet::new()
+        };
         let raw_heap = std::mem::take(&mut analysis.heap_redo);
         let raw_index = std::mem::take(&mut analysis.index_redo);
         self.m
@@ -1113,6 +1583,17 @@ impl SmDb {
                 PlannedOp::Rec(HeapRedo { rec, line, txn, image, .. }) => {
                     if scheme == RestartScheme::Selective && cached_before.contains(&line) {
                         outcome.redo_skipped_cached += 1;
+                        continue;
+                    }
+                    if instant {
+                        // Defer: the final bytes are computed *now* (the
+                        // tag decision reads transaction statuses, which
+                        // phase 7 flips) and applied on first access or by
+                        // the background drain.
+                        if !undo_writes.contains(&rec) {
+                            let bytes = self.expected_rec_bytes(txn, &image);
+                            self.instant.push(rec, line, bytes);
+                        }
                         continue;
                     }
                     let expected = self.expected_rec_bytes(txn, &image);
@@ -1247,34 +1728,105 @@ impl SmDb {
         // protocol-specific undo pass.
         let span = self.begin_phase("undo");
         let doomed_ops = std::mem::take(&mut analysis.doomed_ops);
-        self.undo_doomed_ops(outcome, recovery_node, doomed_ops, &analysis, contaminated)?;
-        match self.cfg.protocol {
-            ProtocolKind::VolatileSelectiveRedo => {
-                self.undo_by_tags(
-                    outcome,
-                    recovery_node,
-                    &crashed_set,
-                    &analysis,
-                    &heap_reinstalled,
-                    &reinstalled_pages,
-                )?;
+        if instant {
+            // Heap undo joins the deferred plan. The final bytes per
+            // record are computed *now* — the before images are handles
+            // into retained log records, and the last-committed derivation
+            // needs this analysis — and applied on first access or by the
+            // background drain, exactly like deferred redo. Reverse-GSN
+            // application means the lowest-GSN before image is the one
+            // that sticks; the protocol undo (stable-log or tag driven)
+            // runs after the doomed rollback in the eager order, so its
+            // last-committed values override. Index undo is never
+            // deferred.
+            let mut rec_ops = doomed_ops;
+            rec_ops.sort_by_key(|(gsn, _)| *gsn);
+            let mut index_ops: Vec<(u64, DoomedOp)> = Vec::new();
+            let mut undo_final: BTreeMap<RecId, Vec<u8>> = BTreeMap::new();
+            for (gsn, op) in rec_ops {
+                match op {
+                    DoomedOp::Rec { rec, before } => {
+                        if let std::collections::btree_map::Entry::Vacant(e) = undo_final.entry(rec)
+                        {
+                            let value: Vec<u8> = if contaminated.contains(&rec) {
+                                self.last_committed_payload(&analysis, rec)?
+                            } else {
+                                before.to_vec()
+                            };
+                            e.insert(self.layout.encode(NULL_TAG, &value));
+                        }
+                    }
+                    other => index_ops.push((gsn, other)),
+                }
             }
-            ProtocolKind::VolatileRedoAll => {
-                // The cache purge already removed migrated uncommitted
-                // data; stolen data was patched in phase 1. Index entries
-                // of uncommitted crashed transactions that had been
-                // flushed (steal / structural flush) and reloaded still
-                // need undo from the crashed stable logs.
-                self.undo_index_from_stable(outcome, recovery_node, &analysis)?;
+            let uncommitted: BTreeSet<RecId> =
+                analysis.uncommitted_updates.iter().map(|(_, _, r)| *r).collect();
+            for rec in uncommitted {
+                let value = self.last_committed_payload(&analysis, rec)?;
+                undo_final.insert(rec, self.layout.encode(NULL_TAG, &value));
             }
-            ProtocolKind::StableEager | ProtocolKind::StableTriggered => {
-                // Stable LBM: every migrated uncommitted update has stable
-                // undo information; apply it to any surviving cached
-                // copies (stable images were patched in phase 1).
-                self.undo_from_stable_logs(outcome, recovery_node, &analysis)?;
-                self.undo_index_from_stable(outcome, recovery_node, &analysis)?;
+            for (rec, bytes) in undo_final {
+                let line = self.rec_line(rec);
+                self.instant.push(rec, line, bytes);
             }
-            ProtocolKind::FaOnly => unreachable!("handled by full_restart"),
+            self.undo_doomed_ops(outcome, recovery_node, index_ops, &analysis, contaminated)?;
+            match self.cfg.protocol {
+                ProtocolKind::VolatileSelectiveRedo => {
+                    // The tag scan still runs (cheap — the only candidates
+                    // without plan entries are stale committed tags), but
+                    // records a deferred entry covers are skipped: the
+                    // entry's apply writes their final bytes.
+                    self.undo_by_tags(
+                        outcome,
+                        recovery_node,
+                        &crashed_set,
+                        &analysis,
+                        &heap_reinstalled,
+                        &reinstalled_pages,
+                    )?;
+                }
+                ProtocolKind::VolatileRedoAll
+                | ProtocolKind::StableEager
+                | ProtocolKind::StableTriggered => {
+                    // Heap undo is fully deferred (every stable-logged
+                    // uncommitted update has a plan entry); only index
+                    // effects of uncommitted crashed transactions need
+                    // eager undo.
+                    self.undo_index_from_stable(outcome, recovery_node, &analysis)?;
+                }
+                ProtocolKind::FaOnly => unreachable!("handled by full_restart"),
+            }
+        } else {
+            self.undo_doomed_ops(outcome, recovery_node, doomed_ops, &analysis, contaminated)?;
+            match self.cfg.protocol {
+                ProtocolKind::VolatileSelectiveRedo => {
+                    self.undo_by_tags(
+                        outcome,
+                        recovery_node,
+                        &crashed_set,
+                        &analysis,
+                        &heap_reinstalled,
+                        &reinstalled_pages,
+                    )?;
+                }
+                ProtocolKind::VolatileRedoAll => {
+                    // The cache purge already removed migrated uncommitted
+                    // data; stolen data was patched in phase 1. Index
+                    // entries of uncommitted crashed transactions that had
+                    // been flushed (steal / structural flush) and reloaded
+                    // still need undo from the crashed stable logs.
+                    self.undo_index_from_stable(outcome, recovery_node, &analysis)?;
+                }
+                ProtocolKind::StableEager | ProtocolKind::StableTriggered => {
+                    // Stable LBM: every migrated uncommitted update has
+                    // stable undo information; apply it to any surviving
+                    // cached copies (stable images were patched in phase
+                    // 1).
+                    self.undo_from_stable_logs(outcome, recovery_node, &analysis)?;
+                    self.undo_index_from_stable(outcome, recovery_node, &analysis)?;
+                }
+                ProtocolKind::FaOnly => unreachable!("handled by full_restart"),
+            }
         }
         self.end_phase(span, outcome);
         self.phase_crash_point(recovery_node)?;
@@ -1371,6 +1923,12 @@ impl SmDb {
             }
         }
         for (line, rec, tag) in candidates {
+            if self.instant_covers(rec) {
+                // Instant restart: a deferred entry holds this record's
+                // final bytes; applying it (on access or drain) overwrites
+                // tag and payload both.
+                continue;
+            }
             let committed =
                 heap_reinstalled.contains(&line) && analysis.is_committed_rec(NodeId(tag), rec);
             let off = self.layout.page_offset(rec.slot);

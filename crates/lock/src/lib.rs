@@ -30,6 +30,7 @@
 mod lcb;
 mod manager;
 mod mode;
+pub mod names;
 mod recovery;
 pub mod reference;
 mod table;

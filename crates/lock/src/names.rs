@@ -1,0 +1,46 @@
+//! Canonical logical lock-name encoding.
+//!
+//! Record and key locks share one flat `u64` name space: record locks are
+//! even (`2 + slot * 2`), key locks odd (`3 + key * 2`). The encoding lives
+//! here — not in the engine — because recovery code on both sides of the
+//! crate boundary must agree on it: lock-space recovery replays lock-log
+//! records by name, contamination analysis decodes names back to record
+//! slots, and instant restart must map a just-granted record lock to the
+//! heap line whose pending redo it would otherwise bypass.
+
+/// Lock name protecting heap record `slot`.
+pub fn name_for_rec(slot: u64) -> u64 {
+    2 + slot * 2
+}
+
+/// Lock name protecting index key `key`.
+pub fn name_for_key(key: u64) -> u64 {
+    3u64.wrapping_add(key.wrapping_mul(2))
+}
+
+/// Decode a lock name back to a record slot, if it is a record-lock name.
+/// Key locks (odd names) and the reserved names 0/1 decode to `None`.
+pub fn rec_slot_of_name(name: u64) -> Option<u64> {
+    (name.is_multiple_of(2) && name >= 2).then(|| (name - 2) / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rec_and_key_names_are_disjoint_and_decodable() {
+        for slot in [0u64, 1, 7, 4095] {
+            let n = name_for_rec(slot);
+            assert_eq!(n % 2, 0);
+            assert_eq!(rec_slot_of_name(n), Some(slot));
+        }
+        for key in [0u64, 1, 7, 4095] {
+            let n = name_for_key(key);
+            assert_eq!(n % 2, 1);
+            assert_eq!(rec_slot_of_name(n), None);
+        }
+        assert_eq!(rec_slot_of_name(0), None);
+        assert_eq!(rec_slot_of_name(1), None);
+    }
+}

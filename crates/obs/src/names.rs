@@ -88,8 +88,15 @@ pub const WAL_PHYSICAL_FORCES: &str = "wal.physical_forces";
 pub const RESTART_CKPT_BOUND_LSN: &str = "restart.ckpt_bound_lsn";
 /// Analysis scans performed (exactly one per recovery).
 pub const RESTART_ANALYSIS_SCANS: &str = "restart.analysis_scans";
+/// Simulated cycles to reach the open point of an instant restart (the
+/// database serves transactions from here; heap redo is still pending).
+pub const RESTART_OPEN_EARLY_CYCLES: &str = "restart.open_early_cycles";
 /// Redo writes applied by recoveries.
 pub const RESTART_REDO_APPLIED: &str = "restart.redo_applied";
+/// Deferred heap redo entries applied by the background drain.
+pub const RESTART_REDO_BACKGROUND: &str = "restart.redo_background";
+/// Deferred heap redo entries applied inline on first forward-path access.
+pub const RESTART_REDO_ON_DEMAND: &str = "restart.redo_on_demand";
 /// Redo candidates skipped (cached / stable / superseded).
 pub const RESTART_REDO_SKIPPED: &str = "restart.redo_skipped";
 /// Log records visited by analysis scans.
@@ -214,10 +221,28 @@ pub const CATALOG: &[MetricDef] = &[
         help: "Highest checkpoint LSN that bounded the last redo scan",
     },
     MetricDef {
+        name: RESTART_OPEN_EARLY_CYCLES,
+        kind: MetricKind::Counter,
+        layer: "core",
+        help: "Simulated cycles to reach the open point of an instant restart",
+    },
+    MetricDef {
         name: RESTART_REDO_APPLIED,
         kind: MetricKind::Counter,
         layer: "core",
         help: "Redo writes applied by recoveries",
+    },
+    MetricDef {
+        name: RESTART_REDO_BACKGROUND,
+        kind: MetricKind::Counter,
+        layer: "core",
+        help: "Deferred heap redo entries applied by the background drain",
+    },
+    MetricDef {
+        name: RESTART_REDO_ON_DEMAND,
+        kind: MetricKind::Counter,
+        layer: "core",
+        help: "Deferred heap redo entries applied inline on first access",
     },
     MetricDef {
         name: RESTART_REDO_SKIPPED,

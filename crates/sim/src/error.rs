@@ -22,6 +22,12 @@ pub enum MemError {
     NotResident { line: LineId },
     /// `create_line_at` on an address that is already populated.
     AlreadyExists { line: LineId },
+    /// The line carries pending redo from an instant restart: coherent
+    /// access (read, write, line lock) must not migrate or replicate it
+    /// until the owner of the mark (the database engine) applies the
+    /// pending redo and clears the mark. Inspection (`peek`) and
+    /// authoritative reinstall (`install_line`) remain available.
+    Unrecovered { line: LineId },
     /// Operation issued on behalf of a node that has crashed.
     NodeCrashed { node: NodeId },
     /// Line-lock release by a node that does not hold the lock.
@@ -57,6 +63,9 @@ impl fmt::Display for MemError {
             }
             MemError::NotResident { line } => write!(f, "{line:?} not resident in any cache"),
             MemError::AlreadyExists { line } => write!(f, "{line:?} already exists"),
+            MemError::Unrecovered { line } => {
+                write!(f, "{line:?} has pending redo: apply it before coherent access")
+            }
             MemError::NodeCrashed { node } => write!(f, "{node} has crashed"),
             MemError::NotLockHolder { line, node } => {
                 write!(f, "{node} does not hold the line lock on {line:?}")

@@ -35,6 +35,7 @@ use crate::stats::SimStats;
 use crate::trace::{Trace, TraceEvent};
 use smdb_fault::FaultInjector;
 use smdb_obs::{Event as ObsEvent, Obs};
+use std::collections::BTreeSet;
 
 /// Fault site: a write or `getline` is about to *migrate* the line — the
 /// acting node does not hold a copy and will take the only valid one.
@@ -173,6 +174,11 @@ pub struct Machine {
     fault: FaultInjector,
     next_dynamic: u64,
     buf_reuse: u64,
+    /// Lines an instant restart left with pending redo. Coherent access
+    /// (read/write/line lock) is refused until the mark is cleared, so the
+    /// coherence protocol can never migrate or replicate stale bytes;
+    /// `peek*` and `install_line` stay available for the recovery owner.
+    unrecovered: BTreeSet<LineId>,
 }
 
 impl Machine {
@@ -193,6 +199,7 @@ impl Machine {
             fault: FaultInjector::new(),
             next_dynamic: LineId::DYNAMIC_BASE,
             buf_reuse: 0,
+            unrecovered: BTreeSet::new(),
         }
     }
 
@@ -314,6 +321,20 @@ impl Machine {
     /// The maximum clock over all nodes: the machine-wide makespan.
     pub fn max_clock(&self) -> u64 {
         self.nodes.iter().map(|n| n.clock).max().unwrap_or(0)
+    }
+
+    /// Advance every live node's clock to the machine-wide makespan — a
+    /// synchronisation barrier. Benchmarks call this before injecting a
+    /// crash so availability windows measured on the makespan clock start
+    /// from a common origin instead of being masked by accumulated
+    /// inter-node clock skew.
+    pub fn sync_clocks(&mut self) {
+        let max = self.max_clock();
+        for n in self.nodes.iter_mut() {
+            if !n.crashed {
+                n.clock = max;
+            }
+        }
     }
 
     fn check_node(&self, node: NodeId) -> Result<(), MemError> {
@@ -458,6 +479,9 @@ impl Machine {
                 self.stats.line_lock_conflicts += 1;
                 return Err(MemError::Stalled { line, holder: Some(holder) });
             }
+        }
+        if self.unrecovered.contains(&line) {
+            return Err(MemError::Unrecovered { line });
         }
         Ok(slot)
     }
@@ -890,6 +914,37 @@ impl Machine {
     /// returned."*
     pub fn probe_cached(&self, line: LineId) -> bool {
         self.slot_of(line).map(|s| !self.slots[s as usize].lost).unwrap_or(false)
+    }
+
+    /// Mark `line` as carrying pending redo from an instant restart: every
+    /// coherent access (read, write, line lock) fails with
+    /// [`MemError::Unrecovered`] until [`Machine::clear_unrecovered`], so
+    /// the coherence protocol cannot migrate or replicate the stale bytes.
+    /// `peek`/`peek_local`/`iter_cached` (inspection) and `install_line`
+    /// (authoritative reinstall) are exempt.
+    pub fn mark_unrecovered(&mut self, line: LineId) {
+        self.unrecovered.insert(line);
+    }
+
+    /// Clear the pending-redo mark on `line` (the owner applied its redo).
+    pub fn clear_unrecovered(&mut self, line: LineId) {
+        self.unrecovered.remove(&line);
+    }
+
+    /// Drop every pending-redo mark (a re-entered recovery re-derives its
+    /// own plan from the retained logs).
+    pub fn clear_all_unrecovered(&mut self) {
+        self.unrecovered.clear();
+    }
+
+    /// Whether `line` is currently marked as carrying pending redo.
+    pub fn is_unrecovered(&self, line: LineId) -> bool {
+        self.unrecovered.contains(&line)
+    }
+
+    /// Number of lines currently marked as carrying pending redo.
+    pub fn unrecovered_count(&self) -> usize {
+        self.unrecovered.len()
     }
 
     /// Discard `node`'s cached copy of `line` (no writeback — the caller is

@@ -41,6 +41,10 @@ pub struct VoprConfig {
     pub elr: bool,
     /// Coalesced log forces.
     pub coalesce: bool,
+    /// Instant restart: recovery opens the database after analysis and
+    /// defers heap redo to on-demand application plus a background drain
+    /// the driver schedules between rounds.
+    pub instant: bool,
 }
 
 pub(crate) fn splitmix64(x: &mut u64) -> u64 {
@@ -105,6 +109,9 @@ impl VoprConfig {
             drain_every: if window > 1 { pick(&mut rng, &[0usize, 2, 3]) } else { 0 },
             elr: window > 1 && splitmix64(&mut rng) % 2 == 1,
             coalesce: splitmix64(&mut rng) % 2 == 1,
+            // Drawn last so the new knob does not shift any earlier
+            // field's position in the seed stream.
+            instant: splitmix64(&mut rng) % 2 == 1,
         }
     }
 
@@ -120,14 +127,17 @@ impl VoprConfig {
         if self.elr {
             cfg = cfg.with_early_lock_release();
         }
+        if self.instant {
+            cfg = cfg.with_instant_restart();
+        }
         cfg
     }
 
     /// Compact one-token encoding for the repro line, e.g.
-    /// `p:SE,n:4,t:12,o:4,rf:20,sh:60,ss:16,zf:95,ix:25,ck:5,w:4,d:3,elr:1,co:1`.
+    /// `p:SE,n:4,t:12,o:4,rf:20,sh:60,ss:16,zf:95,ix:25,ck:5,w:4,d:3,elr:1,co:1,ir:0`.
     pub fn encode(&self) -> String {
         format!(
-            "p:{},n:{},t:{},o:{},rf:{},sh:{},ss:{},zf:{},ix:{},ck:{},w:{},d:{},elr:{},co:{}",
+            "p:{},n:{},t:{},o:{},rf:{},sh:{},ss:{},zf:{},ix:{},ck:{},w:{},d:{},elr:{},co:{},ir:{}",
             protocol_tag(self.protocol),
             self.nodes,
             self.txns,
@@ -142,6 +152,7 @@ impl VoprConfig {
             self.drain_every,
             self.elr as u8,
             self.coalesce as u8,
+            self.instant as u8,
         )
     }
 
@@ -164,6 +175,9 @@ impl VoprConfig {
             drain_every: 0,
             elr: false,
             coalesce: false,
+            // Repro lines predating the knob carry no `ir:` token; they
+            // replay as the eager restarts they were recorded under.
+            instant: false,
         };
         for part in s.split(',') {
             let (k, v) = part.split_once(':').ok_or_else(|| format!("bad cfg token {part:?}"))?;
@@ -186,6 +200,7 @@ impl VoprConfig {
                 "d" => cfg.drain_every = num()? as usize,
                 "elr" => cfg.elr = num()? != 0,
                 "co" => cfg.coalesce = num()? != 0,
+                "ir" => cfg.instant = num()? != 0,
                 other => return Err(format!("unknown cfg key {other:?}")),
             }
         }

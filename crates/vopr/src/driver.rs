@@ -290,9 +290,16 @@ impl<'a> Driver<'a> {
             return Err(("driver".into(), "no surviving nodes".into()));
         };
         // IFA: records, live index contents, and lock space vs the shadow.
-        let r = self.db.check_ifa(scan);
-        if !r.ok() {
-            return Err(("IFA".into(), r.violations.join("; ")));
+        // Skipped inside an instant-restart drain window: the heap is
+        // intentionally stale until the deferred redo retires (the engine
+        // refuses the comparison outright), and the driver's per-round
+        // drain plus the final full drain guarantee the window closes
+        // before the last pass.
+        if self.db.redo_pending() == 0 {
+            let r = self.db.check_ifa(scan);
+            if !r.ok() {
+                return Err(("IFA".into(), r.violations.join("; ")));
+            }
         }
         // B+-tree structural invariants (panics with a description).
         let tree = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -318,7 +325,7 @@ impl<'a> Driver<'a> {
         }
         // Committed-data: once nothing is active, every record physically
         // holds its committed value.
-        if final_check && self.db.active_txns(None).is_empty() {
+        if final_check && self.db.active_txns(None).is_empty() && self.db.redo_pending() == 0 {
             for slot in 0..self.db.record_count() as u64 {
                 let got = self
                     .db
@@ -581,6 +588,26 @@ impl<'a> Driver<'a> {
                     fruitless_rounds = 0;
                 }
             }
+            // Instant-restart drain window: retire a scheduler-chosen
+            // batch of deferred redo each round, on a scheduler-chosen
+            // survivor (choice 0 = one entry on the rotation host). The
+            // drain itself can crash — the background fault site — which
+            // replans the deferred work under a second recovery.
+            if self.db.redo_pending() > 0 {
+                let host = self.pick_home("vopr.redo.host", rounds as usize);
+                let batch = 1 + self.sched.choose("vopr.redo.batch", 4);
+                match self.db.drain_redo(host, batch) {
+                    Ok(n) => self.events.push(format!("dr {n}")),
+                    Err(e) => match self.absorb(e) {
+                        Absorbed::Crashed => {
+                            if let Err(f) = self.reconcile(&mut inflight) {
+                                return Some(f);
+                            }
+                        }
+                        Absorbed::Fatal(o, d) => return Some((o, d)),
+                    },
+                }
+            }
             // The standing oracles, every round.
             if let Err(f) = self.oracles(false) {
                 return Some(f);
@@ -591,6 +618,22 @@ impl<'a> Driver<'a> {
             match self.db.drain_commit_pipeline() {
                 Ok(0) => break,
                 Ok(n) => self.events.push(format!("d {n}")),
+                Err(e) => match self.absorb(e) {
+                    Absorbed::Crashed => continue,
+                    Absorbed::Fatal(o, d) => return Some((o, d)),
+                },
+            }
+        }
+        // Close the instant-restart drain window: the final oracle pass
+        // compares full states, which requires every deferred redo entry
+        // retired. A crash mid-drain replans; the loop converges because
+        // the fault plan is finite.
+        while self.db.redo_pending() > 0 {
+            let Some(&host) = self.db.machine().surviving_nodes().first() else {
+                return Some(("driver".into(), "no surviving nodes".into()));
+            };
+            match self.db.drain_redo(host, 8) {
+                Ok(n) => self.events.push(format!("dr {n}")),
                 Err(e) => match self.absorb(e) {
                     Absorbed::Crashed => continue,
                     Absorbed::Fatal(o, d) => return Some((o, d)),

@@ -20,7 +20,7 @@ use smdb_fault::{CrashPoint, FaultPlan};
 /// Every crash-point site the stack exposes, by name. Fault plans are
 /// drawn from — and repro lines parsed against — this catalog; it must
 /// stay in sync with the `FAULT_*` constants of the instrumented crates.
-pub const FAULT_SITES: [&str; 9] = [
+pub const FAULT_SITES: [&str; 11] = [
     smdb_sim::FAULT_MIGRATE,
     smdb_sim::FAULT_INVALIDATE,
     smdb_wal::FAULT_FORCE_RECORD,
@@ -30,6 +30,8 @@ pub const FAULT_SITES: [&str; 9] = [
     smdb_core::FAULT_COMMIT,
     smdb_core::FAULT_COMMIT_DEP,
     smdb_core::FAULT_RECOVERY_PHASE,
+    smdb_core::FAULT_REDO_ON_DEMAND,
+    smdb_core::FAULT_REDO_BACKGROUND,
 ];
 
 /// Resolve a site name to its `&'static str` catalog entry (the injector

@@ -136,6 +136,50 @@ fn regression_shadow_commit_write_order() {
     );
 }
 
+/// Empty-plan drain window: an instant recovery whose deferred *redo*
+/// plan is empty can still owe deferred lost-line reinstalls (the lost
+/// lines' last committed updates were already flushed, so nothing needs
+/// redo — but the lines are gone from every surviving cache). The window
+/// must stay open (`redo_pending > 0`) until they are resident again:
+/// both repros crashed a later checkpoint's raw full-page flush on a
+/// still-lost line after the drain loops had already gone idle.
+#[test]
+fn regression_empty_plan_window_still_reinstalls_lost_lines() {
+    assert_repro_fixed(
+        "VOPR seed=0x53 cfg=p:VSR,n:3,t:12,o:5,rf:20,sh:30,ss:16,zf:0,ix:0,ck:3,w:2,d:3,elr:0,co:0,ir:1 skip=2,3,6,7,8 sched=1200000001 plan=sim.invalidate#10 oracle=engine-error",
+    );
+    assert_repro_fixed(
+        "VOPR seed=0x60 cfg=p:SE,n:4,t:16,o:6,rf:50,sh:60,ss:32,zf:0,ix:50,ck:3,w:1,d:0,elr:0,co:1,ir:1 skip=1,5,6,7,10,14 sched=- plan=sim.migrate#5+wal.truncate#3 oracle=engine-error",
+    );
+}
+
+/// A fixed-seed battery with instant restart forced on: every schedule
+/// whose fault plan fires recovers open-early, the driver retires the
+/// deferred redo between rounds, and all standing oracles hold through
+/// and after the drain window. Seed 0x3d's plan lands its second crash
+/// on `restart.redo.background#0` — the draining node itself dies
+/// mid-batch and the second recovery re-derives the plan.
+#[test]
+fn fixed_seed_instant_battery_is_green() {
+    let skip = BTreeSet::new();
+    for seed in [0x1u64, 0x27, 0x3d, 0x5e] {
+        let mut cfg = VoprConfig::draw(seed);
+        cfg.instant = true;
+        let plan = draw_plan(seed);
+        let run = run_schedule(&cfg, seed, &skip, &plan, SchedInput::Record(seed));
+        assert!(
+            !run.fired.is_empty(),
+            "seed {seed:#x}: battery seed no longer fires its plan {plan:?}"
+        );
+        assert!(
+            run.failure.is_none(),
+            "seed {seed:#x} cfg={} failed: {:?}",
+            cfg.encode(),
+            run.failure
+        );
+    }
+}
+
 /// A bounded fixed-seed fuzz sweep stays green (the CI smoke). Kept small
 /// so `cargo test` stays fast; scripts/fuzz.sh runs the larger budgets.
 #[test]

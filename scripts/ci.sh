@@ -75,6 +75,14 @@ if ! ./target/release/report --e10elr --fast --csv > /dev/null; then
     echo "e10elr report failed (non-blocking): rerun report --e10elr" >&2
 fi
 
+echo "== E11 instant-restart report (non-blocking) =="
+# Refresh the instant-restart CSV (DESIGN §14). The blocking acceptance
+# gate is the e11_instant integration test (TTFT speedup, drained-state
+# digest equality, redo parity), already run by the workspace test step.
+if ! ./target/release/report --e11instant --fast --csv > /dev/null; then
+    echo "e11instant report failed (non-blocking): rerun report --e11instant" >&2
+fi
+
 echo "== observability overhead smoke (non-blocking) =="
 # The disabled-path contract (one relaxed load + branch per emission
 # site) is wall-clock sensitive; run the bench in test mode so broken

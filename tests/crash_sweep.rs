@@ -18,8 +18,11 @@
 //! `scripts/crash_sweep.sh`) sweeps every enumerated point.
 
 use smdb::core::fault::sweep::{sweep, RunMode, RunOutput, SweepConfig, SweepReport};
-use smdb::core::fault::{CrashPoint, FaultInjector, FaultPlan, Mode};
-use smdb::core::{DbConfig, DbError, ProtocolKind, SmDb, FAULT_COMMIT_DEP};
+use smdb::core::fault::{CrashPoint, FaultInjector, FaultPlan, Mode, SiteVisits};
+use smdb::core::{
+    DbConfig, DbError, ProtocolKind, SmDb, FAULT_COMMIT_DEP, FAULT_REDO_BACKGROUND,
+    FAULT_REDO_ON_DEMAND,
+};
 use smdb::sim::NodeId;
 use smdb::wal::{FAULT_CHECKPOINT_RECORD, FAULT_TRUNCATE};
 use smdb::workload::{run_mix_with_crash, MixParams};
@@ -360,6 +363,123 @@ fn checkpoint_and_truncate_crash_points_swept_exhaustively() {
         );
         for point in points {
             run_scenario(protocol, SEED, &RunMode::Replay(FaultPlan::single(point)))
+                .unwrap_or_else(|e| panic!("{protocol:?} plan={point} :: {e}"));
+        }
+    }
+}
+
+/// One instant-restart scenario: seeded mix, node 0 dies with the mix's
+/// committed effects in its cache, recovery opens early with deferred
+/// redo pending, then the forward path (a locked scan of every record,
+/// driving the on-demand hook) and a background drain retire the plan.
+/// An armed `restart.redo.*` point kills the acting node mid-retire; the
+/// loops recover (the re-derived plan re-opens the window) and resume
+/// until the window closes, then the standing oracles run.
+fn run_instant_scenario(
+    protocol: ProtocolKind,
+    plan: Option<&FaultPlan>,
+) -> Result<Vec<SiteVisits>, String> {
+    let cfg = DbConfig::small(4, protocol).with_coalesced_forces().with_instant_restart();
+    let mut db = SmDb::new(cfg);
+    let f = FaultInjector::new();
+    db.set_fault_injector(f.clone());
+    run_mix_with_crash(&mut db, params(SEED), None).map_err(|e| format!("mix: {e}"))?;
+    // The mix's trailing checkpoint leaves almost no redo candidates, so
+    // commit a post-checkpoint tail on the doomed node: these updates sit
+    // only in node 0's cache when it dies, guaranteeing the instant
+    // recovery actually defers a plan for the window loops to exercise.
+    for (i, slot) in [1u64, 5, 9, 13, 17, 21].into_iter().enumerate() {
+        let t = db.begin(NodeId(0)).map_err(|e| format!("tail begin: {e}"))?;
+        db.update(t, slot, format!("tail-{i}").as_bytes())
+            .map_err(|e| format!("tail update: {e}"))?;
+        db.commit(t).map_err(|e| format!("tail commit: {e}"))?;
+    }
+    match plan {
+        Some(p) => f.arm(p.clone()),
+        None => f.start_counting(),
+    }
+    db.crash(&[NodeId(0)]);
+    if let Err(e) = db.recover() {
+        drive_recovery(&mut db, e)?;
+    }
+    // One single-entry background batch up front: the full forward scan
+    // below retires every remaining entry on-demand, so without this the
+    // background site would go unvisited on plans the scan fully covers.
+    if db.redo_pending() > 0 {
+        let node = *db.machine().surviving_nodes().first().ok_or("no survivors")?;
+        if let Err(e) = db.drain_redo(node, 1) {
+            drive_recovery(&mut db, e)?;
+        }
+    }
+    // Forward path during the drain window: every record read under locks,
+    // so each line with pending redo walks the on-demand hook.
+    let total = db.record_count() as u64;
+    let mut slot = 0u64;
+    while slot < total {
+        let node = *db.machine().surviving_nodes().first().ok_or("no survivors")?;
+        let t = match db.begin(node) {
+            Ok(t) => t,
+            Err(e) => {
+                drive_recovery(&mut db, e)?;
+                continue;
+            }
+        };
+        match db.read(t, slot) {
+            Ok(_) => {
+                db.commit(t).map_err(|e| format!("slot {slot} commit: {e}"))?;
+                slot += 1;
+            }
+            // The reader died mid-access (on-demand crash point): recover
+            // and retry the same slot on a fresh transaction.
+            Err(e) => drive_recovery(&mut db, e)?,
+        }
+    }
+    // Background drain to completion; a mid-drain crash replans.
+    while db.redo_pending() > 0 {
+        let node = *db.machine().surviving_nodes().first().ok_or("no survivors")?;
+        if let Err(e) = db.drain_redo(node, 4) {
+            drive_recovery(&mut db, e)?;
+        }
+    }
+    let visits = if f.mode() == Mode::Counting {
+        f.take_visits()
+    } else {
+        f.off();
+        Vec::new()
+    };
+    check_oracles(&mut db)?;
+    Ok(visits)
+}
+
+/// The instant-restart drain-window crash points, swept **exhaustively**:
+/// every enumerated visit of `restart.redo.on_demand` (the accessing node
+/// dies before the inline redo of a first-touch line) and
+/// `restart.redo.background` (the draining node dies mid-batch) is
+/// replayed as a single failure for each Table-1 protocol — the second
+/// recovery must re-derive the deferred plan from the same stable log and
+/// still converge to the committed state.
+#[test]
+fn instant_drain_crash_points_swept_exhaustively() {
+    for protocol in ProtocolKind::ifa_protocols() {
+        let visits = run_instant_scenario(protocol, None).expect("count run is crash-free");
+        let mut points: Vec<CrashPoint> = Vec::new();
+        for sv in &visits {
+            if sv.site == FAULT_REDO_ON_DEMAND || sv.site == FAULT_REDO_BACKGROUND {
+                for k in 0..sv.nodes.len() as u64 {
+                    points.push(CrashPoint::new(sv.site, k));
+                }
+            }
+        }
+        assert!(
+            points.iter().any(|p| p.site == FAULT_REDO_ON_DEMAND),
+            "{protocol:?}: forward scan never hit the on-demand redo point"
+        );
+        assert!(
+            points.iter().any(|p| p.site == FAULT_REDO_BACKGROUND),
+            "{protocol:?}: background drain never hit its crash point"
+        );
+        for point in points {
+            run_instant_scenario(protocol, Some(&FaultPlan::single(point)))
                 .unwrap_or_else(|e| panic!("{protocol:?} plan={point} :: {e}"));
         }
     }

@@ -214,6 +214,53 @@ proptest! {
         );
     }
 
+    /// Instant restart's availability contract, as a property: with the
+    /// database opened right after analysis and the whole redo plan still
+    /// deferred, a transaction reading *any* record — before a single
+    /// background batch has run — observes exactly the committed
+    /// pre-crash value the shadow oracle predicts. The on-demand hook is
+    /// what stands between the reader and the stale pre-crash heap image,
+    /// so every mismatch here is a hole in that hook. Afterwards the
+    /// window is drained to empty and the full IFA check must pass.
+    #[test]
+    fn instant_drain_window_reads_serve_committed_values(
+        protocol in prop_oneof![
+            Just(ProtocolKind::VolatileRedoAll),
+            Just(ProtocolKind::VolatileSelectiveRedo),
+            Just(ProtocolKind::StableEager),
+            Just(ProtocolKind::StableTriggered),
+        ],
+        seed in any::<u64>(),
+        sharing in 0.0f64..=1.0,
+        read_fraction in 0.0f64..=0.5,
+        txns in 10usize..40,
+        crash_node in 0u16..4,
+        probes in proptest::collection::vec(any::<u64>(), 1..10),
+    ) {
+        let mut db = SmDb::new(DbConfig::small(4, protocol).with_instant_restart());
+        let params = MixParams { txns, sharing, read_fraction, seed, ..Default::default() };
+        run_mix_with_crash(&mut db, params, None).expect("mix runs");
+        db.crash_and_recover(&[NodeId(crash_node)]).expect("recovery");
+        let reader = db.machine().surviving_nodes()[0];
+        let records = db.record_count() as u64;
+        for probe in probes {
+            let slot = probe % records;
+            let want = db.read_committed(slot).expect("shadow value");
+            let t = db.begin(reader).expect("begin in drain window");
+            let got = db.read(t, slot).expect("read in drain window");
+            db.commit(t).expect("commit in drain window");
+            prop_assert_eq!(
+                got, want,
+                "{:?}: slot {} served a non-committed value mid-window", protocol, slot
+            );
+        }
+        while db.redo_pending() > 0 {
+            db.drain_redo(reader, 3).expect("drain");
+        }
+        let r = db.check_ifa(reader);
+        prop_assert!(r.ok(), "post-drain IFA under {:?}: {:?}", protocol, r.violations);
+    }
+
     /// Multi-node and repeated crashes. The historical failure this found
     /// is pinned as the deterministic
     /// [`sequential_crash_of_both_mix_nodes_stable_eager`] below — keep
