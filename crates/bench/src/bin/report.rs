@@ -7,8 +7,8 @@
 //! ```
 //!
 //! Flags: `--table1 --e1 --e2 --e3 --e4 --e5 --e6 --e7 --e7scale --e8
-//! --e8fwd --e9 --e9lat --e10 --e10elr --e11instant --fast --csv --jobs N
-//! --json [PATH]`
+//! --e8fwd --e9 --e9lat --e10 --e10elr --e11instant --e12mt --fast --csv
+//! --jobs N --json [PATH]`
 //!
 //! Every experiment is a deterministic, independent *cell*; `--jobs N`
 //! fans the cells across N OS threads and merges stdout sections and CSV
@@ -887,6 +887,80 @@ fn e11instant_cell(fast: bool) -> Section {
     Section { text: s, csvs, cycles_per_op: None }
 }
 
+fn e12mt_cell(fast: bool) -> Section {
+    let mut s = String::new();
+    let p = &mut s;
+    let txns = if fast { 800 } else { 4000 };
+    let _ = writeln!(p, "== E12: true multicore execution — epoch lanes on OS threads ==");
+    let _ = writeln!(p, "   (8 nodes, 64 coherence shards, {txns} update txns per cell; wall");
+    let _ = writeln!(p, "    is host time — the only column allowed to vary with threads)\n");
+    let _ = writeln!(
+        p,
+        "{:<16} {:>7} {:>6} {:>10} {:>8} {:>7} {:>7} {:>7} {:>7} {:>8}",
+        "cell",
+        "threads",
+        "txns",
+        "wall-us",
+        "speedup",
+        "epochs",
+        "max-ep",
+        "d-conf",
+        "l-conf",
+        "retries"
+    );
+    let pts = x::e12_multicore(txns);
+    let mut base = std::collections::BTreeMap::new();
+    for pt in &pts {
+        let b = *base.entry(pt.cell.clone()).or_insert(pt.wall_micros);
+        let _ = writeln!(
+            p,
+            "{:<16} {:>7} {:>6} {:>10} {:>7.2}x {:>7} {:>7} {:>7} {:>7} {:>8}",
+            pt.cell,
+            pt.threads,
+            pt.committed,
+            pt.wall_micros,
+            b as f64 / pt.wall_micros.max(1) as f64,
+            pt.epochs,
+            pt.max_epoch_txns,
+            pt.data_conflicts,
+            pt.lock_conflicts,
+            pt.serial_retries,
+        );
+    }
+    let _ = writeln!(
+        p,
+        "   (host has {} cores; speedups on smaller hosts understate the engine)",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let csvs = vec![CsvArtifact {
+        name: "e12_multicore",
+        header: "cell,threads,committed,wall_micros,sim_cycles,epochs,max_epoch_txns,\
+             data_conflicts,lock_conflicts,epoch_waits,serial_retries,state_digest",
+        rows: pts
+            .iter()
+            .map(|pt| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{:016x}",
+                    pt.cell,
+                    pt.threads,
+                    pt.committed,
+                    pt.wall_micros,
+                    pt.sim_cycles,
+                    pt.epochs,
+                    pt.max_epoch_txns,
+                    pt.data_conflicts,
+                    pt.lock_conflicts,
+                    pt.epoch_waits,
+                    pt.serial_retries,
+                    pt.state_digest
+                )
+            })
+            .collect(),
+    }];
+    let _ = writeln!(p);
+    Section { text: s, csvs, cycles_per_op: None }
+}
+
 fn e10_cell() -> Section {
     let mut s = String::new();
     let p = &mut s;
@@ -978,6 +1052,9 @@ fn main() {
             name: "e11_instant_restart",
             run: Box::new(move || e11instant_cell(fast)),
         });
+    }
+    if want(&args, "--e12mt") {
+        cells.push(Cell { name: "e12_multicore", run: Box::new(move || e12mt_cell(fast)) });
     }
 
     let t0 = Instant::now();

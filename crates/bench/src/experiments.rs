@@ -5,7 +5,9 @@ use smdb_core::{DbConfig, ProtocolKind, RecoveryOutcome, SmDb};
 use smdb_lock::LcbGeometry;
 use smdb_obs::Stage;
 use smdb_sim::{contended_line_lock_costs, CoherenceKind, CostModel, NodeId};
-use smdb_workload::{run_mix, run_tp1, spawn_active, spawn_active_parallel, MixParams, Tp1Params};
+use smdb_workload::{
+    run_mix, run_mix_mt, run_tp1, spawn_active, spawn_active_parallel, MixParams, Tp1Params,
+};
 
 /// Standard bench engine: 8 nodes, 4 KiB pages, TP1-capable sizing.
 fn bench_db(protocol: ProtocolKind) -> SmDb {
@@ -1046,6 +1048,119 @@ pub fn e11_instant_restart(txns: usize, checkpoint_every: usize) -> Vec<InstantR
                 redo_skipped_stable: c.skipped_stable,
                 state_digest: digest,
                 matches_committed,
+            });
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// E12 — true multicore execution: epoch-scheduled lanes on OS threads
+// ----------------------------------------------------------------------
+
+/// One cell×thread-count point of the multicore scaling experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MulticorePoint {
+    /// Workload cell (`private_tp1` or `contended_zipf`).
+    pub cell: String,
+    /// OS threads driving the epoch lanes.
+    pub threads: usize,
+    /// Transactions committed (identical across thread counts).
+    pub committed: u64,
+    /// Host wall-clock for the run, microseconds. The only
+    /// non-deterministic column — everything else is byte-identical
+    /// across thread counts by construction.
+    pub wall_micros: u64,
+    /// Simulated machine makespan, cycles (thread-count-invariant).
+    pub sim_cycles: u64,
+    /// Epochs the scheduler split the run into.
+    pub epochs: u64,
+    /// Largest single-epoch admission.
+    pub max_epoch_txns: u64,
+    /// Admissions rejected on a claimed data stripe.
+    pub data_conflicts: u64,
+    /// Admissions rejected on a cross-node lock-name collision.
+    pub lock_conflicts: u64,
+    /// Node-epochs stalled by either conflict.
+    pub epoch_waits: u64,
+    /// Lane footprint escapes re-run serially.
+    pub serial_retries: u64,
+    /// FNV-1a digest of every committed record value (must be identical
+    /// across thread counts within a cell).
+    pub state_digest: u64,
+}
+
+/// Sweep OS threads over the epoch scheduler on two workload shapes: a
+/// TP1-style private-partition update mix (admission packs whole nodes
+/// into disjoint lanes — the scaling headline) and a fully-shared Zipf
+/// hot-spot mix (admission degenerates towards serial epochs — the
+/// honest worst case). Every run asserts the IFA oracle and that the
+/// committed state digest is thread-count-invariant.
+pub fn e12_multicore(txns: usize) -> Vec<MulticorePoint> {
+    let cells: [(&str, MixParams); 2] = [
+        (
+            "private_tp1",
+            MixParams {
+                txns,
+                ops_per_txn: 4,
+                read_fraction: 0.0,
+                sharing: 0.0,
+                shared_slots: 0,
+                zipf_theta: 0.0,
+                seed: 0xE12,
+                ..Default::default()
+            },
+        ),
+        (
+            "contended_zipf",
+            MixParams {
+                txns,
+                ops_per_txn: 4,
+                read_fraction: 0.0,
+                sharing: 1.0,
+                shared_slots: 4,
+                zipf_theta: 0.95,
+                seed: 0xE12,
+                ..Default::default()
+            },
+        ),
+    ];
+    let mut out = Vec::new();
+    for (cell, params) in cells {
+        let mut cell_digest = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut db = SmDb::new(
+                DbConfig::bench(8, ProtocolKind::VolatileSelectiveRedo).with_sim_shards(64),
+            );
+            let t0 = std::time::Instant::now();
+            let (report, o) = run_mix_mt(&mut db, params.clone(), threads).expect("multicore run");
+            let wall_micros = t0.elapsed().as_micros() as u64;
+            db.check_ifa(NodeId(0)).assert_ok();
+            let mut digest = 0xcbf2_9ce4_8422_2325u64;
+            for slot in 0..db.record_count() as u64 {
+                for b in &db.read_committed(slot).expect("record readable") {
+                    digest = (digest ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+                }
+            }
+            match cell_digest {
+                None => cell_digest = Some(digest),
+                Some(d) => {
+                    assert_eq!(d, digest, "{cell}: thread count changed committed state")
+                }
+            }
+            out.push(MulticorePoint {
+                cell: cell.to_string(),
+                threads,
+                committed: report.committed,
+                wall_micros,
+                sim_cycles: report.sim_cycles,
+                epochs: o.epochs,
+                max_epoch_txns: o.max_epoch_txns,
+                data_conflicts: o.data_conflicts,
+                lock_conflicts: o.lock_conflicts,
+                epoch_waits: o.epoch_waits,
+                serial_retries: o.serial_retries,
+                state_digest: digest,
             });
         }
     }

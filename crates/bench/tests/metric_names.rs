@@ -11,7 +11,7 @@
 use smdb_core::{DbConfig, ProtocolKind, SmDb};
 use smdb_obs::names;
 use smdb_sim::NodeId;
-use smdb_workload::{run_mix, run_tp1, spawn_active, MixParams, Tp1Params};
+use smdb_workload::{run_mix, run_mix_mt, run_tp1, spawn_active, MixParams, Tp1Params};
 
 /// Drive every layer that emits metrics: TP1 (engine, lock, WAL, sim),
 /// a checkpointed sharing-heavy mix (LBM forces, coalescing, buffer
@@ -96,6 +96,46 @@ fn instant_restart_counters_fire_and_are_catalogued() {
         names::RESTART_OPEN_EARLY_CYCLES,
         names::RESTART_REDO_ON_DEMAND,
         names::RESTART_REDO_BACKGROUND,
+    ] {
+        assert!(
+            snap.counters.iter().any(|(n, v)| n == name && *v > 0),
+            "expected counter `{name}` to fire"
+        );
+        assert!(names::lookup(name).is_some(), "`{name}` missing from CATALOG");
+    }
+}
+
+#[test]
+fn multicore_counters_fire_and_are_catalogued() {
+    // The epoch-scheduler quadruple never fires in the serial
+    // representative run: light it up with a half-shared Zipf mix under
+    // Stable-LBM coalescing on four threads. Hot shared slots collide on
+    // record names (`lock.shard_conflicts`), private traffic over eight
+    // stripes collides by page hash (`sim.shard_conflicts`), both stall
+    // nodes across epochs (`engine.epoch_waits`), and lane commits
+    // draining pending coalesced-force windows feed
+    // `wal.appender_stalls`.
+    let mut db = SmDb::new(
+        DbConfig::small(4, ProtocolKind::StableEager).with_sim_shards(8).with_coalesced_forces(),
+    );
+    db.enable_observability(0);
+    let p = MixParams {
+        txns: 120,
+        ops_per_txn: 4,
+        read_fraction: 0.0,
+        sharing: 0.5,
+        shared_slots: 4,
+        zipf_theta: 0.95,
+        seed: 0xC0,
+        ..Default::default()
+    };
+    run_mix_mt(&mut db, p, 4).expect("mt run");
+    let snap = db.observability().metrics.snapshot();
+    for name in [
+        names::SIM_SHARD_CONFLICTS,
+        names::LOCK_SHARD_CONFLICTS,
+        names::ENGINE_EPOCH_WAITS,
+        names::WAL_APPENDER_STALLS,
     ] {
         assert!(
             snap.counters.iter().any(|(n, v)| n == name && *v > 0),

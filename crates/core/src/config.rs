@@ -188,6 +188,14 @@ pub struct DbConfig {
     /// the full redo pass. The FA-only baseline and total failures always
     /// recover eagerly.
     pub instant_restart: bool,
+    /// Number of independent shards the simulated machine's coherence
+    /// directory and line store are striped into. `1` (the default)
+    /// reproduces the historical single-array layout byte-for-byte; larger
+    /// values enable the multicore execution engine
+    /// ([`crate::mt`]), which detaches disjoint stripe sets into
+    /// per-thread execution lanes. The stripe granule is always
+    /// `lines_per_page` so one page never straddles shards.
+    pub sim_shards: usize,
 }
 
 impl DbConfig {
@@ -213,6 +221,7 @@ impl DbConfig {
             early_lock_release: false,
             lock_poll: false,
             instant_restart: false,
+            sim_shards: 1,
         }
     }
 
@@ -237,6 +246,7 @@ impl DbConfig {
             early_lock_release: false,
             lock_poll: false,
             instant_restart: false,
+            sim_shards: 1,
         }
     }
 
@@ -286,6 +296,14 @@ impl DbConfig {
     /// background heap redo).
     pub fn with_instant_restart(mut self) -> Self {
         self.instant_restart = true;
+        self
+    }
+
+    /// Stripe the machine's coherence directory into `shards` shards
+    /// (enables [`crate::mt`] execution lanes). Must be non-zero.
+    pub fn with_sim_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be non-zero");
+        self.sim_shards = shards;
         self
     }
 }

@@ -139,6 +139,13 @@ pub struct SmDb {
     /// Deferred heap redo of an instant restart (the plan remainder after
     /// the early open), drained on demand and in the background.
     pub(crate) instant: InstantRedoState,
+    /// Epoch-parallel lane marker (see [`crate::mt`]). `Some` makes this
+    /// engine an execution lane: the set holds every `(txn, lock name)`
+    /// pair the deterministic epoch scheduler granted *serially* on the
+    /// parent manager before the lane ran, so [`SmDb::lock_from`] treats
+    /// membership as a grant without touching the (parent-owned) lock
+    /// table, and treats a miss as a footprint violation to escalate.
+    pub(crate) mt_granted: Option<BTreeSet<(TxnId, u64)>>,
 }
 
 /// Construct a [`TreeCtx`] over the engine's split-borrowed fields.
@@ -172,6 +179,8 @@ impl SmDb {
             coherence: cfg.coherence,
             cost: cfg.cost.clone(),
             stall_on_lost: cfg.stall_on_lost,
+            shards: cfg.sim_shards,
+            stripe_lines: cfg.lines_per_page as u64,
         };
         let mut m = Machine::new(sim_cfg);
         let mut sdb = StableDb::new(geometry);
@@ -239,6 +248,7 @@ impl SmDb {
             violations: ViolationTable::new(),
             inherited_deps: BTreeMap::new(),
             instant: InstantRedoState::default(),
+            mt_granted: None,
         }
     }
 
@@ -494,6 +504,20 @@ impl SmDb {
         mode: LockMode,
         acting: NodeId,
     ) -> Result<(), DbError> {
+        // Execution lane (epoch-parallel): every lock this lane's
+        // transactions may touch was granted serially by the scheduler on
+        // the parent manager before the lane ran, in its strongest needed
+        // mode. Membership is the grant; the LCB lines stay parent-owned
+        // and are never touched from a lane. A miss means the admitted
+        // footprint was wrong — surface it as a conflict so the lane
+        // aborts the transaction and the scheduler retries it serially.
+        if let Some(granted) = &self.mt_granted {
+            if granted.contains(&(txn, name)) {
+                return Ok(());
+            }
+            self.stats.would_blocks += 1;
+            return Err(DbError::WouldBlock { txn, lock: name });
+        }
         let spans_on = self.m.obs().spans.is_enabled();
         let t0 = if spans_on { self.m.now(acting) } else { 0 };
         let outcome = if self.cfg.lock_poll {
@@ -1034,11 +1058,18 @@ impl SmDb {
             .bus
             .emit(self.m.now(node), || ObsEvent::WalAppend { node: node.0, lsn: lsn.0 });
         let pending = if obs_on { self.unforced_records(node) } else { 0 };
+        let had_window = self.logs.log(node).pending_force().is_some();
         if self.logs.force_to_checked(node, lsn)? {
             let cost = self.m.config().cost.log_force;
             self.m.advance(node, cost);
             self.stats.commit_forces += 1;
             force_wait += cost;
+            // In an execution lane (see [`crate::mt`]) the per-node
+            // appender stalled the committer to drain a pending
+            // coalesced-force window it would otherwise have absorbed.
+            if had_window && self.mt_granted.is_some() {
+                self.m.obs().metrics.inc(names::WAL_APPENDER_STALLS);
+            }
             if obs_on {
                 self.note_wal_force(node, pending, ForceReason::Commit);
             }

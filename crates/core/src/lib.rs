@@ -59,6 +59,7 @@
 mod config;
 mod engine;
 mod error;
+pub mod mt;
 mod oracle;
 mod record;
 mod restart;
@@ -68,6 +69,7 @@ mod txn;
 pub use config::{DbConfig, ProtocolKind, RestartScheme};
 pub use engine::{SmDb, FAULT_COMMIT, FAULT_COMMIT_DEP};
 pub use error::DbError;
+pub use mt::{MtOp, MtOutcome, MtTxn, SITE_ADMIT};
 pub use oracle::{IfaReport, ShadowDb};
 pub use record::RecordLayout;
 pub use restart::{

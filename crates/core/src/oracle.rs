@@ -193,6 +193,41 @@ impl ShadowDb {
         map
     }
 
+    /// An empty shadow for an execution lane (epoch-parallel execution),
+    /// with the write-sequence counter seeded from the parent. Sibling
+    /// lanes start from the same seed, but the epoch scheduler only
+    /// admits transactions with pairwise-disjoint footprints across
+    /// lanes, so no two lanes ever stamp the same slot or key — equal
+    /// stamps never meet at a merge.
+    pub fn lane_fork(&self) -> ShadowDb {
+        ShadowDb { seq: self.seq, ..ShadowDb::default() }
+    }
+
+    /// Fold a lane shadow back into the parent at an epoch barrier,
+    /// applying the same newest-write-wins rule as [`ShadowDb::commit`].
+    /// The parent's sequence counter advances past every stamp the lane
+    /// issued, so later epochs always out-stamp earlier ones.
+    pub fn absorb(&mut self, lane: ShadowDb) {
+        assert!(lane.pending.is_empty(), "lane shadow merged with pending transactions");
+        for (slot, (seq, v)) in lane.committed {
+            match self.committed.get(&slot) {
+                Some((have, _)) if *have > seq => {}
+                _ => {
+                    self.committed.insert(slot, (seq, v));
+                }
+            }
+        }
+        for (key, (seq, op)) in lane.committed_index {
+            match self.committed_index.get(&key) {
+                Some((have, _)) if *have > seq => {}
+                _ => {
+                    self.committed_index.insert(key, (seq, op));
+                }
+            }
+        }
+        self.seq = self.seq.max(lane.seq);
+    }
+
     /// Record slots any pending transaction has written (for lock checks).
     pub fn pending_slots(&self, txn: TxnId) -> Vec<u64> {
         self.pending.get(&txn).map(|p| p.writes.keys().copied().collect()).unwrap_or_default()

@@ -97,6 +97,40 @@ impl EngineStats {
             dep_aborts
         )
     }
+
+    /// Fold an execution lane's counters into this one at an epoch
+    /// barrier. Counter addition commutes, so sibling-lane merge order
+    /// cannot change the totals.
+    pub fn absorb(&mut self, other: &EngineStats) {
+        macro_rules! a {
+            ($($f:ident),*) => {
+                $(self.$f += other.$f;)*
+            };
+        }
+        a!(
+            begins,
+            commits,
+            voluntary_aborts,
+            crash_aborts,
+            reads,
+            updates,
+            index_inserts,
+            index_deletes,
+            undo_tag_writes,
+            undo_tag_bytes,
+            commit_forces,
+            lbm_forces,
+            lbm_force_requests,
+            wal_flush_forces,
+            structural_early_commits,
+            page_flushes,
+            checkpoints,
+            would_blocks,
+            early_lock_releases,
+            commit_deps,
+            dep_aborts
+        );
+    }
 }
 
 #[cfg(test)]

@@ -113,6 +113,22 @@ pub struct LockStats {
     pub early_released: u64,
 }
 
+impl LockStats {
+    /// Fold an execution lane's counters into this one (epoch-barrier
+    /// merge; see `LockManager::lane_fork`).
+    pub fn absorb(&mut self, other: &LockStats) {
+        self.acquires += other.acquires;
+        self.shared_acquires += other.shared_acquires;
+        self.exclusive_acquires += other.exclusive_acquires;
+        self.waits += other.waits;
+        self.releases += other.releases;
+        self.promotions += other.promotions;
+        self.overflow_allocs += other.overflow_allocs;
+        self.fast_hits += other.fast_hits;
+        self.early_released += other.early_released;
+    }
+}
+
 const CHAIN_INLINE: usize = 8;
 
 /// Sentinel for "no acquire timestamp recorded" (observability disabled
@@ -454,6 +470,30 @@ impl LockManager {
     /// Manager statistics.
     pub fn stats(&self) -> &LockStats {
         &self.stats
+    }
+
+    /// A detached manager for an execution lane (epoch-parallel
+    /// execution). The lane sees the same table geometry (its placement
+    /// cache is verify-on-hit, so a stale clone self-corrects) but starts
+    /// with empty chains and zeroed stats: the deterministic epoch
+    /// scheduler grants record locks serially on the *parent* manager
+    /// before the lane runs, so the only lock-manager calls a lane makes
+    /// are end-of-transaction `release_all`s, which find no chain and
+    /// touch no shared memory. Fold the lane back with
+    /// [`LockManager::lane_absorb`].
+    pub fn lane_fork(&self) -> LockManager {
+        LockManager {
+            table: self.table.clone(),
+            chains: TxnChains::new(),
+            stats: LockStats::default(),
+        }
+    }
+
+    /// Fold a lane manager's counters back into the parent at an epoch
+    /// barrier. Counter addition commutes, so sibling-lane merge order
+    /// cannot change the totals.
+    pub fn lane_absorb(&mut self, lane: &LockManager) {
+        self.stats.absorb(&lane.stats);
     }
 
     /// Locks currently held by `txn` (from the volatile chain), in

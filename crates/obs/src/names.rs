@@ -45,6 +45,10 @@ pub struct MetricDef {
 }
 
 // -- core / engine ------------------------------------------------------
+/// Epochs in which a node's next transaction could not be admitted
+/// because its stripe footprint or lock names collided with another
+/// node's admitted work.
+pub const ENGINE_EPOCH_WAITS: &str = "engine.epoch_waits";
 /// Simulated cycles per completed record update.
 pub const ENGINE_UPDATE_CYCLES: &str = "engine.update_cycles";
 /// Transactions finished by abort (voluntary or retry).
@@ -66,16 +70,27 @@ pub const LOCK_EARLY_RELEASED: &str = "lock.early_released";
 pub const LOCK_FAST_HITS: &str = "lock.fast_hits";
 /// Simulated cycles each logical lock was held.
 pub const LOCK_HOLD_CYCLES: &str = "lock.hold_cycles";
+/// Epoch admissions rejected because a record lock was still held by a
+/// transaction admitted for another node (cross-node name collision in
+/// the striped lock space).
+pub const LOCK_SHARD_CONFLICTS: &str = "lock.shard_conflicts";
 
 // -- sim ----------------------------------------------------------------
 /// Buffer-pool line reuses that avoided a stable read.
 pub const SIM_BUF_REUSE: &str = "sim.buf_reuse";
 /// Open-addressed line-index probe steps.
 pub const SIM_INDEX_PROBES: &str = "sim.index_probes";
+/// Epoch admissions rejected because a data-page stripe was already
+/// claimed by another node's execution lane.
+pub const SIM_SHARD_CONFLICTS: &str = "sim.shard_conflicts";
 
 // -- wal ----------------------------------------------------------------
 /// Undo+redo image bytes appended to in-memory log tails.
 pub const WAL_APPEND_BYTES: &str = "wal.append_bytes";
+/// Per-node WAL appender synchronous drains: a lane commit (or the epoch
+/// barrier) had to drain a pending coalesced-force window physically
+/// before proceeding.
+pub const WAL_APPENDER_STALLS: &str = "wal.appender_stalls";
 /// Records made durable per physical force.
 pub const WAL_FORCE_RECORDS: &str = "wal.force_records";
 /// Force requests absorbed into the coalescing window.
@@ -125,6 +140,12 @@ pub const RECOVERY_PHASE_OTHER: &str = "recovery.phase.other";
 /// Every catalogued metric, sorted by name.
 pub const CATALOG: &[MetricDef] = &[
     MetricDef {
+        name: ENGINE_EPOCH_WAITS,
+        kind: MetricKind::Counter,
+        layer: "core",
+        help: "Node-epochs stalled by a stripe or lock admission conflict",
+    },
+    MetricDef {
         name: ENGINE_UPDATE_CYCLES,
         kind: MetricKind::Histogram,
         layer: "core",
@@ -147,6 +168,12 @@ pub const CATALOG: &[MetricDef] = &[
         kind: MetricKind::Histogram,
         layer: "lock",
         help: "Simulated cycles each logical lock was held",
+    },
+    MetricDef {
+        name: LOCK_SHARD_CONFLICTS,
+        kind: MetricKind::Counter,
+        layer: "lock",
+        help: "Epoch admissions rejected by a cross-node lock-name collision",
     },
     MetricDef {
         name: RECOVERY_PHASE_CACHE_DISCARD,
@@ -269,6 +296,12 @@ pub const CATALOG: &[MetricDef] = &[
         help: "Open-addressed line-index probe steps",
     },
     MetricDef {
+        name: SIM_SHARD_CONFLICTS,
+        kind: MetricKind::Counter,
+        layer: "sim",
+        help: "Epoch admissions rejected by a claimed data-page stripe",
+    },
+    MetricDef {
         name: TXN_ABORTED,
         kind: MetricKind::Counter,
         layer: "core",
@@ -303,6 +336,12 @@ pub const CATALOG: &[MetricDef] = &[
         kind: MetricKind::Counter,
         layer: "wal",
         help: "Undo+redo image bytes appended to in-memory log tails",
+    },
+    MetricDef {
+        name: WAL_APPENDER_STALLS,
+        kind: MetricKind::Counter,
+        layer: "wal",
+        help: "Per-node appender drains of a pending coalesced-force window",
     },
     MetricDef {
         name: WAL_FORCE_RECORDS,

@@ -49,6 +49,12 @@ pub enum MemError {
         /// Which invariant was violated.
         what: &'static str,
     },
+    /// The line's stripe is not owned by this execution lane (see
+    /// [`crate::Machine::lane_split`]): the access would touch a shard
+    /// detached to a sibling lane or retained by the parent. The caller
+    /// must escalate the operation to a serial (between-epochs) retry on
+    /// the parent machine.
+    ForeignStripe { line: LineId },
 }
 
 impl fmt::Display for MemError {
@@ -76,6 +82,9 @@ impl fmt::Display for MemError {
             MemError::NoSuchNode { node } => write!(f, "no such node: {node}"),
             MemError::FaultCrash(c) => write!(f, "injected crash point fired: {c}"),
             MemError::Corrupted { what } => write!(f, "shared structure corrupted: {what}"),
+            MemError::ForeignStripe { line } => {
+                write!(f, "{line:?} is outside this execution lane's stripes")
+            }
         }
     }
 }

@@ -31,6 +31,7 @@ const TOMB: u32 = u32::MAX - 1;
 
 /// Open-addressed `LineId → slot` index (linear probing, power-of-two
 /// capacity, Fibonacci hashing).
+#[derive(Debug)]
 pub(crate) struct LineIndex {
     keys: Vec<u64>,
     vals: Vec<u32>,

@@ -101,6 +101,54 @@ struct NodeState {
     crashed: bool,
 }
 
+/// One independent stripe of the coherence directory and line store: its
+/// own open-addressed index, slot array, data arena, and free list. With
+/// `SimConfig::shards == 1` the single shard reproduces the historical
+/// flat layout exactly. Shards are the unit of ownership transfer for
+/// parallel execution lanes ([`Machine::lane_split`]): a lane machine
+/// holds the detached shards it owns and an unowned sentinel (empty,
+/// `owned == false`) in every other position, so any access outside the
+/// lane's stripe set fails loudly instead of corrupting foreign state.
+#[derive(Debug)]
+struct CoherShard {
+    index: LineIndex,
+    slots: Vec<Slot>,
+    /// Line data arena: slot `i` owns bytes `i*line_size .. (i+1)*line_size`.
+    data: Vec<u8>,
+    free: Vec<u32>,
+    /// Slots recycled from the free list instead of growing the arena.
+    buf_reuse: u64,
+    /// False only for sentinel positions inside a detached lane machine.
+    owned: bool,
+}
+
+impl CoherShard {
+    fn new() -> Self {
+        CoherShard {
+            index: LineIndex::with_capacity(1024),
+            slots: Vec::new(),
+            data: Vec::new(),
+            free: Vec::new(),
+            buf_reuse: 0,
+            owned: true,
+        }
+    }
+
+    /// Empty unowned sentinel for lane positions outside the lane's
+    /// stripe set. Lookups against it find nothing; mutation paths check
+    /// `owned` and fail with [`MemError::ForeignStripe`].
+    fn foreign() -> Self {
+        CoherShard { owned: false, ..CoherShard::new() }
+    }
+}
+
+/// Internal slot address: shard number + slot index within that shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Loc {
+    sh: u32,
+    slot: u32,
+}
+
 /// What kind of coherence transition threatens an active line (§5.2).
 ///
 /// *"the latest point at which the Stable LBM policies must be enforced
@@ -162,18 +210,18 @@ pub struct FlatStats {
 /// The simulated multiprocessor. See the crate-level docs for an overview.
 pub struct Machine {
     cfg: SimConfig,
-    index: LineIndex,
-    slots: Vec<Slot>,
-    /// Line data arena: slot `i` owns bytes `i*line_size .. (i+1)*line_size`.
-    data: Vec<u8>,
-    free: Vec<u32>,
+    shards: Vec<CoherShard>,
     nodes: Vec<NodeState>,
     stats: SimStats,
     trace: Trace,
     obs: Obs,
     fault: FaultInjector,
     next_dynamic: u64,
-    buf_reuse: u64,
+    /// True for machines produced by [`Machine::lane_split`]: dynamic line
+    /// allocation is refused (it would race the parent's allocator) and
+    /// accesses outside the owned stripes fail with
+    /// [`MemError::ForeignStripe`].
+    lane: bool,
     /// Lines an instant restart left with pending redo. Coherent access
     /// (read/write/line lock) is refused until the mark is cleared, so the
     /// coherence protocol can never migrate or replicate stale bytes;
@@ -185,20 +233,20 @@ impl Machine {
     /// Build a machine from a configuration.
     pub fn new(cfg: SimConfig) -> Self {
         assert!(cfg.nodes > 0, "machine needs at least one node");
+        assert!(cfg.shards > 0, "machine needs at least one shard");
+        assert!(cfg.stripe_lines > 0, "stripe granule must be non-zero");
         let nodes = (0..cfg.nodes).map(|_| NodeState { clock: 0, crashed: false }).collect();
+        let shards = (0..cfg.shards).map(|_| CoherShard::new()).collect();
         Machine {
             cfg,
-            index: LineIndex::with_capacity(1024),
-            slots: Vec::new(),
-            data: Vec::new(),
-            free: Vec::new(),
+            shards,
             nodes,
             stats: SimStats::default(),
             trace: Trace::default(),
             obs: Obs::new(),
             fault: FaultInjector::new(),
             next_dynamic: LineId::DYNAMIC_BASE,
-            buf_reuse: 0,
+            lane: false,
             unrecovered: BTreeSet::new(),
         }
     }
@@ -243,16 +291,31 @@ impl Machine {
         self.stats = SimStats::default();
     }
 
-    /// Diagnostic counters for the flat line store (slot/index health).
+    /// Diagnostic counters for the flat line store (slot/index health),
+    /// aggregated across shards.
     pub fn flat_stats(&self) -> FlatStats {
-        FlatStats {
-            live_lines: self.index.len(),
-            slots: self.slots.len(),
-            free_slots: self.free.len(),
-            index_capacity: self.index.capacity(),
-            index_probes: self.index.probe_count(),
-            buf_reuse: self.buf_reuse,
+        let mut fs = FlatStats::default();
+        for sh in &self.shards {
+            fs.live_lines += sh.index.len();
+            fs.slots += sh.slots.len();
+            fs.free_slots += sh.free.len();
+            fs.index_capacity += sh.index.capacity();
+            fs.index_probes += sh.index.probe_count();
+            fs.buf_reuse += sh.buf_reuse;
         }
+        fs
+    }
+
+    /// Number of directory/line-store shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which stripe (shard) `line` maps to: consecutive runs of
+    /// `stripe_lines` line addresses share a stripe, round-robin across
+    /// the shards.
+    pub fn stripe_of(&self, line: LineId) -> u32 {
+        ((line.0 / self.cfg.stripe_lines) % self.shards.len() as u64) as u32
     }
 
     /// Enable coherence-event tracing with a bounded ring of `capacity`
@@ -353,70 +416,108 @@ impl Machine {
     // Slot plumbing
     // ------------------------------------------------------------------
 
+    /// Shard index for `line` (always in range; may be an unowned
+    /// sentinel inside a lane machine).
+    #[inline]
+    fn shard_idx(&self, line: LineId) -> usize {
+        ((line.0 / self.cfg.stripe_lines) % self.shards.len() as u64) as usize
+    }
+
+    /// Error unless `line`'s stripe is owned by this machine. Only lane
+    /// machines can fail this check.
+    #[inline]
+    fn check_owned(&self, line: LineId) -> Result<usize, MemError> {
+        let sh = self.shard_idx(line);
+        if self.shards[sh].owned {
+            Ok(sh)
+        } else {
+            Err(MemError::ForeignStripe { line })
+        }
+    }
+
     /// Index lookup, mirroring probe steps onto the `sim.index_probes`
     /// counter (one relaxed load + branch when observability is off).
+    /// Unowned sentinel shards are empty, so foreign lines simply miss.
     #[inline]
-    fn slot_of(&self, line: LineId) -> Option<u32> {
-        let before = self.index.probe_count();
-        let slot = self.index.get(line.0);
-        self.obs.metrics.add(METRIC_INDEX_PROBES, self.index.probe_count() - before);
-        slot
+    fn slot_of(&self, line: LineId) -> Option<Loc> {
+        let sh = self.shard_idx(line);
+        let shard = &self.shards[sh];
+        let before = shard.index.probe_count();
+        let slot = shard.index.get(line.0);
+        self.obs.metrics.add(METRIC_INDEX_PROBES, shard.index.probe_count() - before);
+        slot.map(|slot| Loc { sh: sh as u32, slot })
     }
 
     #[inline]
-    fn line_data(&self, slot: u32) -> &[u8] {
+    fn slot(&self, l: Loc) -> &Slot {
+        &self.shards[l.sh as usize].slots[l.slot as usize]
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, l: Loc) -> &mut Slot {
+        &mut self.shards[l.sh as usize].slots[l.slot as usize]
+    }
+
+    #[inline]
+    fn line_data(&self, l: Loc) -> &[u8] {
         let ls = self.cfg.line_size;
-        let off = slot as usize * ls;
-        &self.data[off..off + ls]
+        let off = l.slot as usize * ls;
+        &self.shards[l.sh as usize].data[off..off + ls]
     }
 
-    /// Occupy a slot for `line`, exclusive in `owner`. Recycles the free
-    /// list before growing the arena.
-    fn alloc_slot(&mut self, line: LineId, owner: NodeId) -> u32 {
-        let slot = match self.free.pop() {
+    /// Occupy a slot for `line` in its stripe's shard, exclusive in
+    /// `owner`. Recycles the shard's free list before growing its arena.
+    /// The caller must have verified ownership via [`Machine::check_owned`].
+    fn alloc_slot(&mut self, line: LineId, owner: NodeId) -> Loc {
+        let sh = self.shard_idx(line);
+        debug_assert!(self.shards[sh].owned, "alloc_slot on a foreign stripe");
+        let line_size = self.cfg.line_size;
+        let shard = &mut self.shards[sh];
+        let slot = match shard.free.pop() {
             Some(s) => {
-                self.buf_reuse += 1;
+                shard.buf_reuse += 1;
                 self.obs.metrics.inc(METRIC_BUF_REUSE);
                 s
             }
             None => {
-                let s = self.slots.len() as u32;
-                self.slots.push(Slot::vacant());
-                self.data.resize(self.data.len() + self.cfg.line_size, 0);
+                let s = shard.slots.len() as u32;
+                shard.slots.push(Slot::vacant());
+                shard.data.resize(shard.data.len() + line_size, 0);
                 s
             }
         };
-        let sl = &mut self.slots[slot as usize];
+        let sl = &mut shard.slots[slot as usize];
         sl.line = line;
         sl.live = true;
         sl.lost = false;
         sl.locked_by = None;
         sl.active_owner = None;
         sl.holders = HolderSet::single(owner);
-        self.index.insert(line.0, slot);
-        slot
+        shard.index.insert(line.0, slot);
+        Loc { sh: sh as u32, slot }
     }
 
-    /// Return a slot to the free list (the line ceases to exist).
-    fn free_slot(&mut self, slot: u32) {
-        let sl = &mut self.slots[slot as usize];
+    /// Return a slot to its shard's free list (the line ceases to exist).
+    fn free_slot(&mut self, l: Loc) {
+        let shard = &mut self.shards[l.sh as usize];
+        let sl = &mut shard.slots[l.slot as usize];
         debug_assert!(sl.live);
-        self.index.remove(sl.line.0);
+        shard.index.remove(sl.line.0);
         sl.live = false;
         sl.lost = false;
         sl.locked_by = None;
         sl.active_owner = None;
         sl.holders.clear();
-        self.free.push(slot);
+        shard.free.push(l.slot);
     }
 
     /// Overwrite a slot's data window with `data`, zero-padded to the line
     /// size.
-    fn write_line_padded(&mut self, slot: u32, data: &[u8]) {
+    fn write_line_padded(&mut self, l: Loc, data: &[u8]) {
         let ls = self.cfg.line_size;
         assert!(data.len() <= ls, "initialiser longer than a cache line");
-        let off = slot as usize * ls;
-        let win = &mut self.data[off..off + ls];
+        let off = l.slot as usize * ls;
+        let win = &mut self.shards[l.sh as usize].data[off..off + ls];
         win[..data.len()].copy_from_slice(data);
         win[data.len()..].fill(0);
     }
@@ -436,6 +537,7 @@ impl Machine {
         data: &[u8],
     ) -> Result<(), MemError> {
         self.check_node(node)?;
+        self.check_owned(line)?;
         if self.slot_of(line).is_some() {
             return Err(MemError::AlreadyExists { line });
         }
@@ -448,7 +550,13 @@ impl Machine {
 
     /// Dynamically allocate a fresh line (addresses above
     /// [`LineId::DYNAMIC_BASE`]), initially exclusive in `node`'s cache.
+    /// Refused inside an execution lane: the dynamic-address allocator is
+    /// owned by the parent machine, so the caller must escalate to a
+    /// serial (between-epochs) retry.
     pub fn alloc_line(&mut self, node: NodeId, data: &[u8]) -> Result<LineId, MemError> {
+        if self.lane {
+            return Err(MemError::ForeignStripe { line: LineId(self.next_dynamic) });
+        }
         let line = LineId(self.next_dynamic);
         self.next_dynamic += 1;
         self.create_line_at(node, line, data)?;
@@ -459,13 +567,14 @@ impl Machine {
     // Access checks shared by read/write/getline
     // ------------------------------------------------------------------
 
-    fn check_access(&mut self, node: NodeId, line: LineId) -> Result<u32, MemError> {
+    fn check_access(&mut self, node: NodeId, line: LineId) -> Result<Loc, MemError> {
         self.check_node(node)?;
+        self.check_owned(line)?;
         let slot = match self.slot_of(line) {
             None => return Err(MemError::NotResident { line }),
             Some(s) => s,
         };
-        let sl = &self.slots[slot as usize];
+        let sl = self.slot(slot);
         if sl.lost {
             self.stats.lost_line_accesses += 1;
             return if self.cfg.stall_on_lost {
@@ -492,9 +601,9 @@ impl Machine {
 
     /// The coherence transition + accounting for a read, after
     /// `check_access` succeeded.
-    fn do_read(&mut self, node: NodeId, line: LineId, slot: u32) {
+    fn do_read(&mut self, node: NodeId, line: LineId, slot: Loc) {
         self.stats.reads += 1;
-        let sl = &self.slots[slot as usize];
+        let sl = self.slot(slot);
         if sl.holders.contains(node) {
             self.stats.local_hits += 1;
             self.charge(node, self.cfg.cost.local_hit);
@@ -512,7 +621,7 @@ impl Machine {
                 self.stats.replications += 1;
                 self.stats.downgrades += 1;
             }
-            self.slots[slot as usize].holders.insert(node);
+            self.slot_mut(slot).holders.insert(node);
             self.stats.remote_transfers += 1;
             self.charge(node, self.cfg.cost.remote_transfer);
             self.trace.emit(TraceEvent::ReadRemote { node, line, downgraded });
@@ -583,7 +692,7 @@ impl Machine {
         }
         self.stats.writes += 1;
         let (holder_count, locally_held) = {
-            let h = &self.slots[slot as usize].holders;
+            let h = &self.slot(slot).holders;
             (h.len(), h.contains(node))
         };
         // Crash point: the transition is about to move or destroy copies.
@@ -627,8 +736,7 @@ impl Machine {
                         migration,
                     });
                 }
-                let sl = &mut self.slots[slot as usize];
-                sl.holders = HolderSet::single(node);
+                self.slot_mut(slot).holders = HolderSet::single(node);
             }
             CoherenceKind::WriteBroadcast => {
                 if !locally_held {
@@ -649,12 +757,12 @@ impl Machine {
                     line: line.0,
                     updated,
                 });
-                self.slots[slot as usize].holders.insert(node);
+                self.slot_mut(slot).holders.insert(node);
             }
         }
         let ls = self.cfg.line_size;
-        let off = slot as usize * ls + offset;
-        self.data[off..off + data.len()].copy_from_slice(data);
+        let off = slot.slot as usize * ls + offset;
+        self.shards[slot.sh as usize].data[off..off + data.len()].copy_from_slice(data);
         Ok(())
     }
 
@@ -668,11 +776,11 @@ impl Machine {
     /// Re-acquisition by the current holder is a no-op.
     pub fn getline(&mut self, node: NodeId, line: LineId) -> Result<(), MemError> {
         let slot = self.check_access(node, line)?;
-        if self.slots[slot as usize].locked_by == Some(node) {
+        if self.slot(slot).locked_by == Some(node) {
             return Ok(());
         }
         let (holder_count, locally_held) = {
-            let h = &self.slots[slot as usize].holders;
+            let h = &self.slot(slot).holders;
             (h.len(), h.contains(node))
         };
         // Crash point: acquiring the line lock migrates/invalidates copies.
@@ -687,11 +795,11 @@ impl Machine {
             // remote copies (writes update them in place); it only pins
             // mutual exclusion and ensures a local copy.
             if !locally_held {
-                self.slots[slot as usize].holders.insert(node);
+                self.slot_mut(slot).holders.insert(node);
                 self.stats.remote_transfers += 1;
                 self.charge(node, self.cfg.cost.remote_transfer);
             }
-            self.slots[slot as usize].locked_by = Some(node);
+            self.slot_mut(slot).locked_by = Some(node);
             self.stats.line_lock_acquires += 1;
             self.charge(node, self.cfg.cost.line_lock_acquire);
             return Ok(());
@@ -710,7 +818,7 @@ impl Machine {
             self.stats.invalidations += invalidated;
             self.charge(node, self.cfg.cost.invalidate * invalidated);
         }
-        let sl = &mut self.slots[slot as usize];
+        let sl = self.slot_mut(slot);
         sl.holders = HolderSet::single(node);
         sl.locked_by = Some(node);
         self.stats.line_lock_acquires += 1;
@@ -726,8 +834,9 @@ impl Machine {
     /// Release a line lock held by `node`.
     pub fn releaseline(&mut self, node: NodeId, line: LineId) -> Result<(), MemError> {
         self.check_node(node)?;
+        self.check_owned(line)?;
         let slot = self.slot_of(line).ok_or(MemError::NotResident { line })?;
-        let sl = &mut self.slots[slot as usize];
+        let sl = self.slot_mut(slot);
         if sl.locked_by != Some(node) {
             return Err(MemError::NotLockHolder { line, node });
         }
@@ -743,7 +852,7 @@ impl Machine {
 
     /// The current line-lock holder, if any.
     pub fn line_lock_holder(&self, line: LineId) -> Option<NodeId> {
-        self.slot_of(line).and_then(|s| self.slots[s as usize].locked_by)
+        self.slot_of(line).and_then(|s| self.slot(s).locked_by)
     }
 
     // ------------------------------------------------------------------
@@ -754,21 +863,23 @@ impl Machine {
     /// whose log records have not yet been forced to stable store. This is
     /// the one-bit-per-line coherence extension proposed in §5.2.
     pub fn set_active(&mut self, line: LineId, owner: NodeId) {
+        debug_assert!(self.check_owned(line).is_ok(), "set_active on a foreign stripe");
         if let Some(s) = self.slot_of(line) {
-            self.slots[s as usize].active_owner = Some(owner);
+            self.slot_mut(s).active_owner = Some(owner);
         }
     }
 
     /// Clear the active bit (called after the owner forces its log).
     pub fn clear_active(&mut self, line: LineId) {
+        debug_assert!(self.check_owned(line).is_ok(), "clear_active on a foreign stripe");
         if let Some(s) = self.slot_of(line) {
-            self.slots[s as usize].active_owner = None;
+            self.slot_mut(s).active_owner = None;
         }
     }
 
     /// The node whose unforced update marks this line active, if any.
     pub fn active_owner(&self, line: LineId) -> Option<NodeId> {
-        self.slot_of(line).and_then(|s| self.slots[s as usize].active_owner)
+        self.slot_of(line).and_then(|s| self.slot(s).active_owner)
     }
 
     /// Report the coherence transition that an access by `node` to `line`
@@ -782,7 +893,7 @@ impl Machine {
         line: LineId,
         is_write: bool,
     ) -> Option<TriggerEvent> {
-        let sl = &self.slots[self.slot_of(line)? as usize];
+        let sl = self.slot(self.slot_of(line)?);
         let owner = sl.active_owner?;
         if owner == node {
             return None;
@@ -842,29 +953,31 @@ impl Machine {
             return report;
         }
         let crashed = &report.crashed;
-        for sl in self.slots.iter_mut() {
-            if !sl.live {
-                continue;
-            }
-            if !sl.lost {
-                sl.holders.retain(|n| !crashed.contains(&n));
-                if sl.holders.is_empty() {
-                    sl.lost = true;
-                    report.lost_lines.push(sl.line);
-                    self.stats.lines_lost += 1;
+        for shard in self.shards.iter_mut() {
+            for sl in shard.slots.iter_mut() {
+                if !sl.live {
+                    continue;
                 }
-            }
-            if let Some(h) = sl.locked_by {
-                if crashed.contains(&h) {
-                    sl.locked_by = None;
-                    report.broken_line_locks.push(sl.line);
+                if !sl.lost {
+                    sl.holders.retain(|n| !crashed.contains(&n));
+                    if sl.holders.is_empty() {
+                        sl.lost = true;
+                        report.lost_lines.push(sl.line);
+                        self.stats.lines_lost += 1;
+                    }
                 }
-            }
-            if let Some(o) = sl.active_owner {
-                if crashed.contains(&o) {
-                    // The owner's volatile log died with it; the active bit
-                    // is meaningless now.
-                    sl.active_owner = None;
+                if let Some(h) = sl.locked_by {
+                    if crashed.contains(&h) {
+                        sl.locked_by = None;
+                        report.broken_line_locks.push(sl.line);
+                    }
+                }
+                if let Some(o) = sl.active_owner {
+                    if crashed.contains(&o) {
+                        // The owner's volatile log died with it; the active
+                        // bit is meaningless now.
+                        sl.active_owner = None;
+                    }
                 }
             }
         }
@@ -904,7 +1017,7 @@ impl Machine {
     /// Whether the line's data was destroyed by a crash and has not been
     /// reinstalled.
     pub fn is_lost(&self, line: LineId) -> bool {
-        self.slot_of(line).map(|s| self.slots[s as usize].lost).unwrap_or(false)
+        self.slot_of(line).map(|s| self.slot(s).lost).unwrap_or(false)
     }
 
     /// Whether any surviving cache holds a valid copy. This is the §4.1.2
@@ -913,7 +1026,7 @@ impl Machine {
     /// with a cache line in a surviving node, an invalid flag is
     /// returned."*
     pub fn probe_cached(&self, line: LineId) -> bool {
-        self.slot_of(line).map(|s| !self.slots[s as usize].lost).unwrap_or(false)
+        self.slot_of(line).map(|s| !self.slot(s).lost).unwrap_or(false)
     }
 
     /// Mark `line` as carrying pending redo from an instant restart: every
@@ -954,11 +1067,12 @@ impl Machine {
     /// buffer manager after flushing a page.
     pub fn discard(&mut self, node: NodeId, line: LineId) -> Result<(), MemError> {
         self.check_node(node)?;
+        self.check_owned(line)?;
         let slot = match self.slot_of(line) {
             None => return Ok(()), // already gone
             Some(s) => s,
         };
-        let sl = &mut self.slots[slot as usize];
+        let sl = self.slot_mut(slot);
         if sl.holders.contains(node) {
             sl.holders.remove(node);
             if sl.holders.is_empty() && !sl.lost {
@@ -976,14 +1090,16 @@ impl Machine {
     /// over the slot array.
     pub fn discard_matching(&mut self, node: NodeId, pred: impl Fn(LineId) -> bool) -> u64 {
         let mut count = 0u64;
-        for i in 0..self.slots.len() {
-            let (live, line, holds) = {
-                let sl = &self.slots[i];
-                (sl.live, sl.line, sl.holders.contains(node))
-            };
-            if live && holds && pred(line) {
-                let _ = self.discard(node, line);
-                count += 1;
+        for sh in 0..self.shards.len() {
+            for i in 0..self.shards[sh].slots.len() {
+                let (live, line, holds) = {
+                    let sl = &self.shards[sh].slots[i];
+                    (sl.live, sl.line, sl.holders.contains(node))
+                };
+                if live && holds && pred(line) {
+                    let _ = self.discard(node, line);
+                    count += 1;
+                }
             }
         }
         count
@@ -1001,11 +1117,12 @@ impl Machine {
         data: &[u8],
     ) -> Result<(), MemError> {
         self.check_node(node)?;
+        self.check_owned(line)?;
         let slot = match self.slot_of(line) {
             Some(s) => {
                 // Install is authoritative: any surviving copies elsewhere
                 // are dropped along with locks and active bits.
-                let sl = &mut self.slots[s as usize];
+                let sl = self.slot_mut(s);
                 sl.lost = false;
                 sl.locked_by = None;
                 sl.active_owner = None;
@@ -1028,8 +1145,9 @@ impl Machine {
     /// `NotResident`). Recovery calls this once it has ensured the line's
     /// durable state is authoritative and no reinstall is needed.
     pub fn clear_lost(&mut self, line: LineId) {
+        debug_assert!(self.check_owned(line).is_ok(), "clear_lost on a foreign stripe");
         if let Some(s) = self.slot_of(line) {
-            if self.slots[s as usize].lost {
+            if self.slot(s).lost {
                 self.free_slot(s);
             }
         }
@@ -1045,7 +1163,7 @@ impl Machine {
     /// the coherent access path.
     pub fn peek(&self, line: LineId) -> Option<&[u8]> {
         let slot = self.slot_of(line)?;
-        if self.slots[slot as usize].lost {
+        if self.slot(slot).lost {
             return None;
         }
         Some(self.line_data(slot))
@@ -1054,7 +1172,7 @@ impl Machine {
     /// Zero-cost view of `node`'s own cached copy, if valid.
     pub fn peek_local(&self, node: NodeId, line: LineId) -> Option<&[u8]> {
         let slot = self.slot_of(line)?;
-        if !self.slots[slot as usize].holders.contains(node) {
+        if !self.slot(slot).holders.contains(node) {
             return None;
         }
         Some(self.line_data(slot))
@@ -1062,16 +1180,21 @@ impl Machine {
 
     /// Iterate over the lines currently valid in `node`'s cache. This is
     /// the sequential cache scan Selective Redo performs to find records
-    /// tagged by crashed nodes (§4.1.2). Iteration is in slot (allocation)
-    /// order.
+    /// tagged by crashed nodes (§4.1.2). Iteration is shard-major, in
+    /// slot (allocation) order within each shard — with a single shard
+    /// this is exactly the historical allocation order, and for any shard
+    /// count it is a canonical order independent of how many OS threads
+    /// drove the machine.
     pub fn iter_cached(&self, node: NodeId) -> impl Iterator<Item = (LineId, &[u8])> {
         let ls = self.cfg.line_size;
-        self.slots.iter().enumerate().filter_map(move |(i, sl)| {
-            if sl.live && sl.holders.contains(node) {
-                Some((sl.line, &self.data[i * ls..(i + 1) * ls]))
-            } else {
-                None
-            }
+        self.shards.iter().flat_map(move |shard| {
+            shard.slots.iter().enumerate().filter_map(move |(i, sl)| {
+                if sl.live && sl.holders.contains(node) {
+                    Some((sl.line, &shard.data[i * ls..(i + 1) * ls]))
+                } else {
+                    None
+                }
+            })
         })
     }
 
@@ -1080,7 +1203,7 @@ impl Machine {
     /// is lost or not resident).
     pub fn holders(&self, line: LineId) -> &[NodeId] {
         match self.slot_of(line) {
-            Some(s) => self.slots[s as usize].holders.as_slice(),
+            Some(s) => self.slot(s).holders.as_slice(),
             None => &[],
         }
     }
@@ -1093,7 +1216,7 @@ impl Machine {
     /// The exclusive owner of `line`, if it is held exclusively.
     pub fn exclusive_owner(&self, line: LineId) -> Option<NodeId> {
         let slot = self.slot_of(line)?;
-        let sl = &self.slots[slot as usize];
+        let sl = self.slot(slot);
         if !sl.lost && sl.holders.len() == 1 {
             sl.holders.first()
         } else {
@@ -1111,56 +1234,151 @@ impl Machine {
     /// with a description on violation. O(slots × nodes); meant for tests
     /// and property checks, not the hot path.
     pub fn validate_flat(&self) {
-        let mut live = 0usize;
-        for (i, sl) in self.slots.iter().enumerate() {
-            if !sl.live {
-                assert!(
-                    self.free.contains(&(i as u32)),
-                    "dead slot {i} missing from the free list"
+        for (shn, shard) in self.shards.iter().enumerate() {
+            let mut live = 0usize;
+            for (i, sl) in shard.slots.iter().enumerate() {
+                if !sl.live {
+                    assert!(
+                        shard.free.contains(&(i as u32)),
+                        "dead slot {i} (shard {shn}) missing from the free list"
+                    );
+                    continue;
+                }
+                live += 1;
+                assert_eq!(
+                    self.shard_idx(sl.line),
+                    shn,
+                    "line {:?} stored in shard {shn} but stripes to {}",
+                    sl.line,
+                    self.shard_idx(sl.line)
                 );
-                continue;
-            }
-            live += 1;
-            assert_eq!(
-                self.index.get(sl.line.0),
-                Some(i as u32),
-                "live slot {i} (line {:?}) not indexed back to itself",
-                sl.line
-            );
-            let h = sl.holders.as_slice();
-            assert!(
-                h.windows(2).all(|w| w[0] < w[1]),
-                "holder set of {:?} not sorted/deduped: {h:?}",
-                sl.line
-            );
-            if sl.lost {
-                assert!(h.is_empty(), "lost line {:?} still has holders {h:?}", sl.line);
-                assert!(sl.locked_by.is_none(), "lost line {:?} still locked", sl.line);
-            } else {
-                assert!(!h.is_empty(), "valid line {:?} has no holders", sl.line);
-            }
-            for n in h {
-                assert!(
-                    !self.nodes[n.0 as usize].crashed,
-                    "crashed node {n:?} still holds {:?}",
+                assert_eq!(
+                    shard.index.get(sl.line.0),
+                    Some(i as u32),
+                    "live slot {i} (line {:?}) not indexed back to itself",
                     sl.line
                 );
+                let h = sl.holders.as_slice();
+                assert!(
+                    h.windows(2).all(|w| w[0] < w[1]),
+                    "holder set of {:?} not sorted/deduped: {h:?}",
+                    sl.line
+                );
+                if sl.lost {
+                    assert!(h.is_empty(), "lost line {:?} still has holders {h:?}", sl.line);
+                    assert!(sl.locked_by.is_none(), "lost line {:?} still locked", sl.line);
+                } else {
+                    assert!(!h.is_empty(), "valid line {:?} has no holders", sl.line);
+                }
+                for n in h {
+                    assert!(
+                        !self.nodes[n.0 as usize].crashed,
+                        "crashed node {n:?} still holds {:?}",
+                        sl.line
+                    );
+                }
+                if let Some(l) = sl.locked_by {
+                    assert!(h.contains(&l), "lock holder {l:?} of {:?} holds no copy", sl.line);
+                }
             }
-            if let Some(l) = sl.locked_by {
-                assert!(h.contains(&l), "lock holder {l:?} of {:?} holds no copy", sl.line);
+            assert_eq!(
+                shard.index.len(),
+                live,
+                "shard {shn} index size disagrees with live slot count"
+            );
+            assert_eq!(
+                shard.slots.len(),
+                live + shard.free.len(),
+                "shard {shn} slot accounting: live + free ≠ total"
+            );
+            assert_eq!(
+                shard.data.len(),
+                shard.slots.len() * self.cfg.line_size,
+                "shard {shn} arena size disagrees with slot count"
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution lanes (parallel epochs)
+    // ------------------------------------------------------------------
+
+    /// Detach the given stripes into a *lane machine*: a fully functional
+    /// [`Machine`] that owns exactly `stripes` (every other shard position
+    /// holds an empty unowned sentinel) and can therefore be moved to
+    /// another OS thread and driven concurrently with sibling lanes that
+    /// own disjoint stripe sets. The lane shares this machine's
+    /// observability and fault handles, starts with zeroed coherence
+    /// stats, cloned node clocks, and tracing disabled; any access
+    /// outside its stripes fails with [`MemError::ForeignStripe`], and
+    /// dynamic line allocation is refused. Reattach with
+    /// [`Machine::lane_merge`].
+    ///
+    /// Panics if a stripe is out of range, listed twice, already
+    /// detached, or if this machine is itself a lane, and requires every
+    /// pending-redo mark to have been drained first (lanes refuse the
+    /// unrecovered set wholesale rather than checking it per access).
+    pub fn lane_split(&mut self, stripes: &[u32]) -> Machine {
+        assert!(!self.lane, "cannot split a lane machine");
+        assert!(self.unrecovered.is_empty(), "lane_split with pending instant-restart redo");
+        let mut shards: Vec<CoherShard> =
+            (0..self.shards.len()).map(|_| CoherShard::foreign()).collect();
+        for &s in stripes {
+            let s = s as usize;
+            assert!(s < self.shards.len(), "stripe {s} out of range");
+            assert!(self.shards[s].owned, "stripe {s} already detached");
+            std::mem::swap(&mut shards[s], &mut self.shards[s]);
+            self.shards[s].owned = false;
+            shards[s].owned = true;
+        }
+        Machine {
+            cfg: self.cfg.clone(),
+            shards,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| NodeState { clock: n.clock, crashed: n.crashed })
+                .collect(),
+            stats: SimStats::default(),
+            trace: Trace::default(),
+            obs: self.obs.clone(),
+            fault: self.fault.clone(),
+            next_dynamic: self.next_dynamic,
+            lane: true,
+            unrecovered: BTreeSet::new(),
+        }
+    }
+
+    /// Reattach a lane produced by [`Machine::lane_split`]: move its owned
+    /// shards back, fold its coherence stats into this machine's, and
+    /// adopt its clock for `node` (the node the lane executed for — only
+    /// that clock advanced deterministically inside the lane).
+    pub fn lane_merge(&mut self, node: NodeId, lane: Machine) {
+        assert!(lane.lane, "lane_merge of a non-lane machine");
+        for (i, shard) in lane.shards.into_iter().enumerate() {
+            if shard.owned {
+                assert!(!self.shards[i].owned, "stripe {i} merged twice");
+                self.shards[i] = shard;
             }
         }
-        assert_eq!(self.index.len(), live, "index size disagrees with live slot count");
-        assert_eq!(
-            self.slots.len(),
-            live + self.free.len(),
-            "slot accounting: live + free ≠ total"
-        );
-        assert_eq!(
-            self.data.len(),
-            self.slots.len() * self.cfg.line_size,
-            "arena size disagrees with slot count"
-        );
+        self.stats.absorb(&lane.stats);
+        self.nodes[node.0 as usize].clock = lane.nodes[node.0 as usize].clock;
+    }
+
+    /// Clear every active mark owned by `node` within the given stripes
+    /// (the epoch-barrier drain after the node's pending log window is
+    /// forced). Returns how many marks were cleared.
+    pub fn clear_active_in_stripes(&mut self, node: NodeId, stripes: &[u32]) -> u64 {
+        let mut cleared = 0u64;
+        for &s in stripes {
+            for sl in self.shards[s as usize].slots.iter_mut() {
+                if sl.live && sl.active_owner == Some(node) {
+                    sl.active_owner = None;
+                    cleared += 1;
+                }
+            }
+        }
+        cleared
     }
 }
 

@@ -69,6 +69,27 @@ impl SimStats {
             evictions: self.evictions.saturating_sub(earlier.evictions),
         }
     }
+
+    /// Fold `other` into `self`, counter-wise. Used when an execution
+    /// lane's coherence stats are merged back into the parent machine at
+    /// an epoch barrier.
+    pub fn absorb(&mut self, other: &SimStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.local_hits += other.local_hits;
+        self.remote_transfers += other.remote_transfers;
+        self.migrations += other.migrations;
+        self.replications += other.replications;
+        self.invalidations += other.invalidations;
+        self.downgrades += other.downgrades;
+        self.broadcast_updates += other.broadcast_updates;
+        self.line_lock_acquires += other.line_lock_acquires;
+        self.line_lock_conflicts += other.line_lock_conflicts;
+        self.lost_line_accesses += other.lost_line_accesses;
+        self.lines_created += other.lines_created;
+        self.lines_lost += other.lines_lost;
+        self.evictions += other.evictions;
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,14 @@ pub struct VoprConfig {
     /// defers heap redo to on-demand application plus a background drain
     /// the driver schedules between rounds.
     pub instant: bool,
+    /// Multicore epoch-scheduler preamble: before the interactive rounds
+    /// the driver runs a deterministic record-only batch through
+    /// `SmDb::run_epochs` (one lane thread — VOPR replay is sequential by
+    /// design), with striping enabled and the admission deferral site
+    /// (`mt.admit`) drawn from the shared schedule tape. Never combined
+    /// with early lock release: the epoch scheduler requires the serial
+    /// lock discipline.
+    pub mt: bool,
 }
 
 pub(crate) fn splitmix64(x: &mut u64) -> u64 {
@@ -92,7 +100,7 @@ impl VoprConfig {
         let txns = 6 + (splitmix64(&mut rng) % 13) as usize; // 6..=18
         let ops_per_txn = 2 + (splitmix64(&mut rng) % 5) as usize; // 2..=6
         let window = pick(&mut rng, &[1usize, 2, 4, 6]);
-        VoprConfig {
+        let mut cfg = VoprConfig {
             protocol,
             nodes,
             txns,
@@ -112,7 +120,14 @@ impl VoprConfig {
             // Drawn last so the new knob does not shift any earlier
             // field's position in the seed stream.
             instant: splitmix64(&mut rng) % 2 == 1,
-        }
+            mt: false,
+        };
+        // Same rule, one knob later: `mt` draws after `instant` so seeds
+        // that predate it keep their scenarios. The bit is consumed
+        // unconditionally and then gated — the epoch scheduler excludes
+        // early lock release.
+        cfg.mt = splitmix64(&mut rng) % 2 == 1 && !cfg.elr;
+        cfg
     }
 
     /// The engine configuration this scenario runs under.
@@ -130,14 +145,19 @@ impl VoprConfig {
         if self.instant {
             cfg = cfg.with_instant_restart();
         }
+        if self.mt {
+            // The preamble is the only fuzzed path through the striped
+            // coherence directory; everything else is striping-agnostic.
+            cfg = cfg.with_sim_shards(8);
+        }
         cfg
     }
 
     /// Compact one-token encoding for the repro line, e.g.
-    /// `p:SE,n:4,t:12,o:4,rf:20,sh:60,ss:16,zf:95,ix:25,ck:5,w:4,d:3,elr:1,co:1,ir:0`.
+    /// `p:SE,n:4,t:12,o:4,rf:20,sh:60,ss:16,zf:95,ix:25,ck:5,w:4,d:3,elr:1,co:1,ir:0,mt:1`.
     pub fn encode(&self) -> String {
         format!(
-            "p:{},n:{},t:{},o:{},rf:{},sh:{},ss:{},zf:{},ix:{},ck:{},w:{},d:{},elr:{},co:{},ir:{}",
+            "p:{},n:{},t:{},o:{},rf:{},sh:{},ss:{},zf:{},ix:{},ck:{},w:{},d:{},elr:{},co:{},ir:{},mt:{}",
             protocol_tag(self.protocol),
             self.nodes,
             self.txns,
@@ -153,6 +173,7 @@ impl VoprConfig {
             self.elr as u8,
             self.coalesce as u8,
             self.instant as u8,
+            self.mt as u8,
         )
     }
 
@@ -175,9 +196,11 @@ impl VoprConfig {
             drain_every: 0,
             elr: false,
             coalesce: false,
-            // Repro lines predating the knob carry no `ir:` token; they
-            // replay as the eager restarts they were recorded under.
+            // Repro lines predating these knobs carry no `ir:`/`mt:`
+            // token; they replay as the eager, serial runs they were
+            // recorded under.
             instant: false,
+            mt: false,
         };
         for part in s.split(',') {
             let (k, v) = part.split_once(':').ok_or_else(|| format!("bad cfg token {part:?}"))?;
@@ -201,6 +224,7 @@ impl VoprConfig {
                 "elr" => cfg.elr = num()? != 0,
                 "co" => cfg.coalesce = num()? != 0,
                 "ir" => cfg.instant = num()? != 0,
+                "mt" => cfg.mt = num()? != 0,
                 other => return Err(format!("unknown cfg key {other:?}")),
             }
         }
@@ -230,6 +254,29 @@ mod tests {
             let back = VoprConfig::decode(&cfg.encode()).expect("round trip");
             assert_eq!(cfg, back, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn decode_defaults_new_knobs_off() {
+        // A repro line recorded before `ir:`/`mt:` existed must replay
+        // the scenario it was recorded under.
+        let cfg = VoprConfig::decode(
+            "p:SE,n:4,t:12,o:4,rf:20,sh:60,ss:16,zf:95,ix:25,ck:5,w:1,d:0,elr:0,co:1",
+        )
+        .expect("pre-knob line decodes");
+        assert!(!cfg.instant);
+        assert!(!cfg.mt);
+    }
+
+    #[test]
+    fn draw_never_combines_mt_with_elr() {
+        let mut saw_mt = false;
+        for seed in 0..400 {
+            let cfg = VoprConfig::draw(seed);
+            assert!(!(cfg.mt && cfg.elr), "seed {seed}: mt drawn under ELR");
+            saw_mt |= cfg.mt;
+        }
+        assert!(saw_mt, "the mt knob never fires across 400 seeds");
     }
 
     #[test]

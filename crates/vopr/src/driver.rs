@@ -20,7 +20,7 @@
 use crate::config::VoprConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use smdb_core::{DbError, SmDb};
+use smdb_core::{DbError, MtOp, MtTxn, SmDb};
 use smdb_fault::{FaultInjector, FaultPlan, Scheduler};
 use smdb_sim::NodeId;
 use smdb_workload::Zipf;
@@ -350,7 +350,66 @@ impl<'a> Driver<'a> {
         Ok(())
     }
 
+    /// Multicore epoch-scheduler preamble (`mt:1` scenarios): drive one
+    /// deterministic record-only batch through `SmDb::run_epochs` before
+    /// the interactive rounds. One lane thread — VOPR replay is
+    /// sequential by design — but the admission deferral draws
+    /// (`mt.admit`) go through the shared scheduler, so the tape records
+    /// them and the shrinker can reshape the epoch partition. The fault
+    /// injector is paused across the batch (epoch lanes are not
+    /// crash-hardened mid-merge; crashes belong to the interactive
+    /// phase), which also keeps the interactive phase's crash-point
+    /// ordinals independent of the preamble's cache traffic.
+    fn mt_preamble(&mut self) -> Option<(String, String)> {
+        self.fault.pause();
+        let r = self.mt_preamble_inner();
+        self.fault.resume();
+        r
+    }
+
+    fn mt_preamble_inner(&mut self) -> Option<(String, String)> {
+        let mut batch: Vec<MtTxn> = Vec::new();
+        for idx in 0..self.cfg.txns {
+            let node = NodeId((idx % self.cfg.nodes as usize) as u16);
+            // A distinct op stream (seed perturbed) so the preamble does
+            // not mirror the interactive transactions slot-for-slot.
+            let ops: Vec<MtOp> =
+                gen_ops(self.cfg, self.seed ^ 0x00E1_0C4E, idx, node, self.records)
+                    .into_iter()
+                    .filter_map(|op| match op {
+                        Op::Read(slot) => Some(MtOp::Read { slot }),
+                        Op::Update(slot, v) => Some(MtOp::Update { slot, data: v.to_vec() }),
+                        // Index footprints are data-dependent; the epoch
+                        // scheduler excludes them by construction.
+                        Op::Insert(..) | Op::Delete(..) => None,
+                    })
+                    .collect();
+            if !ops.is_empty() {
+                batch.push(MtTxn { node, ops });
+            }
+        }
+        match self.db.run_epochs(batch, 1) {
+            Ok(out) => {
+                self.committed += out.committed;
+                self.events
+                    .push(format!("mt e{} c{} d{}", out.epochs, out.committed, out.deferred));
+                None
+            }
+            Err(e) => Some(("mt-preamble".into(), e.to_string())),
+        }
+    }
+
     fn run(&mut self, skip: &BTreeSet<usize>) -> Option<(String, String)> {
+        if self.cfg.mt {
+            if let Some(f) = self.mt_preamble() {
+                return Some(f);
+            }
+            // The standing oracles vet the merged post-epoch state before
+            // any interactive transaction builds on it.
+            if let Err(f) = self.oracles(false) {
+                return Some(f);
+            }
+        }
         let window = self.cfg.window.max(1);
         let mut inflight: Vec<Flight> = Vec::new();
         let mut next_idx = 0usize;

@@ -180,6 +180,36 @@ fn fixed_seed_instant_battery_is_green() {
     }
 }
 
+/// The multicore-preamble knob: `mt:1` scenarios run an epoch-scheduled
+/// batch before the interactive rounds. The preamble's admission
+/// deferrals draw from the shared tape, so recording and replay must
+/// stay byte-identical, and every standing oracle must hold on the
+/// merged post-epoch state — including across the crashes the
+/// interactive phase then injects.
+#[test]
+fn fixed_seed_mt_battery_is_green() {
+    let skip = BTreeSet::new();
+    let mut deferred_somewhere = false;
+    for seed in [0x2u64, 0x11, 0x42, 0x7c] {
+        let mut cfg = VoprConfig::draw(seed);
+        cfg.mt = true;
+        cfg.elr = false; // the epoch scheduler excludes early lock release
+        let plan = draw_plan(seed);
+        let a = run_schedule(&cfg, seed, &skip, &plan, SchedInput::Record(seed));
+        assert!(
+            a.events.first().is_some_and(|e| e.starts_with("mt ")),
+            "seed {seed:#x}: preamble event missing from {:?}",
+            a.events.first()
+        );
+        assert!(a.failure.is_none(), "seed {seed:#x} cfg={} failed: {:?}", cfg.encode(), a.failure);
+        let b = run_schedule(&cfg, seed, &skip, &plan, SchedInput::Replay(a.tape.clone()));
+        assert_eq!(a.events, b.events, "seed {seed:#x}: mt replay diverged from recording");
+        assert_eq!(a.committed, b.committed, "seed {seed:#x}: mt replay commits diverged");
+        deferred_somewhere |= a.events[0].split(" d").nth(1) != Some("0");
+    }
+    assert!(deferred_somewhere, "no battery seed ever exercised a tape deferral");
+}
+
 /// A bounded fixed-seed fuzz sweep stays green (the CI smoke). Kept small
 /// so `cargo test` stays fast; scripts/fuzz.sh runs the larger budgets.
 #[test]

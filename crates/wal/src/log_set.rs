@@ -186,6 +186,33 @@ impl LogSet {
     pub fn total_appends(&self) -> u64 {
         self.logs.iter().map(|l| l.stats().appends).sum()
     }
+
+    /// Detach `node`'s log into a fresh [`LogSet`] for an execution lane
+    /// (see `Machine::lane_split`): the returned set carries the real
+    /// [`NodeLog`] for `node` — the lane is that node's sole WAL
+    /// appender for the duration of an epoch — and empty sentinel logs
+    /// for every other node. A lane append to a foreign log is a
+    /// scheduling bug; [`LogSet::lane_merge`] asserts the sentinels came
+    /// back untouched.
+    pub fn lane_split(&mut self, node: NodeId) -> LogSet {
+        let mut lane = LogSet::new(self.logs.len() as u16);
+        lane.fault = self.fault.clone();
+        std::mem::swap(&mut lane.logs[node.0 as usize], &mut self.logs[node.0 as usize]);
+        lane
+    }
+
+    /// Reattach the log a lane took with [`LogSet::lane_split`]. Panics
+    /// if the lane appended to any log other than its own (the epoch
+    /// scheduler admitted a transaction whose footprint was wrong).
+    pub fn lane_merge(&mut self, node: NodeId, mut lane: LogSet) {
+        assert_eq!(lane.logs.len(), self.logs.len(), "lane log set mismatched");
+        for (i, l) in lane.logs.iter().enumerate() {
+            if i != node.0 as usize {
+                assert!(l.stats().appends == 0, "lane for {node} appended to n{i}'s log");
+            }
+        }
+        std::mem::swap(&mut lane.logs[node.0 as usize], &mut self.logs[node.0 as usize]);
+    }
 }
 
 #[cfg(test)]

@@ -63,6 +63,18 @@ impl PageLsnTable {
         pages
     }
 
+    /// Fold an execution lane's table into this one at an epoch barrier:
+    /// per `(page, node)` key, keep the larger LSN. Max-merge commutes,
+    /// so the merge order of sibling lanes cannot change the result.
+    pub fn absorb(&mut self, other: &PageLsnTable) {
+        for (&k, &lsn) in &other.entries {
+            let e = self.entries.entry(k).or_insert(Lsn::ZERO);
+            if lsn > *e {
+                *e = lsn;
+            }
+        }
+    }
+
     /// Number of live entries.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -103,7 +103,7 @@ impl MixParams {
 }
 
 /// Outcome of a mix run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MixReport {
     /// Transactions committed.
     pub committed: u64,
@@ -145,17 +145,17 @@ pub struct CrashPlan {
 }
 
 /// One generated operation.
-enum Op {
+pub(crate) enum Op {
     Read(u64),
     Update(u64, [u8; 8]),
     Insert(u64, [u8; 8]),
     Delete(u64),
 }
 
-struct Generator {
+pub(crate) struct Generator {
     rng: StdRng,
-    params: MixParams,
-    nodes: u16,
+    pub(crate) params: MixParams,
+    pub(crate) nodes: u16,
     private_per_node: u64,
     shared_dist: Zipf,
     private_dist: Zipf,
@@ -165,7 +165,7 @@ struct Generator {
 }
 
 impl Generator {
-    fn new(db: &SmDb, params: MixParams) -> Self {
+    pub(crate) fn new(db: &SmDb, params: MixParams) -> Self {
         let nodes = db.config().nodes;
         let total = db.record_count() as u64;
         let shared = params.shared_slots.min(total.saturating_sub(nodes as u64));
@@ -191,7 +191,7 @@ impl Generator {
         }
     }
 
-    fn gen_txn_ops(&mut self, node: NodeId, with_index: bool) -> Vec<Op> {
+    pub(crate) fn gen_txn_ops(&mut self, node: NodeId, with_index: bool) -> Vec<Op> {
         let mut ops = Vec::with_capacity(self.params.ops_per_txn);
         for _ in 0..self.params.ops_per_txn {
             if self.rng.gen_bool(self.params.read_fraction) {

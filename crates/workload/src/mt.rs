@@ -1,0 +1,77 @@
+//! Multicore driver for the record-update mix: the same deterministic
+//! generator as [`run_mix`](crate::run_mix), executed through the
+//! engine's epoch scheduler ([`smdb_core::mt`]) on real OS threads.
+//!
+//! The whole workload is generated up front (the generator never observes
+//! execution, so generation order equals the serial driver's program
+//! order), handed to [`SmDb::run_epochs`], and summarised in the same
+//! [`MixReport`] shape the serial driver produces — byte-identical at
+//! every thread count, which is what the determinism regression tests
+//! assert.
+
+use crate::mix::{Generator, MixParams, MixReport, Op};
+use smdb_core::mt::{MtOp, MtOutcome, MtTxn};
+use smdb_core::{DbError, SmDb};
+use smdb_sim::NodeId;
+
+/// Thread count for multicore runs, from the `SMDB_THREADS` environment
+/// variable (default 1, the serial execution of the same scheduler).
+pub fn threads_from_env() -> usize {
+    std::env::var("SMDB_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
+}
+
+/// Generate the mix and run it through the epoch scheduler on up to
+/// `threads` OS threads. Returns the usual report plus the scheduler's
+/// outcome. Requires the serial feature set: no index operations
+/// (`index_fraction == 0`), no checkpoints, no pipelined commits.
+pub fn run_mix_mt(
+    db: &mut SmDb,
+    params: MixParams,
+    threads: usize,
+) -> Result<(MixReport, MtOutcome), DbError> {
+    assert_eq!(params.index_fraction, 0.0, "mt mix excludes index operations");
+    assert_eq!(params.checkpoint_every, 0, "mt mix excludes checkpoints");
+    assert_eq!(params.commit_window, 0, "mt mix excludes pipelined commits");
+    let mut g = Generator::new(db, params);
+    let nodes = g.nodes;
+    let mut txns = Vec::with_capacity(g.params.txns);
+    for i in 0..g.params.txns {
+        let node = NodeId((i % nodes as usize) as u16);
+        let ops = g
+            .gen_txn_ops(node, false)
+            .into_iter()
+            .map(|op| match op {
+                Op::Read(slot) => MtOp::Read { slot },
+                Op::Update(slot, v) => MtOp::Update { slot, data: v.to_vec() },
+                Op::Insert(..) | Op::Delete(..) => {
+                    unreachable!("generator emits no index ops without an index")
+                }
+            })
+            .collect();
+        txns.push(MtTxn { node, ops });
+    }
+    let total_ops: u64 = txns.iter().map(|t| t.ops.len() as u64).sum();
+
+    let clock0 = db.max_clock();
+    let requested0 = db.logs().total_forces_requested();
+    let physical0 = db.logs().total_forces();
+    let records0 = db.logs().total_records_forced();
+    let out = db.run_epochs(txns, threads)?;
+    let report = MixReport {
+        committed: out.committed,
+        conflict_aborts: out.lock_conflicts,
+        gave_up: 0,
+        ops: total_ops,
+        sim_cycles: db.max_clock() - clock0,
+        crash_fired: false,
+        forces_requested: db.logs().total_forces_requested() - requested0,
+        physical_forces: db.logs().total_forces() - physical0,
+        records_forced: db.logs().total_records_forced() - records0,
+        lock_stalls: out.epoch_waits,
+    };
+    Ok((report, out))
+}

@@ -39,6 +39,11 @@ extract_wall_ms() {
     sed -n 's/.*"total_wall_ms": \([0-9]*\)\(\.[0-9]*\)\?.*/\1/p' "$1" | head -1
 }
 
+extract_jobs() {
+    # The worker count the report ran with (recorded in the JSON header).
+    sed -n 's/.*"jobs": \([0-9]*\).*/\1/p' "$1" | head -1
+}
+
 NEW_MS="$(extract_wall_ms "$REPORT")"
 if [ -z "$NEW_MS" ]; then
     echo "bench: could not parse total_wall_ms from $REPORT" >&2
@@ -55,6 +60,17 @@ fi
 if [ ! -f "$BASELINE" ]; then
     echo "bench: no baseline at $BASELINE; run scripts/bench.sh --update-baseline" >&2
     exit 1
+fi
+
+# Wall-clock is only comparable within one configuration: a baseline
+# recorded at --jobs 1 says nothing about a --jobs 4 run (and vice
+# versa). Gate per-configuration instead of comparing across them.
+BASE_JOBS="$(extract_jobs "$BASELINE")"
+: "${BASE_JOBS:=1}"
+if [ "$BASE_JOBS" != "$JOBS" ]; then
+    echo "bench: baseline recorded at jobs=$BASE_JOBS, this run used jobs=$JOBS — gate skipped"
+    echo "       (refresh for this configuration: BENCH_JOBS=$JOBS scripts/bench.sh --update-baseline)"
+    exit 0
 fi
 
 BASE_MS="$(extract_wall_ms "$BASELINE")"

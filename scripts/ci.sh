@@ -10,8 +10,14 @@ export CARGO_NET_OFFLINE=true
 echo "== build (release) =="
 cargo build --release --workspace
 
-echo "== tests =="
-cargo test -q --workspace
+echo "== tests (SMDB_THREADS=1) =="
+SMDB_THREADS=1 cargo test -q --workspace
+
+echo "== tests (SMDB_THREADS=4) =="
+# Same binaries, multicore default: tests that read SMDB_THREADS drive
+# four OS threads through the epoch scheduler, and the determinism gates
+# assert the results stay byte-identical to the serial run.
+SMDB_THREADS=4 cargo test -q --workspace
 
 echo "== crash-point sweep (bounded) =="
 # Deterministic fault-injection sweep over all protocols (DESIGN §8);
@@ -20,6 +26,13 @@ echo "== crash-point sweep (bounded) =="
 # exhaustively even in this bounded run. The exhaustive variant of the
 # whole sweep is scripts/crash_sweep.sh.
 cargo test --release -q --test crash_sweep
+
+echo "== crash-point sweep (bounded, striped directory) =="
+# The same bounded sweep once more with the coherence directory split
+# into 8 stripes (DESIGN §15). The driver stays serial — striping must be
+# behavior-invisible outside the epoch scheduler — so every crash point
+# also replays through the sharded directory and its recovery paths.
+SMDB_SIM_SHARDS=8 cargo test --release -q --test crash_sweep
 
 echo "== schedule fuzz (bounded, fixed seed) =="
 # Deterministic VOPR-style schedule fuzz (DESIGN §13): one fixed master
@@ -81,6 +94,15 @@ echo "== E11 instant-restart report (non-blocking) =="
 # digest equality, redo parity), already run by the workspace test step.
 if ! ./target/release/report --e11instant --fast --csv > /dev/null; then
     echo "e11instant report failed (non-blocking): rerun report --e11instant" >&2
+fi
+
+echo "== E12 multicore scaling report (non-blocking) =="
+# Refresh the multicore scaling CSV (DESIGN §15). The blocking gates are
+# the e12_multicore / mt_determinism integration tests, already run by
+# the workspace test steps; the ≥1.6× wall-clock gate self-skips on
+# hosts with fewer than four cores.
+if ! ./target/release/report --e12mt --fast --csv > /dev/null; then
+    echo "e12mt report failed (non-blocking): rerun report --e12mt" >&2
 fi
 
 echo "== observability overhead smoke (non-blocking) =="

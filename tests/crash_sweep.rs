@@ -29,6 +29,19 @@ use smdb::workload::{run_mix_with_crash, MixParams};
 
 const SEED: u64 = 0x5EED_CAFE;
 
+/// Coherence-directory stripe count for every sweep engine, from
+/// `SMDB_SIM_SHARDS` (default 1, the unsharded directory). CI re-runs
+/// the bounded sweep once at 8 stripes: the serial driver is unchanged —
+/// striping must be behavior-invisible — so the same crash points replay
+/// through the sharded directory and recovery paths.
+fn sweep_shards() -> usize {
+    std::env::var("SMDB_SIM_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1)
+}
+
 fn params(seed: u64) -> MixParams {
     MixParams {
         txns: 16,
@@ -167,7 +180,8 @@ fn run_scenario_cfg(
     // Coalesced (group) log forces stay on for every sweep scenario: the
     // sweep is the proof that deferring force requests into the pending
     // window preserves recovery semantics at every crash point.
-    let mut cfg = DbConfig::small(4, protocol).with_coalesced_forces();
+    let mut cfg =
+        DbConfig::small(4, protocol).with_coalesced_forces().with_sim_shards(sweep_shards());
     if elr {
         cfg = cfg.with_early_lock_release().with_lock_polling();
     }
@@ -379,7 +393,10 @@ fn run_instant_scenario(
     protocol: ProtocolKind,
     plan: Option<&FaultPlan>,
 ) -> Result<Vec<SiteVisits>, String> {
-    let cfg = DbConfig::small(4, protocol).with_coalesced_forces().with_instant_restart();
+    let cfg = DbConfig::small(4, protocol)
+        .with_coalesced_forces()
+        .with_instant_restart()
+        .with_sim_shards(sweep_shards());
     let mut db = SmDb::new(cfg);
     let f = FaultInjector::new();
     db.set_fault_injector(f.clone());
